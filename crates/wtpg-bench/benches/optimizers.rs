@@ -1,0 +1,98 @@
+//! Micro-benchmarks of the chain optimisers: the paper claims `O(N²)` for
+//! the appendix DP (Corollary 1) and this crate adds an `O(N log ΣW)`
+//! threshold DP; both are compared against the exponential oracle at small N
+//! and against each other at scheduler-realistic sizes.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtpg_core::chain::{brute, paper_dp, threshold, ChainProblem};
+
+/// Deterministic pseudo-random chain of n nodes.
+fn chain(n: usize, seed: u64) -> ChainProblem {
+    let mut state = seed.wrapping_add(0xa076_1d64_78bd_642f);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state % 1000
+    };
+    ChainProblem::new(
+        (0..n).map(|_| next()).collect(),
+        (0..n - 1).map(|_| next()).collect(),
+        (0..n - 1).map(|_| next()).collect(),
+    )
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_optimizers");
+    for &n in &[4usize, 8, 16] {
+        let p = chain(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("brute_oracle", n), &p, |b, p| {
+            b.iter(|| brute::solve(black_box(p)))
+        });
+    }
+    for &n in &[4usize, 8, 16, 64, 256] {
+        let p = chain(n, n as u64);
+        group.bench_with_input(BenchmarkId::new("paper_dp", n), &p, |b, p| {
+            b.iter(|| paper_dp::solve(black_box(p)))
+        });
+        group.bench_with_input(BenchmarkId::new("threshold", n), &p, |b, p| {
+            b.iter(|| threshold::solve(black_box(p)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("critical_path_eval");
+    for &n in &[16usize, 256] {
+        let p = chain(n, 1);
+        let orient = p.default_orientation();
+        group.bench_with_input(BenchmarkId::new("evaluate", n), &n, |b, _| {
+            b.iter(|| p.critical_path(black_box(&orient)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_planner(c: &mut Criterion) {
+    use wtpg_core::planner;
+    use wtpg_core::txn::TxnId;
+    use wtpg_core::work::Work;
+    use wtpg_core::wtpg::Wtpg;
+    // A hot-set-shaped WTPG: `n` transactions, ~2 conflicts each.
+    fn build(n: u64) -> Wtpg {
+        let mut g = Wtpg::new();
+        for i in 1..=n {
+            g.add_txn(TxnId(i), Work::from_objects(2 + i % 5)).unwrap();
+        }
+        for i in 1..=n {
+            let j = i % n + 1;
+            let k = (i + 1) % n + 1;
+            for other in [j, k] {
+                if other != i {
+                    let _ = g.add_or_merge_conflict(
+                        TxnId(i),
+                        TxnId(other),
+                        Work::from_objects(1 + i % 3),
+                        Work::from_objects(1 + other % 3),
+                    );
+                }
+            }
+        }
+        g
+    }
+    let mut group = c.benchmark_group("general_planner");
+    for &n in &[8u64, 16, 32] {
+        let g = build(n);
+        group.bench_with_input(BenchmarkId::new("greedy", n), &g, |b, g| {
+            b.iter(|| planner::greedy(black_box(g)))
+        });
+        group.bench_with_input(BenchmarkId::new("local_search", n), &g, |b, g| {
+            b.iter(|| planner::local_search(black_box(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers, bench_evaluation, bench_planner);
+criterion_main!(benches);

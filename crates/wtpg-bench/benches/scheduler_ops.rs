@@ -1,0 +1,87 @@
+//! Micro-benchmarks of the per-request scheduler operations the paper
+//! prices with `ddtime` / `chaintime` / `kwtpgtime`: deadlock prediction,
+//! the full-SR-order computation, and `E(q)` evaluation, as a function of
+//! the number of live transactions.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtpg_core::estimate::eq_estimate;
+use wtpg_core::txn::TxnId;
+use wtpg_core::work::Work;
+use wtpg_core::wtpg::Wtpg;
+
+/// A WTPG shaped like a hot-set workload: a chain of `n` transactions plus
+/// scattered resolved edges.
+fn build_wtpg(n: u64) -> Wtpg {
+    let mut g = Wtpg::new();
+    for i in 1..=n {
+        g.add_txn(TxnId(i), Work::from_objects(3 + i % 7)).unwrap();
+    }
+    for i in 1..n {
+        g.add_or_merge_conflict(
+            TxnId(i),
+            TxnId(i + 1),
+            Work::from_objects(1 + i % 3),
+            Work::from_objects(1 + (i + 1) % 3),
+        )
+        .unwrap();
+    }
+    // Resolve every third edge, as a running schedule would.
+    for i in (1..n).step_by(3) {
+        g.resolve(TxnId(i), TxnId(i + 1)).unwrap();
+    }
+    g
+}
+
+fn bench_eq(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eq_estimate");
+    for &n in &[8u64, 32, 128] {
+        let g = build_wtpg(n);
+        let implied = vec![TxnId(3)];
+        group.bench_with_input(BenchmarkId::new("txns", n), &n, |b, _| {
+            b.iter(|| eq_estimate(black_box(&g), TxnId(2), black_box(&implied)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_deadlock_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("deadlock_prediction");
+    for &n in &[8u64, 32, 128] {
+        let g = build_wtpg(n);
+        group.bench_with_input(BenchmarkId::new("would_deadlock", n), &n, |b, _| {
+            b.iter(|| g.would_deadlock(black_box(TxnId(n)), black_box(TxnId(1))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_critical_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wtpg_critical_path");
+    for &n in &[8u64, 32, 128] {
+        let g = build_wtpg(n);
+        group.bench_with_input(BenchmarkId::new("txns", n), &n, |b, _| {
+            b.iter(|| g.critical_path())
+        });
+    }
+    group.finish();
+}
+
+fn bench_chain_components(c: &mut Criterion) {
+    let mut group = c.benchmark_group("chain_components");
+    for &n in &[8u64, 32, 128] {
+        let g = build_wtpg(n);
+        group.bench_with_input(BenchmarkId::new("txns", n), &n, |b, _| {
+            b.iter(|| wtpg_core::chain::chain_components(black_box(&g)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_eq,
+    bench_deadlock_prediction,
+    bench_critical_path,
+    bench_chain_components
+);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! End-to-end simulator benchmarks: wall-clock cost of simulating 100
+//! seconds of the Experiment-1 machine under each scheduler. This is what
+//! bounds the cost of regenerating the paper's figures.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wtpg_sim::config::SimParams;
+use wtpg_sim::machine::Machine;
+use wtpg_sim::sched_kind::SchedKind;
+use wtpg_workload::Experiment;
+
+fn bench_machine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_100s_exp1");
+    group.sample_size(10);
+    for kind in SchedKind::MAIN_FIVE {
+        group.bench_with_input(
+            BenchmarkId::new("scheduler", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let params = SimParams {
+                        sim_length_ms: 100_000,
+                        ..SimParams::paper_defaults()
+                    };
+                    let exp = Experiment::exp1();
+                    let mut m = Machine::new(params.clone(), kind.build(&params), exp.workload(1));
+                    m.run(0.6)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hot_set(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_100s_hotset");
+    group.sample_size(10);
+    for kind in [SchedKind::KWtpg, SchedKind::Chain] {
+        group.bench_with_input(
+            BenchmarkId::new("scheduler", format!("{kind:?}")),
+            &kind,
+            |b, &kind| {
+                b.iter(|| {
+                    let params = SimParams {
+                        sim_length_ms: 100_000,
+                        ..SimParams::paper_defaults()
+                    };
+                    let exp = Experiment::exp2(4);
+                    let mut m = Machine::new(params.clone(), kind.build(&params), exp.workload(1));
+                    m.run(0.8)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_machine, bench_hot_set);
+criterion_main!(benches);

@@ -1,0 +1,259 @@
+//! Ablation studies of the design choices DESIGN.md calls out — beyond the
+//! paper's own figures:
+//!
+//! * **K** ([`ablate_k`]) — the K-conflict bound trades admission generosity
+//!   against per-request `E(q)` cost (paper §3.3 fixes K = 2 without a
+//!   sweep).
+//! * **keeptime** ([`ablate_keeptime`]) — §3.4's control saving: how much
+//!   throughput does reusing stale `W`/`E` values cost, and how much control
+//!   work does it save?
+//! * **retry delay** ([`ablate_retry`]) — the paper's "fixed delay" for
+//!   resubmissions, unspecified in the text.
+//! * **placement** ([`ablate_placement`]) — modulo range placement (the
+//!   paper's setting) vs fully declustered partitions: the
+//!   intra-transaction-parallelism alternative §4.3 sketches, which buys
+//!   useful utilisation at a message cost the model does not charge.
+
+use serde::{Deserialize, Serialize};
+use wtpg_core::partition::Placement;
+use wtpg_sim::config::SimParams;
+use wtpg_sim::metrics::RunReport;
+use wtpg_sim::runner::{max_tps, run_once, tps_at_rt, LambdaPoint, SweepResult};
+use wtpg_sim::sched_kind::SchedKind;
+use wtpg_workload::{Experiment, PatternWorkload};
+
+use crate::replicate::RunOptions;
+
+/// One ablation cell: a labelled configuration and its summary numbers.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct AblationCell {
+    /// The varied parameter's value, as a label.
+    pub setting: String,
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Throughput at RT = 70 s (or max observed as a lower bound).
+    pub tps_at_rt70: f64,
+    /// Control operations per committed transaction (dd + chain + E(q)).
+    pub control_ops_per_txn: f64,
+    /// Mean DN utilisation at the sweep point closest to RT = 70 s.
+    pub dn_utilization: f64,
+}
+
+fn sweep_with<F>(
+    opts: &RunOptions,
+    kind: SchedKind,
+    lambdas: &[f64],
+    make_workload: &dyn Fn(u64) -> PatternWorkload,
+    tweak: F,
+) -> SweepResult
+where
+    F: Fn(&mut SimParams),
+{
+    let mut points = Vec::with_capacity(lambdas.len());
+    for &lambda in lambdas {
+        let mut params = opts.params();
+        tweak(&mut params);
+        let report = run_once(&params, kind, make_workload, lambda);
+        points.push(LambdaPoint {
+            lambda_tps: lambda,
+            report,
+        });
+    }
+    let mut params = opts.params();
+    tweak(&mut params);
+    SweepResult {
+        scheduler: kind.label(&params),
+        points,
+    }
+}
+
+fn summarize(setting: String, sweep: &SweepResult) -> AblationCell {
+    let tps = tps_at_rt(sweep, 70_000.0).unwrap_or_else(|| max_tps(sweep));
+    // Pick the point whose RT is closest to 70 s for the auxiliary metrics.
+    let closest: &RunReport = &sweep
+        .points
+        .iter()
+        .min_by(|a, b| {
+            let da = (a.report.mean_rt_ms - 70_000.0).abs();
+            let db = (b.report.mean_rt_ms - 70_000.0).abs();
+            da.partial_cmp(&db).unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .expect("sweep has points")
+        .report;
+    let control = closest.deadlock_tests + closest.chain_opts + closest.eq_evals;
+    AblationCell {
+        setting,
+        scheduler: sweep.scheduler.clone(),
+        tps_at_rt70: tps,
+        control_ops_per_txn: if closest.completed == 0 {
+            f64::NAN
+        } else {
+            control as f64 / closest.completed as f64
+        },
+        dn_utilization: closest.dn_utilization,
+    }
+}
+
+/// Sweeps the K-conflict bound on the Experiment-2 hot set (NumHots = 8).
+pub fn ablate_k(opts: &RunOptions) -> Vec<AblationCell> {
+    let exp = Experiment::exp2(8);
+    [1usize, 2, 4, 8]
+        .iter()
+        .map(|&k| {
+            let sweep = sweep_with(
+                opts,
+                SchedKind::KWtpg,
+                &exp.lambdas,
+                &|s| exp.workload(s),
+                |p| p.k = k,
+            );
+            summarize(format!("K={k}"), &sweep)
+        })
+        .collect()
+}
+
+/// Sweeps the control-saving period for CHAIN and K-WTPG on Experiment 1.
+pub fn ablate_keeptime(opts: &RunOptions) -> Vec<AblationCell> {
+    let exp = Experiment::exp1();
+    let mut out = Vec::new();
+    for kind in [SchedKind::Chain, SchedKind::KWtpg] {
+        for &keeptime in &[0u64, 1000, 5000, 20_000, 60_000] {
+            let sweep = sweep_with(opts, kind, &exp.lambdas, &|s| exp.workload(s), |p| {
+                p.keeptime_ms = keeptime
+            });
+            out.push(summarize(format!("keeptime={keeptime}ms"), &sweep));
+        }
+    }
+    out
+}
+
+/// Sweeps the resubmission delay on Experiment 1.
+pub fn ablate_retry(opts: &RunOptions) -> Vec<AblationCell> {
+    let exp = Experiment::exp1();
+    let mut out = Vec::new();
+    for kind in [
+        SchedKind::Chain,
+        SchedKind::KWtpg,
+        SchedKind::Asl,
+        SchedKind::C2pl,
+    ] {
+        for &delay in &[250u64, 1000, 4000] {
+            let sweep = sweep_with(opts, kind, &exp.lambdas, &|s| exp.workload(s), |p| {
+                p.retry_delay_ms = delay
+            });
+            out.push(summarize(format!("retry={delay}ms"), &sweep));
+        }
+    }
+    out
+}
+
+/// G-WTPG vs CHAIN vs K2 on the hot set (extension): does removing the
+/// chain-form constraint — keeping the *global* strategy — recover CHAIN's
+/// Figure-8 losses?
+pub fn ablate_gwtpg(opts: &RunOptions) -> Vec<AblationCell> {
+    let mut out = Vec::new();
+    for num_hots in [4u32, 8] {
+        let exp = Experiment::exp2(num_hots);
+        for kind in [SchedKind::Chain, SchedKind::GWtpg, SchedKind::KWtpg] {
+            let sweep = sweep_with(opts, kind, &exp.lambdas, &|s| exp.workload(s), |_| {});
+            out.push(summarize(format!("hots={num_hots}"), &sweep));
+        }
+    }
+    out
+}
+
+/// Modulo vs declustered placement on Pattern 1 (the §4.3 discussion):
+/// declustering buys intra-transaction parallelism and pushes useful
+/// utilisation far above the paper's ~64 % ceiling.
+pub fn ablate_placement(opts: &RunOptions) -> Vec<AblationCell> {
+    let exp = Experiment::exp1();
+    let mut out = Vec::new();
+    for kind in [SchedKind::KWtpg, SchedKind::C2pl, SchedKind::Nodc] {
+        for placement in [Placement::Modulo, Placement::Declustered] {
+            let sweep = sweep_with(
+                opts,
+                kind,
+                &exp.lambdas,
+                &|s| exp.workload(s).with_placement(placement),
+                |_| {},
+            );
+            out.push(summarize(format!("{placement:?}"), &sweep));
+        }
+    }
+    out
+}
+
+/// Renders ablation cells as a table.
+pub fn render_ablation(title: &str, cells: &[AblationCell]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(title.len()));
+    let _ = writeln!(
+        out,
+        "{:>18} {:>12} {:>14} {:>18} {:>10}",
+        "setting", "scheduler", "TPS@RT70", "control-ops/txn", "DN util"
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:>18} {:>12} {:>14.3} {:>18.1} {:>9.0}%",
+            c.setting,
+            c.scheduler,
+            c.tps_at_rt70,
+            c.control_ops_per_txn,
+            c.dn_utilization * 100.0
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> RunOptions {
+        RunOptions {
+            sim_length_ms: 60_000,
+            replications: 1,
+            seed: 3,
+        }
+    }
+
+    #[test]
+    fn k_ablation_produces_a_cell_per_k() {
+        let cells = ablate_k(&tiny());
+        assert_eq!(cells.len(), 4);
+        assert!(cells.iter().all(|c| c.tps_at_rt70 > 0.0));
+    }
+
+    #[test]
+    fn placement_ablation_shows_declustering_helps_nodc() {
+        let cells = ablate_placement(&tiny());
+        let get = |sched: &str, setting: &str| {
+            cells
+                .iter()
+                .find(|c| c.scheduler == sched && c.setting == setting)
+                .unwrap()
+                .tps_at_rt70
+        };
+        // Without data contention, intra-transaction parallelism can only
+        // help (same aggregate work, shorter per-transaction makespan).
+        assert!(get("NODC", "Declustered") >= 0.8 * get("NODC", "Modulo"));
+    }
+
+    #[test]
+    fn render_is_complete() {
+        let cells = vec![AblationCell {
+            setting: "K=2".into(),
+            scheduler: "K2".into(),
+            tps_at_rt70: 0.5,
+            control_ops_per_txn: 3.2,
+            dn_utilization: 0.61,
+        }];
+        let s = render_ablation("T", &cells);
+        assert!(s.contains("K=2"));
+        assert!(s.contains("0.500"));
+        assert!(s.contains("61%"));
+    }
+}

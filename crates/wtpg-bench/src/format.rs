@@ -1,0 +1,114 @@
+//! Plain-text rendering of figure series, in the spirit of the paper's
+//! plots: one row per x-value, one column per scheduler.
+
+use wtpg_sim::runner::SweepResult;
+
+/// Renders a λ-indexed table of one metric across sweeps.
+pub fn render_lambda_table(
+    title: &str,
+    metric_name: &str,
+    sweeps: &[SweepResult],
+    metric: impl Fn(&wtpg_sim::metrics::RunReport) -> f64,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(title.len()));
+    let _ = write!(out, "{:>8}", "λ (TPS)");
+    for s in sweeps {
+        let _ = write!(out, "{:>12}", s.scheduler);
+    }
+    let _ = writeln!(out, "    [{metric_name}]");
+    if let Some(first) = sweeps.first() {
+        for (i, p) in first.points.iter().enumerate() {
+            let _ = write!(out, "{:>8.2}", p.lambda_tps);
+            for s in sweeps {
+                let v = metric(&s.points[i].report);
+                if v.is_finite() {
+                    let _ = write!(out, "{v:>12.3}");
+                } else {
+                    let _ = write!(out, "{:>12}", "-");
+                }
+            }
+            let _ = writeln!(out);
+        }
+    }
+    out
+}
+
+/// Renders a generic keyed table: one row per key, one column per label.
+pub fn render_keyed_table(
+    title: &str,
+    key_name: &str,
+    labels: &[String],
+    rows: &[(String, Vec<f64>)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(title.len()));
+    let _ = write!(out, "{key_name:>10}");
+    for l in labels {
+        let _ = write!(out, "{l:>12}");
+    }
+    let _ = writeln!(out);
+    for (key, vals) in rows {
+        let _ = write!(out, "{key:>10}");
+        for v in vals {
+            if v.is_finite() {
+                let _ = write!(out, "{v:>12.3}");
+            } else {
+                let _ = write!(out, "{:>12}", "-");
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtpg_core::time::Tick;
+    use wtpg_sim::metrics::Metrics;
+    use wtpg_sim::runner::LambdaPoint;
+
+    #[test]
+    fn lambda_table_renders_all_columns() {
+        let mut m = Metrics::new(1);
+        m.complete(Tick(0), Tick(5000));
+        let report = m.report(1000);
+        let sweeps = vec![
+            SweepResult {
+                scheduler: "CHAIN".into(),
+                points: vec![LambdaPoint {
+                    lambda_tps: 0.5,
+                    report: report.clone(),
+                }],
+            },
+            SweepResult {
+                scheduler: "ASL".into(),
+                points: vec![LambdaPoint {
+                    lambda_tps: 0.5,
+                    report,
+                }],
+            },
+        ];
+        let t = render_lambda_table("Figure X", "RT", &sweeps, |r| r.mean_rt_ms / 1000.0);
+        assert!(t.contains("CHAIN"));
+        assert!(t.contains("ASL"));
+        assert!(t.contains("0.50"));
+        assert!(t.contains("5.000"));
+    }
+
+    #[test]
+    fn keyed_table_renders_nan_as_dash() {
+        let t = render_keyed_table(
+            "T",
+            "hots",
+            &["A".to_string()],
+            &[("4".to_string(), vec![f64::NAN])],
+        );
+        assert!(t.contains('-'));
+    }
+}

@@ -1,0 +1,125 @@
+//! The mixed-workload extension study: BATs and short debit-credit-style
+//! transactions sharing the hot set, per-class response times per scheduler.
+//!
+//! The paper's conclusion flags this as open: *"In mixed transaction
+//! processing, different schedulers are necessary for different classes of
+//! jobs."* This driver quantifies the interference the WTPG schedulers
+//! cause/avoid for the short class — the on-line service that must not be
+//! starved by the batch window.
+
+use serde::{Deserialize, Serialize};
+use wtpg_sim::machine::Machine;
+use wtpg_sim::sched_kind::SchedKind;
+use wtpg_workload::MixedWorkload;
+
+use crate::replicate::RunOptions;
+
+/// Per-class outcome of one mixed run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct MixedCell {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Short-transaction fraction of arrivals.
+    pub short_fraction: f64,
+    /// Committed short transactions.
+    pub short_completed: u64,
+    /// Mean response time of short transactions, seconds.
+    pub short_rt_secs: f64,
+    /// Committed BATs.
+    pub bat_completed: u64,
+    /// Mean response time of BATs, seconds.
+    pub bat_rt_secs: f64,
+}
+
+/// Runs the mixed study: 50 % short transactions over the NumHots = 8
+/// hot-set database, one cell per scheduler.
+pub fn run_mixed(opts: &RunOptions, lambda: f64) -> Vec<MixedCell> {
+    let short_fraction = 0.5;
+    let mut out = Vec::new();
+    for kind in [
+        SchedKind::KWtpg,
+        SchedKind::Chain,
+        SchedKind::Asl,
+        SchedKind::C2pl,
+        SchedKind::Nodc,
+    ] {
+        let params = opts.params();
+        let workload = MixedWorkload::new(8, short_fraction, params.seed);
+        let mut m = Machine::new(params.clone(), kind.build(&params), workload);
+        m.run(lambda);
+        let (mut s_n, mut s_rt, mut b_n, mut b_rt) = (0u64, 0.0f64, 0u64, 0.0f64);
+        for c in m.completions() {
+            let rt = (c.committed - c.created) as f64 / 1000.0;
+            if MixedWorkload::is_short(c.steps) {
+                s_n += 1;
+                s_rt += rt;
+            } else {
+                b_n += 1;
+                b_rt += rt;
+            }
+        }
+        out.push(MixedCell {
+            scheduler: kind.label(&params),
+            short_fraction,
+            short_completed: s_n,
+            short_rt_secs: if s_n > 0 { s_rt / s_n as f64 } else { f64::NAN },
+            bat_completed: b_n,
+            bat_rt_secs: if b_n > 0 { b_rt / b_n as f64 } else { f64::NAN },
+        });
+    }
+    out
+}
+
+/// Renders the mixed study as a table.
+pub fn render_mixed(cells: &[MixedCell], lambda: f64) -> String {
+    use std::fmt::Write as _;
+    let title =
+        format!("Extension: mixed workload (50 % short txns, NumHots = 8, λ = {lambda} TPS)");
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(title.len()));
+    let _ = writeln!(
+        out,
+        "{:>10} {:>12} {:>14} {:>12} {:>14}",
+        "scheduler", "short done", "short RT (s)", "BATs done", "BAT RT (s)"
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>12} {:>14.2} {:>12} {:>14.2}",
+            c.scheduler, c.short_completed, c.short_rt_secs, c.bat_completed, c.bat_rt_secs
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_study_produces_both_classes() {
+        let opts = RunOptions {
+            sim_length_ms: 120_000,
+            replications: 1,
+            seed: 5,
+        };
+        let cells = run_mixed(&opts, 0.8);
+        assert_eq!(cells.len(), 5);
+        for c in &cells {
+            assert!(c.short_completed > 0, "{}: no short txns", c.scheduler);
+            assert!(c.bat_completed > 0, "{}: no BATs", c.scheduler);
+            // Short transactions must, on average, finish faster than BATs.
+            assert!(
+                c.short_rt_secs < c.bat_rt_secs,
+                "{}: short {} ≥ bat {}",
+                c.scheduler,
+                c.short_rt_secs,
+                c.bat_rt_secs
+            );
+        }
+        let render = render_mixed(&cells, 0.8);
+        assert!(render.contains("K2"));
+        assert!(render.contains("NODC"));
+    }
+}

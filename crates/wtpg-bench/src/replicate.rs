@@ -1,0 +1,147 @@
+//! Replication: run each (scheduler, λ) point under several seeds and
+//! average the metrics, smoothing the curves the paper plots.
+
+use serde::{Deserialize, Serialize};
+use wtpg_sim::config::SimParams;
+use wtpg_sim::metrics::RunReport;
+use wtpg_sim::runner::{run_once, LambdaPoint, SweepResult};
+use wtpg_sim::sched_kind::SchedKind;
+use wtpg_sim::workload::Workload;
+
+/// How a driver should run its simulations.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RunOptions {
+    /// Simulated milliseconds per run (paper: 2,000,000).
+    pub sim_length_ms: u64,
+    /// Number of seeds averaged per point.
+    pub replications: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl RunOptions {
+    /// Full paper-scale runs: 2,000,000 ms, 3 replications.
+    pub fn full() -> RunOptions {
+        RunOptions {
+            sim_length_ms: 2_000_000,
+            replications: 3,
+            seed: 42,
+        }
+    }
+
+    /// Quick mode for smoke tests and CI: 300,000 ms, 1 replication.
+    pub fn quick() -> RunOptions {
+        RunOptions {
+            sim_length_ms: 300_000,
+            replications: 1,
+            seed: 42,
+        }
+    }
+
+    /// Applies the options to a parameter set.
+    pub fn params(&self) -> SimParams {
+        SimParams {
+            sim_length_ms: self.sim_length_ms,
+            seed: self.seed,
+            ..SimParams::paper_defaults()
+        }
+    }
+}
+
+/// Element-wise average of reports (means of means; counters averaged).
+fn average(reports: &[RunReport]) -> RunReport {
+    assert!(!reports.is_empty());
+    let n = reports.len() as f64;
+    let fin = |f: fn(&RunReport) -> f64| -> f64 {
+        let vals: Vec<f64> = reports.iter().map(f).filter(|v| v.is_finite()).collect();
+        if vals.is_empty() {
+            f64::NAN
+        } else {
+            vals.iter().sum::<f64>() / vals.len() as f64
+        }
+    };
+    RunReport {
+        completed: (reports.iter().map(|r| r.completed).sum::<u64>() as f64 / n).round() as u64,
+        mean_rt_ms: fin(|r| r.mean_rt_ms),
+        p50_rt_ms: fin(|r| r.p50_rt_ms),
+        p95_rt_ms: fin(|r| r.p95_rt_ms),
+        throughput_tps: fin(|r| r.throughput_tps),
+        dn_utilization: fin(|r| r.dn_utilization),
+        cn_utilization: fin(|r| r.cn_utilization),
+        arrivals: (reports.iter().map(|r| r.arrivals).sum::<u64>() as f64 / n).round() as u64,
+        rejections: (reports.iter().map(|r| r.rejections).sum::<u64>() as f64 / n).round() as u64,
+        blocks: (reports.iter().map(|r| r.blocks).sum::<u64>() as f64 / n).round() as u64,
+        delays: (reports.iter().map(|r| r.delays).sum::<u64>() as f64 / n).round() as u64,
+        grants: (reports.iter().map(|r| r.grants).sum::<u64>() as f64 / n).round() as u64,
+        deadlock_tests: (reports.iter().map(|r| r.deadlock_tests).sum::<u64>() as f64 / n).round()
+            as u64,
+        chain_opts: (reports.iter().map(|r| r.chain_opts).sum::<u64>() as f64 / n).round() as u64,
+        eq_evals: (reports.iter().map(|r| r.eq_evals).sum::<u64>() as f64 / n).round() as u64,
+    }
+}
+
+/// A λ sweep with per-point replication averaging.
+pub fn averaged_sweep<W, F>(
+    opts: &RunOptions,
+    kind: SchedKind,
+    make_workload: &F,
+    lambdas: &[f64],
+) -> SweepResult
+where
+    W: Workload,
+    F: Fn(u64) -> W,
+{
+    let mut points = Vec::with_capacity(lambdas.len());
+    for &lambda in lambdas {
+        let reports: Vec<RunReport> = (0..opts.replications)
+            .map(|rep| {
+                let params = SimParams {
+                    seed: opts.seed + rep * 7919,
+                    ..opts.params()
+                };
+                run_once(&params, kind, make_workload, lambda)
+            })
+            .collect();
+        points.push(LambdaPoint {
+            lambda_tps: lambda,
+            report: average(&reports),
+        });
+    }
+    SweepResult {
+        scheduler: kind.label(&opts.params()),
+        points,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtpg_workload::Experiment;
+
+    #[test]
+    fn averaging_reduces_to_identity_for_one_replication() {
+        let opts = RunOptions {
+            sim_length_ms: 50_000,
+            replications: 1,
+            seed: 1,
+        };
+        let exp = Experiment::exp1();
+        let sw = averaged_sweep(&opts, SchedKind::Nodc, &|s| exp.workload(s), &[0.3]);
+        assert_eq!(sw.points.len(), 1);
+        assert!(sw.points[0].report.completed > 0);
+    }
+
+    #[test]
+    fn replications_average_smoothly() {
+        let opts = RunOptions {
+            sim_length_ms: 50_000,
+            replications: 3,
+            seed: 1,
+        };
+        let exp = Experiment::exp1();
+        let sw = averaged_sweep(&opts, SchedKind::Asl, &|s| exp.workload(s), &[0.3]);
+        let r = &sw.points[0].report;
+        assert!(r.throughput_tps > 0.0);
+        assert!(r.mean_rt_ms.is_finite());
+    }
+}

@@ -1,0 +1,140 @@
+//! Wait-time breakdown: where does a BAT's response time go?
+//!
+//! The paper's §4.2–4.3 narrative is about *blocking time* ("C2PL is very
+//! sensitive to the blocking time"). This driver decomposes each committed
+//! transaction's response time into data-node **service** (bulk work
+//! actually executed, 1 ms per work unit at ObjTime = 1 s) and **waiting**
+//! (everything else: admission retries, blocked/delayed lock requests,
+//! round-robin queueing, control-node time), and reports the per-scheduler
+//! means on the Experiment-3 workload whose longer blocking makes the
+//! differences starkest.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use wtpg_core::history::Event as HEvent;
+use wtpg_core::txn::TxnId;
+use wtpg_sim::machine::Machine;
+use wtpg_sim::sched_kind::SchedKind;
+use wtpg_workload::Experiment;
+
+use crate::replicate::RunOptions;
+
+/// Per-scheduler wait decomposition.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WaitCell {
+    /// Scheduler label.
+    pub scheduler: String,
+    /// Committed transactions analysed.
+    pub completed: u64,
+    /// Mean response time, seconds.
+    pub mean_rt_secs: f64,
+    /// Mean DN service time, seconds.
+    pub mean_service_secs: f64,
+    /// Mean waiting time (RT − service), seconds.
+    pub mean_wait_secs: f64,
+    /// Waiting share of the response time.
+    pub wait_fraction: f64,
+}
+
+/// Runs the Experiment-3 workload at `lambda` under each contender and
+/// decomposes response times.
+pub fn run_waits(opts: &RunOptions, lambda: f64) -> Vec<WaitCell> {
+    let exp = Experiment::exp3();
+    let mut out = Vec::new();
+    for kind in SchedKind::CONTENDERS {
+        let params = opts.params();
+        let mut m = Machine::new(params.clone(), kind.build(&params), exp.workload(params.seed));
+        m.record_history();
+        m.run(lambda);
+        // Per-transaction service time from the progress events.
+        let mut service: BTreeMap<TxnId, u64> = BTreeMap::new();
+        if let Some(h) = m.history() {
+            for &(_, e) in h.events() {
+                if let HEvent::Progress { txn, amount } = e {
+                    *service.entry(txn).or_default() += params.dn_time(amount.units());
+                }
+            }
+        }
+        let mut n = 0u64;
+        let (mut rt_sum, mut sv_sum) = (0u64, 0u64);
+        for c in m.completions() {
+            n += 1;
+            rt_sum += c.committed - c.created;
+            sv_sum += service.get(&c.txn).copied().unwrap_or(0);
+        }
+        let mean_rt = if n > 0 { rt_sum as f64 / n as f64 / 1000.0 } else { f64::NAN };
+        let mean_sv = if n > 0 { sv_sum as f64 / n as f64 / 1000.0 } else { f64::NAN };
+        out.push(WaitCell {
+            scheduler: kind.label(&params),
+            completed: n,
+            mean_rt_secs: mean_rt,
+            mean_service_secs: mean_sv,
+            mean_wait_secs: mean_rt - mean_sv,
+            wait_fraction: if mean_rt > 0.0 { (mean_rt - mean_sv) / mean_rt } else { f64::NAN },
+        });
+    }
+    out
+}
+
+/// Renders the wait table.
+pub fn render_waits(cells: &[WaitCell], lambda: f64) -> String {
+    use std::fmt::Write as _;
+    let title =
+        format!("Wait breakdown on Pattern 3 (Experiment 3 workload), λ = {lambda} TPS");
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "{}", "-".repeat(title.len()));
+    let _ = writeln!(
+        out,
+        "{:>10} {:>10} {:>10} {:>12} {:>10} {:>10}",
+        "scheduler", "committed", "RT (s)", "service (s)", "wait (s)", "wait %"
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:>10} {:>10} {:>10.2} {:>12.2} {:>10.2} {:>9.0}%",
+            c.scheduler,
+            c.completed,
+            c.mean_rt_secs,
+            c.mean_service_secs,
+            c.mean_wait_secs,
+            c.wait_fraction * 100.0
+        );
+    }
+    out.push_str(
+        "\nEvery transaction needs exactly 7 s of DN service (4 + 1 + 2 objects);\n\
+         everything above that is waiting — blocking, delays, retries, queueing.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decomposition_is_sane() {
+        let opts = RunOptions {
+            sim_length_ms: 120_000,
+            replications: 1,
+            seed: 21,
+        };
+        let cells = run_waits(&opts, 0.5);
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            assert!(c.completed > 0, "{}: nothing committed", c.scheduler);
+            // Pattern 3 costs exactly 7 objects = 7 s of service.
+            assert!(
+                (c.mean_service_secs - 7.0).abs() < 0.05,
+                "{}: service {}",
+                c.scheduler,
+                c.mean_service_secs
+            );
+            assert!(c.mean_rt_secs >= c.mean_service_secs);
+            assert!((0.0..=1.0).contains(&c.wait_fraction));
+        }
+        let rendered = render_waits(&cells, 0.5);
+        assert!(rendered.contains("wait %"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Smoke tests of the figure drivers at tiny scale: structure, labels, and
+//! the render paths — the full-scale numbers live in EXPERIMENTS.md.
+
+use wtpg_bench::drivers;
+use wtpg_bench::replicate::RunOptions;
+
+fn tiny() -> RunOptions {
+    RunOptions {
+        sim_length_ms: 40_000,
+        replications: 1,
+        seed: 9,
+    }
+}
+
+#[test]
+fn table1_flags_every_row() {
+    let t = drivers::table1(&tiny());
+    assert!(t.contains("NumNodes"));
+    assert!(t.contains("keeptime"));
+    assert!(t.contains("stated"));
+    assert!(t.contains("assumed"));
+}
+
+#[test]
+fn fig6_has_all_five_schedulers_and_lambdas() {
+    let f = drivers::fig6(&tiny());
+    assert_eq!(f.sweeps.len(), 5);
+    let labels: Vec<&str> = f.sweeps.iter().map(|s| s.scheduler.as_str()).collect();
+    for l in ["ASL", "CHAIN", "K2", "C2PL", "NODC"] {
+        assert!(labels.contains(&l), "{l} missing from {labels:?}");
+    }
+    let n = f.sweeps[0].points.len();
+    assert!(f.sweeps.iter().all(|s| s.points.len() == n));
+    let rendered = drivers::render_fig6(&f);
+    assert!(rendered.contains("Figure 6"));
+    let rendered7 = drivers::render_fig7(&f);
+    assert!(rendered7.contains("useful utilisation"));
+}
+
+#[test]
+fn fig8_rows_cover_the_hot_set_sizes() {
+    let rows = drivers::fig8(&tiny());
+    let hots: Vec<u32> = rows.iter().map(|r| r.num_hots).collect();
+    assert_eq!(hots, vec![4, 8, 16, 32]);
+    for r in &rows {
+        assert_eq!(r.tps.len(), 4);
+        assert!(r.tps.iter().all(|&(_, v)| v >= 0.0));
+    }
+    let rendered = drivers::render_fig8(&rows);
+    assert!(rendered.contains("NumHots"));
+}
+
+#[test]
+fn fig10_rows_cover_the_sigmas() {
+    let rows = drivers::fig10(&tiny());
+    assert_eq!(rows.len(), 5);
+    assert_eq!(rows[0].sigma, 0.0);
+    assert_eq!(rows[4].sigma, 1.0);
+    for r in &rows {
+        // CHAIN, K2, CHAIN-C2PL, K2-C2PL, C2PL.
+        assert_eq!(r.tps.len(), 5);
+    }
+    let rendered = drivers::render_fig10(&rows);
+    assert!(rendered.contains("CHAIN-C2PL"));
+}
+
+#[test]
+fn fig9_reports_tps_at_rt70() {
+    let f = drivers::fig9(&tiny());
+    assert_eq!(f.sweeps.len(), 4);
+    assert_eq!(f.tps_at_rt70.len(), 4);
+    let rendered = drivers::render_fig9(&f);
+    assert!(rendered.contains("TPS @ RT = 70 s"));
+}

@@ -1,0 +1,96 @@
+//! `wtpg` — command-line companion to the reproduction.
+//!
+//! ```text
+//! wtpg plan     <workload.txt | ->      analyse a workload: WTPG, chain
+//!                                       components, optimal/heuristic W
+//! wtpg dot      <workload.txt | ->      emit the WTPG as Graphviz DOT
+//! wtpg trace    <workload.txt | ->      drive the workload through a
+//!               [--scheduler NAME]      scheduler and print every decision
+//! wtpg simulate [--pattern 1|2|3]       run the timed machine and print
+//!               [--scheduler NAME]      the run report
+//!               [--lambda F] [--sim-ms N] [--hots N] [--sigma F] [--seed N]
+//! ```
+//!
+//! Workloads use the paper's notation, one transaction per line:
+//!
+//! ```text
+//! T1: r(A:1) -> r(B:3) -> w(A:1)
+//! T2: r(C:1) -> w(A:1)
+//! ```
+
+use std::io::Read as _;
+
+mod plan;
+mod simulate;
+mod trace;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("plan") => plan::run(&args[1..], false),
+        Some("dot") => plan::run(&args[1..], true),
+        Some("trace") => trace::run(&args[1..]),
+        Some("simulate") => simulate::run(&args[1..]),
+        Some("--help") | Some("-h") | None => {
+            print_help();
+            Ok(())
+        }
+        Some(other) => {
+            eprintln!("unknown command {other:?}\n");
+            print_help();
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = code {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn print_help() {
+    eprintln!(
+        "wtpg — bulk-access-transaction scheduling (ICDE 1990 reproduction)\n\
+         \n\
+         usage:\n\
+           wtpg plan     <workload.txt | ->                analyse + optimise\n\
+           wtpg dot      <workload.txt | ->                Graphviz output\n\
+           wtpg trace    <workload.txt | -> [--scheduler chain|k2|gwtpg|asl|c2pl]\n\
+           wtpg simulate [--pattern 1|2|3] [--scheduler S] [--lambda F]\n\
+                         [--sim-ms N] [--hots N] [--sigma F] [--seed N]\n\
+         \n\
+         workload lines use the paper's notation: T1: r(A:1) -> w(B:0.2)"
+    );
+}
+
+/// Reads a workload from a file path or stdin (`-`).
+pub(crate) fn read_workload(path: Option<&String>) -> Result<Vec<wtpg_core::txn::TxnSpec>, String> {
+    let text = match path.map(String::as_str) {
+        None | Some("-") => {
+            let mut buf = String::new();
+            std::io::stdin()
+                .read_to_string(&mut buf)
+                .map_err(|e| format!("cannot read stdin: {e}"))?;
+            buf
+        }
+        Some(p) => std::fs::read_to_string(p).map_err(|e| format!("cannot read {p}: {e}"))?,
+    };
+    wtpg_workload::notation::parse_workload(&text).map_err(|e| e.to_string())
+}
+
+/// Builds a scheduler by CLI name.
+pub(crate) fn scheduler_by_name(
+    name: &str,
+) -> Result<Box<dyn wtpg_core::sched::Scheduler>, String> {
+    use wtpg_core::sched::*;
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "chain" => Box::new(ChainScheduler::new(5000)),
+        "k2" | "kwtpg" | "k-wtpg" => Box::new(KWtpgScheduler::new(2, 5000)),
+        "gwtpg" | "g-wtpg" => Box::new(GWtpgScheduler::new(5000)),
+        "asl" => Box::new(AslScheduler::new()),
+        "c2pl" => Box::new(C2plScheduler::new()),
+        "chain-c2pl" => Box::new(C2plScheduler::chain_c2pl()),
+        "k2-c2pl" => Box::new(C2plScheduler::k_c2pl(2)),
+        "nodc" => Box::new(NodcScheduler::new()),
+        other => return Err(format!("unknown scheduler {other:?}")),
+    })
+}

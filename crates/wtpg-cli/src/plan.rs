@@ -1,0 +1,77 @@
+//! `wtpg plan` / `wtpg dot`: static analysis of a declared workload.
+
+use wtpg_core::chain::{chain_components, threshold};
+use wtpg_core::planner;
+use wtpg_core::work::Work;
+use wtpg_core::wtpg::{Dir, Wtpg};
+
+pub(crate) fn run(args: &[String], dot_only: bool) -> Result<(), String> {
+    let specs = crate::read_workload(args.first())?;
+    let wtpg = Wtpg::from_declared(&specs).map_err(|e| e.to_string())?;
+    if dot_only {
+        print!("{}", wtpg.to_dot());
+        return Ok(());
+    }
+    println!("== workload ==");
+    for s in &specs {
+        println!("  {s}");
+    }
+    println!("\n== WTPG ==");
+    println!(
+        "  {} transactions, {} conflicting edges",
+        wtpg.len(),
+        wtpg.conflict_edges().len()
+    );
+    for (a, b, w_ab, w_ba) in wtpg.conflict_edges() {
+        println!("  ({a}, {b}): w({a}->{b}) = {w_ab}, w({b}->{a}) = {w_ba}");
+    }
+    match chain_components(&wtpg) {
+        Ok(comps) => {
+            println!("\n== chain-form: YES ({} component(s)) ==", comps.len());
+            let mut total = Work::ZERO;
+            for comp in &comps {
+                let names: Vec<String> = comp.nodes.iter().map(|t| t.to_string()).collect();
+                let sol = threshold::solve(&comp.problem);
+                total = total.max(Work::from_units(sol.critical_path));
+                println!(
+                    "  [{}]: optimal critical path {}",
+                    names.join(" - "),
+                    Work::from_units(sol.critical_path)
+                );
+                for (i, dir) in sol.orient.iter().enumerate() {
+                    let (x, y) = (comp.nodes[i], comp.nodes[i + 1]);
+                    match dir {
+                        Dir::Down => println!("    {x} -> {y}"),
+                        Dir::Up => println!("    {y} -> {x}"),
+                    }
+                }
+            }
+            println!("  exact optimum (CHAIN's W): critical path {total}");
+        }
+        Err(why) => {
+            println!("\n== chain-form: NO ({why}) ==");
+        }
+    }
+    // General planner always applies.
+    let plan = planner::local_search(&wtpg);
+    println!(
+        "\n== heuristic plan (greedy + local search) ==\n  critical path {}",
+        plan.critical_path
+    );
+    for &(a, b) in &plan.order {
+        println!("  {a} -> {b}");
+    }
+    if wtpg.conflict_edges().len() <= 16 {
+        let oracle = planner::exhaustive(&wtpg);
+        println!(
+            "  exhaustive optimum: {} ({})",
+            oracle.critical_path,
+            if oracle.critical_path == plan.critical_path {
+                "heuristic is optimal here"
+            } else {
+                "heuristic is suboptimal here"
+            }
+        );
+    }
+    Ok(())
+}

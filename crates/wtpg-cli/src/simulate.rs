@@ -1,0 +1,90 @@
+//! `wtpg simulate`: run the timed shared-nothing machine on one of the
+//! paper's patterns and print the run report.
+
+use wtpg_sim::config::SimParams;
+use wtpg_sim::machine::Machine;
+use wtpg_sim::sched_kind::SchedKind;
+use wtpg_workload::{ErrorModel, Pattern, PatternWorkload};
+
+pub(crate) fn run(args: &[String]) -> Result<(), String> {
+    let mut pattern = 1u32;
+    let mut sched = "k2".to_string();
+    let mut lambda = 0.5f64;
+    let mut sim_ms = 300_000u64;
+    let mut hots = 8u32;
+    let mut sigma = 0.0f64;
+    let mut seed = 42u64;
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| "missing option value".to_string())
+        };
+        match args[i].as_str() {
+            "--pattern" => pattern = take(&mut i)?.parse().map_err(|_| "bad --pattern")?,
+            "--scheduler" => sched = take(&mut i)?,
+            "--lambda" => lambda = take(&mut i)?.parse().map_err(|_| "bad --lambda")?,
+            "--sim-ms" => sim_ms = take(&mut i)?.parse().map_err(|_| "bad --sim-ms")?,
+            "--hots" => hots = take(&mut i)?.parse().map_err(|_| "bad --hots")?,
+            "--sigma" => sigma = take(&mut i)?.parse().map_err(|_| "bad --sigma")?,
+            "--seed" => seed = take(&mut i)?.parse().map_err(|_| "bad --seed")?,
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    let pattern = match pattern {
+        1 => Pattern::One,
+        2 => Pattern::Two { num_hots: hots },
+        3 => Pattern::Three { num_hots: hots },
+        other => return Err(format!("--pattern must be 1, 2 or 3, got {other}")),
+    };
+    let kind = match sched.to_ascii_lowercase().as_str() {
+        "chain" => SchedKind::Chain,
+        "k2" | "kwtpg" => SchedKind::KWtpg,
+        "gwtpg" | "g-wtpg" => SchedKind::GWtpg,
+        "asl" => SchedKind::Asl,
+        "c2pl" => SchedKind::C2pl,
+        "nodc" => SchedKind::Nodc,
+        "chain-c2pl" => SchedKind::ChainC2pl,
+        "k2-c2pl" => SchedKind::KC2pl,
+        other => return Err(format!("unknown scheduler {other:?}")),
+    };
+    let params = SimParams {
+        sim_length_ms: sim_ms,
+        seed,
+        ..SimParams::paper_defaults()
+    };
+    let workload = PatternWorkload::with_error(pattern, seed, ErrorModel::new(sigma));
+    let mut machine = Machine::new(params.clone(), kind.build(&params), workload);
+    let r = machine.run(lambda);
+    println!(
+        "pattern {} | scheduler {} | λ = {lambda} TPS | {} s simulated | σ = {sigma}",
+        pattern.label(),
+        kind.label(&params),
+        sim_ms / 1000
+    );
+    println!("  completed     : {}", r.completed);
+    println!(
+        "  mean RT       : {:.2} s  (p50 {:.2}, p95 {:.2})",
+        r.mean_rt_ms / 1000.0,
+        r.p50_rt_ms / 1000.0,
+        r.p95_rt_ms / 1000.0
+    );
+    println!("  throughput    : {:.3} TPS", r.throughput_tps);
+    println!(
+        "  DN utilisation: {:.0} %  CN: {:.1} %",
+        r.dn_utilization * 100.0,
+        r.cn_utilization * 100.0
+    );
+    println!(
+        "  arrivals {} | rejects {} | blocks {} | delays {} | grants {}",
+        r.arrivals, r.rejections, r.blocks, r.delays, r.grants
+    );
+    println!(
+        "  control: {} deadlock tests, {} W optimisations, {} E(q) evals",
+        r.deadlock_tests, r.chain_opts, r.eq_evals
+    );
+    Ok(())
+}

@@ -1,0 +1,124 @@
+//! End-to-end tests of the `wtpg` binary.
+
+use std::io::Write as _;
+use std::process::{Command, Stdio};
+
+const FIGURE1: &str =
+    "T1: r(A:1) -> r(B:3) -> w(A:1)\nT2: r(C:1) -> w(A:1)\nT3: w(C:1) -> r(D:3)\n";
+
+fn wtpg(args: &[&str], stdin: Option<&str>) -> (String, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_wtpg"));
+    cmd.args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("spawn wtpg");
+    if let Some(input) = stdin {
+        child
+            .stdin
+            .as_mut()
+            .expect("stdin piped")
+            .write_all(input.as_bytes())
+            .expect("write stdin");
+    }
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("wait wtpg");
+    (
+        String::from_utf8_lossy(&out.stdout).to_string(),
+        String::from_utf8_lossy(&out.stderr).to_string(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn plan_analyses_figure1() {
+    let (stdout, _, ok) = wtpg(&["plan", "-"], Some(FIGURE1));
+    assert!(ok);
+    assert!(stdout.contains("chain-form: YES"));
+    assert!(stdout.contains("optimal critical path 6"));
+    assert!(stdout.contains("T1 -> T2"));
+    assert!(stdout.contains("T3 -> T2"));
+    assert!(stdout.contains("heuristic is optimal here"));
+}
+
+#[test]
+fn dot_emits_graphviz() {
+    let (stdout, _, ok) = wtpg(&["dot", "-"], Some(FIGURE1));
+    assert!(ok);
+    assert!(stdout.starts_with("digraph wtpg"));
+    assert!(stdout.contains("style=dashed"));
+}
+
+#[test]
+fn trace_narrates_chain_decisions() {
+    let (stdout, _, ok) = wtpg(&["trace", "-", "--scheduler", "chain"], Some(FIGURE1));
+    assert!(ok);
+    assert!(stdout.contains("scheduler: CHAIN"));
+    // Example 3.3: T2's first step is delayed at least once.
+    assert!(stdout.contains("T2 step 0 r(P2:1) delayed"));
+    assert!(stdout.contains("all 3 transactions committed"));
+}
+
+#[test]
+fn trace_supports_every_scheduler_name() {
+    for name in [
+        "chain",
+        "k2",
+        "gwtpg",
+        "asl",
+        "c2pl",
+        "chain-c2pl",
+        "k2-c2pl",
+        "nodc",
+    ] {
+        let (stdout, stderr, ok) = wtpg(&["trace", "-", "--scheduler", name], Some(FIGURE1));
+        assert!(ok, "{name}: {stderr}");
+        assert!(stdout.contains("all 3 transactions committed"), "{name}");
+    }
+}
+
+#[test]
+fn simulate_prints_a_report() {
+    let (stdout, _, ok) = wtpg(
+        &[
+            "simulate",
+            "--pattern",
+            "2",
+            "--hots",
+            "4",
+            "--scheduler",
+            "k2",
+            "--lambda",
+            "0.5",
+            "--sim-ms",
+            "60000",
+        ],
+        None,
+    );
+    assert!(ok);
+    assert!(stdout.contains("Pattern2(hots=4)"));
+    assert!(stdout.contains("throughput"));
+    assert!(stdout.contains("E(q) evals"));
+}
+
+#[test]
+fn bad_input_fails_cleanly() {
+    let (_, stderr, ok) = wtpg(&["plan", "-"], Some("T1: fly(A:1)"));
+    assert!(!ok);
+    assert!(stderr.contains("error"));
+    let (_, stderr, ok) = wtpg(&["simulate", "--pattern", "9"], None);
+    assert!(!ok);
+    assert!(stderr.contains("pattern"));
+    let (_, stderr, ok) = wtpg(&["frobnicate"], None);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"));
+}
+
+#[test]
+fn help_lists_commands() {
+    let (_, stderr, ok) = wtpg(&["--help"], None);
+    assert!(ok);
+    for cmd in ["plan", "dot", "trace", "simulate"] {
+        assert!(stderr.contains(cmd));
+    }
+}

@@ -1,0 +1,99 @@
+//! Exhaustive chain optimiser — the test oracle.
+//!
+//! Enumerates every orientation of the free edges (`2^free`), evaluates each
+//! in `O(N)`, and keeps the first minimum in lexicographic order
+//! (`Down < Up`), which makes results deterministic for tie inspection.
+
+use crate::wtpg::Dir;
+
+use super::{ChainProblem, ChainSolution};
+
+/// Practical cap on free edges: `2^20` evaluations of small chains is still
+/// instant, anything beyond that is a misuse of the oracle.
+const MAX_FREE_EDGES: usize = 22;
+
+/// Finds the orientation with the minimal critical path by enumeration.
+///
+/// # Panics
+/// Panics if the problem has more than 22 free edges — use
+/// [`super::threshold::solve`] for real instances.
+pub fn solve(problem: &ChainProblem) -> ChainSolution {
+    let free: Vec<usize> = problem
+        .forced
+        .iter()
+        .enumerate()
+        .filter_map(|(i, f)| f.is_none().then_some(i))
+        .collect();
+    assert!(
+        free.len() <= MAX_FREE_EDGES,
+        "brute-force oracle limited to {MAX_FREE_EDGES} free edges, got {}",
+        free.len()
+    );
+    let mut orient = problem.default_orientation();
+    let mut best: Option<ChainSolution> = None;
+    for mask in 0u64..(1u64 << free.len()) {
+        for (bit, &e) in free.iter().enumerate() {
+            orient[e] = if mask >> bit & 1 == 0 {
+                Dir::Down
+            } else {
+                Dir::Up
+            };
+        }
+        let cp = problem.critical_path(&orient);
+        if best.as_ref().is_none_or(|b| cp < b.critical_path) {
+            best = Some(ChainSolution {
+                orient: orient.clone(),
+                critical_path: cp,
+            });
+        }
+    }
+    best.expect("at least one orientation exists")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_paper_figure2() {
+        // Figure 2 chain; optimum is W = {T1→T2, T3→T2} with length 6.
+        let p = ChainProblem::new(vec![5, 2, 4], vec![1, 4], vec![5, 2]);
+        let s = solve(&p);
+        assert_eq!(s.critical_path, 6);
+        assert_eq!(s.orient, vec![Dir::Down, Dir::Up]);
+    }
+
+    #[test]
+    fn respects_forced_edges() {
+        let mut p = ChainProblem::new(vec![5, 2, 4], vec![1, 4], vec![5, 2]);
+        // Force the first edge upward (T2→T1): best is then {T2→T1, T2→T3} = 7.
+        p.forced[0] = Some(Dir::Up);
+        let s = solve(&p);
+        assert_eq!(s.critical_path, 7);
+        assert_eq!(s.orient, vec![Dir::Up, Dir::Down]);
+    }
+
+    #[test]
+    fn fully_forced_problem_has_unique_answer() {
+        let p = ChainProblem::with_forced(
+            vec![5, 2, 4],
+            vec![1, 4],
+            vec![5, 2],
+            vec![Some(Dir::Down), Some(Dir::Down)],
+        );
+        let s = solve(&p);
+        assert_eq!(s.critical_path, 10);
+    }
+
+    #[test]
+    fn single_node() {
+        let p = ChainProblem::new(vec![3], vec![], vec![]);
+        assert_eq!(solve(&p).critical_path, 3);
+    }
+
+    #[test]
+    fn zero_weights() {
+        let p = ChainProblem::new(vec![0, 0, 0], vec![0, 0], vec![0, 0]);
+        assert_eq!(solve(&p).critical_path, 0);
+    }
+}

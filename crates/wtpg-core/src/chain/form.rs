@@ -1,0 +1,264 @@
+//! Chain-form detection and extraction (paper Definition 2).
+//!
+//! A WTPG is *chain-form* when its transactions can be labelled `1..N` so
+//! that each conflicts only with its label neighbours — equivalently, the
+//! undirected conflict structure (unresolved conflicting edges **plus**
+//! already-resolved precedence edges, which are conflicts too) is a disjoint
+//! union of simple paths: every node has conflict degree ≤ 2 and no
+//! component is a cycle. The paper tests this "by the depth first traverse";
+//! we do the same walk and additionally *extract* each path component
+//! together with its weights, ready for the optimisers.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::txn::TxnId;
+use crate::wtpg::{Dir, Wtpg};
+
+use super::ChainProblem;
+
+/// Witness that the WTPG is not chain-form, with the offending transaction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum NotChainForm {
+    /// A transaction conflicts with three or more others.
+    DegreeTooHigh(TxnId),
+    /// A conflict component closes a cycle.
+    Cycle(TxnId),
+}
+
+impl std::fmt::Display for NotChainForm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NotChainForm::DegreeTooHigh(t) => {
+                write!(f, "{t} conflicts with more than two transactions")
+            }
+            NotChainForm::Cycle(t) => write!(f, "conflict cycle through {t}"),
+        }
+    }
+}
+
+/// One path component of a chain-form WTPG: the transactions in path order
+/// and the corresponding optimisation instance.
+#[derive(Clone, Debug)]
+pub struct ChainComponent {
+    /// Transactions along the path. `nodes[i]` is chain label `i`.
+    pub nodes: Vec<TxnId>,
+    /// The weights/constraints of this component.
+    pub problem: ChainProblem,
+}
+
+/// Decomposes the WTPG's conflict structure into path components, or reports
+/// why it is not chain-form.
+///
+/// Deterministic: components are discovered in ascending order of their
+/// smallest endpoint, and each path is oriented to start at its
+/// smaller-id endpoint.
+pub fn chain_components(wtpg: &Wtpg) -> Result<Vec<ChainComponent>, NotChainForm> {
+    // Undirected conflict adjacency: conflicting edges + precedence edges.
+    let mut adj: BTreeMap<TxnId, Vec<TxnId>> = BTreeMap::new();
+    for t in wtpg.txn_ids() {
+        let mut n: Vec<TxnId> = wtpg.conflict_partners(t);
+        n.extend(wtpg.precedence_successors(t));
+        n.extend(wtpg.precedence_predecessors(t));
+        n.sort_unstable();
+        n.dedup();
+        if n.len() > 2 {
+            return Err(NotChainForm::DegreeTooHigh(t));
+        }
+        adj.insert(t, n);
+    }
+    let mut visited: BTreeSet<TxnId> = BTreeSet::new();
+    let mut components = Vec::new();
+    // Walk from endpoints (degree ≤ 1) first; anything left is a cycle.
+    let endpoints: Vec<TxnId> = adj
+        .iter()
+        .filter(|(_, n)| n.len() <= 1)
+        .map(|(&t, _)| t)
+        .collect();
+    for start in endpoints {
+        if visited.contains(&start) {
+            continue;
+        }
+        let mut nodes = vec![start];
+        visited.insert(start);
+        let mut cur = start;
+        loop {
+            let next = adj[&cur].iter().copied().find(|t| !visited.contains(t));
+            match next {
+                Some(t) => {
+                    visited.insert(t);
+                    nodes.push(t);
+                    cur = t;
+                }
+                None => break,
+            }
+        }
+        components.push(build_component(wtpg, nodes));
+    }
+    if let Some(&t) = adj.keys().find(|t| !visited.contains(t)) {
+        // Every unvisited node has degree exactly 2: a cycle.
+        return Err(NotChainForm::Cycle(t));
+    }
+    Ok(components)
+}
+
+/// True if the WTPG satisfies Definition 2 — the CHAIN admission test.
+pub fn is_chain_form(wtpg: &Wtpg) -> bool {
+    chain_components(wtpg).is_ok()
+}
+
+fn build_component(wtpg: &Wtpg, nodes: Vec<TxnId>) -> ChainComponent {
+    let r: Vec<u64> = nodes
+        .iter()
+        .map(|&t| wtpg.t0_weight(t).expect("component node is live").units())
+        .collect();
+    let mut a = Vec::with_capacity(nodes.len().saturating_sub(1));
+    let mut b = Vec::with_capacity(a.capacity());
+    let mut forced = Vec::with_capacity(a.capacity());
+    for pair in nodes.windows(2) {
+        let (x, y) = (pair[0], pair[1]);
+        if let Some((w_xy, w_yx)) = wtpg.conflict_weights(x, y) {
+            a.push(w_xy.units());
+            b.push(w_yx.units());
+            forced.push(None);
+        } else if let Some(w) = wtpg.precedence_weight(x, y) {
+            a.push(w.units());
+            b.push(0);
+            forced.push(Some(Dir::Down));
+        } else if let Some(w) = wtpg.precedence_weight(y, x) {
+            a.push(0);
+            b.push(w.units());
+            forced.push(Some(Dir::Up));
+        } else {
+            unreachable!("adjacent chain nodes {x} and {y} share no edge");
+        }
+    }
+    let problem = ChainProblem::with_forced(r, a, b, forced);
+    ChainComponent { nodes, problem }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::work::Work;
+
+    fn w(o: u64) -> Work {
+        Work::from_objects(o)
+    }
+
+    fn add(g: &mut Wtpg, id: u64, t0: u64) {
+        g.add_txn(TxnId(id), w(t0)).unwrap();
+    }
+
+    fn conflict(g: &mut Wtpg, a: u64, b: u64, ab: u64, ba: u64) {
+        g.add_or_merge_conflict(TxnId(a), TxnId(b), w(ab), w(ba))
+            .unwrap();
+    }
+
+    #[test]
+    fn figure2_is_one_chain() {
+        let mut g = Wtpg::new();
+        add(&mut g, 1, 5);
+        add(&mut g, 2, 2);
+        add(&mut g, 3, 4);
+        conflict(&mut g, 1, 2, 1, 5);
+        conflict(&mut g, 2, 3, 4, 2);
+        let comps = chain_components(&g).unwrap();
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].nodes, vec![TxnId(1), TxnId(2), TxnId(3)]);
+        let p = &comps[0].problem;
+        assert_eq!(p.r, vec![5000, 2000, 4000]);
+        assert_eq!(p.a, vec![1000, 4000]);
+        assert_eq!(p.b, vec![5000, 2000]);
+        assert!(p.forced.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn isolated_nodes_are_singleton_chains() {
+        let mut g = Wtpg::new();
+        add(&mut g, 1, 3);
+        add(&mut g, 2, 7);
+        let comps = chain_components(&g).unwrap();
+        assert_eq!(comps.len(), 2);
+        assert_eq!(comps[0].problem.r, vec![3000]);
+        assert_eq!(comps[1].problem.r, vec![7000]);
+    }
+
+    #[test]
+    fn multiple_disjoint_chains() {
+        let mut g = Wtpg::new();
+        for i in 1..=5 {
+            add(&mut g, i, i);
+        }
+        conflict(&mut g, 1, 2, 1, 1);
+        conflict(&mut g, 4, 5, 1, 1);
+        let comps = chain_components(&g).unwrap();
+        assert_eq!(comps.len(), 3);
+        let sizes: Vec<usize> = comps.iter().map(|c| c.nodes.len()).collect();
+        assert_eq!(sizes, vec![2, 1, 2]);
+    }
+
+    #[test]
+    fn degree_three_rejected() {
+        let mut g = Wtpg::new();
+        for i in 1..=4 {
+            add(&mut g, i, 1);
+        }
+        conflict(&mut g, 1, 2, 1, 1);
+        conflict(&mut g, 2, 3, 1, 1);
+        conflict(&mut g, 2, 4, 1, 1);
+        // TxnId(2) conflicts with 1, 3 and 4.
+        assert!(matches!(
+            chain_components(&g),
+            Err(NotChainForm::DegreeTooHigh(TxnId(2)))
+        ));
+        assert!(!is_chain_form(&g));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut g = Wtpg::new();
+        for i in 1..=3 {
+            add(&mut g, i, 1);
+        }
+        conflict(&mut g, 1, 2, 1, 1);
+        conflict(&mut g, 2, 3, 1, 1);
+        conflict(&mut g, 3, 1, 1, 1);
+        assert!(matches!(chain_components(&g), Err(NotChainForm::Cycle(_))));
+    }
+
+    #[test]
+    fn precedence_edges_count_as_conflicts_and_are_forced() {
+        let mut g = Wtpg::new();
+        add(&mut g, 1, 5);
+        add(&mut g, 2, 2);
+        add(&mut g, 3, 4);
+        conflict(&mut g, 1, 2, 1, 5);
+        conflict(&mut g, 2, 3, 4, 2);
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        let comps = chain_components(&g).unwrap();
+        assert_eq!(comps.len(), 1);
+        let p = &comps[0].problem;
+        assert_eq!(p.forced, vec![Some(Dir::Down), None]);
+        assert_eq!(p.a, vec![1000, 4000]);
+    }
+
+    #[test]
+    fn upward_precedence_forces_up() {
+        let mut g = Wtpg::new();
+        add(&mut g, 1, 5);
+        add(&mut g, 2, 2);
+        conflict(&mut g, 1, 2, 1, 5);
+        g.resolve(TxnId(2), TxnId(1)).unwrap();
+        let comps = chain_components(&g).unwrap();
+        let p = &comps[0].problem;
+        assert_eq!(p.forced, vec![Some(Dir::Up)]);
+        assert_eq!(p.b, vec![5000]);
+        assert_eq!(p.a, vec![0]);
+    }
+
+    #[test]
+    fn empty_wtpg_has_no_components() {
+        let g = Wtpg::new();
+        assert!(chain_components(&g).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! Error type shared across the core crate.
+
+use crate::partition::PartitionId;
+use crate::txn::TxnId;
+
+/// Errors raised by the lock table, WTPG, and schedulers.
+///
+/// These all indicate *protocol misuse by the driver* (the simulator or an
+/// application embedding a scheduler), not runtime scheduling outcomes —
+/// blocking, delaying, and aborting are ordinary results, not errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A transaction id was used before being declared (or after commit).
+    UnknownTxn(TxnId),
+    /// A transaction was declared twice.
+    DuplicateTxn(TxnId),
+    /// A step index outside the transaction's declared sequence.
+    BadStep {
+        /// Offending transaction.
+        txn: TxnId,
+        /// Requested step index.
+        step: usize,
+    },
+    /// A partition outside the catalog.
+    UnknownPartition(PartitionId),
+    /// Steps were driven out of declared order (e.g. requesting step 2 while
+    /// step 1 has not been granted).
+    OutOfOrder {
+        /// Offending transaction.
+        txn: TxnId,
+        /// The step that should have been requested next.
+        expected: usize,
+        /// The step that was requested.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::UnknownTxn(t) => write!(f, "unknown transaction {t}"),
+            CoreError::DuplicateTxn(t) => write!(f, "transaction {t} already declared"),
+            CoreError::BadStep { txn, step } => write!(f, "{txn} has no step {step}"),
+            CoreError::UnknownPartition(p) => write!(f, "unknown partition {p}"),
+            CoreError::OutOfOrder { txn, expected, got } => {
+                write!(
+                    f,
+                    "{txn} drove steps out of order: expected {expected}, got {got}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}

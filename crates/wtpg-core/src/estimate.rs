@@ -1,0 +1,224 @@
+//! The K-WTPG contention estimator `E(q)` (paper §3.3).
+//!
+//! `E(q)` scores a lock request `q` of transaction `T` by the critical path
+//! the *present* schedule would have if `q` were granted:
+//!
+//! 1. Overlay the WTPG with the resolutions granting `q` implies
+//!    (`T → T'` for every `T'` holding a conflicting declaration on the
+//!    granule). A contradiction or cycle is a (future) deadlock: `E(q) = ∞`.
+//! 2. Resolve every conflicting edge `(Ti, Tj)` with `Ti ∈ before(T)` and
+//!    `Tj ∈ after(T)` into `Ti → Tj` — those orders are implied by
+//!    transitivity through `T`.
+//! 3. Delete the remaining conflicting edges and return the length of the
+//!    critical path from `T0` to `Tf`.
+//!
+//! Complexity is `O(max(n, e))`: one DFS for the before/after sets plus one
+//! topological pass for the critical path.
+
+use crate::txn::TxnId;
+use crate::work::Work;
+use crate::wtpg::Wtpg;
+
+/// The value of `E(q)`: either a finite critical-path length or ∞ (deadlock).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EqValue {
+    /// Granting `q` keeps the schedule deadlock-free; the payload is the
+    /// estimated critical path.
+    Finite(Work),
+    /// Granting `q` would (eventually) deadlock.
+    Infinite,
+}
+
+impl EqValue {
+    /// True for the ∞ case.
+    pub fn is_infinite(self) -> bool {
+        matches!(self, EqValue::Infinite)
+    }
+}
+
+impl PartialOrd for EqValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EqValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        use EqValue::*;
+        match (self, other) {
+            (Finite(a), Finite(b)) => a.cmp(b),
+            (Finite(_), Infinite) => std::cmp::Ordering::Less,
+            (Infinite, Finite(_)) => std::cmp::Ordering::Greater,
+            (Infinite, Infinite) => std::cmp::Ordering::Equal,
+        }
+    }
+}
+
+/// Computes `E(q)` for a hypothetical grant to `txn` that would resolve the
+/// conflicting edges listed in `implied` as `txn → other`.
+///
+/// The WTPG is not mutated — the overlay is applied to a clone (live WTPGs
+/// hold only the active transactions, so the clone is small).
+pub fn eq_estimate(wtpg: &Wtpg, txn: TxnId, implied: &[TxnId]) -> EqValue {
+    let mut overlay = wtpg.clone();
+    // Step 1: apply the implied resolutions; any of them closing a directed
+    // cycle (including contradicting an existing precedence edge) means the
+    // grant would deadlock.
+    for &other in implied {
+        if other == txn || !overlay.contains(other) {
+            continue;
+        }
+        if overlay.would_deadlock(txn, other) {
+            return EqValue::Infinite;
+        }
+        if overlay.resolve(txn, other).is_err() {
+            return EqValue::Infinite;
+        }
+    }
+    // Step 2: orders implied by transitivity through txn.
+    let before = overlay.before(txn);
+    let after = overlay.after(txn);
+    for (a, b, _, _) in overlay.conflict_edges() {
+        let (from, to) = if before.contains(&a) && after.contains(&b) {
+            (a, b)
+        } else if before.contains(&b) && after.contains(&a) {
+            (b, a)
+        } else {
+            continue;
+        };
+        if overlay.resolve(from, to).is_err() {
+            return EqValue::Infinite;
+        }
+    }
+    // Step 3: remaining conflicting edges are ignored by critical_path().
+    match overlay.critical_path() {
+        Some(cp) => EqValue::Finite(cp),
+        None => EqValue::Infinite,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(o: u64) -> Work {
+        Work::from_objects(o)
+    }
+
+    /// The paper's Figure 4-(a): precedence T4→T5 (weight 0), conflicts
+    /// (T4,T6) with w(T4→T6)=10, w(T6→T4)=1, and (T5,T6) with w(T5→T6)=3,
+    /// w(T6→T5)=1. All `w(T0→Ti) = 0` as the example assumes.
+    ///
+    /// The weights are chosen to reproduce Example 3.4/3.5: granting T5's
+    /// request resolves (T5,T6) into T5→T6, before(T5)={T4}, after(T5)={T6},
+    /// so (T4,T6) resolves into T4→T6 and the critical path is T4→T6 of
+    /// length 10, E(q) = 10. Granting T6's conflicting request instead gives
+    /// E(q') = 1.
+    fn figure4() -> Wtpg {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(4), Work::ZERO).unwrap();
+        g.add_txn(TxnId(5), Work::ZERO).unwrap();
+        g.add_txn(TxnId(6), Work::ZERO).unwrap();
+        g.add_or_merge_conflict(TxnId(4), TxnId(5), w(0), w(9))
+            .unwrap();
+        g.resolve(TxnId(4), TxnId(5)).unwrap();
+        g.add_or_merge_conflict(TxnId(4), TxnId(6), w(10), w(1))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(5), TxnId(6), w(3), w(1))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn example_3_4_eq_of_t5() {
+        let g = figure4();
+        // T5 requests a lock conflicting with T6.
+        let e = eq_estimate(&g, TxnId(5), &[TxnId(6)]);
+        assert_eq!(e, EqValue::Finite(w(10))); // critical path T4→T6 = 10
+    }
+
+    #[test]
+    fn example_3_5_eq_of_t6_is_smaller() {
+        let g = figure4();
+        // T6's conflicting request q': resolves (T6,T5) into T6→T5.
+        // before(T6) = {}, after(T6) = {T5}; (T4,T6) is NOT resolvable by
+        // step 2 (T4 not in before(T6)) and is deleted; critical path is
+        // T6→T5 … but w(T6→T5)=1 and all T0 weights are 0 → E(q') = 1.
+        let e = eq_estimate(&g, TxnId(6), &[TxnId(5)]);
+        assert_eq!(e, EqValue::Finite(w(1)));
+        // CC2 would therefore delay T5's request: E(q) = 10 > E(q') = 1.
+        assert!(eq_estimate(&g, TxnId(5), &[TxnId(6)]) > e);
+    }
+
+    #[test]
+    fn deadlock_is_infinite() {
+        let g = figure4();
+        // T5 → T4 contradicts the existing T4 → T5 precedence edge.
+        assert_eq!(eq_estimate(&g, TxnId(5), &[TxnId(4)]), EqValue::Infinite);
+    }
+
+    #[test]
+    fn transitive_deadlock_is_infinite() {
+        let mut g = Wtpg::new();
+        for i in 1..=3 {
+            g.add_txn(TxnId(i), Work::ZERO).unwrap();
+        }
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(1))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(2), TxnId(3), w(1), w(1))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(3), w(1), w(1))
+            .unwrap();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        g.resolve(TxnId(2), TxnId(3)).unwrap();
+        // T3 → T1 closes the cycle through T2.
+        assert_eq!(eq_estimate(&g, TxnId(3), &[TxnId(1)]), EqValue::Infinite);
+    }
+
+    #[test]
+    fn t0_weights_enter_the_estimate() {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(7)).unwrap();
+        g.add_txn(TxnId(2), w(2)).unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(4), w(1))
+            .unwrap();
+        // Granting T1's request: path T0→T1→T2 = 7 + 4 = 11.
+        assert_eq!(
+            eq_estimate(&g, TxnId(1), &[TxnId(2)]),
+            EqValue::Finite(w(11))
+        );
+        // Granting T2's: path T0→T2→T1 = 2 + 1 = 3 vs r(T1)=7 → 7.
+        assert_eq!(
+            eq_estimate(&g, TxnId(2), &[TxnId(1)]),
+            EqValue::Finite(w(7))
+        );
+    }
+
+    #[test]
+    fn no_conflicts_yields_current_critical_path() {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(5)).unwrap();
+        g.add_txn(TxnId(2), w(3)).unwrap();
+        assert_eq!(eq_estimate(&g, TxnId(1), &[]), EqValue::Finite(w(5)));
+    }
+
+    #[test]
+    fn eq_value_ordering() {
+        assert!(EqValue::Finite(w(10)) < EqValue::Infinite);
+        assert!(EqValue::Finite(w(1)) < EqValue::Finite(w(2)));
+        assert_eq!(
+            EqValue::Infinite.cmp(&EqValue::Infinite),
+            std::cmp::Ordering::Equal
+        );
+        assert!(EqValue::Infinite.is_infinite());
+        assert!(!EqValue::Finite(Work::ZERO).is_infinite());
+    }
+
+    #[test]
+    fn estimator_does_not_mutate_the_wtpg() {
+        let g = figure4();
+        let before = g.to_dot();
+        let _ = eq_estimate(&g, TxnId(5), &[TxnId(6)]);
+        assert_eq!(g.to_dot(), before);
+    }
+}

@@ -1,0 +1,319 @@
+//! Recorded execution histories and correctness checkers.
+//!
+//! The simulator records every scheduling event; these checkers validate the
+//! paper's claimed guarantees over whole runs:
+//!
+//! * **conflict serializability** — the serialization graph induced by the
+//!   grant order of conflicting locks must be acyclic (holds for every
+//!   scheduler except NODC, which is the paper's deliberate no-CC upper
+//!   bound);
+//! * **strictness / two-phase discipline** — no lock activity after commit;
+//! * **no aborts after start** — a BAT is too expensive to abort; admission
+//!   rejection happens before any work.
+
+use std::collections::BTreeMap;
+
+use wtpg_graph::{is_cyclic, DiGraph};
+
+use crate::partition::PartitionId;
+use crate::time::Tick;
+use crate::txn::{AccessMode, TxnId};
+use crate::work::Work;
+
+/// One recorded scheduling event.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Event {
+    /// Transaction admitted and declared.
+    Admitted(TxnId),
+    /// Admission rejected (structural constraint or ASL lock failure);
+    /// the transaction will be resubmitted and re-admitted under a fresh
+    /// attempt with the same id.
+    Rejected(TxnId),
+    /// A step's lock was granted.
+    Granted {
+        /// The transaction.
+        txn: TxnId,
+        /// Step index within the transaction.
+        step: usize,
+        /// Partition locked.
+        partition: PartitionId,
+        /// Access mode of the step.
+        mode: AccessMode,
+    },
+    /// A chunk of bulk work finished at a data node.
+    Progress {
+        /// The transaction.
+        txn: TxnId,
+        /// Amount of work completed.
+        amount: Work,
+    },
+    /// The transaction committed (all locks released).
+    Committed(TxnId),
+}
+
+/// An append-only event log with validation queries.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    events: Vec<(Tick, Event)>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> History {
+        History::default()
+    }
+
+    /// Appends an event at time `t` (times must be non-decreasing).
+    pub fn push(&mut self, t: Tick, e: Event) {
+        debug_assert!(
+            self.events.last().is_none_or(|&(last, _)| last <= t),
+            "history times must be non-decreasing"
+        );
+        self.events.push((t, e));
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[(Tick, Event)] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ids of committed transactions, in commit order.
+    pub fn committed(&self) -> Vec<TxnId> {
+        self.events
+            .iter()
+            .filter_map(|&(_, e)| match e {
+                Event::Committed(t) => Some(t),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks conflict serializability of the committed transactions.
+    ///
+    /// For each partition, conflicting grants order the transactions; the
+    /// union of those orders must be acyclic. Because every scheduler holds
+    /// locks to commit, the grant order *is* the access order.
+    pub fn check_conflict_serializable(&self) -> Result<(), String> {
+        let committed: BTreeMap<TxnId, ()> =
+            self.committed().into_iter().map(|t| (t, ())).collect();
+        // Per partition: every grant event in sequence order. An S→X upgrade
+        // is two separate events — its write conflicts are ordered by the
+        // *upgrade* time, not the first (shared) grant.
+        let mut access: BTreeMap<PartitionId, Vec<(usize, TxnId, AccessMode)>> = BTreeMap::new();
+        for (seq, &(_, e)) in self.events.iter().enumerate() {
+            if let Event::Granted {
+                txn,
+                partition,
+                mode,
+                ..
+            } = e
+            {
+                if committed.contains_key(&txn) {
+                    access.entry(partition).or_default().push((seq, txn, mode));
+                }
+            }
+        }
+        let mut graph: DiGraph<TxnId, ()> = DiGraph::new();
+        let mut nodes = BTreeMap::new();
+        for &t in committed.keys() {
+            nodes.insert(t, graph.add_node(t));
+        }
+        for (_, grants) in access {
+            for (i, &(_, t1, m1)) in grants.iter().enumerate() {
+                for &(_, t2, m2) in &grants[i + 1..] {
+                    if t1 != t2 && m1.conflicts_with(m2) {
+                        // Grants are in sequence order: t1 accessed first.
+                        if graph.find_edge(nodes[&t1], nodes[&t2]).is_none() {
+                            graph.add_edge(nodes[&t1], nodes[&t2], ());
+                        }
+                    }
+                }
+            }
+        }
+        if is_cyclic(&graph) {
+            Err("serialization graph has a cycle".to_string())
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Checks that no transaction acquires locks or makes progress after its
+    /// commit, and that every committed transaction was admitted first.
+    pub fn check_strictness(&self) -> Result<(), String> {
+        let mut committed: BTreeMap<TxnId, bool> = BTreeMap::new();
+        let mut admitted: BTreeMap<TxnId, bool> = BTreeMap::new();
+        for &(_, e) in &self.events {
+            match e {
+                Event::Admitted(t) => {
+                    admitted.insert(t, true);
+                    committed.insert(t, false);
+                }
+                Event::Rejected(t) => {
+                    admitted.remove(&t);
+                }
+                Event::Granted { txn, .. } | Event::Progress { txn, .. } => {
+                    if committed.get(&txn).copied().unwrap_or(false) {
+                        return Err(format!("{txn} active after commit"));
+                    }
+                    if !admitted.contains_key(&txn) {
+                        return Err(format!("{txn} active without admission"));
+                    }
+                }
+                Event::Committed(t) => {
+                    if !admitted.contains_key(&t) {
+                        return Err(format!("{t} committed without admission"));
+                    }
+                    committed.insert(t, true);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that at every instant, conflicting locks are never co-held —
+    /// the basic mutual-exclusion invariant (NODC violates it by design).
+    pub fn check_lock_exclusion(&self) -> Result<(), String> {
+        let mut held: BTreeMap<PartitionId, BTreeMap<TxnId, AccessMode>> = BTreeMap::new();
+        for &(at, e) in &self.events {
+            match e {
+                Event::Granted {
+                    txn,
+                    partition,
+                    mode,
+                    ..
+                } => {
+                    let g = held.entry(partition).or_default();
+                    for (&other, &m) in g.iter() {
+                        if other != txn && m.conflicts_with(mode) {
+                            return Err(format!(
+                                "at {at}: {txn} granted {mode:?} on {partition} while {other} holds {m:?}"
+                            ));
+                        }
+                    }
+                    let slot = g.entry(txn).or_insert(mode);
+                    if mode == AccessMode::Write {
+                        *slot = AccessMode::Write;
+                    }
+                }
+                Event::Committed(t) => {
+                    for g in held.values_mut() {
+                        g.remove(&t);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grant(txn: u64, step: usize, p: u32, mode: AccessMode) -> Event {
+        Event::Granted {
+            txn: TxnId(txn),
+            step,
+            partition: PartitionId(p),
+            mode,
+        }
+    }
+
+    #[test]
+    fn serializable_history_passes() {
+        let mut h = History::new();
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(0), grant(1, 0, 0, AccessMode::Write));
+        h.push(Tick(5), Event::Committed(TxnId(1)));
+        h.push(Tick(6), Event::Admitted(TxnId(2)));
+        h.push(Tick(6), grant(2, 0, 0, AccessMode::Write));
+        h.push(Tick(9), Event::Committed(TxnId(2)));
+        assert!(h.check_conflict_serializable().is_ok());
+        assert!(h.check_strictness().is_ok());
+        assert!(h.check_lock_exclusion().is_ok());
+    }
+
+    #[test]
+    fn cyclic_serialization_graph_detected() {
+        // T1 writes A then B; T2 writes B then A, interleaved so that T1
+        // precedes T2 on A but T2 precedes T1 on B.
+        let mut h = History::new();
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(0), Event::Admitted(TxnId(2)));
+        h.push(Tick(1), grant(1, 0, 0, AccessMode::Write));
+        h.push(Tick(1), grant(2, 0, 1, AccessMode::Write));
+        h.push(Tick(2), grant(1, 1, 1, AccessMode::Write));
+        h.push(Tick(2), grant(2, 1, 0, AccessMode::Write));
+        h.push(Tick(3), Event::Committed(TxnId(1)));
+        h.push(Tick(3), Event::Committed(TxnId(2)));
+        assert!(h.check_conflict_serializable().is_err());
+        // It also violates lock exclusion, of course.
+        assert!(h.check_lock_exclusion().is_err());
+    }
+
+    #[test]
+    fn shared_locks_do_not_conflict() {
+        let mut h = History::new();
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(0), Event::Admitted(TxnId(2)));
+        h.push(Tick(1), grant(1, 0, 0, AccessMode::Read));
+        h.push(Tick(1), grant(2, 0, 0, AccessMode::Read));
+        h.push(Tick(2), Event::Committed(TxnId(1)));
+        h.push(Tick(2), Event::Committed(TxnId(2)));
+        assert!(h.check_conflict_serializable().is_ok());
+        assert!(h.check_lock_exclusion().is_ok());
+    }
+
+    #[test]
+    fn uncommitted_transactions_are_ignored_by_sr_check() {
+        let mut h = History::new();
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(1), grant(1, 0, 0, AccessMode::Write));
+        // Never commits; SR check only covers committed transactions.
+        assert!(h.check_conflict_serializable().is_ok());
+        assert_eq!(h.committed(), Vec::<TxnId>::new());
+    }
+
+    #[test]
+    fn activity_after_commit_detected() {
+        let mut h = History::new();
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(1), Event::Committed(TxnId(1)));
+        h.push(Tick(2), grant(1, 1, 0, AccessMode::Read));
+        assert!(h.check_strictness().is_err());
+    }
+
+    #[test]
+    fn rejection_then_readmission_is_clean() {
+        let mut h = History::new();
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(0), Event::Rejected(TxnId(1)));
+        h.push(Tick(5), Event::Admitted(TxnId(1)));
+        h.push(Tick(5), grant(1, 0, 0, AccessMode::Read));
+        h.push(Tick(9), Event::Committed(TxnId(1)));
+        assert!(h.check_strictness().is_ok());
+    }
+
+    #[test]
+    fn upgrade_keeps_first_grant_order() {
+        // T1 reads A (S), T2 wants nothing conflicting yet, T1 upgrades to X.
+        let mut h = History::new();
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(1), grant(1, 0, 0, AccessMode::Read));
+        h.push(Tick(2), grant(1, 2, 0, AccessMode::Write));
+        h.push(Tick(3), Event::Committed(TxnId(1)));
+        assert!(h.check_lock_exclusion().is_ok());
+        assert!(h.check_conflict_serializable().is_ok());
+    }
+}

@@ -1,0 +1,183 @@
+//! Partition catalog and shared-nothing placement.
+//!
+//! The paper assumes every relation is range-partitioned across all nodes
+//! (§2.1), each partition is the locking granule (§2.2), and in the
+//! simulation model a partition lives on the data node with
+//! `node = partition mod NumNodes` (§4.1, Figure 5).
+
+use crate::work::Work;
+
+/// How bulk data is spread over the machine's data nodes.
+///
+/// The paper's evaluation uses [`Placement::Modulo`] (range partitioning,
+/// `node = partition mod NumNodes`), which minimises messages but leaves a
+/// single BAT's load on one node. Its §4.3 discussion proposes the
+/// alternative this crate implements as an extension:
+/// [`Placement::Declustered`] spreads every partition over *all* nodes, so
+/// one bulk operation runs on the whole machine in parallel
+/// (intra-transaction parallelism) at the price of message overhead the
+/// paper's short-transaction service cannot afford.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Placement {
+    /// One partition per node: `node = partition mod NumNodes` (§4.1).
+    #[default]
+    Modulo,
+    /// Every partition striped across all nodes; a step's work fans out to
+    /// every node and the step finishes when all stripes do.
+    Declustered,
+}
+
+/// Identifier of one partition — the paper's locking granule. A lock on a
+/// partition acts as a predicate lock over its range.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct PartitionId(pub u32);
+
+impl std::fmt::Display for PartitionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// The partition catalog: sizes (in objects) of every partition, plus the
+/// machine's placement rule.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Catalog {
+    sizes: Vec<Work>,
+    num_nodes: u32,
+    #[cfg_attr(feature = "serde", serde(default))]
+    placement: Placement,
+}
+
+impl Catalog {
+    /// Builds a catalog of `sizes.len()` partitions over `num_nodes` data
+    /// nodes with the paper's modulo placement.
+    ///
+    /// # Panics
+    /// Panics if `num_nodes == 0`.
+    pub fn new(sizes: Vec<Work>, num_nodes: u32) -> Catalog {
+        assert!(
+            num_nodes > 0,
+            "a shared-nothing machine needs at least one node"
+        );
+        Catalog {
+            sizes,
+            num_nodes,
+            placement: Placement::Modulo,
+        }
+    }
+
+    /// Returns this catalog with a different placement policy.
+    pub fn with_placement(mut self, placement: Placement) -> Catalog {
+        self.placement = placement;
+        self
+    }
+
+    /// The placement policy in force.
+    pub fn placement(&self) -> Placement {
+        self.placement
+    }
+
+    /// Builds a catalog of `num_parts` uniform partitions of `size_objects`
+    /// objects each — the shape of the paper's Experiment 1.
+    pub fn uniform(num_parts: u32, size_objects: u64, num_nodes: u32) -> Catalog {
+        Catalog::new(
+            vec![Work::from_objects(size_objects); num_parts as usize],
+            num_nodes,
+        )
+    }
+
+    /// Number of partitions (`NumParts`).
+    pub fn num_parts(&self) -> u32 {
+        self.sizes.len() as u32
+    }
+
+    /// Number of data-processing nodes (`NumNodes`).
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+
+    /// Size of partition `p`, in work units.
+    ///
+    /// # Panics
+    /// Panics if `p` is out of range.
+    pub fn size(&self, p: PartitionId) -> Work {
+        self.sizes[p.0 as usize]
+    }
+
+    /// True if `p` names a partition of this catalog.
+    pub fn contains(&self, p: PartitionId) -> bool {
+        (p.0 as usize) < self.sizes.len()
+    }
+
+    /// The data node storing partition `p`: `node = partition mod NumNodes`
+    /// (paper §4.1).
+    pub fn node_of(&self, p: PartitionId) -> u32 {
+        p.0 % self.num_nodes
+    }
+
+    /// Iterator over all partition ids.
+    pub fn partitions(&self) -> impl Iterator<Item = PartitionId> + '_ {
+        (0..self.num_parts()).map(PartitionId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_catalog() {
+        let c = Catalog::uniform(16, 5, 8);
+        assert_eq!(c.num_parts(), 16);
+        assert_eq!(c.num_nodes(), 8);
+        assert_eq!(c.size(PartitionId(3)), Work::from_objects(5));
+        assert!(c.contains(PartitionId(15)));
+        assert!(!c.contains(PartitionId(16)));
+    }
+
+    #[test]
+    fn modulo_placement() {
+        let c = Catalog::uniform(16, 5, 8);
+        assert_eq!(c.node_of(PartitionId(0)), 0);
+        assert_eq!(c.node_of(PartitionId(7)), 7);
+        assert_eq!(c.node_of(PartitionId(8)), 0);
+        assert_eq!(c.node_of(PartitionId(15)), 7);
+    }
+
+    #[test]
+    fn heterogeneous_sizes() {
+        // Experiment 2: 8 read-only partitions of size 5 + hot partitions of size 1.
+        let mut sizes = vec![Work::from_objects(5); 8];
+        sizes.extend(vec![Work::from_objects(1); 4]);
+        let c = Catalog::new(sizes, 8);
+        assert_eq!(c.num_parts(), 12);
+        assert_eq!(c.size(PartitionId(0)), Work::from_objects(5));
+        assert_eq!(c.size(PartitionId(8)), Work::from_objects(1));
+    }
+
+    #[test]
+    fn partitions_iterator_covers_all() {
+        let c = Catalog::uniform(4, 1, 2);
+        let ids: Vec<u32> = c.partitions().map(|p| p.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_nodes_rejected() {
+        let _ = Catalog::uniform(4, 1, 0);
+    }
+
+    #[test]
+    fn placement_defaults_to_modulo() {
+        let c = Catalog::uniform(4, 1, 2);
+        assert_eq!(c.placement(), Placement::Modulo);
+        let d = c.with_placement(Placement::Declustered);
+        assert_eq!(d.placement(), Placement::Declustered);
+        // node_of stays meaningful (the home node) under either policy.
+        assert_eq!(d.node_of(PartitionId(3)), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! Full-SR-order optimisation for **general** (non-chain) WTPGs.
+//!
+//! The paper proves the problem NP-hard in general (Theorem 3, reduction
+//! from job-shop scheduling) and escapes by restricting CHAIN to chain-form
+//! graphs. This module is our extension for the unrestricted case:
+//!
+//! * [`exhaustive`] — all acyclic orientations, `O(2^E)`: the oracle.
+//! * [`greedy`] — orient edges heaviest-first, each to the locally cheaper
+//!   direction, skipping orientations that would close a cycle.
+//! * [`local_search`] — greedy followed by single-edge flips while they
+//!   shorten the critical path (first-improvement, bounded passes).
+//!
+//! On chain-form inputs `local_search` almost always reaches the true
+//! optimum (property-tested against the chain DP); on general graphs it is
+//! a heuristic. The [`GWtpgScheduler`](crate::sched::GWtpgScheduler) runs
+//! CHAIN's global strategy with this planner instead of the chain-form
+//! admission test.
+
+use std::collections::BTreeSet;
+
+use crate::txn::TxnId;
+use crate::work::Work;
+use crate::wtpg::Wtpg;
+
+/// A full SR-order over a WTPG: one oriented pair per conflicting edge,
+/// plus the already-resolved precedence edges, and the critical path the
+/// whole orientation achieves.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Plan {
+    /// Oriented pairs `(from, to)` covering every conflicting *and*
+    /// precedence edge of the input.
+    pub order: BTreeSet<(TxnId, TxnId)>,
+    /// Critical path of the WTPG resolved by `order`.
+    pub critical_path: Work,
+}
+
+impl Plan {
+    /// True if the plan orients `from → to`.
+    pub fn orients(&self, from: TxnId, to: TxnId) -> bool {
+        self.order.contains(&(from, to))
+    }
+}
+
+/// Applies an orientation of the conflicting edges to a clone and returns
+/// its critical path; `None` when the orientation closes a cycle.
+fn evaluate(wtpg: &Wtpg, orientation: &[(TxnId, TxnId)]) -> Option<Work> {
+    let mut overlay = wtpg.clone();
+    for &(from, to) in orientation {
+        if overlay.would_deadlock(from, to) {
+            return None;
+        }
+        overlay.resolve(from, to).ok()?;
+    }
+    overlay.critical_path()
+}
+
+fn finish_plan(wtpg: &Wtpg, orientation: Vec<(TxnId, TxnId)>, cp: Work) -> Plan {
+    let mut order: BTreeSet<(TxnId, TxnId)> = orientation.into_iter().collect();
+    for (a, b, _) in wtpg.precedence_edges() {
+        order.insert((a, b));
+    }
+    Plan {
+        order,
+        critical_path: cp,
+    }
+}
+
+/// Exhaustive search over all orientations of the unresolved conflicting
+/// edges. The oracle for tests; panics above 20 free edges.
+pub fn exhaustive(wtpg: &Wtpg) -> Plan {
+    let conflicts = wtpg.conflict_edges();
+    assert!(
+        conflicts.len() <= 20,
+        "exhaustive planner limited to 20 conflicting edges, got {}",
+        conflicts.len()
+    );
+    let mut best: Option<(Vec<(TxnId, TxnId)>, Work)> = None;
+    for mask in 0u64..(1 << conflicts.len()) {
+        let orientation: Vec<(TxnId, TxnId)> = conflicts
+            .iter()
+            .enumerate()
+            .map(|(i, &(a, b, _, _))| if mask >> i & 1 == 0 { (a, b) } else { (b, a) })
+            .collect();
+        if let Some(cp) = evaluate(wtpg, &orientation) {
+            if best.as_ref().is_none_or(|(_, b)| cp < *b) {
+                best = Some((orientation, cp));
+            }
+        }
+    }
+    let (orientation, cp) =
+        best.expect("at least one acyclic orientation exists for an acyclic precedence graph");
+    finish_plan(wtpg, orientation, cp)
+}
+
+/// Greedy planner: orient conflicting edges one at a time, heaviest first
+/// (by `max(w_ab, w_ba)`), each to the direction whose evaluation (with the
+/// remaining conflicts deleted) is cheaper; cycle-closing directions are
+/// skipped.
+pub fn greedy(wtpg: &Wtpg) -> Plan {
+    let mut conflicts = wtpg.conflict_edges();
+    conflicts.sort_by_key(|&(a, b, w_ab, w_ba)| (std::cmp::Reverse(w_ab.max(w_ba)), a, b));
+    let mut overlay = wtpg.clone();
+    let mut orientation = Vec::with_capacity(conflicts.len());
+    for (a, b, _, _) in conflicts {
+        let forward_ok = !overlay.would_deadlock(a, b);
+        let backward_ok = !overlay.would_deadlock(b, a);
+        let pick = match (forward_ok, backward_ok) {
+            (true, false) => (a, b),
+            (false, true) => (b, a),
+            (false, false) => unreachable!("both directions of one edge cannot close cycles"),
+            (true, true) => {
+                // Evaluate both partial resolutions; remaining conflicts are
+                // ignored by critical_path, matching E(q)'s step 3.
+                let mut fwd = overlay.clone();
+                fwd.resolve(a, b).expect("checked acyclic");
+                let mut bwd = overlay.clone();
+                bwd.resolve(b, a).expect("checked acyclic");
+                let cf = fwd.critical_path().expect("acyclic");
+                let cb = bwd.critical_path().expect("acyclic");
+                if cf <= cb {
+                    (a, b)
+                } else {
+                    (b, a)
+                }
+            }
+        };
+        overlay.resolve(pick.0, pick.1).expect("checked acyclic");
+        orientation.push(pick);
+    }
+    let cp = overlay
+        .critical_path()
+        .expect("greedy keeps the graph acyclic");
+    finish_plan(wtpg, orientation, cp)
+}
+
+/// Maximum full passes of first-improvement flips.
+const LOCAL_SEARCH_PASSES: usize = 8;
+
+/// Greedy plus single-edge flip local search.
+pub fn local_search(wtpg: &Wtpg) -> Plan {
+    let seed = greedy(wtpg);
+    let conflicts = wtpg.conflict_edges();
+    let mut orientation: Vec<(TxnId, TxnId)> = conflicts
+        .iter()
+        .map(|&(a, b, _, _)| if seed.orients(a, b) { (a, b) } else { (b, a) })
+        .collect();
+    let mut best_cp = seed.critical_path;
+    for _ in 0..LOCAL_SEARCH_PASSES {
+        let mut improved = false;
+        for i in 0..orientation.len() {
+            let (from, to) = orientation[i];
+            orientation[i] = (to, from);
+            match evaluate(wtpg, &orientation) {
+                Some(cp) if cp < best_cp => {
+                    best_cp = cp;
+                    improved = true;
+                }
+                _ => orientation[i] = (from, to), // revert
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    finish_plan(wtpg, orientation, best_cp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(o: u64) -> Work {
+        Work::from_objects(o)
+    }
+
+    /// Figure 2-(a): the planner must find the paper's W with length 6.
+    fn figure2a() -> Wtpg {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(5)).unwrap();
+        g.add_txn(TxnId(2), w(2)).unwrap();
+        g.add_txn(TxnId(3), w(4)).unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(5))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(2), TxnId(3), w(4), w(2))
+            .unwrap();
+        g
+    }
+
+    /// A non-chain WTPG: a 4-star around T1 plus a triangle — the shape
+    /// CHAIN rejects outright.
+    fn star_and_triangle() -> Wtpg {
+        let mut g = Wtpg::new();
+        for i in 1..=6 {
+            g.add_txn(TxnId(i), w(2 + i % 3)).unwrap();
+        }
+        for other in [2, 3, 4] {
+            g.add_or_merge_conflict(TxnId(1), TxnId(other), w(other), w(1))
+                .unwrap();
+        }
+        g.add_or_merge_conflict(TxnId(4), TxnId(5), w(2), w(3))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(5), TxnId(6), w(1), w(4))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(4), TxnId(6), w(2), w(2))
+            .unwrap();
+        g
+    }
+
+    #[test]
+    fn all_planners_solve_figure2() {
+        let g = figure2a();
+        for plan in [exhaustive(&g), greedy(&g), local_search(&g)] {
+            assert_eq!(plan.critical_path, w(6), "{plan:?}");
+            assert!(plan.orients(TxnId(1), TxnId(2)));
+            assert!(plan.orients(TxnId(3), TxnId(2)));
+        }
+    }
+
+    #[test]
+    fn heuristics_match_oracle_on_the_star() {
+        let g = star_and_triangle();
+        let oracle = exhaustive(&g);
+        let ls = local_search(&g);
+        let gr = greedy(&g);
+        assert!(gr.critical_path >= oracle.critical_path);
+        assert!(ls.critical_path >= oracle.critical_path);
+        assert!(ls.critical_path <= gr.critical_path);
+        // On this instance local search should actually reach the optimum.
+        assert_eq!(ls.critical_path, oracle.critical_path);
+    }
+
+    #[test]
+    fn plans_cover_every_pair_and_respect_precedence() {
+        let mut g = star_and_triangle();
+        g.resolve(TxnId(1), TxnId(2)).unwrap(); // pre-resolved edge is forced
+        let plan = local_search(&g);
+        assert!(plan.orients(TxnId(1), TxnId(2)));
+        // Every conflicting pair is oriented exactly one way.
+        for (a, b, _, _) in g.conflict_edges() {
+            assert!(plan.orients(a, b) ^ plan.orients(b, a));
+        }
+    }
+
+    #[test]
+    fn exhaustive_skips_cyclic_orientations() {
+        // Pre-resolved T1→T2→T3 with a conflicting (T3,T1): only T1→T3 is
+        // acyclic, so the plan must contain it.
+        let mut g = Wtpg::new();
+        for i in 1..=3 {
+            g.add_txn(TxnId(i), w(1)).unwrap();
+        }
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(1))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(2), TxnId(3), w(1), w(1))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(3), w(9), w(9))
+            .unwrap();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        g.resolve(TxnId(2), TxnId(3)).unwrap();
+        let plan = exhaustive(&g);
+        assert!(plan.orients(TxnId(1), TxnId(3)));
+        let gr = greedy(&g);
+        assert!(gr.orients(TxnId(1), TxnId(3)));
+    }
+
+    #[test]
+    fn empty_wtpg_gives_empty_plan() {
+        let g = Wtpg::new();
+        let plan = local_search(&g);
+        assert!(plan.order.is_empty());
+        assert_eq!(plan.critical_path, Work::ZERO);
+    }
+}

@@ -1,0 +1,309 @@
+//! Cautious two-phase locking (paper §4.1, after Nishio et al.), plus the
+//! Experiment-4 hybrids CHAIN-C2PL and K2-C2PL.
+//!
+//! C2PL is strict 2PL with deadlock *prediction* instead of detection: it
+//! maintains the (unweighted) transaction precedence graph and grants a lock
+//! request iff it is not blocked and does not close a precedence cycle; a
+//! dangerous request is delayed, never aborted. The hybrids add only the
+//! structural admission constraints of CHAIN / K-WTPG — no weights — and
+//! serve as lower bounds isolating how much of the WTPG schedulers' benefit
+//! comes from structure alone (paper §4.4).
+
+use crate::chain::form::is_chain_form;
+use crate::error::CoreError;
+use crate::time::Tick;
+use crate::txn::{TxnId, TxnSpec};
+use crate::work::Work;
+use crate::wtpg::Wtpg;
+
+use super::common::SchedCore;
+use super::{Admission, CommitResult, ControlOps, LockOutcome, Scheduler};
+
+/// Optional structural admission constraint (the hybrids of §4.4).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Constraint {
+    None,
+    ChainForm,
+    KConflict(usize),
+}
+
+/// The cautious two-phase-lock scheduler, optionally constrained.
+#[derive(Clone, Debug)]
+pub struct C2plScheduler {
+    core: SchedCore,
+    constraint: Constraint,
+    name: &'static str,
+}
+
+impl C2plScheduler {
+    /// Plain C2PL.
+    pub fn new() -> C2plScheduler {
+        C2plScheduler {
+            core: SchedCore::new(),
+            constraint: Constraint::None,
+            name: "C2PL",
+        }
+    }
+
+    /// CHAIN-C2PL: C2PL plus the chain-form admission constraint.
+    pub fn chain_c2pl() -> C2plScheduler {
+        C2plScheduler {
+            core: SchedCore::new(),
+            constraint: Constraint::ChainForm,
+            name: "CHAIN-C2PL",
+        }
+    }
+
+    /// K*-C2PL: C2PL plus the K-conflict admission constraint.
+    pub fn k_c2pl(k: usize) -> C2plScheduler {
+        C2plScheduler {
+            core: SchedCore::new(),
+            constraint: Constraint::KConflict(k),
+            name: "K2-C2PL",
+        }
+    }
+}
+
+impl Default for C2plScheduler {
+    fn default() -> Self {
+        C2plScheduler::new()
+    }
+}
+
+impl Scheduler for C2plScheduler {
+    fn name(&self) -> &str {
+        self.name
+    }
+
+    fn on_arrive(
+        &mut self,
+        spec: &TxnSpec,
+        _now: Tick,
+    ) -> Result<(Admission, ControlOps), CoreError> {
+        self.core.arrive(spec)?;
+        let ok = match self.constraint {
+            Constraint::None => true,
+            Constraint::ChainForm => is_chain_form(&self.core.wtpg),
+            Constraint::KConflict(k) => self.core.locks.k_constraint_ok(&spec.clone(), k),
+        };
+        if ok {
+            Ok((Admission::Admitted, ControlOps::NONE))
+        } else {
+            self.core.rollback_arrival(spec.id);
+            Ok((Admission::Rejected, ControlOps::NONE))
+        }
+    }
+
+    fn on_request(
+        &mut self,
+        txn: TxnId,
+        step: usize,
+        _now: Tick,
+    ) -> Result<(LockOutcome, ControlOps), CoreError> {
+        let s = self.core.request_step(txn, step)?;
+        if self.core.locks.is_blocked(txn, s.partition, s.mode) {
+            return Ok((LockOutcome::Blocked, ControlOps::NONE));
+        }
+        let implied = self.core.implied_resolutions(txn, s.partition, s.mode);
+        let ops = ControlOps {
+            deadlock_tests: 1,
+            ..ControlOps::NONE
+        };
+        if self.core.grant_would_deadlock(txn, &implied) {
+            return Ok((LockOutcome::Delayed, ops));
+        }
+        self.core.grant(txn, step, s, &implied)?;
+        Ok((LockOutcome::Granted, ops))
+    }
+
+    fn on_progress(&mut self, txn: TxnId, amount: Work) -> Result<(), CoreError> {
+        self.core.progress(txn, amount)
+    }
+
+    fn on_step_complete(&mut self, txn: TxnId, step: usize) -> Result<(), CoreError> {
+        self.core.step_complete(txn, step)
+    }
+
+    fn on_commit(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
+        let freed = self.core.commit(txn)?;
+        Ok(CommitResult {
+            freed,
+            ops: ControlOps::NONE,
+        })
+    }
+
+    fn on_abort(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
+        let freed = self.core.abort(txn)?;
+        Ok(CommitResult {
+            freed,
+            ops: ControlOps::NONE,
+        })
+    }
+
+    fn active_txns(&self) -> usize {
+        self.core.active_txns()
+    }
+
+    fn wtpg(&self) -> &Wtpg {
+        self.core.wtpg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::StepSpec;
+
+    fn t(id: u64, steps: Vec<StepSpec>) -> TxnSpec {
+        TxnSpec::new(TxnId(id), steps)
+    }
+
+    #[test]
+    fn grants_unblocked_nonconflicting_request() {
+        let mut s = C2plScheduler::new();
+        let a = t(1, vec![StepSpec::write(0, 1.0)]);
+        assert_eq!(s.on_arrive(&a, Tick(0)).unwrap().0, Admission::Admitted);
+        assert_eq!(
+            s.on_request(TxnId(1), 0, Tick(0)).unwrap().0,
+            LockOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn blocks_on_held_conflicting_lock() {
+        let mut s = C2plScheduler::new();
+        let a = t(1, vec![StepSpec::write(0, 1.0)]);
+        let b = t(2, vec![StepSpec::write(0, 1.0)]);
+        s.on_arrive(&a, Tick(0)).unwrap();
+        s.on_request(TxnId(1), 0, Tick(0)).unwrap();
+        s.on_arrive(&b, Tick(1)).unwrap();
+        assert_eq!(
+            s.on_request(TxnId(2), 0, Tick(1)).unwrap().0,
+            LockOutcome::Blocked
+        );
+        // After T1 commits, T2 can go.
+        s.on_progress(TxnId(1), Work::from_objects(1)).unwrap();
+        s.on_step_complete(TxnId(1), 0).unwrap();
+        let res = s.on_commit(TxnId(1), Tick(5)).unwrap();
+        assert_eq!(res.freed, vec![crate::partition::PartitionId(0)]);
+        assert_eq!(
+            s.on_request(TxnId(2), 0, Tick(5)).unwrap().0,
+            LockOutcome::Granted
+        );
+    }
+
+    /// The classic upgrade / crossing deadlock: T1 writes A then B, T2
+    /// writes B then A. C2PL must *predict* the cycle and delay rather than
+    /// let both proceed into a deadlock.
+    #[test]
+    fn predicts_crossing_deadlock() {
+        let mut s = C2plScheduler::new();
+        let a = t(1, vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)]);
+        let b = t(2, vec![StepSpec::write(1, 1.0), StepSpec::write(0, 1.0)]);
+        s.on_arrive(&a, Tick(0)).unwrap();
+        s.on_arrive(&b, Tick(0)).unwrap();
+        // T1 takes A: resolves (T1,T2) as T1→T2 (T2 declared A).
+        assert_eq!(
+            s.on_request(TxnId(1), 0, Tick(0)).unwrap().0,
+            LockOutcome::Granted
+        );
+        // T2 asks for B: granting would imply T2→T1 — predicted deadlock.
+        assert_eq!(
+            s.on_request(TxnId(2), 0, Tick(1)).unwrap().0,
+            LockOutcome::Delayed
+        );
+        // T1 can take B and finish.
+        s.on_progress(TxnId(1), Work::from_objects(1)).unwrap();
+        s.on_step_complete(TxnId(1), 0).unwrap();
+        assert_eq!(
+            s.on_request(TxnId(1), 1, Tick(2)).unwrap().0,
+            LockOutcome::Granted
+        );
+        s.on_progress(TxnId(1), Work::from_objects(1)).unwrap();
+        s.on_step_complete(TxnId(1), 1).unwrap();
+        s.on_commit(TxnId(1), Tick(3)).unwrap();
+        // Now T2 is free.
+        assert_eq!(
+            s.on_request(TxnId(2), 0, Tick(4)).unwrap().0,
+            LockOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn chain_c2pl_rejects_degree_three() {
+        let mut s = C2plScheduler::chain_c2pl();
+        // Hub transaction conflicts with three others — fine to admit the
+        // first three (star builds up), reject the one that creates degree 3.
+        s.on_arrive(&t(1, vec![StepSpec::write(0, 1.0)]), Tick(0))
+            .unwrap();
+        s.on_arrive(
+            &t(2, vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)]),
+            Tick(0),
+        )
+        .unwrap();
+        s.on_arrive(
+            &t(3, vec![StepSpec::write(1, 1.0), StepSpec::write(2, 1.0)]),
+            Tick(0),
+        )
+        .unwrap();
+        // T4 conflicts with T3 on partition 2 → chain T1–T2–T3–T4: OK.
+        let (adm, _) = s
+            .on_arrive(&t(4, vec![StepSpec::write(2, 1.0)]), Tick(0))
+            .unwrap();
+        assert_eq!(adm, Admission::Admitted);
+        // T5 also writes partition 1 → conflicts with T2 AND T3, both already
+        // interior: degree violation.
+        let (adm, _) = s
+            .on_arrive(&t(5, vec![StepSpec::write(1, 1.0)]), Tick(0))
+            .unwrap();
+        assert_eq!(adm, Admission::Rejected);
+        assert_eq!(s.active_txns(), 4);
+    }
+
+    #[test]
+    fn k_c2pl_enforces_k() {
+        let mut s = C2plScheduler::k_c2pl(1);
+        s.on_arrive(&t(1, vec![StepSpec::write(0, 1.0)]), Tick(0))
+            .unwrap();
+        s.on_arrive(&t(2, vec![StepSpec::write(0, 1.0)]), Tick(0))
+            .unwrap();
+        // A third writer of partition 0 makes everyone conflict twice: reject.
+        let (adm, _) = s
+            .on_arrive(&t(3, vec![StepSpec::write(0, 1.0)]), Tick(0))
+            .unwrap();
+        assert_eq!(adm, Admission::Rejected);
+        assert_eq!(s.name(), "K2-C2PL");
+    }
+
+    #[test]
+    fn rejected_arrival_leaves_no_trace() {
+        let mut s = C2plScheduler::k_c2pl(0);
+        s.on_arrive(&t(1, vec![StepSpec::write(0, 1.0)]), Tick(0))
+            .unwrap();
+        let (adm, _) = s
+            .on_arrive(&t(2, vec![StepSpec::write(0, 1.0)]), Tick(0))
+            .unwrap();
+        assert_eq!(adm, Admission::Rejected);
+        assert!(!s.wtpg().contains(TxnId(2)));
+        // Re-arrival after the blocker leaves succeeds.
+        s.on_request(TxnId(1), 0, Tick(0)).unwrap();
+        s.on_progress(TxnId(1), Work::from_objects(1)).unwrap();
+        s.on_step_complete(TxnId(1), 0).unwrap();
+        s.on_commit(TxnId(1), Tick(1)).unwrap();
+        let (adm, _) = s
+            .on_arrive(&t(2, vec![StepSpec::write(0, 1.0)]), Tick(2))
+            .unwrap();
+        assert_eq!(adm, Admission::Admitted);
+    }
+
+    #[test]
+    fn out_of_order_request_is_a_protocol_error() {
+        let mut s = C2plScheduler::new();
+        let a = t(1, vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)]);
+        s.on_arrive(&a, Tick(0)).unwrap();
+        assert!(matches!(
+            s.on_request(TxnId(1), 1, Tick(0)),
+            Err(CoreError::OutOfOrder { .. })
+        ));
+    }
+}

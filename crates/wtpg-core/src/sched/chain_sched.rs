@@ -1,0 +1,320 @@
+//! CHAIN — the Chain-WTPG scheduler (paper §3.2, CC1).
+//!
+//! Global optimisation: keep the WTPG chain-form, compute the full SR-order
+//! `W` whose resolution gives the shortest critical path (per path component,
+//! with already-resolved edges forced), and grant a lock request only when
+//! the resolutions it implies are consistent with `W`. Transactions that
+//! would break chain form are aborted at start (before doing any work) and
+//! resubmitted by the driver.
+//!
+//! Control saving (§3.4): `W` is recomputed only when a transaction started
+//! or committed since the last computation, or when `keeptime` has elapsed
+//! (the `T0` weights drift as objects are processed, so a periodic refresh
+//! keeps `W` honest even without membership changes).
+
+use std::collections::BTreeSet;
+
+use crate::chain::{chain_components, threshold};
+use crate::error::CoreError;
+use crate::time::Tick;
+use crate::txn::{TxnId, TxnSpec};
+use crate::work::Work;
+use crate::wtpg::{Dir, Wtpg};
+
+use super::common::SchedCore;
+use super::{Admission, CommitResult, ControlOps, LockOutcome, Scheduler};
+
+/// The CHAIN scheduler.
+#[derive(Clone, Debug)]
+pub struct ChainScheduler {
+    core: SchedCore,
+    /// Control-saving period, in ms (paper Table 1 `keeptime`).
+    keeptime: u64,
+    /// The cached full SR-order: the set of oriented pairs `(from, to)`.
+    w_order: Option<BTreeSet<(TxnId, TxnId)>>,
+    last_compute: Tick,
+    /// A transaction started or committed since `w_order` was computed.
+    dirty: bool,
+}
+
+impl ChainScheduler {
+    /// Creates a CHAIN scheduler with the given control-saving period (ms).
+    pub fn new(keeptime: u64) -> ChainScheduler {
+        ChainScheduler {
+            core: SchedCore::new(),
+            keeptime,
+            w_order: None,
+            last_compute: Tick::ZERO,
+            dirty: true,
+        }
+    }
+
+    /// Recomputes `W` if the §3.4 conditions require it; returns the number
+    /// of optimisations performed (0 or 1).
+    fn ensure_w(&mut self, now: Tick) -> Result<u32, CoreError> {
+        let stale = now.saturating_since(self.last_compute) >= self.keeptime;
+        if self.w_order.is_some() && !self.dirty && !stale {
+            return Ok(0);
+        }
+        let comps =
+            chain_components(&self.core.wtpg).expect("CHAIN admission keeps the WTPG chain-form");
+        let mut order = BTreeSet::new();
+        for comp in comps {
+            let sol = threshold::solve(&comp.problem);
+            for (i, &dir) in sol.orient.iter().enumerate() {
+                let (x, y) = (comp.nodes[i], comp.nodes[i + 1]);
+                match dir {
+                    Dir::Down => order.insert((x, y)),
+                    Dir::Up => order.insert((y, x)),
+                };
+            }
+        }
+        self.w_order = Some(order);
+        self.last_compute = now;
+        self.dirty = false;
+        Ok(1)
+    }
+
+    /// The most recently computed `W`, for inspection by examples/tests.
+    pub fn current_w(&self) -> Option<&BTreeSet<(TxnId, TxnId)>> {
+        self.w_order.as_ref()
+    }
+}
+
+impl Scheduler for ChainScheduler {
+    fn name(&self) -> &str {
+        "CHAIN"
+    }
+
+    fn on_arrive(
+        &mut self,
+        spec: &TxnSpec,
+        _now: Tick,
+    ) -> Result<(Admission, ControlOps), CoreError> {
+        self.core.arrive(spec)?;
+        if chain_components(&self.core.wtpg).is_err() {
+            self.core.rollback_arrival(spec.id);
+            return Ok((Admission::Rejected, ControlOps::NONE));
+        }
+        self.dirty = true;
+        Ok((Admission::Admitted, ControlOps::NONE))
+    }
+
+    fn on_request(
+        &mut self,
+        txn: TxnId,
+        step: usize,
+        now: Tick,
+    ) -> Result<(LockOutcome, ControlOps), CoreError> {
+        let s = self.core.request_step(txn, step)?;
+        if self.core.locks.is_blocked(txn, s.partition, s.mode) {
+            return Ok((LockOutcome::Blocked, ControlOps::NONE));
+        }
+        let chain_opts = self.ensure_w(now)?;
+        let ops = ControlOps {
+            chain_opts,
+            ..ControlOps::NONE
+        };
+        let implied = self.core.implied_resolutions(txn, s.partition, s.mode);
+        let w = self.w_order.as_ref().expect("ensure_w populated the order");
+        // Step 3 of CC1: the grant must not make the schedule inconsistent
+        // with W — every implied resolution txn → other must agree with it.
+        if implied.iter().any(|&other| !w.contains(&(txn, other))) {
+            return Ok((LockOutcome::Delayed, ops));
+        }
+        self.core.grant(txn, step, s, &implied)?;
+        Ok((LockOutcome::Granted, ops))
+    }
+
+    fn on_progress(&mut self, txn: TxnId, amount: Work) -> Result<(), CoreError> {
+        self.core.progress(txn, amount)
+    }
+
+    fn on_step_complete(&mut self, txn: TxnId, step: usize) -> Result<(), CoreError> {
+        self.core.step_complete(txn, step)
+    }
+
+    fn on_commit(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
+        let freed = self.core.commit(txn)?;
+        self.dirty = true;
+        Ok(CommitResult {
+            freed,
+            ops: ControlOps::NONE,
+        })
+    }
+
+    fn on_abort(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
+        let freed = self.core.abort(txn)?;
+        self.dirty = true;
+        Ok(CommitResult {
+            freed,
+            ops: ControlOps::NONE,
+        })
+    }
+
+    fn active_txns(&self) -> usize {
+        self.core.active_txns()
+    }
+
+    fn wtpg(&self) -> &Wtpg {
+        self.core.wtpg()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::StepSpec;
+
+    fn t(id: u64, steps: Vec<StepSpec>) -> TxnSpec {
+        TxnSpec::new(TxnId(id), steps)
+    }
+
+    /// The paper's Figure 1 / Example 3.3 scenario: with
+    /// W = {T1→T2, T3→T2}, CHAIN delays T2's first step r2(C:1) because
+    /// granting it would resolve (T2,T3) into T2→T3, inconsistent with W.
+    #[test]
+    fn example_3_3_delays_inconsistent_request() {
+        let mut s = ChainScheduler::new(5000);
+        // A=P0, B=P1, C=P2, D=P3, as in Figure 1.
+        let t1 = t(
+            1,
+            vec![
+                StepSpec::read(0, 1.0),
+                StepSpec::read(1, 3.0),
+                StepSpec::write(0, 1.0),
+            ],
+        );
+        let t2 = t(2, vec![StepSpec::read(2, 1.0), StepSpec::write(0, 1.0)]);
+        let t3 = t(3, vec![StepSpec::write(2, 1.0), StepSpec::read(3, 3.0)]);
+        assert_eq!(s.on_arrive(&t1, Tick(0)).unwrap().0, Admission::Admitted);
+        assert_eq!(s.on_arrive(&t2, Tick(0)).unwrap().0, Admission::Admitted);
+        assert_eq!(s.on_arrive(&t3, Tick(0)).unwrap().0, Admission::Admitted);
+        let (out, ops) = s.on_request(TxnId(2), 0, Tick(1)).unwrap();
+        assert_eq!(out, LockOutcome::Delayed);
+        assert_eq!(ops.chain_opts, 1);
+        // W must orient T3 before T2 and T1 before T2.
+        let w = s.current_w().unwrap();
+        assert!(w.contains(&(TxnId(1), TxnId(2))));
+        assert!(w.contains(&(TxnId(3), TxnId(2))));
+        // T3's conflicting step is consistent with W and goes through.
+        assert_eq!(
+            s.on_request(TxnId(3), 0, Tick(1)).unwrap().0,
+            LockOutcome::Granted
+        );
+        // T1's first step too.
+        assert_eq!(
+            s.on_request(TxnId(1), 0, Tick(1)).unwrap().0,
+            LockOutcome::Granted
+        );
+    }
+
+    #[test]
+    fn rejects_chain_form_violation() {
+        let mut s = ChainScheduler::new(5000);
+        s.on_arrive(&t(1, vec![StepSpec::write(0, 1.0)]), Tick(0))
+            .unwrap();
+        s.on_arrive(
+            &t(2, vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)]),
+            Tick(0),
+        )
+        .unwrap();
+        s.on_arrive(&t(3, vec![StepSpec::write(1, 1.0)]), Tick(0))
+            .unwrap();
+        // T4 writing both partition 0 and 1 would give T2 conflict degree > 2.
+        let (adm, _) = s
+            .on_arrive(
+                &t(4, vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)]),
+                Tick(0),
+            )
+            .unwrap();
+        assert_eq!(adm, Admission::Rejected);
+        assert_eq!(s.active_txns(), 3);
+    }
+
+    #[test]
+    fn control_saving_reuses_w_within_keeptime() {
+        let mut s = ChainScheduler::new(5000);
+        let t1 = t(1, vec![StepSpec::write(0, 5.0), StepSpec::write(1, 5.0)]);
+        let t2 = t(2, vec![StepSpec::write(2, 5.0)]);
+        s.on_arrive(&t1, Tick(0)).unwrap();
+        s.on_arrive(&t2, Tick(0)).unwrap();
+        let (_, ops) = s.on_request(TxnId(1), 0, Tick(10)).unwrap();
+        assert_eq!(ops.chain_opts, 1); // first computation
+        let (_, ops) = s.on_request(TxnId(2), 0, Tick(20)).unwrap();
+        assert_eq!(ops.chain_opts, 0); // reused: no start/commit, within keeptime
+                                       // Past keeptime: recompute.
+        s.on_progress(TxnId(1), Work::from_objects(1)).unwrap();
+        s.on_step_complete(TxnId(1), 0).unwrap();
+        let (_, ops) = s.on_request(TxnId(1), 1, Tick(6000)).unwrap();
+        assert_eq!(ops.chain_opts, 1);
+    }
+
+    #[test]
+    fn commit_invalidates_w() {
+        let mut s = ChainScheduler::new(1_000_000);
+        let t1 = t(1, vec![StepSpec::write(0, 1.0)]);
+        let t2 = t(2, vec![StepSpec::write(1, 1.0)]);
+        s.on_arrive(&t1, Tick(0)).unwrap();
+        s.on_arrive(&t2, Tick(0)).unwrap();
+        let (_, ops) = s.on_request(TxnId(1), 0, Tick(1)).unwrap();
+        assert_eq!(ops.chain_opts, 1);
+        s.on_progress(TxnId(1), Work::from_objects(1)).unwrap();
+        s.on_step_complete(TxnId(1), 0).unwrap();
+        s.on_commit(TxnId(1), Tick(2)).unwrap();
+        let (_, ops) = s.on_request(TxnId(2), 0, Tick(3)).unwrap();
+        assert_eq!(ops.chain_opts, 1); // commit forced a recomputation
+    }
+
+    #[test]
+    fn follows_w_to_completion_without_deadlock() {
+        let mut s = ChainScheduler::new(5000);
+        let t1 = t(
+            1,
+            vec![
+                StepSpec::read(0, 1.0),
+                StepSpec::read(1, 3.0),
+                StepSpec::write(0, 1.0),
+            ],
+        );
+        let t2 = t(2, vec![StepSpec::read(2, 1.0), StepSpec::write(0, 1.0)]);
+        let t3 = t(3, vec![StepSpec::write(2, 1.0), StepSpec::read(3, 3.0)]);
+        for spec in [&t1, &t2, &t3] {
+            s.on_arrive(spec, Tick(0)).unwrap();
+        }
+        // Drive to completion with a simple retry loop; every transaction
+        // must finish (no deadlock, no starvation in this small scenario).
+        let mut pending: Vec<TxnSpec> = vec![t1, t2, t3];
+        let mut now = Tick(1);
+        let mut guard = 0;
+        while !pending.is_empty() {
+            guard += 1;
+            assert!(guard < 100, "scenario did not converge");
+            let mut next_round = Vec::new();
+            for spec in pending {
+                let id = spec.id;
+                let step = self_next_step(&s, id);
+                match s.on_request(id, step, now).unwrap().0 {
+                    LockOutcome::Granted => {
+                        let cost = spec.steps()[step].actual_cost;
+                        s.on_progress(id, cost).unwrap();
+                        s.on_step_complete(id, step).unwrap();
+                        if step + 1 == spec.len() {
+                            s.on_commit(id, now).unwrap();
+                        } else {
+                            next_round.push(spec);
+                        }
+                    }
+                    _ => next_round.push(spec),
+                }
+                now += 1;
+            }
+            pending = next_round;
+        }
+        assert_eq!(s.active_txns(), 0);
+    }
+
+    fn self_next_step(s: &ChainScheduler, id: TxnId) -> usize {
+        s.core.txns[&id].next_step
+    }
+}

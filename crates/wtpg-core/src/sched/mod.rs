@@ -1,0 +1,157 @@
+//! The schedulers: the paper's two WTPG schedulers, its three baselines, and
+//! the Experiment-4 hybrids, all behind one event-driven [`Scheduler`] trait.
+//!
+//! | name | paper | strategy |
+//! |---|---|---|
+//! | [`ChainScheduler`] | CC1, "CHAIN" (§3.2) | global optimisation: enforce the full SR-order with the shortest critical path; chain-form WTPGs only |
+//! | [`KWtpgScheduler`] | CC2, "K-WTPG" (§3.3) | local optimisation: grant the conflicting request with the smallest `E(q)`; K-conflict constraint |
+//! | [`AslScheduler`] | ASL (§4.1, after Tay) | atomic static locking: start only with all locks in hand |
+//! | [`C2plScheduler`] | C2PL (§4.1, after Nishio) | cautious strict 2PL: grant unless blocked or deadlock-predicted; never aborts |
+//! | [`NodcScheduler`] | NODC (§4.1) | grants everything — the resource-contention-only upper bound |
+//! | [`C2plScheduler::chain_c2pl`] | CHAIN-C2PL (§4.4) | C2PL plus the chain-form admission constraint (no weights) |
+//! | [`C2plScheduler::k_c2pl`] | K2-C2PL (§4.4) | C2PL plus the K-conflict admission constraint (no weights) |
+//! | [`GWtpgScheduler`] | — (our extension) | CHAIN's global strategy on arbitrary conflict graphs via the heuristic planner |
+//!
+//! The driver (simulator or application) owns retry policy: a `Rejected`
+//! admission or `Delayed` request is resubmitted after a fixed delay, a
+//! `Blocked` request is retried when a commit frees its partition — exactly
+//! the paper's "resubmitted after a fixed delay" discipline.
+
+mod asl;
+mod c2pl;
+mod chain_sched;
+mod common;
+mod gwtpg;
+mod kwtpg;
+mod nodc;
+
+pub use asl::AslScheduler;
+pub use c2pl::C2plScheduler;
+pub use chain_sched::ChainScheduler;
+pub use common::SchedCore;
+pub use gwtpg::GWtpgScheduler;
+pub use kwtpg::KWtpgScheduler;
+pub use nodc::NodcScheduler;
+
+use crate::error::CoreError;
+use crate::partition::PartitionId;
+use crate::time::Tick;
+use crate::txn::{TxnId, TxnSpec};
+use crate::work::Work;
+use crate::wtpg::Wtpg;
+
+/// Outcome of a transaction's start request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Admission {
+    /// The transaction was admitted: its declarations are registered and it
+    /// may start requesting step locks.
+    Admitted,
+    /// The transaction was turned away (structural constraint violated, or
+    /// ASL could not take every lock). Nothing was registered; resubmit the
+    /// same spec after a delay.
+    Rejected,
+}
+
+/// Outcome of a step lock request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LockOutcome {
+    /// The lock is held; ship the transaction to the data node.
+    Granted,
+    /// A conflicting lock is *held* by another transaction — retry when the
+    /// partition is freed by a commit.
+    Blocked,
+    /// The scheduler chose to wait (inconsistent with CHAIN's `W`, lost the
+    /// `E(q)` comparison, or deadlock predicted) — retry after a fixed delay.
+    Delayed,
+}
+
+/// Control-node work performed while handling an event, in units the
+/// simulator prices with the paper's `ddtime` / `chaintime` / `kwtpgtime`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ControlOps {
+    /// Deadlock predictions (C2PL-style cycle tests).
+    pub deadlock_tests: u32,
+    /// Full-SR-order optimisations (CHAIN's `W`).
+    pub chain_opts: u32,
+    /// `E(q)` evaluations actually computed (cache misses).
+    pub eq_evals: u32,
+}
+
+impl ControlOps {
+    /// No control work.
+    pub const NONE: ControlOps = ControlOps {
+        deadlock_tests: 0,
+        chain_opts: 0,
+        eq_evals: 0,
+    };
+
+    /// Component-wise sum.
+    pub fn merge(self, other: ControlOps) -> ControlOps {
+        ControlOps {
+            deadlock_tests: self.deadlock_tests + other.deadlock_tests,
+            chain_opts: self.chain_opts + other.chain_opts,
+            eq_evals: self.eq_evals + other.eq_evals,
+        }
+    }
+}
+
+/// Result of a commit: which partitions were freed (for waking blocked
+/// requests) and the control work performed.
+#[derive(Clone, Debug, Default)]
+pub struct CommitResult {
+    /// Partitions whose locks were released.
+    pub freed: Vec<PartitionId>,
+    /// Control work.
+    pub ops: ControlOps,
+}
+
+/// A concurrency-control scheduler for bulk-access transactions.
+///
+/// The driver must respect the protocol: admit before requesting, request
+/// steps in declared order, report progress and step completion for granted
+/// steps, and commit only after the last step completes. Protocol violations
+/// surface as [`CoreError`]s; scheduling outcomes (blocked/delayed/rejected)
+/// are ordinary values.
+pub trait Scheduler {
+    /// Short identifier ("CHAIN", "K2", "ASL", …) used in reports.
+    fn name(&self) -> &str;
+
+    /// A new transaction arrives, declaring all steps and I/O demands.
+    fn on_arrive(
+        &mut self,
+        spec: &TxnSpec,
+        now: Tick,
+    ) -> Result<(Admission, ControlOps), CoreError>;
+
+    /// The transaction requests the lock for its next step.
+    fn on_request(
+        &mut self,
+        txn: TxnId,
+        step: usize,
+        now: Tick,
+    ) -> Result<(LockOutcome, ControlOps), CoreError>;
+
+    /// A data node finished `amount` of bulk work for `txn`'s current step —
+    /// the per-object weight-adjustment message (§3.1).
+    fn on_progress(&mut self, txn: TxnId, amount: Work) -> Result<(), CoreError>;
+
+    /// The current step's bulk operation finished entirely.
+    fn on_step_complete(&mut self, txn: TxnId, step: usize) -> Result<(), CoreError>;
+
+    /// The transaction commits: release locks, drop it from the WTPG.
+    fn on_commit(&mut self, txn: TxnId, now: Tick) -> Result<CommitResult, CoreError>;
+
+    /// The transaction is cancelled mid-flight (user abort, node failure):
+    /// release everything it holds and forget it. The paper's model never
+    /// aborts a running BAT — "a bulk-operation is too expensive to abort" —
+    /// but an embeddable scheduler must survive one; the default
+    /// implementation mirrors a commit without requiring the step protocol
+    /// to have finished.
+    fn on_abort(&mut self, txn: TxnId, now: Tick) -> Result<CommitResult, CoreError>;
+
+    /// Number of admitted, uncommitted transactions.
+    fn active_txns(&self) -> usize;
+
+    /// Read access to the WTPG (empty for schedulers that keep none).
+    fn wtpg(&self) -> &Wtpg;
+}

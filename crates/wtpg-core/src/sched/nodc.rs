@@ -1,0 +1,146 @@
+//! NODC — "NO Data Contention" (paper §4.1): grants any lock at any time.
+//!
+//! Not a correct concurrency control at all; it exists to expose the pure
+//! resource-contention ceiling of the machine, against which the useful
+//! resource utilisation of the real schedulers is measured (Figure 7's
+//! discussion). Histories it produces are generally *not* serializable.
+
+use std::collections::BTreeMap;
+
+use crate::error::CoreError;
+use crate::time::Tick;
+use crate::txn::{TxnId, TxnSpec};
+use crate::work::Work;
+use crate::wtpg::Wtpg;
+
+use super::{Admission, CommitResult, ControlOps, LockOutcome, Scheduler};
+
+/// The no-data-contention pseudo-scheduler.
+#[derive(Clone, Debug, Default)]
+pub struct NodcScheduler {
+    /// Next-step bookkeeping only; no locks, no WTPG.
+    txns: BTreeMap<TxnId, (usize, usize)>, // txn → (next step, total steps)
+    empty_wtpg: Wtpg,
+}
+
+impl NodcScheduler {
+    /// Fresh scheduler.
+    pub fn new() -> NodcScheduler {
+        NodcScheduler::default()
+    }
+}
+
+impl Scheduler for NodcScheduler {
+    fn name(&self) -> &str {
+        "NODC"
+    }
+
+    fn on_arrive(
+        &mut self,
+        spec: &TxnSpec,
+        _now: Tick,
+    ) -> Result<(Admission, ControlOps), CoreError> {
+        if self.txns.contains_key(&spec.id) {
+            return Err(CoreError::DuplicateTxn(spec.id));
+        }
+        self.txns.insert(spec.id, (0, spec.len()));
+        Ok((Admission::Admitted, ControlOps::NONE))
+    }
+
+    fn on_request(
+        &mut self,
+        txn: TxnId,
+        step: usize,
+        _now: Tick,
+    ) -> Result<(LockOutcome, ControlOps), CoreError> {
+        let (next, total) = self.txns.get_mut(&txn).ok_or(CoreError::UnknownTxn(txn))?;
+        if step >= *total {
+            return Err(CoreError::BadStep { txn, step });
+        }
+        if step != *next {
+            return Err(CoreError::OutOfOrder {
+                txn,
+                expected: *next,
+                got: step,
+            });
+        }
+        *next = step + 1;
+        Ok((LockOutcome::Granted, ControlOps::NONE))
+    }
+
+    fn on_progress(&mut self, txn: TxnId, _amount: Work) -> Result<(), CoreError> {
+        self.txns
+            .contains_key(&txn)
+            .then_some(())
+            .ok_or(CoreError::UnknownTxn(txn))
+    }
+
+    fn on_step_complete(&mut self, txn: TxnId, _step: usize) -> Result<(), CoreError> {
+        self.txns
+            .contains_key(&txn)
+            .then_some(())
+            .ok_or(CoreError::UnknownTxn(txn))
+    }
+
+    fn on_commit(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
+        self.txns.remove(&txn).ok_or(CoreError::UnknownTxn(txn))?;
+        Ok(CommitResult::default())
+    }
+
+    fn on_abort(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
+        self.txns.remove(&txn).ok_or(CoreError::UnknownTxn(txn))?;
+        Ok(CommitResult::default())
+    }
+
+    fn active_txns(&self) -> usize {
+        self.txns.len()
+    }
+
+    fn wtpg(&self) -> &Wtpg {
+        &self.empty_wtpg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::StepSpec;
+
+    #[test]
+    fn everything_is_granted_immediately() {
+        let mut s = NodcScheduler::new();
+        for id in 1..=10u64 {
+            let spec = TxnSpec::new(TxnId(id), vec![StepSpec::write(0, 1.0)]);
+            assert_eq!(s.on_arrive(&spec, Tick(0)).unwrap().0, Admission::Admitted);
+            assert_eq!(
+                s.on_request(TxnId(id), 0, Tick(0)).unwrap().0,
+                LockOutcome::Granted
+            );
+        }
+        assert_eq!(s.active_txns(), 10);
+        for id in 1..=10u64 {
+            s.on_progress(TxnId(id), Work::from_objects(1)).unwrap();
+            s.on_step_complete(TxnId(id), 0).unwrap();
+            s.on_commit(TxnId(id), Tick(1)).unwrap();
+        }
+        assert_eq!(s.active_txns(), 0);
+    }
+
+    #[test]
+    fn still_enforces_driver_protocol() {
+        let mut s = NodcScheduler::new();
+        let spec = TxnSpec::new(
+            TxnId(1),
+            vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)],
+        );
+        s.on_arrive(&spec, Tick(0)).unwrap();
+        assert!(matches!(
+            s.on_request(TxnId(1), 1, Tick(0)),
+            Err(CoreError::OutOfOrder { .. })
+        ));
+        assert!(matches!(
+            s.on_commit(TxnId(9), Tick(0)),
+            Err(CoreError::UnknownTxn(_))
+        ));
+    }
+}

@@ -1,0 +1,98 @@
+//! Simulated time, in integer milliseconds ("clocks", paper §4.1).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time. One tick is one millisecond — the paper's
+/// simulation clock ("1 clock = 1 ms").
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Tick(pub u64);
+
+impl Tick {
+    /// Time zero.
+    pub const ZERO: Tick = Tick(0);
+
+    /// Builds a tick from whole seconds.
+    #[inline]
+    pub const fn from_secs(secs: u64) -> Tick {
+        Tick(secs * 1000)
+    }
+
+    /// Milliseconds since time zero.
+    #[inline]
+    pub const fn millis(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since time zero (fractional).
+    #[inline]
+    pub fn secs(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Saturating difference between two instants, as a duration in ticks.
+    #[inline]
+    pub const fn saturating_since(self, earlier: Tick) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+}
+
+impl Add<u64> for Tick {
+    type Output = Tick;
+    #[inline]
+    fn add(self, rhs: u64) -> Tick {
+        Tick(self.0 + rhs)
+    }
+}
+
+impl AddAssign<u64> for Tick {
+    #[inline]
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 += rhs;
+    }
+}
+
+impl Sub for Tick {
+    type Output = u64;
+    /// Duration in milliseconds between two instants.
+    ///
+    /// # Panics
+    /// Panics if `rhs` is later than `self`.
+    #[inline]
+    fn sub(self, rhs: Tick) -> u64 {
+        self.0.checked_sub(rhs.0).expect("tick underflow")
+    }
+}
+
+impl fmt::Debug for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}ms", self.0)
+    }
+}
+
+impl fmt::Display for Tick {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.secs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_conversion() {
+        assert_eq!(Tick::from_secs(70).millis(), 70_000);
+        assert_eq!(Tick(1500).secs(), 1.5);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Tick(100) + 50;
+        assert_eq!(t, Tick(150));
+        assert_eq!(t - Tick(100), 50);
+        assert_eq!(Tick(10).saturating_since(Tick(30)), 0);
+        assert_eq!(Tick(30).saturating_since(Tick(10)), 20);
+    }
+}

@@ -1,0 +1,220 @@
+//! Fixed-point work amounts, measured in milli-objects.
+//!
+//! The paper's cost unit is the *object* — "a unit of data for bulk data
+//! processing", e.g. ~60 disk tracks (§2.2) — but its workloads use
+//! fractional costs (`w(F1:0.2)` in Pattern 1). To keep every weight
+//! comparison exact we represent work as a fixed-point integer count of
+//! **milli-objects**: `Work(1000)` is exactly one object. At the paper's
+//! `ObjTime = 1 s` this makes one unit of [`Work`] equal one simulated
+//! millisecond, so the simulator never touches floating point on its hot path.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// Milli-objects per object.
+pub const UNITS_PER_OBJECT: u64 = 1000;
+
+/// An amount of bulk-data work, in fixed-point milli-objects.
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Work(u64);
+
+impl Work {
+    /// No work at all.
+    pub const ZERO: Work = Work(0);
+
+    /// Exactly one object.
+    pub const ONE_OBJECT: Work = Work(UNITS_PER_OBJECT);
+
+    /// Builds a `Work` from a raw milli-object count.
+    #[inline]
+    pub const fn from_units(units: u64) -> Work {
+        Work(units)
+    }
+
+    /// Builds a `Work` from a whole number of objects.
+    #[inline]
+    pub const fn from_objects(objects: u64) -> Work {
+        Work(objects * UNITS_PER_OBJECT)
+    }
+
+    /// Builds a `Work` from a fractional object count, rounding to the
+    /// nearest milli-object.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite input — costs are physical I/O
+    /// demands and can never be negative (erroneous declarations are clamped
+    /// at zero *before* reaching this constructor, per Experiment 4's
+    /// `C = 0 when x ≤ −1` rule).
+    pub fn from_objects_f64(objects: f64) -> Work {
+        assert!(
+            objects.is_finite() && objects >= 0.0,
+            "work must be a finite non-negative object count, got {objects}"
+        );
+        Work((objects * UNITS_PER_OBJECT as f64).round() as u64)
+    }
+
+    /// Raw milli-object count.
+    #[inline]
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// This work expressed in (fractional) objects.
+    #[inline]
+    pub fn objects(self) -> f64 {
+        self.0 as f64 / UNITS_PER_OBJECT as f64
+    }
+
+    /// True if there is no work.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Saturating subtraction: removing more work than remains leaves zero.
+    #[inline]
+    pub const fn saturating_sub(self, rhs: Work) -> Work {
+        Work(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The smaller of two amounts.
+    #[inline]
+    pub fn min(self, rhs: Work) -> Work {
+        Work(self.0.min(rhs.0))
+    }
+
+    /// The larger of two amounts.
+    #[inline]
+    pub fn max(self, rhs: Work) -> Work {
+        Work(self.0.max(rhs.0))
+    }
+
+    /// Scales this work by `factor`, rounding to the nearest unit.
+    ///
+    /// Used by the Experiment-4 error model (`C = C0 · (1 + x)`); negative
+    /// results clamp to zero as the paper specifies.
+    pub fn scale(self, factor: f64) -> Work {
+        assert!(factor.is_finite(), "scale factor must be finite");
+        let scaled = self.0 as f64 * factor;
+        if scaled <= 0.0 {
+            Work::ZERO
+        } else {
+            Work(scaled.round() as u64)
+        }
+    }
+}
+
+impl Add for Work {
+    type Output = Work;
+    #[inline]
+    fn add(self, rhs: Work) -> Work {
+        Work(self.0.checked_add(rhs.0).expect("work overflow"))
+    }
+}
+
+impl AddAssign for Work {
+    #[inline]
+    fn add_assign(&mut self, rhs: Work) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Work {
+    type Output = Work;
+    /// # Panics
+    /// Panics on underflow; use [`Work::saturating_sub`] where the paper's
+    /// semantics call for clamping.
+    #[inline]
+    fn sub(self, rhs: Work) -> Work {
+        Work(self.0.checked_sub(rhs.0).expect("work underflow"))
+    }
+}
+
+impl SubAssign for Work {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Work) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for Work {
+    fn sum<I: Iterator<Item = Work>>(iter: I) -> Work {
+        iter.fold(Work::ZERO, Add::add)
+    }
+}
+
+impl fmt::Debug for Work {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Work({})", self.objects())
+    }
+}
+
+impl fmt::Display for Work {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_multiple_of(UNITS_PER_OBJECT) {
+            write!(f, "{}", self.0 / UNITS_PER_OBJECT)
+        } else {
+            write!(f, "{}", self.objects())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_conversions_round_trip() {
+        assert_eq!(Work::from_objects(5).units(), 5000);
+        assert_eq!(Work::from_objects_f64(0.2).units(), 200);
+        assert_eq!(Work::from_objects_f64(0.2).objects(), 0.2);
+        assert_eq!(Work::from_objects_f64(1.0), Work::ONE_OBJECT);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Work::from_objects(3);
+        let b = Work::from_objects_f64(0.5);
+        assert_eq!((a + b).objects(), 3.5);
+        assert_eq!((a - b).objects(), 2.5);
+        assert_eq!(b.saturating_sub(a), Work::ZERO);
+        let total: Work = [a, b, b].into_iter().sum();
+        assert_eq!(total.objects(), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn strict_sub_panics_on_underflow() {
+        let _ = Work::from_objects(1) - Work::from_objects(2);
+    }
+
+    #[test]
+    fn scale_clamps_at_zero() {
+        let c = Work::from_objects(4);
+        assert_eq!(c.scale(1.5).objects(), 6.0);
+        assert_eq!(c.scale(0.0), Work::ZERO);
+        assert_eq!(c.scale(-0.3), Work::ZERO);
+    }
+
+    #[test]
+    fn display_prefers_integers() {
+        assert_eq!(Work::from_objects(5).to_string(), "5");
+        assert_eq!(Work::from_objects_f64(0.2).to_string(), "0.2");
+    }
+
+    #[test]
+    fn min_max() {
+        let a = Work::from_units(10);
+        let b = Work::from_units(20);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_objects_rejected() {
+        let _ = Work::from_objects_f64(-1.0);
+    }
+}

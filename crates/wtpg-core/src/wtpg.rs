@@ -1,0 +1,769 @@
+//! The Weighted Transaction Precedence Graph (paper §3.1, Definition 1).
+//!
+//! Nodes are the live transactions plus two virtual endpoints: `T0`, the
+//! initial transaction, and `Tf`, the final one. Between transactions there
+//! are two kinds of edges:
+//!
+//! * **conflicting edges** `(Ti, Tj)` — an unresolved pair of directed edges
+//!   created when both transactions have issued conflicting lock declarations
+//!   on some granule, carrying *both* candidate weights;
+//! * **precedence edges** `Ti → Tj` — a resolved serialization decision,
+//!   produced only by resolving a conflicting edge.
+//!
+//! Weights count work in objects (fixed-point [`Work`] units):
+//! `w(T0→Ti)` is what `Ti` must still access before it commits (decremented
+//! live, one message per processed object), `w(Ti→Tj)` is what `Tj` must
+//! access *after `Ti` commits* before `Tj` itself commits, and `w(Ti→Tf)` is
+//! zero under the paper's cost model (bulk-updated data are written back
+//! immediately). The longest `T0 → Tf` path of a fully resolved WTPG is the
+//! earliest possible completion time of the whole schedule — the quantity
+//! both CHAIN and K-WTPG minimise.
+//!
+//! Committed transactions are removed: their locks are gone and their
+//! outgoing precedence edges are satisfied constraints (see DESIGN.md §5).
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use crate::error::CoreError;
+use crate::lock::ArrivalConflict;
+use crate::txn::TxnId;
+use crate::work::Work;
+
+/// Orientation of a resolved chain edge, in chain-label order: `Down` means
+/// `n[k] → n[k+1]`, `Up` means `n[k+1] → n[k]` (paper appendix notation).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub enum Dir {
+    /// Lower label precedes higher label.
+    Down,
+    /// Higher label precedes lower label.
+    Up,
+}
+
+impl Dir {
+    /// The opposite orientation.
+    pub fn flip(self) -> Dir {
+        match self {
+            Dir::Down => Dir::Up,
+            Dir::Up => Dir::Down,
+        }
+    }
+}
+
+#[derive(Clone, Debug, Default)]
+struct TxnEntry {
+    /// `w(T0 → Ti)`: declared work remaining before commit.
+    t0_weight: Work,
+    /// Outgoing precedence edges: successor → weight.
+    out: BTreeMap<TxnId, Work>,
+    /// Sources of incoming precedence edges.
+    inc: BTreeSet<TxnId>,
+    /// Unresolved conflicting edges: partner → weight of *my → partner*.
+    /// Symmetric: partner's map holds the reverse weight.
+    conf: BTreeMap<TxnId, Work>,
+}
+
+/// The Weighted Transaction Precedence Graph over the live transactions.
+#[derive(Clone, Debug, Default)]
+pub struct Wtpg {
+    txns: BTreeMap<TxnId, TxnEntry>,
+}
+
+impl Wtpg {
+    /// An empty WTPG (just `T0` and `Tf`, conceptually).
+    pub fn new() -> Wtpg {
+        Wtpg::default()
+    }
+
+    /// Number of live transaction nodes.
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// True when no transactions are live.
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// True if `txn` is a live node.
+    pub fn contains(&self, txn: TxnId) -> bool {
+        self.txns.contains_key(&txn)
+    }
+
+    /// Live transaction ids, ascending.
+    pub fn txn_ids(&self) -> impl Iterator<Item = TxnId> + '_ {
+        self.txns.keys().copied()
+    }
+
+    fn entry(&self, txn: TxnId) -> Result<&TxnEntry, CoreError> {
+        self.txns.get(&txn).ok_or(CoreError::UnknownTxn(txn))
+    }
+
+    /// Adds a transaction node with its initial `w(T0 → Ti) = due(s_0)`.
+    ///
+    /// # Errors
+    /// [`CoreError::DuplicateTxn`] if the id is already live.
+    pub fn add_txn(&mut self, txn: TxnId, t0_weight: Work) -> Result<(), CoreError> {
+        if self.txns.contains_key(&txn) {
+            return Err(CoreError::DuplicateTxn(txn));
+        }
+        self.txns.insert(
+            txn,
+            TxnEntry {
+                t0_weight,
+                ..TxnEntry::default()
+            },
+        );
+        Ok(())
+    }
+
+    /// Removes a committed (or aborted) transaction and every incident edge.
+    pub fn remove_txn(&mut self, txn: TxnId) -> Result<(), CoreError> {
+        let entry = self.txns.remove(&txn).ok_or(CoreError::UnknownTxn(txn))?;
+        for succ in entry.out.keys() {
+            if let Some(e) = self.txns.get_mut(succ) {
+                e.inc.remove(&txn);
+            }
+        }
+        for pred in &entry.inc {
+            if let Some(e) = self.txns.get_mut(pred) {
+                e.out.remove(&txn);
+            }
+        }
+        for partner in entry.conf.keys() {
+            if let Some(e) = self.txns.get_mut(partner) {
+                e.conf.remove(&txn);
+            }
+        }
+        Ok(())
+    }
+
+    /// Ingests the conflicts discovered at `txn`'s arrival: held-lock
+    /// conflicts become precedence edges `other → txn` immediately; declared
+    /// conflicts become (or merge into) conflicting edges, with the paper's
+    /// max rule aggregating multiple granule conflicts per pair.
+    ///
+    /// Held conflicts are applied first so that a pair which is already
+    /// ordered by a held lock folds its declared conflicts into the
+    /// precedence edge rather than creating a phantom conflicting edge.
+    pub fn ingest_arrival(
+        &mut self,
+        txn: TxnId,
+        conflicts: &[ArrivalConflict],
+    ) -> Result<(), CoreError> {
+        for c in conflicts {
+            if let ArrivalConflict::Held { other, my_due } = *c {
+                self.add_or_merge_precedence(other, txn, my_due)?;
+            }
+        }
+        for c in conflicts {
+            if let ArrivalConflict::Declared {
+                other,
+                my_due,
+                other_due,
+            } = *c
+            {
+                self.add_or_merge_conflict(txn, other, other_due, my_due)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Adds (or max-merges) a conflicting edge between `a` and `b` with
+    /// weights `w_ab = w(a→b)` and `w_ba = w(b→a)`.
+    ///
+    /// If the pair already carries a precedence edge — the serialization
+    /// order was decided by an earlier grant or a held lock — the matching
+    /// directed weight is merged into it instead (the other candidate weight
+    /// is moot: a resolved pair stays resolved).
+    pub fn add_or_merge_conflict(
+        &mut self,
+        a: TxnId,
+        b: TxnId,
+        w_ab: Work,
+        w_ba: Work,
+    ) -> Result<(), CoreError> {
+        if a == b {
+            return Ok(()); // a transaction never conflicts with itself
+        }
+        self.entry(a)?;
+        self.entry(b)?;
+        if self.txns[&a].out.contains_key(&b) {
+            let w = self
+                .txns
+                .get_mut(&a)
+                .expect("checked")
+                .out
+                .get_mut(&b)
+                .expect("checked");
+            *w = (*w).max(w_ab);
+            return Ok(());
+        }
+        if self.txns[&b].out.contains_key(&a) {
+            let w = self
+                .txns
+                .get_mut(&b)
+                .expect("checked")
+                .out
+                .get_mut(&a)
+                .expect("checked");
+            *w = (*w).max(w_ba);
+            return Ok(());
+        }
+        {
+            let ea = self.txns.get_mut(&a).expect("checked");
+            let w = ea.conf.entry(b).or_insert(Work::ZERO);
+            *w = (*w).max(w_ab);
+        }
+        {
+            let eb = self.txns.get_mut(&b).expect("checked");
+            let w = eb.conf.entry(a).or_insert(Work::ZERO);
+            *w = (*w).max(w_ba);
+        }
+        Ok(())
+    }
+
+    fn add_or_merge_precedence(
+        &mut self,
+        from: TxnId,
+        to: TxnId,
+        w: Work,
+    ) -> Result<(), CoreError> {
+        if from == to {
+            return Ok(());
+        }
+        self.entry(from)?;
+        self.entry(to)?;
+        debug_assert!(
+            !self.txns[&to].out.contains_key(&from),
+            "precedence edge {to}→{from} contradicts requested {from}→{to}"
+        );
+        // A conflicting edge between the pair collapses into the precedence edge.
+        let conf_w = self.txns.get_mut(&from).expect("checked").conf.remove(&to);
+        self.txns.get_mut(&to).expect("checked").conf.remove(&from);
+        let merged = conf_w.map_or(w, |c| c.max(w));
+        let e = self.txns.get_mut(&from).expect("checked");
+        let slot = e.out.entry(to).or_insert(Work::ZERO);
+        *slot = (*slot).max(merged);
+        self.txns.get_mut(&to).expect("checked").inc.insert(from);
+        Ok(())
+    }
+
+    /// Resolves the conflicting edge `(from, to)` into the precedence edge
+    /// `from → to`, carrying the stored `w(from→to)` weight (paper
+    /// Definition 1, item 2). Resolving an already-resolved pair in the same
+    /// direction is a no-op; in the opposite direction it is a logic error
+    /// caught in debug builds.
+    pub fn resolve(&mut self, from: TxnId, to: TxnId) -> Result<(), CoreError> {
+        self.entry(from)?;
+        self.entry(to)?;
+        if self.txns[&from].out.contains_key(&to) {
+            return Ok(());
+        }
+        let w = self.txns[&from]
+            .conf
+            .get(&to)
+            .copied()
+            .unwrap_or(Work::ZERO);
+        self.add_or_merge_precedence(from, to, w)
+    }
+
+    /// `w(T0 → txn)`.
+    pub fn t0_weight(&self, txn: TxnId) -> Result<Work, CoreError> {
+        Ok(self.entry(txn)?.t0_weight)
+    }
+
+    /// Sets `w(T0 → txn)` outright — used at step boundaries, where the
+    /// remaining declared work is known exactly (`due(next step)`).
+    pub fn set_t0_weight(&mut self, txn: TxnId, w: Work) -> Result<(), CoreError> {
+        self.txns
+            .get_mut(&txn)
+            .ok_or(CoreError::UnknownTxn(txn))?
+            .t0_weight = w;
+        Ok(())
+    }
+
+    /// Decrements `w(T0 → txn)` by `amount`, never dropping below `floor` —
+    /// the per-object weight-adjustment message from the data node (§3.1).
+    /// The floor protects against over-decrement when declared costs are
+    /// erroneous (Experiment 4).
+    pub fn decrement_t0_weight(
+        &mut self,
+        txn: TxnId,
+        amount: Work,
+        floor: Work,
+    ) -> Result<(), CoreError> {
+        let e = self.txns.get_mut(&txn).ok_or(CoreError::UnknownTxn(txn))?;
+        e.t0_weight = e.t0_weight.saturating_sub(amount).max(floor);
+        Ok(())
+    }
+
+    /// Weight of the precedence edge `from → to`, if that edge exists.
+    pub fn precedence_weight(&self, from: TxnId, to: TxnId) -> Option<Work> {
+        self.txns.get(&from)?.out.get(&to).copied()
+    }
+
+    /// Weights `(w(a→b), w(b→a))` of the conflicting edge between `a` and
+    /// `b`, if the pair is (still) unresolved.
+    pub fn conflict_weights(&self, a: TxnId, b: TxnId) -> Option<(Work, Work)> {
+        let ab = *self.txns.get(&a)?.conf.get(&b)?;
+        let ba = *self.txns.get(&b)?.conf.get(&a)?;
+        Some((ab, ba))
+    }
+
+    /// Partners of `txn` over *unresolved* conflicting edges, ascending.
+    pub fn conflict_partners(&self, txn: TxnId) -> Vec<TxnId> {
+        self.txns
+            .get(&txn)
+            .map(|e| e.conf.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Direct precedence successors of `txn`.
+    pub fn precedence_successors(&self, txn: TxnId) -> Vec<TxnId> {
+        self.txns
+            .get(&txn)
+            .map(|e| e.out.keys().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// Direct precedence predecessors of `txn`.
+    pub fn precedence_predecessors(&self, txn: TxnId) -> Vec<TxnId> {
+        self.txns
+            .get(&txn)
+            .map(|e| e.inc.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All unresolved conflicting edges as `(a, b, w(a→b), w(b→a))` with
+    /// `a < b`, ascending.
+    pub fn conflict_edges(&self) -> Vec<(TxnId, TxnId, Work, Work)> {
+        let mut out = Vec::new();
+        for (&a, e) in &self.txns {
+            for (&b, &w_ab) in &e.conf {
+                if a < b {
+                    let w_ba = self.txns[&b].conf[&a];
+                    out.push((a, b, w_ab, w_ba));
+                }
+            }
+        }
+        out
+    }
+
+    /// All precedence edges as `(from, to, weight)`, ascending by source.
+    pub fn precedence_edges(&self) -> Vec<(TxnId, TxnId, Work)> {
+        let mut out = Vec::new();
+        for (&a, e) in &self.txns {
+            for (&b, &w) in &e.out {
+                out.push((a, b, w));
+            }
+        }
+        out
+    }
+
+    /// `before(txn)`: transactions that (transitively) precede `txn` along
+    /// precedence edges (paper §3.3 Step 1).
+    pub fn before(&self, txn: TxnId) -> BTreeSet<TxnId> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<TxnId> = self
+            .txns
+            .get(&txn)
+            .map(|e| e.inc.iter().copied().collect())
+            .unwrap_or_default();
+        while let Some(t) = stack.pop() {
+            if seen.insert(t) {
+                stack.extend(self.txns[&t].inc.iter().copied());
+            }
+        }
+        seen
+    }
+
+    /// `after(txn)`: transactions that `txn` (transitively) precedes.
+    pub fn after(&self, txn: TxnId) -> BTreeSet<TxnId> {
+        let mut seen = BTreeSet::new();
+        let mut stack: Vec<TxnId> = self
+            .txns
+            .get(&txn)
+            .map(|e| e.out.keys().copied().collect())
+            .unwrap_or_default();
+        while let Some(t) = stack.pop() {
+            if seen.insert(t) {
+                stack.extend(self.txns[&t].out.keys().copied());
+            }
+        }
+        seen
+    }
+
+    /// True if the precedence edges contain a directed cycle — a deadlock.
+    /// (Never true while the schedulers' grant checks hold; used as a
+    /// validation invariant and by hypothetical overlays.)
+    pub fn has_cycle(&self) -> bool {
+        self.critical_path().is_none()
+    }
+
+    /// True if adding the precedence edge `from → to` would create a cycle:
+    /// the deadlock *prediction* primitive (C2PL, and `E(q) = ∞`).
+    pub fn would_deadlock(&self, from: TxnId, to: TxnId) -> bool {
+        if from == to {
+            return true;
+        }
+        if !self.txns.contains_key(&from) || !self.txns.contains_key(&to) {
+            return false;
+        }
+        self.after(to).contains(&from)
+    }
+
+    /// Longest `T0 → Tf` path over the precedence edges alone (conflicting
+    /// edges ignored — `E(q)`'s Step 3 deletion), or `None` when the
+    /// precedence edges are cyclic.
+    ///
+    /// `dist(T) = max(w(T0→T), max over predecessors P of dist(P) + w(P→T))`
+    /// and the critical path is `max over T of dist(T)` since every
+    /// `w(T → Tf)` is zero.
+    pub fn critical_path(&self) -> Option<Work> {
+        // Kahn order over precedence edges.
+        let mut indeg: BTreeMap<TxnId, usize> =
+            self.txns.iter().map(|(&t, e)| (t, e.inc.len())).collect();
+        let mut queue: VecDeque<TxnId> = indeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&t, _)| t)
+            .collect();
+        let mut dist: BTreeMap<TxnId, Work> = BTreeMap::new();
+        let mut visited = 0usize;
+        let mut best = Work::ZERO;
+        while let Some(t) = queue.pop_front() {
+            visited += 1;
+            let e = &self.txns[&t];
+            let dt = dist.get(&t).copied().unwrap_or(Work::ZERO).max(e.t0_weight);
+            best = best.max(dt);
+            for (&s, &w) in &e.out {
+                let cand = dt + w;
+                let slot = dist.entry(s).or_insert(Work::ZERO);
+                if cand > *slot {
+                    *slot = cand;
+                }
+                let d = indeg.get_mut(&s).expect("successor is live");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push_back(s);
+                }
+            }
+        }
+        (visited == self.txns.len()).then_some(best)
+    }
+
+    /// Builds the WTPG of a set of simultaneously declared transactions —
+    /// every pair's conflicts become conflicting edges with the §3.1
+    /// weights, nothing resolved. The static analogue of what a scheduler
+    /// constructs incrementally; used by the planner, the CLI and tests.
+    ///
+    /// # Errors
+    /// [`CoreError::DuplicateTxn`] on repeated ids.
+    pub fn from_declared(specs: &[crate::txn::TxnSpec]) -> Result<Wtpg, CoreError> {
+        let mut locks = crate::lock::LockTable::new();
+        let mut g = Wtpg::new();
+        for spec in specs {
+            if g.contains(spec.id) {
+                return Err(CoreError::DuplicateTxn(spec.id));
+            }
+            locks.declare(spec);
+            g.add_txn(spec.id, spec.total_declared())?;
+            let conflicts = locks.arrival_conflicts(spec);
+            g.ingest_arrival(spec.id, &conflicts)?;
+        }
+        Ok(g)
+    }
+
+    /// If the precedence edges are cyclic, names one cycle — for diagnostics
+    /// only; the schedulers' grant checks keep live WTPGs acyclic.
+    pub fn find_precedence_cycle(&self) -> Option<Vec<TxnId>> {
+        let mut dg: wtpg_graph::DiGraph<TxnId, ()> = wtpg_graph::DiGraph::new();
+        let mut nodes = BTreeMap::new();
+        for t in self.txn_ids() {
+            nodes.insert(t, dg.add_node(t));
+        }
+        for (a, b, _) in self.precedence_edges() {
+            dg.add_edge(nodes[&a], nodes[&b], ());
+        }
+        wtpg_graph::find_cycle(&dg).map(|cycle| {
+            cycle
+                .into_iter()
+                .map(|n| *dg.node_weight(n).expect("cycle node is live"))
+                .collect()
+        })
+    }
+
+    /// Renders the WTPG in Graphviz DOT: solid arrows for precedence edges,
+    /// dashed double arrows for conflicting pairs, and `T0` with its weights.
+    pub fn to_dot(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::from("digraph wtpg {\n  rankdir=LR;\n  T0 [shape=doublecircle];\n");
+        for (&t, e) in &self.txns {
+            let _ = writeln!(s, "  \"{t}\";");
+            let _ = writeln!(
+                s,
+                "  T0 -> \"{t}\" [label=\"{}\", color=gray];",
+                e.t0_weight
+            );
+        }
+        for (a, b, w) in self.precedence_edges() {
+            let _ = writeln!(s, "  \"{a}\" -> \"{b}\" [label=\"{w}\"];");
+        }
+        for (a, b, w_ab, w_ba) in self.conflict_edges() {
+            let _ = writeln!(s, "  \"{a}\" -> \"{b}\" [label=\"{w_ab}\", style=dashed];");
+            let _ = writeln!(s, "  \"{b}\" -> \"{a}\" [label=\"{w_ba}\", style=dashed];");
+        }
+        s.push_str("}\n");
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(o: u64) -> Work {
+        Work::from_objects(o)
+    }
+
+    /// Builds the paper's Figure 2-(a): T1/T2 conflict on A, T2/T3 on C.
+    ///
+    /// Weights from Example 3.1: w(T0→T1)=5, w(T0→T2)=2, w(T0→T3)=4;
+    /// (T1,T2): w(T1→T2)=1, w(T2→T1)=5; (T2,T3): w(T2→T3)=4, w(T3→T2)=2.
+    fn figure2a() -> Wtpg {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(5)).unwrap();
+        g.add_txn(TxnId(2), w(2)).unwrap();
+        g.add_txn(TxnId(3), w(4)).unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(5))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(2), TxnId(3), w(4), w(2))
+            .unwrap();
+        g
+    }
+
+    /// Example 3.2: resolving by W = {T1→T2, T3→T2} yields critical path 6.
+    #[test]
+    fn example_3_2_short_critical_path() {
+        let mut g = figure2a();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        g.resolve(TxnId(3), TxnId(2)).unwrap();
+        assert_eq!(g.critical_path(), Some(w(6))); // T0 →5 T1 →1 T2
+    }
+
+    /// Example 3.2: the chain of blocking {T1→T2→T3} yields length 10.
+    #[test]
+    fn example_3_2_chain_of_blocking() {
+        let mut g = figure2a();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        g.resolve(TxnId(2), TxnId(3)).unwrap();
+        assert_eq!(g.critical_path(), Some(w(10))); // T0 →5 T1 →1 T2 →4 T3
+    }
+
+    #[test]
+    fn unresolved_conflicts_are_ignored_by_critical_path() {
+        let g = figure2a();
+        // No precedence edges yet: critical path = max T0 weight = 5.
+        assert_eq!(g.critical_path(), Some(w(5)));
+    }
+
+    #[test]
+    fn conflict_max_merge_across_granules() {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(9)).unwrap();
+        g.add_txn(TxnId(2), w(9)).unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(4))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(3), w(2))
+            .unwrap();
+        assert_eq!(g.conflict_weights(TxnId(1), TxnId(2)), Some((w(3), w(4))));
+    }
+
+    #[test]
+    fn conflict_after_resolution_merges_into_precedence() {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(9)).unwrap();
+        g.add_txn(TxnId(2), w(9)).unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(4))
+            .unwrap();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        assert_eq!(g.precedence_weight(TxnId(1), TxnId(2)), Some(w(1)));
+        // A later conflict on another granule folds into the existing edge.
+        g.add_or_merge_conflict(TxnId(2), TxnId(1), w(7), w(2))
+            .unwrap();
+        assert_eq!(g.precedence_weight(TxnId(1), TxnId(2)), Some(w(2)));
+        assert_eq!(g.conflict_weights(TxnId(1), TxnId(2)), None);
+    }
+
+    #[test]
+    fn ingest_arrival_held_then_declared() {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(5)).unwrap();
+        g.add_txn(TxnId(2), w(3)).unwrap();
+        g.ingest_arrival(
+            TxnId(2),
+            &[
+                ArrivalConflict::Declared {
+                    other: TxnId(1),
+                    my_due: w(2),
+                    other_due: w(4),
+                },
+                ArrivalConflict::Held {
+                    other: TxnId(1),
+                    my_due: w(3),
+                },
+            ],
+        )
+        .unwrap();
+        // Held conflict resolves the pair T1 → T2; declared conflict merges.
+        assert_eq!(g.precedence_weight(TxnId(1), TxnId(2)), Some(w(3)));
+        assert!(g.conflict_weights(TxnId(1), TxnId(2)).is_none());
+    }
+
+    #[test]
+    fn before_and_after_are_transitive() {
+        let mut g = figure2a();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        g.resolve(TxnId(2), TxnId(3)).unwrap();
+        assert_eq!(g.before(TxnId(3)), BTreeSet::from([TxnId(1), TxnId(2)]));
+        assert_eq!(g.after(TxnId(1)), BTreeSet::from([TxnId(2), TxnId(3)]));
+        assert!(g.before(TxnId(1)).is_empty());
+    }
+
+    #[test]
+    fn deadlock_prediction() {
+        let mut g = figure2a();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        g.resolve(TxnId(2), TxnId(3)).unwrap();
+        assert!(g.would_deadlock(TxnId(3), TxnId(1)));
+        assert!(g.would_deadlock(TxnId(2), TxnId(1)));
+        assert!(!g.would_deadlock(TxnId(1), TxnId(3)));
+        assert!(g.would_deadlock(TxnId(1), TxnId(1)));
+    }
+
+    #[test]
+    fn remove_txn_detaches_all_edges() {
+        let mut g = figure2a();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        g.remove_txn(TxnId(2)).unwrap();
+        assert_eq!(g.len(), 2);
+        assert!(g.precedence_successors(TxnId(1)).is_empty());
+        assert!(g.conflict_partners(TxnId(3)).is_empty());
+        assert_eq!(g.critical_path(), Some(w(5)));
+    }
+
+    #[test]
+    fn weight_decrement_with_floor() {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(5)).unwrap();
+        g.decrement_t0_weight(TxnId(1), w(1), Work::ZERO).unwrap();
+        assert_eq!(g.t0_weight(TxnId(1)).unwrap(), w(4));
+        // Floor stops the decrement (erroneous-declaration clamp).
+        g.decrement_t0_weight(TxnId(1), w(10), w(2)).unwrap();
+        assert_eq!(g.t0_weight(TxnId(1)).unwrap(), w(2));
+    }
+
+    #[test]
+    fn duplicate_and_unknown_txn_errors() {
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(1)).unwrap();
+        assert_eq!(
+            g.add_txn(TxnId(1), w(1)),
+            Err(CoreError::DuplicateTxn(TxnId(1)))
+        );
+        assert_eq!(g.t0_weight(TxnId(9)), Err(CoreError::UnknownTxn(TxnId(9))));
+        assert_eq!(g.remove_txn(TxnId(9)), Err(CoreError::UnknownTxn(TxnId(9))));
+    }
+
+    #[test]
+    fn cycle_makes_critical_path_none() {
+        // Cycles cannot arise through resolve() under the schedulers' checks,
+        // but critical_path must stay total for validation code.
+        let mut g = Wtpg::new();
+        g.add_txn(TxnId(1), w(1)).unwrap();
+        g.add_txn(TxnId(2), w(1)).unwrap();
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(1))
+            .unwrap();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        // Force the reverse edge directly (bypassing debug assert via a fresh
+        // conflict is impossible — simulate by second conflict pair).
+        g.add_txn(TxnId(3), w(1)).unwrap();
+        g.add_or_merge_conflict(TxnId(2), TxnId(3), w(1), w(1))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(3), TxnId(1), w(1), w(1))
+            .unwrap();
+        g.resolve(TxnId(2), TxnId(3)).unwrap();
+        g.resolve(TxnId(3), TxnId(1)).unwrap();
+        assert!(g.has_cycle());
+        assert_eq!(g.critical_path(), None);
+    }
+
+    #[test]
+    fn from_declared_builds_figure2a() {
+        use crate::txn::{StepSpec, TxnSpec};
+        let specs = vec![
+            TxnSpec::new(
+                TxnId(1),
+                vec![
+                    StepSpec::read(0, 1.0),
+                    StepSpec::read(1, 3.0),
+                    StepSpec::write(0, 1.0),
+                ],
+            ),
+            TxnSpec::new(
+                TxnId(2),
+                vec![StepSpec::read(2, 1.0), StepSpec::write(0, 1.0)],
+            ),
+            TxnSpec::new(
+                TxnId(3),
+                vec![StepSpec::write(2, 1.0), StepSpec::read(3, 3.0)],
+            ),
+        ];
+        let g = Wtpg::from_declared(&specs).unwrap();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.conflict_weights(TxnId(1), TxnId(2)), Some((w(1), w(5))));
+        assert_eq!(g.conflict_weights(TxnId(2), TxnId(3)), Some((w(4), w(2))));
+        assert_eq!(g.t0_weight(TxnId(1)).unwrap(), w(5));
+        assert!(Wtpg::from_declared(&[specs[0].clone(), specs[0].clone()]).is_err());
+    }
+
+    #[test]
+    fn find_precedence_cycle_names_the_participants() {
+        let mut g = Wtpg::new();
+        for i in 1..=3 {
+            g.add_txn(TxnId(i), w(1)).unwrap();
+        }
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(1))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(2), TxnId(3), w(1), w(1))
+            .unwrap();
+        g.add_or_merge_conflict(TxnId(3), TxnId(1), w(1), w(1))
+            .unwrap();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        assert_eq!(g.find_precedence_cycle(), None);
+        g.resolve(TxnId(2), TxnId(3)).unwrap();
+        g.resolve(TxnId(3), TxnId(1)).unwrap();
+        let cycle = g.find_precedence_cycle().expect("cycle exists");
+        let mut sorted = cycle.clone();
+        sorted.sort();
+        assert_eq!(sorted, vec![TxnId(1), TxnId(2), TxnId(3)]);
+    }
+
+    #[test]
+    fn resolve_same_direction_is_idempotent() {
+        let mut g = figure2a();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        assert_eq!(g.precedence_weight(TxnId(1), TxnId(2)), Some(w(1)));
+    }
+
+    #[test]
+    fn dot_export_mentions_all_nodes() {
+        let g = figure2a();
+        let dot = g.to_dot();
+        assert!(dot.contains("\"T1\""));
+        assert!(dot.contains("\"T2\""));
+        assert!(dot.contains("\"T3\""));
+        assert!(dot.contains("style=dashed"));
+    }
+}

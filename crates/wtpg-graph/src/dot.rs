@@ -1,0 +1,87 @@
+//! Graphviz (DOT) export, used by the examples to visualise WTPGs.
+
+use std::fmt::Write as _;
+
+use crate::digraph::DiGraph;
+
+/// Renders the graph in Graphviz DOT syntax.
+///
+/// `node_label` and `edge_label` produce the display strings; labels are
+/// escaped for double-quoted DOT strings.
+pub fn to_dot<N, E>(
+    graph: &DiGraph<N, E>,
+    name: &str,
+    mut node_label: impl FnMut(&N) -> String,
+    mut edge_label: impl FnMut(&E) -> String,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", sanitize_id(name));
+    let _ = writeln!(out, "  rankdir=LR;");
+    for n in graph.node_ids() {
+        let label = graph
+            .node_weight(n)
+            .map(&mut node_label)
+            .unwrap_or_default();
+        let _ = writeln!(out, "  n{} [label=\"{}\"];", n.index(), escape(&label));
+    }
+    for e in graph.edge_refs() {
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"];",
+            e.source.index(),
+            e.target.index(),
+            escape(&edge_label(e.weight))
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize_id(name: &str) -> String {
+    let mut id: String = name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if id.is_empty() || id.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        id.insert(0, 'g');
+    }
+    id
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_nodes_and_edges() {
+        let mut g: DiGraph<&str, u64> = DiGraph::new();
+        let a = g.add_node("T1");
+        let b = g.add_node("T2");
+        g.add_edge(a, b, 5);
+        let dot = to_dot(&g, "wtpg", |n| n.to_string(), |w| w.to_string());
+        assert!(dot.starts_with("digraph wtpg {"));
+        assert!(dot.contains("n0 [label=\"T1\"];"));
+        assert!(dot.contains("n1 [label=\"T2\"];"));
+        assert!(dot.contains("n0 -> n1 [label=\"5\"];"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn escapes_quotes_and_sanitizes_name() {
+        let mut g: DiGraph<String, ()> = DiGraph::new();
+        g.add_node("say \"hi\"".to_string());
+        let dot = to_dot(&g, "1 bad name", |n| n.clone(), |_| String::new());
+        assert!(dot.starts_with("digraph g1_bad_name {"));
+        assert!(dot.contains("say \\\"hi\\\""));
+    }
+}

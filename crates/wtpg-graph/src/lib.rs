@@ -1,0 +1,41 @@
+//! # wtpg-graph
+//!
+//! Directed-graph substrate for the WTPG reproduction.
+//!
+//! The paper's data structure — the *Weighted Transaction Precedence Graph* —
+//! and both of its schedulers need a small set of graph operations: a mutable
+//! directed multigraph with stable node identities (transactions come and go as
+//! they start and commit), reachability queries (`before(T)` / `after(T)` in
+//! the `E(q)` estimator), cycle detection (deadlock prediction in C2PL and
+//! K-WTPG), topological sorting, and single-source longest path over a DAG
+//! (the critical-path length that every scheduler minimises).
+//!
+//! The approved offline dependency set does not include `petgraph`, so this
+//! crate implements exactly the substrate the rest of the workspace needs:
+//!
+//! * [`DiGraph`] — an arena/slot-map digraph with O(1) node/edge addition,
+//!   O(degree) removal, and stable [`NodeId`]/[`EdgeId`] handles.
+//! * [`traversal`] — DFS/BFS iterators and reachability sets.
+//! * [`topo`] — Kahn topological sort and cycle detection.
+//! * [`critical_path`] — longest path from a source over a DAG, with
+//!   predecessor reconstruction.
+//! * [`dot`] — Graphviz export for debugging and the examples.
+//!
+//! All algorithms are deterministic: iteration order follows insertion order,
+//! which keeps the simulator reproducible under a fixed RNG seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod critical_path;
+pub mod digraph;
+pub mod dot;
+pub mod scc;
+pub mod topo;
+pub mod traversal;
+
+pub use critical_path::{longest_path, longest_path_to, LongestPaths};
+pub use digraph::{DiGraph, EdgeId, EdgeRef, NodeId};
+pub use scc::{find_cycle, tarjan_scc};
+pub use topo::{is_cyclic, topo_sort, would_create_cycle, TopoError};
+pub use traversal::{bfs_order, dfs_order, reachable_from, reaches};

@@ -1,0 +1,213 @@
+//! Strongly connected components (iterative Tarjan) and cycle extraction.
+//!
+//! Used for *diagnostics*: when a validation check reports "cycle", these
+//! helpers name the transactions on it. The schedulers themselves only need
+//! the boolean reachability tests in [`crate::topo`].
+
+use std::collections::HashMap;
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Strongly connected components, each a list of nodes. Components are
+/// returned in reverse topological order of the condensation (Tarjan's
+/// natural output order); singleton components without a self-loop are not
+/// cycles.
+pub fn tarjan_scc<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
+    #[derive(Clone, Copy)]
+    struct Entry {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+    }
+    let mut state: HashMap<NodeId, Entry> = HashMap::new();
+    let mut stack: Vec<NodeId> = Vec::new();
+    let mut next_index = 0u32;
+    let mut components = Vec::new();
+
+    // Iterative DFS: (node, iterator position over successors).
+    for root in graph.node_ids() {
+        if state.contains_key(&root) {
+            continue;
+        }
+        let mut call: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
+        let succ: Vec<NodeId> = graph.successors(root).collect();
+        state.insert(
+            root,
+            Entry {
+                index: next_index,
+                lowlink: next_index,
+                on_stack: true,
+            },
+        );
+        next_index += 1;
+        stack.push(root);
+        call.push((root, succ, 0));
+        while let Some((v, succs, mut i)) = call.pop() {
+            let mut descended = false;
+            while i < succs.len() {
+                let w = succs[i];
+                i += 1;
+                match state.get(&w) {
+                    None => {
+                        // Descend into w.
+                        state.insert(
+                            w,
+                            Entry {
+                                index: next_index,
+                                lowlink: next_index,
+                                on_stack: true,
+                            },
+                        );
+                        next_index += 1;
+                        stack.push(w);
+                        let wsucc: Vec<NodeId> = graph.successors(w).collect();
+                        call.push((v, succs, i));
+                        call.push((w, wsucc, 0));
+                        descended = true;
+                        break;
+                    }
+                    Some(&e) if e.on_stack => {
+                        let low = state[&v].lowlink.min(e.index);
+                        state.get_mut(&v).expect("visited").lowlink = low;
+                    }
+                    Some(_) => {}
+                }
+            }
+            if descended {
+                continue;
+            }
+            // v is finished: maybe pop a component, then propagate lowlink.
+            let ventry = state[&v];
+            if ventry.lowlink == ventry.index {
+                let mut comp = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    state.get_mut(&w).expect("on stack").on_stack = false;
+                    comp.push(w);
+                    if w == v {
+                        break;
+                    }
+                }
+                components.push(comp);
+            }
+            if let Some(&mut (parent, _, _)) = call.last_mut() {
+                let low = state[&parent].lowlink.min(state[&v].lowlink);
+                state.get_mut(&parent).expect("visited").lowlink = low;
+            }
+        }
+    }
+    components
+}
+
+/// A directed cycle in the graph, if one exists: the nodes of some
+/// non-trivial SCC arranged along an actual cycle (or a self-loop).
+pub fn find_cycle<N, E>(graph: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
+    for comp in tarjan_scc(graph) {
+        if comp.len() == 1 {
+            let n = comp[0];
+            if graph.find_edge(n, n).is_some() {
+                return Some(vec![n]);
+            }
+            continue;
+        }
+        // Walk within the component until a node repeats.
+        let in_comp: std::collections::HashSet<NodeId> = comp.iter().copied().collect();
+        let mut path = Vec::new();
+        let mut seen = HashMap::new();
+        let mut cur = comp[0];
+        loop {
+            if let Some(&pos) = seen.get(&cur) {
+                return Some(path[pos..].to_vec());
+            }
+            seen.insert(cur, path.len());
+            path.push(cur);
+            cur = graph
+                .successors(cur)
+                .find(|s| in_comp.contains(s))
+                .expect("non-trivial SCC node has an in-component successor");
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topo::is_cyclic;
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        assert_eq!(find_cycle(&g), None);
+    }
+
+    #[test]
+    fn simple_cycle_is_one_component() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, c, ());
+        g.add_edge(c, a, ());
+        let comps = tarjan_scc(&g);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 3);
+        let cyc = find_cycle(&g).unwrap();
+        assert_eq!(cyc.len(), 3);
+        // The returned nodes really form a cycle.
+        for w in cyc.windows(2) {
+            assert!(g.find_edge(w[0], w[1]).is_some());
+        }
+        assert!(g.find_edge(*cyc.last().unwrap(), cyc[0]).is_some());
+    }
+
+    #[test]
+    fn two_cycles_and_a_bridge() {
+        let mut g: DiGraph<u32, ()> = DiGraph::new();
+        let n: Vec<_> = (0..6).map(|i| g.add_node(i)).collect();
+        g.add_edge(n[0], n[1], ());
+        g.add_edge(n[1], n[0], ());
+        g.add_edge(n[1], n[2], ()); // bridge
+        g.add_edge(n[3], n[4], ());
+        g.add_edge(n[4], n[5], ());
+        g.add_edge(n[5], n[3], ());
+        let mut sizes: Vec<usize> = tarjan_scc(&g).iter().map(Vec::len).collect();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, a, ());
+        assert_eq!(find_cycle(&g), Some(vec![a]));
+    }
+
+    #[test]
+    fn agrees_with_is_cyclic_on_examples() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        assert_eq!(find_cycle(&g).is_some(), is_cyclic(&g));
+        g.add_edge(b, a, ());
+        assert_eq!(find_cycle(&g).is_some(), is_cyclic(&g));
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(tarjan_scc(&g).is_empty());
+        assert_eq!(find_cycle(&g), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! Depth-first and breadth-first traversals plus reachability sets.
+//!
+//! The K-WTPG estimator `E(q)` needs `before(T)` / `after(T)` — the sets of
+//! transactions reachable from `T` along precedence edges in either direction
+//! (paper §3.3, Step 1). These helpers compute them over any [`DiGraph`].
+
+use std::collections::HashSet;
+use std::collections::VecDeque;
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// Nodes reachable from `start` by directed edges, **excluding** `start`
+/// itself unless it lies on a cycle through itself.
+pub fn reachable_from<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<NodeId> = graph.successors(start).collect();
+    while let Some(n) = stack.pop() {
+        if seen.insert(n) {
+            stack.extend(graph.successors(n));
+        }
+    }
+    seen
+}
+
+/// Nodes from which `target` is reachable by directed edges, **excluding**
+/// `target` itself unless it lies on a cycle through itself.
+pub fn reaches<N, E>(graph: &DiGraph<N, E>, target: NodeId) -> HashSet<NodeId> {
+    let mut seen = HashSet::new();
+    let mut stack: Vec<NodeId> = graph.predecessors(target).collect();
+    while let Some(n) = stack.pop() {
+        if seen.insert(n) {
+            stack.extend(graph.predecessors(n));
+        }
+    }
+    seen
+}
+
+/// Depth-first pre-order from `start` (including `start`).
+///
+/// Children are visited in adjacency (insertion) order, making the result
+/// deterministic.
+pub fn dfs_order<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut seen = HashSet::new();
+    let mut stack = vec![start];
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n) {
+            continue;
+        }
+        order.push(n);
+        // Push in reverse so the first successor is popped (visited) first.
+        let succ: Vec<NodeId> = graph.successors(n).collect();
+        for s in succ.into_iter().rev() {
+            if !seen.contains(&s) {
+                stack.push(s);
+            }
+        }
+    }
+    order
+}
+
+/// Breadth-first order from `start` (including `start`).
+pub fn bfs_order<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut seen = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(start);
+    queue.push_back(start);
+    while let Some(n) = queue.pop_front() {
+        order.push(n);
+        for s in graph.successors(n) {
+            if seen.insert(s) {
+                queue.push_back(s);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Builds the diamond a→b, a→c, b→d, c→d.
+    fn diamond() -> (DiGraph<(), ()>, [NodeId; 4]) {
+        let mut g = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let c = g.add_node(());
+        let d = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, c, ());
+        g.add_edge(b, d, ());
+        g.add_edge(c, d, ());
+        (g, [a, b, c, d])
+    }
+
+    #[test]
+    fn reachable_from_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        let r = reachable_from(&g, a);
+        assert_eq!(r, HashSet::from([b, c, d]));
+        assert_eq!(reachable_from(&g, d), HashSet::new());
+        assert_eq!(reachable_from(&g, b), HashSet::from([d]));
+    }
+
+    #[test]
+    fn reaches_diamond() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(reaches(&g, d), HashSet::from([a, b, c]));
+        assert_eq!(reaches(&g, a), HashSet::new());
+        assert_eq!(reaches(&g, c), HashSet::from([a]));
+    }
+
+    #[test]
+    fn self_not_included_without_cycle() {
+        let (g, [a, ..]) = diamond();
+        assert!(!reachable_from(&g, a).contains(&a));
+        assert!(!reaches(&g, a).contains(&a));
+    }
+
+    #[test]
+    fn self_included_on_cycle() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        assert!(reachable_from(&g, a).contains(&a));
+        assert!(reaches(&g, a).contains(&a));
+    }
+
+    #[test]
+    fn dfs_is_preorder_and_deterministic() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(dfs_order(&g, a), vec![a, b, d, c]);
+        assert_eq!(dfs_order(&g, a), dfs_order(&g, a));
+    }
+
+    #[test]
+    fn bfs_levels() {
+        let (g, [a, b, c, d]) = diamond();
+        assert_eq!(bfs_order(&g, a), vec![a, b, c, d]);
+    }
+
+    #[test]
+    fn traversal_from_isolated_node() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        assert_eq!(dfs_order(&g, a), vec![a]);
+        assert_eq!(bfs_order(&g, a), vec![a]);
+        assert!(reachable_from(&g, a).is_empty());
+    }
+}

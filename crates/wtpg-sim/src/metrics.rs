@@ -1,0 +1,175 @@
+//! Run metrics: response time, throughput, utilisation, and scheduling
+//! incident counters.
+
+use serde::{Deserialize, Serialize};
+use wtpg_core::time::Tick;
+
+/// Accumulates observations during a run.
+#[derive(Clone, Debug, Default)]
+pub struct Metrics {
+    /// Response times (creation → completion) of committed transactions, ms.
+    pub response_times_ms: Vec<u64>,
+    /// Per-DN busy milliseconds.
+    pub dn_busy_ms: Vec<u64>,
+    /// CN busy milliseconds.
+    pub cn_busy_ms: u64,
+    /// Transactions that arrived (first attempts only).
+    pub arrivals: u64,
+    /// Admission rejections (ASL lock failure / structural constraint).
+    pub rejections: u64,
+    /// Requests that found a conflicting held lock.
+    pub blocks: u64,
+    /// Requests delayed by the scheduler's policy.
+    pub delays: u64,
+    /// Grants issued.
+    pub grants: u64,
+    /// Control-operation counters (actually computed, after control saving).
+    pub deadlock_tests: u64,
+    /// CHAIN optimisations performed.
+    pub chain_opts: u64,
+    /// `E(q)` evaluations performed.
+    pub eq_evals: u64,
+}
+
+impl Metrics {
+    /// Fresh metrics for a machine with `num_nodes` DNs.
+    pub fn new(num_nodes: u32) -> Metrics {
+        Metrics {
+            dn_busy_ms: vec![0; num_nodes as usize],
+            ..Metrics::default()
+        }
+    }
+
+    /// Record a completion.
+    pub fn complete(&mut self, created: Tick, committed: Tick) {
+        self.response_times_ms.push(committed - created);
+    }
+
+    /// Finalises into a report over `measured_ms` of simulated time.
+    pub fn report(&self, measured_ms: u64) -> RunReport {
+        let n = self.response_times_ms.len();
+        let mean_rt = if n == 0 {
+            f64::NAN
+        } else {
+            self.response_times_ms.iter().sum::<u64>() as f64 / n as f64
+        };
+        let mut sorted = self.response_times_ms.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                f64::NAN
+            } else {
+                let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+                sorted[idx] as f64
+            }
+        };
+        let dn_util = if measured_ms == 0 || self.dn_busy_ms.is_empty() {
+            0.0
+        } else {
+            self.dn_busy_ms.iter().sum::<u64>() as f64
+                / (measured_ms as f64 * self.dn_busy_ms.len() as f64)
+        };
+        RunReport {
+            completed: n as u64,
+            mean_rt_ms: mean_rt,
+            p50_rt_ms: pct(0.50),
+            p95_rt_ms: pct(0.95),
+            throughput_tps: n as f64 / (measured_ms as f64 / 1000.0),
+            dn_utilization: dn_util,
+            cn_utilization: if measured_ms == 0 {
+                0.0
+            } else {
+                self.cn_busy_ms as f64 / measured_ms as f64
+            },
+            arrivals: self.arrivals,
+            rejections: self.rejections,
+            blocks: self.blocks,
+            delays: self.delays,
+            grants: self.grants,
+            deadlock_tests: self.deadlock_tests,
+            chain_opts: self.chain_opts,
+            eq_evals: self.eq_evals,
+        }
+    }
+}
+
+/// Summary of one simulation run — the numbers the paper plots.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Transactions committed in the measurement window.
+    pub completed: u64,
+    /// Mean response time, ms (the paper's `RT`).
+    pub mean_rt_ms: f64,
+    /// Median response time, ms.
+    pub p50_rt_ms: f64,
+    /// 95th-percentile response time, ms.
+    pub p95_rt_ms: f64,
+    /// Completed transactions per second (the paper's `TPS`).
+    pub throughput_tps: f64,
+    /// Mean DN busy fraction.
+    pub dn_utilization: f64,
+    /// CN busy fraction.
+    pub cn_utilization: f64,
+    /// First-attempt arrivals.
+    pub arrivals: u64,
+    /// Admission rejections.
+    pub rejections: u64,
+    /// Blocked requests.
+    pub blocks: u64,
+    /// Delayed requests.
+    pub delays: u64,
+    /// Grants.
+    pub grants: u64,
+    /// Deadlock predictions computed.
+    pub deadlock_tests: u64,
+    /// CHAIN optimisations computed.
+    pub chain_opts: u64,
+    /// `E(q)` evaluations computed.
+    pub eq_evals: u64,
+}
+
+impl RunReport {
+    /// Mean response time in seconds.
+    pub fn mean_rt_secs(&self) -> f64 {
+        self.mean_rt_ms / 1000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_basic_stats() {
+        let mut m = Metrics::new(2);
+        m.complete(Tick(0), Tick(1000));
+        m.complete(Tick(500), Tick(3500));
+        m.dn_busy_ms = vec![500, 1500];
+        m.cn_busy_ms = 100;
+        let r = m.report(10_000);
+        assert_eq!(r.completed, 2);
+        assert!((r.mean_rt_ms - 2000.0).abs() < 1e-9);
+        assert!((r.throughput_tps - 0.2).abs() < 1e-9);
+        assert!((r.dn_utilization - 0.1).abs() < 1e-9);
+        assert!((r.cn_utilization - 0.01).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_has_nan_rt_zero_tps() {
+        let m = Metrics::new(1);
+        let r = m.report(1000);
+        assert!(r.mean_rt_ms.is_nan());
+        assert_eq!(r.throughput_tps, 0.0);
+    }
+
+    #[test]
+    fn percentiles() {
+        let mut m = Metrics::new(1);
+        for i in 1..=100u64 {
+            m.complete(Tick(0), Tick(i * 10));
+        }
+        let r = m.report(1000);
+        assert!((r.p50_rt_ms - 500.0).abs() <= 10.0);
+        assert!((r.p95_rt_ms - 940.0).abs() <= 20.0);
+    }
+}

@@ -1,0 +1,166 @@
+//! The measurement procedure of §4.1: λ sweeps, per-point reports, and the
+//! paper's summary metric "throughput at mean response time = 70 seconds".
+
+use serde::{Deserialize, Serialize};
+
+use crate::config::SimParams;
+use crate::machine::Machine;
+use crate::metrics::RunReport;
+use crate::sched_kind::SchedKind;
+use crate::workload::Workload;
+
+/// One (λ, report) measurement.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct LambdaPoint {
+    /// Offered arrival rate, transactions per second.
+    pub lambda_tps: f64,
+    /// The measured run report.
+    pub report: RunReport,
+}
+
+/// A whole sweep for one scheduler.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SweepResult {
+    /// Scheduler label (paper figure legend).
+    pub scheduler: String,
+    /// Measurements in ascending λ.
+    pub points: Vec<LambdaPoint>,
+}
+
+/// Runs one simulation: fresh scheduler + workload at the given λ.
+pub fn run_once<W, F>(
+    params: &SimParams,
+    kind: SchedKind,
+    make_workload: F,
+    lambda: f64,
+) -> RunReport
+where
+    W: Workload,
+    F: FnOnce(u64) -> W,
+{
+    let workload = make_workload(params.seed);
+    let mut machine = Machine::new(params.clone(), kind.build(params), workload);
+    machine.run(lambda)
+}
+
+/// Sweeps λ over `lambdas` for one scheduler, building a fresh workload
+/// (seeded from `params.seed`) per point.
+pub fn sweep<W, F>(
+    params: &SimParams,
+    kind: SchedKind,
+    make_workload: &F,
+    lambdas: &[f64],
+) -> SweepResult
+where
+    W: Workload,
+    F: Fn(u64) -> W,
+{
+    let points = lambdas
+        .iter()
+        .map(|&l| LambdaPoint {
+            lambda_tps: l,
+            report: run_once(params, kind, make_workload, l),
+        })
+        .collect();
+    SweepResult {
+        scheduler: kind.label(params),
+        points,
+    }
+}
+
+/// The paper's summary metric: the throughput where the mean response time
+/// crosses `rt_target_ms`, linearly interpolated between the two bracketing
+/// sweep points.
+///
+/// Returns `None` when the sweep never reaches the target response time
+/// (the scheduler's RT stays below it for every measured λ — its throughput
+/// at that RT is beyond the sweep), in which case callers usually report the
+/// last point's throughput as a lower bound.
+pub fn tps_at_rt(sweep: &SweepResult, rt_target_ms: f64) -> Option<f64> {
+    let pts: Vec<(f64, f64)> = sweep
+        .points
+        .iter()
+        .filter(|p| p.report.completed > 0 && p.report.mean_rt_ms.is_finite())
+        .map(|p| (p.report.mean_rt_ms, p.report.throughput_tps))
+        .collect();
+    if pts.is_empty() {
+        return None;
+    }
+    // Find the first adjacent pair bracketing the target RT.
+    for w in pts.windows(2) {
+        let (rt0, tp0) = w[0];
+        let (rt1, tp1) = w[1];
+        if rt0 <= rt_target_ms && rt1 >= rt_target_ms && rt1 > rt0 {
+            let f = (rt_target_ms - rt0) / (rt1 - rt0);
+            return Some(tp0 + f * (tp1 - tp0));
+        }
+    }
+    // Already above target at the smallest λ: report that throughput.
+    if pts[0].0 > rt_target_ms {
+        return Some(pts[0].1);
+    }
+    None
+}
+
+/// Convenience: max throughput observed in a sweep (fallback when the RT
+/// target is never reached).
+pub fn max_tps(sweep: &SweepResult) -> f64 {
+    sweep
+        .points
+        .iter()
+        .map(|p| p.report.throughput_tps)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use wtpg_core::time::Tick;
+
+    fn fake_point(lambda: f64, rt_ms: f64, tps: f64) -> LambdaPoint {
+        let mut m = Metrics::new(1);
+        m.complete(Tick(0), Tick(rt_ms as u64));
+        let mut report = m.report(1000);
+        report.throughput_tps = tps;
+        LambdaPoint {
+            lambda_tps: lambda,
+            report,
+        }
+    }
+
+    #[test]
+    fn interpolates_between_bracketing_points() {
+        let s = SweepResult {
+            scheduler: "X".into(),
+            points: vec![
+                fake_point(0.1, 50_000.0, 0.1),
+                fake_point(0.2, 90_000.0, 0.2),
+            ],
+        };
+        let tps = tps_at_rt(&s, 70_000.0).unwrap();
+        assert!((tps - 0.15).abs() < 1e-9);
+    }
+
+    #[test]
+    fn none_when_target_never_reached() {
+        let s = SweepResult {
+            scheduler: "X".into(),
+            points: vec![
+                fake_point(0.1, 10_000.0, 0.1),
+                fake_point(0.2, 20_000.0, 0.2),
+            ],
+        };
+        assert!(tps_at_rt(&s, 70_000.0).is_none());
+        assert!((max_tps(&s) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn first_point_already_saturated() {
+        let s = SweepResult {
+            scheduler: "X".into(),
+            points: vec![fake_point(0.1, 100_000.0, 0.09)],
+        };
+        assert_eq!(tps_at_rt(&s, 70_000.0), Some(0.09));
+    }
+}

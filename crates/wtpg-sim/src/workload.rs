@@ -1,0 +1,80 @@
+//! The workload abstraction the machine consumes.
+//!
+//! Concrete generators (the paper's Patterns 1–3, hot sets, the Experiment-4
+//! error model) live in `wtpg-workload`; the simulator only needs a source
+//! of transaction specs and the partition catalog they run against.
+
+use wtpg_core::partition::Catalog;
+use wtpg_core::txn::{TxnId, TxnSpec};
+
+/// A source of bulk-access transactions.
+pub trait Workload {
+    /// The partition catalog this workload runs against.
+    fn catalog(&self) -> &Catalog;
+
+    /// Produces the transaction with the given id. Implementations own
+    /// their randomness (seeded at construction) so runs are reproducible.
+    fn next_txn(&mut self, id: TxnId) -> TxnSpec;
+}
+
+impl<W: Workload + ?Sized> Workload for Box<W> {
+    fn catalog(&self) -> &Catalog {
+        (**self).catalog()
+    }
+    fn next_txn(&mut self, id: TxnId) -> TxnSpec {
+        (**self).next_txn(id)
+    }
+}
+
+/// A fixed, repeating list of transaction shapes — useful for tests.
+#[derive(Clone, Debug)]
+pub struct FixedWorkload {
+    catalog: Catalog,
+    shapes: Vec<Vec<wtpg_core::txn::StepSpec>>,
+    next: usize,
+}
+
+impl FixedWorkload {
+    /// Cycles through `shapes` in order.
+    ///
+    /// # Panics
+    /// Panics if `shapes` is empty.
+    pub fn new(catalog: Catalog, shapes: Vec<Vec<wtpg_core::txn::StepSpec>>) -> FixedWorkload {
+        assert!(!shapes.is_empty(), "need at least one transaction shape");
+        FixedWorkload {
+            catalog,
+            shapes,
+            next: 0,
+        }
+    }
+}
+
+impl Workload for FixedWorkload {
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn next_txn(&mut self, id: TxnId) -> TxnSpec {
+        let shape = self.shapes[self.next % self.shapes.len()].clone();
+        self.next += 1;
+        TxnSpec::new(id, shape)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtpg_core::txn::StepSpec;
+
+    #[test]
+    fn fixed_workload_cycles() {
+        let cat = Catalog::uniform(4, 5, 2);
+        let mut w = FixedWorkload::new(
+            cat,
+            vec![vec![StepSpec::read(0, 1.0)], vec![StepSpec::write(1, 2.0)]],
+        );
+        assert_eq!(w.next_txn(TxnId(1)).steps()[0].partition.0, 0);
+        assert_eq!(w.next_txn(TxnId(2)).steps()[0].partition.0, 1);
+        assert_eq!(w.next_txn(TxnId(3)).steps()[0].partition.0, 0);
+    }
+}

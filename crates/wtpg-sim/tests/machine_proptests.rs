@@ -1,0 +1,149 @@
+//! Property tests for the simulated machine: correctness invariants and
+//! conservation laws must hold for random workload shapes, arrival rates,
+//! and parameter settings.
+
+use proptest::prelude::*;
+
+use wtpg_core::history::Event as HEvent;
+use wtpg_core::partition::Catalog;
+use wtpg_core::txn::StepSpec;
+use wtpg_sim::config::SimParams;
+use wtpg_sim::machine::Machine;
+use wtpg_sim::sched_kind::SchedKind;
+use wtpg_sim::workload::FixedWorkload;
+
+/// Random repeating workload over a small catalog.
+fn arb_shapes(num_parts: u32) -> impl Strategy<Value = Vec<Vec<StepSpec>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((0..num_parts, prop::bool::ANY, 1u64..=6), 1..=3),
+        1..=4,
+    )
+    .prop_map(|shapes| {
+        shapes
+            .into_iter()
+            .map(|steps| {
+                steps
+                    .into_iter()
+                    .map(|(p, write, objs)| {
+                        if write {
+                            StepSpec::write(p, objs as f64)
+                        } else {
+                            StepSpec::read(p, objs as f64)
+                        }
+                    })
+                    .collect()
+            })
+            .collect()
+    })
+}
+
+fn run(
+    kind: SchedKind,
+    shapes: Vec<Vec<StepSpec>>,
+    lambda: f64,
+    seed: u64,
+) -> (wtpg_sim::RunReport, wtpg_core::history::History) {
+    let params = SimParams {
+        sim_length_ms: 80_000,
+        seed,
+        ..SimParams::paper_defaults()
+    };
+    let catalog = Catalog::uniform(8, 6, 8);
+    let workload = FixedWorkload::new(catalog, shapes);
+    let mut m = Machine::new(params.clone(), kind.build(&params), workload);
+    m.record_history();
+    let r = m.run(lambda);
+    (r, m.history().unwrap().clone())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Each lock-based scheduler's histories stay correct on arbitrary
+    /// workload shapes through the timed machine.
+    #[test]
+    fn machine_histories_correct(
+        shapes in arb_shapes(8),
+        lambda in 0.1f64..0.8,
+        seed in 0u64..1000,
+    ) {
+        for kind in [SchedKind::C2pl, SchedKind::KWtpg, SchedKind::Chain, SchedKind::Asl] {
+            let (_, h) = run(kind, shapes.clone(), lambda, seed);
+            h.check_conflict_serializable()
+                .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            h.check_strictness().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            h.check_lock_exclusion().unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        }
+    }
+
+    /// Work conservation: every committed transaction did exactly its
+    /// declared actual work at the data nodes.
+    #[test]
+    fn work_is_conserved(
+        shapes in arb_shapes(8),
+        lambda in 0.1f64..0.6,
+        seed in 0u64..1000,
+    ) {
+        let (r, h) = run(SchedKind::C2pl, shapes, lambda, seed);
+        // Per-transaction progress accounting.
+        let mut per_txn: std::collections::BTreeMap<_, u64> = Default::default();
+        for &(_, e) in h.events() {
+            if let HEvent::Progress { txn, amount } = e {
+                *per_txn.entry(txn).or_default() += amount.units();
+            }
+        }
+        // Committed transactions must have exactly their total actual cost
+        // processed — needs the spec; reconstruct from grants: instead check
+        // the weaker conservation that every committed txn made progress and
+        // the DN busy time equals the total processed work.
+        // Metrics count completions whose commit *processing* finishes inside
+        // the measurement window; the history records the commit decision at
+        // event time, so it may run a commit or two ahead at the boundary.
+        let hist_committed = h.committed().len();
+        prop_assert!(hist_committed >= r.completed as usize);
+        prop_assert!(hist_committed - (r.completed as usize) <= 2);
+        for t in h.committed() {
+            prop_assert!(per_txn.get(&t).copied().unwrap_or(0) > 0, "{t} committed without work");
+        }
+        let total_progress: u64 = per_txn.values().sum();
+        // DN busy time (1 ms per unit at ObjTime=1000) ≥ progress of committed.
+        // (in-flight txns also consumed DN time, so use ≥)
+        let total_busy: u64 = (r.dn_utilization * 8.0 * 80_000.0).round() as u64;
+        prop_assert!(
+            (total_busy as i64 - total_progress as i64).abs() <= 8_000,
+            "busy {total_busy} vs progress {total_progress}"
+        );
+    }
+
+    /// Commits never exceed arrivals, grants never exceed what the steps
+    /// require, and every counter is self-consistent.
+    #[test]
+    fn counters_are_consistent(
+        shapes in arb_shapes(6),
+        lambda in 0.1f64..0.8,
+        seed in 0u64..1000,
+    ) {
+        for kind in [SchedKind::Asl, SchedKind::KWtpg] {
+            let (r, h) = run(kind, shapes.clone(), lambda, seed);
+            prop_assert!(r.completed <= r.arrivals);
+            let grants_in_history = h
+                .events()
+                .iter()
+                .filter(|(_, e)| matches!(e, HEvent::Granted { .. }))
+                .count() as u64;
+            // ASL grants all steps at once but records per-step grants when
+            // driven; count must match the metric.
+            prop_assert_eq!(r.grants, grants_in_history, "{:?}", kind);
+        }
+    }
+
+    /// Throughput is weakly increasing in arrival rate while far below
+    /// saturation (NODC, low λ).
+    #[test]
+    fn nodc_throughput_monotone_at_low_lambda(shapes in arb_shapes(8), seed in 0u64..100) {
+        let (lo, _) = run(SchedKind::Nodc, shapes.clone(), 0.05, seed);
+        let (hi, _) = run(SchedKind::Nodc, shapes, 0.15, seed);
+        // 80 s windows are short; allow slack for boundary effects.
+        prop_assert!(hi.completed + 2 >= lo.completed);
+    }
+}

@@ -1,0 +1,111 @@
+//! Experiment 4's erroneous I/O demand model (§4.4).
+//!
+//! Each step's *declared* cost is `C = C0 · (1 + x)` where `C0` is the exact
+//! demand and `x ~ N(0, σ)`; `C = 0` when `x ≤ −1`. The *actual* work done at
+//! the data nodes is always `C0` — only the scheduler's knowledge degrades.
+
+use rand::Rng;
+use rand_distr::{Distribution, Normal};
+use serde::{Deserialize, Serialize};
+use wtpg_core::txn::StepSpec;
+
+/// Declared-cost perturbation with configurable standard deviation.
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+pub struct ErrorModel {
+    /// Standard deviation σ of the relative error. 0 = exact declarations.
+    pub sigma: f64,
+}
+
+impl ErrorModel {
+    /// Exact declarations (σ = 0).
+    pub const EXACT: ErrorModel = ErrorModel { sigma: 0.0 };
+
+    /// A model with the given σ.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite σ.
+    pub fn new(sigma: f64) -> ErrorModel {
+        assert!(sigma.is_finite() && sigma >= 0.0, "σ must be ≥ 0");
+        ErrorModel { sigma }
+    }
+
+    /// Perturbs the declared costs of `steps` in place, leaving actual costs
+    /// untouched.
+    pub fn apply<R: Rng>(&self, steps: &mut [StepSpec], rng: &mut R) {
+        if self.sigma == 0.0 {
+            return;
+        }
+        let normal = Normal::new(0.0, self.sigma).expect("σ validated in new()");
+        for s in steps.iter_mut() {
+            let x: f64 = normal.sample(rng);
+            // C = C0·(1+x), clamped at zero when x ≤ −1.
+            s.cost = s.actual_cost.scale(1.0 + x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use wtpg_core::work::Work;
+
+    #[test]
+    fn sigma_zero_is_identity() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut steps = vec![StepSpec::read(0, 5.0)];
+        ErrorModel::EXACT.apply(&mut steps, &mut rng);
+        assert_eq!(steps[0].cost, Work::from_objects(5));
+        assert_eq!(steps[0].actual_cost, Work::from_objects(5));
+    }
+
+    #[test]
+    fn actual_cost_is_never_touched() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut steps = vec![StepSpec::read(0, 5.0), StepSpec::write(1, 2.0)];
+        ErrorModel::new(1.0).apply(&mut steps, &mut rng);
+        assert_eq!(steps[0].actual_cost, Work::from_objects(5));
+        assert_eq!(steps[1].actual_cost, Work::from_objects(2));
+    }
+
+    #[test]
+    fn declared_costs_scatter_and_clamp() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = ErrorModel::new(1.0);
+        let mut zeros = 0;
+        let mut sum = 0.0;
+        let n = 2000;
+        for _ in 0..n {
+            let mut steps = vec![StepSpec::read(0, 5.0)];
+            model.apply(&mut steps, &mut rng);
+            if steps[0].cost.is_zero() {
+                zeros += 1;
+            }
+            sum += steps[0].cost.objects();
+        }
+        // x ≤ −1 has probability ≈ 15.9% at σ = 1: the clamp must fire often.
+        assert!(zeros > n / 10, "clamp fired only {zeros} times");
+        // The mean declared cost stays near C0·E[max(0, 1+x)] ≈ 5·1.08.
+        let mean = sum / n as f64;
+        assert!((4.5..6.5).contains(&mean), "mean declared {mean}");
+    }
+
+    #[test]
+    fn small_sigma_stays_close() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let model = ErrorModel::new(0.05);
+        for _ in 0..100 {
+            let mut steps = vec![StepSpec::read(0, 5.0)];
+            model.apply(&mut steps, &mut rng);
+            let c = steps[0].cost.objects();
+            assert!((4.0..6.0).contains(&c), "declared {c}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "σ must be ≥ 0")]
+    fn negative_sigma_rejected() {
+        let _ = ErrorModel::new(-0.1);
+    }
+}

@@ -1,0 +1,107 @@
+//! A seeded, endless stream of pattern transactions for the simulator.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use wtpg_core::partition::Catalog;
+use wtpg_core::txn::{TxnId, TxnSpec};
+use wtpg_sim::workload::Workload;
+
+use crate::error_model::ErrorModel;
+use crate::pattern::Pattern;
+
+/// Generates transactions of one [`Pattern`], optionally perturbing declared
+/// costs with an [`ErrorModel`] (Experiment 4).
+#[derive(Clone, Debug)]
+pub struct PatternWorkload {
+    pattern: Pattern,
+    catalog: Catalog,
+    error: ErrorModel,
+    rng: StdRng,
+}
+
+impl PatternWorkload {
+    /// A workload with exact declarations.
+    pub fn new(pattern: Pattern, seed: u64) -> PatternWorkload {
+        PatternWorkload::with_error(pattern, seed, ErrorModel::EXACT)
+    }
+
+    /// A workload whose declared costs follow the error model.
+    pub fn with_error(pattern: Pattern, seed: u64, error: ErrorModel) -> PatternWorkload {
+        PatternWorkload {
+            pattern,
+            catalog: pattern.catalog(),
+            error,
+            rng: StdRng::seed_from_u64(seed ^ 0x51ed_2700_5ca1_ab1e),
+        }
+    }
+
+    /// The generating pattern.
+    pub fn pattern(&self) -> Pattern {
+        self.pattern
+    }
+
+    /// Overrides the catalog's placement policy (the §4.3 intra-transaction-
+    /// parallelism extension; see `wtpg_core::partition::Placement`).
+    pub fn with_placement(mut self, placement: wtpg_core::partition::Placement) -> PatternWorkload {
+        self.catalog = self.catalog.with_placement(placement);
+        self
+    }
+}
+
+impl Workload for PatternWorkload {
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn next_txn(&mut self, id: TxnId) -> TxnSpec {
+        let mut steps = self.pattern.draw(&mut self.rng);
+        self.error.apply(&mut steps, &mut self.rng);
+        TxnSpec::new(id, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtpg_core::work::Work;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = PatternWorkload::new(Pattern::One, 9);
+        let mut b = PatternWorkload::new(Pattern::One, 9);
+        for id in 1..=20u64 {
+            assert_eq!(a.next_txn(TxnId(id)), b.next_txn(TxnId(id)));
+        }
+    }
+
+    #[test]
+    fn different_seed_different_stream() {
+        let mut a = PatternWorkload::new(Pattern::One, 1);
+        let mut b = PatternWorkload::new(Pattern::One, 2);
+        let differs = (1..=20u64).any(|id| a.next_txn(TxnId(id)) != b.next_txn(TxnId(id)));
+        assert!(differs);
+    }
+
+    #[test]
+    fn error_model_changes_declared_total_only() {
+        let mut exact = PatternWorkload::new(Pattern::One, 5);
+        let mut noisy = PatternWorkload::with_error(Pattern::One, 5, ErrorModel::new(1.0));
+        let mut declared_diff = false;
+        for id in 1..=50u64 {
+            let e = exact.next_txn(TxnId(id));
+            let n = noisy.next_txn(TxnId(id));
+            assert_eq!(n.total_actual(), Work::from_objects_f64(7.2));
+            assert_eq!(e.total_actual(), n.total_actual());
+            if e.total_declared() != n.total_declared() {
+                declared_diff = true;
+            }
+        }
+        assert!(declared_diff, "σ = 1 must perturb at least one declaration");
+    }
+
+    #[test]
+    fn catalog_matches_pattern() {
+        let w = PatternWorkload::new(Pattern::Two { num_hots: 16 }, 0);
+        assert_eq!(w.catalog().num_parts(), 24);
+    }
+}

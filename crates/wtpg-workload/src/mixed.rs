@@ -1,0 +1,115 @@
+//! Mixed transaction processing — the extension the paper's conclusion
+//! points at: *"In mixed transaction processing, different schedulers are
+//! necessary for different classes of jobs."*
+//!
+//! This workload interleaves two classes on the same hot-set database:
+//!
+//! * **BATs** — the paper's Pattern 2 (`r(B:5) → w(F1:1) → w(F2:1)`);
+//! * **short transactions** — single-step debit-credit-style updates of one
+//!   hot partition, with a tiny I/O demand (0.1 objects ≈ 100 ms).
+//!
+//! The interesting question is interference: how badly do the bulk jobs
+//! delay the short ones under each scheduler, and what does each scheduler's
+//! admission policy do to the mix?
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wtpg_core::partition::Catalog;
+use wtpg_core::txn::{StepSpec, TxnId, TxnSpec};
+use wtpg_sim::workload::Workload;
+
+use crate::pattern::{promote_lock_modes, Pattern};
+
+/// A mixed stream of BATs and short transactions.
+#[derive(Clone, Debug)]
+pub struct MixedWorkload {
+    catalog: Catalog,
+    bat_pattern: Pattern,
+    /// Probability that an arrival is a short transaction.
+    short_fraction: f64,
+    /// I/O demand of a short transaction, in objects.
+    short_cost: f64,
+    num_hots: u32,
+    rng: StdRng,
+}
+
+impl MixedWorkload {
+    /// A mixed workload over the Pattern-2 hot-set database.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ short_fraction ≤ 1.0`.
+    pub fn new(num_hots: u32, short_fraction: f64, seed: u64) -> MixedWorkload {
+        assert!(
+            (0.0..=1.0).contains(&short_fraction),
+            "short_fraction must be a probability"
+        );
+        let bat_pattern = Pattern::Two { num_hots };
+        MixedWorkload {
+            catalog: bat_pattern.catalog(),
+            bat_pattern,
+            short_fraction,
+            short_cost: 0.1,
+            num_hots,
+            rng: StdRng::seed_from_u64(seed ^ 0x6d69_7865_6421),
+        }
+    }
+
+    /// True if a committed transaction with this many steps was short.
+    /// (BATs have 3 steps, short transactions exactly 1.)
+    pub fn is_short(steps: usize) -> bool {
+        steps == 1
+    }
+}
+
+impl Workload for MixedWorkload {
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn next_txn(&mut self, id: TxnId) -> TxnSpec {
+        if self.rng.gen_bool(self.short_fraction) {
+            let hot = 8 + self.rng.gen_range(0..self.num_hots);
+            TxnSpec::new(id, vec![StepSpec::write(hot, self.short_cost)])
+        } else {
+            let steps = self.bat_pattern.draw(&mut self.rng);
+            TxnSpec::new(id, promote_lock_modes(steps))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix_produces_both_classes() {
+        let mut w = MixedWorkload::new(8, 0.5, 1);
+        let mut short = 0;
+        let mut bats = 0;
+        for id in 1..=200u64 {
+            let t = w.next_txn(TxnId(id));
+            if MixedWorkload::is_short(t.len()) {
+                short += 1;
+                assert!(t.steps()[0].partition.0 >= 8, "short txns hit the hot set");
+            } else {
+                bats += 1;
+                assert_eq!(t.len(), 3);
+            }
+        }
+        assert!(short > 50 && bats > 50, "short={short} bats={bats}");
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let mut all_short = MixedWorkload::new(8, 1.0, 2);
+        assert!((1..=20u64).all(|id| all_short.next_txn(TxnId(id)).len() == 1));
+        let mut all_bats = MixedWorkload::new(8, 0.0, 3);
+        assert!((1..=20u64).all(|id| all_bats.next_txn(TxnId(id)).len() == 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_fraction_rejected() {
+        let _ = MixedWorkload::new(8, 1.5, 0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Parser for the paper's transaction notation.
+//!
+//! The paper writes transactions as `r1(A:1) -> r1(B:3) -> w1(A:1)`
+//! (Figure 1) and patterns as `r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)`.
+//! This module parses that notation into [`StepSpec`] lists so workloads,
+//! tests and the CLI can be written in the paper's own language:
+//!
+//! * each step is `r(<part>:<cost>)` or `w(<part>:<cost>)`;
+//! * `<part>` is `P<n>`, `F<n>`, a bare number, or a single letter
+//!   (`A` = partition 0, `B` = 1, …);
+//! * `<cost>` is a decimal object count;
+//! * steps are joined by `->` (spaces optional; `→` also accepted);
+//! * an optional leading `T<n>:` names the transaction.
+//!
+//! ```
+//! use wtpg_workload::notation::parse_txn;
+//! let (id, steps) = parse_txn("T1: r(A:1) -> r(B:3) -> w(A:1)").unwrap();
+//! assert_eq!(id, Some(1));
+//! assert_eq!(steps.len(), 3);
+//! ```
+
+use wtpg_core::partition::PartitionId;
+use wtpg_core::txn::{AccessMode, StepSpec, TxnId, TxnSpec};
+use wtpg_core::work::Work;
+
+/// A parse failure, with the offending fragment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// The fragment that failed to parse.
+    pub fragment: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} in {:?}", self.message, self.fragment)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: &str, fragment: &str) -> ParseError {
+    ParseError {
+        message: message.to_string(),
+        fragment: fragment.to_string(),
+    }
+}
+
+/// Parses a partition name: `P3`, `F2`, `7`, or a letter `A`–`Z`.
+fn parse_partition(s: &str) -> Result<PartitionId, ParseError> {
+    let s = s.trim();
+    if s.is_empty() {
+        return Err(err("empty partition name", s));
+    }
+    if let Ok(n) = s.parse::<u32>() {
+        return Ok(PartitionId(n));
+    }
+    let (head, tail) = s.split_at(1);
+    if tail.is_empty() {
+        // Single letter: A = 0, B = 1, …
+        let c = head.chars().next().expect("one char");
+        if c.is_ascii_uppercase() {
+            return Ok(PartitionId(c as u32 - 'A' as u32));
+        }
+        return Err(err("unrecognised partition name", s));
+    }
+    if matches!(head, "P" | "F" | "p" | "f") {
+        if let Ok(n) = tail.parse::<u32>() {
+            return Ok(PartitionId(n));
+        }
+    }
+    Err(err("unrecognised partition name", s))
+}
+
+/// Parses one step: `r(A:1)`, `w(F2:0.2)`, `r1(B:3)` (subscripts after the
+/// mode letter, as the paper writes for named transactions, are ignored).
+pub fn parse_step(s: &str) -> Result<StepSpec, ParseError> {
+    let s = s.trim();
+    let open = s.find('(').ok_or_else(|| err("expected '('", s))?;
+    if !s.ends_with(')') {
+        return Err(err("expected trailing ')'", s));
+    }
+    let head = &s[..open];
+    let body = &s[open + 1..s.len() - 1];
+    let mode = match head.chars().next() {
+        Some('r') | Some('R') => AccessMode::Read,
+        Some('w') | Some('W') => AccessMode::Write,
+        _ => return Err(err("step must start with r or w", s)),
+    };
+    // Anything after the mode letter (a transaction subscript) must be digits.
+    if !head[1..].chars().all(|c| c.is_ascii_digit()) {
+        return Err(err("unexpected characters before '('", s));
+    }
+    let colon = body
+        .find(':')
+        .ok_or_else(|| err("expected ':' inside step", s))?;
+    let partition = parse_partition(&body[..colon])?;
+    let cost_str = body[colon + 1..].trim();
+    let cost: f64 = cost_str
+        .parse()
+        .map_err(|_| err("cost must be a number", cost_str))?;
+    if !cost.is_finite() || cost < 0.0 {
+        return Err(err("cost must be non-negative and finite", cost_str));
+    }
+    Ok(StepSpec::new(partition, mode, Work::from_objects_f64(cost)))
+}
+
+/// Parses a full transaction line: optional `T<n>:` prefix, then steps
+/// joined by `->` or `→`. Returns the declared id (if any) and the steps.
+pub fn parse_txn(s: &str) -> Result<(Option<u64>, Vec<StepSpec>), ParseError> {
+    let s = s.trim();
+    let (id, rest) = match s.split_once(':') {
+        Some((head, rest)) if head.trim_start().starts_with(['T', 't']) && !head.contains('(') => {
+            let digits = head.trim().trim_start_matches(['T', 't']);
+            let id = digits
+                .parse::<u64>()
+                .map_err(|_| err("transaction name must be T<number>", head))?;
+            (Some(id), rest)
+        }
+        _ => (None, s),
+    };
+    let normalized = rest.replace('→', "->");
+    let mut steps = Vec::new();
+    for frag in normalized.split("->") {
+        let frag = frag.trim().trim_end_matches([',', '.', ';']);
+        if frag.is_empty() {
+            continue;
+        }
+        steps.push(parse_step(frag)?);
+    }
+    if steps.is_empty() {
+        return Err(err("transaction has no steps", s));
+    }
+    Ok((id, steps))
+}
+
+/// Parses a whole workload: one transaction per non-empty, non-`#` line.
+/// Ids default to the 1-based line position when not declared.
+pub fn parse_workload(text: &str) -> Result<Vec<TxnSpec>, ParseError> {
+    let mut out = Vec::new();
+    let mut next_id = 1u64;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (id, steps) = parse_txn(line)?;
+        let id = id.unwrap_or(next_id);
+        next_id = next_id.max(id) + 1;
+        out.push(TxnSpec::new(TxnId(id), steps));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_figure1_exactly() {
+        let text = "
+            T1: r1(A:1) -> r1(B:3) -> w1(A:1).
+            T2: r2(C:1) -> w2(A:1).
+            T3: w3(C:1) -> r3(D:3).
+        ";
+        let txns = parse_workload(text).unwrap();
+        assert_eq!(txns.len(), 3);
+        assert_eq!(txns[0].id, TxnId(1));
+        assert_eq!(txns[0].len(), 3);
+        assert_eq!(txns[0].steps()[0].partition, PartitionId(0)); // A
+        assert_eq!(txns[0].steps()[1].partition, PartitionId(1)); // B
+        assert_eq!(txns[0].steps()[1].cost, Work::from_objects(3));
+        assert_eq!(txns[2].steps()[1].partition, PartitionId(3)); // D
+        assert_eq!(txns[0].total_declared(), Work::from_objects(5));
+    }
+
+    #[test]
+    fn parses_pattern1() {
+        let (_, steps) = parse_txn("r(F1:1) -> r(F2:5) -> w(F1:0.2) -> w(F2:1)").unwrap();
+        assert_eq!(steps.len(), 4);
+        assert_eq!(steps[0].partition, PartitionId(1));
+        assert_eq!(steps[2].cost, Work::from_objects_f64(0.2));
+        assert_eq!(steps[2].mode, AccessMode::Write);
+    }
+
+    #[test]
+    fn accepts_unicode_arrow_and_bare_numbers() {
+        let (_, steps) = parse_txn("r(0:1) → w(15:2.5)").unwrap();
+        assert_eq!(steps[1].partition, PartitionId(15));
+        assert_eq!(steps[1].cost, Work::from_objects_f64(2.5));
+    }
+
+    #[test]
+    fn round_trips_display() {
+        // TxnSpec's Display emits P<n> names; the parser reads them back.
+        let spec = TxnSpec::new(
+            TxnId(7),
+            vec![StepSpec::read(4, 1.5), StepSpec::write(9, 0.2)],
+        );
+        let text = spec.to_string();
+        let (id, steps) = parse_txn(&text).unwrap();
+        assert_eq!(id, Some(7));
+        assert_eq!(steps, spec.steps().to_vec());
+    }
+
+    #[test]
+    fn default_ids_are_sequential() {
+        let txns = parse_workload("r(A:1)\nw(B:2)\n# comment\n\nr(C:3)").unwrap();
+        let ids: Vec<u64> = txns.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn declared_and_default_ids_mix() {
+        let txns = parse_workload("T5: r(A:1)\nw(B:2)").unwrap();
+        assert_eq!(txns[0].id, TxnId(5));
+        assert_eq!(txns[1].id, TxnId(6));
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse_step("x(A:1)").is_err());
+        assert!(parse_step("r A:1").is_err());
+        assert!(parse_step("r(A)").is_err());
+        assert!(parse_step("r(A:abc)").is_err());
+        assert!(parse_step("r(A:-1)").is_err());
+        assert!(parse_step("rx(A:1)").is_err());
+        assert!(parse_txn("T1:").is_err());
+        assert!(parse_txn("Tx: r(A:1)").is_err());
+        let e = parse_step("q(A:1)").unwrap_err();
+        assert!(e.to_string().contains("r or w"));
+    }
+
+    #[test]
+    fn partition_name_forms() {
+        assert_eq!(parse_partition("A").unwrap(), PartitionId(0));
+        assert_eq!(parse_partition("Z").unwrap(), PartitionId(25));
+        assert_eq!(parse_partition("P12").unwrap(), PartitionId(12));
+        assert_eq!(parse_partition("F3").unwrap(), PartitionId(3));
+        assert_eq!(parse_partition("42").unwrap(), PartitionId(42));
+        assert!(parse_partition("").is_err());
+        assert!(parse_partition("QQ").is_err());
+        assert!(parse_partition("a").is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! The paper's motivating scenario (§1): a bank's nightly batch window.
+//!
+//! Each batch job "reads history-files for statistic analysis, and then
+//! updates master-files according to this analysis". We model 8 history
+//! partitions (large, read-only) and 8 master partitions (small, hot,
+//! updated by every job), submit a Poisson stream of such BATs to the
+//! shared-nothing machine, and compare how many jobs each scheduler finishes
+//! in a one-hour window — the off-line service's real constraint.
+//!
+//! This example also shows how to plug a *custom* workload into the
+//! simulator: implement [`wtpg::sim::workload::Workload`].
+//!
+//! Run: `cargo run --release --example banking_batch`
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wtpg::core::partition::Catalog;
+use wtpg::core::txn::{StepSpec, TxnId, TxnSpec};
+use wtpg::core::work::Work;
+use wtpg::sim::config::SimParams;
+use wtpg::sim::machine::Machine;
+use wtpg::sim::sched_kind::SchedKind;
+use wtpg::sim::workload::Workload;
+use wtpg::workload::pattern::promote_lock_modes;
+
+/// A nightly batch job: scan 1–2 history partitions, update 2 masters.
+struct BankBatch {
+    catalog: Catalog,
+    rng: StdRng,
+}
+
+impl BankBatch {
+    fn new(seed: u64) -> BankBatch {
+        // Partitions 0..8: history files, 6 objects each (one per node).
+        // Partitions 8..16: master files, 1 object each.
+        let mut sizes = vec![Work::from_objects(6); 8];
+        sizes.extend(vec![Work::from_objects(1); 8]);
+        BankBatch {
+            catalog: Catalog::new(sizes, 8),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Workload for BankBatch {
+    fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    fn next_txn(&mut self, id: TxnId) -> TxnSpec {
+        let history = self.rng.gen_range(0..8u32);
+        let m1 = self.rng.gen_range(8..16u32);
+        let mut m2 = self.rng.gen_range(8..15u32);
+        if m2 >= m1 {
+            m2 += 1;
+        }
+        // Scan ~70 % of one history file, then rewrite half of two masters
+        // (update cost = 2 × fraction × size, per the paper's cost model).
+        let steps = vec![
+            StepSpec::read(history, 4.0),
+            StepSpec::write(m1, 1.0),
+            StepSpec::write(m2, 1.0),
+        ];
+        TxnSpec::new(id, promote_lock_modes(steps))
+    }
+}
+
+fn main() {
+    let window_ms = 3_600_000; // a one-hour batch window
+    let lambda = 0.7; // jobs arrive at 0.7/s — well over C2PL's capacity
+    println!(
+        "Nightly batch window: {} s, λ = {lambda} jobs/s",
+        window_ms / 1000
+    );
+    println!("Job shape: scan a history file (4 obj), update two master files (1 obj each)\n");
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10} {:>9}",
+        "scheduler", "finished", "mean RT (s)", "p95 RT (s)", "DN util", "rejects"
+    );
+    for kind in [
+        SchedKind::KWtpg,
+        SchedKind::Chain,
+        SchedKind::Asl,
+        SchedKind::C2pl,
+        SchedKind::Nodc,
+    ] {
+        let params = SimParams {
+            sim_length_ms: window_ms,
+            ..SimParams::paper_defaults()
+        };
+        let mut machine = Machine::new(params.clone(), kind.build(&params), BankBatch::new(7));
+        let r = machine.run(lambda);
+        println!(
+            "{:>10} {:>10} {:>12.1} {:>12.1} {:>9.0}% {:>9}",
+            kind.label(&params),
+            r.completed,
+            r.mean_rt_ms / 1000.0,
+            r.p95_rt_ms / 1000.0,
+            r.dn_utilization * 100.0,
+            r.rejections,
+        );
+    }
+    println!(
+        "\nThe WTPG schedulers (K2, CHAIN) finish the most jobs: they keep the\n\
+         master files flowing without the chains of blocking that stall C2PL,\n\
+         and without ASL's all-or-nothing admission stalls. NODC is the\n\
+         no-concurrency-control ceiling (it gives no isolation)."
+    );
+}

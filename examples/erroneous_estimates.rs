@@ -1,0 +1,60 @@
+//! Erroneous I/O demands (the paper's Experiment 4 in miniature).
+//!
+//! Both WTPG schedulers trust the I/O demands transactions declare at start.
+//! This example perturbs every declared cost with `C = C0·(1 + x)`,
+//! `x ~ N(0, σ)`, while the *actual* work stays exact, and measures how
+//! gracefully CHAIN and K2 degrade — including the weight-free hybrid lower
+//! bounds CHAIN-C2PL and K2-C2PL that isolate how much of each scheduler's
+//! benefit comes from structure alone (Figure 10).
+//!
+//! Run: `cargo run --release --example erroneous_estimates`
+
+use wtpg::sim::runner::{max_tps, tps_at_rt};
+use wtpg::sim::sched_kind::SchedKind;
+use wtpg::sim::{runner, SimParams};
+use wtpg::workload::Experiment;
+
+fn main() {
+    let params = SimParams {
+        sim_length_ms: 400_000,
+        ..SimParams::paper_defaults()
+    };
+    let lambdas = vec![0.2, 0.4, 0.6, 0.8];
+    let schedulers = [
+        SchedKind::Chain,
+        SchedKind::KWtpg,
+        SchedKind::ChainC2pl,
+        SchedKind::KC2pl,
+    ];
+    println!("Pattern 1 with declared cost C = C0·(1+x), x ~ N(0, σ)\n");
+    print!("{:>6}", "σ");
+    for kind in schedulers {
+        print!(" {:>11}", kind.label(&params));
+    }
+    println!("   [TPS at RT = 70 s]");
+    let mut sigma0: Vec<f64> = Vec::new();
+    for sigma in [0.0, 0.5, 1.0] {
+        let exp = Experiment::exp4(sigma);
+        print!("{sigma:>6.2}");
+        for (i, kind) in schedulers.into_iter().enumerate() {
+            let sweep = runner::sweep(&params, kind, &|s| exp.workload(s), &lambdas);
+            let tps = tps_at_rt(&sweep, 70_000.0).unwrap_or_else(|| max_tps(&sweep));
+            if sigma == 0.0 {
+                sigma0.push(tps);
+            }
+            let delta = if sigma == 0.0 {
+                String::new()
+            } else {
+                format!(" ({:+.0}%)", 100.0 * (tps - sigma0[i]) / sigma0[i])
+            };
+            print!(" {:>11}", format!("{tps:.3}{delta}"));
+        }
+        println!();
+    }
+    println!(
+        "\nThe hybrids use only the structural constraints (no weights): the gap\n\
+         between K2 and K2-C2PL shows K-WTPG's benefit comes from the weights,\n\
+         which is why K2 is the more σ-sensitive of the two; CHAIN leans on its\n\
+         chain-form constraint and barely moves — the paper's conclusion 3."
+    );
+}

@@ -1,0 +1,45 @@
+//! Hot master files (the paper's Experiment 2 in miniature).
+//!
+//! "In the BAT processing, master-files are very 'hot' files" (§3.3): when
+//! most updates hit a small hot set, CHAIN's chain-form constraint starts
+//! rejecting transactions while K-WTPG keeps admitting them — the reason the
+//! paper introduces the K-conflict scheduler at all. This example sweeps the
+//! hot-set size and prints the throughput each scheduler sustains at a mean
+//! response time of 70 s, reproducing Figure 8's shape at a reduced scale.
+//!
+//! Run: `cargo run --release --example hot_master_files`
+
+use wtpg::sim::runner::{max_tps, tps_at_rt};
+use wtpg::sim::sched_kind::SchedKind;
+use wtpg::sim::{runner, SimParams};
+use wtpg::workload::Experiment;
+
+fn main() {
+    let params = SimParams {
+        sim_length_ms: 400_000,
+        ..SimParams::paper_defaults()
+    };
+    let lambdas: Vec<f64> = vec![0.2, 0.4, 0.6, 0.8, 1.0, 1.2];
+    println!("Pattern 2: r(B:5) -> w(F1:1) -> w(F2:1), F1/F2 from the hot set\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10}   [TPS at RT = 70 s]",
+        "NumHots", "ASL", "CHAIN", "K2", "C2PL"
+    );
+    for num_hots in Experiment::EXP2_NUM_HOTS {
+        let exp = Experiment::exp2(num_hots);
+        print!("{num_hots:>8}");
+        for kind in SchedKind::CONTENDERS {
+            let sweep = runner::sweep(&params, kind, &|s| exp.workload(s), &lambdas);
+            let tps = tps_at_rt(&sweep, 70_000.0).unwrap_or_else(|| max_tps(&sweep));
+            print!(" {tps:>10.3}");
+        }
+        println!();
+    }
+    println!(
+        "\nSmaller hot sets mean more conflicts per declaration. ASL collapses\n\
+         first (it admits only transactions that can take *every* lock), CHAIN\n\
+         suffers once the conflict graph stops being a chain, and K2 — which\n\
+         accepts any WTPG shape and arbitrates by E(q) — degrades most slowly.\n\
+         That is the paper's Figure 8."
+    );
+}

@@ -1,0 +1,77 @@
+//! Execution timeline: an ASCII Gantt chart of what every data node was
+//! doing, second by second — the clearest way to *see* a chain of blocking.
+//!
+//! Runs the same small Pattern-1 burst twice, under C2PL and under K-WTPG,
+//! and renders which transaction each of the 8 nodes served over time.
+//! Under C2PL you can watch nodes going idle while transactions queue
+//! behind a lock chain; K-WTPG keeps the machine busier with the same jobs.
+//!
+//! Run: `cargo run --release --example timeline`
+
+use wtpg::core::work::Work;
+use wtpg::sim::machine::{Machine, QuantumRecord};
+use wtpg::sim::sched_kind::SchedKind;
+use wtpg::sim::SimParams;
+use wtpg::workload::{Experiment, PatternWorkload};
+
+const WINDOW_SECS: usize = 60;
+
+fn run(kind: SchedKind) -> (String, Vec<QuantumRecord>, u64) {
+    let params = SimParams {
+        sim_length_ms: WINDOW_SECS as u64 * 1000,
+        ..SimParams::paper_defaults()
+    };
+    let exp = Experiment::exp1();
+    let workload: PatternWorkload = exp.workload(11);
+    let mut m = Machine::new(params.clone(), kind.build(&params), workload);
+    m.record_timeline();
+    let report = m.run(0.7);
+    (
+        kind.label(&params),
+        m.timeline().unwrap().to_vec(),
+        report.completed,
+    )
+}
+
+fn render(label: &str, timeline: &[QuantumRecord], completed: u64) {
+    // One row per node, one column per second; cell = last txn served.
+    let mut grid = vec![[b'.'; WINDOW_SECS]; 8];
+    for q in timeline {
+        let sec = (q.at.millis() / 1000) as usize;
+        if sec >= WINDOW_SECS {
+            continue;
+        }
+        // Label transactions by id mod 36, readable single char.
+        let c = match (q.txn.0 - 1) % 36 {
+            d @ 0..=9 => b'0' + d as u8,
+            d => b'a' + (d - 10) as u8,
+        };
+        grid[q.node as usize][sec] = c;
+    }
+    println!("== {label}: {completed} committed in {WINDOW_SECS} s ==");
+    println!("        {}", "123456789↑".repeat(WINDOW_SECS / 10));
+    for (n, row) in grid.iter().enumerate() {
+        println!("node {n}: {}", String::from_utf8_lossy(row));
+    }
+    let busy: usize = grid.iter().flatten().filter(|&&c| c != b'.').count();
+    println!(
+        "utilisation ≈ {:.0} %  ('.' = idle second, digit/letter = transaction id mod 36)\n",
+        100.0 * busy as f64 / (8 * WINDOW_SECS) as f64
+    );
+}
+
+fn main() {
+    println!("Pattern 1 burst at λ = 0.7 TPS on the 8-node machine; one column = 1 s.\n");
+    for kind in [SchedKind::C2pl, SchedKind::KWtpg, SchedKind::Nodc] {
+        let (label, timeline, completed) = run(kind);
+        // Sanity: the timeline's work sums to the DN busy time.
+        let total: Work = timeline.iter().map(|q| q.amount).sum();
+        assert!(total.units() > 0);
+        render(&label, &timeline, completed);
+    }
+    println!(
+        "Read the C2PL chart top to bottom: whole nodes idle ('.') while a\n\
+         lock chain serialises the transactions that wanted them. K2's chart\n\
+         shows the same arrivals spread across the machine."
+    );
+}
