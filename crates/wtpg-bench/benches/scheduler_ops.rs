@@ -4,7 +4,7 @@
 //! the number of live transactions.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use wtpg_core::estimate::eq_estimate;
+use wtpg_core::estimate::{eq_estimate, eq_estimate_naive, eq_estimate_with, EqScratch};
 use wtpg_core::txn::TxnId;
 use wtpg_core::work::Work;
 use wtpg_core::wtpg::Wtpg;
@@ -37,8 +37,25 @@ fn bench_eq(c: &mut Criterion) {
     for &n in &[8u64, 32, 128] {
         let g = build_wtpg(n);
         let implied = vec![TxnId(3)];
-        group.bench_with_input(BenchmarkId::new("txns", n), &n, |b, _| {
+        // The clone-based reference the overlay replaced.
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |b, _| {
+            b.iter(|| eq_estimate_naive(black_box(&g), TxnId(2), black_box(&implied)))
+        });
+        // The overlay with a throwaway scratch (cold buffers every call).
+        group.bench_with_input(BenchmarkId::new("overlay_cold", n), &n, |b, _| {
             b.iter(|| eq_estimate(black_box(&g), TxnId(2), black_box(&implied)))
+        });
+        // The overlay as the schedulers run it: one scratch, reused.
+        let mut scratch = EqScratch::new();
+        group.bench_with_input(BenchmarkId::new("overlay_warm", n), &n, |b, _| {
+            b.iter(|| {
+                eq_estimate_with(
+                    black_box(&mut scratch),
+                    black_box(&g),
+                    TxnId(2),
+                    black_box(&implied),
+                )
+            })
         });
     }
     group.finish();

@@ -43,22 +43,23 @@ fn sweep_with<F>(
     opts: &RunOptions,
     kind: SchedKind,
     lambdas: &[f64],
-    make_workload: &dyn Fn(u64) -> PatternWorkload,
+    make_workload: &(dyn Fn(u64) -> PatternWorkload + Sync),
     tweak: F,
 ) -> SweepResult
 where
-    F: Fn(&mut SimParams),
+    F: Fn(&mut SimParams) + Sync,
 {
-    let mut points = Vec::with_capacity(lambdas.len());
-    for &lambda in lambdas {
+    // λ points are independent runs: fan them out, keep them in λ order.
+    let points = crate::par::par_map(lambdas.len(), |i| {
+        let lambda = lambdas[i];
         let mut params = opts.params();
         tweak(&mut params);
         let report = run_once(&params, kind, make_workload, lambda);
-        points.push(LambdaPoint {
+        LambdaPoint {
             lambda_tps: lambda,
             report,
-        });
-    }
+        }
+    });
     let mut params = opts.params();
     tweak(&mut params);
     SweepResult {

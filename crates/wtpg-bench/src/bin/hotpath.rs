@@ -1,0 +1,131 @@
+//! Hot-path micro-benchmark report: times the `E(q)` estimators and the
+//! WTPG queries on the chain-of-`N` fixture and writes
+//! `BENCH_wtpg_hotpath.json` — the numbers DESIGN.md and the PR quote.
+//!
+//! Self-timed with `std::time::Instant` (median of several samples, each
+//! batched to amortise the clock read) so the binary needs no bench-only
+//! dependencies.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use wtpg_core::estimate::{eq_estimate_naive, eq_estimate_with, EqScratch};
+use wtpg_core::txn::TxnId;
+use wtpg_core::work::Work;
+use wtpg_core::wtpg::Wtpg;
+
+/// Same shape as the Criterion benches: a conflict chain of `n` with every
+/// third edge resolved.
+fn build_wtpg(n: u64) -> Wtpg {
+    let mut g = Wtpg::new();
+    for i in 1..=n {
+        g.add_txn(TxnId(i), Work::from_objects(3 + i % 7)).unwrap();
+    }
+    for i in 1..n {
+        g.add_or_merge_conflict(
+            TxnId(i),
+            TxnId(i + 1),
+            Work::from_objects(1 + i % 3),
+            Work::from_objects(1 + (i + 1) % 3),
+        )
+        .unwrap();
+    }
+    for i in (1..n).step_by(3) {
+        g.resolve(TxnId(i), TxnId(i + 1)).unwrap();
+    }
+    g
+}
+
+/// Median ns/iter over `SAMPLES` timed batches of `f`.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    const SAMPLES: usize = 7;
+    const BATCH_MS: f64 = 20.0;
+    // Calibrate a batch size that runs ~BATCH_MS.
+    let mut iters = 16u64;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if ms >= BATCH_MS / 4.0 || iters >= 1 << 30 {
+            iters = ((iters as f64) * BATCH_MS / ms.max(1e-6)).ceil() as u64;
+            iters = iters.clamp(1, 1 << 30);
+            break;
+        }
+        iters *= 4;
+    }
+    let mut samples: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[SAMPLES / 2]
+}
+
+#[derive(Serialize)]
+struct Row {
+    op: String,
+    txns: u64,
+    ns_per_iter: f64,
+}
+
+#[derive(Serialize)]
+struct Report {
+    fixture: String,
+    rows: Vec<Row>,
+    /// naive / overlay-warm at each N — the acceptance criterion wants the
+    /// 128-transaction entry ≥ 2.
+    eq_speedup: Vec<(u64, f64)>,
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    let mut speedups = Vec::new();
+    for &n in &[8u64, 32, 128] {
+        let g = build_wtpg(n);
+        let implied = vec![TxnId(3)];
+        let naive = time_ns(|| {
+            std::hint::black_box(eq_estimate_naive(&g, TxnId(2), &implied));
+        });
+        let mut scratch = EqScratch::new();
+        let warm = time_ns(|| {
+            std::hint::black_box(eq_estimate_with(&mut scratch, &g, TxnId(2), &implied));
+        });
+        let cp = time_ns(|| {
+            std::hint::black_box(g.critical_path());
+        });
+        let dd = time_ns(|| {
+            std::hint::black_box(g.would_deadlock(TxnId(n), TxnId(1)));
+        });
+        for (op, ns) in [
+            ("eq_estimate_naive", naive),
+            ("eq_estimate_overlay", warm),
+            ("critical_path", cp),
+            ("would_deadlock", dd),
+        ] {
+            println!("{op:>20} n={n:<4} {ns:>12.1} ns/iter");
+            rows.push(Row {
+                op: op.to_string(),
+                txns: n,
+                ns_per_iter: ns,
+            });
+        }
+        let speedup = naive / warm;
+        println!("{:>20} n={n:<4} {speedup:>12.2}x", "eq speedup");
+        speedups.push((n, speedup));
+    }
+    let report = Report {
+        fixture: "conflict chain, every third edge resolved".to_string(),
+        rows,
+        eq_speedup: speedups,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    std::fs::write("BENCH_wtpg_hotpath.json", &json).expect("write BENCH_wtpg_hotpath.json");
+    println!("wrote BENCH_wtpg_hotpath.json");
+}

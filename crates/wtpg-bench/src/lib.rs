@@ -24,6 +24,7 @@ pub mod ablations;
 pub mod drivers;
 pub mod format;
 pub mod mixed_ext;
+pub mod par;
 pub mod replicate;
 pub mod waits;
 

@@ -1,7 +1,14 @@
 //! Replication: run each (scheduler, λ) point under several seeds and
 //! average the metrics, smoothing the curves the paper plots.
+//!
+//! Every `(λ, rep)` cell is independent — its machine is rebuilt from
+//! `seed + rep * 7919` — so the sweep fans the cells out over
+//! [`par_map`](crate::par::par_map) and reassembles them in index order,
+//! making the parallel output bit-identical to the old serial loop.
 
 use serde::{Deserialize, Serialize};
+
+use crate::par::par_map;
 use wtpg_sim::config::SimParams;
 use wtpg_sim::metrics::RunReport;
 use wtpg_sim::runner::{run_once, LambdaPoint, SweepResult};
@@ -89,24 +96,28 @@ pub fn averaged_sweep<W, F>(
 ) -> SweepResult
 where
     W: Workload,
-    F: Fn(u64) -> W,
+    F: Fn(u64) -> W + Sync,
 {
-    let mut points = Vec::with_capacity(lambdas.len());
-    for &lambda in lambdas {
-        let reports: Vec<RunReport> = (0..opts.replications)
-            .map(|rep| {
-                let params = SimParams {
-                    seed: opts.seed + rep * 7919,
-                    ..opts.params()
-                };
-                run_once(&params, kind, make_workload, lambda)
-            })
-            .collect();
-        points.push(LambdaPoint {
+    // One task per (λ, rep) cell; index i maps to (i / reps, i % reps) so
+    // the flattened results slice back into per-λ groups in rep order.
+    let reps = opts.replications as usize;
+    let runs: Vec<RunReport> = par_map(lambdas.len() * reps, |i| {
+        let lambda = lambdas[i / reps];
+        let rep = (i % reps) as u64;
+        let params = SimParams {
+            seed: opts.seed + rep * 7919,
+            ..opts.params()
+        };
+        run_once(&params, kind, make_workload, lambda)
+    });
+    let points = lambdas
+        .iter()
+        .enumerate()
+        .map(|(li, &lambda)| LambdaPoint {
             lambda_tps: lambda,
-            report: average(&reports),
-        });
-    }
+            report: average(&runs[li * reps..(li + 1) * reps]),
+        })
+        .collect();
     SweepResult {
         scheduler: kind.label(&opts.params()),
         points,
@@ -129,6 +140,46 @@ mod tests {
         let sw = averaged_sweep(&opts, SchedKind::Nodc, &|s| exp.workload(s), &[0.3]);
         assert_eq!(sw.points.len(), 1);
         assert!(sw.points[0].report.completed > 0);
+    }
+
+    /// The acceptance bar for the parallel driver: its output must be
+    /// byte-for-byte the output of the serial loop it replaced. The serial
+    /// reference below *is* that old loop, verbatim.
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let opts = RunOptions {
+            sim_length_ms: 50_000,
+            replications: 3,
+            seed: 9,
+        };
+        let exp = Experiment::exp1();
+        let lambdas = [0.3, 0.6];
+        let kind = SchedKind::Chain;
+        let par = averaged_sweep(&opts, kind, &|s| exp.workload(s), &lambdas);
+        let mut points = Vec::with_capacity(lambdas.len());
+        for &lambda in &lambdas {
+            let reports: Vec<RunReport> = (0..opts.replications)
+                .map(|rep| {
+                    let params = SimParams {
+                        seed: opts.seed + rep * 7919,
+                        ..opts.params()
+                    };
+                    run_once(&params, kind, |s| exp.workload(s), lambda)
+                })
+                .collect();
+            points.push(LambdaPoint {
+                lambda_tps: lambda,
+                report: average(&reports),
+            });
+        }
+        let serial = SweepResult {
+            scheduler: kind.label(&opts.params()),
+            points,
+        };
+        assert_eq!(
+            serde_json::to_string(&par).unwrap(),
+            serde_json::to_string(&serial).unwrap()
+        );
     }
 
     #[test]

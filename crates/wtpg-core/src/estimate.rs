@@ -14,6 +14,15 @@
 //!
 //! Complexity is `O(max(n, e))`: one DFS for the before/after sets plus one
 //! topological pass for the critical path.
+//!
+//! The overlay never materialises a second graph. Hypothetical precedence
+//! edges go into an [`EqScratch`] delta — per-slot linked lists of extra
+//! edges plus a resolved-pair list — and every traversal (step 1's cycle
+//! checks, step 2's before/after, step 3's critical path) walks the base
+//! arena and the delta together. The scratch is reusable across requests, so
+//! an estimate in steady state performs no allocation at all; the previous
+//! clone-per-request implementation is retained as [`eq_estimate_naive`] and
+//! serves as the differential-testing reference.
 
 use crate::txn::TxnId;
 use crate::work::Work;
@@ -54,12 +63,338 @@ impl Ord for EqValue {
     }
 }
 
+const NIL: u32 = u32::MAX;
+
+/// A hypothetical precedence edge in the overlay delta, chained per source
+/// slot through `next`.
+#[derive(Clone, Copy, Debug)]
+struct ExtraEdge {
+    to: u32,
+    w: Work,
+    next: u32,
+}
+
+/// Reusable overlay state for [`eq_estimate_with`]. One instance per
+/// scheduler; buffers grow to the arena size once and are reused for every
+/// subsequent request.
+#[derive(Clone, Debug, Default)]
+pub struct EqScratch {
+    /// Head of the extra-edge chain per source slot (`NIL` = none).
+    extra_head: Vec<u32>,
+    extra: Vec<ExtraEdge>,
+    /// Slots whose `extra_head` is set — for O(delta) reset.
+    touched: Vec<u32>,
+    /// Conflicting pairs resolved inside the overlay, as `(from, to)` slots.
+    resolved: Vec<(u32, u32)>,
+    /// Epoch-stamped visit marks for the reachability DFS.
+    mark: Vec<u32>,
+    epoch: u32,
+    stack: Vec<u32>,
+    /// Epoch-stamped membership of `before(txn)` / `after(txn)`.
+    before: Vec<u32>,
+    after: Vec<u32>,
+    ba_epoch: u32,
+    // Kahn scratch for the overlay critical path.
+    indeg: Vec<u32>,
+    dist: Vec<Work>,
+    queue: Vec<u32>,
+}
+
+impl EqScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> EqScratch {
+        EqScratch::default()
+    }
+
+    /// Clears the delta and sizes the per-slot arrays for `graph`.
+    fn reset(&mut self, graph: &Wtpg) {
+        for &s in &self.touched {
+            self.extra_head[s as usize] = NIL;
+        }
+        self.touched.clear();
+        self.extra.clear();
+        self.resolved.clear();
+        let n = graph.slot_count();
+        if self.extra_head.len() < n {
+            self.extra_head.resize(n, NIL);
+        }
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        if self.before.len() < n {
+            self.before.resize(n, 0);
+        }
+        if self.after.len() < n {
+            self.after.resize(n, 0);
+        }
+    }
+
+    fn add_extra(&mut self, from: u32, to: u32, w: Work) {
+        let head = &mut self.extra_head[from as usize];
+        if *head == NIL {
+            self.touched.push(from);
+        }
+        self.extra.push(ExtraEdge {
+            to,
+            w,
+            next: *head,
+        });
+        *head = self.extra.len() as u32 - 1;
+    }
+
+    fn pair_resolved(&self, a: u32, b: u32) -> bool {
+        self.resolved
+            .iter()
+            .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    }
+
+    /// True if the overlay already has the precedence edge `from → to`
+    /// (base arena or delta).
+    fn has_edge(&self, graph: &Wtpg, from: u32, to: u32) -> bool {
+        let to_id = graph.slot_txn(to);
+        if graph
+            .out_of(from)
+            .binary_search_by(|e| e.id.cmp(&to_id))
+            .is_ok()
+        {
+            return true;
+        }
+        let mut e = self.extra_head[from as usize];
+        while e != NIL {
+            let edge = self.extra[e as usize];
+            if edge.to == to {
+                return true;
+            }
+            e = edge.next;
+        }
+        false
+    }
+
+    /// DFS over base + delta out-edges: can `start` reach `target`?
+    fn reaches(&mut self, graph: &Wtpg, start: u32, target: u32) -> bool {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        self.stack.clear();
+        self.push_successors(graph, start);
+        while let Some(s) = self.stack.pop() {
+            if s == target {
+                return true;
+            }
+            if self.mark[s as usize] != self.epoch {
+                self.mark[s as usize] = self.epoch;
+                self.push_successors(graph, s);
+            }
+        }
+        false
+    }
+
+    fn push_successors(&mut self, graph: &Wtpg, s: u32) {
+        for e in graph.out_of(s) {
+            self.stack.push(e.slot);
+        }
+        let mut e = self.extra_head[s as usize];
+        while e != NIL {
+            let edge = self.extra[e as usize];
+            self.stack.push(edge.to);
+            e = edge.next;
+        }
+    }
+
+    /// Stamps `before(txn)` and `after(txn)` under the overlay into the
+    /// `before`/`after` arrays with a fresh `ba_epoch`.
+    ///
+    /// `after` walks base + delta edges forward. `before` only needs the
+    /// base arena: every delta edge originates at `txn` itself at this
+    /// point (step 1 adds `txn → other` only), and an extra edge extending
+    /// `before(txn)` would close a cycle through `txn`, which step 1 just
+    /// excluded.
+    fn stamp_before_after(&mut self, graph: &Wtpg, s_txn: u32) {
+        self.ba_epoch = self.ba_epoch.wrapping_add(1);
+        if self.ba_epoch == 0 {
+            self.before.fill(0);
+            self.after.fill(0);
+            self.ba_epoch = 1;
+        }
+        let epoch = self.ba_epoch;
+        self.stack.clear();
+        for e in graph.inc_of(s_txn) {
+            self.stack.push(e.slot);
+        }
+        while let Some(s) = self.stack.pop() {
+            if self.before[s as usize] != epoch {
+                self.before[s as usize] = epoch;
+                for e in graph.inc_of(s) {
+                    self.stack.push(e.slot);
+                }
+            }
+        }
+        self.stack.clear();
+        self.push_successors(graph, s_txn);
+        while let Some(s) = self.stack.pop() {
+            if self.after[s as usize] != epoch {
+                self.after[s as usize] = epoch;
+                self.push_successors(graph, s);
+            }
+        }
+    }
+
+    /// Longest `T0 → Tf` path of the overlay (base + delta precedence
+    /// edges), or `None` on a cycle. Mirrors [`Wtpg::critical_path`].
+    fn critical_path(&mut self, graph: &Wtpg) -> Option<Work> {
+        let n = graph.slot_count();
+        self.indeg.clear();
+        self.indeg.resize(n, 0);
+        self.dist.clear();
+        self.dist.resize(n, Work::ZERO);
+        self.queue.clear();
+        for e in &self.extra {
+            self.indeg[e.to as usize] += 1;
+        }
+        let mut live = 0usize;
+        for s in graph.live_slots() {
+            live += 1;
+            self.indeg[s as usize] += graph.inc_of(s).len() as u32;
+            if self.indeg[s as usize] == 0 {
+                self.queue.push(s);
+            }
+        }
+        let mut best = Work::ZERO;
+        let mut head = 0;
+        while head < self.queue.len() {
+            let s = self.queue[head];
+            head += 1;
+            let dt = self.dist[s as usize].max(graph.slot_t0(s));
+            best = best.max(dt);
+            for e in graph.out_of(s) {
+                let cand = dt + e.w;
+                if cand > self.dist[e.slot as usize] {
+                    self.dist[e.slot as usize] = cand;
+                }
+                self.indeg[e.slot as usize] -= 1;
+                if self.indeg[e.slot as usize] == 0 {
+                    self.queue.push(e.slot);
+                }
+            }
+            let mut x = self.extra_head[s as usize];
+            while x != NIL {
+                let edge = self.extra[x as usize];
+                let cand = dt + edge.w;
+                if cand > self.dist[edge.to as usize] {
+                    self.dist[edge.to as usize] = cand;
+                }
+                self.indeg[edge.to as usize] -= 1;
+                if self.indeg[edge.to as usize] == 0 {
+                    self.queue.push(edge.to);
+                }
+                x = edge.next;
+            }
+        }
+        (head == live).then_some(best)
+    }
+}
+
+/// Computes `E(q)` with a reusable [`EqScratch`] — the hot-path entry point
+/// used by the schedulers. The WTPG itself is never mutated; hypothetical
+/// resolutions live in the scratch delta.
+pub fn eq_estimate_with(
+    scratch: &mut EqScratch,
+    wtpg: &Wtpg,
+    txn: TxnId,
+    implied: &[TxnId],
+) -> EqValue {
+    scratch.reset(wtpg);
+    let s_txn = wtpg.slot_of(txn);
+    // Step 1: apply the implied resolutions; any of them closing a directed
+    // cycle (including contradicting an existing precedence edge) means the
+    // grant would deadlock.
+    for &other in implied {
+        if other == txn {
+            continue;
+        }
+        let Some(s_other) = wtpg.slot_of(other) else {
+            continue;
+        };
+        let Some(s_txn) = s_txn else {
+            // The clone-based algorithm fails the resolve on an unknown
+            // requester; keep that contract.
+            return EqValue::Infinite;
+        };
+        if scratch.reaches(wtpg, s_other, s_txn) {
+            return EqValue::Infinite;
+        }
+        if !scratch.has_edge(wtpg, s_txn, s_other) {
+            // resolve(txn, other): carry the stored conflict weight if the
+            // pair is (still) unresolved, zero otherwise.
+            let other_id = wtpg.slot_txn(s_other);
+            let w = wtpg
+                .conf_of(s_txn)
+                .binary_search_by(|e| e.id.cmp(&other_id))
+                .ok()
+                .filter(|_| !scratch.pair_resolved(s_txn, s_other))
+                .map(|i| wtpg.conf_of(s_txn)[i].w)
+                .unwrap_or(Work::ZERO);
+            scratch.add_extra(s_txn, s_other, w);
+            scratch.resolved.push((s_txn, s_other));
+        }
+    }
+    // Step 2: orders implied by transitivity through txn.
+    if let Some(s_txn) = s_txn {
+        scratch.stamp_before_after(wtpg, s_txn);
+        let epoch = scratch.ba_epoch;
+        for sa in wtpg.live_slots() {
+            let a = wtpg.slot_txn(sa);
+            for i in 0..wtpg.conf_of(sa).len() {
+                let e = wtpg.conf_of(sa)[i];
+                if a >= e.id || scratch.pair_resolved(sa, e.slot) {
+                    continue;
+                }
+                let sb = e.slot;
+                let w_ab = e.w;
+                let a_before = scratch.before[sa as usize] == epoch;
+                let a_after = scratch.after[sa as usize] == epoch;
+                let b_before = scratch.before[sb as usize] == epoch;
+                let b_after = scratch.after[sb as usize] == epoch;
+                let (from, to, w) = if a_before && b_after {
+                    (sa, sb, w_ab)
+                } else if b_before && a_after {
+                    let back = wtpg.conf_of(sb);
+                    let j = back
+                        .binary_search_by(|x| x.id.cmp(&a))
+                        .expect("conflict edges are symmetric");
+                    (sb, sa, back[j].w)
+                } else {
+                    continue;
+                };
+                scratch.add_extra(from, to, w);
+                scratch.resolved.push((from, to));
+            }
+        }
+    }
+    // Step 3: remaining conflicting edges are ignored by the critical path.
+    match scratch.critical_path(wtpg) {
+        Some(cp) => EqValue::Finite(cp),
+        None => EqValue::Infinite,
+    }
+}
+
 /// Computes `E(q)` for a hypothetical grant to `txn` that would resolve the
 /// conflicting edges listed in `implied` as `txn → other`.
 ///
-/// The WTPG is not mutated — the overlay is applied to a clone (live WTPGs
-/// hold only the active transactions, so the clone is small).
+/// Convenience wrapper over [`eq_estimate_with`] with a throwaway scratch;
+/// the schedulers hold a long-lived [`EqScratch`] instead.
 pub fn eq_estimate(wtpg: &Wtpg, txn: TxnId, implied: &[TxnId]) -> EqValue {
+    let mut scratch = EqScratch::new();
+    eq_estimate_with(&mut scratch, wtpg, txn, implied)
+}
+
+/// The original clone-per-request estimator: applies the overlay to a full
+/// copy of the WTPG through the public mutation API. Kept as the reference
+/// implementation for differential tests and benchmarks — `eq_estimate_with`
+/// must agree with it on every input.
+pub fn eq_estimate_naive(wtpg: &Wtpg, txn: TxnId, implied: &[TxnId]) -> EqValue {
     let mut overlay = wtpg.clone();
     // Step 1: apply the implied resolutions; any of them closing a directed
     // cycle (including contradicting an existing precedence edge) means the
@@ -220,5 +555,49 @@ mod tests {
         let before = g.to_dot();
         let _ = eq_estimate(&g, TxnId(5), &[TxnId(6)]);
         assert_eq!(g.to_dot(), before);
+    }
+
+    #[test]
+    fn overlay_agrees_with_naive_on_the_paper_examples() {
+        let g = figure4();
+        let mut scratch = EqScratch::new();
+        let cases: &[(TxnId, &[TxnId])] = &[
+            (TxnId(5), &[TxnId(6)]),
+            (TxnId(6), &[TxnId(5)]),
+            (TxnId(5), &[TxnId(4)]),
+            (TxnId(4), &[TxnId(5), TxnId(6)]),
+            (TxnId(5), &[]),
+            (TxnId(9), &[TxnId(5)]), // unknown requester
+            (TxnId(5), &[TxnId(9)]), // unknown partner
+        ];
+        for &(txn, implied) in cases {
+            assert_eq!(
+                eq_estimate_with(&mut scratch, &g, txn, implied),
+                eq_estimate_naive(&g, txn, implied),
+                "txn {txn:?} implied {implied:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_requests() {
+        let g = figure4();
+        let mut scratch = EqScratch::new();
+        // Alternate between deadlocking and finite requests; stale delta
+        // state from an earlier call must never leak into the next one.
+        for _ in 0..3 {
+            assert_eq!(
+                eq_estimate_with(&mut scratch, &g, TxnId(5), &[TxnId(6)]),
+                EqValue::Finite(w(10))
+            );
+            assert_eq!(
+                eq_estimate_with(&mut scratch, &g, TxnId(5), &[TxnId(4)]),
+                EqValue::Infinite
+            );
+            assert_eq!(
+                eq_estimate_with(&mut scratch, &g, TxnId(6), &[TxnId(5)]),
+                EqValue::Finite(w(1))
+            );
+        }
     }
 }

@@ -41,10 +41,12 @@ impl Plan {
     }
 }
 
-/// Applies an orientation of the conflicting edges to a clone and returns
-/// its critical path; `None` when the orientation closes a cycle.
-fn evaluate(wtpg: &Wtpg, orientation: &[(TxnId, TxnId)]) -> Option<Work> {
-    let mut overlay = wtpg.clone();
+/// Applies an orientation of the conflicting edges to a reusable overlay
+/// graph (rebuilt from `wtpg` with `clone_from`, which recycles the slot
+/// buffers instead of reallocating) and returns its critical path; `None`
+/// when the orientation closes a cycle.
+fn evaluate(overlay: &mut Wtpg, wtpg: &Wtpg, orientation: &[(TxnId, TxnId)]) -> Option<Work> {
+    overlay.clone_from(wtpg);
     for &(from, to) in orientation {
         if overlay.would_deadlock(from, to) {
             return None;
@@ -75,15 +77,19 @@ pub fn exhaustive(wtpg: &Wtpg) -> Plan {
         conflicts.len()
     );
     let mut best: Option<(Vec<(TxnId, TxnId)>, Work)> = None;
+    let mut overlay = Wtpg::new();
+    let mut orientation: Vec<(TxnId, TxnId)> = Vec::with_capacity(conflicts.len());
     for mask in 0u64..(1 << conflicts.len()) {
-        let orientation: Vec<(TxnId, TxnId)> = conflicts
-            .iter()
-            .enumerate()
-            .map(|(i, &(a, b, _, _))| if mask >> i & 1 == 0 { (a, b) } else { (b, a) })
-            .collect();
-        if let Some(cp) = evaluate(wtpg, &orientation) {
+        orientation.clear();
+        orientation.extend(
+            conflicts
+                .iter()
+                .enumerate()
+                .map(|(i, &(a, b, _, _))| if mask >> i & 1 == 0 { (a, b) } else { (b, a) }),
+        );
+        if let Some(cp) = evaluate(&mut overlay, wtpg, &orientation) {
             if best.as_ref().is_none_or(|(_, b)| cp < *b) {
-                best = Some((orientation, cp));
+                best = Some((orientation.clone(), cp));
             }
         }
     }
@@ -100,6 +106,8 @@ pub fn greedy(wtpg: &Wtpg) -> Plan {
     let mut conflicts = wtpg.conflict_edges();
     conflicts.sort_by_key(|&(a, b, w_ab, w_ba)| (std::cmp::Reverse(w_ab.max(w_ba)), a, b));
     let mut overlay = wtpg.clone();
+    let mut fwd = Wtpg::new();
+    let mut bwd = Wtpg::new();
     let mut orientation = Vec::with_capacity(conflicts.len());
     for (a, b, _, _) in conflicts {
         let forward_ok = !overlay.would_deadlock(a, b);
@@ -111,9 +119,9 @@ pub fn greedy(wtpg: &Wtpg) -> Plan {
             (true, true) => {
                 // Evaluate both partial resolutions; remaining conflicts are
                 // ignored by critical_path, matching E(q)'s step 3.
-                let mut fwd = overlay.clone();
+                fwd.clone_from(&overlay);
                 fwd.resolve(a, b).expect("checked acyclic");
-                let mut bwd = overlay.clone();
+                bwd.clone_from(&overlay);
                 bwd.resolve(b, a).expect("checked acyclic");
                 let cf = fwd.critical_path().expect("acyclic");
                 let cb = bwd.critical_path().expect("acyclic");
@@ -145,12 +153,13 @@ pub fn local_search(wtpg: &Wtpg) -> Plan {
         .map(|&(a, b, _, _)| if seed.orients(a, b) { (a, b) } else { (b, a) })
         .collect();
     let mut best_cp = seed.critical_path;
+    let mut overlay = Wtpg::new();
     for _ in 0..LOCAL_SEARCH_PASSES {
         let mut improved = false;
         for i in 0..orientation.len() {
             let (from, to) = orientation[i];
             orientation[i] = (to, from);
-            match evaluate(wtpg, &orientation) {
+            match evaluate(&mut overlay, wtpg, &orientation) {
                 Some(cp) if cp < best_cp => {
                     best_cp = cp;
                     improved = true;

@@ -7,10 +7,14 @@
 //! would break chain form are aborted at start (before doing any work) and
 //! resubmitted by the driver.
 //!
-//! Control saving (§3.4): `W` is recomputed only when a transaction started
-//! or committed since the last computation, or when `keeptime` has elapsed
-//! (the `T0` weights drift as objects are processed, so a periodic refresh
-//! keeps `W` honest even without membership changes).
+//! Control saving (§3.4): `W` is recomputed only when the WTPG's structural
+//! [`version`](Wtpg::version) moved past the one `W` was computed at — a
+//! transaction started or committed, or a foreign precedence edge appeared —
+//! or when `keeptime` has elapsed (the `T0` weights drift as objects are
+//! processed, so a periodic refresh keeps `W` honest even without membership
+//! changes). The scheduler's own grants resolve edges *consistent with `W`
+//! by construction*, so after a grant the cached order is re-pinned to the
+//! post-grant version instead of being recomputed.
 
 use std::collections::BTreeSet;
 
@@ -33,8 +37,8 @@ pub struct ChainScheduler {
     /// The cached full SR-order: the set of oriented pairs `(from, to)`.
     w_order: Option<BTreeSet<(TxnId, TxnId)>>,
     last_compute: Tick,
-    /// A transaction started or committed since `w_order` was computed.
-    dirty: bool,
+    /// WTPG structural version `w_order` is valid for.
+    w_version: u64,
 }
 
 impl ChainScheduler {
@@ -45,7 +49,7 @@ impl ChainScheduler {
             keeptime,
             w_order: None,
             last_compute: Tick::ZERO,
-            dirty: true,
+            w_version: 0,
         }
     }
 
@@ -53,7 +57,7 @@ impl ChainScheduler {
     /// of optimisations performed (0 or 1).
     fn ensure_w(&mut self, now: Tick) -> Result<u32, CoreError> {
         let stale = now.saturating_since(self.last_compute) >= self.keeptime;
-        if self.w_order.is_some() && !self.dirty && !stale {
+        if self.w_order.is_some() && self.w_version == self.core.wtpg.version() && !stale {
             return Ok(0);
         }
         let comps =
@@ -71,7 +75,7 @@ impl ChainScheduler {
         }
         self.w_order = Some(order);
         self.last_compute = now;
-        self.dirty = false;
+        self.w_version = self.core.wtpg.version();
         Ok(1)
     }
 
@@ -96,7 +100,7 @@ impl Scheduler for ChainScheduler {
             self.core.rollback_arrival(spec.id);
             return Ok((Admission::Rejected, ControlOps::NONE));
         }
-        self.dirty = true;
+        // The arrival bumped the WTPG version; w_order is now stale.
         Ok((Admission::Admitted, ControlOps::NONE))
     }
 
@@ -123,6 +127,9 @@ impl Scheduler for ChainScheduler {
             return Ok((LockOutcome::Delayed, ops));
         }
         self.core.grant(txn, step, s, &implied)?;
+        // The grant's resolutions all agree with W, so the cached order is
+        // still the optimum: re-pin it to the post-grant version (§3.4 reuse).
+        self.w_version = self.core.wtpg.version();
         Ok((LockOutcome::Granted, ops))
     }
 
@@ -135,8 +142,8 @@ impl Scheduler for ChainScheduler {
     }
 
     fn on_commit(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
+        // The removal bumps the WTPG version, invalidating w_order.
         let freed = self.core.commit(txn)?;
-        self.dirty = true;
         Ok(CommitResult {
             freed,
             ops: ControlOps::NONE,
@@ -145,7 +152,6 @@ impl Scheduler for ChainScheduler {
 
     fn on_abort(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
         let freed = self.core.abort(txn)?;
-        self.dirty = true;
         Ok(CommitResult {
             freed,
             ops: ControlOps::NONE,

@@ -32,6 +32,9 @@ pub struct SchedCore {
     pub(crate) locks: LockTable,
     pub(crate) wtpg: Wtpg,
     pub(crate) txns: BTreeMap<TxnId, ActiveTxn>,
+    /// WTPG version at the start of the most recent [`Self::arrive`], so a
+    /// rejected admission can roll the version back along with the state.
+    pre_arrival_version: u64,
 }
 
 impl SchedCore {
@@ -64,6 +67,7 @@ impl SchedCore {
         if self.txns.contains_key(&spec.id) {
             return Err(CoreError::DuplicateTxn(spec.id));
         }
+        self.pre_arrival_version = self.wtpg.version();
         self.locks.declare(spec);
         self.wtpg.add_txn(spec.id, spec.total_declared())?;
         let conflicts = self.locks.arrival_conflicts(spec);
@@ -80,11 +84,14 @@ impl SchedCore {
         Ok(())
     }
 
-    /// Undoes [`Self::arrive`] after a failed admission test.
+    /// Undoes [`Self::arrive`] after a failed admission test. The WTPG is
+    /// back in its pre-arrival logical state, so its version is restored
+    /// too — schedulers' version-keyed caches stay warm across rejections.
     pub(crate) fn rollback_arrival(&mut self, txn: TxnId) {
         self.locks.undeclare(txn);
         let _ = self.wtpg.remove_txn(txn);
         self.txns.remove(&txn);
+        self.wtpg.restore_version(self.pre_arrival_version);
     }
 
     pub(crate) fn active(&self, txn: TxnId) -> Result<&ActiveTxn, CoreError> {

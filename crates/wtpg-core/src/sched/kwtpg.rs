@@ -10,6 +10,13 @@
 //!
 //! Control saving (§3.4): cached `E` values are reused until a transaction
 //! starts or commits, a new precedence edge appears, or `keeptime` elapses.
+//! Starts, commits and new edges all bump [`Wtpg::version`], so each cache
+//! entry is stamped with the version it was computed against and a stale
+//! stamp misses; a grant whose implied resolutions were all already
+//! resolved bumps nothing but still invalidates (the paper's condition is
+//! the grant, not the edge), and the `keeptime` horizon needs a clock.
+//! Estimates run through one reusable [`EqScratch`] overlay, so the hot
+//! path neither clones the graph nor reallocates per request.
 //!
 //! ## Liveness deviation from the paper
 //!
@@ -27,7 +34,7 @@
 use std::collections::BTreeMap;
 
 use crate::error::CoreError;
-use crate::estimate::{eq_estimate, EqValue};
+use crate::estimate::{eq_estimate_with, EqScratch, EqValue};
 use crate::time::Tick;
 use crate::txn::{TxnId, TxnSpec};
 use crate::work::Work;
@@ -47,11 +54,20 @@ pub struct KWtpgScheduler {
     k: usize,
     /// Control-saving period, in ms.
     keeptime: u64,
-    /// Cached `E` values keyed by the request they score (txn, step).
-    cache: BTreeMap<(TxnId, usize), EqValue>,
+    /// Cached `E` values keyed by the request they score (txn, step), each
+    /// stamped with the WTPG version it was computed against.
+    cache: BTreeMap<(TxnId, usize), (u64, EqValue)>,
     last_compute: Tick,
-    /// Invalidation pending: txn started/committed or precedence edge added.
-    dirty: bool,
+    /// WTPG version at the last cache invalidation check, so a structural
+    /// change resets the `keeptime` window exactly as §3.4's "new edge /
+    /// start / commit" conditions do.
+    seen_version: u64,
+    /// A grant carried implied resolutions (§3.4 condition 3). Set even
+    /// when every implied pair was already resolved — the paper invalidates
+    /// on the grant itself, and an all-idempotent grant bumps no version.
+    granted_edges: bool,
+    /// Reusable overlay buffers for `eq_estimate_with`.
+    scratch: EqScratch,
     /// Consecutive comparison losses per outstanding request.
     starved: BTreeMap<(TxnId, usize), u32>,
 }
@@ -66,7 +82,9 @@ impl KWtpgScheduler {
             keeptime,
             cache: BTreeMap::new(),
             last_compute: Tick::ZERO,
-            dirty: true,
+            seen_version: 0,
+            granted_edges: false,
+            scratch: EqScratch::new(),
             starved: BTreeMap::new(),
         }
     }
@@ -76,17 +94,30 @@ impl KWtpgScheduler {
         self.k
     }
 
+    /// Expires the whole cache when the WTPG changed structurally since the
+    /// last check (§3.4 conditions 1–3: start, commit, new precedence edge —
+    /// all of which bump [`Wtpg::version`]) or once `keeptime` has elapsed
+    /// (condition 4). Either clear restarts the `keeptime` window, so the
+    /// periodic refresh is anchored at the last invalidation like the
+    /// paper's scheme; the per-entry version stamps in [`Self::eq_for`]
+    /// additionally keep any single stale value from ever being reused.
     fn maybe_invalidate(&mut self, now: Tick) {
-        if self.dirty || now.saturating_since(self.last_compute) >= self.keeptime {
+        let ver = self.core.wtpg.version();
+        if self.granted_edges
+            || ver != self.seen_version
+            || now.saturating_since(self.last_compute) >= self.keeptime
+        {
             self.cache.clear();
             self.last_compute = now;
-            self.dirty = false;
+            self.seen_version = ver;
+            self.granted_edges = false;
         }
     }
 
     /// `E` for the (possibly hypothetical) request of `txn`'s step on the
-    /// given partition/mode, through the cache. Returns the value and
-    /// whether a fresh computation happened.
+    /// given partition/mode, through the cache. An entry hits only when its
+    /// version stamp matches the live WTPG. Returns the value and whether a
+    /// fresh computation happened.
     fn eq_for(
         &mut self,
         txn: TxnId,
@@ -94,12 +125,15 @@ impl KWtpgScheduler {
         partition: crate::partition::PartitionId,
         mode: crate::txn::AccessMode,
     ) -> (EqValue, bool) {
-        if let Some(&v) = self.cache.get(&(txn, step)) {
-            return (v, false);
+        let ver = self.core.wtpg.version();
+        if let Some(&(stamp, v)) = self.cache.get(&(txn, step)) {
+            if stamp == ver {
+                return (v, false);
+            }
         }
         let implied = self.core.implied_resolutions(txn, partition, mode);
-        let v = eq_estimate(&self.core.wtpg, txn, &implied);
-        self.cache.insert((txn, step), v);
+        let v = eq_estimate_with(&mut self.scratch, &self.core.wtpg, txn, &implied);
+        self.cache.insert((txn, step), (ver, v));
         (v, true)
     }
 }
@@ -119,7 +153,8 @@ impl Scheduler for KWtpgScheduler {
             self.core.rollback_arrival(spec.id);
             return Ok((Admission::Rejected, ControlOps::NONE));
         }
-        self.dirty = true;
+        // An admitted arrival bumps the WTPG version, which is what expires
+        // the cached E values (§3.4 condition 1).
         Ok((Admission::Admitted, ControlOps::NONE))
     }
 
@@ -179,8 +214,9 @@ impl Scheduler for KWtpgScheduler {
         let new_edges = !implied.is_empty();
         self.core.grant(txn, step, s, &implied)?;
         if new_edges {
-            // §3.4 condition 3: a new precedence edge invalidates cached E.
-            self.dirty = true;
+            // §3.4 condition 3: the grant resolved conflicting edges into
+            // precedence edges, invalidating cached E.
+            self.granted_edges = true;
         }
         Ok((LockOutcome::Granted, ops))
     }
@@ -196,7 +232,9 @@ impl Scheduler for KWtpgScheduler {
     fn on_commit(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
         let freed = self.core.commit(txn)?;
         self.starved.retain(|&(t, _), _| t != txn);
-        self.dirty = true;
+        // The removal bumped the version (expiring survivors' entries); drop
+        // the committed transaction's own entries so the map doesn't grow.
+        self.cache.retain(|&(t, _), _| t != txn);
         Ok(CommitResult {
             freed,
             ops: ControlOps::NONE,
@@ -206,7 +244,7 @@ impl Scheduler for KWtpgScheduler {
     fn on_abort(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
         let freed = self.core.abort(txn)?;
         self.starved.retain(|&(t, _), _| t != txn);
-        self.dirty = true;
+        self.cache.retain(|&(t, _), _| t != txn);
         Ok(CommitResult {
             freed,
             ops: ControlOps::NONE,

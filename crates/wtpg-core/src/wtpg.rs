@@ -21,8 +21,29 @@
 //!
 //! Committed transactions are removed: their locks are gone and their
 //! outgoing precedence edges are satisfied constraints (see DESIGN.md §5).
+//!
+//! # Storage layout
+//!
+//! The schedulers hammer `critical_path`, `before`/`after` and
+//! `would_deadlock` on every grant decision, so nodes live in a slot arena:
+//! a contiguous `Vec<Slot>` with a free list, plus a `TxnId → slot` index
+//! that is only touched at admission (`add_txn`) and commit (`remove_txn`).
+//! Adjacency lists are `TxnId`-sorted `Vec`s carrying the partner's slot, so
+//! traversals walk dense `u32` indices instead of chasing `BTreeMap` nodes,
+//! and the public enumeration orders are unchanged from the map-based
+//! implementation. Traversal state (Kahn queue, distance array, visit
+//! stamps) lives in a reusable scratch behind a `RefCell`, so the read-only
+//! query methods allocate nothing in steady state.
+//!
+//! Every structural mutation — node add/remove, conflict add/merge,
+//! resolution — bumps a monotone [`version`](Wtpg::version) counter that the
+//! schedulers key their `E(q)`/`W` caches on. Pure `w(T0→Ti)` adjustments
+//! (`set_t0_weight`, `decrement_t0_weight`) deliberately do *not* bump it:
+//! they model the keeptime drift of §3.4, which the paper's own reuse of `W`
+//! between structural changes already tolerates.
 
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
 
 use crate::error::CoreError;
 use crate::lock::ArrivalConflict;
@@ -49,23 +70,137 @@ impl Dir {
     }
 }
 
-#[derive(Clone, Debug, Default)]
-struct TxnEntry {
+/// Outgoing precedence edge: successor and `w(me → successor)`.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct OutEdge {
+    pub(crate) id: TxnId,
+    pub(crate) slot: u32,
+    pub(crate) w: Work,
+}
+
+/// Source of an incoming precedence edge.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Neighbor {
+    pub(crate) id: TxnId,
+    pub(crate) slot: u32,
+}
+
+/// Unresolved conflicting edge: partner and `w(me → partner)`. Symmetric —
+/// the partner's list holds the reverse weight.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct ConfEdge {
+    pub(crate) id: TxnId,
+    pub(crate) slot: u32,
+    pub(crate) w: Work,
+}
+
+/// One arena slot. Dead slots keep their (cleared) adjacency buffers so a
+/// reused slot starts with warm allocations.
+#[derive(Debug)]
+struct Slot {
+    live: bool,
+    id: TxnId,
     /// `w(T0 → Ti)`: declared work remaining before commit.
     t0_weight: Work,
-    /// Outgoing precedence edges: successor → weight.
-    out: BTreeMap<TxnId, Work>,
-    /// Sources of incoming precedence edges.
-    inc: BTreeSet<TxnId>,
-    /// Unresolved conflicting edges: partner → weight of *my → partner*.
-    /// Symmetric: partner's map holds the reverse weight.
-    conf: BTreeMap<TxnId, Work>,
+    /// Outgoing precedence edges, sorted by successor id.
+    out: Vec<OutEdge>,
+    /// Incoming precedence edge sources, sorted by id.
+    inc: Vec<Neighbor>,
+    /// Unresolved conflicting edges, sorted by partner id.
+    conf: Vec<ConfEdge>,
+}
+
+impl Clone for Slot {
+    fn clone(&self) -> Slot {
+        Slot {
+            live: self.live,
+            id: self.id,
+            t0_weight: self.t0_weight,
+            out: self.out.clone(),
+            inc: self.inc.clone(),
+            conf: self.conf.clone(),
+        }
+    }
+
+    // `clone_from` keeps the destination's adjacency buffers, so overlay
+    // scratch graphs refresh without reallocating.
+    fn clone_from(&mut self, src: &Slot) {
+        self.live = src.live;
+        self.id = src.id;
+        self.t0_weight = src.t0_weight;
+        self.out.clone_from(&src.out);
+        self.inc.clone_from(&src.inc);
+        self.conf.clone_from(&src.conf);
+    }
+}
+
+/// Reusable traversal state. `mark` is an epoch-stamped visited array: a
+/// traversal bumps `epoch` instead of clearing the whole vector.
+#[derive(Debug, Default)]
+struct Scratch {
+    indeg: Vec<u32>,
+    dist: Vec<Work>,
+    queue: Vec<u32>,
+    mark: Vec<u32>,
+    stack: Vec<u32>,
+    epoch: u32,
+}
+
+impl Scratch {
+    /// Starts a traversal over `n` slots and returns the fresh epoch.
+    fn begin_mark(&mut self, n: usize) -> u32 {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Stamp wrap-around: old stamps become ambiguous, reset them.
+            self.mark.fill(0);
+            self.epoch = 1;
+        }
+        self.epoch
+    }
 }
 
 /// The Weighted Transaction Precedence Graph over the live transactions.
-#[derive(Clone, Debug, Default)]
+#[derive(Debug, Default)]
 pub struct Wtpg {
-    txns: BTreeMap<TxnId, TxnEntry>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    index: BTreeMap<TxnId, u32>,
+    version: u64,
+    scratch: RefCell<Scratch>,
+}
+
+impl Clone for Wtpg {
+    fn clone(&self) -> Wtpg {
+        Wtpg {
+            slots: self.slots.clone(),
+            free: self.free.clone(),
+            index: self.index.clone(),
+            version: self.version,
+            scratch: RefCell::default(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Wtpg) {
+        self.slots.clone_from(&src.slots);
+        self.free.clone_from(&src.free);
+        self.index.clone_from(&src.index);
+        self.version = src.version;
+    }
+}
+
+fn find_out(list: &[OutEdge], id: TxnId) -> Result<usize, usize> {
+    list.binary_search_by(|e| e.id.cmp(&id))
+}
+
+fn find_inc(list: &[Neighbor], id: TxnId) -> Result<usize, usize> {
+    list.binary_search_by(|e| e.id.cmp(&id))
+}
+
+fn find_conf(list: &[ConfEdge], id: TxnId) -> Result<usize, usize> {
+    list.binary_search_by(|e| e.id.cmp(&id))
 }
 
 impl Wtpg {
@@ -76,26 +211,84 @@ impl Wtpg {
 
     /// Number of live transaction nodes.
     pub fn len(&self) -> usize {
-        self.txns.len()
+        self.index.len()
     }
 
     /// True when no transactions are live.
     pub fn is_empty(&self) -> bool {
-        self.txns.is_empty()
+        self.index.is_empty()
     }
 
     /// True if `txn` is a live node.
     pub fn contains(&self, txn: TxnId) -> bool {
-        self.txns.contains_key(&txn)
+        self.index.contains_key(&txn)
     }
 
     /// Live transaction ids, ascending.
     pub fn txn_ids(&self) -> impl Iterator<Item = TxnId> + '_ {
-        self.txns.keys().copied()
+        self.index.keys().copied()
     }
 
-    fn entry(&self, txn: TxnId) -> Result<&TxnEntry, CoreError> {
-        self.txns.get(&txn).ok_or(CoreError::UnknownTxn(txn))
+    /// Monotone structural version: bumped by every node or edge mutation
+    /// (add/remove/conflict/resolve), *not* by `w(T0→Ti)` adjustments.
+    /// Schedulers key memoised `E(q)` values and chain decompositions on it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Restores a previously observed version after a sequence of mutations
+    /// that provably returned the graph to its earlier logical state (a
+    /// rolled-back arrival). Callers must guarantee no version was observed
+    /// between the snapshot and the restore.
+    pub(crate) fn restore_version(&mut self, v: u64) {
+        self.version = v;
+    }
+
+    fn lookup(&self, txn: TxnId) -> Result<u32, CoreError> {
+        self.index.get(&txn).copied().ok_or(CoreError::UnknownTxn(txn))
+    }
+
+    fn slot(&self, s: u32) -> &Slot {
+        &self.slots[s as usize]
+    }
+
+    fn slot_mut(&mut self, s: u32) -> &mut Slot {
+        &mut self.slots[s as usize]
+    }
+
+    // ---- crate-internal views for the overlay estimator (estimate.rs) ----
+
+    pub(crate) fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn slot_of(&self, txn: TxnId) -> Option<u32> {
+        self.index.get(&txn).copied()
+    }
+
+    /// Live slots in ascending `TxnId` order.
+    pub(crate) fn live_slots(&self) -> impl Iterator<Item = u32> + '_ {
+        self.index.values().copied()
+    }
+
+    pub(crate) fn slot_txn(&self, s: u32) -> TxnId {
+        self.slot(s).id
+    }
+
+    pub(crate) fn slot_t0(&self, s: u32) -> Work {
+        self.slot(s).t0_weight
+    }
+
+    pub(crate) fn out_of(&self, s: u32) -> &[OutEdge] {
+        &self.slot(s).out
+    }
+
+    pub(crate) fn inc_of(&self, s: u32) -> &[Neighbor] {
+        &self.slot(s).inc
+    }
+
+    pub(crate) fn conf_of(&self, s: u32) -> &[ConfEdge] {
+        &self.slot(s).conf
     }
 
     /// Adds a transaction node with its initial `w(T0 → Ti) = due(s_0)`.
@@ -103,37 +296,72 @@ impl Wtpg {
     /// # Errors
     /// [`CoreError::DuplicateTxn`] if the id is already live.
     pub fn add_txn(&mut self, txn: TxnId, t0_weight: Work) -> Result<(), CoreError> {
-        if self.txns.contains_key(&txn) {
+        if self.index.contains_key(&txn) {
             return Err(CoreError::DuplicateTxn(txn));
         }
-        self.txns.insert(
-            txn,
-            TxnEntry {
-                t0_weight,
-                ..TxnEntry::default()
-            },
-        );
+        let s = match self.free.pop() {
+            Some(s) => {
+                let slot = self.slot_mut(s);
+                debug_assert!(!slot.live && slot.out.is_empty());
+                slot.live = true;
+                slot.id = txn;
+                slot.t0_weight = t0_weight;
+                s
+            }
+            None => {
+                let s = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    live: true,
+                    id: txn,
+                    t0_weight,
+                    out: Vec::new(),
+                    inc: Vec::new(),
+                    conf: Vec::new(),
+                });
+                s
+            }
+        };
+        self.index.insert(txn, s);
+        self.version += 1;
         Ok(())
     }
 
     /// Removes a committed (or aborted) transaction and every incident edge.
     pub fn remove_txn(&mut self, txn: TxnId) -> Result<(), CoreError> {
-        let entry = self.txns.remove(&txn).ok_or(CoreError::UnknownTxn(txn))?;
-        for succ in entry.out.keys() {
-            if let Some(e) = self.txns.get_mut(succ) {
-                e.inc.remove(&txn);
+        let s = self.index.remove(&txn).ok_or(CoreError::UnknownTxn(txn))?;
+        // Take the adjacency lists out, detach the partners, then hand the
+        // cleared buffers back so a reused slot keeps its capacity.
+        let mut out = std::mem::take(&mut self.slot_mut(s).out);
+        for e in &out {
+            let succ = self.slot_mut(e.slot);
+            if let Ok(i) = find_inc(&succ.inc, txn) {
+                succ.inc.remove(i);
             }
         }
-        for pred in &entry.inc {
-            if let Some(e) = self.txns.get_mut(pred) {
-                e.out.remove(&txn);
+        out.clear();
+        let mut inc = std::mem::take(&mut self.slot_mut(s).inc);
+        for e in &inc {
+            let pred = self.slot_mut(e.slot);
+            if let Ok(i) = find_out(&pred.out, txn) {
+                pred.out.remove(i);
             }
         }
-        for partner in entry.conf.keys() {
-            if let Some(e) = self.txns.get_mut(partner) {
-                e.conf.remove(&txn);
+        inc.clear();
+        let mut conf = std::mem::take(&mut self.slot_mut(s).conf);
+        for e in &conf {
+            let partner = self.slot_mut(e.slot);
+            if let Ok(i) = find_conf(&partner.conf, txn) {
+                partner.conf.remove(i);
             }
         }
+        conf.clear();
+        let slot = self.slot_mut(s);
+        slot.live = false;
+        slot.out = out;
+        slot.inc = inc;
+        slot.conf = conf;
+        self.free.push(s);
+        self.version += 1;
         Ok(())
     }
 
@@ -185,40 +413,35 @@ impl Wtpg {
         if a == b {
             return Ok(()); // a transaction never conflicts with itself
         }
-        self.entry(a)?;
-        self.entry(b)?;
-        if self.txns[&a].out.contains_key(&b) {
-            let w = self
-                .txns
-                .get_mut(&a)
-                .expect("checked")
-                .out
-                .get_mut(&b)
-                .expect("checked");
+        let sa = self.lookup(a)?;
+        let sb = self.lookup(b)?;
+        if let Ok(i) = find_out(&self.slot(sa).out, b) {
+            let w = &mut self.slot_mut(sa).out[i].w;
             *w = (*w).max(w_ab);
+            self.version += 1;
             return Ok(());
         }
-        if self.txns[&b].out.contains_key(&a) {
-            let w = self
-                .txns
-                .get_mut(&b)
-                .expect("checked")
-                .out
-                .get_mut(&a)
-                .expect("checked");
+        if let Ok(i) = find_out(&self.slot(sb).out, a) {
+            let w = &mut self.slot_mut(sb).out[i].w;
             *w = (*w).max(w_ba);
+            self.version += 1;
             return Ok(());
         }
         {
-            let ea = self.txns.get_mut(&a).expect("checked");
-            let w = ea.conf.entry(b).or_insert(Work::ZERO);
-            *w = (*w).max(w_ab);
+            let ea = self.slot_mut(sa);
+            match find_conf(&ea.conf, b) {
+                Ok(i) => ea.conf[i].w = ea.conf[i].w.max(w_ab),
+                Err(i) => ea.conf.insert(i, ConfEdge { id: b, slot: sb, w: w_ab }),
+            }
         }
         {
-            let eb = self.txns.get_mut(&b).expect("checked");
-            let w = eb.conf.entry(a).or_insert(Work::ZERO);
-            *w = (*w).max(w_ba);
+            let eb = self.slot_mut(sb);
+            match find_conf(&eb.conf, a) {
+                Ok(i) => eb.conf[i].w = eb.conf[i].w.max(w_ba),
+                Err(i) => eb.conf.insert(i, ConfEdge { id: a, slot: sa, w: w_ba }),
+            }
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -231,20 +454,33 @@ impl Wtpg {
         if from == to {
             return Ok(());
         }
-        self.entry(from)?;
-        self.entry(to)?;
+        let sf = self.lookup(from)?;
+        let st = self.lookup(to)?;
         debug_assert!(
-            !self.txns[&to].out.contains_key(&from),
+            find_out(&self.slot(st).out, from).is_err(),
             "precedence edge {to}→{from} contradicts requested {from}→{to}"
         );
         // A conflicting edge between the pair collapses into the precedence edge.
-        let conf_w = self.txns.get_mut(&from).expect("checked").conf.remove(&to);
-        self.txns.get_mut(&to).expect("checked").conf.remove(&from);
+        let ef = self.slot_mut(sf);
+        let conf_w = match find_conf(&ef.conf, to) {
+            Ok(i) => Some(ef.conf.remove(i).w),
+            Err(_) => None,
+        };
+        let et = self.slot_mut(st);
+        if let Ok(i) = find_conf(&et.conf, from) {
+            et.conf.remove(i);
+        }
         let merged = conf_w.map_or(w, |c| c.max(w));
-        let e = self.txns.get_mut(&from).expect("checked");
-        let slot = e.out.entry(to).or_insert(Work::ZERO);
-        *slot = (*slot).max(merged);
-        self.txns.get_mut(&to).expect("checked").inc.insert(from);
+        let ef = self.slot_mut(sf);
+        match find_out(&ef.out, to) {
+            Ok(i) => ef.out[i].w = ef.out[i].w.max(merged),
+            Err(i) => ef.out.insert(i, OutEdge { id: to, slot: st, w: merged }),
+        }
+        let et = self.slot_mut(st);
+        if let Err(i) = find_inc(&et.inc, from) {
+            et.inc.insert(i, Neighbor { id: from, slot: sf });
+        }
+        self.version += 1;
         Ok(())
     }
 
@@ -254,31 +490,28 @@ impl Wtpg {
     /// direction is a no-op; in the opposite direction it is a logic error
     /// caught in debug builds.
     pub fn resolve(&mut self, from: TxnId, to: TxnId) -> Result<(), CoreError> {
-        self.entry(from)?;
-        self.entry(to)?;
-        if self.txns[&from].out.contains_key(&to) {
+        let sf = self.lookup(from)?;
+        self.lookup(to)?;
+        if find_out(&self.slot(sf).out, to).is_ok() {
             return Ok(());
         }
-        let w = self.txns[&from]
-            .conf
-            .get(&to)
-            .copied()
-            .unwrap_or(Work::ZERO);
+        let w = match find_conf(&self.slot(sf).conf, to) {
+            Ok(i) => self.slot(sf).conf[i].w,
+            Err(_) => Work::ZERO,
+        };
         self.add_or_merge_precedence(from, to, w)
     }
 
     /// `w(T0 → txn)`.
     pub fn t0_weight(&self, txn: TxnId) -> Result<Work, CoreError> {
-        Ok(self.entry(txn)?.t0_weight)
+        Ok(self.slot(self.lookup(txn)?).t0_weight)
     }
 
     /// Sets `w(T0 → txn)` outright — used at step boundaries, where the
     /// remaining declared work is known exactly (`due(next step)`).
     pub fn set_t0_weight(&mut self, txn: TxnId, w: Work) -> Result<(), CoreError> {
-        self.txns
-            .get_mut(&txn)
-            .ok_or(CoreError::UnknownTxn(txn))?
-            .t0_weight = w;
+        let s = self.lookup(txn)?;
+        self.slot_mut(s).t0_weight = w;
         Ok(())
     }
 
@@ -292,45 +525,52 @@ impl Wtpg {
         amount: Work,
         floor: Work,
     ) -> Result<(), CoreError> {
-        let e = self.txns.get_mut(&txn).ok_or(CoreError::UnknownTxn(txn))?;
+        let s = self.lookup(txn)?;
+        let e = self.slot_mut(s);
         e.t0_weight = e.t0_weight.saturating_sub(amount).max(floor);
         Ok(())
     }
 
     /// Weight of the precedence edge `from → to`, if that edge exists.
     pub fn precedence_weight(&self, from: TxnId, to: TxnId) -> Option<Work> {
-        self.txns.get(&from)?.out.get(&to).copied()
+        let s = self.slot_of(from)?;
+        find_out(&self.slot(s).out, to)
+            .ok()
+            .map(|i| self.slot(s).out[i].w)
     }
 
     /// Weights `(w(a→b), w(b→a))` of the conflicting edge between `a` and
     /// `b`, if the pair is (still) unresolved.
     pub fn conflict_weights(&self, a: TxnId, b: TxnId) -> Option<(Work, Work)> {
-        let ab = *self.txns.get(&a)?.conf.get(&b)?;
-        let ba = *self.txns.get(&b)?.conf.get(&a)?;
+        let sa = self.slot_of(a)?;
+        let sb = self.slot_of(b)?;
+        let ab = find_conf(&self.slot(sa).conf, b)
+            .ok()
+            .map(|i| self.slot(sa).conf[i].w)?;
+        let ba = find_conf(&self.slot(sb).conf, a)
+            .ok()
+            .map(|i| self.slot(sb).conf[i].w)?;
         Some((ab, ba))
     }
 
     /// Partners of `txn` over *unresolved* conflicting edges, ascending.
     pub fn conflict_partners(&self, txn: TxnId) -> Vec<TxnId> {
-        self.txns
-            .get(&txn)
-            .map(|e| e.conf.keys().copied().collect())
+        self.slot_of(txn)
+            .map(|s| self.slot(s).conf.iter().map(|e| e.id).collect())
             .unwrap_or_default()
     }
 
     /// Direct precedence successors of `txn`.
     pub fn precedence_successors(&self, txn: TxnId) -> Vec<TxnId> {
-        self.txns
-            .get(&txn)
-            .map(|e| e.out.keys().copied().collect())
+        self.slot_of(txn)
+            .map(|s| self.slot(s).out.iter().map(|e| e.id).collect())
             .unwrap_or_default()
     }
 
     /// Direct precedence predecessors of `txn`.
     pub fn precedence_predecessors(&self, txn: TxnId) -> Vec<TxnId> {
-        self.txns
-            .get(&txn)
-            .map(|e| e.inc.iter().copied().collect())
+        self.slot_of(txn)
+            .map(|s| self.slot(s).inc.iter().map(|e| e.id).collect())
             .unwrap_or_default()
     }
 
@@ -338,11 +578,12 @@ impl Wtpg {
     /// `a < b`, ascending.
     pub fn conflict_edges(&self) -> Vec<(TxnId, TxnId, Work, Work)> {
         let mut out = Vec::new();
-        for (&a, e) in &self.txns {
-            for (&b, &w_ab) in &e.conf {
-                if a < b {
-                    let w_ba = self.txns[&b].conf[&a];
-                    out.push((a, b, w_ab, w_ba));
+        for (&a, &sa) in &self.index {
+            for e in &self.slot(sa).conf {
+                if a < e.id {
+                    let back = &self.slot(e.slot).conf;
+                    let j = find_conf(back, a).expect("conflict edges are symmetric");
+                    out.push((a, e.id, e.w, back[j].w));
                 }
             }
         }
@@ -352,9 +593,9 @@ impl Wtpg {
     /// All precedence edges as `(from, to, weight)`, ascending by source.
     pub fn precedence_edges(&self) -> Vec<(TxnId, TxnId, Work)> {
         let mut out = Vec::new();
-        for (&a, e) in &self.txns {
-            for (&b, &w) in &e.out {
-                out.push((a, b, w));
+        for (&a, &sa) in &self.index {
+            for e in &self.slot(sa).out {
+                out.push((a, e.id, e.w));
             }
         }
         out
@@ -364,14 +605,20 @@ impl Wtpg {
     /// precedence edges (paper §3.3 Step 1).
     pub fn before(&self, txn: TxnId) -> BTreeSet<TxnId> {
         let mut seen = BTreeSet::new();
-        let mut stack: Vec<TxnId> = self
-            .txns
-            .get(&txn)
-            .map(|e| e.inc.iter().copied().collect())
-            .unwrap_or_default();
-        while let Some(t) = stack.pop() {
-            if seen.insert(t) {
-                stack.extend(self.txns[&t].inc.iter().copied());
+        let Some(s0) = self.slot_of(txn) else {
+            return seen;
+        };
+        let mut scratch = self.scratch.borrow_mut();
+        let epoch = scratch.begin_mark(self.slots.len());
+        let Scratch { mark, stack, .. } = &mut *scratch;
+        stack.clear();
+        stack.extend(self.slot(s0).inc.iter().map(|e| e.slot));
+        while let Some(s) = stack.pop() {
+            if mark[s as usize] != epoch {
+                mark[s as usize] = epoch;
+                let slot = self.slot(s);
+                seen.insert(slot.id);
+                stack.extend(slot.inc.iter().map(|e| e.slot));
             }
         }
         seen
@@ -380,14 +627,20 @@ impl Wtpg {
     /// `after(txn)`: transactions that `txn` (transitively) precedes.
     pub fn after(&self, txn: TxnId) -> BTreeSet<TxnId> {
         let mut seen = BTreeSet::new();
-        let mut stack: Vec<TxnId> = self
-            .txns
-            .get(&txn)
-            .map(|e| e.out.keys().copied().collect())
-            .unwrap_or_default();
-        while let Some(t) = stack.pop() {
-            if seen.insert(t) {
-                stack.extend(self.txns[&t].out.keys().copied());
+        let Some(s0) = self.slot_of(txn) else {
+            return seen;
+        };
+        let mut scratch = self.scratch.borrow_mut();
+        let epoch = scratch.begin_mark(self.slots.len());
+        let Scratch { mark, stack, .. } = &mut *scratch;
+        stack.clear();
+        stack.extend(self.slot(s0).out.iter().map(|e| e.slot));
+        while let Some(s) = stack.pop() {
+            if mark[s as usize] != epoch {
+                mark[s as usize] = epoch;
+                let slot = self.slot(s);
+                seen.insert(slot.id);
+                stack.extend(slot.out.iter().map(|e| e.slot));
             }
         }
         seen
@@ -401,15 +654,30 @@ impl Wtpg {
     }
 
     /// True if adding the precedence edge `from → to` would create a cycle:
-    /// the deadlock *prediction* primitive (C2PL, and `E(q) = ∞`).
+    /// the deadlock *prediction* primitive (C2PL, and `E(q) = ∞`). Runs a
+    /// DFS from `to` that exits as soon as it reaches `from`.
     pub fn would_deadlock(&self, from: TxnId, to: TxnId) -> bool {
         if from == to {
             return true;
         }
-        if !self.txns.contains_key(&from) || !self.txns.contains_key(&to) {
+        let (Some(sf), Some(st)) = (self.slot_of(from), self.slot_of(to)) else {
             return false;
+        };
+        let mut scratch = self.scratch.borrow_mut();
+        let epoch = scratch.begin_mark(self.slots.len());
+        let Scratch { mark, stack, .. } = &mut *scratch;
+        stack.clear();
+        stack.extend(self.slot(st).out.iter().map(|e| e.slot));
+        while let Some(s) = stack.pop() {
+            if s == sf {
+                return true;
+            }
+            if mark[s as usize] != epoch {
+                mark[s as usize] = epoch;
+                stack.extend(self.slot(s).out.iter().map(|e| e.slot));
+            }
         }
-        self.after(to).contains(&from)
+        false
     }
 
     /// Longest `T0 → Tf` path over the precedence edges alone (conflicting
@@ -418,38 +686,53 @@ impl Wtpg {
     ///
     /// `dist(T) = max(w(T0→T), max over predecessors P of dist(P) + w(P→T))`
     /// and the critical path is `max over T of dist(T)` since every
-    /// `w(T → Tf)` is zero.
+    /// `w(T → Tf)` is zero. One Kahn pass over the arena, with the in-degree,
+    /// distance and queue arrays reused across calls.
     pub fn critical_path(&self) -> Option<Work> {
-        // Kahn order over precedence edges.
-        let mut indeg: BTreeMap<TxnId, usize> =
-            self.txns.iter().map(|(&t, e)| (t, e.inc.len())).collect();
-        let mut queue: VecDeque<TxnId> = indeg
-            .iter()
-            .filter(|&(_, &d)| d == 0)
-            .map(|(&t, _)| t)
-            .collect();
-        let mut dist: BTreeMap<TxnId, Work> = BTreeMap::new();
-        let mut visited = 0usize;
+        if self.index.is_empty() {
+            // Fast path: no live transactions, the schedule is just T0 → Tf.
+            return Some(Work::ZERO);
+        }
+        let n = self.slots.len();
+        let mut scratch = self.scratch.borrow_mut();
+        let Scratch {
+            indeg, dist, queue, ..
+        } = &mut *scratch;
+        indeg.clear();
+        indeg.resize(n, 0);
+        dist.clear();
+        dist.resize(n, Work::ZERO);
+        queue.clear();
+        for (s, slot) in self.slots.iter().enumerate() {
+            if !slot.live {
+                continue;
+            }
+            indeg[s] = slot.inc.len() as u32;
+            if slot.inc.is_empty() {
+                queue.push(s as u32);
+            }
+        }
         let mut best = Work::ZERO;
-        while let Some(t) = queue.pop_front() {
-            visited += 1;
-            let e = &self.txns[&t];
-            let dt = dist.get(&t).copied().unwrap_or(Work::ZERO).max(e.t0_weight);
+        let mut head = 0;
+        while head < queue.len() {
+            let s = queue[head] as usize;
+            head += 1;
+            let slot = &self.slots[s];
+            let dt = dist[s].max(slot.t0_weight);
             best = best.max(dt);
-            for (&s, &w) in &e.out {
-                let cand = dt + w;
-                let slot = dist.entry(s).or_insert(Work::ZERO);
-                if cand > *slot {
-                    *slot = cand;
+            for e in &slot.out {
+                let t = e.slot as usize;
+                let cand = dt + e.w;
+                if cand > dist[t] {
+                    dist[t] = cand;
                 }
-                let d = indeg.get_mut(&s).expect("successor is live");
-                *d -= 1;
-                if *d == 0 {
-                    queue.push_back(s);
+                indeg[t] -= 1;
+                if indeg[t] == 0 {
+                    queue.push(e.slot);
                 }
             }
         }
-        (visited == self.txns.len()).then_some(best)
+        (head == self.index.len()).then_some(best)
     }
 
     /// Builds the WTPG of a set of simultaneously declared transactions —
@@ -498,12 +781,12 @@ impl Wtpg {
     pub fn to_dot(&self) -> String {
         use std::fmt::Write as _;
         let mut s = String::from("digraph wtpg {\n  rankdir=LR;\n  T0 [shape=doublecircle];\n");
-        for (&t, e) in &self.txns {
+        for (&t, &st) in &self.index {
             let _ = writeln!(s, "  \"{t}\";");
             let _ = writeln!(
                 s,
                 "  T0 -> \"{t}\" [label=\"{}\", color=gray];",
-                e.t0_weight
+                self.slot(st).t0_weight
             );
         }
         for (a, b, w) in self.precedence_edges() {
@@ -765,5 +1048,74 @@ mod tests {
         assert!(dot.contains("\"T2\""));
         assert!(dot.contains("\"T3\""));
         assert!(dot.contains("style=dashed"));
+    }
+
+    #[test]
+    fn empty_graph_critical_path_fast_path() {
+        let g = Wtpg::new();
+        assert_eq!(g.critical_path(), Some(Work::ZERO));
+        assert!(!g.has_cycle());
+        // Emptied graphs hit the same path even with retired slots around.
+        let mut g = figure2a();
+        for i in 1..=3 {
+            g.remove_txn(TxnId(i)).unwrap();
+        }
+        assert!(g.is_empty());
+        assert_eq!(g.critical_path(), Some(Work::ZERO));
+    }
+
+    #[test]
+    fn version_tracks_structural_mutations_only() {
+        let mut g = Wtpg::new();
+        let v0 = g.version();
+        g.add_txn(TxnId(1), w(5)).unwrap();
+        g.add_txn(TxnId(2), w(2)).unwrap();
+        let v1 = g.version();
+        assert!(v1 > v0);
+        // Weight-only T0 adjustments (keeptime drift) do not bump.
+        g.set_t0_weight(TxnId(1), w(4)).unwrap();
+        g.decrement_t0_weight(TxnId(1), w(1), Work::ZERO).unwrap();
+        assert_eq!(g.version(), v1);
+        // Edge mutations do.
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(1), w(1))
+            .unwrap();
+        let v2 = g.version();
+        assert!(v2 > v1);
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        let v3 = g.version();
+        assert!(v3 > v2);
+        // Idempotent same-direction resolve is a no-op: no bump.
+        g.resolve(TxnId(1), TxnId(2)).unwrap();
+        assert_eq!(g.version(), v3);
+        g.remove_txn(TxnId(2)).unwrap();
+        assert!(g.version() > v3);
+    }
+
+    #[test]
+    fn slots_are_reused_after_removal() {
+        let mut g = Wtpg::new();
+        for i in 1..=4 {
+            g.add_txn(TxnId(i), w(1)).unwrap();
+        }
+        g.add_or_merge_conflict(TxnId(1), TxnId(2), w(2), w(3))
+            .unwrap();
+        g.resolve(TxnId(3), TxnId(4)).ok();
+        g.remove_txn(TxnId(2)).unwrap();
+        g.remove_txn(TxnId(3)).unwrap();
+        let arena = g.slot_count();
+        // New admissions fill the retired slots instead of growing the arena.
+        g.add_txn(TxnId(5), w(7)).unwrap();
+        g.add_txn(TxnId(6), w(8)).unwrap();
+        assert_eq!(g.slot_count(), arena);
+        // And the recycled nodes behave like fresh ones.
+        assert!(g.conflict_partners(TxnId(5)).is_empty());
+        assert!(g.precedence_successors(TxnId(6)).is_empty());
+        g.add_or_merge_conflict(TxnId(5), TxnId(6), w(1), w(2))
+            .unwrap();
+        assert_eq!(g.conflict_weights(TxnId(5), TxnId(6)), Some((w(1), w(2))));
+        assert_eq!(
+            g.txn_ids().collect::<Vec<_>>(),
+            vec![TxnId(1), TxnId(4), TxnId(5), TxnId(6)]
+        );
     }
 }

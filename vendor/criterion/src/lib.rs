@@ -1,0 +1,174 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/type surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{sample_size, bench_with_input, bench_function, finish}`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box` — backed by a plain
+//! wall-clock measurement loop instead of upstream's statistical machinery.
+//! Results print as `group/function/param  <mean> ns/iter`.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement: Duration::from_millis(120),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            measurement: self.measurement,
+            results: Vec::new(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+/// Identifier of a single benchmark within a group.
+pub struct BenchmarkId {
+    function: String,
+    parameter: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: parameter.to_string(),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: parameter.to_string(),
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    measurement: Duration,
+    results: Vec<(String, f64)>,
+    // Tie the group to the driver's lifetime like upstream does.
+    _marker: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Upstream tunes sample counts; here it only scales measurement time
+    /// down for expensive benches (low sample sizes mean "this is slow").
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        if n <= 10 {
+            self.measurement = Duration::from_millis(30);
+        }
+        self
+    }
+
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            measurement: self.measurement,
+            ns_per_iter: None,
+        };
+        f(&mut b, input);
+        self.record(format!("{}/{}", id.function, id.parameter), b.ns_per_iter);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            measurement: self.measurement,
+            ns_per_iter: None,
+        };
+        f(&mut b);
+        self.record(id.into(), b.ns_per_iter);
+        self
+    }
+
+    fn record(&mut self, label: String, ns: Option<f64>) {
+        let ns = ns.unwrap_or(f64::NAN);
+        println!("{}/{label}  {ns:.1} ns/iter", self.name);
+        self.results.push((label, ns));
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Measures a closure's mean wall-clock time per iteration.
+pub struct Bencher {
+    measurement: Duration,
+    ns_per_iter: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        self.ns_per_iter = Some(measure(self.measurement, &mut f));
+    }
+}
+
+/// Warm up briefly, then run until the time budget is spent (always at
+/// least one iteration) and report the mean ns per iteration.
+pub fn measure<O, F: FnMut() -> O>(budget: Duration, f: &mut F) -> f64 {
+    let warmup_deadline = Instant::now() + budget / 10;
+    let mut warmup_iters = 0u64;
+    while Instant::now() < warmup_deadline && warmup_iters < 1000 {
+        black_box(f());
+        warmup_iters += 1;
+    }
+
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        black_box(f());
+        iters += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= budget {
+            return elapsed.as_nanos() as f64 / iters as f64;
+        }
+    }
+}
+
+/// Declares a function that runs each listed benchmark against a fresh
+/// [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,53 @@
+//! Collection strategies: `proptest::collection::vec`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Anything usable as the size argument of [`vec`]: an exact length, a
+/// half-open range, or an inclusive range.
+pub trait IntoSizeRange {
+    /// Returns `(min, max)` inclusive bounds.
+    fn bounds(self) -> (usize, usize);
+}
+
+impl IntoSizeRange for usize {
+    fn bounds(self) -> (usize, usize) {
+        (self, self)
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start < self.end, "empty size range");
+        (self.start, self.end - 1)
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn bounds(self) -> (usize, usize) {
+        assert!(self.start() <= self.end(), "empty size range");
+        (*self.start(), *self.end())
+    }
+}
+
+/// Strategy producing `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+    let (min, max) = size.bounds();
+    VecStrategy { element, min, max }
+}
+
+pub struct VecStrategy<S> {
+    element: S,
+    min: usize,
+    max: usize,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        let len = self.min + rng.below((self.max - self.min + 1) as u64) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

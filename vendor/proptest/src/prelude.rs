@@ -1,0 +1,8 @@
+//! The glob-import surface: `use proptest::prelude::*;`.
+
+pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+
+/// Module-path alias so tests can say `prop::bool::ANY`, `prop::collection::…`.
+pub use crate as prop;

@@ -1,0 +1,129 @@
+//! Offline stand-in for `rand_distr`: the exponential and normal
+//! distributions this workspace samples, via inverse-transform and
+//! Box–Muller respectively. Deterministic given a deterministic `Rng`.
+
+use rand::Rng;
+
+/// Types that can produce samples of `T` from a source of randomness.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn unit_open<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // (0, 1]: never zero, so ln() below is always finite.
+    ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Exponential distribution with rate `lambda`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exp {
+    lambda: f64,
+}
+
+/// Error type for [`Exp`] construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExpError {
+    LambdaTooSmall,
+}
+
+impl std::fmt::Display for ExpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "lambda must be positive and finite")
+    }
+}
+
+impl std::error::Error for ExpError {}
+
+impl Exp {
+    pub fn new(lambda: f64) -> Result<Self, ExpError> {
+        if lambda > 0.0 && lambda.is_finite() {
+            Ok(Exp { lambda })
+        } else {
+            Err(ExpError::LambdaTooSmall)
+        }
+    }
+}
+
+impl Distribution<f64> for Exp {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        -unit_open(rng).ln() / self.lambda
+    }
+}
+
+/// Normal (Gaussian) distribution.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+/// Error type for [`Normal`] construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NormalError {
+    BadVariance,
+}
+
+impl std::fmt::Display for NormalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "standard deviation must be non-negative and finite")
+    }
+}
+
+impl std::error::Error for NormalError {}
+
+impl Normal {
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, NormalError> {
+        if std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(NormalError::BadVariance)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Box–Muller; two uniforms per sample keeps the draw stateless.
+        let u1 = unit_open(rng);
+        let u2 = unit_open(rng);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        self.mean + self.std_dev * z
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exp_mean_close_to_inverse_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let exp = Exp::new(0.5).unwrap();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exp.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let normal = Normal::new(3.0, 2.0).unwrap();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| normal.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.2, "var {var}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Exp::new(0.0).is_err());
+        assert!(Exp::new(f64::NAN).is_err());
+        assert!(Normal::new(0.0, -1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_ok());
+    }
+}

@@ -1,0 +1,63 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no registry access, so this workspace vendors a
+//! self-serialization framework with serde's *interface*: `Serialize` /
+//! `Deserialize` traits plus same-named derive macros. Instead of upstream's
+//! visitor architecture, values convert to and from a small tree data model
+//! ([`Node`]), which `serde_json` then renders and parses. The workspace only
+//! ever round-trips plain structs and enums through JSON, so this is a
+//! complete replacement for how the crates here use serde.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod node;
+
+pub use node::Node;
+
+/// Serialization error (unused by the tree model itself, kept for parity).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    pub fn missing_field(field: &str) -> Self {
+        Error {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    pub fn expected(what: &str, while_parsing: &str) -> Self {
+        Error {
+            msg: format!("expected {what} while deserializing {while_parsing}"),
+        }
+    }
+
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error {
+            msg: format!("unknown variant `{variant}` for {ty}"),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// A value that can be converted into the [`Node`] tree model.
+pub trait Serialize {
+    fn to_node(&self) -> Node;
+}
+
+/// A value that can be reconstructed from the [`Node`] tree model.
+pub trait Deserialize: Sized {
+    fn from_node(node: &Node) -> Result<Self, Error>;
+}

@@ -1,0 +1,254 @@
+//! The tree data model all serialization flows through, plus `Serialize` /
+//! `Deserialize` implementations for the primitives and containers the
+//! workspace uses.
+
+use crate::{Deserialize, Error, Serialize};
+use std::collections::BTreeMap;
+
+/// A self-describing value tree — the equivalent of `serde_json::Value`,
+/// shared by every format (there is exactly one: JSON).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Node {
+    Null,
+    Bool(bool),
+    U64(u64),
+    I64(i64),
+    F64(f64),
+    Str(String),
+    Seq(Vec<Node>),
+    /// Insertion-ordered map with string keys.
+    Map(Vec<(String, Node)>),
+}
+
+impl Node {
+    /// Look up a key in a [`Node::Map`].
+    pub fn get(&self, key: &str) -> Option<&Node> {
+        match self {
+            Node::Map(entries) => get(entries, key),
+            _ => None,
+        }
+    }
+}
+
+/// Key lookup over raw map entries (used by derive-generated code).
+pub fn get<'a>(entries: &'a [(String, Node)], key: &str) -> Option<&'a Node> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+impl Serialize for Node {
+    fn to_node(&self) -> Node {
+        self.clone()
+    }
+}
+
+impl Deserialize for Node {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        Ok(node.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_node(&self) -> Node {
+        (**self).to_node()
+    }
+}
+
+impl Serialize for bool {
+    fn to_node(&self) -> Node {
+        Node::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::Bool(b) => Ok(*b),
+            _ => Err(Error::expected("bool", "bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Node {
+                Node::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_node(node: &Node) -> Result<Self, Error> {
+                let v = match node {
+                    Node::U64(v) => *v,
+                    Node::I64(v) if *v >= 0 => *v as u64,
+                    _ => return Err(Error::expected("unsigned integer", stringify!($t))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_node(&self) -> Node {
+                Node::I64(*self as i64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_node(node: &Node) -> Result<Self, Error> {
+                let v = match node {
+                    Node::I64(v) => *v,
+                    Node::U64(v) => i64::try_from(*v)
+                        .map_err(|_| Error::custom(format!("{v} out of range for i64")))?,
+                    _ => return Err(Error::expected("integer", stringify!($t))),
+                };
+                <$t>::try_from(v)
+                    .map_err(|_| Error::custom(format!("{v} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_node(&self) -> Node {
+        Node::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::F64(v) => Ok(*v),
+            Node::U64(v) => Ok(*v as f64),
+            Node::I64(v) => Ok(*v as f64),
+            // JSON cannot represent non-finite floats; they serialize as
+            // null, so null reads back as NaN.
+            Node::Null => Ok(f64::NAN),
+            _ => Err(Error::expected("number", "f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_node(&self) -> Node {
+        Node::F64(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        f64::from_node(node).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_node(&self) -> Node {
+        Node::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::Str(s) => Ok(s.clone()),
+            _ => Err(Error::expected("string", "String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_node(&self) -> Node {
+        Node::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_node(&self) -> Node {
+        match self {
+            Some(v) => v.to_node(),
+            None => Node::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::Null => Ok(None),
+            other => T::from_node(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::Seq(items) => items.iter().map(T::from_node).collect(),
+            _ => Err(Error::expected("sequence", "Vec")),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_node(&self) -> Node {
+        Node::Seq(self.iter().map(Serialize::to_node).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_node(&self) -> Node {
+        Node::Map(self.iter().map(|(k, v)| (k.clone(), v.to_node())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_node(node: &Node) -> Result<Self, Error> {
+        match node {
+            Node::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_node(v)?)))
+                .collect(),
+            _ => Err(Error::expected("map", "BTreeMap")),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_node(&self) -> Node {
+                Node::Seq(vec![$(self.$idx.to_node()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_node(node: &Node) -> Result<Self, Error> {
+                match node {
+                    Node::Seq(items) if items.len() == [$($idx),+].len() => {
+                        let mut it = items.iter();
+                        Ok(($($name::from_node(it.next().expect(stringify!($idx)))?,)+))
+                    }
+                    _ => Err(Error::expected("tuple sequence", "tuple")),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}

@@ -1,0 +1,432 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-parses the derive input token stream (no `syn`/`quote` in this
+//! environment) and emits `Serialize`/`Deserialize` impls against the
+//! vendored serde's tree data model. Supports exactly the shapes this
+//! workspace derives on: named-field structs, tuple structs (newtypes
+//! serialize transparently), unit structs, and enums with unit, newtype,
+//! tuple, and struct variants. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl must parse")
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+// ---------------------------------------------------------------- parsing
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Cursor {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip any number of outer attributes `#[...]`.
+    fn skip_attributes(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                other => panic!("serde derive: malformed attribute, found {other:?}"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)` etc.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde derive: expected identifier, found {other:?}"),
+        }
+    }
+
+    /// Consume tokens until a `,` at angle-bracket depth zero (the comma is
+    /// consumed too), or until the end of the stream.
+    fn skip_past_top_level_comma(&mut self) {
+        let mut depth = 0i32;
+        while let Some(tok) = self.next() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => return,
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut c = Cursor::new(input);
+    c.skip_attributes();
+    c.skip_visibility();
+    let keyword = c.expect_ident();
+    let name = c.expect_ident();
+    if let Some(TokenTree::Punct(p)) = c.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported (deriving on {name})");
+        }
+    }
+    let kind = match keyword.as_str() {
+        "struct" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("serde derive: malformed struct body for {name}: {other:?}"),
+        },
+        "enum" => match c.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde derive: malformed enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde derive: expected struct or enum, found `{other}`"),
+    };
+    Input { name, kind }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(stream);
+    let mut fields = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        let field = c.expect_ident();
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field `{field}`, found {other:?}"),
+        }
+        c.skip_past_top_level_comma();
+        fields.push(field);
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut c = Cursor::new(stream);
+    let mut count = 0;
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        c.skip_visibility();
+        count += 1;
+        c.skip_past_top_level_comma();
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(stream);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attributes();
+        if c.at_end() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = VariantFields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = VariantFields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an optional discriminant and the trailing comma.
+        c.skip_past_top_level_comma();
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_node(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Node::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_node(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_node(&self.{i})"))
+                .collect();
+            format!("::serde::Node::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Node::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants.iter().map(|v| serialize_variant_arm(name, v)).collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_node(&self) -> ::serde::Node {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn serialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => format!(
+            "{name}::{vname} => \
+             ::serde::Node::Str(::std::string::String::from(\"{vname}\")),"
+        ),
+        VariantFields::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_node({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vname} {{ {binds} }} => ::serde::Node::Map(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                  ::serde::Node::Map(::std::vec![{}]))]),",
+                entries.join(", ")
+            )
+        }
+        VariantFields::Tuple(1) => format!(
+            "{name}::{vname}(__x0) => ::serde::Node::Map(::std::vec![\
+             (::std::string::String::from(\"{vname}\"), \
+              ::serde::Serialize::to_node(__x0))]),"
+        ),
+        VariantFields::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+            let items: Vec<String> = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_node({b})"))
+                .collect();
+            format!(
+                "{name}::{vname}({}) => ::serde::Node::Map(::std::vec![\
+                 (::std::string::String::from(\"{vname}\"), \
+                  ::serde::Node::Seq(::std::vec![{}]))]),",
+                binds.join(", "),
+                items.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::NamedStruct(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(f)).collect();
+            format!(
+                "match __node {{\n\
+                     ::serde::Node::Map(__entries) => ::std::result::Result::Ok({name} {{ {} }}),\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\"map\", \"{name}\")),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_node(__node)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_node(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __node {{\n\
+                     ::serde::Node::Seq(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({})),\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"sequence of {n}\", \"{name}\")),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, VariantFields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    format!("\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),")
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, VariantFields::Unit))
+                .map(|v| deserialize_variant_arm(name, v))
+                .collect();
+            format!(
+                "match __node {{\n\
+                     ::serde::Node::Str(__s) => match __s.as_str() {{\n\
+                         {}\n\
+                         __other => ::std::result::Result::Err(\
+                             ::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                     }},\n\
+                     ::serde::Node::Map(__top) if __top.len() == 1 => {{\n\
+                         let (__k, __v) = &__top[0];\n\
+                         match __k.as_str() {{\n\
+                             {}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::Error::unknown_variant(__other, \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::expected(\
+                         \"string or single-entry map\", \"{name}\")),\n\
+                 }}",
+                unit_arms.join("\n"),
+                data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_node(__node: &::serde::Node) \
+                 -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn named_field_init(field: &str) -> String {
+    format!(
+        "{field}: ::serde::Deserialize::from_node(\
+             ::serde::node::get(__entries, \"{field}\")\
+                 .ok_or_else(|| ::serde::Error::missing_field(\"{field}\"))?)?"
+    )
+}
+
+fn deserialize_variant_arm(name: &str, v: &Variant) -> String {
+    let vname = &v.name;
+    match &v.fields {
+        VariantFields::Unit => unreachable!("unit variants handled in the Str arm"),
+        VariantFields::Named(fields) => {
+            let inits: Vec<String> = fields.iter().map(|f| named_field_init(f)).collect();
+            format!(
+                "\"{vname}\" => match __v {{\n\
+                     ::serde::Node::Map(__entries) => \
+                         ::std::result::Result::Ok({name}::{vname} {{ {} }}),\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"map\", \"{name}::{vname}\")),\n\
+                 }},",
+                inits.join(", ")
+            )
+        }
+        VariantFields::Tuple(1) => format!(
+            "\"{vname}\" => ::std::result::Result::Ok(\
+                 {name}::{vname}(::serde::Deserialize::from_node(__v)?)),"
+        ),
+        VariantFields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_node(&__items[{i}])?"))
+                .collect();
+            format!(
+                "\"{vname}\" => match __v {{\n\
+                     ::serde::Node::Seq(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}::{vname}({})),\n\
+                     _ => ::std::result::Result::Err(\
+                         ::serde::Error::expected(\"sequence of {n}\", \"{name}::{vname}\")),\n\
+                 }},",
+                items.join(", ")
+            )
+        }
+    }
+}
