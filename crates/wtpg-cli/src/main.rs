@@ -9,6 +9,7 @@
 //! wtpg simulate [--pattern 1|2|3]       run the timed machine and print
 //!               [--scheduler NAME]      the run report
 //!               [--lambda F] [--sim-ms N] [--hots N] [--sigma F] [--seed N]
+//!               [--certify]               record the history and certify it
 //! ```
 //!
 //! Workloads use the paper's notation, one transaction per line:
@@ -56,7 +57,7 @@ fn print_help() {
            wtpg dot      <workload.txt | ->                Graphviz output\n\
            wtpg trace    <workload.txt | -> [--scheduler chain|k2|gwtpg|asl|c2pl]\n\
            wtpg simulate [--pattern 1|2|3] [--scheduler S] [--lambda F]\n\
-                         [--sim-ms N] [--hots N] [--sigma F] [--seed N]\n\
+                         [--sim-ms N] [--hots N] [--sigma F] [--seed N] [--certify]\n\
          \n\
          workload lines use the paper's notation: T1: r(A:1) -> w(B:0.2)"
     );

@@ -14,6 +14,7 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     let mut hots = 8u32;
     let mut sigma = 0.0f64;
     let mut seed = 42u64;
+    let mut certify = false;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<String, String> {
@@ -30,6 +31,7 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
             "--hots" => hots = take(&mut i)?.parse().map_err(|_| "bad --hots")?,
             "--sigma" => sigma = take(&mut i)?.parse().map_err(|_| "bad --sigma")?,
             "--seed" => seed = take(&mut i)?.parse().map_err(|_| "bad --seed")?,
+            "--certify" => certify = true,
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -54,6 +56,7 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     let params = SimParams {
         sim_length_ms: sim_ms,
         seed,
+        certify,
         ..SimParams::paper_defaults()
     };
     let workload = PatternWorkload::with_error(pattern, seed, ErrorModel::new(sigma));
@@ -86,5 +89,16 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
         "  control: {} deadlock tests, {} W optimisations, {} E(q) evals",
         r.deadlock_tests, r.chain_opts, r.eq_evals
     );
+    if certify {
+        // run() already certified (it panics on a violation) and kept the
+        // report.
+        let cert = machine
+            .certify_report()
+            .ok_or_else(|| "certification report missing after run".to_string())?;
+        println!(
+            "  certified: {} events replayed ({} grants, {} commits, {} E(q) checks)",
+            cert.events, cert.grants, cert.commits, cert.eq_checks
+        );
+    }
     Ok(())
 }

@@ -1,0 +1,571 @@
+//! Full-schedule certification by deterministic replay (DESIGN.md §10).
+//!
+//! [`certify_history`] re-executes a recorded [`History`] against a fresh
+//! [`SchedCore`] — the same lock-table/WTPG state machine the schedulers
+//! run on — and checks, event by event, that every decision the scheduler
+//! took was one it was *allowed* to take:
+//!
+//! - **protocol shape** — steps requested in declared order, grants match
+//!   the declared partition/mode, commits only after the last step;
+//! - **lock exclusion** — no grant while a conflicting lock is held
+//!   (replayed against the real lock table, not just the event stream);
+//! - **deadlock freedom** — no grant closes a precedence cycle, and the
+//!   WTPG stays acyclic after every replayed grant;
+//! - **arena integrity** — [`Wtpg::check_invariants`] after every
+//!   structural step, plus version monotonicity across the whole run;
+//! - **chain form** ([`CertifyMode::Chain`]) — every admission leaves the
+//!   WTPG chain-form, CC1's structural admission constraint;
+//! - **K-conflict bound** ([`CertifyMode::KConflict`]) — every admission
+//!   satisfies `|C(q)| ≤ K` for all outstanding declarations, and every
+//!   grant's `E(q)` (recomputed with the clone-based reference estimator
+//!   [`eq_estimate_naive`], *not* the overlay hot path it cross-checks) is
+//!   finite. `E(q)`-minimality is spot-checked too, but losses are
+//!   *counted* in the report rather than flagged as violations: the
+//!   starvation guard legitimately grants a losing request, and finite `E`
+//!   values drift with `T0`-weight progress between the scheduler's
+//!   decision and the replay.
+//!
+//! [`CertifyMode::Exempt`] (NODC) skips everything lock-related — NODC
+//! violates exclusion *by design* — and keeps only the protocol-shape and
+//! strictness checks.
+//!
+//! The replay is possible because every scheduler drives the same
+//! `SchedCore` and the history records every state-changing input
+//! ([`Event::StepCompleted`] included, so `T0`-weight resets replay
+//! exactly). ASL grants all locks at admission but its histories still
+//! replay cleanly step by step: replayed holds are always a subset of
+//! ASL's actual holds, and ASL admits only conflict-free lock sets.
+
+use std::collections::BTreeMap;
+
+use crate::chain::form::chain_components;
+use crate::error::CoreError;
+use crate::estimate::eq_estimate_naive;
+use crate::history::{Event, History};
+use crate::sched::SchedCore;
+use crate::time::Tick;
+use crate::txn::{TxnId, TxnSpec};
+
+/// Which guarantees a history claims; returned by
+/// [`crate::sched::Scheduler::certify_mode`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum CertifyMode {
+    /// Lock-based baseline: exclusion, deadlock freedom, serializability.
+    #[default]
+    General,
+    /// CC1: baseline plus chain-form compliance at every admission.
+    Chain,
+    /// CC2: baseline plus the `|C(q)| ≤ K` admission bound and finite-`E(q)`
+    /// grants, with `E(q)`-minimality spot checks.
+    KConflict(usize),
+    /// No concurrency control at all (NODC): only protocol shape and
+    /// strictness apply.
+    Exempt,
+}
+
+/// Statistics from a successful certification.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CertifyReport {
+    /// Events replayed.
+    pub events: usize,
+    /// Grants replayed and checked.
+    pub grants: usize,
+    /// Commits replayed.
+    pub commits: usize,
+    /// `E(q)` spot checks performed (K-WTPG runs only).
+    pub eq_checks: usize,
+    /// Grants whose `E(q)` was not minimal among the conflicting
+    /// declarations at replay time (legitimate under the starvation guard
+    /// and `T0`-weight drift; reported, never a violation).
+    pub eq_losses: usize,
+}
+
+/// A certification failure: the first event the replay could not justify.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CertifyViolation {
+    /// Index of the offending event in the history (usize::MAX for
+    /// whole-history checks that fail after replay).
+    pub at: usize,
+    /// Recorded time of the offending event.
+    pub tick: Tick,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for CertifyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.at == usize::MAX {
+            write!(f, "history check failed: {}", self.what)
+        } else {
+            write!(f, "event {} (t={}): {}", self.at, self.tick, self.what)
+        }
+    }
+}
+
+fn violation(at: usize, tick: Tick, what: impl Into<String>) -> CertifyViolation {
+    CertifyViolation {
+        at,
+        tick,
+        what: what.into(),
+    }
+}
+
+fn core_err(at: usize, tick: Tick, ctx: &str, e: CoreError) -> CertifyViolation {
+    violation(at, tick, format!("{ctx}: {e}"))
+}
+
+/// Replays `history` against a fresh [`SchedCore`] and checks the
+/// guarantees claimed by `mode`. `specs` must hold the declaration of every
+/// transaction the history admits (keyed by id; re-admissions after
+/// rejection reuse the same spec, mirroring the simulator's retry loop).
+///
+/// # Errors
+/// The first [`CertifyViolation`] encountered.
+pub fn certify_history(
+    history: &History,
+    specs: &BTreeMap<TxnId, TxnSpec>,
+    mode: CertifyMode,
+) -> Result<CertifyReport, CertifyViolation> {
+    let mut report = CertifyReport {
+        events: history.len(),
+        ..CertifyReport::default()
+    };
+    if mode == CertifyMode::Exempt {
+        // NODC: no lock table to replay against; protocol strictness is the
+        // only guarantee it claims.
+        for &(_, e) in history.events() {
+            match e {
+                Event::Granted { .. } => report.grants += 1,
+                Event::Committed(_) => report.commits += 1,
+                _ => {}
+            }
+        }
+        history
+            .check_strictness()
+            .map_err(|e| violation(usize::MAX, Tick::ZERO, e))?;
+        return Ok(report);
+    }
+
+    let mut core = SchedCore::new();
+    let mut last_version = 0u64;
+    for (at, &(tick, event)) in history.events().iter().enumerate() {
+        // Progress events dominate the log (one per object) but only move
+        // `T0` weights; the full arena walk is reserved for events that
+        // change the graph's structure.
+        let structural = !matches!(event, Event::Progress { .. });
+        match event {
+            Event::Admitted(txn) => {
+                let spec = specs.get(&txn).ok_or_else(|| {
+                    violation(at, tick, format!("{txn} admitted without a spec"))
+                })?;
+                core.arrive(spec)
+                    .map_err(|e| core_err(at, tick, "replaying admission", e))?;
+                match mode {
+                    CertifyMode::Chain if chain_components(core.wtpg()).is_err() => {
+                        return Err(violation(
+                            at,
+                            tick,
+                            format!("{txn} admitted into a non-chain WTPG"),
+                        ));
+                    }
+                    CertifyMode::KConflict(k) if !core.locks.k_constraint_ok(spec, k) => {
+                        return Err(violation(
+                            at,
+                            tick,
+                            format!("{txn} admitted past the K = {k} conflict bound"),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
+            Event::Rejected(_) => {
+                // A rejected arrival was rolled back by the scheduler and
+                // left no state behind; nothing to replay.
+            }
+            Event::Granted {
+                txn,
+                step,
+                partition,
+                mode: access,
+            } => {
+                report.grants += 1;
+                let spec_step = core
+                    .request_step(txn, step)
+                    .map_err(|e| core_err(at, tick, "replaying request", e))?;
+                if spec_step.partition != partition || spec_step.mode != access {
+                    return Err(violation(
+                        at,
+                        tick,
+                        format!(
+                            "{txn} step {step} granted {access:?} on {partition} but declared \
+                             {:?} on {}",
+                            spec_step.mode, spec_step.partition
+                        ),
+                    ));
+                }
+                if core.locks.is_blocked(txn, partition, access) {
+                    return Err(violation(
+                        at,
+                        tick,
+                        format!("{txn} granted {access:?} on {partition} while blocked"),
+                    ));
+                }
+                let implied = core.implied_resolutions(txn, partition, access);
+                if core.grant_would_deadlock(txn, &implied) {
+                    return Err(violation(
+                        at,
+                        tick,
+                        format!("grant of {txn} step {step} closes a precedence cycle"),
+                    ));
+                }
+                if let CertifyMode::KConflict(_) = mode {
+                    report.eq_checks += 1;
+                    let my_eq = eq_estimate_naive(core.wtpg(), txn, &implied);
+                    if my_eq.is_infinite() {
+                        // Infinite E is purely structural (a cycle), so it
+                        // cannot be a stale-weight artifact: hard violation.
+                        return Err(violation(
+                            at,
+                            tick,
+                            format!("{txn} step {step} granted with E(q) = ∞"),
+                        ));
+                    }
+                    // Minimality spot check against every conflicting
+                    // declaration, exactly as CC2 Step 3 compares them.
+                    let lost = core
+                        .locks
+                        .conflicting_declarations(txn, partition, access)
+                        .into_iter()
+                        .any(|d| {
+                            let their_implied =
+                                core.implied_resolutions(d.txn, partition, d.mode);
+                            eq_estimate_naive(core.wtpg(), d.txn, &their_implied) < my_eq
+                        });
+                    if lost {
+                        report.eq_losses += 1;
+                    }
+                }
+                core.grant(txn, step, spec_step, &implied)
+                    .map_err(|e| core_err(at, tick, "replaying grant", e))?;
+                if core.wtpg().has_cycle() {
+                    return Err(violation(
+                        at,
+                        tick,
+                        format!("WTPG cyclic after granting {txn} step {step}"),
+                    ));
+                }
+            }
+            Event::Progress { txn, amount } => {
+                core.progress(txn, amount)
+                    .map_err(|e| core_err(at, tick, "replaying progress", e))?;
+            }
+            Event::StepCompleted { txn, step } => {
+                core.step_complete(txn, step)
+                    .map_err(|e| core_err(at, tick, "replaying step completion", e))?;
+            }
+            Event::Committed(txn) => {
+                report.commits += 1;
+                let a = core
+                    .txns
+                    .get(&txn)
+                    .ok_or_else(|| violation(at, tick, format!("{txn} committed while inactive")))?;
+                if a.next_step != a.spec.len() {
+                    return Err(violation(
+                        at,
+                        tick,
+                        format!(
+                            "{txn} committed after {} of {} steps",
+                            a.next_step,
+                            a.spec.len()
+                        ),
+                    ));
+                }
+                core.commit(txn)
+                    .map_err(|e| core_err(at, tick, "replaying commit", e))?;
+            }
+        }
+        let version = core.wtpg().version();
+        if version < last_version {
+            return Err(violation(
+                at,
+                tick,
+                format!("WTPG version moved backwards: {last_version} → {version}"),
+            ));
+        }
+        last_version = version;
+        if structural {
+            if let Err(what) = core.wtpg().check_invariants() {
+                return Err(violation(at, tick, format!("WTPG invariant: {what}")));
+            }
+        }
+    }
+
+    // Whole-history checks over the completed log.
+    history
+        .check_strictness()
+        .map_err(|e| violation(usize::MAX, Tick::ZERO, e))?;
+    history
+        .check_lock_exclusion()
+        .map_err(|e| violation(usize::MAX, Tick::ZERO, e))?;
+    history
+        .check_conflict_serializable()
+        .map_err(|e| violation(usize::MAX, Tick::ZERO, e))?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{Admission, LockOutcome, Scheduler};
+    use crate::txn::StepSpec;
+    use crate::work::Work;
+
+    fn spec(id: u64, steps: Vec<StepSpec>) -> TxnSpec {
+        TxnSpec::new(TxnId(id), steps)
+    }
+
+    /// Drives a scheduler through a toy workload while recording the
+    /// history by hand, exactly as the simulator does.
+    fn drive<S: Scheduler>(mut sched: S) -> (History, BTreeMap<TxnId, TxnSpec>, CertifyMode) {
+        let mut h = History::new();
+        let mut specs = BTreeMap::new();
+        let ts = [
+            spec(1, vec![StepSpec::write(0, 2.0), StepSpec::read(1, 1.0)]),
+            spec(2, vec![StepSpec::write(2, 1.0)]),
+            spec(3, vec![StepSpec::read(1, 1.0)]),
+        ];
+        let mut now = Tick(0);
+        for t in &ts {
+            specs.insert(t.id, t.clone());
+            match sched.on_arrive(t, now).unwrap().0 {
+                Admission::Admitted => h.push(now, Event::Admitted(t.id)),
+                Admission::Rejected => h.push(now, Event::Rejected(t.id)),
+            }
+        }
+        // Round-robin requests until everyone commits.
+        let mut pending: Vec<(TxnId, usize, usize)> =
+            ts.iter().map(|t| (t.id, 0, t.len())).collect();
+        while !pending.is_empty() {
+            now += 1;
+            let mut next = Vec::new();
+            for (id, step, len) in pending {
+                match sched.on_request(id, step, now).unwrap().0 {
+                    LockOutcome::Granted => {
+                        let s = specs[&id].steps()[step];
+                        h.push(
+                            now,
+                            Event::Granted {
+                                txn: id,
+                                step,
+                                partition: s.partition,
+                                mode: s.mode,
+                            },
+                        );
+                        sched.on_progress(id, s.cost).unwrap();
+                        h.push(
+                            now,
+                            Event::Progress {
+                                txn: id,
+                                amount: s.cost,
+                            },
+                        );
+                        sched.on_step_complete(id, step).unwrap();
+                        h.push(now, Event::StepCompleted { txn: id, step });
+                        if step + 1 == len {
+                            sched.on_commit(id, now).unwrap();
+                            h.push(now, Event::Committed(id));
+                        } else {
+                            next.push((id, step + 1, len));
+                        }
+                    }
+                    _ => next.push((id, step, len)),
+                }
+            }
+            pending = next;
+        }
+        let mode = sched.certify_mode();
+        (h, specs, mode)
+    }
+
+    #[test]
+    fn chain_run_certifies() {
+        let (h, specs, mode) = drive(crate::sched::ChainScheduler::new(5000));
+        assert_eq!(mode, CertifyMode::Chain);
+        let report = certify_history(&h, &specs, mode).expect("clean run certifies");
+        assert_eq!(report.commits, 3);
+        assert!(report.grants >= 4);
+    }
+
+    #[test]
+    fn kwtpg_run_certifies_with_eq_checks() {
+        let (h, specs, mode) = drive(crate::sched::KWtpgScheduler::new(2, 5000));
+        assert_eq!(mode, CertifyMode::KConflict(2));
+        let report = certify_history(&h, &specs, mode).expect("clean run certifies");
+        assert_eq!(report.commits, 3);
+        assert!(report.eq_checks >= report.grants);
+    }
+
+    #[test]
+    fn c2pl_run_certifies_general() {
+        let (h, specs, mode) = drive(crate::sched::C2plScheduler::new());
+        assert_eq!(mode, CertifyMode::General);
+        certify_history(&h, &specs, mode).expect("clean run certifies");
+    }
+
+    #[test]
+    fn flipped_conflicting_grants_are_rejected() {
+        // T1 and T2 both write P0; T1 is granted and holds the lock, so a
+        // history claiming T2 was granted first must be rejected.
+        let mut h = History::new();
+        let mut specs = BTreeMap::new();
+        let t1 = spec(1, vec![StepSpec::write(0, 1.0)]);
+        let t2 = spec(2, vec![StepSpec::write(0, 1.0)]);
+        specs.insert(t1.id, t1);
+        specs.insert(t2.id, t2);
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(0), Event::Admitted(TxnId(2)));
+        h.push(
+            Tick(1),
+            Event::Granted {
+                txn: TxnId(1),
+                step: 0,
+                partition: crate::partition::PartitionId(0),
+                mode: crate::txn::AccessMode::Write,
+            },
+        );
+        // Conflicting grant while T1 still holds P0.
+        h.push(
+            Tick(2),
+            Event::Granted {
+                txn: TxnId(2),
+                step: 0,
+                partition: crate::partition::PartitionId(0),
+                mode: crate::txn::AccessMode::Write,
+            },
+        );
+        let err = certify_history(&h, &specs, CertifyMode::General).unwrap_err();
+        assert!(err.what.contains("while blocked"), "{err}");
+    }
+
+    #[test]
+    fn dropped_commit_is_rejected() {
+        // T1's commit is missing, so its conflicting grant of P0 by T2 must
+        // be flagged (the lock was never released).
+        let mut h = History::new();
+        let mut specs = BTreeMap::new();
+        let t1 = spec(1, vec![StepSpec::write(0, 1.0)]);
+        let t2 = spec(2, vec![StepSpec::write(0, 1.0)]);
+        specs.insert(t1.id, t1);
+        specs.insert(t2.id, t2);
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(0), Event::Admitted(TxnId(2)));
+        h.push(
+            Tick(1),
+            Event::Granted {
+                txn: TxnId(1),
+                step: 0,
+                partition: crate::partition::PartitionId(0),
+                mode: crate::txn::AccessMode::Write,
+            },
+        );
+        h.push(
+            Tick(1),
+            Event::Progress {
+                txn: TxnId(1),
+                amount: Work::from_objects(1),
+            },
+        );
+        h.push(Tick(2), Event::StepCompleted { txn: TxnId(1), step: 0 });
+        // Commit dropped here.
+        h.push(
+            Tick(3),
+            Event::Granted {
+                txn: TxnId(2),
+                step: 0,
+                partition: crate::partition::PartitionId(0),
+                mode: crate::txn::AccessMode::Write,
+            },
+        );
+        let err = certify_history(&h, &specs, CertifyMode::General).unwrap_err();
+        assert!(err.what.contains("while blocked"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_steps_are_rejected() {
+        let mut h = History::new();
+        let mut specs = BTreeMap::new();
+        let t1 = spec(1, vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)]);
+        specs.insert(t1.id, t1);
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(
+            Tick(1),
+            Event::Granted {
+                txn: TxnId(1),
+                step: 1, // step 0 never granted
+                partition: crate::partition::PartitionId(1),
+                mode: crate::txn::AccessMode::Write,
+            },
+        );
+        let err = certify_history(&h, &specs, CertifyMode::General).unwrap_err();
+        assert!(err.what.contains("out of order"), "{err}");
+    }
+
+    #[test]
+    fn premature_commit_is_rejected() {
+        let mut h = History::new();
+        let mut specs = BTreeMap::new();
+        let t1 = spec(1, vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)]);
+        specs.insert(t1.id, t1);
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(1), Event::Committed(TxnId(1)));
+        let err = certify_history(&h, &specs, CertifyMode::General).unwrap_err();
+        assert!(err.what.contains("committed after 0 of 2"), "{err}");
+    }
+
+    #[test]
+    fn k_bound_breach_is_rejected() {
+        // Three single-step writers of P0: each pair conflicts, so the third
+        // admission has |C(q)| = 2 > K = 1 for the already-present decls.
+        let mut h = History::new();
+        let mut specs = BTreeMap::new();
+        for id in 1..=3 {
+            let t = spec(id, vec![StepSpec::write(0, 1.0)]);
+            specs.insert(t.id, t);
+            h.push(Tick(0), Event::Admitted(TxnId(id)));
+        }
+        let err = certify_history(&h, &specs, CertifyMode::KConflict(1)).unwrap_err();
+        assert!(err.what.contains("conflict bound"), "{err}");
+    }
+
+    #[test]
+    fn exempt_mode_only_checks_strictness() {
+        // Conflicting co-held locks — fine for NODC, but activity after
+        // commit is still flagged.
+        let mut h = History::new();
+        let specs = BTreeMap::new();
+        h.push(Tick(0), Event::Admitted(TxnId(1)));
+        h.push(Tick(0), Event::Admitted(TxnId(2)));
+        for id in [1u64, 2] {
+            h.push(
+                Tick(1),
+                Event::Granted {
+                    txn: TxnId(id),
+                    step: 0,
+                    partition: crate::partition::PartitionId(0),
+                    mode: crate::txn::AccessMode::Write,
+                },
+            );
+        }
+        assert!(certify_history(&h, &specs, CertifyMode::Exempt).is_ok());
+        h.push(Tick(2), Event::Committed(TxnId(1)));
+        h.push(
+            Tick(3),
+            Event::Progress {
+                txn: TxnId(1),
+                amount: Work::from_objects(1),
+            },
+        );
+        let err = certify_history(&h, &specs, CertifyMode::Exempt).unwrap_err();
+        assert!(err.what.contains("after commit"), "{err}");
+    }
+}

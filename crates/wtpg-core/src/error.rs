@@ -33,6 +33,10 @@ pub enum CoreError {
         /// The step that was requested.
         got: usize,
     },
+    /// An internal invariant failed to hold — scheduler state is corrupt.
+    /// Surfaced as an error instead of a panic so embedders can fail the
+    /// run cleanly; [`crate::certify`] converts these into violations.
+    Invariant(&'static str),
 }
 
 impl std::fmt::Display for CoreError {
@@ -48,6 +52,7 @@ impl std::fmt::Display for CoreError {
                     "{txn} drove steps out of order: expected {expected}, got {got}"
                 )
             }
+            CoreError::Invariant(what) => write!(f, "internal invariant violated: {what}"),
         }
     }
 }

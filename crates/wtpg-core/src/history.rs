@@ -47,6 +47,15 @@ pub enum Event {
         /// Amount of work completed.
         amount: Work,
     },
+    /// A granted step finished all its declared work (the lock stays held
+    /// until commit). Recorded so a replay can mirror the scheduler's
+    /// `T0`-weight reset exactly.
+    StepCompleted {
+        /// The transaction.
+        txn: TxnId,
+        /// Step index within the transaction.
+        step: usize,
+    },
     /// The transaction committed (all locks released).
     Committed(TxnId),
 }
@@ -161,7 +170,9 @@ impl History {
                 Event::Rejected(t) => {
                     admitted.remove(&t);
                 }
-                Event::Granted { txn, .. } | Event::Progress { txn, .. } => {
+                Event::Granted { txn, .. }
+                | Event::Progress { txn, .. }
+                | Event::StepCompleted { txn, .. } => {
                     if committed.get(&txn).copied().unwrap_or(false) {
                         return Err(format!("{txn} active after commit"));
                     }

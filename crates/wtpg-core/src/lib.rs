@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod certify;
 pub mod chain;
 pub mod error;
 pub mod estimate;
@@ -53,6 +54,7 @@ pub mod txn;
 pub mod work;
 pub mod wtpg;
 
+pub use certify::{certify_history, CertifyMode, CertifyReport, CertifyViolation};
 pub use error::CoreError;
 pub use lock::{LockMode, LockTable};
 pub use partition::{Catalog, PartitionId, Placement};

@@ -60,12 +60,13 @@ impl ChainScheduler {
         if self.w_order.is_some() && self.w_version == self.core.wtpg.version() && !stale {
             return Ok(0);
         }
-        let comps =
-            chain_components(&self.core.wtpg).expect("CHAIN admission keeps the WTPG chain-form");
+        let comps = chain_components(&self.core.wtpg)
+            .map_err(|_| CoreError::Invariant("CHAIN admission must keep the WTPG chain-form"))?;
         let mut order = BTreeSet::new();
         for comp in comps {
             let sol = threshold::solve(&comp.problem);
             for (i, &dir) in sol.orient.iter().enumerate() {
+                // lint:allow(panic-safety) orient has nodes.len()-1 entries, i+1 is in bounds
                 let (x, y) = (comp.nodes[i], comp.nodes[i + 1]);
                 match dir {
                     Dir::Down => order.insert((x, y)),
@@ -120,7 +121,9 @@ impl Scheduler for ChainScheduler {
             ..ControlOps::NONE
         };
         let implied = self.core.implied_resolutions(txn, s.partition, s.mode);
-        let w = self.w_order.as_ref().expect("ensure_w populated the order");
+        let Some(w) = self.w_order.as_ref() else {
+            return Err(CoreError::Invariant("ensure_w must populate the W order"));
+        };
         // Step 3 of CC1: the grant must not make the schedule inconsistent
         // with W — every implied resolution txn → other must agree with it.
         if implied.iter().any(|&other| !w.contains(&(txn, other))) {
@@ -164,6 +167,10 @@ impl Scheduler for ChainScheduler {
 
     fn wtpg(&self) -> &Wtpg {
         self.core.wtpg()
+    }
+
+    fn certify_mode(&self) -> crate::certify::CertifyMode {
+        crate::certify::CertifyMode::Chain
     }
 }
 

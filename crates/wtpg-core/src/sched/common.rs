@@ -111,7 +111,11 @@ impl SchedCore {
                 got: step,
             });
         }
-        Ok(a.spec.steps()[step])
+        a.spec
+            .steps()
+            .get(step)
+            .copied()
+            .ok_or(CoreError::BadStep { txn, step })
     }
 
     /// Transactions whose outstanding declarations on `p` conflict with a
@@ -188,7 +192,12 @@ impl SchedCore {
                 step: usize::MAX,
             });
         };
-        let declared_cost = a.spec.steps()[step].cost;
+        let declared_cost = a
+            .spec
+            .steps()
+            .get(step)
+            .ok_or(CoreError::BadStep { txn, step })?
+            .cost;
         let before = a.declared_progress.min(declared_cost);
         a.declared_progress += amount;
         let after = a.declared_progress.min(declared_cost);

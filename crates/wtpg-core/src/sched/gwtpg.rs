@@ -126,7 +126,9 @@ impl Scheduler for GWtpgScheduler {
             ..ControlOps::NONE
         };
         let implied = self.core.implied_resolutions(txn, s.partition, s.mode);
-        let w = self.w_order.as_ref().expect("ensure_w populated the order");
+        let Some(w) = self.w_order.as_ref() else {
+            return Err(CoreError::Invariant("ensure_w must populate the W order"));
+        };
         if implied.iter().any(|&other| !w.contains(&(txn, other))) {
             return Ok((LockOutcome::Delayed, ops));
         }

@@ -258,6 +258,10 @@ impl Scheduler for KWtpgScheduler {
     fn wtpg(&self) -> &Wtpg {
         self.core.wtpg()
     }
+
+    fn certify_mode(&self) -> crate::certify::CertifyMode {
+        crate::certify::CertifyMode::KConflict(self.k)
+    }
 }
 
 #[cfg(test)]

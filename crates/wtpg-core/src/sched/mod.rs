@@ -154,4 +154,12 @@ pub trait Scheduler {
 
     /// Read access to the WTPG (empty for schedulers that keep none).
     fn wtpg(&self) -> &Wtpg;
+
+    /// Which guarantees a recorded history of this scheduler must satisfy —
+    /// drives [`crate::certify::certify_history`]. The default claims the
+    /// lock-based baseline guarantees; schedulers with stronger (CHAIN,
+    /// K-WTPG) or deliberately absent (NODC) guarantees override it.
+    fn certify_mode(&self) -> crate::certify::CertifyMode {
+        crate::certify::CertifyMode::General
+    }
 }

@@ -99,6 +99,12 @@ impl Scheduler for NodcScheduler {
     fn wtpg(&self) -> &Wtpg {
         &self.empty_wtpg
     }
+
+    /// NODC deliberately violates exclusion and serializability — only the
+    /// protocol-shape checks apply.
+    fn certify_mode(&self) -> crate::certify::CertifyMode {
+        crate::certify::CertifyMode::Exempt
+    }
 }
 
 #[cfg(test)]

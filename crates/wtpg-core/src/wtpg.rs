@@ -248,10 +248,12 @@ impl Wtpg {
         self.index.get(&txn).copied().ok_or(CoreError::UnknownTxn(txn))
     }
 
+    // lint:allow(panic-safety) slot ids are minted by add_txn and always < slots.len()
     fn slot(&self, s: u32) -> &Slot {
         &self.slots[s as usize]
     }
 
+    // lint:allow(panic-safety) slot ids are minted by add_txn and always < slots.len()
     fn slot_mut(&mut self, s: u32) -> &mut Slot {
         &mut self.slots[s as usize]
     }
@@ -323,6 +325,7 @@ impl Wtpg {
         };
         self.index.insert(txn, s);
         self.version += 1;
+        self.debug_validate();
         Ok(())
     }
 
@@ -362,6 +365,7 @@ impl Wtpg {
         slot.conf = conf;
         self.free.push(s);
         self.version += 1;
+        self.debug_validate();
         Ok(())
     }
 
@@ -403,6 +407,7 @@ impl Wtpg {
     /// order was decided by an earlier grant or a held lock — the matching
     /// directed weight is merged into it instead (the other candidate weight
     /// is moot: a resolved pair stays resolved).
+    // lint:allow(panic-safety) every index is the Ok of a binary search on the same vec
     pub fn add_or_merge_conflict(
         &mut self,
         a: TxnId,
@@ -445,6 +450,7 @@ impl Wtpg {
         Ok(())
     }
 
+    // lint:allow(panic-safety) every index is the Ok of a binary search on the same vec
     fn add_or_merge_precedence(
         &mut self,
         from: TxnId,
@@ -489,6 +495,7 @@ impl Wtpg {
     /// Definition 1, item 2). Resolving an already-resolved pair in the same
     /// direction is a no-op; in the opposite direction it is a logic error
     /// caught in debug builds.
+    // lint:allow(panic-safety) conf index is the Ok of a binary search on the same vec
     pub fn resolve(&mut self, from: TxnId, to: TxnId) -> Result<(), CoreError> {
         let sf = self.lookup(from)?;
         self.lookup(to)?;
@@ -532,6 +539,7 @@ impl Wtpg {
     }
 
     /// Weight of the precedence edge `from → to`, if that edge exists.
+    // lint:allow(panic-safety) out index is the Ok of a binary search on the same vec
     pub fn precedence_weight(&self, from: TxnId, to: TxnId) -> Option<Work> {
         let s = self.slot_of(from)?;
         find_out(&self.slot(s).out, to)
@@ -541,6 +549,7 @@ impl Wtpg {
 
     /// Weights `(w(a→b), w(b→a))` of the conflicting edge between `a` and
     /// `b`, if the pair is (still) unresolved.
+    // lint:allow(panic-safety) conf indices are the Ok of binary searches on the same vecs
     pub fn conflict_weights(&self, a: TxnId, b: TxnId) -> Option<(Work, Work)> {
         let sa = self.slot_of(a)?;
         let sb = self.slot_of(b)?;
@@ -576,13 +585,14 @@ impl Wtpg {
 
     /// All unresolved conflicting edges as `(a, b, w(a→b), w(b→a))` with
     /// `a < b`, ascending.
+    // lint:allow(panic-safety) back[j] is the Ok of a binary search on back
     pub fn conflict_edges(&self) -> Vec<(TxnId, TxnId, Work, Work)> {
         let mut out = Vec::new();
         for (&a, &sa) in &self.index {
             for e in &self.slot(sa).conf {
                 if a < e.id {
                     let back = &self.slot(e.slot).conf;
-                    let j = find_conf(back, a).expect("conflict edges are symmetric");
+                    let j = find_conf(back, a).expect("invariant: conflict edges are symmetric");
                     out.push((a, e.id, e.w, back[j].w));
                 }
             }
@@ -603,6 +613,7 @@ impl Wtpg {
 
     /// `before(txn)`: transactions that (transitively) precede `txn` along
     /// precedence edges (paper §3.3 Step 1).
+    // lint:allow(panic-safety) begin_mark sizes `mark` to slots.len(); slot ids are in range
     pub fn before(&self, txn: TxnId) -> BTreeSet<TxnId> {
         let mut seen = BTreeSet::new();
         let Some(s0) = self.slot_of(txn) else {
@@ -625,6 +636,7 @@ impl Wtpg {
     }
 
     /// `after(txn)`: transactions that `txn` (transitively) precedes.
+    // lint:allow(panic-safety) begin_mark sizes `mark` to slots.len(); slot ids are in range
     pub fn after(&self, txn: TxnId) -> BTreeSet<TxnId> {
         let mut seen = BTreeSet::new();
         let Some(s0) = self.slot_of(txn) else {
@@ -656,6 +668,7 @@ impl Wtpg {
     /// True if adding the precedence edge `from → to` would create a cycle:
     /// the deadlock *prediction* primitive (C2PL, and `E(q) = ∞`). Runs a
     /// DFS from `to` that exits as soon as it reaches `from`.
+    // lint:allow(panic-safety) begin_mark sizes `mark` to slots.len(); slot ids are in range
     pub fn would_deadlock(&self, from: TxnId, to: TxnId) -> bool {
         if from == to {
             return true;
@@ -688,6 +701,7 @@ impl Wtpg {
     /// and the critical path is `max over T of dist(T)` since every
     /// `w(T → Tf)` is zero. One Kahn pass over the arena, with the in-degree,
     /// distance and queue arrays reused across calls.
+    // lint:allow(panic-safety) indeg/dist are resized to slots.len(); queue holds slot ids
     pub fn critical_path(&self) -> Option<Work> {
         if self.index.is_empty() {
             // Fast path: no live transactions, the schedule is just T0 → Tf.
@@ -759,6 +773,7 @@ impl Wtpg {
 
     /// If the precedence edges are cyclic, names one cycle — for diagnostics
     /// only; the schedulers' grant checks keep live WTPGs acyclic.
+    // lint:allow(panic-safety) nodes has an entry for every txn_id; edges name live txns
     pub fn find_precedence_cycle(&self) -> Option<Vec<TxnId>> {
         let mut dg: wtpg_graph::DiGraph<TxnId, ()> = wtpg_graph::DiGraph::new();
         let mut nodes = BTreeMap::new();
@@ -771,9 +786,154 @@ impl Wtpg {
         wtpg_graph::find_cycle(&dg).map(|cycle| {
             cycle
                 .into_iter()
-                .map(|n| *dg.node_weight(n).expect("cycle node is live"))
+                .map(|n| *dg.node_weight(n).expect("invariant: cycle nodes come from dg"))
                 .collect()
         })
+    }
+
+    /// Deep structural self-check of the arena (DESIGN.md §10). Verifies:
+    ///
+    /// - index ↔ slot agreement: every indexed slot is in bounds, live, and
+    ///   carries the id it is indexed under; live-slot count matches;
+    /// - free-list / live-slot disjointness: free entries are dead, unique,
+    ///   and `free + live` partitions the arena;
+    /// - dead slots have empty adjacency (the reuse contract of `add_txn`);
+    /// - adjacency is sorted, self-loop-free, targets live slots with
+    ///   matching ids, and is mirrored (`out`/`inc`, symmetric `conf`);
+    /// - no pair carries both a conflicting and a precedence edge;
+    /// - scratch epoch-stamps never exceed the current epoch.
+    ///
+    /// Costs `O(V + E log E)`; meant for tests, `debug_assertions` hooks and
+    /// the [`crate::certify`] replay — not the grant path.
+    ///
+    /// # Errors
+    /// A description of the first violated invariant.
+    // lint:allow(panic-safety) indices are validated against slots.len() before use
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.slots.len();
+        for (&txn, &s) in &self.index {
+            let Some(slot) = self.slots.get(s as usize) else {
+                return Err(format!("index maps {txn} to out-of-bounds slot {s}"));
+            };
+            if !slot.live {
+                return Err(format!("index maps {txn} to dead slot {s}"));
+            }
+            if slot.id != txn {
+                return Err(format!("slot {s} holds {} but is indexed as {txn}", slot.id));
+            }
+        }
+        let live = self.slots.iter().filter(|s| s.live).count();
+        if live != self.index.len() {
+            return Err(format!(
+                "{live} live slots but {} index entries",
+                self.index.len()
+            ));
+        }
+        let mut free_seen = vec![false; n];
+        for &s in &self.free {
+            let Some(slot) = self.slots.get(s as usize) else {
+                return Err(format!("free list holds out-of-bounds slot {s}"));
+            };
+            if slot.live {
+                return Err(format!("free list holds live slot {s}"));
+            }
+            if free_seen[s as usize] {
+                return Err(format!("free list holds slot {s} twice"));
+            }
+            free_seen[s as usize] = true;
+        }
+        if self.free.len() + self.index.len() != n {
+            return Err(format!(
+                "free ({}) + live ({}) != slots ({n})",
+                self.free.len(),
+                self.index.len()
+            ));
+        }
+        for (i, slot) in self.slots.iter().enumerate() {
+            let s = i as u32;
+            if !slot.live {
+                if !slot.out.is_empty() || !slot.inc.is_empty() || !slot.conf.is_empty() {
+                    return Err(format!("dead slot {s} has non-empty adjacency"));
+                }
+                continue;
+            }
+            let a = slot.id;
+            if !slot.out.windows(2).all(|w| w[0].id < w[1].id) {
+                return Err(format!("slot {s} ({a}) out-edges not strictly sorted"));
+            }
+            if !slot.inc.windows(2).all(|w| w[0].id < w[1].id) {
+                return Err(format!("slot {s} ({a}) inc-edges not strictly sorted"));
+            }
+            if !slot.conf.windows(2).all(|w| w[0].id < w[1].id) {
+                return Err(format!("slot {s} ({a}) conf-edges not strictly sorted"));
+            }
+            for e in &slot.out {
+                if e.id == a {
+                    return Err(format!("{a} has a precedence self-edge"));
+                }
+                let t = self
+                    .slots
+                    .get(e.slot as usize)
+                    .filter(|t| t.live && t.id == e.id);
+                if t.is_none() {
+                    return Err(format!("{a} → {} points at a stale slot", e.id));
+                }
+                let target = &self.slots[e.slot as usize];
+                if find_inc(&target.inc, a).is_err() {
+                    return Err(format!("{a} → {} missing the mirror inc entry", e.id));
+                }
+            }
+            for e in &slot.inc {
+                let p = self
+                    .slots
+                    .get(e.slot as usize)
+                    .filter(|p| p.live && p.id == e.id);
+                if p.is_none() {
+                    return Err(format!("{a} ← {} points at a stale slot", e.id));
+                }
+                if find_out(&self.slots[e.slot as usize].out, a).is_err() {
+                    return Err(format!("{a} ← {} missing the mirror out entry", e.id));
+                }
+            }
+            for e in &slot.conf {
+                if e.id == a {
+                    return Err(format!("{a} has a conflicting self-edge"));
+                }
+                let p = self
+                    .slots
+                    .get(e.slot as usize)
+                    .filter(|p| p.live && p.id == e.id);
+                if p.is_none() {
+                    return Err(format!("{a} ~ {} points at a stale slot", e.id));
+                }
+                let partner = &self.slots[e.slot as usize];
+                if find_conf(&partner.conf, a).is_err() {
+                    return Err(format!("{a} ~ {} missing the symmetric conf entry", e.id));
+                }
+                if find_out(&slot.out, e.id).is_ok() || find_out(&partner.out, a).is_ok() {
+                    return Err(format!(
+                        "{a} ~ {} is both conflicting and resolved",
+                        e.id
+                    ));
+                }
+            }
+        }
+        let scratch = self.scratch.borrow();
+        if scratch.mark.iter().any(|&m| m > scratch.epoch) {
+            return Err("scratch mark stamped past the current epoch".to_string());
+        }
+        Ok(())
+    }
+
+    /// `debug_assert!`-level hook: panics on a broken invariant in debug
+    /// builds, compiles to nothing in release.
+    // lint:allow(panic-safety) deliberate debug-only assertion, absent from release builds
+    #[inline]
+    pub(crate) fn debug_validate(&self) {
+        #[cfg(debug_assertions)]
+        if let Err(what) = self.check_invariants() {
+            panic!("WTPG invariant violated: {what}");
+        }
     }
 
     /// Renders the WTPG in Graphviz DOT: solid arrows for precedence edges,

@@ -3,42 +3,44 @@
 //! Used for *diagnostics*: when a validation check reports "cycle", these
 //! helpers name the transactions on it. The schedulers themselves only need
 //! the boolean reachability tests in [`crate::topo`].
-
-use std::collections::HashMap;
+//!
+//! All traversal state lives in dense vectors indexed by [`NodeId::index`]
+//! (bounded by [`DiGraph::node_bound`]): output order depends only on node
+//! insertion order, never on a hasher, so SCC output is identical across
+//! runs and platforms.
 
 use crate::digraph::{DiGraph, NodeId};
+
+/// Per-node Tarjan state, stored densely by node index.
+#[derive(Clone, Copy)]
+struct Entry {
+    index: u32,
+    lowlink: u32,
+    on_stack: bool,
+}
 
 /// Strongly connected components, each a list of nodes. Components are
 /// returned in reverse topological order of the condensation (Tarjan's
 /// natural output order); singleton components without a self-loop are not
 /// cycles.
 pub fn tarjan_scc<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
-    #[derive(Clone, Copy)]
-    struct Entry {
-        index: u32,
-        lowlink: u32,
-        on_stack: bool,
-    }
-    let mut state: HashMap<NodeId, Entry> = HashMap::new();
+    let mut state: Vec<Option<Entry>> = vec![None; graph.node_bound()];
     let mut stack: Vec<NodeId> = Vec::new();
     let mut next_index = 0u32;
     let mut components = Vec::new();
 
-    // Iterative DFS: (node, iterator position over successors).
+    // Iterative DFS: (node, successor list, iterator position).
     for root in graph.node_ids() {
-        if state.contains_key(&root) {
+        if state[root.index()].is_some() {
             continue;
         }
         let mut call: Vec<(NodeId, Vec<NodeId>, usize)> = Vec::new();
         let succ: Vec<NodeId> = graph.successors(root).collect();
-        state.insert(
-            root,
-            Entry {
-                index: next_index,
-                lowlink: next_index,
-                on_stack: true,
-            },
-        );
+        state[root.index()] = Some(Entry {
+            index: next_index,
+            lowlink: next_index,
+            on_stack: true,
+        });
         next_index += 1;
         stack.push(root);
         call.push((root, succ, 0));
@@ -47,17 +49,14 @@ pub fn tarjan_scc<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
             while i < succs.len() {
                 let w = succs[i];
                 i += 1;
-                match state.get(&w) {
+                match state[w.index()] {
                     None => {
                         // Descend into w.
-                        state.insert(
-                            w,
-                            Entry {
-                                index: next_index,
-                                lowlink: next_index,
-                                on_stack: true,
-                            },
-                        );
+                        state[w.index()] = Some(Entry {
+                            index: next_index,
+                            lowlink: next_index,
+                            on_stack: true,
+                        });
                         next_index += 1;
                         stack.push(w);
                         let wsucc: Vec<NodeId> = graph.successors(w).collect();
@@ -66,9 +65,9 @@ pub fn tarjan_scc<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
                         descended = true;
                         break;
                     }
-                    Some(&e) if e.on_stack => {
-                        let low = state[&v].lowlink.min(e.index);
-                        state.get_mut(&v).expect("visited").lowlink = low;
+                    Some(e) if e.on_stack => {
+                        let entry = state[v.index()].as_mut().expect("visited");
+                        entry.lowlink = entry.lowlink.min(e.index);
                     }
                     Some(_) => {}
                 }
@@ -77,12 +76,12 @@ pub fn tarjan_scc<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
                 continue;
             }
             // v is finished: maybe pop a component, then propagate lowlink.
-            let ventry = state[&v];
+            let ventry = state[v.index()].expect("visited");
             if ventry.lowlink == ventry.index {
                 let mut comp = Vec::new();
                 loop {
                     let w = stack.pop().expect("tarjan stack underflow");
-                    state.get_mut(&w).expect("on stack").on_stack = false;
+                    state[w.index()].as_mut().expect("on stack").on_stack = false;
                     comp.push(w);
                     if w == v {
                         break;
@@ -91,8 +90,9 @@ pub fn tarjan_scc<N, E>(graph: &DiGraph<N, E>) -> Vec<Vec<NodeId>> {
                 components.push(comp);
             }
             if let Some(&mut (parent, _, _)) = call.last_mut() {
-                let low = state[&parent].lowlink.min(state[&v].lowlink);
-                state.get_mut(&parent).expect("visited").lowlink = low;
+                let vlow = ventry.lowlink;
+                let entry = state[parent.index()].as_mut().expect("visited");
+                entry.lowlink = entry.lowlink.min(vlow);
             }
         }
     }
@@ -110,20 +110,24 @@ pub fn find_cycle<N, E>(graph: &DiGraph<N, E>) -> Option<Vec<NodeId>> {
             }
             continue;
         }
-        // Walk within the component until a node repeats.
-        let in_comp: std::collections::HashSet<NodeId> = comp.iter().copied().collect();
+        // Walk within the component until a node repeats. Membership and
+        // first-visit positions are dense arrays — no hashing anywhere.
+        let mut in_comp = vec![false; graph.node_bound()];
+        for n in &comp {
+            in_comp[n.index()] = true;
+        }
         let mut path = Vec::new();
-        let mut seen = HashMap::new();
+        let mut seen: Vec<Option<usize>> = vec![None; graph.node_bound()];
         let mut cur = comp[0];
         loop {
-            if let Some(&pos) = seen.get(&cur) {
+            if let Some(pos) = seen[cur.index()] {
                 return Some(path[pos..].to_vec());
             }
-            seen.insert(cur, path.len());
+            seen[cur.index()] = Some(path.len());
             path.push(cur);
             cur = graph
                 .successors(cur)
-                .find(|s| in_comp.contains(s))
+                .find(|s| in_comp[s.index()])
                 .expect("non-trivial SCC node has an in-component successor");
         }
     }
@@ -209,5 +213,31 @@ mod tests {
         let g: DiGraph<(), ()> = DiGraph::new();
         assert!(tarjan_scc(&g).is_empty());
         assert_eq!(find_cycle(&g), None);
+    }
+
+    /// Regression for the determinism rule: two runs over independently
+    /// built but identical graphs must produce *identical* output — same
+    /// components, same order, same node order within each component.
+    #[test]
+    fn scc_output_is_identical_across_runs() {
+        fn build(seed: u64) -> DiGraph<u64, ()> {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut g = DiGraph::new();
+            let nodes: Vec<_> = (0..40u64).map(|i| g.add_node(i)).collect();
+            for _ in 0..120 {
+                let a = nodes[rng.gen_range(0..nodes.len())];
+                let b = nodes[rng.gen_range(0..nodes.len())];
+                g.add_edge(a, b, ());
+            }
+            g
+        }
+        for seed in 0..10 {
+            let g1 = build(seed);
+            let g2 = build(seed);
+            assert_eq!(tarjan_scc(&g1), tarjan_scc(&g2));
+            assert_eq!(find_cycle(&g1), find_cycle(&g2));
+        }
     }
 }

@@ -3,16 +3,19 @@
 //! The K-WTPG estimator `E(q)` needs `before(T)` / `after(T)` — the sets of
 //! transactions reachable from `T` along precedence edges in either direction
 //! (paper §3.3, Step 1). These helpers compute them over any [`DiGraph`].
+//!
+//! All sets are `BTreeSet`s: iteration order is the node-id order, never a
+//! hasher's, so every consumer downstream is platform-deterministic.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::collections::VecDeque;
 
 use crate::digraph::{DiGraph, NodeId};
 
 /// Nodes reachable from `start` by directed edges, **excluding** `start`
 /// itself unless it lies on a cycle through itself.
-pub fn reachable_from<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> HashSet<NodeId> {
-    let mut seen = HashSet::new();
+pub fn reachable_from<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
     let mut stack: Vec<NodeId> = graph.successors(start).collect();
     while let Some(n) = stack.pop() {
         if seen.insert(n) {
@@ -24,8 +27,8 @@ pub fn reachable_from<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> HashSet<Nod
 
 /// Nodes from which `target` is reachable by directed edges, **excluding**
 /// `target` itself unless it lies on a cycle through itself.
-pub fn reaches<N, E>(graph: &DiGraph<N, E>, target: NodeId) -> HashSet<NodeId> {
-    let mut seen = HashSet::new();
+pub fn reaches<N, E>(graph: &DiGraph<N, E>, target: NodeId) -> BTreeSet<NodeId> {
+    let mut seen = BTreeSet::new();
     let mut stack: Vec<NodeId> = graph.predecessors(target).collect();
     while let Some(n) = stack.pop() {
         if seen.insert(n) {
@@ -41,7 +44,7 @@ pub fn reaches<N, E>(graph: &DiGraph<N, E>, target: NodeId) -> HashSet<NodeId> {
 /// deterministic.
 pub fn dfs_order<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
     let mut order = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut stack = vec![start];
     while let Some(n) = stack.pop() {
         if !seen.insert(n) {
@@ -62,7 +65,7 @@ pub fn dfs_order<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
 /// Breadth-first order from `start` (including `start`).
 pub fn bfs_order<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<NodeId> {
     let mut order = Vec::new();
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let mut queue = VecDeque::new();
     seen.insert(start);
     queue.push_back(start);
@@ -99,17 +102,17 @@ mod tests {
     fn reachable_from_diamond() {
         let (g, [a, b, c, d]) = diamond();
         let r = reachable_from(&g, a);
-        assert_eq!(r, HashSet::from([b, c, d]));
-        assert_eq!(reachable_from(&g, d), HashSet::new());
-        assert_eq!(reachable_from(&g, b), HashSet::from([d]));
+        assert_eq!(r, BTreeSet::from([b, c, d]));
+        assert_eq!(reachable_from(&g, d), BTreeSet::new());
+        assert_eq!(reachable_from(&g, b), BTreeSet::from([d]));
     }
 
     #[test]
     fn reaches_diamond() {
         let (g, [a, b, c, d]) = diamond();
-        assert_eq!(reaches(&g, d), HashSet::from([a, b, c]));
-        assert_eq!(reaches(&g, a), HashSet::new());
-        assert_eq!(reaches(&g, c), HashSet::from([a]));
+        assert_eq!(reaches(&g, d), BTreeSet::from([a, b, c]));
+        assert_eq!(reaches(&g, a), BTreeSet::new());
+        assert_eq!(reaches(&g, c), BTreeSet::from([a]));
     }
 
     #[test]

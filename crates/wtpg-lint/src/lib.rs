@@ -1,0 +1,794 @@
+//! Repo-specific static analysis for the WTPG workspace.
+//!
+//! Three rules, each scoped to the crates where its guarantee is load-bearing
+//! (see DESIGN.md §10):
+//!
+//! - `determinism` — no `HashMap`/`HashSet` (iteration order is
+//!   platform-dependent), no `SystemTime`/`Instant` (wall-clock reads), no
+//!   ambient `thread_rng` in `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
+//!   `wtpg-graph`. Every experiment depends on bit-identical trajectories.
+//! - `panic-safety` — no `unwrap()`, undocumented `expect()`, panic-family
+//!   macros, or possibly-panicking slice indexing in the scheduler hot path
+//!   (`wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`). The accepted
+//!   documented form is `expect("invariant: ...")`.
+//! - `api-docs` — every `pub fn` in `wtpg-core/src` carries a doc comment.
+//!
+//! Findings are suppressed with an inline waiver comment carrying a reason:
+//!
+//! ```text
+//! let x = v[i]; // lint:allow(panic-safety) i < v.len() checked above
+//! ```
+//!
+//! A waiver on its own line covers the *next* item: if that item opens a
+//! brace block (for example an `fn`), the waiver covers the whole block, so
+//! one waiver can cover an index-heavy function with a locally provable
+//! bound. Waivers that suppress nothing are themselves findings — stale
+//! waivers must not accumulate.
+//!
+//! The scanner is intentionally a line-oriented lexer, not a parser: it
+//! strips string literals and comments (tracking nested block comments and
+//! raw strings), skips `#[cfg(test)]` blocks, and pattern-matches tokens.
+//! That is exactly enough for these rules and keeps the tool dependency-free.
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The rule a finding belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rule {
+    /// Platform-stable execution: no hash-ordered collections or clocks.
+    Determinism,
+    /// No panics on the scheduler hot path.
+    PanicSafety,
+    /// Every `pub fn` documented.
+    ApiDocs,
+    /// Problems with the waiver mechanism itself (unknown rule, missing
+    /// reason, waiver that suppresses nothing).
+    Waiver,
+}
+
+impl Rule {
+    /// The name used in `lint:allow(<name>)` waivers and in output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicSafety => "panic-safety",
+            Rule::ApiDocs => "api-docs",
+            Rule::Waiver => "waiver",
+        }
+    }
+
+    /// Parses a waiver rule name. `waiver` itself is not waivable.
+    pub fn parse(name: &str) -> Option<Rule> {
+        match name {
+            "determinism" => Some(Rule::Determinism),
+            "panic-safety" => Some(Rule::PanicSafety),
+            "api-docs" => Some(Rule::ApiDocs),
+            _ => None,
+        }
+    }
+}
+
+/// One lint finding, pointing at a file/line.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// File the finding is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule that fired.
+    pub rule: Rule,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule.name(),
+            self.message
+        )
+    }
+}
+
+/// Which rules to apply to a file.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RuleSet {
+    /// Apply the `determinism` rule.
+    pub determinism: bool,
+    /// Apply the `panic-safety` rule.
+    pub panic_safety: bool,
+    /// Apply the `api-docs` rule.
+    pub api_docs: bool,
+}
+
+impl RuleSet {
+    /// All rules on — used for explicit path arguments and fixtures.
+    pub const ALL: RuleSet = RuleSet {
+        determinism: true,
+        panic_safety: true,
+        api_docs: true,
+    };
+
+    fn enabled(self, rule: Rule) -> bool {
+        match rule {
+            Rule::Determinism => self.determinism,
+            Rule::PanicSafety => self.panic_safety,
+            Rule::ApiDocs => self.api_docs,
+            Rule::Waiver => true,
+        }
+    }
+
+    fn any(self) -> bool {
+        self.determinism || self.panic_safety || self.api_docs
+    }
+}
+
+/// One source line after lexing: executable code with strings/comments
+/// removed, the comment text (for waiver parsing), and the raw line.
+#[derive(Debug)]
+struct LineInfo {
+    code: String,
+    comment: String,
+    raw: String,
+    in_test: bool,
+}
+
+/// Lexer state carried across lines.
+enum LexState {
+    Normal,
+    BlockComment { depth: usize },
+    RawString { hashes: usize },
+}
+
+/// Strips string literals and comments, producing per-line code/comment
+/// views. Block comments may nest (Rust allows it); raw strings may span
+/// lines. Char literals and lifetimes are disambiguated heuristically.
+fn lex(source: &str) -> Vec<LineInfo> {
+    let mut out = Vec::new();
+    let mut state = LexState::Normal;
+    for raw in source.lines() {
+        let mut code = String::new();
+        let mut comment = String::new();
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            match state {
+                LexState::BlockComment { ref mut depth } => {
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        *depth -= 1;
+                        i += 2;
+                        if *depth == 0 {
+                            state = LexState::Normal;
+                        }
+                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        *depth += 1;
+                        i += 2;
+                    } else {
+                        comment.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                LexState::RawString { hashes } => {
+                    if chars[i] == '"' {
+                        let mut ok = true;
+                        for k in 0..hashes {
+                            if chars.get(i + 1 + k) != Some(&'#') {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if ok {
+                            code.push('"');
+                            i += 1 + hashes;
+                            state = LexState::Normal;
+                            continue;
+                        }
+                    }
+                    i += 1;
+                }
+                LexState::Normal => {
+                    let c = chars[i];
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        comment.push_str(&raw[byte_offset(raw, i)..]);
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = LexState::BlockComment { depth: 1 };
+                        i += 2;
+                    } else if c == 'r' && !prev_is_ident(&chars, i) {
+                        if let Some(hashes) = raw_string_hashes(&chars, i + 1) {
+                            code.push('"');
+                            i += 2 + hashes;
+                            state = LexState::RawString { hashes };
+                        } else {
+                            code.push(c);
+                            i += 1;
+                        }
+                    } else if c == '"' {
+                        // Ordinary string literal: skip to the closing quote,
+                        // honouring escapes. Unterminated ⇒ rest of line.
+                        code.push('"');
+                        i += 1;
+                        while i < chars.len() {
+                            if chars[i] == '\\' {
+                                i += 2;
+                            } else if chars[i] == '"' {
+                                code.push('"');
+                                i += 1;
+                                break;
+                            } else {
+                                i += 1;
+                            }
+                        }
+                    } else if c == '\'' {
+                        // Char literal vs lifetime: a char literal closes
+                        // with ' after one (possibly escaped) character.
+                        if chars.get(i + 1) == Some(&'\\') {
+                            // Escaped char literal: skip to closing quote.
+                            i += 2;
+                            while i < chars.len() && chars[i] != '\'' {
+                                i += 1;
+                            }
+                            i += 1;
+                            code.push_str("' '");
+                        } else if chars.get(i + 2) == Some(&'\'') {
+                            code.push_str("' '");
+                            i += 3;
+                        } else {
+                            // Lifetime: keep the tick, it is inert.
+                            code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        code.push(c);
+                        i += 1;
+                    }
+                }
+            }
+        }
+        out.push(LineInfo {
+            code,
+            comment,
+            raw: raw.to_string(),
+            in_test: false,
+        });
+    }
+    out
+}
+
+fn byte_offset(s: &str, char_idx: usize) -> usize {
+    s.char_indices()
+        .nth(char_idx)
+        .map(|(b, _)| b)
+        .unwrap_or(s.len())
+}
+
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
+}
+
+/// If `chars[from..]` begins `#*"` (a raw-string opener after `r`), returns
+/// the hash count.
+fn raw_string_hashes(chars: &[char], from: usize) -> Option<usize> {
+    let mut hashes = 0;
+    let mut i = from;
+    while chars.get(i) == Some(&'#') {
+        hashes += 1;
+        i += 1;
+    }
+    if chars.get(i) == Some(&'"') {
+        Some(hashes)
+    } else {
+        None
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` items: from the attribute through the
+/// matching close brace (or trailing `;` for brace-less items).
+fn mark_test_regions(lines: &mut [LineInfo]) {
+    let mut depth: i64 = 0;
+    let mut test_until_depth: Option<i64> = None;
+    let mut pending = false;
+    for line in lines.iter_mut() {
+        let mut this_in_test = test_until_depth.is_some();
+        if line.code.contains("#[cfg(test)]") && test_until_depth.is_none() {
+            pending = true;
+        }
+        if pending {
+            this_in_test = true;
+        }
+        let mut end_after = false;
+        let mut pending_done_by_semi = false;
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if pending && test_until_depth.is_none() {
+                        test_until_depth = Some(depth - 1);
+                        pending = false;
+                    }
+                }
+                '}' => {
+                    depth -= 1;
+                    if let Some(d) = test_until_depth {
+                        if depth <= d {
+                            end_after = true;
+                        }
+                    }
+                }
+                // `#[cfg(test)] use ...;` — brace-less item ends here.
+                ';' if pending && test_until_depth.is_none() => {
+                    pending_done_by_semi = true;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = this_in_test;
+        if end_after {
+            test_until_depth = None;
+        }
+        if pending_done_by_semi {
+            pending = false;
+        }
+    }
+}
+
+/// A parsed `lint:allow(...)` waiver.
+struct Waiver {
+    line: usize,
+    rule: Option<Rule>,
+    reason: String,
+    /// Line range (inclusive) this waiver covers.
+    covers: (usize, usize),
+    used: bool,
+}
+
+const WAIVER_TAG: &str = "lint:allow(";
+
+fn parse_waivers(lines: &[LineInfo]) -> (Vec<Waiver>, Vec<(usize, String)>) {
+    let mut waivers = Vec::new();
+    let mut errors = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(tag) = line.comment.find(WAIVER_TAG) else {
+            continue;
+        };
+        let rest = &line.comment[tag + WAIVER_TAG.len()..];
+        let Some(close) = rest.find(')') else {
+            errors.push((i, "malformed waiver: missing ')'".to_string()));
+            continue;
+        };
+        let rule_name = rest[..close].trim();
+        let reason = rest[close + 1..].trim().to_string();
+        let rule = Rule::parse(rule_name);
+        if rule.is_none() {
+            errors.push((i, format!("waiver names unknown rule '{rule_name}'")));
+        }
+        if reason.is_empty() {
+            errors.push((i, "waiver has no reason".to_string()));
+        }
+        let covers = if line.code.trim().is_empty() {
+            standalone_coverage(lines, i)
+        } else {
+            (i, i)
+        };
+        waivers.push(Waiver {
+            line: i,
+            rule,
+            reason,
+            covers,
+            used: false,
+        });
+    }
+    (waivers, errors)
+}
+
+/// Coverage of a standalone waiver line: the next item. Attribute lines are
+/// skipped when locating the item's first line; if the item opens a brace
+/// block the coverage extends to the matching close, otherwise to the
+/// terminating `;`.
+fn standalone_coverage(lines: &[LineInfo], waiver_line: usize) -> (usize, usize) {
+    let mut j = waiver_line + 1;
+    while j < lines.len() {
+        let t = lines[j].code.trim();
+        if t.is_empty() || t.starts_with("#[") {
+            j += 1;
+        } else {
+            break;
+        }
+    }
+    if j >= lines.len() {
+        return (waiver_line, waiver_line);
+    }
+    let start = j;
+    let mut depth: i64 = 0;
+    let mut opened = false;
+    for (k, line) in lines.iter().enumerate().skip(start) {
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth -= 1,
+                ';' if !opened && depth == 0 => return (start, k),
+                _ => {}
+            }
+        }
+        if opened && depth <= 0 {
+            return (start, k);
+        }
+    }
+    (start, lines.len().saturating_sub(1))
+}
+
+/// Tokens banned by the determinism rule. Word-boundary matched.
+const DETERMINISM_TOKENS: &[&str] = &["HashMap", "HashSet", "SystemTime", "Instant", "thread_rng"];
+
+/// Panic-family macros banned by the panic-safety rule.
+const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// True if `hay` contains `token` delimited by non-identifier characters.
+fn contains_word(hay: &str, token: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(token) {
+        let at = from + pos;
+        let before_ok = at == 0
+            || !hay[..at]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = hay[at + token.len()..].chars().next();
+        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+        from = at + token.len();
+    }
+    false
+}
+
+/// True if `code` contains `ident[` — a possibly-panicking index expression.
+/// Array/slice *types* and attributes are not preceded by an identifier
+/// character, so they do not match.
+fn has_index_expr(code: &str) -> bool {
+    let chars: Vec<char> = code.chars().collect();
+    for i in 1..chars.len() {
+        if chars[i] == '[' {
+            let p = chars[i - 1];
+            if p.is_alphanumeric() || p == '_' || p == ')' || p == ']' {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Is this line the start of a `pub fn` item (not `pub(crate)`)?
+fn is_pub_fn(code: &str) -> bool {
+    let t = code.trim_start();
+    let Some(rest) = t.strip_prefix("pub ") else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    for qual in ["fn ", "const fn ", "async fn ", "unsafe fn "] {
+        if rest.starts_with(qual) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Does the `pub fn` at `lines[at]` have a doc comment (or `#[doc]`)
+/// directly above it, allowing intervening attribute lines?
+fn has_doc_above(lines: &[LineInfo], at: usize) -> bool {
+    let mut j = at;
+    while j > 0 {
+        j -= 1;
+        let raw = lines[j].raw.trim();
+        if raw.starts_with("#[doc") {
+            return true;
+        }
+        if raw.starts_with("///") || raw.starts_with("/**") || raw.ends_with("*/") {
+            return true;
+        }
+        // Attributes and plain comments between the doc and the item do not
+        // detach the doc comment.
+        if raw.starts_with("#[") || raw.starts_with("//") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Lints `source`, reporting findings against `path`. Test code
+/// (`#[cfg(test)]` regions) is exempt from every rule.
+pub fn lint_source(path: &Path, source: &str, rules: RuleSet) -> Vec<Finding> {
+    let mut lines = lex(source);
+    mark_test_regions(&mut lines);
+    let (mut waivers, waiver_errors) = parse_waivers(&lines);
+    let mut findings = Vec::new();
+
+    let emit = |findings: &mut Vec<Finding>,
+                    waivers: &mut Vec<Waiver>,
+                    line: usize,
+                    rule: Rule,
+                    message: String| {
+        for w in waivers.iter_mut() {
+            if w.rule == Some(rule) && line >= w.covers.0 && line <= w.covers.1 {
+                w.used = true;
+                return;
+            }
+        }
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line: line + 1,
+            rule,
+            message,
+        });
+    };
+
+    for (i, line) in lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        if rules.determinism {
+            for token in DETERMINISM_TOKENS {
+                if contains_word(&line.code, token) {
+                    emit(
+                        &mut findings,
+                        &mut waivers,
+                        i,
+                        Rule::Determinism,
+                        format!("nondeterministic construct `{token}`"),
+                    );
+                }
+            }
+        }
+        if rules.panic_safety {
+            if line.code.contains(".unwrap()") {
+                emit(
+                    &mut findings,
+                    &mut waivers,
+                    i,
+                    Rule::PanicSafety,
+                    "call to unwrap() on the hot path".to_string(),
+                );
+            }
+            if line.code.contains(".expect(") && !line.raw.contains(".expect(\"invariant:") {
+                emit(
+                    &mut findings,
+                    &mut waivers,
+                    i,
+                    Rule::PanicSafety,
+                    "expect() without an `invariant:` justification".to_string(),
+                );
+            }
+            for mac in PANIC_MACROS {
+                if line.code.contains(mac) {
+                    emit(
+                        &mut findings,
+                        &mut waivers,
+                        i,
+                        Rule::PanicSafety,
+                        format!("panic-family macro `{}...`", mac),
+                    );
+                }
+            }
+            if has_index_expr(&line.code) {
+                emit(
+                    &mut findings,
+                    &mut waivers,
+                    i,
+                    Rule::PanicSafety,
+                    "possibly-panicking slice index".to_string(),
+                );
+            }
+        }
+        if rules.api_docs && is_pub_fn(&line.code) && !has_doc_above(&lines, i) {
+            emit(
+                &mut findings,
+                &mut waivers,
+                i,
+                Rule::ApiDocs,
+                "pub fn without a doc comment".to_string(),
+            );
+        }
+    }
+
+    for (line, msg) in waiver_errors {
+        findings.push(Finding {
+            file: path.to_path_buf(),
+            line: line + 1,
+            rule: Rule::Waiver,
+            message: msg,
+        });
+    }
+    if rules.any() {
+        for w in &waivers {
+            // A waiver for a rule not applied to this file is not "unused" —
+            // only report waivers whose rule ran here and suppressed nothing.
+            let applicable = w.rule.is_some_and(|r| rules.enabled(r));
+            if applicable && !w.used && !w.reason.is_empty() {
+                findings.push(Finding {
+                    file: path.to_path_buf(),
+                    line: w.line + 1,
+                    rule: Rule::Waiver,
+                    message: format!(
+                        "unused waiver for `{}` — nothing to suppress",
+                        w.rule.map(Rule::name).unwrap_or("?")
+                    ),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Lints one file from disk.
+pub fn lint_file(path: &Path, rules: RuleSet) -> io::Result<Vec<Finding>> {
+    let source = fs::read_to_string(path)?;
+    Ok(lint_source(path, &source, rules))
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted for stable output.
+pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&d)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for p in entries {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// The workspace policy: which rules apply to which file.
+///
+/// - `determinism`: all of `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
+///   `wtpg-graph` sources.
+/// - `panic-safety`: `wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`.
+/// - `api-docs`: all of `wtpg-core/src`.
+pub fn rules_for(path: &Path) -> RuleSet {
+    let s = path.to_string_lossy().replace('\\', "/");
+    let in_crate = |name: &str| s.contains(&format!("crates/{name}/src/"));
+    let determinism = ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph"]
+        .iter()
+        .any(|c| in_crate(c));
+    let api_docs = in_crate("wtpg-core");
+    let panic_safety = in_crate("wtpg-core")
+        && (s.ends_with("/wtpg.rs") || s.ends_with("/estimate.rs") || s.contains("/sched/"));
+    RuleSet {
+        determinism,
+        panic_safety,
+        api_docs,
+    }
+}
+
+/// Lints the whole workspace rooted at `root` under the scoping policy.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for krate in ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph"] {
+        let src = root.join("crates").join(krate).join("src");
+        for file in rust_files(&src)? {
+            let rules = rules_for(&file);
+            findings.extend(lint_file(&file, rules)?);
+        }
+    }
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        lint_source(Path::new("test.rs"), src, RuleSet::ALL)
+    }
+
+    #[test]
+    fn clean_source_has_no_findings() {
+        let src = "/// Doc.\npub fn f(x: Option<u32>) -> u32 {\n    x.unwrap_or(0)\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn determinism_tokens_fire() {
+        let f = lint("use std::collections::HashMap;\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Determinism);
+    }
+
+    #[test]
+    fn determinism_word_boundary() {
+        assert!(lint("struct HashMapLike;\n").is_empty());
+    }
+
+    #[test]
+    fn tokens_in_strings_and_comments_ignored() {
+        assert!(lint("// HashMap is banned\nconst S: &str = \"HashMap\";\n").is_empty());
+    }
+
+    #[test]
+    fn unwrap_fires_and_waiver_suppresses() {
+        let f = lint("fn f() { x.unwrap(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::PanicSafety);
+        let w = lint("fn f() { x.unwrap(); } // lint:allow(panic-safety) x set above\n");
+        assert!(w.is_empty(), "{w:?}");
+    }
+
+    #[test]
+    fn invariant_expect_is_accepted() {
+        assert!(lint("fn f() { x.expect(\"invariant: set in new\"); }\n").is_empty());
+        let f = lint("fn f() { x.expect(\"oops\"); }\n");
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn index_expression_fires() {
+        let f = lint("fn f() { let y = v[i]; }\n");
+        assert_eq!(f.len(), 1);
+        assert!(lint("fn f(v: &[u32; 4]) {}\n").is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_whole_fn() {
+        let src = "// lint:allow(panic-safety) indices bounded by construction\n\
+                   fn f(v: &Vec<u32>) -> u32 {\n    v[0] + v[1]\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn unused_waiver_is_reported() {
+        let f = lint("// lint:allow(panic-safety) nothing here\nfn f() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::Waiver);
+    }
+
+    #[test]
+    fn waiver_without_reason_is_reported() {
+        let f = lint("fn f() { x.unwrap() } // lint:allow(panic-safety)\n");
+        assert!(f.iter().any(|f| f.rule == Rule::Waiver), "{f:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n    fn f() { x.unwrap(); }\n}\n";
+        assert!(lint(src).is_empty(), "{:?}", lint(src));
+    }
+
+    #[test]
+    fn pub_fn_without_doc_fires() {
+        let f = lint("pub fn undocumented() {}\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::ApiDocs);
+        assert!(lint("/// Doc.\npub fn documented() {}\n").is_empty());
+        assert!(lint("pub(crate) fn internal() {}\n").is_empty());
+    }
+
+    #[test]
+    fn doc_above_attributes_counts() {
+        assert!(lint("/// Doc.\n#[inline]\npub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn raw_strings_are_stripped() {
+        assert!(lint("const S: &str = r#\"HashMap .unwrap()\"#;\n").is_empty());
+    }
+}

@@ -1,0 +1,61 @@
+//! `wtpg-lint` entry point.
+//!
+//! - `cargo run -p wtpg-lint` — lints the workspace under the scoping policy
+//!   in [`wtpg_lint::rules_for`]; exits non-zero on any unwaived finding.
+//! - `cargo run -p wtpg-lint -- <path>...` — lints the given files or
+//!   directories with **all** rules enabled (used by the fixture corpus).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use wtpg_lint::{lint_file, lint_workspace, rust_files, Finding, RuleSet};
+
+/// The workspace root: this binary is always built in-tree, two levels below.
+fn workspace_root() -> PathBuf {
+    let mut d = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    d.pop();
+    d.pop();
+    d
+}
+
+fn lint_paths(args: &[String]) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for arg in args {
+        let p = Path::new(arg);
+        if p.is_dir() {
+            for file in rust_files(p)? {
+                findings.extend(lint_file(&file, RuleSet::ALL)?);
+            }
+        } else {
+            findings.extend(lint_file(p, RuleSet::ALL)?);
+        }
+    }
+    Ok(findings)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = if args.is_empty() {
+        lint_workspace(&workspace_root())
+    } else {
+        lint_paths(&args)
+    };
+    match result {
+        Ok(findings) => {
+            for f in &findings {
+                println!("{f}");
+            }
+            if findings.is_empty() {
+                println!("wtpg-lint: clean");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("wtpg-lint: {} finding(s)", findings.len());
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("wtpg-lint: i/o error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! The fixture corpus proves each lint rule fires on known-bad input and
+//! that the waiver mechanism silences justified occurrences, both through
+//! the library API and through the installed binary's exit code.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use wtpg_lint::{lint_file, Rule, RuleSet};
+
+fn fixture(name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn findings_for(name: &str) -> Vec<wtpg_lint::Finding> {
+    lint_file(&fixture(name), RuleSet::ALL).expect("fixture readable")
+}
+
+#[test]
+fn determinism_fixture_fires() {
+    let f = findings_for("bad_determinism.rs");
+    assert!(f.iter().all(|f| f.rule == Rule::Determinism), "{f:?}");
+    for token in ["HashMap", "HashSet", "SystemTime", "Instant", "thread_rng"] {
+        assert!(
+            f.iter().any(|f| f.message.contains(token)),
+            "no finding for {token}: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn panic_safety_fixture_fires() {
+    let f = findings_for("bad_panic_safety.rs");
+    assert!(f.iter().all(|f| f.rule == Rule::PanicSafety), "{f:?}");
+    for needle in ["unwrap()", "expect()", "slice index", "panic!", "unreachable!", "todo!"] {
+        assert!(
+            f.iter().any(|f| f.message.contains(needle)),
+            "no finding for {needle}: {f:?}"
+        );
+    }
+}
+
+#[test]
+fn api_docs_fixture_fires() {
+    let f = findings_for("bad_api_docs.rs");
+    let docs: Vec<_> = f.iter().filter(|f| f.rule == Rule::ApiDocs).collect();
+    // Exactly the three undocumented pub fns; the documented one and the
+    // pub(crate) one must not fire.
+    assert_eq!(docs.len(), 3, "{f:?}");
+}
+
+#[test]
+fn waived_fixture_is_clean() {
+    let f = findings_for("waived_clean.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn binary_exits_nonzero_on_bad_corpus_and_zero_on_waived() {
+    let bin = env!("CARGO_BIN_EXE_wtpg-lint");
+    let bad = Command::new(bin)
+        .arg(fixture("bad_determinism.rs"))
+        .arg(fixture("bad_panic_safety.rs"))
+        .arg(fixture("bad_api_docs.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert!(!bad.status.success(), "bad corpus must fail the lint");
+
+    let clean = Command::new(bin)
+        .arg(fixture("waived_clean.rs"))
+        .output()
+        .expect("lint binary runs");
+    assert!(
+        clean.status.success(),
+        "waived fixture must pass: {}",
+        String::from_utf8_lossy(&clean.stdout)
+    );
+}

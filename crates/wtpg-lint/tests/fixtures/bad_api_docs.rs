@@ -1,0 +1,16 @@
+// Known-bad fixture: `pub fn` items without doc comments.
+// This file is NOT compiled — it is input data for the lint's tests.
+
+pub fn no_doc_at_all() {}
+
+#[inline]
+pub fn attr_but_no_doc() {}
+
+pub const fn const_without_doc() -> u32 {
+    0
+}
+
+/// This one is documented and must NOT fire.
+pub fn documented() {}
+
+pub(crate) fn crate_visible_needs_no_doc() {}

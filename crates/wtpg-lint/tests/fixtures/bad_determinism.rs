@@ -1,0 +1,21 @@
+// Known-bad fixture: every construct the `determinism` rule must catch.
+// This file is NOT compiled — it is input data for the lint's tests.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+use std::time::SystemTime;
+use std::time::Instant;
+
+fn clock() -> u128 {
+    let _ = Instant::now();
+    SystemTime::now().elapsed().unwrap_or_default().as_nanos()
+}
+
+fn ambient_rng() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}
+
+fn hash_iteration(m: HashMap<u32, u32>, s: HashSet<u32>) -> u32 {
+    m.values().sum::<u32>() + s.len() as u32
+}

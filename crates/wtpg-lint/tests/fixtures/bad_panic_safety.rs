@@ -1,0 +1,30 @@
+// Known-bad fixture: every construct the `panic-safety` rule must catch.
+// This file is NOT compiled — it is input data for the lint's tests.
+
+fn unwraps(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn undocumented_expect(x: Option<u32>) -> u32 {
+    x.expect("should be there")
+}
+
+fn indexing(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+fn chained_indexing(m: &std::collections::BTreeMap<u32, Vec<u32>>) -> u32 {
+    m[&0][1]
+}
+
+fn panics() {
+    panic!("boom");
+}
+
+fn unreachable_macro() {
+    unreachable!();
+}
+
+fn todo_macro() {
+    todo!()
+}

@@ -1,0 +1,21 @@
+// All-waived fixture: every would-be finding carries a justified waiver,
+// so the lint must report nothing for this file.
+// This file is NOT compiled — it is input data for the lint's tests.
+
+use std::collections::HashMap; // lint:allow(determinism) fixture: never iterated, keyed lookups only
+
+fn trailing_waiver(x: Option<u32>) -> u32 {
+    x.unwrap() // lint:allow(panic-safety) fixture: caller guarantees Some
+}
+
+// lint:allow(panic-safety) fixture: i bounded by the loop above
+fn block_waiver(v: &[u32], i: usize) -> u32 {
+    v[i] + v[i + 0]
+}
+
+fn invariant_expect(x: Option<u32>) -> u32 {
+    x.expect("invariant: populated by new()")
+}
+
+// lint:allow(api-docs) fixture: internal helper exported for tests only
+pub fn waived_pub_fn() {}

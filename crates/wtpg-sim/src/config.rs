@@ -42,6 +42,13 @@ pub struct SimParams {
     pub seed: u64,
     /// `K` for the K-WTPG scheduler (the paper evaluates K = 2).
     pub k: usize,
+    /// Record the full history and certify it against the scheduler's
+    /// claimed guarantees at the end of the run
+    /// ([`wtpg_core::certify::certify_history`]). Off by default: recording
+    /// costs memory and the replay costs time. The `WTPG_CERTIFY=1`
+    /// environment variable enables it regardless of this field.
+    #[serde(default)]
+    pub certify: bool,
 }
 
 impl SimParams {
@@ -63,6 +70,7 @@ impl SimParams {
             warmup_ms: 0,
             seed: 42,
             k: 2,
+            certify: false,
         }
     }
 
@@ -134,5 +142,17 @@ mod tests {
         let s = serde_json::to_string(&p).unwrap();
         let q: SimParams = serde_json::from_str(&s).unwrap();
         assert_eq!(p, q);
+    }
+
+    #[test]
+    fn configs_without_certify_field_still_parse() {
+        // Configs written before the certifier existed must keep loading.
+        let s = serde_json::to_string(&SimParams::paper_defaults()).unwrap();
+        let without = s
+            .replace(",\"certify\":false", "")
+            .replace("\"certify\":false,", "");
+        assert!(!without.contains("certify"), "field not stripped: {without}");
+        let p: SimParams = serde_json::from_str(&without).unwrap();
+        assert!(!p.certify);
     }
 }

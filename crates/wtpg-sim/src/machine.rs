@@ -7,6 +7,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, Exp};
 
+use wtpg_core::certify::{certify_history, CertifyReport, CertifyViolation};
 use wtpg_core::history::{Event as HEvent, History};
 use wtpg_core::partition::{Catalog, PartitionId, Placement};
 use wtpg_core::sched::{Admission, ControlOps, LockOutcome, Scheduler};
@@ -94,7 +95,24 @@ pub struct Machine<W: Workload> {
     completions: Vec<CompletionRecord>,
     history: Option<History>,
     timeline: Option<Vec<QuantumRecord>>,
+    /// Certify the recorded history at the end of [`Machine::run`].
+    certify: bool,
+    /// The report of the end-of-run certification, when one ran and passed.
+    cert_report: Option<CertifyReport>,
+    /// Declared specs of every transaction ever admitted, for the certifier's
+    /// replay (kept only while certification is enabled).
+    spec_log: BTreeMap<TxnId, TxnSpec>,
     rng: StdRng,
+}
+
+/// True when the `WTPG_CERTIFY` environment variable requests certification
+/// ("1" or "true") — the hook CI uses to certify a whole test run without
+/// touching any configuration.
+fn env_certify() -> bool {
+    matches!(
+        std::env::var("WTPG_CERTIFY").ok().as_deref(),
+        Some("1") | Some("true")
+    )
 }
 
 impl<W: Workload> Machine<W> {
@@ -108,6 +126,7 @@ impl<W: Workload> Machine<W> {
         );
         let metrics = Metrics::new(params.num_nodes);
         let rng = StdRng::seed_from_u64(params.seed ^ 0x9e37_79b9_7f4a_7c15);
+        let certify = params.certify || env_certify();
         Machine {
             nodes: vec![DataNode::default(); params.num_nodes as usize],
             params,
@@ -123,10 +142,53 @@ impl<W: Workload> Machine<W> {
             next_txn_id: 1,
             metrics,
             completions: Vec::new(),
-            history: None,
+            history: if certify { Some(History::new()) } else { None },
             timeline: None,
+            certify,
+            cert_report: None,
+            spec_log: BTreeMap::new(),
             rng,
         }
+    }
+
+    /// Enables end-of-run certification (implies history recording). Also
+    /// switched on by `SimParams::certify` or the `WTPG_CERTIFY` environment
+    /// variable.
+    pub fn enable_certification(&mut self) {
+        self.certify = true;
+        if self.history.is_none() {
+            self.history = Some(History::new());
+        }
+    }
+
+    /// The report of [`Machine::run`]'s end-of-run certification, if one ran
+    /// (avoids replaying the history a second time just for the statistics).
+    pub fn certify_report(&self) -> Option<CertifyReport> {
+        self.cert_report
+    }
+
+    /// The declared spec of every transaction that ever arrived, as the
+    /// certifier needs them (empty unless certification is enabled).
+    pub fn spec_log(&self) -> &BTreeMap<TxnId, TxnSpec> {
+        &self.spec_log
+    }
+
+    /// Replays the recorded history against a fresh scheduler core and
+    /// checks the guarantees this machine's scheduler claims (chain form,
+    /// `|C(q)| ≤ K`, exclusion, serializability, …).
+    ///
+    /// # Errors
+    /// The first violation found, or a description of why certification
+    /// could not run (history recording was never enabled).
+    pub fn certify(&self) -> Result<CertifyReport, CertifyViolation> {
+        let Some(h) = &self.history else {
+            return Err(CertifyViolation {
+                at: usize::MAX,
+                tick: Tick::ZERO,
+                what: "history recording is not enabled".to_string(),
+            });
+        };
+        certify_history(h, &self.spec_log, self.sched.certify_mode())
     }
 
     /// Enables full history recording (for validation; costs memory).
@@ -197,8 +259,9 @@ impl<W: Workload> Machine<W> {
     /// `lambda_tps` transactions per second; returns the run report.
     ///
     /// # Panics
-    /// Panics if `lambda_tps <= 0` or if the scheduler reports a protocol
-    /// error (which would be a bug in this driver).
+    /// Panics if `lambda_tps <= 0`, if the scheduler reports a protocol
+    /// error (which would be a bug in this driver), or if certification is
+    /// enabled and the recorded history fails it.
     pub fn run(&mut self, lambda_tps: f64) -> RunReport {
         assert!(lambda_tps > 0.0, "arrival rate must be positive");
         self.schedule_next_arrival(lambda_tps);
@@ -215,12 +278,23 @@ impl<W: Workload> Machine<W> {
                 Event::Commit { txn } => self.handle_commit(txn),
             }
         }
+        if self.certify {
+            match self.certify() {
+                Ok(report) => self.cert_report = Some(report),
+                Err(v) => panic!("certification failed for {}: {v}", self.sched.name()),
+            }
+        }
         let measured = self.params.sim_length_ms - self.params.warmup_ms;
         self.metrics.report(measured)
     }
 
     fn handle_arrive(&mut self, spec: TxnSpec, lambda_tps: f64) {
         let id = spec.id;
+        if self.certify {
+            // Resubmissions carry the identical spec, so the insert is
+            // idempotent across retry attempts.
+            self.spec_log.insert(id, spec.clone());
+        }
         let first_attempt = !self.txns.contains_key(&id);
         if first_attempt {
             self.metrics.arrivals += 1;
@@ -406,6 +480,7 @@ impl<W: Workload> Machine<W> {
         self.sched
             .on_step_complete(txn, step)
             .expect("driver protocol violated at step completion");
+        self.record(HEvent::StepCompleted { txn, step });
         let last = step + 1 == self.txns[&txn].spec.len();
         if last {
             self.queue.push(self.now, Event::Commit { txn });
@@ -512,6 +587,40 @@ mod tests {
             h.check_strictness().unwrap();
             h.check_lock_exclusion().unwrap();
         }
+    }
+
+    #[test]
+    fn every_scheduler_certifies_its_own_run() {
+        for kind in SchedKind::MAIN_FIVE {
+            let params = SimParams {
+                certify: true,
+                ..tiny_params()
+            };
+            let mut m = Machine::new(params.clone(), kind.build(&params), one_part_workload());
+            // run() panics if certification fails.
+            let report = m.run(0.3);
+            assert!(report.completed > 0, "{kind:?} completed nothing");
+            let cert = m.certify().unwrap();
+            assert!(cert.grants > 0 && cert.commits > 0, "{kind:?}: {cert:?}");
+        }
+    }
+
+    #[test]
+    fn certification_does_not_change_the_trajectory() {
+        let run = |certify: bool| {
+            let params = SimParams {
+                certify,
+                ..tiny_params()
+            };
+            let mut m = Machine::new(
+                params.clone(),
+                SchedKind::KWtpg.build(&params),
+                one_part_workload(),
+            );
+            let r = m.run(0.3);
+            (r.completed, r.grants, r.blocks, r.delays, r.mean_rt_ms as u64)
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

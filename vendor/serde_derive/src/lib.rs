@@ -27,10 +27,16 @@ struct Input {
 }
 
 enum Kind {
-    NamedStruct(Vec<String>),
+    NamedStruct(Vec<Field>),
     TupleStruct(usize),
     UnitStruct,
     Enum(Vec<Variant>),
+}
+
+/// A named field and whether it carries `#[serde(default)]`.
+struct Field {
+    name: String,
+    default: bool,
 }
 
 struct Variant {
@@ -40,7 +46,7 @@ struct Variant {
 
 enum VariantFields {
     Unit,
-    Named(Vec<String>),
+    Named(Vec<Field>),
     Tuple(usize),
 }
 
@@ -77,6 +83,13 @@ impl Cursor {
 
     /// Skip any number of outer attributes `#[...]`.
     fn skip_attributes(&mut self) {
+        self.take_attributes();
+    }
+
+    /// Skip any number of outer attributes `#[...]`, returning true when one
+    /// of them is `#[serde(default)]` (possibly among other serde options).
+    fn take_attributes(&mut self) -> bool {
+        let mut has_default = false;
         while let Some(TokenTree::Punct(p)) = self.peek() {
             if p.as_char() != '#' {
                 break;
@@ -84,11 +97,13 @@ impl Cursor {
             self.pos += 1; // '#'
             match self.peek() {
                 Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    has_default |= attr_is_serde_default(g.stream());
                     self.pos += 1;
                 }
                 other => panic!("serde derive: malformed attribute, found {other:?}"),
             }
         }
+        has_default
     }
 
     /// Skip `pub`, `pub(crate)`, `pub(in ...)` etc.
@@ -162,11 +177,28 @@ fn parse_input(input: TokenStream) -> Input {
     Input { name, kind }
 }
 
-fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+/// True for the token stream of a `serde(...)` attribute body whose options
+/// include the bare ident `default`.
+fn attr_is_serde_default(stream: TokenStream) -> bool {
+    let mut toks = stream.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match toks.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "default")),
+        _ => false,
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
     let mut c = Cursor::new(stream);
     let mut fields = Vec::new();
     loop {
-        c.skip_attributes();
+        let default = c.take_attributes();
         if c.at_end() {
             break;
         }
@@ -177,7 +209,10 @@ fn parse_named_fields(stream: TokenStream) -> Vec<String> {
             other => panic!("serde derive: expected `:` after field `{field}`, found {other:?}"),
         }
         c.skip_past_top_level_comma();
-        fields.push(field);
+        fields.push(Field {
+            name: field,
+            default,
+        });
     }
     fields
 }
@@ -235,6 +270,7 @@ fn gen_serialize(input: &Input) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_node(&self.{f}))"
@@ -271,10 +307,15 @@ fn serialize_variant_arm(name: &str, v: &Variant) -> String {
              ::serde::Node::Str(::std::string::String::from(\"{vname}\")),"
         ),
         VariantFields::Named(fields) => {
-            let binds = fields.join(", ");
+            let binds = fields
+                .iter()
+                .map(|f| f.name.clone())
+                .collect::<Vec<_>>()
+                .join(", ");
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from(\"{f}\"), \
                          ::serde::Serialize::to_node({f}))"
@@ -386,12 +427,23 @@ fn gen_deserialize(input: &Input) -> String {
     )
 }
 
-fn named_field_init(field: &str) -> String {
-    format!(
-        "{field}: ::serde::Deserialize::from_node(\
-             ::serde::node::get(__entries, \"{field}\")\
-                 .ok_or_else(|| ::serde::Error::missing_field(\"{field}\"))?)?"
-    )
+fn named_field_init(f: &Field) -> String {
+    let field = &f.name;
+    if f.default {
+        format!(
+            "{field}: match ::serde::node::get(__entries, \"{field}\") {{\
+                 ::std::option::Option::Some(__n) => \
+                     ::serde::Deserialize::from_node(__n)?,\
+                 ::std::option::Option::None => ::std::default::Default::default(),\
+             }}"
+        )
+    } else {
+        format!(
+            "{field}: ::serde::Deserialize::from_node(\
+                 ::serde::node::get(__entries, \"{field}\")\
+                     .ok_or_else(|| ::serde::Error::missing_field(\"{field}\"))?)?"
+        )
+    }
 }
 
 fn deserialize_variant_arm(name: &str, v: &Variant) -> String {
