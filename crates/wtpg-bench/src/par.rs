@@ -5,16 +5,23 @@
 //! results come back in index order — then averaging sums in the same order
 //! as the old serial loop and the output is bit-identical. No external
 //! crates: `std::thread::scope` plus an atomic work counter.
+//!
+//! ## Thread-count override
+//!
+//! Set `WTPG_BENCH_THREADS` to pin the pool size; unset, the pool matches
+//! the machine's available parallelism. `0`, `1`, or an unparsable value
+//! force the bit-identical serial path — the same convention the engine's
+//! `WTPG_ENGINE_THREADS` uses, via the shared parser in
+//! [`wtpg_rt::env::env_threads`].
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+
+use wtpg_rt::env::env_threads_or_available;
 
 /// Worker count: `WTPG_BENCH_THREADS` if set (0 or 1 forces the serial
 /// path), otherwise the machine's available parallelism.
 fn worker_count() -> usize {
-    match std::env::var("WTPG_BENCH_THREADS") {
-        Ok(v) => v.trim().parse().unwrap_or(1),
-        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get()),
-    }
+    env_threads_or_available("WTPG_BENCH_THREADS")
 }
 
 /// Computes `f(0), f(1), …, f(n-1)` across a pool of scoped threads and

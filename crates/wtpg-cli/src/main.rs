@@ -10,6 +10,11 @@
 //!               [--scheduler NAME]      the run report
 //!               [--lambda F] [--sim-ms N] [--hots N] [--sigma F] [--seed N]
 //!               [--certify]               record the history and certify it
+//! wtpg engine   [--sched NAME]          execute a batch on the real
+//!               [--threads N]           multi-threaded engine; --grid
+//!               [--txns N] [--pattern 1|2|3] [--hots N] [--seed N]
+//!               [--queue N] [--k N] [--keeptime MS] [--no-certify]
+//!               [--grid] [--out FILE]   sweeps sched × threads × contention
 //! ```
 //!
 //! Workloads use the paper's notation, one transaction per line:
@@ -21,6 +26,7 @@
 
 use std::io::Read as _;
 
+mod engine;
 mod plan;
 mod simulate;
 mod trace;
@@ -32,6 +38,7 @@ fn main() {
         Some("dot") => plan::run(&args[1..], true),
         Some("trace") => trace::run(&args[1..]),
         Some("simulate") => simulate::run(&args[1..]),
+        Some("engine") => engine::run(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_help();
             Ok(())
@@ -58,6 +65,9 @@ fn print_help() {
            wtpg trace    <workload.txt | -> [--scheduler chain|k2|gwtpg|asl|c2pl]\n\
            wtpg simulate [--pattern 1|2|3] [--scheduler S] [--lambda F]\n\
                          [--sim-ms N] [--hots N] [--sigma F] [--seed N] [--certify]\n\
+           wtpg engine   [--sched S] [--threads N] [--txns N] [--pattern 1|2|3]\n\
+                         [--hots N] [--seed N] [--queue N] [--k N] [--keeptime MS]\n\
+                         [--no-certify] [--grid] [--out FILE]\n\
          \n\
          workload lines use the paper's notation: T1: r(A:1) -> w(B:0.2)"
     );

@@ -102,6 +102,41 @@ fn simulate_prints_a_report() {
 }
 
 #[test]
+fn engine_runs_a_certified_batch() {
+    let (stdout, stderr, ok) = wtpg(
+        &[
+            "engine", "--sched", "chain", "--threads", "4", "--txns", "50", "--seed", "11",
+        ],
+        None,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("CHAIN | 4 threads"));
+    assert!(stdout.contains("committed  : 50"));
+    assert!(stdout.contains("certified  : clean"));
+    assert!(stdout.contains("consistent"));
+}
+
+#[test]
+fn engine_writes_a_json_report() {
+    let dir = std::env::temp_dir().join("wtpg-cli-engine-test");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let out = dir.join("engine_cell.json");
+    let out_str = out.to_str().expect("utf-8 temp path");
+    let (stdout, stderr, ok) = wtpg(
+        &[
+            "engine", "--sched", "k2", "--threads", "2", "--txns", "30", "--out", out_str,
+        ],
+        None,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote"));
+    let json = std::fs::read_to_string(&out).expect("report written");
+    assert!(json.contains("\"scheduler\""));
+    assert!(json.contains("\"throughput_tps\""));
+    std::fs::remove_file(&out).ok();
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let (_, stderr, ok) = wtpg(&["plan", "-"], Some("T1: fly(A:1)"));
     assert!(!ok);
@@ -118,7 +153,7 @@ fn bad_input_fails_cleanly() {
 fn help_lists_commands() {
     let (_, stderr, ok) = wtpg(&["--help"], None);
     assert!(ok);
-    for cmd in ["plan", "dot", "trace", "simulate"] {
+    for cmd in ["plan", "dot", "trace", "simulate", "engine"] {
         assert!(stderr.contains(cmd));
     }
 }

@@ -7,11 +7,17 @@
 //!   platform-dependent), no `SystemTime`/`Instant` (wall-clock reads), no
 //!   ambient `thread_rng` in `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
 //!   `wtpg-graph`. Every experiment depends on bit-identical trajectories.
+//!   `wtpg-rt` is *exempt*: a real-time engine reads wall clocks and lets
+//!   thread interleavings vary by design — its determinism story is replay
+//!   certification of the recorded history, not bit-identical trajectories.
 //! - `panic-safety` — no `unwrap()`, undocumented `expect()`, panic-family
 //!   macros, or possibly-panicking slice indexing in the scheduler hot path
-//!   (`wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`). The accepted
-//!   documented form is `expect("invariant: ...")`.
-//! - `api-docs` — every `pub fn` in `wtpg-core/src` carries a doc comment.
+//!   (`wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`) or anywhere in
+//!   `wtpg-rt/src` (a worker panic while holding the control mutex poisons
+//!   the whole engine). The accepted documented form is
+//!   `expect("invariant: ...")`.
+//! - `api-docs` — every `pub fn` in `wtpg-core/src` and `wtpg-rt/src`
+//!   carries a doc comment.
 //!
 //! Findings are suppressed with an inline waiver comment carrying a reason:
 //!
@@ -661,18 +667,22 @@ pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
 /// The workspace policy: which rules apply to which file.
 ///
 /// - `determinism`: all of `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
-///   `wtpg-graph` sources.
-/// - `panic-safety`: `wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`.
-/// - `api-docs`: all of `wtpg-core/src`.
+///   `wtpg-graph` sources — but **not** `wtpg-rt`, whose wall clocks and
+///   free-running threads are the point (its runs are checked by replay
+///   certification instead).
+/// - `panic-safety`: `wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`, and
+///   all of `wtpg-rt/src` (a panic on an engine thread poisons shared locks).
+/// - `api-docs`: all of `wtpg-core/src` and `wtpg-rt/src`.
 pub fn rules_for(path: &Path) -> RuleSet {
     let s = path.to_string_lossy().replace('\\', "/");
     let in_crate = |name: &str| s.contains(&format!("crates/{name}/src/"));
     let determinism = ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph"]
         .iter()
         .any(|c| in_crate(c));
-    let api_docs = in_crate("wtpg-core");
-    let panic_safety = in_crate("wtpg-core")
-        && (s.ends_with("/wtpg.rs") || s.ends_with("/estimate.rs") || s.contains("/sched/"));
+    let api_docs = in_crate("wtpg-core") || in_crate("wtpg-rt");
+    let panic_safety = in_crate("wtpg-rt")
+        || (in_crate("wtpg-core")
+            && (s.ends_with("/wtpg.rs") || s.ends_with("/estimate.rs") || s.contains("/sched/")));
     RuleSet {
         determinism,
         panic_safety,
@@ -683,7 +693,7 @@ pub fn rules_for(path: &Path) -> RuleSet {
 /// Lints the whole workspace rooted at `root` under the scoping policy.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
-    for krate in ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph"] {
+    for krate in ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph", "wtpg-rt"] {
         let src = root.join("crates").join(krate).join("src");
         for file in rust_files(&src)? {
             let rules = rules_for(&file);

@@ -5,7 +5,7 @@
 use std::path::{Path, PathBuf};
 use std::process::Command;
 
-use wtpg_lint::{lint_file, Rule, RuleSet};
+use wtpg_lint::{lint_file, rules_for, Rule, RuleSet};
 
 fn fixture(name: &str) -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -54,6 +54,45 @@ fn api_docs_fixture_fires() {
 fn waived_fixture_is_clean() {
     let f = findings_for("waived_clean.rs");
     assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn rt_scope_fixture_is_clean_under_engine_rules_only() {
+    // The engine rule set: determinism off, panic-safety and api-docs on.
+    let engine_rules = RuleSet {
+        determinism: false,
+        panic_safety: true,
+        api_docs: true,
+    };
+    let clean = lint_file(&fixture("rt_scope.rs"), engine_rules).expect("fixture readable");
+    assert!(clean.is_empty(), "{clean:?}");
+    // Under the full rule set the same file has determinism findings
+    // (Instant) and nothing else — proving the exemption is what keeps it
+    // clean, not the file being trivially empty.
+    let full = findings_for("rt_scope.rs");
+    assert!(!full.is_empty(), "fixture must trip determinism under ALL");
+    assert!(full.iter().all(|f| f.rule == Rule::Determinism), "{full:?}");
+}
+
+#[test]
+fn workspace_policy_scopes_wtpg_rt() {
+    // Engine sources: determinism exempt, panic-safety + api-docs enforced.
+    for file in [
+        "crates/wtpg-rt/src/engine.rs",
+        "crates/wtpg-rt/src/queue.rs",
+        "crates/wtpg-rt/src/lib.rs",
+    ] {
+        let r = rules_for(Path::new(file));
+        assert!(!r.determinism, "{file}: determinism must be exempt");
+        assert!(r.panic_safety, "{file}: panic-safety must be enforced");
+        assert!(r.api_docs, "{file}: api-docs must be enforced");
+    }
+    // The simulator keeps the determinism rule.
+    let sim = rules_for(Path::new("crates/wtpg-sim/src/machine.rs"));
+    assert!(sim.determinism);
+    // Core hot path keeps all three.
+    let core = rules_for(Path::new("crates/wtpg-core/src/sched/chain.rs"));
+    assert!(core.determinism && core.panic_safety && core.api_docs);
 }
 
 #[test]

@@ -1,0 +1,26 @@
+//! Fixture pinning the `wtpg-rt` scoping policy: this file is *clean* under
+//! the engine's rule set (panic-safety + api-docs, determinism off) but has
+//! determinism findings under `RuleSet::ALL`. An engine source file is
+//! allowed wall clocks and OS threads; it is not allowed panics or
+//! undocumented API.
+
+use std::time::Instant;
+
+/// Measures how long `f` takes — wall-clock reads are fine in the engine.
+pub fn timed<T>(f: impl FnOnce() -> T) -> (T, u128) {
+    let start = Instant::now();
+    let out = f();
+    (out, start.elapsed().as_micros())
+}
+
+/// Joins a worker, converting a poisoned result without panicking.
+pub fn join_worker(handle: std::thread::JoinHandle<u64>) -> u64 {
+    handle
+        .join()
+        .expect("invariant: engine workers return errors instead of panicking")
+}
+
+/// Safe lookup: indexing is banned, `get` is the accepted form.
+pub fn first(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or(0)
+}

@@ -1,0 +1,128 @@
+//! Capped exponential backoff with deterministic jitter.
+//!
+//! The paper's retry discipline is "resubmitted after a fixed delay"; a real
+//! engine under contention needs the delay to grow (or rejected CHAIN
+//! admissions hammer the control-node mutex) and to be jittered (or every
+//! rejected worker wakes in lock-step and collides again). Delays double per
+//! attempt up to a cap; the actual sleep is drawn uniformly from
+//! `[delay/2, delay]` using a per-worker xorshift generator so tests can
+//! seed workers deterministically without `rand`'s thread-local state.
+
+use std::time::Duration;
+
+/// Backoff policy: delays double from `base_us` up to `cap_us`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Backoff {
+    /// First-retry delay, microseconds.
+    pub base_us: u64,
+    /// Ceiling on the uncapped exponential, microseconds.
+    pub cap_us: u64,
+}
+
+impl Backoff {
+    /// The engine default: 50 µs doubling up to 5 ms — long enough to let a
+    /// conflicting bulk step finish, short enough not to idle the pool.
+    pub const DEFAULT: Backoff = Backoff {
+        base_us: 50,
+        cap_us: 5_000,
+    };
+
+    /// The full (pre-jitter) delay for the `attempt`-th consecutive retry
+    /// (attempt 0 is the first retry).
+    pub fn delay_us(self, attempt: u32) -> u64 {
+        let shift = attempt.min(20);
+        self.base_us
+            .saturating_mul(1u64 << shift)
+            .min(self.cap_us.max(self.base_us))
+    }
+
+    /// Sleeps for the jittered delay of `attempt`, drawing jitter from `rng`.
+    pub fn sleep(self, attempt: u32, rng: &mut XorShift) {
+        let full = self.delay_us(attempt);
+        let half = full / 2;
+        let jittered = half + rng.next_below(half + 1);
+        if jittered > 0 {
+            std::thread::sleep(Duration::from_micros(jittered));
+        }
+    }
+}
+
+impl Default for Backoff {
+    fn default() -> Backoff {
+        Backoff::DEFAULT
+    }
+}
+
+/// A tiny xorshift64* generator — one per worker, seeded from the engine
+/// seed and the worker index, so backoff jitter needs no shared state.
+#[derive(Clone, Debug)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeds the generator; a zero seed is mapped to a fixed nonzero one.
+    pub fn new(seed: u64) -> XorShift {
+        XorShift(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    /// Uniform-ish value in `[0, bound)`; returns 0 for `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_double_then_cap() {
+        let b = Backoff {
+            base_us: 100,
+            cap_us: 1000,
+        };
+        assert_eq!(b.delay_us(0), 100);
+        assert_eq!(b.delay_us(1), 200);
+        assert_eq!(b.delay_us(3), 800);
+        assert_eq!(b.delay_us(4), 1000);
+        assert_eq!(b.delay_us(63), 1000); // shift clamp: no overflow
+    }
+
+    #[test]
+    fn cap_below_base_still_returns_base() {
+        let b = Backoff {
+            base_us: 500,
+            cap_us: 10,
+        };
+        assert_eq!(b.delay_us(0), 500);
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_bounded() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        for _ in 0..100 {
+            assert!(a.next_below(10) < 10);
+        }
+        assert_eq!(a.next_below(0), 0);
+        // Zero seed must not collapse to a constant stream.
+        let mut z = XorShift::new(0);
+        assert_ne!(z.next_u64(), z.next_u64());
+    }
+}

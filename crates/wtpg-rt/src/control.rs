@@ -1,0 +1,264 @@
+//! The control node: one mutex, one scheduler, one certified history.
+//!
+//! The paper's machine has a single control node that owns the lock table
+//! and the WTPG (§2.2). The engine mirrors that literally: every scheduler
+//! interaction — admission, lock request, progress, step completion, commit
+//! — takes the one control mutex, draws the next instant from a shared
+//! [`LogicalClock`], and appends the outcome to a [`History`]. The recorded
+//! log is therefore a *linearization* of the concurrent run in exactly the
+//! order the scheduler saw it, which is what makes post-run replay
+//! certification ([`wtpg_core::certify::certify_history`]) sound for real
+//! multi-threaded executions.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use wtpg_core::error::CoreError;
+use wtpg_core::history::{Event, History};
+use wtpg_core::sched::{Admission, ControlOps, LockOutcome, Scheduler};
+use wtpg_core::time::{LogicalClock, Tick};
+use wtpg_core::txn::{TxnId, TxnSpec};
+use wtpg_core::work::Work;
+
+/// Counters of every control-node decision, aggregated across workers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ControlCounters {
+    /// Successful admissions.
+    pub admissions: u64,
+    /// Rejected admissions (each is one abort-and-resubmit cycle).
+    pub rejections: u64,
+    /// Granted lock requests.
+    pub grants: u64,
+    /// Requests turned away because a conflicting lock was held.
+    pub blocks: u64,
+    /// Requests the scheduler chose to delay (W-inconsistency, lost `E(q)`
+    /// comparison, predicted deadlock).
+    pub delays: u64,
+    /// Commits.
+    pub commits: u64,
+    /// Scheduler-internal work (deadlock tests, `W` optimisations, `E(q)`
+    /// evaluations), summed over the whole run.
+    pub ops: ControlOps,
+}
+
+struct ControlState {
+    sched: Box<dyn Scheduler + Send>,
+    history: History,
+    specs: BTreeMap<TxnId, TxnSpec>,
+    counters: ControlCounters,
+}
+
+/// The engine's single admission/lock-grant authority.
+pub struct ControlNode {
+    state: Mutex<ControlState>,
+    clock: LogicalClock,
+}
+
+/// Everything the control node recorded, released after the workers stop.
+pub struct ControlAudit {
+    /// The linearized event log.
+    pub history: History,
+    /// Declarations of every transaction that was ever admitted.
+    pub specs: BTreeMap<TxnId, TxnSpec>,
+    /// Decision counters.
+    pub counters: ControlCounters,
+    /// The last logical instant issued.
+    pub final_tick: Tick,
+}
+
+impl ControlNode {
+    /// Wraps `sched` as the machine's control node.
+    pub fn new(sched: Box<dyn Scheduler + Send>) -> ControlNode {
+        ControlNode {
+            state: Mutex::new(ControlState {
+                sched,
+                history: History::new(),
+                specs: BTreeMap::new(),
+                counters: ControlCounters::default(),
+            }),
+            clock: LogicalClock::new(),
+        }
+    }
+
+    fn locked(&self) -> std::sync::MutexGuard<'_, ControlState> {
+        self.state
+            .lock()
+            .expect("invariant: control lock is never poisoned (worker panics abort the run)")
+    }
+
+    /// Submits a transaction's declarations. On rejection the scheduler has
+    /// rolled everything back; the caller backs off and resubmits the same
+    /// spec under the same id.
+    pub fn arrive(&self, spec: &TxnSpec) -> Result<Admission, CoreError> {
+        let mut s = self.locked();
+        let now = self.clock.next();
+        let (admission, ops) = s.sched.on_arrive(spec, now)?;
+        s.counters.ops = s.counters.ops.merge(ops);
+        match admission {
+            Admission::Admitted => {
+                s.counters.admissions += 1;
+                s.specs.entry(spec.id).or_insert_with(|| spec.clone());
+                s.history.push(now, Event::Admitted(spec.id));
+            }
+            Admission::Rejected => {
+                s.counters.rejections += 1;
+                // Only admitted ids need specs for replay, but a rejected
+                // spec is recorded too: re-admission reuses the same id.
+                s.specs.entry(spec.id).or_insert_with(|| spec.clone());
+                s.history.push(now, Event::Rejected(spec.id));
+            }
+        }
+        Ok(admission)
+    }
+
+    /// Requests the lock for `txn`'s step `step`. Grants record the history
+    /// event; blocked/delayed outcomes leave no trace (matching the
+    /// simulator) and the caller retries after a backoff.
+    pub fn request(&self, txn: TxnId, step: usize) -> Result<LockOutcome, CoreError> {
+        let mut s = self.locked();
+        let now = self.clock.next();
+        let (outcome, ops) = s.sched.on_request(txn, step, now)?;
+        s.counters.ops = s.counters.ops.merge(ops);
+        match outcome {
+            LockOutcome::Granted => {
+                s.counters.grants += 1;
+                let declared = s
+                    .specs
+                    .get(&txn)
+                    .and_then(|spec| spec.steps().get(step))
+                    .copied()
+                    .ok_or(CoreError::BadStep { txn, step })?;
+                s.history.push(
+                    now,
+                    Event::Granted {
+                        txn,
+                        step,
+                        partition: declared.partition,
+                        mode: declared.mode,
+                    },
+                );
+            }
+            LockOutcome::Blocked => s.counters.blocks += 1,
+            LockOutcome::Delayed => s.counters.delays += 1,
+        }
+        Ok(outcome)
+    }
+
+    /// Reports `amount` of bulk work done at a data node — the per-object
+    /// weight-adjustment message.
+    pub fn progress(&self, txn: TxnId, amount: Work) -> Result<(), CoreError> {
+        let mut s = self.locked();
+        let now = self.clock.next();
+        s.sched.on_progress(txn, amount)?;
+        s.history.push(now, Event::Progress { txn, amount });
+        Ok(())
+    }
+
+    /// Reports that `txn`'s step `step` finished all its declared work.
+    pub fn step_complete(&self, txn: TxnId, step: usize) -> Result<(), CoreError> {
+        let mut s = self.locked();
+        let now = self.clock.next();
+        s.sched.on_step_complete(txn, step)?;
+        s.history.push(now, Event::StepCompleted { txn, step });
+        Ok(())
+    }
+
+    /// Commits `txn`, releasing its locks.
+    pub fn commit(&self, txn: TxnId) -> Result<(), CoreError> {
+        let mut s = self.locked();
+        let now = self.clock.next();
+        s.sched.on_commit(txn, now)?;
+        s.counters.commits += 1;
+        s.history.push(now, Event::Committed(txn));
+        Ok(())
+    }
+
+    /// The scheduler's display name.
+    pub fn sched_name(&self) -> String {
+        self.locked().sched.name().to_string()
+    }
+
+    /// The certification mode the wrapped scheduler claims.
+    pub fn certify_mode(&self) -> wtpg_core::certify::CertifyMode {
+        self.locked().sched.certify_mode()
+    }
+
+    /// Admitted, uncommitted transactions right now.
+    pub fn active_txns(&self) -> usize {
+        self.locked().sched.active_txns()
+    }
+
+    /// Consumes the control node, releasing the recorded history, the spec
+    /// log, and the counters.
+    pub fn into_audit(self) -> ControlAudit {
+        let final_tick = self.clock.now();
+        let state = self
+            .state
+            .into_inner()
+            .expect("invariant: control lock is never poisoned (worker panics abort the run)");
+        ControlAudit {
+            history: state.history,
+            specs: state.specs,
+            counters: state.counters,
+            final_tick,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtpg_core::certify::{certify_history, CertifyMode};
+    use wtpg_core::sched::C2plScheduler;
+    use wtpg_core::txn::StepSpec;
+
+    fn spec(id: u64, steps: Vec<StepSpec>) -> TxnSpec {
+        TxnSpec::new(TxnId(id), steps)
+    }
+
+    #[test]
+    fn full_lifecycle_records_a_certifiable_history() {
+        let cn = ControlNode::new(Box::new(C2plScheduler::new()));
+        let t = spec(1, vec![StepSpec::write(0, 2.0), StepSpec::read(1, 1.0)]);
+        assert_eq!(cn.arrive(&t).unwrap(), Admission::Admitted);
+        for step in 0..2 {
+            assert_eq!(cn.request(TxnId(1), step).unwrap(), LockOutcome::Granted);
+            cn.progress(TxnId(1), Work::from_objects(1)).unwrap();
+            cn.step_complete(TxnId(1), step).unwrap();
+        }
+        cn.commit(TxnId(1)).unwrap();
+        assert_eq!(cn.active_txns(), 0);
+        let audit = cn.into_audit();
+        assert_eq!(audit.counters.admissions, 1);
+        assert_eq!(audit.counters.grants, 2);
+        assert_eq!(audit.counters.commits, 1);
+        // 1 arrive + 2×(request+progress+complete) + 1 commit = 8 ticks.
+        assert_eq!(audit.final_tick, Tick(8));
+        let report = certify_history(&audit.history, &audit.specs, CertifyMode::General)
+            .expect("lifecycle certifies");
+        assert_eq!(report.commits, 1);
+    }
+
+    #[test]
+    fn concurrent_nonconflicting_txns_interleave_cleanly() {
+        let cn = ControlNode::new(Box::new(C2plScheduler::new()));
+        std::thread::scope(|s| {
+            for id in 1..=8u64 {
+                let cn = &cn;
+                s.spawn(move || {
+                    // Each transaction touches its own partition: no contention.
+                    let t = spec(id, vec![StepSpec::write(id as u32, 1.0)]);
+                    assert_eq!(cn.arrive(&t).unwrap(), Admission::Admitted);
+                    assert_eq!(cn.request(TxnId(id), 0).unwrap(), LockOutcome::Granted);
+                    cn.progress(TxnId(id), Work::from_objects(1)).unwrap();
+                    cn.step_complete(TxnId(id), 0).unwrap();
+                    cn.commit(TxnId(id)).unwrap();
+                });
+            }
+        });
+        let audit = cn.into_audit();
+        assert_eq!(audit.counters.commits, 8);
+        certify_history(&audit.history, &audit.specs, CertifyMode::General)
+            .expect("interleaved run certifies");
+    }
+}

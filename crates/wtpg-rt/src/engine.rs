@@ -1,0 +1,358 @@
+//! The execution engine: queue → control node → workers → certify.
+//!
+//! [`run_engine`] drives a batch of declared transactions to commit on a
+//! pool of OS worker threads:
+//!
+//! 1. the submitter pushes every [`TxnSpec`] into a bounded queue, blocking
+//!    when workers fall behind (backpressure);
+//! 2. each worker owns one transaction at a time and drives the paper's
+//!    protocol against the [`ControlNode`]: admission (retried with capped
+//!    exponential backoff when CHAIN/K-WTPG/ASL reject), per-step lock
+//!    requests (retried on blocked/delayed), real bulk work against the
+//!    [`ShardedStore`] with per-object progress reports, then commit;
+//! 3. after the pool drains, the recorded history is replay-certified and
+//!    the store's conservation invariant is checked.
+//!
+//! Every transaction that enters the queue is executed to commit — workers
+//! never give up on a transaction, so a finished run with a clean certifier
+//! is proof the scheduler neither starved nor corrupted anything under real
+//! concurrency.
+
+use std::time::Instant;
+
+use wtpg_core::certify::{certify_history, CertifyViolation};
+use wtpg_core::error::CoreError;
+use wtpg_core::partition::Catalog;
+use wtpg_core::sched::{Admission, LockOutcome, Scheduler};
+use wtpg_core::txn::{AccessMode, TxnSpec};
+use wtpg_core::work::Work;
+
+use crate::backoff::{Backoff, XorShift};
+use crate::control::ControlNode;
+use crate::metrics::{EngineReport, LatencySummary};
+use crate::queue::BoundedQueue;
+use crate::store::ShardedStore;
+
+/// A scheduler that may be driven from worker threads.
+pub type SendScheduler = Box<dyn Scheduler + Send>;
+
+/// Engine tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Worker threads executing transactions.
+    pub threads: usize,
+    /// Capacity of the submission queue; a full queue blocks the submitter.
+    pub queue_depth: usize,
+    /// Retry backoff for rejected admissions and blocked/delayed requests.
+    pub backoff: Backoff,
+    /// Replay-certify the recorded history after the run.
+    pub certify: bool,
+    /// Milli-objects per progress report (default: one object, the paper's
+    /// per-object weight-adjustment granularity).
+    pub progress_chunk_units: u64,
+    /// Seed for the workers' backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            threads: 4,
+            queue_depth: 64,
+            backoff: Backoff::DEFAULT,
+            certify: true,
+            progress_chunk_units: 1000,
+            seed: 42,
+        }
+    }
+}
+
+/// A failed engine run.
+#[derive(Clone, Debug)]
+pub enum EngineError {
+    /// A worker drove the scheduler protocol into an error — an engine bug.
+    Core(CoreError),
+    /// The recorded history failed replay certification — a scheduler or
+    /// engine bug observed under real concurrency.
+    Certify(CertifyViolation),
+    /// The store's conservation invariant broke: committed bulk updates are
+    /// not all visible in the cells.
+    StoreDiverged {
+        /// Milli-object write units the committed workload declared.
+        expected: u64,
+        /// Sum over all cells.
+        cells: u64,
+        /// Units tallied at write time.
+        tallied: u64,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Core(e) => write!(f, "scheduler protocol error: {e}"),
+            EngineError::Certify(v) => write!(f, "history failed certification: {v}"),
+            EngineError::StoreDiverged {
+                expected,
+                cells,
+                tallied,
+            } => write!(
+                f,
+                "store diverged: expected {expected} write units, cells sum to {cells}, \
+                 tally says {tallied}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<CoreError> for EngineError {
+    fn from(e: CoreError) -> EngineError {
+        EngineError::Core(e)
+    }
+}
+
+/// One queued transaction, stamped at submission for latency accounting.
+struct Job {
+    spec: TxnSpec,
+    submitted: Instant,
+}
+
+/// Per-worker tallies, merged into the report after the join.
+#[derive(Default)]
+struct WorkerStats {
+    latencies_us: Vec<u64>,
+    read_checksum: u64,
+    max_retry_streak: u32,
+}
+
+/// Drives `spec` to commit: admission with backoff, per-step grant /
+/// execute / progress / complete, then commit.
+fn run_txn(
+    job: &Job,
+    control: &ControlNode,
+    store: &ShardedStore,
+    cfg: &EngineConfig,
+    rng: &mut XorShift,
+    stats: &mut WorkerStats,
+) -> Result<(), EngineError> {
+    let spec = &job.spec;
+    let mut streak = 0u32;
+    loop {
+        match control.arrive(spec)? {
+            Admission::Admitted => break,
+            Admission::Rejected => {
+                cfg.backoff.sleep(streak, rng);
+                streak = streak.saturating_add(1);
+            }
+        }
+    }
+    stats.max_retry_streak = stats.max_retry_streak.max(streak);
+    for (i, step) in spec.steps().iter().enumerate() {
+        let mut streak = 0u32;
+        loop {
+            match control.request(spec.id, i)? {
+                LockOutcome::Granted => break,
+                LockOutcome::Blocked | LockOutcome::Delayed => {
+                    cfg.backoff.sleep(streak, rng);
+                    streak = streak.saturating_add(1);
+                }
+            }
+        }
+        stats.max_retry_streak = stats.max_retry_streak.max(streak);
+        // The lock is held: run the bulk operation at the owning data node,
+        // one progress chunk at a time.
+        let units = step.actual_cost.units();
+        let chunk_size = cfg.progress_chunk_units.max(1);
+        let mut offset = 0u64;
+        while offset < units {
+            let chunk = chunk_size.min(units - offset);
+            let sum = store.apply_chunk(step.partition, step.mode, offset, chunk)?;
+            if step.mode == AccessMode::Read {
+                stats.read_checksum = stats.read_checksum.wrapping_add(sum);
+            }
+            control.progress(spec.id, Work::from_units(chunk))?;
+            offset += chunk;
+        }
+        control.step_complete(spec.id, i)?;
+    }
+    control.commit(spec.id)?;
+    let us = job.submitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    stats.latencies_us.push(us);
+    Ok(())
+}
+
+/// Runs `specs` to completion on `cfg.threads` workers under `sched`,
+/// executing bulk steps against freshly zeroed stores for `catalog`.
+///
+/// # Errors
+/// [`EngineError::Core`] if a worker drove the protocol into an error,
+/// [`EngineError::Certify`] if the recorded history fails replay
+/// certification, [`EngineError::StoreDiverged`] if committed updates are
+/// not all visible in the stores.
+pub fn run_engine(
+    cfg: &EngineConfig,
+    sched: SendScheduler,
+    catalog: &Catalog,
+    specs: &[TxnSpec],
+) -> Result<EngineReport, EngineError> {
+    let control = ControlNode::new(sched);
+    let name = control.sched_name();
+    let mode = control.certify_mode();
+    let store = ShardedStore::new(catalog);
+    let queue: BoundedQueue<Job> = BoundedQueue::new(cfg.queue_depth);
+    let threads = cfg.threads.max(1);
+
+    let started = Instant::now();
+    let results: Vec<Result<WorkerStats, EngineError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| {
+                let control = &control;
+                let store = &store;
+                let queue = &queue;
+                s.spawn(move || {
+                    let mut rng = XorShift::new(cfg.seed ^ (w as u64).wrapping_mul(0x9e37));
+                    let mut stats = WorkerStats::default();
+                    while let Some(job) = queue.pop() {
+                        if let Err(e) = run_txn(&job, control, store, cfg, &mut rng, &mut stats)
+                        {
+                            // Abort the run: wake the submitter and drain.
+                            queue.close();
+                            return Err(e);
+                        }
+                    }
+                    Ok(stats)
+                })
+            })
+            .collect();
+        for spec in specs {
+            let accepted = queue.push(Job {
+                spec: spec.clone(),
+                submitted: Instant::now(),
+            });
+            if !accepted {
+                break; // a worker failed and closed the queue
+            }
+        }
+        queue.close();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .expect("invariant: workers return errors instead of panicking")
+            })
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    let mut latencies = Vec::with_capacity(specs.len());
+    let mut read_checksum = 0u64;
+    let mut max_retry_streak = 0u32;
+    for r in results {
+        let stats = r?;
+        latencies.extend_from_slice(&stats.latencies_us);
+        read_checksum = read_checksum.wrapping_add(stats.read_checksum);
+        max_retry_streak = max_retry_streak.max(stats.max_retry_streak);
+    }
+
+    let audit = control.into_audit();
+    let mut report = EngineReport::from_counters(name, threads, specs.len(), &audit.counters);
+    report.wall_ms = wall.as_secs_f64() * 1e3;
+    report.throughput_tps = if wall.as_secs_f64() > 0.0 {
+        report.committed as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+    report.latency = LatencySummary::from_us(latencies);
+    report.max_retry_streak = max_retry_streak;
+    report.history_events = audit.history.len();
+    report.logical_ticks = audit.final_tick.millis();
+    report.read_checksum = read_checksum;
+
+    // Conservation: every committed write step's declared units must be
+    // visible as cell increments (all-or-nothing because workers never
+    // abort mid-flight — rejections happen before any bulk work).
+    let expected: u64 = specs
+        .iter()
+        .flat_map(|t| t.steps().iter())
+        .filter(|s| s.mode == AccessMode::Write)
+        .map(|s| s.actual_cost.units())
+        .sum();
+    report.expected_write_units = expected;
+    report.store_write_units = store.write_units();
+    let cells = store.cell_sum();
+    report.store_consistent = report.committed as usize == specs.len()
+        && report.store_write_units == expected
+        && cells == expected;
+    if report.committed as usize == specs.len() && !report.store_consistent {
+        return Err(EngineError::StoreDiverged {
+            expected,
+            cells,
+            tallied: report.store_write_units,
+        });
+    }
+
+    if cfg.certify {
+        let cert = certify_history(&audit.history, &audit.specs, mode)
+            .map_err(EngineError::Certify)?;
+        report.certified = true;
+        report.certify_grants = cert.grants;
+        report.certify_eq_checks = cert.eq_checks;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched_by_name;
+    use crate::workload::pattern_specs;
+    use wtpg_workload::Pattern;
+
+    fn run(sched: &str, threads: usize, txns: usize) -> EngineReport {
+        let (catalog, specs) = pattern_specs(Pattern::One, txns, 7);
+        let cfg = EngineConfig {
+            threads,
+            queue_depth: 8,
+            ..EngineConfig::default()
+        };
+        let sched = sched_by_name(sched, 2, 2000).expect("known scheduler");
+        run_engine(&cfg, sched, &catalog, &specs).expect("engine run completes cleanly")
+    }
+
+    #[test]
+    fn chain_run_commits_everything_and_certifies() {
+        let r = run("chain", 4, 60);
+        assert_eq!(r.committed, 60);
+        assert!(r.certified);
+        assert!(r.store_consistent, "{r:?}");
+        assert!(r.throughput_tps > 0.0);
+        assert!(r.latency.max_ms >= r.latency.p50_ms);
+    }
+
+    #[test]
+    fn kwtpg_run_performs_eq_checks() {
+        let r = run("k2", 4, 60);
+        assert_eq!(r.committed, 60);
+        assert!(r.certified);
+        assert!(r.certify_eq_checks >= r.certify_grants);
+    }
+
+    #[test]
+    fn single_threaded_run_works() {
+        let r = run("c2pl", 1, 20);
+        assert_eq!(r.committed, 20);
+        assert_eq!(r.abort_rate, 0.0, "C2PL never rejects admissions");
+    }
+
+    #[test]
+    fn nodc_is_exempt_but_still_consistent() {
+        // NODC grants everything; exclusion is violated by design but the
+        // store's additive updates still conserve units.
+        let r = run("nodc", 4, 40);
+        assert_eq!(r.committed, 40);
+        assert!(r.certified, "Exempt-mode certification still runs");
+        assert!(r.store_consistent);
+    }
+}

@@ -1,0 +1,116 @@
+//! # wtpg-rt
+//!
+//! A real-time, multi-threaded execution engine for bulk-access transactions.
+//!
+//! Everything else in this workspace drives the paper's schedulers from a
+//! single-threaded discrete-event simulator. This crate instead mirrors the
+//! paper's Figure-5 topology with *wall-clock* concurrency:
+//!
+//! ```text
+//!   clients ──► bounded submission queue (backpressure)
+//!                      │ pop
+//!   workers ◄──────────┘            ┌──────────────────────────┐
+//!      │   on_arrive / on_request   │ control node             │
+//!      ├──────────────────────────► │  Mutex< Box<dyn          │
+//!      │   granted?                 │    Scheduler> + History  │
+//!      │                            │    + LogicalClock >      │
+//!      ▼                            └──────────────────────────┘
+//!   sharded partition stores (one per data node, shared-nothing)
+//!      │  real bulk scans / updates, per-object progress reports
+//!      ▼
+//!   commit ──► recorded history ──► `wtpg_core::certify::certify_history`
+//! ```
+//!
+//! * The **control node** is a single mutex around any
+//!   [`wtpg_core::sched::Scheduler`] — exactly the paper's centralized
+//!   admission/lock-grant layer. Every operation draws one tick from a
+//!   [`wtpg_core::time::LogicalClock`] and appends to a
+//!   [`wtpg_core::history::History`], so the recorded log is a certified
+//!   linearization of the real concurrent run ([`control`]).
+//! * **Workers** are OS threads pulling transactions off a bounded
+//!   [`queue::BoundedQueue`]; a full queue blocks the submitter
+//!   (backpressure). A worker owns its transaction to completion: rejected
+//!   admissions (CHAIN's non-chain-form, ASL's lock failure) and
+//!   blocked/delayed lock requests are resubmitted after a capped
+//!   exponential backoff with deterministic jitter ([`backoff`]).
+//! * **Bulk steps** run for real against sharded in-memory partition stores,
+//!   one store per simulated data node (`node = partition mod NumNodes`),
+//!   scanning or updating `costof(s)` milli-object cells and reporting
+//!   progress to the scheduler one object at a time — the paper's
+//!   per-object weight-adjustment messages ([`store`]).
+//! * After the run the engine **certifies** the recorded history by replay
+//!   and checks a store-level conservation invariant (every committed bulk
+//!   update is visible in the cells), then reports wall-clock throughput,
+//!   latency percentiles, and abort/retry counts ([`metrics`]).
+//!
+//! Unlike the rest of the workspace, code here may read wall clocks and
+//! spawn threads — `wtpg-lint` exempts `wtpg-rt` from the determinism rule
+//! (and only from that rule). Runs are *not* reproducible interleavings;
+//! their correctness argument is the certifier, not replayability.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wtpg_rt::engine::{run_engine, EngineConfig};
+//! use wtpg_rt::sched_by_name;
+//! use wtpg_rt::workload::pattern_specs;
+//! use wtpg_workload::Pattern;
+//!
+//! let (catalog, specs) = pattern_specs(Pattern::One, 40, 42);
+//! let sched = sched_by_name("chain", 2, 5000).expect("known scheduler");
+//! let cfg = EngineConfig { threads: 4, ..EngineConfig::default() };
+//! let report = run_engine(&cfg, sched, &catalog, &specs).expect("clean run");
+//! assert_eq!(report.committed, 40);
+//! assert!(report.certified);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod control;
+pub mod engine;
+pub mod env;
+pub mod metrics;
+pub mod queue;
+pub mod store;
+pub mod workload;
+
+pub use engine::{run_engine, EngineConfig, EngineError, SendScheduler};
+pub use metrics::EngineReport;
+
+use wtpg_core::sched::{
+    AslScheduler, C2plScheduler, ChainScheduler, GWtpgScheduler, KWtpgScheduler, NodcScheduler,
+};
+
+/// Builds a thread-safe scheduler by its CLI name, or `None` for an unknown
+/// name. `k` parameterises the K-WTPG variants; `keeptime` is the CHAIN /
+/// K-WTPG starvation-guard horizon in *logical* ticks (one tick per
+/// control-node operation in this crate, not a millisecond).
+pub fn sched_by_name(name: &str, k: usize, keeptime: u64) -> Option<SendScheduler> {
+    Some(match name.to_ascii_lowercase().as_str() {
+        "chain" => Box::new(ChainScheduler::new(keeptime)),
+        "k2" | "kwtpg" | "k-wtpg" => Box::new(KWtpgScheduler::new(k, keeptime)),
+        "gwtpg" | "g-wtpg" => Box::new(GWtpgScheduler::new(keeptime)),
+        "asl" => Box::new(AslScheduler::new()),
+        "c2pl" | "2pl" => Box::new(C2plScheduler::new()),
+        "chain-c2pl" => Box::new(C2plScheduler::chain_c2pl()),
+        "k2-c2pl" => Box::new(C2plScheduler::k_c2pl(k)),
+        "nodc" => Box::new(NodcScheduler::new()),
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sched_by_name_covers_every_scheduler() {
+        for name in ["chain", "k2", "gwtpg", "asl", "c2pl", "2pl", "chain-c2pl", "k2-c2pl", "nodc"]
+        {
+            assert!(sched_by_name(name, 2, 1000).is_some(), "{name}");
+        }
+        assert!(sched_by_name("granite", 2, 1000).is_none());
+    }
+}

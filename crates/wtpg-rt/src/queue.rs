@@ -1,0 +1,181 @@
+//! A bounded MPMC submission queue with blocking backpressure.
+//!
+//! The engine's client side pushes transactions here; worker threads pop.
+//! A full queue blocks the submitter — the backpressure the paper's open
+//! arrival model lacks and a real service needs. Implemented on
+//! `Mutex<VecDeque> + Condvar` pairs so the crate stays dependency-free.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer / multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Pushes `item`, blocking while the queue is full. Returns `false` (and
+    /// drops the item) if the queue was closed.
+    pub fn push(&self, item: T) -> bool {
+        let mut s = self
+            .state
+            .lock()
+            .expect("invariant: queue lock is never poisoned (no panics while held)");
+        while s.items.len() >= self.capacity && !s.closed {
+            s = self
+                .not_full
+                .wait(s)
+                .expect("invariant: queue lock is never poisoned (no panics while held)");
+        }
+        if s.closed {
+            return false;
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        true
+    }
+
+    /// Pops the next item, blocking while the queue is empty and open.
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut s = self
+            .state
+            .lock()
+            .expect("invariant: queue lock is never poisoned (no panics while held)");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if s.closed {
+                return None;
+            }
+            s = self
+                .not_empty
+                .wait(s)
+                .expect("invariant: queue lock is never poisoned (no panics while held)");
+        }
+    }
+
+    /// Closes the queue: pending items still drain, new pushes fail, and
+    /// blocked poppers wake up with `None` once empty.
+    pub fn close(&self) {
+        let mut s = self
+            .state
+            .lock()
+            .expect("invariant: queue lock is never poisoned (no panics while held)");
+        s.closed = true;
+        drop(s);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Items currently queued (racy; diagnostics only).
+    pub fn len(&self) -> usize {
+        self.state
+            .lock()
+            .expect("invariant: queue lock is never poisoned (no panics while held)")
+            .items
+            .len()
+    }
+
+    /// True when nothing is queued right now (racy; diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_within_capacity() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_then_none() {
+        let q = BoundedQueue::new(4);
+        q.push(7);
+        q.close();
+        assert!(!q.push(8), "push after close must fail");
+        assert_eq!(q.pop(), Some(7));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_blocks_submitter_until_pop() {
+        let q = BoundedQueue::new(1);
+        assert!(q.push(1));
+        std::thread::scope(|s| {
+            let h = s.spawn(|| q.push(2)); // blocks: capacity 1
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.len(), 1, "second push must still be parked");
+            assert_eq!(q.pop(), Some(1));
+            assert!(h.join().unwrap(), "parked push completes after pop");
+        });
+        assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_lose_nothing() {
+        let q = BoundedQueue::new(3);
+        let total: usize = std::thread::scope(|s| {
+            let consumers: Vec<_> = (0..3)
+                .map(|_| {
+                    s.spawn(|| {
+                        let mut n = 0usize;
+                        while q.pop().is_some() {
+                            n += 1;
+                        }
+                        n
+                    })
+                })
+                .collect();
+            let producers: Vec<_> = (0..2)
+                .map(|_| {
+                    s.spawn(|| {
+                        for i in 0..50 {
+                            assert!(q.push(i));
+                        }
+                    })
+                })
+                .collect();
+            for p in producers {
+                p.join().unwrap();
+            }
+            q.close();
+            consumers.into_iter().map(|c| c.join().unwrap()).sum()
+        });
+        assert_eq!(total, 100);
+    }
+}

@@ -1,0 +1,207 @@
+//! Sharded in-memory partition stores — the engine's data nodes.
+//!
+//! One store per simulated data node, shared-nothing style: partition `p`
+//! lives on node `p mod NumNodes` (paper §4.1, Figure 5) and nodes share no
+//! state, so each sits behind its own mutex and bulk work on different nodes
+//! proceeds in parallel. A partition holds one `u64` cell per milli-object
+//! of its catalog size; a bulk step touches exactly `costof(s)` milli-object
+//! cells (cycling over the partition when the cost exceeds its size):
+//!
+//! * a **read** step folds the touched cells into a checksum (the scan is
+//!   real work the optimiser cannot discard);
+//! * a **write** step increments every touched cell, which gives the engine
+//!   a conservation invariant — after a run in which every admitted
+//!   transaction commits, the sum over all cells must equal the total
+//!   declared write units of the workload ([`ShardedStore::cell_sum`]).
+//!
+//! Workers apply steps in *chunks* (one object at a time by default),
+//! releasing the node mutex between chunks so progress reports interleave
+//! with other workers exactly like the paper's per-object weight-adjustment
+//! messages.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+use wtpg_core::error::CoreError;
+use wtpg_core::partition::{Catalog, PartitionId};
+use wtpg_core::txn::AccessMode;
+
+struct NodeStore {
+    /// Cells of each partition homed on this node, keyed by partition id.
+    partitions: BTreeMap<u32, Vec<u64>>,
+    /// Total milli-object cells updated on this node (diagnostics).
+    write_units: u64,
+}
+
+/// The engine's data layer: one mutex-protected store per data node.
+pub struct ShardedStore {
+    nodes: Vec<Mutex<NodeStore>>,
+    num_nodes: u32,
+}
+
+impl ShardedStore {
+    /// Builds zeroed stores for every partition of `catalog`, placed with
+    /// the paper's modulo rule.
+    pub fn new(catalog: &Catalog) -> ShardedStore {
+        let num_nodes = catalog.num_nodes();
+        let mut nodes: Vec<NodeStore> = (0..num_nodes)
+            .map(|_| NodeStore {
+                partitions: BTreeMap::new(),
+                write_units: 0,
+            })
+            .collect();
+        for p in catalog.partitions() {
+            let rows = catalog.size(p).units().max(1) as usize;
+            let node = catalog.node_of(p) as usize;
+            if let Some(n) = nodes.get_mut(node) {
+                n.partitions.insert(p.0, vec![0u64; rows]);
+            }
+        }
+        ShardedStore {
+            nodes: nodes.into_iter().map(Mutex::new).collect(),
+            num_nodes,
+        }
+    }
+
+    /// Applies one chunk of a bulk step: touches `units` milli-object cells
+    /// of `p` starting at logical offset `start_unit` (cycling past the end)
+    /// and returns a checksum of the touched cells. Write chunks increment
+    /// each touched cell by one.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`] if `p` is not in the catalog the
+    /// store was built from.
+    pub fn apply_chunk(
+        &self,
+        p: PartitionId,
+        mode: AccessMode,
+        start_unit: u64,
+        units: u64,
+    ) -> Result<u64, CoreError> {
+        let node = (p.0 % self.num_nodes) as usize;
+        let mut guard = self
+            .nodes
+            .get(node)
+            .ok_or(CoreError::UnknownPartition(p))?
+            .lock()
+            .expect("invariant: store lock is never poisoned (no panics while held)");
+        let store = &mut *guard;
+        let cells = store
+            .partitions
+            .get_mut(&p.0)
+            .ok_or(CoreError::UnknownPartition(p))?;
+        let rows = cells.len() as u64;
+        let mut checksum = 0u64;
+        for i in 0..units {
+            let idx = ((start_unit + i) % rows) as usize;
+            if let Some(cell) = cells.get_mut(idx) {
+                if mode == AccessMode::Write {
+                    *cell = cell.wrapping_add(1);
+                }
+                checksum = checksum.wrapping_add(*cell).rotate_left(1);
+            }
+        }
+        if mode == AccessMode::Write {
+            store.write_units += units;
+        }
+        Ok(checksum)
+    }
+
+    /// Sum of every cell across every node. Because cells start at zero and
+    /// each committed write unit adds exactly one, this equals the total
+    /// write units executed — the conservation side of the engine's
+    /// end-to-end check.
+    pub fn cell_sum(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.lock()
+                    .expect("invariant: store lock is never poisoned (no panics while held)")
+                    .partitions
+                    .values()
+                    .flatten()
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Total milli-object cells updated across all nodes, as tallied at
+    /// write time (must equal [`Self::cell_sum`]).
+    pub fn write_units(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.lock()
+                    .expect("invariant: store lock is never poisoned (no panics while held)")
+                    .write_units
+            })
+            .sum()
+    }
+
+    /// Number of data nodes.
+    pub fn num_nodes(&self) -> u32 {
+        self.num_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wtpg_core::work::Work;
+
+    fn store() -> ShardedStore {
+        // 4 partitions of 2 objects (2000 cells) over 2 nodes.
+        ShardedStore::new(&Catalog::uniform(4, 2, 2))
+    }
+
+    #[test]
+    fn writes_are_visible_and_tallied() {
+        let s = store();
+        s.apply_chunk(PartitionId(1), AccessMode::Write, 0, 1500).unwrap();
+        assert_eq!(s.write_units(), 1500);
+        assert_eq!(s.cell_sum(), 1500);
+        // Cycling: 1000 more units wrap past the 2000-cell end.
+        s.apply_chunk(PartitionId(1), AccessMode::Write, 1500, 1000).unwrap();
+        assert_eq!(s.cell_sum(), 2500);
+    }
+
+    #[test]
+    fn reads_change_nothing() {
+        let s = store();
+        s.apply_chunk(PartitionId(0), AccessMode::Write, 0, 10).unwrap();
+        let before = s.cell_sum();
+        let c1 = s.apply_chunk(PartitionId(0), AccessMode::Read, 0, 10).unwrap();
+        assert_eq!(s.cell_sum(), before);
+        assert_eq!(s.write_units(), 10);
+        assert_ne!(c1, 0, "scan saw the written cells");
+    }
+
+    #[test]
+    fn unknown_partition_is_an_error() {
+        let s = store();
+        let err = s
+            .apply_chunk(PartitionId(9), AccessMode::Read, 0, 1)
+            .unwrap_err();
+        assert_eq!(err, CoreError::UnknownPartition(PartitionId(9)));
+    }
+
+    #[test]
+    fn parallel_writers_on_distinct_partitions_conserve_units() {
+        let s = store();
+        std::thread::scope(|scope| {
+            for p in 0..4u32 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..20 {
+                        s.apply_chunk(PartitionId(p), AccessMode::Write, i * 100, 100)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(s.cell_sum(), 4 * 20 * 100);
+        assert_eq!(s.write_units(), s.cell_sum());
+        // Catalog size is in whole objects here, so Work units line up.
+        assert_eq!(Work::from_units(s.cell_sum()), Work::from_objects(8));
+    }
+}

@@ -1,0 +1,108 @@
+//! Seeded multi-threaded stress runs: every scheduler must drive N workers
+//! × M transactions to a certified-clean history without starving anyone.
+//!
+//! Thread counts default to 2 and 8; set `WTPG_ENGINE_THREADS` to pin a
+//! single count (CI runs the suite once per count).
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+use wtpg_rt::env::env_threads;
+use wtpg_rt::workload::pattern_specs;
+use wtpg_rt::{run_engine, sched_by_name, EngineConfig, EngineReport};
+use wtpg_workload::Pattern;
+
+const TXNS: usize = 200;
+const SEED: u64 = 0xBA7_5EED;
+const WATCHDOG: Duration = Duration::from_secs(120);
+
+fn thread_grid() -> Vec<usize> {
+    match env_threads("WTPG_ENGINE_THREADS") {
+        Some(n) => vec![n.max(1)],
+        None => vec![2, 8],
+    }
+}
+
+/// Runs one engine cell under a watchdog: a hung scheduler (lost wakeup,
+/// livelock, starvation) fails the test instead of wedging the suite.
+fn run_cell(sched: &str, threads: usize, pattern: Pattern) -> EngineReport {
+    let (tx, rx) = mpsc::channel();
+    let name = sched.to_string();
+    std::thread::spawn(move || {
+        let (catalog, specs) = pattern_specs(pattern, TXNS, SEED);
+        let cfg = EngineConfig {
+            threads,
+            queue_depth: 2 * threads,
+            ..EngineConfig::default()
+        };
+        let sched = sched_by_name(&name, 2, 5000).expect("known scheduler");
+        let _ = tx.send(run_engine(&cfg, sched, &catalog, &specs));
+    });
+    let result = rx
+        .recv_timeout(WATCHDOG)
+        .unwrap_or_else(|_| panic!("engine hung: {sched} at {threads} threads"));
+    result.unwrap_or_else(|e| panic!("engine failed: {sched} at {threads} threads: {e}"))
+}
+
+fn assert_clean(r: &EngineReport, sched: &str, threads: usize) {
+    assert_eq!(
+        r.committed as usize, TXNS,
+        "{sched}@{threads}: every submitted transaction must commit (no starvation)"
+    );
+    assert!(r.certified, "{sched}@{threads}: history must be certified");
+    assert!(
+        r.store_consistent,
+        "{sched}@{threads}: committed bulk updates must all be visible"
+    );
+    assert!(
+        r.max_retry_streak < 10_000,
+        "{sched}@{threads}: retry streak {} looks like starvation",
+        r.max_retry_streak
+    );
+}
+
+#[test]
+fn chain_stress_certifies_clean() {
+    for threads in thread_grid() {
+        let r = run_cell("chain", threads, Pattern::One);
+        assert_clean(&r, "chain", threads);
+        assert!(
+            r.certify_grants > 0,
+            "certifier must actually have checked grants"
+        );
+    }
+}
+
+#[test]
+fn kwtpg_stress_certifies_clean() {
+    for threads in thread_grid() {
+        let r = run_cell("k2", threads, Pattern::One);
+        assert_clean(&r, "k2", threads);
+        assert!(
+            r.certify_eq_checks >= r.certify_grants,
+            "K-WTPG certification spot-checks E(q) on every grant"
+        );
+    }
+}
+
+#[test]
+fn c2pl_stress_certifies_clean() {
+    for threads in thread_grid() {
+        let r = run_cell("c2pl", threads, Pattern::One);
+        assert_clean(&r, "c2pl", threads);
+        assert_eq!(
+            r.rejected_admissions, 0,
+            "the 2PL baseline never rejects admissions"
+        );
+    }
+}
+
+#[test]
+fn chain_stress_survives_hot_contention() {
+    // Pattern 2 with a small hot set is the paper's high-contention regime:
+    // every transaction fights over 8 one-object partitions.
+    for threads in thread_grid() {
+        let r = run_cell("chain", threads, Pattern::Two { num_hots: 8 });
+        assert_clean(&r, "chain(hot)", threads);
+    }
+}
