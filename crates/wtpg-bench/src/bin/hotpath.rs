@@ -78,6 +78,12 @@ struct Row {
 #[derive(Serialize)]
 struct Report {
     fixture: String,
+    /// Build provenance, stamped at compile time.
+    git_describe: String,
+    git_sha: String,
+    /// Host parallelism when the numbers were taken (the bench itself is
+    /// single-threaded; this contextualises machine comparisons).
+    available_threads: usize,
     rows: Vec<Row>,
     /// naive / overlay-warm at each N — the acceptance criterion wants the
     /// 128-transaction entry ≥ 2.
@@ -122,6 +128,9 @@ fn main() {
     }
     let report = Report {
         fixture: "conflict chain, every third edge resolved".to_string(),
+        git_describe: wtpg_obs::meta::git_describe().to_string(),
+        git_sha: wtpg_obs::meta::git_sha().to_string(),
+        available_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
         rows,
         eq_speedup: speedups,
     };

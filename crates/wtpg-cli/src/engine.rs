@@ -13,10 +13,18 @@
 //! ```text
 //! wtpg engine --grid --out BENCH_engine.json
 //! ```
+//!
+//! `--trace FILE` (single-cell mode) records a structured trace of the run:
+//! JSONL when `FILE` ends in `.jsonl` (inspect with `wtpg obs summary`),
+//! Chrome trace_event JSON otherwise (open in chrome://tracing or Perfetto).
+
+use std::sync::Arc;
 
 use serde::Serialize;
+use wtpg_obs::MemorySink;
+use wtpg_rt::engine::run_engine_obs;
 use wtpg_rt::workload::pattern_specs;
-use wtpg_rt::{run_engine, sched_by_name, EngineConfig, EngineReport};
+use wtpg_rt::{sched_by_name, EngineConfig, EngineReport};
 use wtpg_workload::Pattern;
 
 /// One grid cell of `BENCH_engine.json`.
@@ -27,12 +35,17 @@ struct GridCell {
     report: EngineReport,
 }
 
-/// The whole `BENCH_engine.json` document.
+/// The whole `BENCH_engine.json` document, stamped with enough run
+/// metadata to reproduce it: build provenance plus the swept grid.
 #[derive(Serialize)]
 struct GridDoc {
     bench: &'static str,
+    git_describe: String,
+    git_sha: String,
     txns: usize,
     seed: u64,
+    schedulers: Vec<String>,
+    thread_grid: Vec<usize>,
     cells: Vec<GridCell>,
 }
 
@@ -49,6 +62,7 @@ struct EngineArgs {
     certify: bool,
     grid: bool,
     out: Option<String>,
+    trace: Option<String>,
 }
 
 fn parse(args: &[String]) -> Result<EngineArgs, String> {
@@ -65,6 +79,7 @@ fn parse(args: &[String]) -> Result<EngineArgs, String> {
         certify: true,
         grid: false,
         out: None,
+        trace: None,
     };
     let mut i = 0;
     while i < args.len() {
@@ -87,6 +102,7 @@ fn parse(args: &[String]) -> Result<EngineArgs, String> {
             "--no-certify" => a.certify = false,
             "--grid" => a.grid = true,
             "--out" => a.out = Some(take(&mut i)?),
+            "--trace" => a.trace = Some(take(&mut i)?),
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -103,7 +119,13 @@ fn pattern_of(pattern: u32, hots: u32) -> Result<Pattern, String> {
     }
 }
 
-fn run_cell(a: &EngineArgs, sched: &str, threads: usize, pattern: Pattern) -> Result<EngineReport, String> {
+fn run_cell(
+    a: &EngineArgs,
+    sched: &str,
+    threads: usize,
+    pattern: Pattern,
+    sink: Option<Arc<MemorySink>>,
+) -> Result<EngineReport, String> {
     let (catalog, specs) = pattern_specs(pattern, a.txns, a.seed);
     let cfg = EngineConfig {
         threads,
@@ -114,7 +136,8 @@ fn run_cell(a: &EngineArgs, sched: &str, threads: usize, pattern: Pattern) -> Re
     };
     let sched = sched_by_name(sched, a.k, a.keeptime)
         .ok_or_else(|| format!("unknown scheduler {sched:?}"))?;
-    run_engine(&cfg, sched, &catalog, &specs).map_err(|e| e.to_string())
+    let obs = sink.map(|s| s as Arc<dyn wtpg_obs::Observer>);
+    run_engine_obs(&cfg, sched, &catalog, &specs, obs).map_err(|e| e.to_string())
 }
 
 fn print_report(r: &EngineReport, pattern: &str) {
@@ -164,8 +187,14 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     let a = parse(args)?;
     if !a.grid {
         let pattern = pattern_of(a.pattern, a.hots)?;
-        let report = run_cell(&a, &a.sched, a.threads, pattern)?;
+        let sink = a.trace.as_ref().map(|_| Arc::new(MemorySink::new()));
+        let report = run_cell(&a, &a.sched, a.threads, pattern, sink.clone())?;
         print_report(&report, &pattern.label());
+        if let (Some(path), Some(sink)) = (&a.trace, sink) {
+            // Engine events are wall-clock µs, so Chrome's ts unit is 1:1.
+            crate::obs::write_trace(path, &sink.snapshot(), 1)?;
+            println!("wrote trace {path}");
+        }
         if let Some(path) = &a.out {
             let json = serde_json::to_string_pretty(&report)
                 .map_err(|e| format!("cannot serialise report: {e}"))?;
@@ -186,7 +215,7 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     for sched in scheds {
         for &threads in &thread_grid {
             for (label, pattern) in contentions {
-                let report = run_cell(&a, sched, threads, pattern)?;
+                let report = run_cell(&a, sched, threads, pattern, None)?;
                 println!(
                     "{:>6} | {} threads | {:>4} contention | {:>8.1} TPS | p95 {:>8.2} ms \
                      | abort {:>5.1} % | {}",
@@ -210,8 +239,12 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     let n_cells = cells.len();
     let doc = GridDoc {
         bench: "engine",
+        git_describe: wtpg_obs::meta::git_describe().to_string(),
+        git_sha: wtpg_obs::meta::git_sha().to_string(),
         txns: a.txns,
         seed: a.seed,
+        schedulers: scheds.iter().map(|s| s.to_string()).collect(),
+        thread_grid: thread_grid.to_vec(),
         cells,
     };
     let json =

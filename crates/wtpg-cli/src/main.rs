@@ -15,6 +15,10 @@
 //!               [--txns N] [--pattern 1|2|3] [--hots N] [--seed N]
 //!               [--queue N] [--k N] [--keeptime MS] [--no-certify]
 //!               [--grid] [--out FILE]   sweeps sched × threads × contention
+//!               [--trace FILE]          record a structured trace
+//! wtpg obs      summary <trace.jsonl>   percentiles, abort causes, cache
+//!               diff <a.jsonl> <b.jsonl>  hit ratios; counter/span deltas
+//!               chrome <trace.jsonl>    convert to Chrome trace_event JSON
 //! ```
 //!
 //! Workloads use the paper's notation, one transaction per line:
@@ -27,6 +31,7 @@
 use std::io::Read as _;
 
 mod engine;
+mod obs;
 mod plan;
 mod simulate;
 mod trace;
@@ -39,6 +44,7 @@ fn main() {
         Some("trace") => trace::run(&args[1..]),
         Some("simulate") => simulate::run(&args[1..]),
         Some("engine") => engine::run(&args[1..]),
+        Some("obs") => obs::run(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_help();
             Ok(())
@@ -65,9 +71,12 @@ fn print_help() {
            wtpg trace    <workload.txt | -> [--scheduler chain|k2|gwtpg|asl|c2pl]\n\
            wtpg simulate [--pattern 1|2|3] [--scheduler S] [--lambda F]\n\
                          [--sim-ms N] [--hots N] [--sigma F] [--seed N] [--certify]\n\
+                         [--trace FILE]\n\
            wtpg engine   [--sched S] [--threads N] [--txns N] [--pattern 1|2|3]\n\
                          [--hots N] [--seed N] [--queue N] [--k N] [--keeptime MS]\n\
-                         [--no-certify] [--grid] [--out FILE]\n\
+                         [--no-certify] [--grid] [--out FILE] [--trace FILE]\n\
+           wtpg obs      summary <trace.jsonl> | diff <a.jsonl> <b.jsonl>\n\
+                         | chrome <trace.jsonl> [--out FILE]\n\
          \n\
          workload lines use the paper's notation: T1: r(A:1) -> w(B:0.2)"
     );

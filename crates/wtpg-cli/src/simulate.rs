@@ -15,6 +15,7 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     let mut sigma = 0.0f64;
     let mut seed = 42u64;
     let mut certify = false;
+    let mut trace: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         let take = |i: &mut usize| -> Result<String, String> {
@@ -32,6 +33,7 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
             "--sigma" => sigma = take(&mut i)?.parse().map_err(|_| "bad --sigma")?,
             "--seed" => seed = take(&mut i)?.parse().map_err(|_| "bad --seed")?,
             "--certify" => certify = true,
+            "--trace" => trace = Some(take(&mut i)?),
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
@@ -61,7 +63,16 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     };
     let workload = PatternWorkload::with_error(pattern, seed, ErrorModel::new(sigma));
     let mut machine = Machine::new(params.clone(), kind.build(&params), workload);
+    let sink = trace.as_ref().map(|_| std::sync::Arc::new(wtpg_obs::MemorySink::new()));
+    if let Some(s) = &sink {
+        machine.set_observer(s.clone());
+    }
     let r = machine.run(lambda);
+    if let (Some(path), Some(s)) = (&trace, &sink) {
+        // Simulator events are ms ticks; Chrome wants µs.
+        crate::obs::write_trace(path, &s.snapshot(), 1000)?;
+        println!("wrote trace {path}");
+    }
     println!(
         "pattern {} | scheduler {} | λ = {lambda} TPS | {} s simulated | σ = {sigma}",
         pattern.label(),

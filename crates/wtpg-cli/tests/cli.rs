@@ -137,6 +137,89 @@ fn engine_writes_a_json_report() {
 }
 
 #[test]
+fn engine_trace_feeds_obs_summary_diff_and_chrome() {
+    let dir = std::env::temp_dir().join("wtpg-cli-obs-test");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace = dir.join("engine_trace.jsonl");
+    let trace_str = trace.to_str().expect("utf-8 temp path");
+    let (stdout, stderr, ok) = wtpg(
+        &[
+            "engine", "--sched", "k2", "--threads", "4", "--txns", "40", "--pattern", "2",
+            "--hots", "4", "--trace", trace_str,
+        ],
+        None,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote trace"), "{stdout}");
+
+    let (summary, stderr, ok) = wtpg(&["obs", "summary", trace_str], None);
+    assert!(ok, "{stderr}");
+    assert!(summary.contains("cache: hits="), "{summary}");
+    assert!(summary.contains("lock_wait"), "{summary}");
+    assert!(summary.contains("txn"), "{summary}");
+
+    let (diff, stderr, ok) = wtpg(&["obs", "diff", trace_str, trace_str], None);
+    assert!(ok, "{stderr}");
+    assert!(diff.contains("no counter or span differences"), "{diff}");
+
+    // The Chrome export must be real JSON in trace_event object format.
+    let (chrome, stderr, ok) = wtpg(&["obs", "chrome", trace_str], None);
+    assert!(ok, "{stderr}");
+    let doc: serde_json::Value = serde_json::from_str(&chrome).expect("chrome output parses");
+    let events = match doc.get("traceEvents") {
+        Some(serde_json::Value::Seq(evs)) => evs,
+        other => panic!("traceEvents missing or not an array: {other:?}"),
+    };
+    assert!(!events.is_empty());
+    let mut phases = std::collections::BTreeSet::new();
+    let mut open_spans = 0i64;
+    for ev in events {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            assert!(ev.get(key).is_some(), "event missing {key}: {ev:?}");
+        }
+        let ph = match ev.get("ph") {
+            Some(serde_json::Value::Str(s)) => s.clone(),
+            other => panic!("ph is not a string: {other:?}"),
+        };
+        match ph.as_str() {
+            "B" => open_spans += 1,
+            "E" => open_spans -= 1,
+            "X" => assert!(ev.get("dur").is_some(), "X event missing dur: {ev:?}"),
+            "C" | "i" => assert!(ev.get("args").is_some(), "{ph} event missing args: {ev:?}"),
+            other => panic!("unexpected phase {other:?}"),
+        }
+        phases.insert(ph);
+    }
+    assert!(open_spans >= 0, "more span ends than begins");
+    for needed in ["B", "E", "C", "X"] {
+        assert!(phases.contains(needed), "no {needed} events in {phases:?}");
+    }
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
+fn simulate_trace_is_summarisable() {
+    let dir = std::env::temp_dir().join("wtpg-cli-obs-test");
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let trace = dir.join("sim_trace.jsonl");
+    let trace_str = trace.to_str().expect("utf-8 temp path");
+    let (stdout, stderr, ok) = wtpg(
+        &[
+            "simulate", "--pattern", "1", "--scheduler", "chain", "--lambda", "0.5", "--sim-ms",
+            "60000", "--trace", trace_str,
+        ],
+        None,
+    );
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("wrote trace"), "{stdout}");
+    let (summary, stderr, ok) = wtpg(&["obs", "summary", trace_str], None);
+    assert!(ok, "{stderr}");
+    assert!(summary.contains("txn_response_ms"), "{summary}");
+    assert!(summary.contains("cache: hits="), "{summary}");
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn bad_input_fails_cleanly() {
     let (_, stderr, ok) = wtpg(&["plan", "-"], Some("T1: fly(A:1)"));
     assert!(!ok);
@@ -153,7 +236,7 @@ fn bad_input_fails_cleanly() {
 fn help_lists_commands() {
     let (_, stderr, ok) = wtpg(&["--help"], None);
     assert!(ok);
-    for cmd in ["plan", "dot", "trace", "simulate", "engine"] {
+    for cmd in ["plan", "dot", "trace", "simulate", "engine", "obs"] {
         assert!(stderr.contains(cmd));
     }
 }

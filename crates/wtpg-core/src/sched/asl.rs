@@ -5,6 +5,8 @@
 //! admission is very conservative, which is exactly what Experiment 2's hot
 //! set punishes ("ASL keeps a WTPG to be a set of isolated points").
 
+use wtpg_obs::ControlStats;
+
 use crate::error::CoreError;
 use crate::time::Tick;
 use crate::txn::{TxnId, TxnSpec};
@@ -18,6 +20,8 @@ use super::{Admission, CommitResult, ControlOps, LockOutcome, Scheduler};
 #[derive(Clone, Debug, Default)]
 pub struct AslScheduler {
     core: SchedCore,
+    /// Cumulative control-plane statistics (lock-denied rejections).
+    stats: ControlStats,
 }
 
 impl AslScheduler {
@@ -41,6 +45,7 @@ impl Scheduler for AslScheduler {
         // take everything. Other admitted transactions hold all their locks
         // already, so declarations never linger in the table under ASL.
         if !self.core.locks.can_lock_all(spec) {
+            self.stats.aborts_lock_denied += 1;
             return Ok((Admission::Rejected, ControlOps::NONE));
         }
         self.core.arrive(spec)?;
@@ -103,6 +108,10 @@ impl Scheduler for AslScheduler {
 
     fn wtpg(&self) -> &Wtpg {
         self.core.wtpg()
+    }
+
+    fn obs_stats(&self) -> ControlStats {
+        self.stats
     }
 }
 

@@ -8,6 +8,23 @@
 //! structural admission constraints of CHAIN / K-WTPG — no weights — and
 //! serve as lower bounds isolating how much of the WTPG schedulers' benefit
 //! comes from structure alone (paper §4.4).
+//!
+//! Control saving: deadlock predictions are pure functions of the lock
+//! table and the precedence edges, so each verdict is cached per
+//! `(txn, step)` stamped with the WTPG [`version`](Wtpg::version) it was
+//! computed against — the same §3.4 scheme CHAIN and K-WTPG use for `W` and
+//! `E(q)`. Arrivals and commits bump the version; a grant changes the lock
+//! table *without* necessarily bumping it, so any grant also wipes the
+//! cache (mirroring K-WTPG's `granted_edges` condition). A hit therefore
+//! only ever replays a verdict computed against the identical lock/WTPG
+//! state, which is what makes reuse sound for a predictor whose false
+//! "safe" answer would be a real deadlock. Hits skip the graph traversal
+//! and report zero `deadlock_tests` to the control-node cost model; retry
+//! storms of delayed requests are the common beneficiary.
+
+use std::collections::BTreeMap;
+
+use wtpg_obs::ControlStats;
 
 use crate::chain::form::is_chain_form;
 use crate::error::CoreError;
@@ -33,33 +50,53 @@ pub struct C2plScheduler {
     core: SchedCore,
     constraint: Constraint,
     name: &'static str,
+    /// Cached deadlock verdicts keyed by the request they score, each
+    /// stamped with the WTPG version it was computed against.
+    dd_cache: BTreeMap<(TxnId, usize), (u64, bool)>,
+    /// WTPG version at the last cache invalidation check.
+    seen_version: u64,
+    /// A grant changed the lock table since the last invalidation check.
+    granted_any: bool,
+    /// Cumulative control-plane statistics (cache behaviour, causes).
+    stats: ControlStats,
 }
 
 impl C2plScheduler {
     /// Plain C2PL.
     pub fn new() -> C2plScheduler {
-        C2plScheduler {
-            core: SchedCore::new(),
-            constraint: Constraint::None,
-            name: "C2PL",
-        }
+        C2plScheduler::with_constraint(Constraint::None, "C2PL")
     }
 
     /// CHAIN-C2PL: C2PL plus the chain-form admission constraint.
     pub fn chain_c2pl() -> C2plScheduler {
-        C2plScheduler {
-            core: SchedCore::new(),
-            constraint: Constraint::ChainForm,
-            name: "CHAIN-C2PL",
-        }
+        C2plScheduler::with_constraint(Constraint::ChainForm, "CHAIN-C2PL")
     }
 
     /// K*-C2PL: C2PL plus the K-conflict admission constraint.
     pub fn k_c2pl(k: usize) -> C2plScheduler {
+        C2plScheduler::with_constraint(Constraint::KConflict(k), "K2-C2PL")
+    }
+
+    fn with_constraint(constraint: Constraint, name: &'static str) -> C2plScheduler {
         C2plScheduler {
             core: SchedCore::new(),
-            constraint: Constraint::KConflict(k),
-            name: "K2-C2PL",
+            constraint,
+            name,
+            dd_cache: BTreeMap::new(),
+            seen_version: 0,
+            granted_any: false,
+            stats: ControlStats::default(),
+        }
+    }
+
+    /// Expires every cached verdict when the WTPG version moved (arrival,
+    /// commit, new precedence edge) or any grant changed the lock table.
+    fn maybe_invalidate(&mut self) {
+        let ver = self.core.wtpg.version();
+        if self.granted_any || ver != self.seen_version {
+            self.dd_cache.clear();
+            self.seen_version = ver;
+            self.granted_any = false;
         }
     }
 }
@@ -90,6 +127,11 @@ impl Scheduler for C2plScheduler {
             Ok((Admission::Admitted, ControlOps::NONE))
         } else {
             self.core.rollback_arrival(spec.id);
+            match self.constraint {
+                Constraint::ChainForm => self.stats.aborts_non_chain += 1,
+                Constraint::KConflict(_) => self.stats.aborts_k_conflict += 1,
+                Constraint::None => {}
+            }
             Ok((Admission::Rejected, ControlOps::NONE))
         }
     }
@@ -104,15 +146,36 @@ impl Scheduler for C2plScheduler {
         if self.core.locks.is_blocked(txn, s.partition, s.mode) {
             return Ok((LockOutcome::Blocked, ControlOps::NONE));
         }
+        self.maybe_invalidate();
+        let ver = self.core.wtpg.version();
         let implied = self.core.implied_resolutions(txn, s.partition, s.mode);
+        let cached = self
+            .dd_cache
+            .get(&(txn, step))
+            .and_then(|&(stamp, d)| (stamp == ver).then_some(d));
+        let dangerous = match cached {
+            Some(d) => {
+                self.stats.dd_cache_hits += 1;
+                d
+            }
+            None => {
+                self.stats.dd_cache_misses += 1;
+                let d = self.core.grant_would_deadlock(txn, &implied);
+                self.dd_cache.insert((txn, step), (ver, d));
+                d
+            }
+        };
         let ops = ControlOps {
-            deadlock_tests: 1,
+            // A cache hit replays the stored verdict without the traversal.
+            deadlock_tests: cached.is_none() as u32,
             ..ControlOps::NONE
         };
-        if self.core.grant_would_deadlock(txn, &implied) {
+        if dangerous {
+            self.stats.delays_deadlock += 1;
             return Ok((LockOutcome::Delayed, ops));
         }
         self.core.grant(txn, step, s, &implied)?;
+        self.granted_any = true;
         Ok((LockOutcome::Granted, ops))
     }
 
@@ -126,6 +189,9 @@ impl Scheduler for C2plScheduler {
 
     fn on_commit(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
         let freed = self.core.commit(txn)?;
+        // The removal bumped the version (expiring survivors' entries); drop
+        // the committed transaction's own entries so the map doesn't grow.
+        self.dd_cache.retain(|&(t, _), _| t != txn);
         Ok(CommitResult {
             freed,
             ops: ControlOps::NONE,
@@ -134,6 +200,7 @@ impl Scheduler for C2plScheduler {
 
     fn on_abort(&mut self, txn: TxnId, _now: Tick) -> Result<CommitResult, CoreError> {
         let freed = self.core.abort(txn)?;
+        self.dd_cache.retain(|&(t, _), _| t != txn);
         Ok(CommitResult {
             freed,
             ops: ControlOps::NONE,
@@ -146,6 +213,10 @@ impl Scheduler for C2plScheduler {
 
     fn wtpg(&self) -> &Wtpg {
         self.core.wtpg()
+    }
+
+    fn obs_stats(&self) -> ControlStats {
+        self.stats
     }
 }
 
@@ -294,6 +365,43 @@ mod tests {
             .on_arrive(&t(2, vec![StepSpec::write(0, 1.0)]), Tick(2))
             .unwrap();
         assert_eq!(adm, Admission::Admitted);
+    }
+
+    /// The §3.4-style control saving on C2PL: a delayed request retried
+    /// against unchanged lock/WTPG state replays the cached verdict (zero
+    /// `deadlock_tests`), while any grant or commit wipes the cache.
+    #[test]
+    fn deadlock_verdicts_are_cached_across_retries() {
+        let mut s = C2plScheduler::new();
+        let a = t(1, vec![StepSpec::write(0, 1.0), StepSpec::write(1, 1.0)]);
+        let b = t(2, vec![StepSpec::write(1, 1.0), StepSpec::write(0, 1.0)]);
+        s.on_arrive(&a, Tick(0)).unwrap();
+        s.on_arrive(&b, Tick(0)).unwrap();
+        s.on_request(TxnId(1), 0, Tick(0)).unwrap();
+        // First prediction for T2 computes (cache was wiped by T1's grant).
+        let (out, ops) = s.on_request(TxnId(2), 0, Tick(1)).unwrap();
+        assert_eq!(out, LockOutcome::Delayed);
+        assert_eq!(ops.deadlock_tests, 1);
+        // Retry with nothing changed: served from the cache.
+        let (out, ops) = s.on_request(TxnId(2), 0, Tick(2)).unwrap();
+        assert_eq!(out, LockOutcome::Delayed);
+        assert_eq!(ops.deadlock_tests, 0);
+        let stats = s.obs_stats();
+        assert_eq!(stats.dd_cache_hits, 1);
+        assert!(stats.dd_cache_misses >= 2); // T1's grant + T2's first try
+        assert_eq!(stats.delays_deadlock, 2);
+        // Drive T1 to commit; the version bump expires T2's cached verdict
+        // and the fresh prediction now grants.
+        s.on_progress(TxnId(1), Work::from_objects(1)).unwrap();
+        s.on_step_complete(TxnId(1), 0).unwrap();
+        s.on_request(TxnId(1), 1, Tick(3)).unwrap();
+        s.on_progress(TxnId(1), Work::from_objects(1)).unwrap();
+        s.on_step_complete(TxnId(1), 1).unwrap();
+        s.on_commit(TxnId(1), Tick(4)).unwrap();
+        let (out, ops) = s.on_request(TxnId(2), 0, Tick(5)).unwrap();
+        assert_eq!(out, LockOutcome::Granted);
+        assert_eq!(ops.deadlock_tests, 1);
+        assert_eq!(s.obs_stats().dd_cache_hits, 1);
     }
 
     #[test]

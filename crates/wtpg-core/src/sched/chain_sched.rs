@@ -18,6 +18,8 @@
 
 use std::collections::BTreeSet;
 
+use wtpg_obs::ControlStats;
+
 use crate::chain::{chain_components, threshold};
 use crate::error::CoreError;
 use crate::time::Tick;
@@ -39,6 +41,8 @@ pub struct ChainScheduler {
     last_compute: Tick,
     /// WTPG structural version `w_order` is valid for.
     w_version: u64,
+    /// Cumulative control-plane statistics (recomputes, reuses, causes).
+    stats: ControlStats,
 }
 
 impl ChainScheduler {
@@ -50,6 +54,7 @@ impl ChainScheduler {
             w_order: None,
             last_compute: Tick::ZERO,
             w_version: 0,
+            stats: ControlStats::default(),
         }
     }
 
@@ -58,8 +63,10 @@ impl ChainScheduler {
     fn ensure_w(&mut self, now: Tick) -> Result<u32, CoreError> {
         let stale = now.saturating_since(self.last_compute) >= self.keeptime;
         if self.w_order.is_some() && self.w_version == self.core.wtpg.version() && !stale {
+            self.stats.w_reuses += 1;
             return Ok(0);
         }
+        self.stats.w_recomputes += 1;
         let comps = chain_components(&self.core.wtpg)
             .map_err(|_| CoreError::Invariant("CHAIN admission must keep the WTPG chain-form"))?;
         let mut order = BTreeSet::new();
@@ -99,6 +106,7 @@ impl Scheduler for ChainScheduler {
         self.core.arrive(spec)?;
         if chain_components(&self.core.wtpg).is_err() {
             self.core.rollback_arrival(spec.id);
+            self.stats.aborts_non_chain += 1;
             return Ok((Admission::Rejected, ControlOps::NONE));
         }
         // The arrival bumped the WTPG version; w_order is now stale.
@@ -127,6 +135,7 @@ impl Scheduler for ChainScheduler {
         // Step 3 of CC1: the grant must not make the schedule inconsistent
         // with W — every implied resolution txn → other must agree with it.
         if implied.iter().any(|&other| !w.contains(&(txn, other))) {
+            self.stats.delays_minimality += 1;
             return Ok((LockOutcome::Delayed, ops));
         }
         self.core.grant(txn, step, s, &implied)?;
@@ -171,6 +180,10 @@ impl Scheduler for ChainScheduler {
 
     fn certify_mode(&self) -> crate::certify::CertifyMode {
         crate::certify::CertifyMode::Chain
+    }
+
+    fn obs_stats(&self) -> ControlStats {
+        self.stats
     }
 }
 

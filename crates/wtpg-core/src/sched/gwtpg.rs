@@ -28,6 +28,8 @@ use crate::txn::{TxnId, TxnSpec};
 use crate::work::Work;
 use crate::wtpg::Wtpg;
 
+use wtpg_obs::ControlStats;
+
 use super::common::SchedCore;
 use super::{Admission, CommitResult, ControlOps, LockOutcome, Scheduler};
 
@@ -50,6 +52,8 @@ pub struct GWtpgScheduler {
     w_order: Option<BTreeSet<(TxnId, TxnId)>>,
     last_compute: Tick,
     dirty: bool,
+    /// Cumulative control-plane statistics (plan reuse, causes).
+    stats: ControlStats,
 }
 
 impl GWtpgScheduler {
@@ -69,14 +73,17 @@ impl GWtpgScheduler {
             w_order: None,
             last_compute: Tick::ZERO,
             dirty: true,
+            stats: ControlStats::default(),
         }
     }
 
     fn ensure_w(&mut self, now: Tick) -> u32 {
         let stale = now.saturating_since(self.last_compute) >= self.keeptime;
         if self.w_order.is_some() && !self.dirty && !stale {
+            self.stats.w_reuses += 1;
             return 0;
         }
+        self.stats.w_recomputes += 1;
         let plan = if self.core.wtpg.conflict_edges().len() <= LOCAL_SEARCH_EDGE_LIMIT {
             planner::local_search(&self.core.wtpg)
         } else {
@@ -104,6 +111,7 @@ impl Scheduler for GWtpgScheduler {
         self.core.arrive(spec)?;
         if !self.core.locks.k_constraint_ok(spec, self.bound) {
             self.core.rollback_arrival(spec.id);
+            self.stats.aborts_k_conflict += 1;
             return Ok((Admission::Rejected, ControlOps::NONE));
         }
         self.dirty = true;
@@ -130,6 +138,7 @@ impl Scheduler for GWtpgScheduler {
             return Err(CoreError::Invariant("ensure_w must populate the W order"));
         };
         if implied.iter().any(|&other| !w.contains(&(txn, other))) {
+            self.stats.delays_minimality += 1;
             return Ok((LockOutcome::Delayed, ops));
         }
         self.core.grant(txn, step, s, &implied)?;
@@ -168,6 +177,10 @@ impl Scheduler for GWtpgScheduler {
 
     fn wtpg(&self) -> &Wtpg {
         self.core.wtpg()
+    }
+
+    fn obs_stats(&self) -> ControlStats {
+        self.stats
     }
 }
 

@@ -33,6 +33,8 @@
 
 use std::collections::BTreeMap;
 
+use wtpg_obs::ControlStats;
+
 use crate::error::CoreError;
 use crate::estimate::{eq_estimate_with, EqScratch, EqValue};
 use crate::time::Tick;
@@ -70,6 +72,8 @@ pub struct KWtpgScheduler {
     scratch: EqScratch,
     /// Consecutive comparison losses per outstanding request.
     starved: BTreeMap<(TxnId, usize), u32>,
+    /// Cumulative control-plane statistics (cache behaviour, causes).
+    stats: ControlStats,
 }
 
 impl KWtpgScheduler {
@@ -86,6 +90,7 @@ impl KWtpgScheduler {
             granted_edges: false,
             scratch: EqScratch::new(),
             starved: BTreeMap::new(),
+            stats: ControlStats::default(),
         }
     }
 
@@ -107,6 +112,9 @@ impl KWtpgScheduler {
             || ver != self.seen_version
             || now.saturating_since(self.last_compute) >= self.keeptime
         {
+            if !self.cache.is_empty() {
+                self.stats.eq_cache_invalidations += 1;
+            }
             self.cache.clear();
             self.last_compute = now;
             self.seen_version = ver;
@@ -128,9 +136,11 @@ impl KWtpgScheduler {
         let ver = self.core.wtpg.version();
         if let Some(&(stamp, v)) = self.cache.get(&(txn, step)) {
             if stamp == ver {
+                self.stats.eq_cache_hits += 1;
                 return (v, false);
             }
         }
+        self.stats.eq_cache_misses += 1;
         let implied = self.core.implied_resolutions(txn, partition, mode);
         let v = eq_estimate_with(&mut self.scratch, &self.core.wtpg, txn, &implied);
         self.cache.insert((txn, step), (ver, v));
@@ -151,6 +161,7 @@ impl Scheduler for KWtpgScheduler {
         self.core.arrive(spec)?;
         if !self.core.locks.k_constraint_ok(spec, self.k) {
             self.core.rollback_arrival(spec.id);
+            self.stats.aborts_k_conflict += 1;
             return Ok((Admission::Rejected, ControlOps::NONE));
         }
         // An admitted arrival bumps the WTPG version, which is what expires
@@ -174,6 +185,7 @@ impl Scheduler for KWtpgScheduler {
         evals += fresh as u32;
         if my_eq.is_infinite() {
             // Step 2 of CC2: a deadlock-causing request is delayed.
+            self.stats.delays_deadlock += 1;
             let ops = ControlOps {
                 eq_evals: evals,
                 ..ControlOps::NONE
@@ -206,6 +218,7 @@ impl Scheduler for KWtpgScheduler {
             ..ControlOps::NONE
         };
         if !wins {
+            self.stats.delays_minimality += 1;
             *self.starved.entry((txn, step)).or_insert(0) += 1;
             return Ok((LockOutcome::Delayed, ops));
         }
@@ -261,6 +274,10 @@ impl Scheduler for KWtpgScheduler {
 
     fn certify_mode(&self) -> crate::certify::CertifyMode {
         crate::certify::CertifyMode::KConflict(self.k)
+    }
+
+    fn obs_stats(&self) -> ControlStats {
+        self.stats
     }
 }
 

@@ -162,4 +162,13 @@ pub trait Scheduler {
     fn certify_mode(&self) -> crate::certify::CertifyMode {
         crate::certify::CertifyMode::General
     }
+
+    /// Cumulative control-plane statistics: §3.4 cache behaviour (`W`
+    /// reuses, `E(q)` hits/misses/invalidations, deadlock-prediction cache)
+    /// and abort/delay causes. Drivers snapshot this around each call and
+    /// emit [`wtpg_obs`] counter events for whatever changed. The default
+    /// (all zeros) suits schedulers with nothing to report (NODC).
+    fn obs_stats(&self) -> wtpg_obs::ControlStats {
+        wtpg_obs::ControlStats::default()
+    }
 }

@@ -6,7 +6,9 @@
 //! - `determinism` — no `HashMap`/`HashSet` (iteration order is
 //!   platform-dependent), no `SystemTime`/`Instant` (wall-clock reads), no
 //!   ambient `thread_rng` in `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
-//!   `wtpg-graph`. Every experiment depends on bit-identical trajectories.
+//!   `wtpg-graph`, and `wtpg-obs` (minus `wall.rs`, the engine-only clock).
+//!   Every experiment depends on bit-identical trajectories, and traces of
+//!   deterministic runs must themselves be byte-deterministic.
 //!   `wtpg-rt` is *exempt*: a real-time engine reads wall clocks and lets
 //!   thread interleavings vary by design — its determinism story is replay
 //!   certification of the recorded history, not bit-identical trajectories.
@@ -669,18 +671,24 @@ pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
 /// - `determinism`: all of `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
 ///   `wtpg-graph` sources — but **not** `wtpg-rt`, whose wall clocks and
 ///   free-running threads are the point (its runs are checked by replay
-///   certification instead).
+///   certification instead). `wtpg-obs` event/histogram/sink code is also
+///   held to determinism (traces of deterministic runs must be
+///   byte-deterministic); its single sanctioned clock lives in `wall.rs`,
+///   which is exempt like the engine it serves.
 /// - `panic-safety`: `wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`, and
-///   all of `wtpg-rt/src` (a panic on an engine thread poisons shared locks).
-/// - `api-docs`: all of `wtpg-core/src` and `wtpg-rt/src`.
+///   all of `wtpg-rt/src` (a panic on an engine thread poisons shared locks)
+///   and `wtpg-obs/src` (observers are called from those same threads).
+/// - `api-docs`: all of `wtpg-core/src`, `wtpg-rt/src` and `wtpg-obs/src`.
 pub fn rules_for(path: &Path) -> RuleSet {
     let s = path.to_string_lossy().replace('\\', "/");
     let in_crate = |name: &str| s.contains(&format!("crates/{name}/src/"));
     let determinism = ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph"]
         .iter()
-        .any(|c| in_crate(c));
-    let api_docs = in_crate("wtpg-core") || in_crate("wtpg-rt");
+        .any(|c| in_crate(c))
+        || (in_crate("wtpg-obs") && !s.ends_with("/wall.rs"));
+    let api_docs = in_crate("wtpg-core") || in_crate("wtpg-rt") || in_crate("wtpg-obs");
     let panic_safety = in_crate("wtpg-rt")
+        || in_crate("wtpg-obs")
         || (in_crate("wtpg-core")
             && (s.ends_with("/wtpg.rs") || s.ends_with("/estimate.rs") || s.contains("/sched/")));
     RuleSet {
@@ -693,7 +701,14 @@ pub fn rules_for(path: &Path) -> RuleSet {
 /// Lints the whole workspace rooted at `root` under the scoping policy.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
-    for krate in ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph", "wtpg-rt"] {
+    for krate in [
+        "wtpg-core",
+        "wtpg-sim",
+        "wtpg-workload",
+        "wtpg-graph",
+        "wtpg-rt",
+        "wtpg-obs",
+    ] {
         let src = root.join("crates").join(krate).join("src");
         for file in rust_files(&src)? {
             let rules = rules_for(&file);

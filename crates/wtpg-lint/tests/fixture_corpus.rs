@@ -96,6 +96,36 @@ fn workspace_policy_scopes_wtpg_rt() {
 }
 
 #[test]
+fn obs_scope_fixture_is_clean_under_all_rules() {
+    // The obs core rule set is ALL three rules; the fixture's `Instant`
+    // phase names carry waivers. Unused waivers are themselves findings, so
+    // emptiness proves the token fired *and* was suppressed.
+    let f = findings_for("obs_scope.rs");
+    assert!(f.is_empty(), "{f:?}");
+}
+
+#[test]
+fn workspace_policy_scopes_wtpg_obs() {
+    // Event/histogram/sink code: all three rules.
+    for file in [
+        "crates/wtpg-obs/src/event.rs",
+        "crates/wtpg-obs/src/hist.rs",
+        "crates/wtpg-obs/src/jsonl.rs",
+        "crates/wtpg-obs/src/summary.rs",
+    ] {
+        let r = rules_for(Path::new(file));
+        assert!(r.determinism, "{file}: determinism must be enforced");
+        assert!(r.panic_safety, "{file}: panic-safety must be enforced");
+        assert!(r.api_docs, "{file}: api-docs must be enforced");
+    }
+    // The one sanctioned clock: wall.rs is determinism-exempt like the
+    // engine it serves, but keeps panic-safety and api-docs.
+    let wall = rules_for(Path::new("crates/wtpg-obs/src/wall.rs"));
+    assert!(!wall.determinism, "wall.rs: determinism must be exempt");
+    assert!(wall.panic_safety && wall.api_docs);
+}
+
+#[test]
 fn binary_exits_nonzero_on_bad_corpus_and_zero_on_waived() {
     let bin = env!("CARGO_BIN_EXE_wtpg-lint");
     let bad = Command::new(bin)

@@ -1,0 +1,29 @@
+//! Captures build-time run metadata (git describe / sha) into rustc env
+//! vars so benchmark emitters can stamp their JSON output without any
+//! runtime git dependency. Falls back to "unknown" outside a git checkout.
+
+use std::process::Command;
+
+fn git(args: &[&str]) -> Option<String> {
+    let out = Command::new("git").args(args).output().ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let s = String::from_utf8(out.stdout).ok()?;
+    let s = s.trim().to_string();
+    if s.is_empty() {
+        None
+    } else {
+        Some(s)
+    }
+}
+
+fn main() {
+    let describe = git(&["describe", "--always", "--dirty", "--tags"])
+        .unwrap_or_else(|| "unknown".to_string());
+    let sha = git(&["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=WTPG_GIT_DESCRIBE={describe}");
+    println!("cargo:rustc-env=WTPG_GIT_SHA={sha}");
+    // Re-stamp when HEAD moves; harmless if the path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

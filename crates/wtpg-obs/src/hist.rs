@@ -1,0 +1,204 @@
+//! Fixed-bucket log-scale histograms.
+//!
+//! Values are binned by their binary magnitude: bucket 0 holds the value 0
+//! and bucket `b >= 1` holds the range `[2^(b-1), 2^b - 1]` (the final
+//! bucket absorbs everything from `2^63` up). Recording is a single
+//! increment of a fixed `[u64; 65]` array — no allocation, no floating
+//! point, no data-dependent layout — so histograms are safe inside the
+//! deterministic core/sim paths and cheap enough for per-event use in the
+//! engine.
+//!
+//! Percentile queries return the *upper bound* of the bucket containing the
+//! requested rank, so a reported percentile is always within one bucket
+//! (one binary order of magnitude) of the exact order statistic; the
+//! property tests in this crate pin that contract.
+
+/// Number of buckets: one for zero plus one per binary magnitude of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A fixed-bucket log2 histogram of `u64` samples.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: [0; BUCKETS],
+        }
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value representable by bucket `b` — what percentile
+    /// queries report for ranks landing in that bucket.
+    pub fn bucket_upper_bound(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            1..=63 => (1u64 << b) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        if let Some(c) = self.counts.get_mut(Self::bucket_of(v)) {
+            *c += 1;
+        }
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// True when no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Adds every sample of `other` into `self`.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), reported as the upper bound of
+    /// the bucket holding that rank. Returns 0 for an empty histogram.
+    pub fn percentile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
+        let mut cum = 0u64;
+        for (b, c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bucket_upper_bound(b);
+            }
+        }
+        Self::bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Upper bound of the highest non-empty bucket (0 when empty).
+    pub fn max_bound(&self) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, c)| **c > 0)
+            .map(|(b, _)| Self::bucket_upper_bound(b))
+            .unwrap_or(0)
+    }
+
+    /// Sparse text encoding `"bucket:count;bucket:count"` used by the JSONL
+    /// sink. Empty histogram encodes to the empty string.
+    pub fn encode(&self) -> String {
+        let mut out = String::new();
+        for (b, c) in self.counts.iter().enumerate() {
+            if *c > 0 {
+                if !out.is_empty() {
+                    out.push(';');
+                }
+                out.push_str(&format!("{b}:{c}"));
+            }
+        }
+        out
+    }
+
+    /// Parses the [`Histogram::encode`] format. Returns `None` on malformed
+    /// input or out-of-range bucket indices.
+    pub fn decode(s: &str) -> Option<Histogram> {
+        let mut h = Histogram::new();
+        if s.is_empty() {
+            return Some(h);
+        }
+        for part in s.split(';') {
+            let (b, c) = part.split_once(':')?;
+            let b: usize = b.parse().ok()?;
+            let c: u64 = c.parse().ok()?;
+            *h.counts.get_mut(b)? = c;
+        }
+        Some(h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(2), 3);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn percentile_of_uniform_run() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // p50 rank = 500 → value 500 → bucket 9 → bound 511.
+        assert_eq!(h.percentile(0.5), 511);
+        assert_eq!(h.percentile(1.0), 1023);
+        assert_eq!(h.max_bound(), 1023);
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn empty_percentile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.5), 0);
+        assert_eq!(h.max_bound(), 0);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 3, 900, 70_000, u64::MAX] {
+            h.record(v);
+        }
+        let enc = h.encode();
+        assert_eq!(Histogram::decode(&enc), Some(h));
+        assert_eq!(Histogram::decode(""), Some(Histogram::new()));
+        assert_eq!(Histogram::decode("99:1"), None);
+        assert_eq!(Histogram::decode("x"), None);
+    }
+}

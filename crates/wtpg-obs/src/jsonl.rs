@@ -1,0 +1,323 @@
+//! JSONL trace encoding: one flat JSON object per event, one event per
+//! line. Hand-rolled (this crate is dependency-free); the decoder accepts
+//! exactly what the encoder produces — flat objects whose values are
+//! unsigned integers or strings — which is all a trace ever contains.
+
+use std::fmt;
+
+use crate::event::{EventKind, Name, ObsEvent};
+use crate::hist::Histogram;
+
+/// A decode failure, with the 1-based line it occurred on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+fn escape_into(out: &mut String, s: &str) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, val: &str) {
+    out.push_str(",\"");
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, val);
+    out.push('"');
+}
+
+fn push_u64_field(out: &mut String, key: &str, val: u64) {
+    out.push_str(&format!(",\"{key}\":{val}"));
+}
+
+/// Encodes one event as a single JSON line (no trailing newline).
+pub fn encode_event(ev: &ObsEvent) -> String {
+    let mut out = format!("{{\"at\":{},\"track\":{}", ev.at, ev.track);
+    match &ev.kind {
+        EventKind::SpanBegin { name, id } => {
+            push_str_field(&mut out, "kind", "span_begin");
+            push_str_field(&mut out, "name", name);
+            push_u64_field(&mut out, "id", *id);
+        }
+        EventKind::SpanEnd { name, id } => {
+            push_str_field(&mut out, "kind", "span_end");
+            push_str_field(&mut out, "name", name);
+            push_u64_field(&mut out, "id", *id);
+        }
+        // lint:allow(determinism) trace phase, not std::time::Instant
+        EventKind::Instant { name, id } => {
+            push_str_field(&mut out, "kind", "instant");
+            push_str_field(&mut out, "name", name);
+            push_u64_field(&mut out, "id", *id);
+        }
+        EventKind::Counter { name, value } => {
+            push_str_field(&mut out, "kind", "counter");
+            push_str_field(&mut out, "name", name);
+            push_u64_field(&mut out, "value", *value);
+        }
+        EventKind::Duration { name, id, dur } => {
+            push_str_field(&mut out, "kind", "duration");
+            push_str_field(&mut out, "name", name);
+            push_u64_field(&mut out, "id", *id);
+            push_u64_field(&mut out, "dur", *dur);
+        }
+        EventKind::Hist { name, hist } => {
+            push_str_field(&mut out, "kind", "hist");
+            push_str_field(&mut out, "name", name);
+            push_str_field(&mut out, "buckets", &hist.encode());
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Encodes a full trace: one line per event, trailing newline.
+pub fn encode(events: &[ObsEvent]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&encode_event(ev));
+        out.push('\n');
+    }
+    out
+}
+
+/// A parsed flat-JSON value: traces only contain strings and unsigned
+/// integers.
+enum Flat {
+    Str(String),
+    Num(u64),
+}
+
+/// Parses one flat JSON object into key/value pairs.
+fn parse_flat(line: &str) -> Result<Vec<(String, Flat)>, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut pairs = Vec::new();
+    if chars.next() != Some('{') {
+        return Err("expected '{'".into());
+    }
+    loop {
+        match chars.peek() {
+            Some('}') => {
+                chars.next();
+                break;
+            }
+            Some(',') => {
+                chars.next();
+            }
+            Some('"') => {}
+            Some(c) => return Err(format!("unexpected character '{c}'")),
+            None => return Err("unterminated object".into()),
+        }
+        if chars.peek() != Some(&'"') {
+            continue;
+        }
+        let key = parse_string(&mut chars)?;
+        if chars.next() != Some(':') {
+            return Err(format!("expected ':' after key {key:?}"));
+        }
+        let val = match chars.peek() {
+            Some('"') => Flat::Str(parse_string(&mut chars)?),
+            Some(c) if c.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        n.push(*c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                Flat::Num(n.parse().map_err(|_| format!("bad number {n:?}"))?)
+            }
+            _ => return Err(format!("unsupported value for key {key:?}")),
+        };
+        pairs.push((key, val));
+    }
+    if chars.next().is_some() {
+        return Err("trailing characters after object".into());
+    }
+    Ok(pairs)
+}
+
+fn parse_string(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<String, String> {
+    if chars.next() != Some('"') {
+        return Err("expected '\"'".into());
+    }
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('t') => out.push('\t'),
+                Some('r') => out.push('\r'),
+                Some('u') => {
+                    let mut code = 0u32;
+                    for _ in 0..4 {
+                        let d = chars
+                            .next()
+                            .and_then(|c| c.to_digit(16))
+                            .ok_or("bad \\u escape")?;
+                        code = code * 16 + d;
+                    }
+                    out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                }
+                _ => return Err("bad escape".into()),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".into()),
+        }
+    }
+}
+
+struct Fields {
+    pairs: Vec<(String, Flat)>,
+}
+
+impl Fields {
+    fn num(&self, key: &str) -> Result<u64, String> {
+        match self.pairs.iter().find(|(k, _)| k == key) {
+            Some((_, Flat::Num(n))) => Ok(*n),
+            Some(_) => Err(format!("field {key:?} is not a number")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+
+    fn str(&self, key: &str) -> Result<&str, String> {
+        match self.pairs.iter().find(|(k, _)| k == key) {
+            Some((_, Flat::Str(s))) => Ok(s),
+            Some(_) => Err(format!("field {key:?} is not a string")),
+            None => Err(format!("missing field {key:?}")),
+        }
+    }
+}
+
+fn decode_line(line: &str) -> Result<ObsEvent, String> {
+    let f = Fields {
+        pairs: parse_flat(line)?,
+    };
+    let at = f.num("at")?;
+    let track = u32::try_from(f.num("track")?).map_err(|_| "track out of range".to_string())?;
+    let name = || -> Result<Name, String> { Ok(Name::Owned(f.str("name")?.to_string())) };
+    let kind = match f.str("kind")? {
+        "span_begin" => EventKind::SpanBegin {
+            name: name()?,
+            id: f.num("id")?,
+        },
+        "span_end" => EventKind::SpanEnd {
+            name: name()?,
+            id: f.num("id")?,
+        },
+        // lint:allow(determinism) trace phase, not std::time::Instant
+        "instant" => EventKind::Instant {
+            name: name()?,
+            id: f.num("id")?,
+        },
+        "counter" => EventKind::Counter {
+            name: name()?,
+            value: f.num("value")?,
+        },
+        "duration" => EventKind::Duration {
+            name: name()?,
+            id: f.num("id")?,
+            dur: f.num("dur")?,
+        },
+        "hist" => EventKind::Hist {
+            name: name()?,
+            hist: Box::new(
+                Histogram::decode(f.str("buckets")?)
+                    .ok_or_else(|| "malformed histogram buckets".to_string())?,
+            ),
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(ObsEvent { at, track, kind })
+}
+
+/// Decodes a JSONL trace. Blank lines are skipped; any malformed line
+/// fails the whole decode with its line number.
+pub fn decode(text: &str) -> Result<Vec<ObsEvent>, JsonlError> {
+    let mut events = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(decode_line(line).map_err(|msg| JsonlError { line: idx + 1, msg })?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ObsEvent> {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(17);
+        h.record(1 << 40);
+        vec![
+            ObsEvent::span_begin(1, 0, "txn", 42),
+            ObsEvent::span_begin(2, 1, "step", 42),
+            ObsEvent::counter(3, 0, "eq_cache_hits", 7),
+            ObsEvent::instant(4, 0, "abort", 9),
+            ObsEvent::duration(5, 2, "lock_wait_us", 42, 137),
+            ObsEvent::span_end(6, 1, "step", 42),
+            ObsEvent::span_end(7, 0, "txn", 42),
+            ObsEvent::hist(8, 0, "rt_ms", h),
+        ]
+    }
+
+    #[test]
+    fn round_trip_preserves_events() {
+        let evs = sample_events();
+        let text = encode(&evs);
+        assert_eq!(decode(&text).expect("decodes"), evs);
+    }
+
+    #[test]
+    fn escaped_names_round_trip() {
+        let evs = vec![ObsEvent::instant(0, 0, String::from("we\"ird\\na\nme"), 1)];
+        assert_eq!(decode(&encode(&evs)).expect("decodes"), evs);
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let evs = sample_events();
+        let text = format!("\n{}\n\n", encode(&evs));
+        assert_eq!(decode(&text).expect("decodes"), evs);
+    }
+
+    #[test]
+    fn malformed_lines_report_position() {
+        let err = decode("{\"at\":1,\"track\":0,\"kind\":\"instant\",\"name\":\"x\",\"id\":1}\nnot json\n")
+            .expect_err("must fail");
+        assert_eq!(err.line, 2);
+        let err = decode("{\"at\":1}\n").expect_err("must fail");
+        assert_eq!(err.line, 1);
+        assert!(err.msg.contains("track"), "{err}");
+    }
+}

@@ -1,0 +1,38 @@
+//! Observability layer for the WTPG workspace.
+//!
+//! This crate is the shared telemetry backbone: a passive [`Observer`]
+//! trait, structured trace events ([`ObsEvent`]: spans, instants,
+//! cumulative counters, complete durations, log-scale [`Histogram`]
+//! snapshots), the control-plane counter bundle [`ControlStats`] every
+//! `Scheduler` maintains, and three sinks — [`NullObserver`] (zero-cost
+//! when tracing is off), JSONL export ([`jsonl`]), and Chrome
+//! `trace_event` export ([`chrome`]) openable in `chrome://tracing` /
+//! Perfetto. [`TraceSummary`] implements the `wtpg obs summary` / `wtpg
+//! obs diff` tooling.
+//!
+//! # Determinism contract
+//!
+//! Events never read clocks; producers supply every timestamp. In
+//! `wtpg-core` and `wtpg-sim` timestamps are logical `Tick`s, so an
+//! instrumented run is byte-reproducible and the whole crate (minus the
+//! [`wall`] module, which only `wtpg-rt` may use) passes wtpg-lint's
+//! determinism rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod hist;
+pub mod jsonl;
+pub mod meta;
+pub mod observer;
+pub mod stats;
+pub mod summary;
+pub mod wall;
+
+pub use event::{EventKind, Name, ObsEvent};
+pub use hist::Histogram;
+pub use observer::{MemorySink, NullObserver, Observer};
+pub use stats::{emit_deltas, ControlStats};
+pub use summary::TraceSummary;

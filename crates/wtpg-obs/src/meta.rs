@@ -1,0 +1,25 @@
+//! Build-time run metadata, captured by this crate's `build.rs` so that
+//! benchmark emitters (`BENCH_engine.json`, `BENCH_wtpg_hotpath.json`)
+//! can attribute results to a commit without a runtime git dependency.
+
+/// `git describe --always --dirty --tags` at build time ("unknown" outside
+/// a checkout).
+pub fn git_describe() -> &'static str {
+    env!("WTPG_GIT_DESCRIBE")
+}
+
+/// `git rev-parse HEAD` at build time ("unknown" outside a checkout).
+pub fn git_sha() -> &'static str {
+    env!("WTPG_GIT_SHA")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metadata_is_nonempty() {
+        assert!(!git_describe().is_empty());
+        assert!(!git_sha().is_empty());
+    }
+}

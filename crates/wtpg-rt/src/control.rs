@@ -11,7 +11,10 @@
 //! multi-threaded executions.
 
 use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
+
+use wtpg_obs::wall::WallClock;
+use wtpg_obs::{emit_deltas, ControlStats, Observer};
 
 use wtpg_core::error::CoreError;
 use wtpg_core::history::{Event, History};
@@ -46,12 +49,18 @@ struct ControlState {
     history: History,
     specs: BTreeMap<TxnId, TxnSpec>,
     counters: ControlCounters,
+    /// Scheduler statistics at the last trace emission.
+    last_stats: ControlStats,
 }
 
 /// The engine's single admission/lock-grant authority.
 pub struct ControlNode {
     state: Mutex<ControlState>,
     clock: LogicalClock,
+    /// Trace sink; control-plane counter deltas are emitted on track 0,
+    /// stamped with wall-clock µs since run start.
+    obs: Option<Arc<dyn Observer>>,
+    wall: WallClock,
 }
 
 /// Everything the control node recorded, released after the workers stop.
@@ -64,19 +73,35 @@ pub struct ControlAudit {
     pub counters: ControlCounters,
     /// The last logical instant issued.
     pub final_tick: Tick,
+    /// The scheduler's cumulative control-plane statistics.
+    pub stats: ControlStats,
 }
 
 impl ControlNode {
-    /// Wraps `sched` as the machine's control node.
+    /// Wraps `sched` as the machine's control node, without tracing.
     pub fn new(sched: Box<dyn Scheduler + Send>) -> ControlNode {
+        ControlNode::with_observer(sched, None, WallClock::start())
+    }
+
+    /// Wraps `sched` with an optional trace sink whose events are stamped
+    /// with µs elapsed on `wall` (shared with the workers so all tracks use
+    /// one origin).
+    pub fn with_observer(
+        sched: Box<dyn Scheduler + Send>,
+        obs: Option<Arc<dyn Observer>>,
+        wall: WallClock,
+    ) -> ControlNode {
         ControlNode {
             state: Mutex::new(ControlState {
                 sched,
                 history: History::new(),
                 specs: BTreeMap::new(),
                 counters: ControlCounters::default(),
+                last_stats: ControlStats::default(),
             }),
             clock: LogicalClock::new(),
+            obs,
+            wall,
         }
     }
 
@@ -84,6 +109,17 @@ impl ControlNode {
         self.state
             .lock()
             .expect("invariant: control lock is never poisoned (worker panics abort the run)")
+    }
+
+    /// Emits counter events for every scheduler statistic that changed since
+    /// the previous emission (no-op without an observer). Called with the
+    /// control lock held, so snapshots are consistent.
+    fn emit_stats(&self, s: &mut ControlState) {
+        if let Some(o) = &self.obs {
+            let after = s.sched.obs_stats();
+            emit_deltas(o.as_ref(), self.wall.now_us(), 0, &s.last_stats, &after);
+            s.last_stats = after;
+        }
     }
 
     /// Submits a transaction's declarations. On rejection the scheduler has
@@ -94,6 +130,7 @@ impl ControlNode {
         let now = self.clock.next();
         let (admission, ops) = s.sched.on_arrive(spec, now)?;
         s.counters.ops = s.counters.ops.merge(ops);
+        self.emit_stats(&mut s);
         match admission {
             Admission::Admitted => {
                 s.counters.admissions += 1;
@@ -119,6 +156,7 @@ impl ControlNode {
         let now = self.clock.next();
         let (outcome, ops) = s.sched.on_request(txn, step, now)?;
         s.counters.ops = s.counters.ops.merge(ops);
+        self.emit_stats(&mut s);
         match outcome {
             LockOutcome::Granted => {
                 s.counters.grants += 1;
@@ -169,6 +207,7 @@ impl ControlNode {
         let now = self.clock.next();
         s.sched.on_commit(txn, now)?;
         s.counters.commits += 1;
+        self.emit_stats(&mut s);
         s.history.push(now, Event::Committed(txn));
         Ok(())
     }
@@ -196,11 +235,13 @@ impl ControlNode {
             .state
             .into_inner()
             .expect("invariant: control lock is never poisoned (worker panics abort the run)");
+        let stats = state.sched.obs_stats();
         ControlAudit {
             history: state.history,
             specs: state.specs,
             counters: state.counters,
             final_tick,
+            stats,
         }
     }
 }

@@ -18,7 +18,11 @@
 //! is proof the scheduler neither starved nor corrupted anything under real
 //! concurrency.
 
+use std::sync::Arc;
 use std::time::Instant;
+
+use wtpg_obs::wall::WallClock;
+use wtpg_obs::{Histogram, ObsEvent, Observer};
 
 use wtpg_core::certify::{certify_history, CertifyViolation};
 use wtpg_core::error::CoreError;
@@ -123,8 +127,29 @@ struct Job {
 #[derive(Default)]
 struct WorkerStats {
     latencies_us: Vec<u64>,
+    queue_waits_us: Vec<u64>,
+    lock_waits_us: Vec<u64>,
     read_checksum: u64,
     max_retry_streak: u32,
+}
+
+/// Worker-side tracing context: the sink, the run's shared wall-clock
+/// origin, and this worker's track (`1 + worker index`; track 0 is the
+/// control plane).
+struct ObsCtx<'a> {
+    obs: &'a dyn Observer,
+    wall: WallClock,
+    track: u32,
+}
+
+impl ObsCtx<'_> {
+    fn emit(&self, ev: ObsEvent) {
+        self.obs.record(ev);
+    }
+
+    fn now_us(&self) -> u64 {
+        self.wall.now_us()
+    }
 }
 
 /// Drives `spec` to commit: admission with backoff, per-step grant /
@@ -136,6 +161,7 @@ fn run_txn(
     cfg: &EngineConfig,
     rng: &mut XorShift,
     stats: &mut WorkerStats,
+    obs: Option<&ObsCtx<'_>>,
 ) -> Result<(), EngineError> {
     let spec = &job.spec;
     let mut streak = 0u32;
@@ -143,24 +169,53 @@ fn run_txn(
         match control.arrive(spec)? {
             Admission::Admitted => break,
             Admission::Rejected => {
+                if let Some(o) = obs {
+                    o.emit(ObsEvent::instant(
+                        o.now_us(),
+                        o.track,
+                        "admission_rejected",
+                        spec.id.0,
+                    ));
+                }
                 cfg.backoff.sleep(streak, rng);
                 streak = streak.saturating_add(1);
             }
         }
     }
     stats.max_retry_streak = stats.max_retry_streak.max(streak);
+    if let Some(o) = obs {
+        o.emit(ObsEvent::span_begin(o.now_us(), o.track, "txn", spec.id.0));
+    }
     for (i, step) in spec.steps().iter().enumerate() {
+        let first_attempt = Instant::now();
         let mut streak = 0u32;
         loop {
             match control.request(spec.id, i)? {
                 LockOutcome::Granted => break,
                 LockOutcome::Blocked | LockOutcome::Delayed => {
+                    if let Some(o) = obs {
+                        o.emit(ObsEvent::instant(o.now_us(), o.track, "lock_retry", spec.id.0));
+                    }
                     cfg.backoff.sleep(streak, rng);
                     streak = streak.saturating_add(1);
                 }
             }
         }
         stats.max_retry_streak = stats.max_retry_streak.max(streak);
+        let waited_us =
+            u64::try_from(first_attempt.elapsed().as_micros()).unwrap_or(u64::MAX);
+        stats.lock_waits_us.push(waited_us);
+        if let Some(o) = obs {
+            let now = o.now_us();
+            o.emit(ObsEvent::duration(
+                now.saturating_sub(waited_us),
+                o.track,
+                "lock_wait",
+                spec.id.0,
+                waited_us,
+            ));
+            o.emit(ObsEvent::span_begin(now, o.track, "step", spec.id.0));
+        }
         // The lock is held: run the bulk operation at the owning data node,
         // one progress chunk at a time.
         let units = step.actual_cost.units();
@@ -176,8 +231,14 @@ fn run_txn(
             offset += chunk;
         }
         control.step_complete(spec.id, i)?;
+        if let Some(o) = obs {
+            o.emit(ObsEvent::span_end(o.now_us(), o.track, "step", spec.id.0));
+        }
     }
     control.commit(spec.id)?;
+    if let Some(o) = obs {
+        o.emit(ObsEvent::span_end(o.now_us(), o.track, "txn", spec.id.0));
+    }
     let us = job.submitted.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     stats.latencies_us.push(us);
     Ok(())
@@ -197,7 +258,26 @@ pub fn run_engine(
     catalog: &Catalog,
     specs: &[TxnSpec],
 ) -> Result<EngineReport, EngineError> {
-    let control = ControlNode::new(sched);
+    run_engine_obs(cfg, sched, catalog, specs, None)
+}
+
+/// [`run_engine`] with an optional trace sink. Events are stamped with
+/// wall-clock µs since run start: control-plane counter deltas on track 0,
+/// per-worker transaction/step spans, queue-wait and lock-wait durations on
+/// track `1 + worker`. Passing `None` (or a [`wtpg_obs::NullObserver`])
+/// changes nothing about the run.
+///
+/// # Errors
+/// As [`run_engine`].
+pub fn run_engine_obs(
+    cfg: &EngineConfig,
+    sched: SendScheduler,
+    catalog: &Catalog,
+    specs: &[TxnSpec],
+    obs: Option<Arc<dyn Observer>>,
+) -> Result<EngineReport, EngineError> {
+    let wall = WallClock::start();
+    let control = ControlNode::with_observer(sched, obs.clone(), wall);
     let name = control.sched_name();
     let mode = control.certify_mode();
     let store = ShardedStore::new(catalog);
@@ -211,11 +291,30 @@ pub fn run_engine(
                 let control = &control;
                 let store = &store;
                 let queue = &queue;
+                let obs = &obs;
                 s.spawn(move || {
+                    let ctx = obs.as_ref().map(|o| ObsCtx {
+                        obs: o.as_ref(),
+                        wall,
+                        track: w as u32 + 1,
+                    });
                     let mut rng = XorShift::new(cfg.seed ^ (w as u64).wrapping_mul(0x9e37));
                     let mut stats = WorkerStats::default();
                     while let Some(job) = queue.pop() {
-                        if let Err(e) = run_txn(&job, control, store, cfg, &mut rng, &mut stats)
+                        let wait_us = u64::try_from(job.submitted.elapsed().as_micros())
+                            .unwrap_or(u64::MAX);
+                        stats.queue_waits_us.push(wait_us);
+                        if let Some(o) = &ctx {
+                            o.emit(ObsEvent::duration(
+                                o.now_us().saturating_sub(wait_us),
+                                o.track,
+                                "queue_wait",
+                                job.spec.id.0,
+                                wait_us,
+                            ));
+                        }
+                        if let Err(e) =
+                            run_txn(&job, control, store, cfg, &mut rng, &mut stats, ctx.as_ref())
                         {
                             // Abort the run: wake the submitter and drain.
                             queue.close();
@@ -244,31 +343,72 @@ pub fn run_engine(
             })
             .collect()
     });
-    let wall = started.elapsed();
+    let wall_elapsed = started.elapsed();
 
     let mut latencies = Vec::with_capacity(specs.len());
+    let mut queue_waits = Vec::with_capacity(specs.len());
+    let mut lock_waits = Vec::new();
     let mut read_checksum = 0u64;
     let mut max_retry_streak = 0u32;
     for r in results {
         let stats = r?;
         latencies.extend_from_slice(&stats.latencies_us);
+        queue_waits.extend_from_slice(&stats.queue_waits_us);
+        lock_waits.extend_from_slice(&stats.lock_waits_us);
         read_checksum = read_checksum.wrapping_add(stats.read_checksum);
         max_retry_streak = max_retry_streak.max(stats.max_retry_streak);
     }
 
     let audit = control.into_audit();
+    if let Some(o) = &obs {
+        // Final cumulative values for every control-plane statistic (even
+        // the never-changed ones), per-node store occupancy, and the
+        // end-to-end latency histogram — everything `wtpg obs summary`
+        // needs from the trace alone.
+        let at = wall.now_us();
+        for (stat_name, value) in audit.stats.fields() {
+            o.record(ObsEvent::counter(at, 0, stat_name, value));
+        }
+        o.record(ObsEvent::counter(at, 0, "admissions", audit.counters.admissions));
+        o.record(ObsEvent::counter(at, 0, "rejections", audit.counters.rejections));
+        o.record(ObsEvent::counter(at, 0, "grants", audit.counters.grants));
+        o.record(ObsEvent::counter(at, 0, "blocks", audit.counters.blocks));
+        o.record(ObsEvent::counter(at, 0, "delays", audit.counters.delays));
+        o.record(ObsEvent::counter(at, 0, "commits", audit.counters.commits));
+        for (node, units) in store.node_write_units().iter().enumerate() {
+            o.record(ObsEvent::counter(
+                at,
+                0,
+                format!("store_node{node}_write_units"),
+                *units,
+            ));
+        }
+        let mut lock_hist = Histogram::new();
+        for &us in &lock_waits {
+            lock_hist.record(us);
+        }
+        o.record(ObsEvent::hist(at, 0, "lock_wait_us", lock_hist));
+        let mut lat_hist = Histogram::new();
+        for &us in &latencies {
+            lat_hist.record(us);
+        }
+        o.record(ObsEvent::hist(at, 0, "txn_latency_us", lat_hist));
+    }
     let mut report = EngineReport::from_counters(name, threads, specs.len(), &audit.counters);
-    report.wall_ms = wall.as_secs_f64() * 1e3;
-    report.throughput_tps = if wall.as_secs_f64() > 0.0 {
-        report.committed as f64 / wall.as_secs_f64()
+    report.wall_ms = wall_elapsed.as_secs_f64() * 1e3;
+    report.throughput_tps = if wall_elapsed.as_secs_f64() > 0.0 {
+        report.committed as f64 / wall_elapsed.as_secs_f64()
     } else {
         0.0
     };
     report.latency = LatencySummary::from_us(latencies);
+    report.queue_wait = LatencySummary::from_us(queue_waits);
+    report.lock_wait = LatencySummary::from_us(lock_waits);
     report.max_retry_streak = max_retry_streak;
     report.history_events = audit.history.len();
     report.logical_ticks = audit.final_tick.millis();
     report.read_checksum = read_checksum;
+    report.store_node_units = store.node_write_units();
 
     // Conservation: every committed write step's declared units must be
     // visible as cell increments (all-or-nothing because workers never
@@ -344,6 +484,88 @@ mod tests {
         let r = run("c2pl", 1, 20);
         assert_eq!(r.committed, 20);
         assert_eq!(r.abort_rate, 0.0, "C2PL never rejects admissions");
+    }
+
+    /// The interleaving-independent projection of a report: everything that
+    /// is a pure function of the submitted workload when every transaction
+    /// commits.
+    fn deterministic_projection(r: &EngineReport) -> (u64, usize, u64, u64, bool, Vec<u64>) {
+        (
+            r.committed,
+            r.submitted,
+            r.expected_write_units,
+            r.store_write_units,
+            r.store_consistent,
+            r.store_node_units.clone(),
+        )
+    }
+
+    #[test]
+    fn null_observer_run_matches_uninstrumented_run() {
+        use wtpg_obs::NullObserver;
+        let (catalog, specs) = pattern_specs(Pattern::One, 40, 7);
+        let cfg = EngineConfig::default();
+        let bare = run_engine(
+            &cfg,
+            sched_by_name("k2", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+        )
+        .expect("bare run");
+        let nulled = run_engine_obs(
+            &cfg,
+            sched_by_name("k2", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            Some(std::sync::Arc::new(NullObserver)),
+        )
+        .expect("null-sink run");
+        assert_eq!(
+            deterministic_projection(&bare),
+            deterministic_projection(&nulled)
+        );
+    }
+
+    #[test]
+    fn traced_runs_report_cache_and_wait_statistics() {
+        use wtpg_obs::{MemorySink, TraceSummary};
+        for name in ["chain", "k2", "c2pl"] {
+            let (catalog, specs) = pattern_specs(Pattern::Two { num_hots: 4 }, 60, 7);
+            let cfg = EngineConfig {
+                threads: 4,
+                ..EngineConfig::default()
+            };
+            let sink = std::sync::Arc::new(MemorySink::new());
+            let sched = sched_by_name(name, 2, 2000).expect("known scheduler");
+            let r = run_engine_obs(&cfg, sched, &catalog, &specs, Some(sink.clone()))
+                .expect("traced run");
+            assert_eq!(r.committed, 60, "{name}");
+            let summary = TraceSummary::from_events(&sink.snapshot());
+            let stats = summary.control_stats();
+            // CHAIN's W reuse is structural, so it must hit. K-WTPG's E(q)
+            // cache and C2PL's deadlock-prediction cache only hit when a
+            // retry lands inside an unchanged version epoch — interleaving-
+            // dependent under real threads — so for those assert cache
+            // *activity*; the deterministic hit paths are pinned by the
+            // simulator trace test and the c2pl unit test.
+            if name == "k2" || name == "c2pl" {
+                assert!(
+                    stats.cache_hits() + stats.cache_misses() > 0,
+                    "{name}: no control-saving cache activity in {stats:?}"
+                );
+            } else {
+                assert!(
+                    stats.cache_hits() > 0,
+                    "{name}: no control-saving cache hits in {stats:?}"
+                );
+            }
+            let lock_wait = summary.span("lock_wait").expect("lock_wait durations");
+            assert!(lock_wait.count() > 0, "{name}: no lock-wait samples");
+            assert!(
+                summary.span("txn").is_some_and(|h| h.count() == 60),
+                "{name}: expected 60 closed txn spans"
+            );
+        }
     }
 
     #[test]

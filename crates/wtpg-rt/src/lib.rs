@@ -76,7 +76,7 @@ pub mod queue;
 pub mod store;
 pub mod workload;
 
-pub use engine::{run_engine, EngineConfig, EngineError, SendScheduler};
+pub use engine::{run_engine, run_engine_obs, EngineConfig, EngineError, SendScheduler};
 pub use metrics::EngineReport;
 
 use wtpg_core::sched::{

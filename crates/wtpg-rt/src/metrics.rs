@@ -69,6 +69,10 @@ pub struct EngineReport {
     pub throughput_tps: f64,
     /// Submit-to-commit latency.
     pub latency: LatencySummary,
+    /// Queue wait (submit → worker pop) per transaction.
+    pub queue_wait: LatencySummary,
+    /// Lock wait (first request attempt → grant) per granted step.
+    pub lock_wait: LatencySummary,
     /// Events in the recorded history.
     pub history_events: usize,
     /// Logical ticks consumed (= control-node operations, including retries).
@@ -95,6 +99,8 @@ pub struct EngineReport {
     /// Checksum folded over every bulk read (keeps scans un-optimisable;
     /// value is interleaving-dependent).
     pub read_checksum: u64,
+    /// Milli-object cells updated per data node (store occupancy).
+    pub store_node_units: Vec<u64>,
 }
 
 impl EngineReport {
@@ -123,6 +129,8 @@ impl EngineReport {
             wall_ms: 0.0,
             throughput_tps: 0.0,
             latency: LatencySummary::default(),
+            queue_wait: LatencySummary::default(),
+            lock_wait: LatencySummary::default(),
             history_events: 0,
             logical_ticks: 0,
             deadlock_tests: counters.ops.deadlock_tests,
@@ -135,6 +143,7 @@ impl EngineReport {
             store_write_units: 0,
             store_consistent: false,
             read_checksum: 0,
+            store_node_units: Vec::new(),
         }
     }
 }

@@ -142,6 +142,19 @@ impl ShardedStore {
     pub fn num_nodes(&self) -> u32 {
         self.num_nodes
     }
+
+    /// Milli-object cells updated on each node, indexed by node id — the
+    /// per-node store occupancy the trace reports as counters.
+    pub fn node_write_units(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                n.lock()
+                    .expect("invariant: store lock is never poisoned (no panics while held)")
+                    .write_units
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]

@@ -2,10 +2,13 @@
 //! round-robin data nodes, Poisson arrivals, retry/wakeup plumbing.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::sync::Arc;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rand_distr::{Distribution, Exp};
+
+use wtpg_obs::{emit_deltas, ControlStats, Histogram, ObsEvent, Observer};
 
 use wtpg_core::certify::{certify_history, CertifyReport, CertifyViolation};
 use wtpg_core::history::{Event as HEvent, History};
@@ -102,6 +105,18 @@ pub struct Machine<W: Workload> {
     /// Declared specs of every transaction ever admitted, for the certifier's
     /// replay (kept only while certification is enabled).
     spec_log: BTreeMap<TxnId, TxnSpec>,
+    /// Trace sink. Events are keyed by the simulated clock (`Tick` ms), so
+    /// traces are byte-deterministic; the observer is passive and never
+    /// influences the trajectory.
+    obs: Option<Arc<dyn Observer>>,
+    /// Scheduler stats at the last delta emission.
+    obs_last: ControlStats,
+    /// First request attempt per (txn, step), for lock-wait durations.
+    /// Populated only while an observer is attached.
+    obs_first_attempt: BTreeMap<(TxnId, usize), Tick>,
+    /// Response times of committed transactions (ms), for the end-of-run
+    /// histogram snapshot.
+    obs_rt: Histogram,
     rng: StdRng,
 }
 
@@ -147,8 +162,20 @@ impl<W: Workload> Machine<W> {
             certify,
             cert_report: None,
             spec_log: BTreeMap::new(),
+            obs: None,
+            obs_last: ControlStats::default(),
+            obs_first_attempt: BTreeMap::new(),
+            obs_rt: Histogram::new(),
             rng,
         }
+    }
+
+    /// Attaches a trace sink. Every event is stamped with the simulated
+    /// clock, so two runs of the same configuration produce byte-identical
+    /// traces, and a [`wtpg_obs::NullObserver`] (or no observer) leaves the
+    /// trajectory untouched.
+    pub fn set_observer(&mut self, obs: Arc<dyn Observer>) {
+        self.obs = Some(obs);
     }
 
     /// Enables end-of-run certification (implies history recording). Also
@@ -227,6 +254,22 @@ impl<W: Workload> Machine<W> {
         }
     }
 
+    /// Forwards `ev` to the attached observer, if any.
+    fn obs_emit(&self, ev: ObsEvent) {
+        if let Some(o) = &self.obs {
+            o.record(ev);
+        }
+    }
+
+    /// Emits counter events for every scheduler statistic that changed
+    /// since the previous emission (no-op without an observer).
+    fn obs_sched_deltas(&mut self) {
+        let Some(o) = &self.obs else { return };
+        let after = self.sched.obs_stats();
+        emit_deltas(o.as_ref(), self.now.millis(), 0, &self.obs_last, &after);
+        self.obs_last = after;
+    }
+
     /// Price of the control work in CN milliseconds.
     fn ops_cost(&self, ops: ControlOps) -> u64 {
         ops.deadlock_tests as u64 * self.params.dd_time_ms
@@ -284,6 +327,23 @@ impl<W: Workload> Machine<W> {
                 Err(v) => panic!("certification failed for {}: {v}", self.sched.name()),
             }
         }
+        if self.obs.is_some() {
+            // Final counter values (even unchanged ones) plus the
+            // response-time histogram, so a summary of the trace alone can
+            // reconstruct the run's control-plane totals.
+            self.obs_sched_deltas();
+            let at = self.now.millis();
+            let final_stats = self.obs_last;
+            for (name, value) in final_stats.fields() {
+                self.obs_emit(ObsEvent::counter(at, 0, name, value));
+            }
+            self.obs_emit(ObsEvent::counter(at, 0, "arrivals", self.metrics.arrivals));
+            self.obs_emit(ObsEvent::counter(at, 0, "rejections", self.metrics.rejections));
+            self.obs_emit(ObsEvent::counter(at, 0, "grants", self.metrics.grants));
+            self.obs_emit(ObsEvent::counter(at, 0, "blocks", self.metrics.blocks));
+            self.obs_emit(ObsEvent::counter(at, 0, "delays", self.metrics.delays));
+            self.obs_emit(ObsEvent::hist(at, 0, "txn_response_ms", self.obs_rt.clone()));
+        }
         let measured = self.params.sim_length_ms - self.params.warmup_ms;
         self.metrics.report(measured)
     }
@@ -312,17 +372,20 @@ impl<W: Workload> Machine<W> {
             .sched
             .on_arrive(&spec, self.now)
             .expect("driver protocol violated at arrival");
+        self.obs_sched_deltas();
         let cost = self.params.startup_time_ms + self.ops_cost(ops);
         self.bump_ops(ops);
         let end = self.cn_serve(cost);
         match admission {
             Admission::Admitted => {
                 self.record(HEvent::Admitted(id));
+                self.obs_emit(ObsEvent::span_begin(end.millis(), 0, "txn", id.0));
                 self.queue.push(end, Event::Request { txn: id, step: 0 });
             }
             Admission::Rejected => {
                 self.metrics.rejections += 1;
                 self.record(HEvent::Rejected(id));
+                self.obs_emit(ObsEvent::instant(end.millis(), 0, "admission_rejected", id.0));
                 self.queue.push(
                     end + self.params.retry_delay_ms,
                     Event::Arrive(Box::new(spec)),
@@ -332,10 +395,14 @@ impl<W: Workload> Machine<W> {
     }
 
     fn handle_request(&mut self, txn: TxnId, step: usize) {
+        if self.obs.is_some() {
+            self.obs_first_attempt.entry((txn, step)).or_insert(self.now);
+        }
         let (outcome, ops) = self
             .sched
             .on_request(txn, step, self.now)
             .expect("driver protocol violated at request");
+        self.obs_sched_deltas();
         let cost = self.params.lockop_time_ms + self.ops_cost(ops);
         self.bump_ops(ops);
         let end = self.cn_serve(cost);
@@ -349,10 +416,18 @@ impl<W: Workload> Machine<W> {
                     partition: s.partition,
                     mode: s.mode,
                 });
+                if let Some(first) = self.obs_first_attempt.remove(&(txn, step)) {
+                    let at = first.millis();
+                    let dur = end.millis().saturating_sub(at);
+                    self.obs_emit(ObsEvent::duration(at, 0, "lock_wait", txn.0, dur));
+                    let node = self.catalog.node_of(s.partition);
+                    self.obs_emit(ObsEvent::span_begin(end.millis(), node + 1, "step", txn.0));
+                }
                 self.queue.push(end, Event::DnEnqueue { txn, step });
             }
             LockOutcome::Blocked => {
                 self.metrics.blocks += 1;
+                self.obs_emit(ObsEvent::instant(end.millis(), 0, "lock_blocked", txn.0));
                 self.blocked
                     .entry(s.partition)
                     .or_default()
@@ -360,6 +435,7 @@ impl<W: Workload> Machine<W> {
             }
             LockOutcome::Delayed => {
                 self.metrics.delays += 1;
+                self.obs_emit(ObsEvent::instant(end.millis(), 0, "lock_delayed", txn.0));
                 self.queue.push(
                     end + self.params.retry_delay_ms,
                     Event::Request { txn, step },
@@ -481,6 +557,10 @@ impl<W: Workload> Machine<W> {
             .on_step_complete(txn, step)
             .expect("driver protocol violated at step completion");
         self.record(HEvent::StepCompleted { txn, step });
+        if self.obs.is_some() {
+            let node = self.catalog.node_of(self.txns[&txn].spec.steps()[step].partition);
+            self.obs_emit(ObsEvent::span_end(self.now.millis(), node + 1, "step", txn.0));
+        }
         let last = step + 1 == self.txns[&txn].spec.len();
         if last {
             self.queue.push(self.now, Event::Commit { txn });
@@ -500,11 +580,17 @@ impl<W: Workload> Machine<W> {
             .sched
             .on_commit(txn, self.now)
             .expect("driver protocol violated at commit");
+        self.obs_sched_deltas();
         let cost = self.params.commit_time_ms + self.ops_cost(res.ops);
         self.bump_ops(res.ops);
         let end = self.cn_serve(cost);
         self.record(HEvent::Committed(txn));
         let state = self.txns.remove(&txn).expect("committing unknown txn");
+        if self.obs.is_some() {
+            self.obs_emit(ObsEvent::span_end(end.millis(), 0, "txn", txn.0));
+            self.obs_rt
+                .record(end.millis().saturating_sub(state.created.millis()));
+        }
         if end.millis() >= self.params.warmup_ms && end.millis() <= self.params.sim_length_ms {
             self.metrics.complete(state.created, end);
             self.completions.push(CompletionRecord {
@@ -721,6 +807,86 @@ mod tests {
             "work lost: {total} units for {committed} txns"
         );
         h.check_conflict_serializable().unwrap();
+    }
+
+    #[test]
+    fn observer_does_not_change_the_trajectory() {
+        use wtpg_obs::{MemorySink, NullObserver};
+        let run = |obs: Option<Arc<dyn wtpg_obs::Observer>>| {
+            let params = tiny_params();
+            let mut m = Machine::new(
+                params.clone(),
+                SchedKind::KWtpg.build(&params),
+                one_part_workload(),
+            );
+            if let Some(o) = obs {
+                m.set_observer(o);
+            }
+            let r = m.run(0.3);
+            (r.completed, r.grants, r.blocks, r.delays, r.mean_rt_ms as u64)
+        };
+        let bare = run(None);
+        assert_eq!(bare, run(Some(Arc::new(NullObserver))));
+        assert_eq!(bare, run(Some(Arc::new(MemorySink::new()))));
+    }
+
+    #[test]
+    fn traces_are_byte_deterministic() {
+        use wtpg_obs::MemorySink;
+        let trace = || {
+            let params = tiny_params();
+            let mut m = Machine::new(
+                params.clone(),
+                SchedKind::C2pl.build(&params),
+                one_part_workload(),
+            );
+            let sink = Arc::new(MemorySink::new());
+            m.set_observer(sink.clone());
+            m.run(0.3);
+            wtpg_obs::jsonl::encode(&sink.snapshot())
+        };
+        assert_eq!(trace(), trace());
+    }
+
+    #[test]
+    fn traces_carry_control_plane_statistics() {
+        use wtpg_obs::{MemorySink, TraceSummary};
+        let summary_for = |kind: SchedKind, workload: FixedWorkload, lambda: f64| {
+            let params = tiny_params();
+            let mut m = Machine::new(params.clone(), kind.build(&params), workload);
+            let sink = Arc::new(MemorySink::new());
+            m.set_observer(sink.clone());
+            m.run(lambda);
+            TraceSummary::from_events(&sink.snapshot())
+        };
+        // A long and a short transaction both ending in a write of partition
+        // 0: the long one loses the E(q) comparison against the short one's
+        // declaration, is delayed, and its retry (same WTPG version) hits
+        // the cache — exactly the §3.4 saving the counters must witness.
+        let hot = || {
+            FixedWorkload::new(
+                Catalog::uniform(16, 5, 8),
+                vec![
+                    vec![StepSpec::read(2, 5.0), StepSpec::write(0, 5.0)],
+                    vec![StepSpec::read(3, 1.0), StepSpec::write(0, 1.0)],
+                ],
+            )
+        };
+        // CHAIN reuses W plans, K-WTPG hits the E(q) cache, C2PL both misses
+        // and (on retries) hits its deadlock-prediction cache.
+        let chain = summary_for(SchedKind::Chain, one_part_workload(), 0.3).control_stats();
+        assert!(chain.w_reuses > 0, "CHAIN: {chain:?}");
+        let k2 = summary_for(SchedKind::KWtpg, hot(), 0.4).control_stats();
+        assert!(k2.eq_cache_hits > 0, "K-WTPG: {k2:?}");
+        let c2pl_sum = summary_for(SchedKind::C2pl, one_part_workload(), 0.3);
+        let c2pl = c2pl_sum.control_stats();
+        assert!(c2pl.dd_cache_misses > 0, "C2PL: {c2pl:?}");
+        // Every scheduler records lock waits and commits txn spans.
+        let spans = c2pl_sum;
+        let lock_wait = spans.span("lock_wait").expect("lock_wait histogram");
+        assert!(lock_wait.count() > 0);
+        let txn = spans.span("txn").expect("txn span histogram");
+        assert!(txn.count() > 0);
     }
 
     #[test]
