@@ -16,6 +16,13 @@
 //!               [--queue N] [--k N] [--keeptime MS] [--no-certify]
 //!               [--grid] [--out FILE]   sweeps sched × threads × contention
 //!               [--trace FILE]          record a structured trace
+//! wtpg net      [--sched NAME]          execute a batch on the shared-
+//!               [--transport inproc|tcp]  nothing message-passing runtime
+//!               [--fault none|fault|crash] with injected link faults
+//!               [--clients N] [--txns N] [--pattern 1|2|3] [--hots N]
+//!               [--seed N] [--chunk N] [--k N] [--keeptime MS]
+//!               [--no-certify]
+//!               [--grid] [--out FILE]   sweeps sched × transport × fault
 //! wtpg obs      summary <trace.jsonl>   percentiles, abort causes, cache
 //!               diff <a.jsonl> <b.jsonl>  hit ratios; counter/span deltas
 //!               chrome <trace.jsonl>    convert to Chrome trace_event JSON
@@ -31,6 +38,7 @@
 use std::io::Read as _;
 
 mod engine;
+mod net;
 mod obs;
 mod plan;
 mod simulate;
@@ -44,6 +52,7 @@ fn main() {
         Some("trace") => trace::run(&args[1..]),
         Some("simulate") => simulate::run(&args[1..]),
         Some("engine") => engine::run(&args[1..]),
+        Some("net") => net::run(&args[1..]),
         Some("obs") => obs::run(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_help();
@@ -75,6 +84,10 @@ fn print_help() {
            wtpg engine   [--sched S] [--threads N] [--txns N] [--pattern 1|2|3]\n\
                          [--hots N] [--seed N] [--queue N] [--k N] [--keeptime MS]\n\
                          [--no-certify] [--grid] [--out FILE] [--trace FILE]\n\
+           wtpg net      [--sched S] [--transport inproc|tcp] [--fault none|fault|crash]\n\
+                         [--clients N] [--txns N] [--pattern 1|2|3] [--hots N] [--seed N]\n\
+                         [--chunk N] [--k N] [--keeptime MS] [--no-certify]\n\
+                         [--grid] [--out FILE]\n\
            wtpg obs      summary <trace.jsonl> | diff <a.jsonl> <b.jsonl>\n\
                          | chrome <trace.jsonl> [--out FILE]\n\
          \n\

@@ -1,0 +1,343 @@
+//! `wtpg net`: run a batch of pattern transactions on the shared-nothing
+//! message-passing runtime (control actor + one actor per data node) and
+//! print (or record) the report.
+//!
+//! Single cell:
+//!
+//! ```text
+//! wtpg net --sched chain --clients 4 --transport tcp --fault crash
+//! ```
+//!
+//! Grid mode sweeps scheduler × transport × fault plan and writes one JSON
+//! report per cell to `BENCH_net.json`, plus a per-(scheduler, fault)
+//! in-proc vs TCP coordination-overhead comparison:
+//!
+//! ```text
+//! wtpg net --grid --out BENCH_net.json
+//! ```
+
+use serde::Serialize;
+use wtpg_net::{run_cell, FaultPlan, InProc, NetConfig, NetReport, Tcp, Transport};
+use wtpg_rt::workload::pattern_specs;
+use wtpg_rt::sched_by_name;
+use wtpg_workload::Pattern;
+
+/// One grid cell of `BENCH_net.json`.
+#[derive(Serialize)]
+struct GridCell {
+    pattern: String,
+    report: NetReport,
+}
+
+/// In-proc vs TCP overhead for one (scheduler, fault) pair — the wire cost
+/// of moving the same certified workload across real sockets.
+#[derive(Serialize)]
+struct OverheadRow {
+    scheduler: String,
+    fault: String,
+    inproc_tps: f64,
+    tcp_tps: f64,
+    /// Extra wall-clock the TCP run took relative to in-proc, percent.
+    tcp_overhead_pct: f64,
+    tcp_bytes_per_commit: f64,
+    tcp_msgs_per_commit: f64,
+}
+
+/// The whole `BENCH_net.json` document, stamped with enough run metadata
+/// to reproduce it: build provenance plus the swept grid.
+#[derive(Serialize)]
+struct GridDoc {
+    bench: &'static str,
+    git_describe: String,
+    git_sha: String,
+    txns: usize,
+    seed: u64,
+    clients: usize,
+    schedulers: Vec<String>,
+    transports: Vec<String>,
+    faults: Vec<String>,
+    cells_certified: usize,
+    cells_total: usize,
+    overhead: Vec<OverheadRow>,
+    cells: Vec<GridCell>,
+}
+
+struct NetArgs {
+    sched: String,
+    clients: usize,
+    txns: usize,
+    pattern: u32,
+    hots: u32,
+    seed: u64,
+    transport: String,
+    fault: String,
+    chunk: u64,
+    k: usize,
+    keeptime: u64,
+    certify: bool,
+    grid: bool,
+    out: Option<String>,
+}
+
+fn parse(args: &[String]) -> Result<NetArgs, String> {
+    let mut a = NetArgs {
+        sched: "chain".into(),
+        clients: 4,
+        txns: 500,
+        pattern: 1,
+        hots: 8,
+        seed: 42,
+        transport: "inproc".into(),
+        fault: "none".into(),
+        chunk: 1000,
+        k: 2,
+        keeptime: 5000,
+        certify: true,
+        grid: false,
+        out: None,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        let take = |i: &mut usize| -> Result<String, String> {
+            *i += 1;
+            args.get(*i)
+                .cloned()
+                .ok_or_else(|| "missing option value".to_string())
+        };
+        match args[i].as_str() {
+            "--sched" | "--scheduler" => a.sched = take(&mut i)?,
+            "--clients" => a.clients = take(&mut i)?.parse().map_err(|_| "bad --clients")?,
+            "--txns" => a.txns = take(&mut i)?.parse().map_err(|_| "bad --txns")?,
+            "--pattern" => a.pattern = take(&mut i)?.parse().map_err(|_| "bad --pattern")?,
+            "--hots" => a.hots = take(&mut i)?.parse().map_err(|_| "bad --hots")?,
+            "--seed" => a.seed = take(&mut i)?.parse().map_err(|_| "bad --seed")?,
+            "--transport" => a.transport = take(&mut i)?,
+            "--fault" => a.fault = take(&mut i)?,
+            "--chunk" => a.chunk = take(&mut i)?.parse().map_err(|_| "bad --chunk")?,
+            "--k" => a.k = take(&mut i)?.parse().map_err(|_| "bad --k")?,
+            "--keeptime" => a.keeptime = take(&mut i)?.parse().map_err(|_| "bad --keeptime")?,
+            "--no-certify" => a.certify = false,
+            "--grid" => a.grid = true,
+            "--out" => a.out = Some(take(&mut i)?),
+            other => return Err(format!("unknown option {other:?}")),
+        }
+        i += 1;
+    }
+    Ok(a)
+}
+
+fn pattern_of(pattern: u32, hots: u32) -> Result<Pattern, String> {
+    match pattern {
+        1 => Ok(Pattern::One),
+        2 => Ok(Pattern::Two { num_hots: hots }),
+        3 => Ok(Pattern::Three { num_hots: hots }),
+        other => Err(format!("--pattern must be 1, 2 or 3, got {other}")),
+    }
+}
+
+fn transport_of(name: &str) -> Result<&'static dyn Transport, String> {
+    match name {
+        "inproc" => Ok(&InProc),
+        "tcp" => Ok(&Tcp),
+        other => Err(format!("--transport must be inproc or tcp, got {other:?}")),
+    }
+}
+
+/// Fault plans always target data node 0's control link; the plan seed is
+/// derived from the run seed so `--seed` reproduces the fault schedule too.
+fn fault_of(name: &str, seed: u64) -> Result<FaultPlan, String> {
+    match name {
+        "none" => Ok(FaultPlan::none()),
+        "fault" => Ok(FaultPlan::flaky_links(seed ^ 0x5bd1_e995)),
+        "crash" => Ok(FaultPlan::flaky_with_crash(seed ^ 0x5bd1_e995, 0)),
+        other => Err(format!(
+            "--fault must be none, fault or crash, got {other:?}"
+        )),
+    }
+}
+
+fn run_one(
+    a: &NetArgs,
+    sched: &str,
+    transport: &dyn Transport,
+    fault: &FaultPlan,
+    pattern: Pattern,
+) -> Result<NetReport, String> {
+    let (catalog, specs) = pattern_specs(pattern, a.txns, a.seed);
+    let cfg = NetConfig {
+        clients: a.clients,
+        chunk_units: a.chunk,
+        certify: a.certify,
+        seed: a.seed,
+        ..NetConfig::default()
+    };
+    let sched = sched_by_name(sched, a.k, a.keeptime)
+        .ok_or_else(|| format!("unknown scheduler {sched:?}"))?;
+    run_cell(&cfg, sched, &catalog, &specs, transport, fault).map_err(|e| e.to_string())
+}
+
+fn print_report(r: &NetReport, pattern: &str) {
+    println!(
+        "{} | {} transport | {} faults | {} clients × {} data nodes | {} | {} txns",
+        r.scheduler, r.transport, r.fault, r.clients, r.data_nodes, pattern, r.submitted
+    );
+    println!(
+        "  committed  : {}  ({:.1} TPS over {:.0} ms wall)",
+        r.committed, r.throughput_tps, r.wall_ms
+    );
+    println!(
+        "  latency    : mean {:.2} ms  p50 {:.2}  p95 {:.2}  max {:.2}",
+        r.latency.mean_ms, r.latency.p50_ms, r.latency.p95_ms, r.latency.max_ms
+    );
+    println!(
+        "  round trips: control p95 {:.2} ms, bulk-step p95 {:.2} ms",
+        r.ctrl_rtt.p95_ms, r.data_rtt.p95_ms
+    );
+    println!(
+        "  messages   : {} sent ({:.1} per commit) — {} submits, {} grants, \
+         {} accesses, {} stats deltas",
+        r.messages_sent,
+        r.msgs_per_commit(),
+        r.msgs.submit,
+        r.msgs.grant,
+        r.msgs.access,
+        r.msgs.stats_delta
+    );
+    if r.bytes_sent > 0 {
+        println!(
+            "  wire       : {} bytes sent / {} received ({:.0} bytes per commit, \
+             {} frames)",
+            r.bytes_sent,
+            r.bytes_received,
+            r.bytes_per_commit(),
+            r.frames_sent
+        );
+    } else {
+        println!("  wire       : in-process (no frames)");
+    }
+    println!(
+        "  faults     : {} delayed, {} duplicated, {} crash drops, {} access retries",
+        r.delayed_deliveries, r.dup_deliveries, r.crash_drops, r.access_retries
+    );
+    println!(
+        "  aborts     : {} rejected admissions, {} delayed retries, worst streak {}",
+        r.rejected_admissions, r.delayed_retries, r.max_retry_streak
+    );
+    if r.certified {
+        println!(
+            "  certified  : clean ({} grants checked, {} E(q) spot checks)",
+            r.certify_grants, r.certify_eq_checks
+        );
+    } else {
+        println!("  certified  : skipped (--no-certify)");
+    }
+    println!(
+        "  store      : {} / {} write units visible — {}",
+        r.store_write_units,
+        r.expected_write_units,
+        if r.store_consistent { "consistent" } else { "INCONSISTENT" }
+    );
+}
+
+pub(crate) fn run(args: &[String]) -> Result<(), String> {
+    let a = parse(args)?;
+    let pattern = pattern_of(a.pattern, a.hots)?;
+    if !a.grid {
+        let transport = transport_of(&a.transport)?;
+        let fault = fault_of(&a.fault, a.seed)?;
+        let report = run_one(&a, &a.sched, transport, &fault, pattern)?;
+        print_report(&report, &pattern.label());
+        if let Some(path) = &a.out {
+            let json = serde_json::to_string_pretty(&report)
+                .map_err(|e| format!("cannot serialise report: {e}"))?;
+            std::fs::write(path, json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        return Ok(());
+    }
+
+    // Grid mode: scheduler × transport × fault, one report per cell.
+    let scheds = ["chain", "k2", "c2pl"];
+    let transports: [(&str, &dyn Transport); 2] = [("inproc", &InProc), ("tcp", &Tcp)];
+    let faults = ["none", "fault", "crash"];
+    let mut cells: Vec<GridCell> = Vec::new();
+    for sched in scheds {
+        for (tname, transport) in transports {
+            for fname in faults {
+                let fault = fault_of(fname, a.seed)?;
+                let report = run_one(&a, sched, transport, &fault, pattern)?;
+                println!(
+                    "{:>6} | {:>6} | {:>11} faults | {:>8.1} TPS | p95 {:>8.2} ms \
+                     | {:>5.1} msg/commit | {}",
+                    report.scheduler,
+                    tname,
+                    report.fault,
+                    report.throughput_tps,
+                    report.latency.p95_ms,
+                    report.msgs_per_commit(),
+                    if report.certified { "certified" } else { "UNCERTIFIED" }
+                );
+                cells.push(GridCell {
+                    pattern: pattern.label(),
+                    report,
+                });
+            }
+        }
+    }
+
+    // Pair each (scheduler, fault) across transports: the TCP run moves
+    // the identical workload, so the delta is pure coordination overhead.
+    // The cells vector is laid out sched-major, then transport, then fault.
+    let mut overhead = Vec::new();
+    for (si, _) in scheds.iter().enumerate() {
+        for (fi, fname) in faults.iter().enumerate() {
+            let ip = &cells[si * transports.len() * faults.len() + fi].report;
+            let tcp = &cells[si * transports.len() * faults.len() + faults.len() + fi].report;
+            overhead.push(OverheadRow {
+                scheduler: ip.scheduler.clone(),
+                fault: fname.to_string(),
+                inproc_tps: ip.throughput_tps,
+                tcp_tps: tcp.throughput_tps,
+                tcp_overhead_pct: if ip.wall_ms > 0.0 {
+                    (tcp.wall_ms / ip.wall_ms - 1.0) * 100.0
+                } else {
+                    0.0
+                },
+                tcp_bytes_per_commit: tcp.bytes_per_commit(),
+                tcp_msgs_per_commit: tcp.msgs_per_commit(),
+            });
+        }
+    }
+
+    let certified = cells.iter().filter(|c| c.report.certified).count();
+    let consistent = cells.iter().filter(|c| c.report.store_consistent).count();
+    let n_cells = cells.len();
+    println!(
+        "{certified}/{n_cells} cells certified, {consistent}/{n_cells} stores consistent"
+    );
+    if certified < n_cells || consistent < n_cells {
+        return Err("grid run left uncertified or inconsistent cells".into());
+    }
+
+    let out = a.out.as_deref().unwrap_or("BENCH_net.json");
+    let doc = GridDoc {
+        bench: "net",
+        git_describe: wtpg_obs::meta::git_describe().to_string(),
+        git_sha: wtpg_obs::meta::git_sha().to_string(),
+        txns: a.txns,
+        seed: a.seed,
+        clients: a.clients,
+        schedulers: scheds.iter().map(|s| s.to_string()).collect(),
+        transports: transports.iter().map(|(t, _)| t.to_string()).collect(),
+        faults: faults.iter().map(|f| f.to_string()).collect(),
+        cells_certified: certified,
+        cells_total: n_cells,
+        overhead,
+        cells,
+    };
+    let json =
+        serde_json::to_string_pretty(&doc).map_err(|e| format!("cannot serialise grid: {e}"))?;
+    std::fs::write(out, json).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out} ({n_cells} cells)");
+    Ok(())
+}

@@ -6,12 +6,15 @@
 //! - `determinism` — no `HashMap`/`HashSet` (iteration order is
 //!   platform-dependent), no `SystemTime`/`Instant` (wall-clock reads), no
 //!   ambient `thread_rng` in `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
-//!   `wtpg-graph`, and `wtpg-obs` (minus `wall.rs`, the engine-only clock).
+//!   `wtpg-graph`, `wtpg-obs` (minus `wall.rs`, the engine-only clock), and
+//!   `wtpg-net`'s protocol layer (codec, message types, fault plans,
+//!   reports — the wire format and fault schedules replay by seed).
 //!   Every experiment depends on bit-identical trajectories, and traces of
 //!   deterministic runs must themselves be byte-deterministic.
 //!   `wtpg-rt` is *exempt*: a real-time engine reads wall clocks and lets
 //!   thread interleavings vary by design — its determinism story is replay
 //!   certification of the recorded history, not bit-identical trajectories.
+//!   `wtpg-net`'s actor loops and TCP transport are exempt the same way.
 //! - `panic-safety` — no `unwrap()`, undocumented `expect()`, panic-family
 //!   macros, or possibly-panicking slice indexing in the scheduler hot path
 //!   (`wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`) or anywhere in
@@ -676,19 +679,35 @@ pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
 ///   byte-deterministic); its single sanctioned clock lives in `wall.rs`,
 ///   which is exempt like the engine it serves.
 /// - `panic-safety`: `wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`, and
-///   all of `wtpg-rt/src` (a panic on an engine thread poisons shared locks)
-///   and `wtpg-obs/src` (observers are called from those same threads).
-/// - `api-docs`: all of `wtpg-core/src`, `wtpg-rt/src` and `wtpg-obs/src`.
+///   all of `wtpg-rt/src` (a panic on an engine thread poisons shared locks),
+///   `wtpg-obs/src` (observers are called from those same threads) and
+///   `wtpg-net/src` (a panicking actor deadlocks every peer waiting on it).
+/// - `api-docs`: all of `wtpg-core/src`, `wtpg-rt/src`, `wtpg-obs/src` and
+///   `wtpg-net/src`.
+/// - `wtpg-net` splits on determinism: the pure protocol layer (`msg.rs`,
+///   `codec.rs`, `fault.rs` decisions, `report.rs`) must be deterministic —
+///   the wire format and fault schedules are replayable by seed — while the
+///   actor loops (`control.rs`, `client.rs`, `data.rs`, `runtime.rs`) and
+///   the socket transport (`tcp.rs`) run on wall clocks and OS threads by
+///   design, certified by replay like the engine.
 pub fn rules_for(path: &Path) -> RuleSet {
     let s = path.to_string_lossy().replace('\\', "/");
     let in_crate = |name: &str| s.contains(&format!("crates/{name}/src/"));
+    let net_wall_clock = ["/tcp.rs", "/control.rs", "/client.rs", "/data.rs", "/runtime.rs"]
+        .iter()
+        .any(|f| s.ends_with(f));
     let determinism = ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph"]
         .iter()
         .any(|c| in_crate(c))
-        || (in_crate("wtpg-obs") && !s.ends_with("/wall.rs"));
-    let api_docs = in_crate("wtpg-core") || in_crate("wtpg-rt") || in_crate("wtpg-obs");
+        || (in_crate("wtpg-obs") && !s.ends_with("/wall.rs"))
+        || (in_crate("wtpg-net") && !net_wall_clock);
+    let api_docs = in_crate("wtpg-core")
+        || in_crate("wtpg-rt")
+        || in_crate("wtpg-obs")
+        || in_crate("wtpg-net");
     let panic_safety = in_crate("wtpg-rt")
         || in_crate("wtpg-obs")
+        || in_crate("wtpg-net")
         || (in_crate("wtpg-core")
             && (s.ends_with("/wtpg.rs") || s.ends_with("/estimate.rs") || s.contains("/sched/")));
     RuleSet {
@@ -708,6 +727,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
         "wtpg-graph",
         "wtpg-rt",
         "wtpg-obs",
+        "wtpg-net",
     ] {
         let src = root.join("crates").join(krate).join("src");
         for file in rust_files(&src)? {

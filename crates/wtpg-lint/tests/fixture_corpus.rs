@@ -126,6 +126,57 @@ fn workspace_policy_scopes_wtpg_obs() {
 }
 
 #[test]
+fn net_scope_fixture_is_clean_under_actor_rules_only() {
+    // The actor-loop rule set: determinism off, panic-safety + api-docs on.
+    let actor_rules = RuleSet {
+        determinism: false,
+        panic_safety: true,
+        api_docs: true,
+    };
+    let clean = lint_file(&fixture("net_scope.rs"), actor_rules).expect("fixture readable");
+    assert!(clean.is_empty(), "{clean:?}");
+    // Under the full rule set the same file trips determinism (Instant) and
+    // nothing else — the exemption is what keeps it clean.
+    let full = findings_for("net_scope.rs");
+    assert!(!full.is_empty(), "fixture must trip determinism under ALL");
+    assert!(full.iter().all(|f| f.rule == Rule::Determinism), "{full:?}");
+}
+
+#[test]
+fn workspace_policy_scopes_wtpg_net() {
+    // Actor loops and the socket transport: wall clocks by design, but
+    // panic-safety and api-docs still enforced.
+    for file in [
+        "crates/wtpg-net/src/control.rs",
+        "crates/wtpg-net/src/client.rs",
+        "crates/wtpg-net/src/data.rs",
+        "crates/wtpg-net/src/runtime.rs",
+        "crates/wtpg-net/src/tcp.rs",
+    ] {
+        let r = rules_for(Path::new(file));
+        assert!(!r.determinism, "{file}: determinism must be exempt");
+        assert!(r.panic_safety, "{file}: panic-safety must be enforced");
+        assert!(r.api_docs, "{file}: api-docs must be enforced");
+    }
+    // The protocol layer keeps all three: codecs, message types, fault
+    // plans and reports must be deterministic for replay-by-seed.
+    for file in [
+        "crates/wtpg-net/src/msg.rs",
+        "crates/wtpg-net/src/codec.rs",
+        "crates/wtpg-net/src/error.rs",
+        "crates/wtpg-net/src/fault.rs",
+        "crates/wtpg-net/src/report.rs",
+        "crates/wtpg-net/src/transport.rs",
+        "crates/wtpg-net/src/lib.rs",
+    ] {
+        let r = rules_for(Path::new(file));
+        assert!(r.determinism, "{file}: determinism must be enforced");
+        assert!(r.panic_safety, "{file}: panic-safety must be enforced");
+        assert!(r.api_docs, "{file}: api-docs must be enforced");
+    }
+}
+
+#[test]
 fn binary_exits_nonzero_on_bad_corpus_and_zero_on_waived() {
     let bin = env!("CARGO_BIN_EXE_wtpg-lint");
     let bad = Command::new(bin)

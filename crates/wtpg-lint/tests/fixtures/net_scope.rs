@@ -1,0 +1,33 @@
+//! Fixture pinning the `wtpg-net` scoping policy: this file is *clean*
+//! under the actor-loop rule set (panic-safety + api-docs, determinism off)
+//! but has determinism findings under `RuleSet::ALL`. A control or client
+//! actor is allowed wall clocks — redelivery deadlines and round-trip
+//! timing are wall-clock by nature — but never panics or undocumented API;
+//! the codec and fault-plan layer additionally keeps full determinism.
+
+use std::time::Instant;
+
+/// A redelivery deadline — control actors arm one per in-flight `Access`.
+pub struct Deadline {
+    /// When the unacknowledged order is resent.
+    pub at: Instant,
+}
+
+/// Arms a redelivery deadline `delay_us` from now.
+pub fn arm(delay_us: u64) -> Deadline {
+    Deadline {
+        at: Instant::now() + std::time::Duration::from_micros(delay_us),
+    }
+}
+
+/// Joins an actor thread, surfacing its result without panicking.
+pub fn join_actor(handle: std::thread::JoinHandle<u64>) -> u64 {
+    handle
+        .join()
+        .expect("invariant: actors return errors instead of panicking")
+}
+
+/// Safe lookup of a peer link: indexing is banned, `get` is the form.
+pub fn link(links: &[u64], node: usize) -> u64 {
+    links.get(node).copied().unwrap_or(0)
+}

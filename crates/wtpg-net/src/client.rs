@@ -1,0 +1,226 @@
+//! A client actor: drives its transactions through the message protocol.
+//!
+//! Plays the role of the engine's worker thread, but across the wire: one
+//! transaction in flight at a time, each driven admission → steps → commit
+//! strictly in lock-step with the control node (every `Submit` gets exactly
+//! one reply, and a granted step is finished by the forwarded
+//! `AccessDone`). Rejected admissions and delayed lock requests are retried
+//! under the same capped-exponential [`Backoff`] as the engine, and the
+//! same starvation bound applies: an exhausted backoff loop surfaces as
+//! [`NetError::BackoffExhausted`] instead of spinning forever.
+//!
+//! The client also keeps the run's latency books: submit-to-commit-ack per
+//! transaction, control-node round trips per request, and grant-to-done
+//! round trips per bulk step (the data-plane RTT).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wtpg_core::txn::TxnSpec;
+use wtpg_obs::MsgCounts;
+use wtpg_rt::backoff::{Backoff, XorShift};
+use wtpg_rt::queue::PopResult;
+
+use crate::error::NetError;
+use crate::msg::Msg;
+use crate::transport::{Inbox, MsgTx};
+
+/// Everything one client actor measured.
+#[derive(Default)]
+pub struct ClientOutcome {
+    /// Submit-to-commit-ack latency per transaction, microseconds.
+    pub latencies_us: Vec<u64>,
+    /// Control-node round trip per request (`Submit`/`Commit` → reply).
+    pub ctrl_rtts_us: Vec<u64>,
+    /// Data-plane round trip per granted step (grant → `AccessDone`).
+    pub data_rtts_us: Vec<u64>,
+    /// Admission rejections observed (each one is a backoff-and-resubmit).
+    pub rejections: u64,
+    /// Step requests the control node answered with `Delay`.
+    pub delays: u64,
+    /// Longest reject/delay retry streak any single transaction saw.
+    pub max_retry_streak: u32,
+    /// Messages dequeued and handled, by type.
+    pub rx: MsgCounts,
+    /// Messages sent, by type.
+    pub tx: MsgCounts,
+}
+
+struct ClientActor<'a> {
+    client: u32,
+    inbox: &'a Inbox,
+    to_control: &'a Arc<dyn MsgTx>,
+    backoff: Backoff,
+    watchdog: Duration,
+    rng: XorShift,
+    out: ClientOutcome,
+}
+
+impl ClientActor<'_> {
+    fn send(&mut self, m: &Msg) -> Result<(), NetError> {
+        if !self.to_control.send(m) {
+            return Err(NetError::Protocol(format!(
+                "client {}: control node vanished",
+                self.client
+            )));
+        }
+        m.count(&mut self.out.tx);
+        Ok(())
+    }
+
+    fn recv(&mut self) -> Result<Msg, NetError> {
+        match self.inbox.pop_timeout(self.watchdog) {
+            PopResult::Item(Msg::Shutdown) => Err(NetError::Protocol(format!(
+                "client {}: control node shut the run down mid-transaction",
+                self.client
+            ))),
+            PopResult::Item(m) => {
+                m.count(&mut self.out.rx);
+                Ok(m)
+            }
+            PopResult::Empty => Err(NetError::RecvTimeout {
+                actor: format!("client {}", self.client),
+            }),
+            PopResult::Closed => Err(NetError::Protocol(format!(
+                "client {}: link closed mid-run",
+                self.client
+            ))),
+        }
+    }
+
+    fn unexpected(&self, want: &str, got: &Msg) -> NetError {
+        NetError::Protocol(format!(
+            "client {}: expected {want}, got {got:?}",
+            self.client
+        ))
+    }
+
+    fn run_txn(&mut self, spec: &TxnSpec) -> Result<(), NetError> {
+        let started = Instant::now();
+        let txn = spec.id;
+        // Admission, resubmitted with backoff until admitted.
+        let mut streak = 0u32;
+        loop {
+            self.send(&Msg::Submit {
+                client: self.client,
+                txn,
+                step: None,
+                spec: Some(spec.clone()),
+            })?;
+            let asked = Instant::now();
+            let reply = self.recv()?;
+            self.out.ctrl_rtts_us.push(elapsed_us(asked));
+            match reply {
+                Msg::Grant { txn: t, step: None } if t == txn => break,
+                Msg::Reject { txn: t } if t == txn => {
+                    self.out.rejections += 1;
+                    self.backoff.sleep(streak, &mut self.rng).map_err(|e| {
+                        NetError::BackoffExhausted {
+                            txn,
+                            attempts: e.attempts,
+                        }
+                    })?;
+                    streak = streak.saturating_add(1);
+                }
+                other => return Err(self.unexpected("admission Grant/Reject", &other)),
+            }
+        }
+        self.out.max_retry_streak = self.out.max_retry_streak.max(streak);
+        // Steps, each requested with backoff until granted, then awaited.
+        for step in 0..spec.len() as u32 {
+            let mut streak = 0u32;
+            loop {
+                self.send(&Msg::Submit {
+                    client: self.client,
+                    txn,
+                    step: Some(step),
+                    spec: None,
+                })?;
+                let asked = Instant::now();
+                let reply = self.recv()?;
+                self.out.ctrl_rtts_us.push(elapsed_us(asked));
+                match reply {
+                    Msg::Grant {
+                        txn: t,
+                        step: Some(s),
+                    } if t == txn && s == step => {
+                        let granted = Instant::now();
+                        match self.recv()? {
+                            Msg::AccessDone {
+                                txn: t, step: s, ..
+                            } if t == txn && s == step => {
+                                self.out.data_rtts_us.push(elapsed_us(granted));
+                            }
+                            other => return Err(self.unexpected("AccessDone", &other)),
+                        }
+                        break;
+                    }
+                    Msg::Delay {
+                        txn: t,
+                        step: s,
+                    } if t == txn && s == step => {
+                        self.out.delays += 1;
+                        self.backoff.sleep(streak, &mut self.rng).map_err(|e| {
+                            NetError::BackoffExhausted {
+                                txn,
+                                attempts: e.attempts,
+                            }
+                        })?;
+                        streak = streak.saturating_add(1);
+                    }
+                    other => return Err(self.unexpected("step Grant/Delay", &other)),
+                }
+            }
+            self.out.max_retry_streak = self.out.max_retry_streak.max(streak);
+        }
+        // Commit and await the ack.
+        self.send(&Msg::Commit {
+            client: self.client,
+            txn,
+        })?;
+        let asked = Instant::now();
+        match self.recv()? {
+            Msg::Commit { txn: t, .. } if t == txn => {
+                self.out.ctrl_rtts_us.push(elapsed_us(asked));
+            }
+            other => return Err(self.unexpected("Commit ack", &other)),
+        }
+        self.out.latencies_us.push(elapsed_us(started));
+        Ok(())
+    }
+}
+
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Drives `specs` to commit, one at a time, as client `client`.
+///
+/// # Errors
+/// [`NetError::BackoffExhausted`] if the scheduler starved a transaction,
+/// [`NetError::RecvTimeout`] if an awaited reply never arrived within the
+/// watchdog, [`NetError::Protocol`] on an out-of-protocol reply or a run
+/// shut down from the control side.
+pub fn run_client(
+    client: u32,
+    specs: &[TxnSpec],
+    inbox: &Inbox,
+    to_control: &Arc<dyn MsgTx>,
+    backoff: Backoff,
+    seed: u64,
+    watchdog: Duration,
+) -> Result<ClientOutcome, NetError> {
+    let mut actor = ClientActor {
+        client,
+        inbox,
+        to_control,
+        backoff,
+        watchdog,
+        rng: XorShift::new(seed ^ u64::from(client).wrapping_mul(0x9e37)),
+        out: ClientOutcome::default(),
+    };
+    for spec in specs {
+        actor.run_txn(spec)?;
+    }
+    Ok(actor.out)
+}

@@ -1,0 +1,400 @@
+//! The control actor: the machine's single admission/lock-grant authority,
+//! driven entirely by messages.
+//!
+//! Wraps the engine's [`ControlNode`] — the same scheduler-plus-history-
+//! plus-logical-clock bundle the threaded engine shares behind a mutex —
+//! but here it is owned by one actor thread and never contended: every
+//! protocol decision is a message handled in arrival order, so the recorded
+//! history is a linearization by construction.
+//!
+//! Reliability duties beyond the engine's:
+//!
+//! * **Access redelivery** — every `Access` order sent to a data node is
+//!   tracked in an outstanding table; if the matching `AccessDone` does not
+//!   arrive before a [`Backoff`]-scheduled deadline, the order is re-sent
+//!   (the data node's applied-marks make redelivery idempotent). A node
+//!   that never answers surfaces as [`NetError::RetriesExhausted`].
+//! * **Duplicate absorption** — `StatsDelta` chunks are applied to the
+//!   scheduler only in sequence (links are FIFO, so a duplicate's chunk
+//!   index is always behind the expected one), and a second `AccessDone`
+//!   for a completed step is dropped. Without this, a duplicated delivery
+//!   would double-count bulk progress and break certification.
+//! * **Idempotent commit acks** — a repeated `Commit` request for an
+//!   already-committed transaction is re-acked, not re-applied.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wtpg_core::certify::CertifyMode;
+use wtpg_core::partition::Catalog;
+use wtpg_core::sched::{Admission, LockOutcome, Scheduler};
+use wtpg_core::txn::{TxnId, TxnSpec};
+use wtpg_core::work::Work;
+use wtpg_obs::MsgCounts;
+use wtpg_rt::backoff::Backoff;
+use wtpg_rt::control::{ControlAudit, ControlNode};
+use wtpg_rt::queue::PopResult;
+
+use crate::error::NetError;
+use crate::msg::Msg;
+use crate::transport::{Inbox, MsgTx};
+
+/// How often the control loop wakes to scan redelivery deadlines when its
+/// inbox is idle.
+const POLL: Duration = Duration::from_millis(2);
+
+/// Tuning for one control-actor run.
+pub struct ControlParams {
+    /// The wrapped admission/lock scheduler.
+    pub sched: Box<dyn Scheduler + Send>,
+    /// Commits to wait for before broadcasting `Shutdown` and exiting.
+    pub expected_commits: u64,
+    /// Redelivery schedule for unanswered `Access` orders.
+    pub retry: Backoff,
+    /// Give up after this long without any inbound message.
+    pub watchdog: Duration,
+}
+
+/// Everything the control actor recorded.
+pub struct ControlOutcome {
+    /// The wrapped scheduler's display name ("CHAIN", "K2", …).
+    pub name: String,
+    /// The linearized history, specs, counters, and final tick.
+    pub audit: ControlAudit,
+    /// The certification mode the scheduler claimed.
+    pub mode: CertifyMode,
+    /// Messages dequeued and handled, by type.
+    pub rx: MsgCounts,
+    /// Messages sent, by type.
+    pub tx: MsgCounts,
+    /// `Access` orders re-sent by the redelivery watchdog.
+    pub access_retries: u64,
+}
+
+/// One unanswered `Access` order awaiting its `AccessDone`.
+struct Outstanding {
+    node: usize,
+    attempts: u32,
+    deadline: Instant,
+    msg: Msg,
+}
+
+struct ControlActor<'a> {
+    control: ControlNode,
+    catalog: &'a Catalog,
+    retry: Backoff,
+    to_data: &'a [Arc<dyn MsgTx>],
+    to_clients: &'a [Arc<dyn MsgTx>],
+    /// Every spec ever submitted, for building `Access` orders.
+    specs: BTreeMap<TxnId, TxnSpec>,
+    /// Which client owns each transaction.
+    owners: BTreeMap<TxnId, u32>,
+    outstanding: BTreeMap<(TxnId, u32), Outstanding>,
+    /// Next expected chunk index per in-flight step (StatsDelta dedup).
+    chunk_cursor: BTreeMap<(TxnId, u32), u64>,
+    /// Steps already reported complete (AccessDone dedup).
+    completed: BTreeSet<(TxnId, u32)>,
+    committed: BTreeSet<TxnId>,
+    rx: MsgCounts,
+    tx: MsgCounts,
+    access_retries: u64,
+    /// Milli-objects per progress chunk, stamped on every `Access` order.
+    chunk_units: u64,
+}
+
+impl ControlActor<'_> {
+    fn send(&mut self, tx: &Arc<dyn MsgTx>, m: &Msg, peer: &str) -> Result<(), NetError> {
+        if !tx.send(m) {
+            return Err(NetError::Protocol(format!(
+                "control: {peer} vanished while sending {m:?}"
+            )));
+        }
+        m.count(&mut self.tx);
+        Ok(())
+    }
+
+    fn send_client(&mut self, txn: TxnId, m: &Msg) -> Result<(), NetError> {
+        let client = *self
+            .owners
+            .get(&txn)
+            .ok_or_else(|| NetError::Protocol(format!("no owner recorded for txn {}", txn.0)))?;
+        let tx = self
+            .to_clients
+            .get(client as usize)
+            .cloned()
+            .ok_or_else(|| NetError::Protocol(format!("client {client} out of range")))?;
+        self.send(&tx, m, "client")
+    }
+
+    fn handle_submit(
+        &mut self,
+        client: u32,
+        txn: TxnId,
+        step: Option<u32>,
+        spec: Option<TxnSpec>,
+    ) -> Result<(), NetError> {
+        match (step, spec) {
+            // Admission request: the spec rides along (re-submissions after
+            // a rejection carry it again, so control needs no client state).
+            (None, Some(spec)) => {
+                self.owners.insert(txn, client);
+                self.specs.entry(txn).or_insert_with(|| spec.clone());
+                let reply = match self.control.arrive(&spec)? {
+                    Admission::Admitted => Msg::Grant { txn, step: None },
+                    Admission::Rejected => Msg::Reject { txn },
+                };
+                self.send_client(txn, &reply)
+            }
+            // Step lock request.
+            (Some(step), None) => match self.control.request(txn, step as usize)? {
+                LockOutcome::Granted => {
+                    let declared = self
+                        .specs
+                        .get(&txn)
+                        .and_then(|s| s.steps().get(step as usize))
+                        .copied()
+                        .ok_or_else(|| {
+                            NetError::Protocol(format!(
+                                "granted step {step} of txn {} has no declaration",
+                                txn.0
+                            ))
+                        })?;
+                    self.send_client(txn, &Msg::Grant {
+                        txn,
+                        step: Some(step),
+                    })?;
+                    let node = self.catalog.node_of(declared.partition) as usize;
+                    let order = Msg::Access {
+                        txn,
+                        step,
+                        partition: declared.partition,
+                        mode: declared.mode,
+                        units: declared.actual_cost.units(),
+                        chunk_units: self.chunk_units,
+                    };
+                    let tx = self.to_data.get(node).cloned().ok_or_else(|| {
+                        NetError::Protocol(format!("data node {node} out of range"))
+                    })?;
+                    self.send(&tx, &order, "data node")?;
+                    self.chunk_cursor.insert((txn, step), 0);
+                    self.outstanding.insert((txn, step), Outstanding {
+                        node,
+                        attempts: 0,
+                        deadline: Instant::now()
+                            + Duration::from_micros(self.retry.delay_us(0)),
+                        msg: order,
+                    });
+                    Ok(())
+                }
+                LockOutcome::Blocked | LockOutcome::Delayed => {
+                    self.send_client(txn, &Msg::Delay { txn, step })
+                }
+            },
+            _ => Err(NetError::Protocol(format!(
+                "malformed Submit for txn {}: step and spec must be mutually exclusive",
+                txn.0
+            ))),
+        }
+    }
+
+    fn handle(&mut self, m: Msg) -> Result<(), NetError> {
+        m.count(&mut self.rx);
+        match m {
+            Msg::Submit {
+                client,
+                txn,
+                step,
+                spec,
+            } => self.handle_submit(client, txn, step, spec),
+            Msg::StatsDelta {
+                txn,
+                step,
+                chunk,
+                units,
+            } => {
+                let cursor = self.chunk_cursor.entry((txn, step)).or_insert(0);
+                if chunk == *cursor {
+                    *cursor += 1;
+                    self.control.progress(txn, Work::from_units(units))?;
+                    Ok(())
+                } else if chunk < *cursor {
+                    Ok(()) // duplicate delivery: already applied
+                } else {
+                    Err(NetError::Protocol(format!(
+                        "txn {} step {step}: chunk {chunk} arrived before chunk {}",
+                        txn.0, *cursor
+                    )))
+                }
+            }
+            Msg::AccessDone {
+                txn,
+                step,
+                checksum,
+                units,
+            } => {
+                if !self.completed.insert((txn, step)) {
+                    return Ok(()); // duplicate (redelivery or dup fault)
+                }
+                self.control.step_complete(txn, step as usize)?;
+                self.outstanding.remove(&(txn, step));
+                self.chunk_cursor.remove(&(txn, step));
+                self.send_client(txn, &Msg::AccessDone {
+                    txn,
+                    step,
+                    checksum,
+                    units,
+                })
+            }
+            Msg::Commit { client, txn } => {
+                if self.committed.insert(txn) {
+                    self.control.commit(txn)?;
+                }
+                self.send_client(txn, &Msg::Commit { client, txn })
+            }
+            Msg::Abort { client, txn } => {
+                self.control.abort(txn)?;
+                let steps: Vec<(TxnId, u32)> = self
+                    .outstanding
+                    .keys()
+                    .filter(|(t, _)| *t == txn)
+                    .copied()
+                    .collect();
+                for key in steps {
+                    self.outstanding.remove(&key);
+                    self.chunk_cursor.remove(&key);
+                }
+                self.send_client(txn, &Msg::Abort { client, txn })
+            }
+            other => Err(NetError::Protocol(format!(
+                "control received {other:?}, which only the control node sends"
+            ))),
+        }
+    }
+
+    /// Re-sends every outstanding `Access` whose deadline has passed.
+    fn redeliver_expired(&mut self) -> Result<(), NetError> {
+        let now = Instant::now();
+        let expired: Vec<(TxnId, u32)> = self
+            .outstanding
+            .iter()
+            .filter(|(_, o)| o.deadline <= now)
+            .map(|(k, _)| *k)
+            .collect();
+        for key in expired {
+            let (node, msg) = match self.outstanding.get_mut(&key) {
+                Some(o) => {
+                    o.attempts += 1;
+                    if o.attempts >= self.retry.max_attempts {
+                        return Err(NetError::RetriesExhausted {
+                            txn: key.0,
+                            step: key.1,
+                            attempts: o.attempts,
+                        });
+                    }
+                    o.deadline = now + Duration::from_micros(self.retry.delay_us(o.attempts));
+                    (o.node, o.msg.clone())
+                }
+                None => continue,
+            };
+            let tx = self
+                .to_data
+                .get(node)
+                .cloned()
+                .ok_or_else(|| NetError::Protocol(format!("data node {node} out of range")))?;
+            self.send(&tx, &msg, "data node")?;
+            self.access_retries += 1;
+        }
+        Ok(())
+    }
+}
+
+/// Runs the control actor until `expected_commits` transactions have
+/// committed, then broadcasts `Shutdown` to every data node and returns the
+/// audit. On any internal error, `Shutdown` is broadcast to *all* peers
+/// (clients included) so the run unwinds instead of hanging on watchdogs.
+///
+/// # Errors
+/// [`NetError::Core`] if a message drove the scheduler protocol into an
+/// error, [`NetError::Protocol`] on a message the protocol does not allow,
+/// [`NetError::RetriesExhausted`] if a data node never answered an `Access`
+/// order, [`NetError::RecvTimeout`] if the inbox stays silent past the
+/// watchdog.
+pub fn run_control(
+    params: ControlParams,
+    catalog: &Catalog,
+    chunk_units: u64,
+    inbox: &Inbox,
+    to_data: &[Arc<dyn MsgTx>],
+    to_clients: &[Arc<dyn MsgTx>],
+) -> Result<ControlOutcome, NetError> {
+    let control = ControlNode::new(params.sched);
+    let name = control.sched_name();
+    let mode = control.certify_mode();
+    let mut actor = ControlActor {
+        control,
+        catalog,
+        retry: params.retry,
+        to_data,
+        to_clients,
+        specs: BTreeMap::new(),
+        owners: BTreeMap::new(),
+        outstanding: BTreeMap::new(),
+        chunk_cursor: BTreeMap::new(),
+        completed: BTreeSet::new(),
+        committed: BTreeSet::new(),
+        rx: MsgCounts::default(),
+        tx: MsgCounts::default(),
+        access_retries: 0,
+        chunk_units,
+    };
+
+    let result = (|| -> Result<(), NetError> {
+        let mut last_activity = Instant::now();
+        while (actor.committed.len() as u64) < params.expected_commits {
+            match inbox.pop_timeout(POLL) {
+                PopResult::Item(m) => {
+                    last_activity = Instant::now();
+                    actor.handle(m)?;
+                }
+                PopResult::Empty => {
+                    if last_activity.elapsed() > params.watchdog {
+                        return Err(NetError::RecvTimeout {
+                            actor: "control".to_string(),
+                        });
+                    }
+                }
+                PopResult::Closed => {
+                    return Err(NetError::Protocol(
+                        "control inbox closed mid-run".to_string(),
+                    ));
+                }
+            }
+            actor.redeliver_expired()?;
+        }
+        Ok(())
+    })();
+
+    // Orderly teardown on success; emergency broadcast on failure (clients
+    // included, so their watchdogs don't have to expire one by one).
+    for tx in to_data {
+        if tx.send(&Msg::Shutdown) {
+            Msg::Shutdown.count(&mut actor.tx);
+        }
+    }
+    if result.is_err() {
+        for tx in to_clients {
+            let _ = tx.send(&Msg::Shutdown);
+        }
+    }
+    result?;
+
+    Ok(ControlOutcome {
+        name,
+        mode,
+        audit: actor.control.into_audit(),
+        rx: actor.rx,
+        tx: actor.tx,
+        access_retries: actor.access_retries,
+    })
+}

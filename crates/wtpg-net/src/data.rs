@@ -1,0 +1,189 @@
+//! A data-node actor: exclusive owner of one [`NodeStore`] partition set.
+//!
+//! Shared-nothing means exactly this: the actor's store is a plain owned
+//! value — no mutex, no sharing — and the only way anything touches it is
+//! an `Access` order arriving in the actor's inbox. The actor applies the
+//! bulk operation chunk by chunk, streaming one `StatsDelta` per chunk back
+//! to the control node (the paper's per-object weight-adjustment message)
+//! and finishing with an `AccessDone` carrying the step's checksum.
+//!
+//! **Idempotent redelivery.** Every applied step leaves a mark (its
+//! checksum and unit count). A redelivered or duplicated `Access` for a
+//! marked step re-sends only the `AccessDone` — the store is not touched
+//! again and no `StatsDelta` is repeated, so the control node's progress
+//! accounting stays exact no matter how often the order is delivered.
+//!
+//! **Crash simulation.** A [`CrashPlan`] makes the actor discard everything
+//! it receives for a window — including the order that triggered it —
+//! modelling a node that is down while its durable state (store and
+//! applied-marks) survives. Recovery needs no protocol: the control node's
+//! redelivery watchdog re-sends unanswered orders until the node is back.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use wtpg_core::partition::Catalog;
+use wtpg_core::txn::{AccessMode, TxnId};
+use wtpg_obs::MsgCounts;
+use wtpg_rt::queue::PopResult;
+use wtpg_rt::store::NodeStore;
+
+use crate::error::NetError;
+use crate::fault::CrashPlan;
+use crate::msg::Msg;
+use crate::transport::{Inbox, MsgTx};
+
+use std::collections::BTreeMap;
+
+/// Everything one data-node actor tallied.
+pub struct DataOutcome {
+    /// Sum over the node's cells after the run.
+    pub cell_sum: u64,
+    /// Milli-object write units tallied at write time.
+    pub write_units: u64,
+    /// Checksum folded over every bulk read this node served.
+    pub read_checksum: u64,
+    /// Messages dequeued and handled, by type.
+    pub rx: MsgCounts,
+    /// Messages sent, by type.
+    pub tx: MsgCounts,
+    /// Messages discarded while simulated-crashed.
+    pub crash_drops: u64,
+}
+
+/// Runs data node `node` until it receives `Shutdown` (or its inbox closes
+/// under transport teardown), applying `Access` orders against an owned,
+/// freshly zeroed [`NodeStore`].
+///
+/// # Errors
+/// [`NetError::Core`] if an order addresses a partition this node does not
+/// own, [`NetError::Protocol`] on a message type only other actors may
+/// receive.
+pub fn run_data_node(
+    catalog: &Catalog,
+    node: u32,
+    inbox: &Inbox,
+    to_control: &Arc<dyn MsgTx>,
+    crash: Option<CrashPlan>,
+) -> Result<DataOutcome, NetError> {
+    let mut store = NodeStore::for_node(catalog, node);
+    // Durable across the simulated crash, like the store itself.
+    let mut marks: BTreeMap<(TxnId, u32), (u64, u64)> = BTreeMap::new();
+    let mut rx = MsgCounts::default();
+    let mut tx = MsgCounts::default();
+    let mut read_checksum = 0u64;
+    let mut crash_drops = 0u64;
+    let mut processed = 0u64;
+    let mut crash = crash.filter(|c| c.node as u32 == node);
+
+    let send = |m: &Msg, tx: &mut MsgCounts| -> bool {
+        let ok = to_control.send(m);
+        if ok {
+            m.count(tx);
+        }
+        ok
+    };
+
+    'main: while let Some(m) = inbox.pop() {
+        if let Some(plan) = crash {
+            if processed == plan.after_msgs {
+                // Down: this message and everything else in the window is
+                // lost. The durable store and marks survive the restart.
+                crash = None;
+                crash_drops += 1;
+                let deadline = Instant::now() + Duration::from_millis(plan.down_ms);
+                loop {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        continue 'main;
+                    }
+                    match inbox.pop_timeout(left) {
+                        PopResult::Item(_) => crash_drops += 1,
+                        PopResult::Empty => continue 'main,
+                        PopResult::Closed => break 'main,
+                    }
+                }
+            }
+        }
+        processed += 1;
+        m.count(&mut rx);
+        match m {
+            Msg::Shutdown => break,
+            Msg::Access {
+                txn,
+                step,
+                partition,
+                mode,
+                units,
+                chunk_units,
+            } => {
+                if let Some(&(checksum, done_units)) = marks.get(&(txn, step)) {
+                    // Redelivery of an applied step: answer, don't re-apply.
+                    if !send(
+                        &Msg::AccessDone {
+                            txn,
+                            step,
+                            checksum,
+                            units: done_units,
+                        },
+                        &mut tx,
+                    ) {
+                        break;
+                    }
+                    continue;
+                }
+                let chunk_size = chunk_units.max(1);
+                let mut offset = 0u64;
+                let mut chunk_idx = 0u64;
+                let mut checksum = 0u64;
+                while offset < units {
+                    let chunk = chunk_size.min(units - offset);
+                    let sum = store.apply_chunk(partition, mode, offset, chunk)?;
+                    checksum = checksum.wrapping_add(sum);
+                    if !send(
+                        &Msg::StatsDelta {
+                            txn,
+                            step,
+                            chunk: chunk_idx,
+                            units: chunk,
+                        },
+                        &mut tx,
+                    ) {
+                        break 'main;
+                    }
+                    offset += chunk;
+                    chunk_idx += 1;
+                }
+                if mode == AccessMode::Read {
+                    read_checksum = read_checksum.wrapping_add(checksum);
+                }
+                marks.insert((txn, step), (checksum, units));
+                if !send(
+                    &Msg::AccessDone {
+                        txn,
+                        step,
+                        checksum,
+                        units,
+                    },
+                    &mut tx,
+                ) {
+                    break;
+                }
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "data node {node} received {other:?}, which it never handles"
+                )))
+            }
+        }
+    }
+
+    Ok(DataOutcome {
+        cell_sum: store.cell_sum(),
+        write_units: store.write_units(),
+        read_checksum,
+        rx,
+        tx,
+        crash_drops,
+    })
+}

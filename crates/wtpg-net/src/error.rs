@@ -1,0 +1,116 @@
+//! Failure modes of a shared-nothing run.
+
+use wtpg_core::certify::CertifyViolation;
+use wtpg_core::error::CoreError;
+use wtpg_core::txn::TxnId;
+
+use crate::codec::CodecError;
+
+/// A failed shared-nothing run.
+#[derive(Clone, Debug)]
+pub enum NetError {
+    /// An actor drove the scheduler protocol into an error — a runtime bug.
+    Core(CoreError),
+    /// The recorded history failed replay certification — a scheduler or
+    /// runtime bug observed under real message passing.
+    Certify(CertifyViolation),
+    /// A malformed frame arrived on a transport.
+    Codec(CodecError),
+    /// A socket operation failed (TCP transport only).
+    Io(String),
+    /// An actor received a message the protocol does not allow in its
+    /// state, or a peer disappeared mid-protocol.
+    Protocol(String),
+    /// The store's conservation invariant broke: committed bulk updates are
+    /// not all visible in the data nodes' cells.
+    StoreDiverged {
+        /// Milli-object write units the committed workload declared.
+        expected: u64,
+        /// Sum over all cells across all data nodes.
+        cells: u64,
+        /// Units tallied at write time.
+        tallied: u64,
+    },
+    /// A client's resubmit loop hit the backoff attempt cap — the
+    /// scheduler starved the transaction.
+    BackoffExhausted {
+        /// The starved transaction.
+        txn: TxnId,
+        /// Consecutive backoff sleeps performed before giving up.
+        attempts: u32,
+    },
+    /// The control node's redelivery watchdog gave up on an `Access` order
+    /// — the owning data node never answered.
+    RetriesExhausted {
+        /// The transaction whose step was lost.
+        txn: TxnId,
+        /// The unanswered step.
+        step: u32,
+        /// Redelivery attempts performed.
+        attempts: u32,
+    },
+    /// An actor waited longer than its watchdog allows for a message that
+    /// never came.
+    RecvTimeout {
+        /// Which actor timed out ("client 3", "control").
+        actor: String,
+    },
+}
+
+impl std::fmt::Display for NetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetError::Core(e) => write!(f, "scheduler protocol error: {e}"),
+            NetError::Certify(v) => write!(f, "history failed certification: {v}"),
+            NetError::Codec(e) => write!(f, "malformed frame: {e}"),
+            NetError::Io(e) => write!(f, "transport I/O error: {e}"),
+            NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            NetError::StoreDiverged {
+                expected,
+                cells,
+                tallied,
+            } => write!(
+                f,
+                "store diverged: expected {expected} write units, cells sum to {cells}, \
+                 tally says {tallied}"
+            ),
+            NetError::BackoffExhausted { txn, attempts } => write!(
+                f,
+                "txn {} starved: client backoff exhausted after {attempts} resubmits",
+                txn.0
+            ),
+            NetError::RetriesExhausted {
+                txn,
+                step,
+                attempts,
+            } => write!(
+                f,
+                "access order for txn {} step {step} unanswered after {attempts} redeliveries",
+                txn.0
+            ),
+            NetError::RecvTimeout { actor } => {
+                write!(f, "{actor} timed out waiting for a message")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<CoreError> for NetError {
+    fn from(e: CoreError) -> NetError {
+        NetError::Core(e)
+    }
+}
+
+impl From<CodecError> for NetError {
+    fn from(e: CodecError) -> NetError {
+        NetError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> NetError {
+        NetError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,48 @@
+//! `wtpg-net`: the shared-nothing machine as real message-passing actors.
+//!
+//! The threaded engine (`wtpg-rt`) proves the paper's schedulers correct
+//! under shared-memory concurrency — workers call the control node through
+//! a mutex. This crate removes the shared memory: the control node and
+//! every data node become *actors* that own their state outright and
+//! communicate exclusively through typed messages ([`Msg`]) over a
+//! pluggable [`Transport`] — bounded in-process channels ([`InProc`]) or
+//! one loopback TCP socket per node ([`Tcp`]), framed by a dependency-free
+//! byte-stable [`codec`].
+//!
+//! The paper's claims are then re-proven in the harsher model: a seeded
+//! [`FaultPlan`] delays and duplicates control ↔ data messages and
+//! crash-restarts a data node mid-run, and the run must *still* commit
+//! every transaction, pass replay certification, and conserve every
+//! committed milli-object in the stores ([`run_cell`]).
+//!
+//! Actor topology (the paper's single-control-site machine, §2.2/§4.1):
+//!
+//! ```text
+//!   client 0 ─┐                 ┌─ data node 0 (owns NodeStore 0)
+//!   client 1 ─┼── control node ─┼─ data node 1 (owns NodeStore 1)
+//!      …      │  (scheduler +   │       …
+//!   client C ─┘   history)      └─ data node N
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod codec;
+pub mod control;
+pub mod data;
+pub mod error;
+pub mod fault;
+pub mod msg;
+pub mod report;
+pub mod runtime;
+pub mod tcp;
+pub mod transport;
+
+pub use error::NetError;
+pub use fault::{CrashPlan, FaultPlan, LinkFaults};
+pub use msg::Msg;
+pub use report::{MsgBreakdown, NetReport};
+pub use runtime::{run_cell, run_cell_obs, NetConfig};
+pub use tcp::Tcp;
+pub use transport::{InProc, Transport};

@@ -1,0 +1,226 @@
+//! The typed message protocol of the shared-nothing runtime.
+//!
+//! Three actor roles exchange these messages and nothing else — there is no
+//! shared mutable state to fall back on:
+//!
+//! ```text
+//!   client ──Submit/Commit/Abort──► control ──Access──► data node
+//!   client ◄─Grant/Reject/Delay────  control ◄─StatsDelta/AccessDone──
+//!   client ◄─AccessDone/Commit ack─  control ──Shutdown──► data node
+//! ```
+//!
+//! Clients never talk to data nodes: the control node both grants the lock
+//! and *routes* the bulk-access order to the owning partition, forwarding
+//! the data node's completion back to the client. That routing is what
+//! makes the protocol sound without distributed synchronization — a
+//! client's next `Submit` can only arrive at the control node *after* the
+//! control node has already processed the previous step's `AccessDone`, so
+//! the recorded history keeps the engine's per-transaction call shape.
+
+use wtpg_core::partition::PartitionId;
+use wtpg_core::txn::{AccessMode, TxnId, TxnSpec};
+use wtpg_obs::MsgCounts;
+
+/// A protocol message. Every variant is self-describing (carries the ids it
+/// refers to), so handlers are idempotent under duplicate delivery.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Client → control. With `step: None`, an admission request carrying
+    /// the full declaration (`spec` must be `Some`); with `step: Some(i)`, a
+    /// lock request for step `i` of an already-admitted transaction.
+    Submit {
+        /// The requesting client, so the control node can route the reply.
+        client: u32,
+        /// The transaction.
+        txn: TxnId,
+        /// `None` = admission, `Some(i)` = lock request for step `i`.
+        step: Option<u32>,
+        /// The declaration; present only on admission requests.
+        spec: Option<TxnSpec>,
+    },
+    /// Control → client: the admission (`step: None`) or lock request
+    /// (`step: Some(i)`) was granted.
+    Grant {
+        /// The transaction.
+        txn: TxnId,
+        /// Which request was granted.
+        step: Option<u32>,
+    },
+    /// Control → client: admission rejected (CHAIN non-chain-form, K-WTPG
+    /// conflict bound, ASL lock failure). The client backs off and
+    /// resubmits the same spec under the same id.
+    Reject {
+        /// The rejected transaction.
+        txn: TxnId,
+    },
+    /// Control → client: the step's lock request was blocked or delayed.
+    /// The client backs off and re-requests.
+    Delay {
+        /// The transaction.
+        txn: TxnId,
+        /// The step whose request was turned away.
+        step: u32,
+    },
+    /// Control → data node: run one bulk step against the owned partition.
+    /// Redelivered verbatim by the control node's retry watchdog until the
+    /// matching [`Msg::AccessDone`] arrives; the data node's applied-marks
+    /// make redelivery idempotent.
+    Access {
+        /// The transaction.
+        txn: TxnId,
+        /// The step index within the transaction.
+        step: u32,
+        /// The partition to scan or update.
+        partition: PartitionId,
+        /// Read or write.
+        mode: AccessMode,
+        /// Total milli-object cells to touch.
+        units: u64,
+        /// Progress-report granularity in milli-object cells.
+        chunk_units: u64,
+    },
+    /// Data node → control (forwarded to the client): the bulk step
+    /// finished all its units.
+    AccessDone {
+        /// The transaction.
+        txn: TxnId,
+        /// The finished step.
+        step: u32,
+        /// Checksum folded over the touched cells (read steps feed the
+        /// run's read checksum).
+        checksum: u64,
+        /// Units applied, echoing the order.
+        units: u64,
+    },
+    /// Client → control: commit request; control → client: commit ack
+    /// (same variant both directions, idempotently re-acked).
+    Commit {
+        /// The committing client.
+        client: u32,
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Client → control: cancel a transaction mid-flight; control → client:
+    /// abort ack. Never sent on the happy path — the paper's BATs are too
+    /// expensive to abort — but the protocol carries it.
+    Abort {
+        /// The aborting client.
+        client: u32,
+        /// The transaction.
+        txn: TxnId,
+    },
+    /// Data node → control: one progress chunk of a bulk step was applied —
+    /// the paper's per-object weight-adjustment message.
+    StatsDelta {
+        /// The transaction.
+        txn: TxnId,
+        /// The step being executed.
+        step: u32,
+        /// Zero-based chunk index within the step (control de-duplicates by
+        /// expecting chunks in order).
+        chunk: u64,
+        /// Milli-object cells in this chunk.
+        units: u64,
+    },
+    /// Orderly teardown. Control → data nodes after the last commit;
+    /// control → clients only on a failed run (fast failure).
+    Shutdown,
+}
+
+impl Msg {
+    /// The codec wire tag of this message type (also its index in
+    /// [`MsgCounts`]'s field order).
+    pub fn tag(&self) -> u8 {
+        match self {
+            Msg::Submit { .. } => 0,
+            Msg::Grant { .. } => 1,
+            Msg::Reject { .. } => 2,
+            Msg::Delay { .. } => 3,
+            Msg::Access { .. } => 4,
+            Msg::AccessDone { .. } => 5,
+            Msg::Commit { .. } => 6,
+            Msg::Abort { .. } => 7,
+            Msg::StatsDelta { .. } => 8,
+            Msg::Shutdown => 9,
+        }
+    }
+
+    /// Bumps the counter of this message's type in `counts`.
+    pub fn count(&self, counts: &mut MsgCounts) {
+        match self {
+            Msg::Submit { .. } => counts.submit += 1,
+            Msg::Grant { .. } => counts.grant += 1,
+            Msg::Reject { .. } => counts.reject += 1,
+            Msg::Delay { .. } => counts.delay += 1,
+            Msg::Access { .. } => counts.access += 1,
+            Msg::AccessDone { .. } => counts.access_done += 1,
+            Msg::Commit { .. } => counts.commit += 1,
+            Msg::Abort { .. } => counts.abort += 1,
+            Msg::StatsDelta { .. } => counts.stats_delta += 1,
+            Msg::Shutdown => counts.shutdown += 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tags_are_dense_and_match_count_fields() {
+        let msgs = [
+            Msg::Submit {
+                client: 0,
+                txn: TxnId(1),
+                step: None,
+                spec: None,
+            },
+            Msg::Grant {
+                txn: TxnId(1),
+                step: None,
+            },
+            Msg::Reject { txn: TxnId(1) },
+            Msg::Delay {
+                txn: TxnId(1),
+                step: 0,
+            },
+            Msg::Access {
+                txn: TxnId(1),
+                step: 0,
+                partition: PartitionId(0),
+                mode: AccessMode::Read,
+                units: 1,
+                chunk_units: 1,
+            },
+            Msg::AccessDone {
+                txn: TxnId(1),
+                step: 0,
+                checksum: 0,
+                units: 1,
+            },
+            Msg::Commit {
+                client: 0,
+                txn: TxnId(1),
+            },
+            Msg::Abort {
+                client: 0,
+                txn: TxnId(1),
+            },
+            Msg::StatsDelta {
+                txn: TxnId(1),
+                step: 0,
+                chunk: 0,
+                units: 1,
+            },
+            Msg::Shutdown,
+        ];
+        let mut counts = MsgCounts::default();
+        for (i, m) in msgs.iter().enumerate() {
+            assert_eq!(m.tag() as usize, i, "{m:?}");
+            m.count(&mut counts);
+            let (_, v) = counts.fields()[i];
+            assert_eq!(v, 1, "tag {i} must bump field {i}");
+        }
+        assert_eq!(counts.total(), 10);
+    }
+}

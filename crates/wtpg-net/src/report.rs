@@ -1,0 +1,147 @@
+//! Per-run report for one (scheduler, transport, fault) cell.
+
+use serde::Serialize;
+
+use wtpg_obs::MsgCounts;
+use wtpg_rt::metrics::LatencySummary;
+
+/// Message tallies by protocol type, in wire-tag order — the serializable
+/// mirror of [`MsgCounts`] (`wtpg-obs` stays serde-free by design).
+#[derive(Clone, Copy, Debug, Default, Serialize)]
+pub struct MsgBreakdown {
+    /// Admission and step-lock requests.
+    pub submit: u64,
+    /// Admission and step-lock grants.
+    pub grant: u64,
+    /// Admission rejections.
+    pub reject: u64,
+    /// Blocked/delayed step requests.
+    pub delay: u64,
+    /// Bulk-step orders to data nodes.
+    pub access: u64,
+    /// Completed bulk steps (data node → control → client).
+    pub access_done: u64,
+    /// Commit requests and acks.
+    pub commit: u64,
+    /// Abort requests and acks.
+    pub abort: u64,
+    /// Per-chunk progress reports.
+    pub stats_delta: u64,
+    /// Teardown broadcasts.
+    pub shutdown: u64,
+}
+
+impl From<MsgCounts> for MsgBreakdown {
+    fn from(c: MsgCounts) -> MsgBreakdown {
+        MsgBreakdown {
+            submit: c.submit,
+            grant: c.grant,
+            reject: c.reject,
+            delay: c.delay,
+            access: c.access,
+            access_done: c.access_done,
+            commit: c.commit,
+            abort: c.abort,
+            stats_delta: c.stats_delta,
+            shutdown: c.shutdown,
+        }
+    }
+}
+
+/// The result of one shared-nothing run — everything `BENCH_net.json`
+/// records per (scheduler, transport, fault) cell.
+#[derive(Clone, Debug, Serialize)]
+pub struct NetReport {
+    /// Scheduler display name ("CHAIN", "K2", …).
+    pub scheduler: String,
+    /// Transport label ("inproc", "tcp").
+    pub transport: String,
+    /// Fault-plan label ("none", "fault", "crash", "fault+crash").
+    pub fault: String,
+    /// Client actors driving transactions.
+    pub clients: usize,
+    /// Data-node actors (one per catalog node).
+    pub data_nodes: usize,
+    /// Transactions submitted.
+    pub submitted: usize,
+    /// Transactions committed (equals `submitted` when no one starves).
+    pub committed: u64,
+    /// Rejected admissions — each one is a backoff-and-resubmit cycle.
+    pub rejected_admissions: u64,
+    /// Step requests answered with `Delay` (blocked or scheduler-delayed).
+    pub delayed_retries: u64,
+    /// Longest reject/delay retry streak any single transaction saw.
+    pub max_retry_streak: u32,
+    /// Wall-clock duration of the run, milliseconds.
+    pub wall_ms: f64,
+    /// Committed transactions per wall-clock second.
+    pub throughput_tps: f64,
+    /// Submit-to-commit-ack latency.
+    pub latency: LatencySummary,
+    /// Control-node round trip per request.
+    pub ctrl_rtt: LatencySummary,
+    /// Grant-to-`AccessDone` round trip per bulk step.
+    pub data_rtt: LatencySummary,
+    /// Events in the recorded history.
+    pub history_events: usize,
+    /// Logical ticks consumed by the control node.
+    pub logical_ticks: u64,
+    /// Protocol messages sent, total (duplicates injected by the fault
+    /// layer are *not* counted — they are deliveries, not sends).
+    pub messages_sent: u64,
+    /// Protocol messages sent, by type.
+    pub msgs: MsgBreakdown,
+    /// Frame-level wire bytes written (zero on in-process transports).
+    pub bytes_sent: u64,
+    /// Frame-level wire bytes read.
+    pub bytes_received: u64,
+    /// Frames written.
+    pub frames_sent: u64,
+    /// Frames read.
+    pub frames_received: u64,
+    /// Duplicate deliveries injected by the fault layer.
+    pub dup_deliveries: u64,
+    /// Deliveries the fault layer held back.
+    pub delayed_deliveries: u64,
+    /// `Access` orders re-sent by the control node's redelivery watchdog.
+    pub access_retries: u64,
+    /// Messages discarded by the simulated data-node crash.
+    pub crash_drops: u64,
+    /// True when the recorded history was replay-certified.
+    pub certified: bool,
+    /// Grants checked by the certifier (0 when certification was off).
+    pub certify_grants: usize,
+    /// `E(q)` spot checks performed by the certifier.
+    pub certify_eq_checks: usize,
+    /// Milli-object cells the workload declared for bulk updates.
+    pub expected_write_units: u64,
+    /// Milli-object cells actually updated across the data nodes' stores.
+    pub store_write_units: u64,
+    /// Sum over every cell across every data node.
+    pub store_cell_sum: u64,
+    /// True when every committed bulk update is visible in the stores.
+    pub store_consistent: bool,
+    /// Checksum folded over every bulk read (interleaving-dependent).
+    pub read_checksum: u64,
+}
+
+impl NetReport {
+    /// Wire bytes per committed transaction (0 when nothing committed or
+    /// the transport writes no frames).
+    pub fn bytes_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.bytes_sent as f64 / self.committed as f64
+        }
+    }
+
+    /// Protocol messages per committed transaction.
+    pub fn msgs_per_commit(&self) -> f64 {
+        if self.committed == 0 {
+            0.0
+        } else {
+            self.messages_sent as f64 / self.committed as f64
+        }
+    }
+}

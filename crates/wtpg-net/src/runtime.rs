@@ -1,0 +1,471 @@
+//! Run orchestration: build a fabric, spawn the actors, certify the result.
+//!
+//! [`run_cell`] is the crate's entry point — one (scheduler, transport,
+//! fault plan) cell executed end to end:
+//!
+//! 1. the [`Transport`] wires one control actor, one data-node actor per
+//!    catalog node, and `clients` client actors into a star fabric;
+//! 2. if the [`FaultPlan`] is active, every control ↔ data link is wrapped
+//!    in a [`FaultLink`] (seeded delay + duplicate delivery) and the doomed
+//!    data node gets its [`CrashPlan`];
+//! 3. all actors run to completion on scoped threads — clients drive their
+//!    transaction slices, the control actor exits after the last commit and
+//!    broadcasts `Shutdown` to the data nodes;
+//! 4. the recorded history is replay-certified and the data nodes' store
+//!    tallies are checked against the workload's declared write units — the
+//!    same two proofs the threaded engine demands, now under real message
+//!    passing and injected faults.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use wtpg_core::certify::certify_history;
+use wtpg_core::partition::Catalog;
+use wtpg_core::txn::{AccessMode, TxnSpec};
+use wtpg_obs::{Histogram, NetStats, ObsEvent, Observer};
+use wtpg_rt::backoff::Backoff;
+use wtpg_rt::engine::SendScheduler;
+use wtpg_rt::metrics::LatencySummary;
+
+use crate::client::{run_client, ClientOutcome};
+use crate::control::{run_control, ControlOutcome, ControlParams};
+use crate::data::{run_data_node, DataOutcome};
+use crate::error::NetError;
+use crate::fault::{FaultCounters, FaultLink, FaultPlan};
+use crate::report::NetReport;
+use crate::transport::{MsgTx, Transport};
+
+/// Tuning knobs for one shared-nothing run.
+#[derive(Clone, Copy, Debug)]
+pub struct NetConfig {
+    /// Client actors (each drives a slice of the workload, one transaction
+    /// in flight at a time).
+    pub clients: usize,
+    /// Milli-objects per progress chunk (default: one object, the paper's
+    /// per-object weight-adjustment granularity).
+    pub chunk_units: u64,
+    /// Client retry backoff for rejected admissions and delayed requests.
+    pub backoff: Backoff,
+    /// Control-side redelivery schedule for unanswered `Access` orders.
+    /// The base must comfortably exceed a step's normal round trip, or
+    /// healthy steps get redelivered; the span `base × 2^attempts` must
+    /// cover a crash window, or a crashed node is reported dead.
+    pub retry: Backoff,
+    /// Replay-certify the recorded history after the run.
+    pub certify: bool,
+    /// Seed for client backoff jitter (fault decisions use the plan's own).
+    pub seed: u64,
+    /// Per-actor silence tolerance before a run is declared wedged, ms.
+    pub watchdog_ms: u64,
+}
+
+impl Default for NetConfig {
+    fn default() -> NetConfig {
+        NetConfig {
+            clients: 4,
+            chunk_units: 1000,
+            backoff: Backoff::DEFAULT,
+            retry: Backoff {
+                base_us: 20_000,
+                cap_us: 200_000,
+                max_attempts: 500,
+            },
+            certify: true,
+            seed: 42,
+            watchdog_ms: 30_000,
+        }
+    }
+}
+
+/// Wraps each link in `links` with the plan's fault layer, collecting the
+/// forwarder handles. `dir` salts the per-link seed so the two directions
+/// of a node's connection draw different decision streams.
+fn wrap_links(
+    links: Vec<Arc<dyn MsgTx>>,
+    fault: &FaultPlan,
+    dir: u64,
+    counters: &Arc<FaultCounters>,
+    pumps: &mut Vec<JoinHandle<()>>,
+) -> Vec<Arc<dyn MsgTx>> {
+    if !fault.link.active() {
+        return links;
+    }
+    links
+        .into_iter()
+        .enumerate()
+        .map(|(i, inner)| {
+            let seed = fault.seed
+                ^ dir.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                ^ (i as u64 + 1).wrapping_mul(0xff51_afd7_ed55_8ccd);
+            let (link, pump) = FaultLink::spawn(inner, fault.link, seed, Arc::clone(counters));
+            pumps.push(pump);
+            link as Arc<dyn MsgTx>
+        })
+        .collect()
+}
+
+/// Runs one (scheduler, transport, fault plan) cell over `specs` and
+/// certifies the outcome. See the module docs for the phases.
+///
+/// # Errors
+/// Any [`NetError`]: an actor protocol violation, a transport failure, a
+/// starved transaction, an unanswerable data node, a history that fails
+/// certification, or a store that lost committed units.
+pub fn run_cell(
+    cfg: &NetConfig,
+    sched: SendScheduler,
+    catalog: &Catalog,
+    specs: &[TxnSpec],
+    transport: &dyn Transport,
+    fault: &FaultPlan,
+) -> Result<NetReport, NetError> {
+    run_cell_obs(cfg, sched, catalog, specs, transport, fault, None)
+}
+
+/// [`run_cell`] with an optional trace sink: after the run, cumulative
+/// network-plane counters ([`NetStats`]) and the control/data RTT
+/// histograms are emitted on track 0. Passing `None` changes nothing.
+///
+/// # Errors
+/// As [`run_cell`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_obs(
+    cfg: &NetConfig,
+    sched: SendScheduler,
+    catalog: &Catalog,
+    specs: &[TxnSpec],
+    transport: &dyn Transport,
+    fault: &FaultPlan,
+    obs: Option<Arc<dyn Observer>>,
+) -> Result<NetReport, NetError> {
+    let data_nodes = catalog.num_nodes() as usize;
+    let clients = cfg.clients.clamp(1, specs.len().max(1));
+    let watchdog = Duration::from_millis(cfg.watchdog_ms.max(1));
+
+    let fabric = transport.build(data_nodes, clients)?;
+    let fault_counters = Arc::new(FaultCounters::default());
+    let mut pumps: Vec<JoinHandle<()>> = Vec::new();
+    let to_data = wrap_links(fabric.to_data, fault, 1, &fault_counters, &mut pumps);
+    let data_to_control = wrap_links(
+        fabric.data_to_control,
+        fault,
+        2,
+        &fault_counters,
+        &mut pumps,
+    );
+    let to_clients = fabric.to_clients;
+    let client_to_control = fabric.client_to_control;
+    let control_inbox = fabric.control_inbox;
+    let data_inboxes = fabric.data_inboxes;
+    let client_inboxes = fabric.client_inboxes;
+
+    // Round-robin workload split: client c drives specs[c], specs[c+N], …
+    let slices: Vec<Vec<TxnSpec>> = (0..clients)
+        .map(|c| {
+            specs
+                .iter()
+                .skip(c)
+                .step_by(clients)
+                .cloned()
+                .collect()
+        })
+        .collect();
+
+    let params = ControlParams {
+        sched,
+        expected_commits: specs.len() as u64,
+        retry: cfg.retry,
+        watchdog,
+    };
+
+    let started = Instant::now();
+    type Joined = (
+        Result<ControlOutcome, NetError>,
+        Vec<Result<DataOutcome, NetError>>,
+        Vec<Result<ClientOutcome, NetError>>,
+    );
+    let (control_res, data_res, client_res): Joined = std::thread::scope(|s| {
+        let control = s.spawn(|| {
+            run_control(
+                params,
+                catalog,
+                cfg.chunk_units,
+                &control_inbox,
+                &to_data,
+                &to_clients,
+            )
+        });
+        let data: Vec<_> = data_inboxes
+            .iter()
+            .zip(&data_to_control)
+            .enumerate()
+            .map(|(n, (inbox, tx))| {
+                s.spawn(move || run_data_node(catalog, n as u32, inbox, tx, fault.crash))
+            })
+            .collect();
+        let clis: Vec<_> = client_inboxes
+            .iter()
+            .zip(&client_to_control)
+            .zip(&slices)
+            .enumerate()
+            .map(|(c, ((inbox, tx), slice))| {
+                s.spawn(move || {
+                    run_client(
+                        c as u32,
+                        slice.as_slice(),
+                        inbox,
+                        tx,
+                        cfg.backoff,
+                        cfg.seed,
+                        watchdog,
+                    )
+                })
+            })
+            .collect();
+        fn join<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+            h.join()
+                .expect("invariant: actors return errors instead of panicking")
+        }
+        (
+            join(control),
+            data.into_iter().map(join).collect(),
+            clis.into_iter().map(join).collect(),
+        )
+    });
+    let wall = started.elapsed();
+
+    // Teardown: dropping our sender handles closes the fault queues (their
+    // forwarders drain and exit) and — on TCP — FINs the writer sockets so
+    // the frame readers EOF. Only then are the service threads joinable.
+    drop(to_data);
+    drop(data_to_control);
+    drop(to_clients);
+    drop(client_to_control);
+    for pump in pumps {
+        pump.join()
+            .expect("invariant: fault forwarders exit once their queue closes");
+    }
+    let bytes = (fabric.bytes)();
+    for svc in fabric.service {
+        svc.join()
+            .expect("invariant: transport readers exit on EOF");
+    }
+
+    // Error priority: the control actor's verdict names the root cause
+    // (client/data failures usually cascade from it or into it).
+    let control = control_res?;
+    let mut clients_out: Vec<ClientOutcome> = Vec::with_capacity(clients);
+    for r in client_res {
+        clients_out.push(r?);
+    }
+    let mut data_out: Vec<DataOutcome> = Vec::with_capacity(data_nodes);
+    for r in data_res {
+        data_out.push(r?);
+    }
+
+    // Aggregate the books.
+    let mut sent = control.tx;
+    let mut latencies = Vec::with_capacity(specs.len());
+    let mut ctrl_rtts = Vec::new();
+    let mut data_rtts = Vec::new();
+    let mut max_retry_streak = 0u32;
+    for c in &clients_out {
+        sent.merge(&c.tx);
+        latencies.extend_from_slice(&c.latencies_us);
+        ctrl_rtts.extend_from_slice(&c.ctrl_rtts_us);
+        data_rtts.extend_from_slice(&c.data_rtts_us);
+        max_retry_streak = max_retry_streak.max(c.max_retry_streak);
+    }
+    let mut crash_drops = 0u64;
+    let mut read_checksum = 0u64;
+    let mut cell_sum = 0u64;
+    let mut store_write_units = 0u64;
+    for d in &data_out {
+        sent.merge(&d.tx);
+        crash_drops += d.crash_drops;
+        read_checksum = read_checksum.wrapping_add(d.read_checksum);
+        cell_sum += d.cell_sum;
+        store_write_units += d.write_units;
+    }
+    let mut processed = control.rx;
+    for c in &clients_out {
+        processed.merge(&c.rx);
+    }
+    for d in &data_out {
+        processed.merge(&d.rx);
+    }
+
+    let audit = control.audit;
+    let counters = audit.counters;
+    let mut report = NetReport {
+        scheduler: control.name,
+        transport: transport.name().to_string(),
+        fault: fault.label().to_string(),
+        clients,
+        data_nodes,
+        submitted: specs.len(),
+        committed: counters.commits,
+        rejected_admissions: counters.rejections,
+        delayed_retries: counters.blocks + counters.delays,
+        max_retry_streak,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        throughput_tps: if wall.as_secs_f64() > 0.0 {
+            counters.commits as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_us(latencies),
+        ctrl_rtt: LatencySummary::from_us(ctrl_rtts.clone()),
+        data_rtt: LatencySummary::from_us(data_rtts.clone()),
+        history_events: audit.history.len(),
+        logical_ticks: audit.final_tick.millis(),
+        messages_sent: sent.total(),
+        msgs: sent.into(),
+        bytes_sent: bytes.bytes_sent,
+        bytes_received: bytes.bytes_received,
+        frames_sent: bytes.frames_sent,
+        frames_received: bytes.frames_received,
+        dup_deliveries: fault_counters.duplicated(),
+        delayed_deliveries: fault_counters.delayed(),
+        access_retries: control.access_retries,
+        crash_drops,
+        certified: false,
+        certify_grants: 0,
+        certify_eq_checks: 0,
+        expected_write_units: 0,
+        store_write_units,
+        store_cell_sum: cell_sum,
+        store_consistent: false,
+        read_checksum,
+    };
+
+    // Conservation: every committed write step's declared units must be
+    // visible as cell increments across the data nodes.
+    let expected: u64 = specs
+        .iter()
+        .flat_map(|t| t.steps().iter())
+        .filter(|st| st.mode == AccessMode::Write)
+        .map(|st| st.actual_cost.units())
+        .sum();
+    report.expected_write_units = expected;
+    report.store_consistent = report.committed as usize == specs.len()
+        && store_write_units == expected
+        && cell_sum == expected;
+    if report.committed as usize == specs.len() && !report.store_consistent {
+        return Err(NetError::StoreDiverged {
+            expected,
+            cells: cell_sum,
+            tallied: store_write_units,
+        });
+    }
+
+    if cfg.certify {
+        let cert = certify_history(&audit.history, &audit.specs, control.mode)
+            .map_err(NetError::Certify)?;
+        report.certified = true;
+        report.certify_grants = cert.grants;
+        report.certify_eq_checks = cert.eq_checks;
+    }
+
+    if let Some(o) = obs {
+        let stats = NetStats {
+            processed,
+            sent,
+            bytes,
+            dup_deliveries: report.dup_deliveries,
+            delayed_deliveries: report.delayed_deliveries,
+            access_retries: report.access_retries,
+            crash_drops,
+        };
+        stats.emit(o.as_ref(), 0, 0);
+        let mut ctrl_hist = Histogram::new();
+        for us in ctrl_rtts {
+            ctrl_hist.record(us);
+        }
+        o.record(ObsEvent::hist(0, 0, "net_ctrl_rtt_us", ctrl_hist));
+        let mut data_hist = Histogram::new();
+        for us in data_rtts {
+            data_hist.record(us);
+        }
+        o.record(ObsEvent::hist(0, 0, "net_data_rtt_us", data_hist));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProc;
+    use wtpg_rt::sched_by_name;
+    use wtpg_rt::workload::pattern_specs;
+    use wtpg_workload::Pattern;
+
+    fn run(sched: &str, txns: usize, fault: &FaultPlan) -> NetReport {
+        let (catalog, specs) = pattern_specs(Pattern::One, txns, 7);
+        let cfg = NetConfig::default();
+        let sched = sched_by_name(sched, 2, 2000).expect("known scheduler");
+        run_cell(&cfg, sched, &catalog, &specs, &InProc, fault)
+            .expect("cell run completes cleanly")
+    }
+
+    #[test]
+    fn inproc_chain_run_commits_and_certifies() {
+        let r = run("chain", 40, &FaultPlan::none());
+        assert_eq!(r.committed, 40);
+        assert!(r.certified);
+        assert!(r.store_consistent, "{r:?}");
+        assert_eq!(r.transport, "inproc");
+        assert_eq!(r.fault, "none");
+        assert_eq!(r.msgs.shutdown as usize, r.data_nodes);
+        // Every granted step is one Access order; clients and control each
+        // send Commit once per transaction.
+        assert!(r.msgs.access >= r.msgs.access_done / 2);
+        assert_eq!(r.msgs.commit, 2 * 40);
+        assert!(r.msgs.stats_delta > 0, "progress chunks must flow");
+        assert_eq!(r.bytes_sent, 0, "inproc moves messages, no wire bytes");
+    }
+
+    #[test]
+    fn inproc_fault_run_still_certifies() {
+        let r = run("k2", 60, &FaultPlan::flaky_with_crash(9, 0));
+        assert_eq!(r.committed, 60);
+        assert!(r.certified);
+        assert!(r.store_consistent, "{r:?}");
+        assert_eq!(r.fault, "fault+crash");
+        assert!(
+            r.dup_deliveries > 0 && r.delayed_deliveries > 0,
+            "fault layer must actually fire: {r:?}"
+        );
+        assert!(r.crash_drops > 0, "the crash window must drop messages");
+        assert!(
+            r.access_retries > 0,
+            "dropped Access orders must be redelivered"
+        );
+    }
+
+    #[test]
+    fn observer_sees_net_counters() {
+        use wtpg_obs::MemorySink;
+        let (catalog, specs) = pattern_specs(Pattern::One, 20, 7);
+        let sink = Arc::new(MemorySink::new());
+        let r = run_cell_obs(
+            &NetConfig::default(),
+            sched_by_name("c2pl", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::none(),
+            Some(sink.clone()),
+        )
+        .expect("traced run");
+        assert_eq!(r.committed, 20);
+        let evs = sink.snapshot();
+        let has = |name: &str| {
+            evs.iter().any(|e| format!("{e:?}").contains(name))
+        };
+        assert!(has("net_rx_submit"), "missing rx counters: {} events", evs.len());
+        assert!(has("net_tx_grant"), "missing tx counters");
+        assert!(has("net_ctrl_rtt_us") && has("net_data_rtt_us"), "missing RTT histograms");
+    }
+}

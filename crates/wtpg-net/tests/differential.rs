@@ -1,0 +1,94 @@
+//! Engine-vs-net differential: the message-passing runtime must be an
+//! *implementation detail*, not a semantic change. A single-client InProc
+//! run makes the control node see exactly the call sequence a 1-thread
+//! engine produces — so the recorded history (and therefore the certified
+//! serialization order), the logical clock, and the bulk-read checksums
+//! must match tick for tick.
+
+use wtpg_net::{run_cell, FaultPlan, InProc, NetConfig};
+use wtpg_rt::workload::pattern_specs;
+use wtpg_rt::{run_engine, sched_by_name, EngineConfig};
+use wtpg_workload::Pattern;
+
+#[test]
+fn single_stream_chain_runs_are_tick_identical() {
+    let (catalog, specs) = pattern_specs(Pattern::One, 80, 13);
+
+    let engine = run_engine(
+        &EngineConfig {
+            threads: 1,
+            queue_depth: 8,
+            progress_chunk_units: 1000,
+            ..EngineConfig::default()
+        },
+        sched_by_name("chain", 2, 2000).expect("known scheduler"),
+        &catalog,
+        &specs,
+    )
+    .expect("engine run");
+
+    let net = run_cell(
+        &NetConfig {
+            clients: 1,
+            chunk_units: 1000,
+            ..NetConfig::default()
+        },
+        sched_by_name("chain", 2, 2000).expect("known scheduler"),
+        &catalog,
+        &specs,
+        &InProc,
+        &FaultPlan::none(),
+    )
+    .expect("net run");
+
+    // One client, no faults, no rejections-in-flight races: the control
+    // node executes arrive / request / progress×chunks / step_complete /
+    // commit in exactly the engine's order, so every history-derived
+    // quantity is equal — this is the serialization-order identity.
+    assert_eq!(net.committed, engine.committed);
+    assert_eq!(net.history_events, engine.history_events);
+    assert_eq!(net.logical_ticks, engine.logical_ticks);
+    assert_eq!(net.certify_grants, engine.certify_grants);
+    assert_eq!(net.certify_eq_checks, engine.certify_eq_checks);
+    assert_eq!(net.read_checksum, engine.read_checksum);
+    assert_eq!(net.store_write_units, engine.store_write_units);
+    assert_eq!(net.expected_write_units, engine.expected_write_units);
+    assert!(net.certified && engine.certified);
+    assert_eq!(net.rejected_admissions, engine.rejected_admissions);
+}
+
+#[test]
+fn concurrent_runs_agree_on_every_interleaving_free_quantity() {
+    // With real concurrency the interleavings differ, but everything that
+    // is a pure function of the committed workload must still agree.
+    let (catalog, specs) = pattern_specs(Pattern::Two { num_hots: 4 }, 120, 17);
+    for sched in ["chain", "k2", "c2pl"] {
+        let engine = run_engine(
+            &EngineConfig {
+                threads: 4,
+                ..EngineConfig::default()
+            },
+            sched_by_name(sched, 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+        )
+        .expect("engine run");
+        let net = run_cell(
+            &NetConfig::default(),
+            sched_by_name(sched, 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::none(),
+        )
+        .expect("net run");
+        assert_eq!(net.committed, engine.committed, "{sched}");
+        assert_eq!(net.store_write_units, engine.store_write_units, "{sched}");
+        assert_eq!(
+            net.expected_write_units, engine.expected_write_units,
+            "{sched}"
+        );
+        assert!(net.certified && engine.certified, "{sched}");
+        assert!(net.store_consistent && engine.store_consistent, "{sched}");
+    }
+}

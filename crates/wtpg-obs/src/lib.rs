@@ -26,6 +26,7 @@ pub mod event;
 pub mod hist;
 pub mod jsonl;
 pub mod meta;
+pub mod net;
 pub mod observer;
 pub mod stats;
 pub mod summary;
@@ -33,6 +34,7 @@ pub mod wall;
 
 pub use event::{EventKind, Name, ObsEvent};
 pub use hist::Histogram;
+pub use net::{ByteCounts, MsgCounts, NetStats};
 pub use observer::{MemorySink, NullObserver, Observer};
 pub use stats::{emit_deltas, ControlStats};
 pub use summary::TraceSummary;

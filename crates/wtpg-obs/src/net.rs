@@ -1,0 +1,261 @@
+//! Network-plane statistics for the `wtpg-net` shared-nothing runtime.
+//!
+//! Like [`ControlStats`](crate::ControlStats), these are plain bundles of
+//! cumulative `u64` counters — no clocks, no maps — kept per actor or per
+//! transport endpoint and merged after the join. [`MsgCounts`] tallies
+//! messages by protocol type (one field per `Msg` variant), [`ByteCounts`]
+//! tallies wire traffic, and [`NetStats`] bundles both sides of an actor's
+//! traffic with the fault-layer observations (duplicates delivered, delays
+//! injected, retries, crash drops).
+
+use crate::event::ObsEvent;
+use crate::observer::Observer;
+
+/// Cumulative message tallies, one counter per protocol message type. The
+/// field order matches the wire-tag order of `wtpg-net`'s codec.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MsgCounts {
+    /// `Submit` — client asks the control node for admission or a step lock.
+    pub submit: u64,
+    /// `Grant` — control node granted an admission or a step lock.
+    pub grant: u64,
+    /// `Reject` — control node rejected an admission (client backs off).
+    pub reject: u64,
+    /// `Delay` — control node blocked/delayed a step request.
+    pub delay: u64,
+    /// `Access` — control node orders a data node to run a bulk step.
+    pub access: u64,
+    /// `AccessDone` — data node finished a bulk step (carries the checksum).
+    pub access_done: u64,
+    /// `Commit` — client commit request / control-node commit ack.
+    pub commit: u64,
+    /// `Abort` — abort request / ack.
+    pub abort: u64,
+    /// `StatsDelta` — data node's per-chunk progress report.
+    pub stats_delta: u64,
+    /// `Shutdown` — orderly teardown.
+    pub shutdown: u64,
+}
+
+impl MsgCounts {
+    /// The counters as `(name, value)` pairs, in wire-tag order.
+    pub fn fields(&self) -> [(&'static str, u64); 10] {
+        [
+            ("submit", self.submit),
+            ("grant", self.grant),
+            ("reject", self.reject),
+            ("delay", self.delay),
+            ("access", self.access),
+            ("access_done", self.access_done),
+            ("commit", self.commit),
+            ("abort", self.abort),
+            ("stats_delta", self.stats_delta),
+            ("shutdown", self.shutdown),
+        ]
+    }
+
+    /// Total messages across all types.
+    pub fn total(&self) -> u64 {
+        self.fields().iter().map(|(_, v)| v).sum()
+    }
+
+    /// Adds every counter of `other` into `self` (merge after a join).
+    pub fn merge(&mut self, other: &MsgCounts) {
+        self.submit += other.submit;
+        self.grant += other.grant;
+        self.reject += other.reject;
+        self.delay += other.delay;
+        self.access += other.access;
+        self.access_done += other.access_done;
+        self.commit += other.commit;
+        self.abort += other.abort;
+        self.stats_delta += other.stats_delta;
+        self.shutdown += other.shutdown;
+    }
+}
+
+/// Cumulative wire-traffic tallies for one transport endpoint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ByteCounts {
+    /// Payload + frame-header bytes written.
+    pub bytes_sent: u64,
+    /// Payload + frame-header bytes read.
+    pub bytes_received: u64,
+    /// Frames written.
+    pub frames_sent: u64,
+    /// Frames read.
+    pub frames_received: u64,
+}
+
+impl ByteCounts {
+    /// The counters as `(name, value)` pairs, in a fixed order.
+    pub fn fields(&self) -> [(&'static str, u64); 4] {
+        [
+            ("bytes_sent", self.bytes_sent),
+            ("bytes_received", self.bytes_received),
+            ("frames_sent", self.frames_sent),
+            ("frames_received", self.frames_received),
+        ]
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &ByteCounts) {
+        self.bytes_sent += other.bytes_sent;
+        self.bytes_received += other.bytes_received;
+        self.frames_sent += other.frames_sent;
+        self.frames_received += other.frames_received;
+    }
+}
+
+/// One actor's (or one run's) network-plane statistics: messages processed
+/// and sent by type, wire traffic, and fault-layer observations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Messages this actor dequeued and handled, by type.
+    pub processed: MsgCounts,
+    /// Messages this actor sent, by type.
+    pub sent: MsgCounts,
+    /// Wire traffic (zero for in-process transports).
+    pub bytes: ByteCounts,
+    /// Duplicate deliveries observed (fault layer sent a second copy).
+    pub dup_deliveries: u64,
+    /// Deliveries the fault layer held back before forwarding.
+    pub delayed_deliveries: u64,
+    /// `Access` orders re-sent by the control node's retry watchdog.
+    pub access_retries: u64,
+    /// Messages discarded by a crashed data node.
+    pub crash_drops: u64,
+}
+
+impl NetStats {
+    /// Adds every counter of `other` into `self` (merge after a join).
+    pub fn merge(&mut self, other: &NetStats) {
+        self.processed.merge(&other.processed);
+        self.sent.merge(&other.sent);
+        self.bytes.merge(&other.bytes);
+        self.dup_deliveries += other.dup_deliveries;
+        self.delayed_deliveries += other.delayed_deliveries;
+        self.access_retries += other.access_retries;
+        self.crash_drops += other.crash_drops;
+    }
+
+    /// Emits one cumulative counter event per nonzero statistic, stamped
+    /// `at` on `track`, with names prefixed `net_` (message types become
+    /// `net_rx_<type>` / `net_tx_<type>`).
+    pub fn emit(&self, obs: &dyn Observer, at: u64, track: u32) {
+        for (name, v) in self.processed.fields() {
+            if v != 0 {
+                obs.record(ObsEvent::counter(at, track, format!("net_rx_{name}"), v));
+            }
+        }
+        for (name, v) in self.sent.fields() {
+            if v != 0 {
+                obs.record(ObsEvent::counter(at, track, format!("net_tx_{name}"), v));
+            }
+        }
+        for (name, v) in self.bytes.fields() {
+            if v != 0 {
+                obs.record(ObsEvent::counter(at, track, format!("net_{name}"), v));
+            }
+        }
+        for (name, v) in [
+            ("net_dup_deliveries", self.dup_deliveries),
+            ("net_delayed_deliveries", self.delayed_deliveries),
+            ("net_access_retries", self.access_retries),
+            ("net_crash_drops", self.crash_drops),
+        ] {
+            if v != 0 {
+                obs.record(ObsEvent::counter(at, track, name, v));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::MemorySink;
+
+    #[test]
+    fn totals_and_merge() {
+        let mut a = MsgCounts {
+            submit: 2,
+            grant: 3,
+            ..MsgCounts::default()
+        };
+        let b = MsgCounts {
+            grant: 1,
+            shutdown: 4,
+            ..MsgCounts::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.submit, 2);
+        assert_eq!(a.grant, 4);
+        assert_eq!(a.shutdown, 4);
+        assert_eq!(a.total(), 10);
+        assert_eq!(MsgCounts::default().total(), 0);
+    }
+
+    #[test]
+    fn byte_counts_merge() {
+        let mut a = ByteCounts {
+            bytes_sent: 100,
+            frames_sent: 2,
+            ..ByteCounts::default()
+        };
+        a.merge(&ByteCounts {
+            bytes_sent: 50,
+            bytes_received: 7,
+            frames_received: 1,
+            ..ByteCounts::default()
+        });
+        assert_eq!(a.bytes_sent, 150);
+        assert_eq!(a.bytes_received, 7);
+        assert_eq!(a.frames_sent, 2);
+        assert_eq!(a.frames_received, 1);
+    }
+
+    #[test]
+    fn net_stats_emit_skips_zeros() {
+        let sink = MemorySink::new();
+        let stats = NetStats {
+            processed: MsgCounts {
+                submit: 5,
+                ..MsgCounts::default()
+            },
+            sent: MsgCounts {
+                grant: 5,
+                ..MsgCounts::default()
+            },
+            bytes: ByteCounts {
+                bytes_sent: 80,
+                ..ByteCounts::default()
+            },
+            dup_deliveries: 1,
+            ..NetStats::default()
+        };
+        stats.emit(&sink, 7, 3);
+        let evs = sink.take();
+        assert_eq!(evs.len(), 4, "only nonzero counters are emitted: {evs:?}");
+        assert!(evs.contains(&ObsEvent::counter(7, 3, "net_rx_submit", 5)));
+        assert!(evs.contains(&ObsEvent::counter(7, 3, "net_tx_grant", 5)));
+        assert!(evs.contains(&ObsEvent::counter(7, 3, "net_bytes_sent", 80)));
+        assert!(evs.contains(&ObsEvent::counter(7, 3, "net_dup_deliveries", 1)));
+    }
+
+    #[test]
+    fn net_stats_merge_covers_every_field() {
+        let mut a = NetStats {
+            dup_deliveries: 1,
+            delayed_deliveries: 2,
+            access_retries: 3,
+            crash_drops: 4,
+            ..NetStats::default()
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.dup_deliveries, 2);
+        assert_eq!(a.delayed_deliveries, 4);
+        assert_eq!(a.access_retries, 6);
+        assert_eq!(a.crash_drops, 8);
+    }
+}

@@ -89,6 +89,15 @@ pub enum EngineError {
         /// Units tallied at write time.
         tallied: u64,
     },
+    /// A worker's retry loop hit the backoff attempt cap without progress —
+    /// the scheduler starved a transaction instead of eventually admitting
+    /// or granting it.
+    BackoffExhausted {
+        /// The starved transaction.
+        txn: wtpg_core::txn::TxnId,
+        /// Consecutive backoff sleeps performed before giving up.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -104,6 +113,11 @@ impl std::fmt::Display for EngineError {
                 f,
                 "store diverged: expected {expected} write units, cells sum to {cells}, \
                  tally says {tallied}"
+            ),
+            EngineError::BackoffExhausted { txn, attempts } => write!(
+                f,
+                "txn {} starved: backoff exhausted after {attempts} consecutive retries",
+                txn.0
             ),
         }
     }
@@ -177,7 +191,12 @@ fn run_txn(
                         spec.id.0,
                     ));
                 }
-                cfg.backoff.sleep(streak, rng);
+                cfg.backoff.sleep(streak, rng).map_err(|e| {
+                    EngineError::BackoffExhausted {
+                        txn: spec.id,
+                        attempts: e.attempts,
+                    }
+                })?;
                 streak = streak.saturating_add(1);
             }
         }
@@ -196,7 +215,12 @@ fn run_txn(
                     if let Some(o) = obs {
                         o.emit(ObsEvent::instant(o.now_us(), o.track, "lock_retry", spec.id.0));
                     }
-                    cfg.backoff.sleep(streak, rng);
+                    cfg.backoff.sleep(streak, rng).map_err(|e| {
+                        EngineError::BackoffExhausted {
+                            txn: spec.id,
+                            attempts: e.attempts,
+                        }
+                    })?;
                     streak = streak.saturating_add(1);
                 }
             }

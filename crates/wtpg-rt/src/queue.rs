@@ -1,12 +1,43 @@
-//! A bounded MPMC submission queue with blocking backpressure.
+//! A bounded MPMC queue with blocking backpressure and timed/non-blocking
+//! variants.
 //!
 //! The engine's client side pushes transactions here; worker threads pop.
 //! A full queue blocks the submitter — the backpressure the paper's open
 //! arrival model lacks and a real service needs. Implemented on
 //! `Mutex<VecDeque> + Condvar` pairs so the crate stays dependency-free.
+//!
+//! The queue is generic and deliberately free of engine-specific types: it
+//! also serves as the actor mailbox of `wtpg-net`'s in-process transport
+//! (one shared impl, no copy-paste). The lossy/timed operations exist for
+//! that use: [`BoundedQueue::try_push`] models a link that drops rather
+//! than blocks its sender, and [`BoundedQueue::pop_timeout`] lets an actor
+//! interleave message handling with periodic retry scans.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Outcome of a non-blocking or timed pop.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PopResult<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// Nothing was available (within the timeout, for timed pops) but the
+    /// queue is still open.
+    Empty,
+    /// The queue is closed and fully drained; no item will ever arrive.
+    Closed,
+}
+
+impl<T> PopResult<T> {
+    /// The dequeued item, if any.
+    pub fn item(self) -> Option<T> {
+        match self {
+            PopResult::Item(t) => Some(t),
+            PopResult::Empty | PopResult::Closed => None,
+        }
+    }
+}
 
 struct QueueState<T> {
     items: VecDeque<T>,
@@ -55,6 +86,72 @@ impl<T> BoundedQueue<T> {
         drop(s);
         self.not_empty.notify_one();
         true
+    }
+
+    /// Pushes `item` without blocking. A full or closed queue hands the item
+    /// back instead of waiting — the caller decides whether dropping it is
+    /// acceptable (lossy links back their loss with a retry layer).
+    pub fn try_push(&self, item: T) -> Result<(), T> {
+        let mut s = self
+            .state
+            .lock()
+            .expect("invariant: queue lock is never poisoned (no panics while held)");
+        if s.closed || s.items.len() >= self.capacity {
+            return Err(item);
+        }
+        s.items.push_back(item);
+        drop(s);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Pops without blocking: [`PopResult::Empty`] when nothing is queued
+    /// right now, [`PopResult::Closed`] once closed and drained.
+    pub fn try_pop(&self) -> PopResult<T> {
+        let mut s = self
+            .state
+            .lock()
+            .expect("invariant: queue lock is never poisoned (no panics while held)");
+        if let Some(item) = s.items.pop_front() {
+            drop(s);
+            self.not_full.notify_one();
+            return PopResult::Item(item);
+        }
+        if s.closed {
+            PopResult::Closed
+        } else {
+            PopResult::Empty
+        }
+    }
+
+    /// Pops the next item, waiting at most `timeout` for one to arrive.
+    /// Returns [`PopResult::Empty`] on timeout while the queue is open, and
+    /// [`PopResult::Closed`] once it is closed and drained.
+    pub fn pop_timeout(&self, timeout: Duration) -> PopResult<T> {
+        let deadline = Instant::now() + timeout;
+        let mut s = self
+            .state
+            .lock()
+            .expect("invariant: queue lock is never poisoned (no panics while held)");
+        loop {
+            if let Some(item) = s.items.pop_front() {
+                drop(s);
+                self.not_full.notify_one();
+                return PopResult::Item(item);
+            }
+            if s.closed {
+                return PopResult::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return PopResult::Empty;
+            }
+            let (guard, _) = self
+                .not_empty
+                .wait_timeout(s, deadline - now)
+                .expect("invariant: queue lock is never poisoned (no panics while held)");
+            s = guard;
+        }
     }
 
     /// Pops the next item, blocking while the queue is empty and open.
@@ -144,6 +241,47 @@ mod tests {
             assert!(h.join().unwrap(), "parked push completes after pop");
         });
         assert_eq!(q.pop(), Some(2));
+    }
+
+    #[test]
+    fn try_push_hands_back_on_full_and_closed() {
+        let q = BoundedQueue::new(1);
+        assert_eq!(q.try_push(1), Ok(()));
+        assert_eq!(q.try_push(2), Err(2), "full queue refuses without blocking");
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(()));
+        q.close();
+        assert_eq!(q.try_push(4), Err(4), "closed queue refuses");
+        assert_eq!(q.pop(), Some(3), "closed queue still drains");
+    }
+
+    #[test]
+    fn try_pop_distinguishes_empty_from_closed() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_pop(), PopResult::<u32>::Empty);
+        q.push(5);
+        assert_eq!(q.try_pop(), PopResult::Item(5));
+        q.close();
+        assert_eq!(q.try_pop(), PopResult::<u32>::Closed);
+        assert_eq!(PopResult::Item(7).item(), Some(7));
+        assert_eq!(PopResult::<u32>::Empty.item(), None);
+    }
+
+    #[test]
+    fn pop_timeout_times_out_then_delivers() {
+        let q = BoundedQueue::new(2);
+        let t0 = std::time::Instant::now();
+        assert_eq!(q.pop_timeout(Duration::from_millis(10)), PopResult::<u32>::Empty);
+        assert!(t0.elapsed() >= Duration::from_millis(9), "must actually wait");
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                std::thread::sleep(Duration::from_millis(5));
+                q.push(9);
+            });
+            assert_eq!(q.pop_timeout(Duration::from_secs(5)), PopResult::Item(9));
+        });
+        q.close();
+        assert_eq!(q.pop_timeout(Duration::from_millis(1)), PopResult::<u32>::Closed);
     }
 
     #[test]

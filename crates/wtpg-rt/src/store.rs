@@ -2,10 +2,17 @@
 //!
 //! One store per simulated data node, shared-nothing style: partition `p`
 //! lives on node `p mod NumNodes` (paper §4.1, Figure 5) and nodes share no
-//! state, so each sits behind its own mutex and bulk work on different nodes
-//! proceeds in parallel. A partition holds one `u64` cell per milli-object
-//! of its catalog size; a bulk step touches exactly `costof(s)` milli-object
-//! cells (cycling over the partition when the cost exceeds its size):
+//! state. [`NodeStore`] is the single-node storage itself — a plain value
+//! with `&mut self` operations and no locking, so `wtpg-net`'s data-node
+//! actors can *own* one outright (true shared-nothing: the partition is
+//! reachable only through the actor's mailbox). [`ShardedStore`] is the
+//! in-process composition the engine uses: every node behind its own mutex,
+//! so bulk work on different nodes proceeds in parallel within one address
+//! space.
+//!
+//! A partition holds one `u64` cell per milli-object of its catalog size; a
+//! bulk step touches exactly `costof(s)` milli-object cells (cycling over
+//! the partition when the cost exceeds its size):
 //!
 //! * a **read** step folds the touched cells into a checksum (the scan is
 //!   real work the optimiser cannot discard);
@@ -26,40 +33,38 @@ use wtpg_core::error::CoreError;
 use wtpg_core::partition::{Catalog, PartitionId};
 use wtpg_core::txn::AccessMode;
 
-struct NodeStore {
+/// One data node's storage: the cells of every partition homed on it.
+///
+/// A plain value — no interior locking — so a caller can either own it
+/// exclusively (an actor's private state) or wrap it in a mutex
+/// ([`ShardedStore`] does the latter).
+pub struct NodeStore {
     /// Cells of each partition homed on this node, keyed by partition id.
     partitions: BTreeMap<u32, Vec<u64>>,
     /// Total milli-object cells updated on this node (diagnostics).
     write_units: u64,
-}
-
-/// The engine's data layer: one mutex-protected store per data node.
-pub struct ShardedStore {
-    nodes: Vec<Mutex<NodeStore>>,
+    /// Which node of the catalog this store is (placement checking).
+    node: u32,
+    /// Nodes in the catalog the store was built from (placement checking).
     num_nodes: u32,
 }
 
-impl ShardedStore {
-    /// Builds zeroed stores for every partition of `catalog`, placed with
-    /// the paper's modulo rule.
-    pub fn new(catalog: &Catalog) -> ShardedStore {
-        let num_nodes = catalog.num_nodes();
-        let mut nodes: Vec<NodeStore> = (0..num_nodes)
-            .map(|_| NodeStore {
-                partitions: BTreeMap::new(),
-                write_units: 0,
-            })
-            .collect();
+impl NodeStore {
+    /// Builds the zeroed store for node `node` of `catalog`: every partition
+    /// the paper's modulo rule homes there, one cell per milli-object.
+    pub fn for_node(catalog: &Catalog, node: u32) -> NodeStore {
+        let mut partitions = BTreeMap::new();
         for p in catalog.partitions() {
-            let rows = catalog.size(p).units().max(1) as usize;
-            let node = catalog.node_of(p) as usize;
-            if let Some(n) = nodes.get_mut(node) {
-                n.partitions.insert(p.0, vec![0u64; rows]);
+            if catalog.node_of(p) == node {
+                let rows = catalog.size(p).units().max(1) as usize;
+                partitions.insert(p.0, vec![0u64; rows]);
             }
         }
-        ShardedStore {
-            nodes: nodes.into_iter().map(Mutex::new).collect(),
-            num_nodes,
+        NodeStore {
+            partitions,
+            write_units: 0,
+            node,
+            num_nodes: catalog.num_nodes(),
         }
     }
 
@@ -69,24 +74,18 @@ impl ShardedStore {
     /// each touched cell by one.
     ///
     /// # Errors
-    /// [`CoreError::UnknownPartition`] if `p` is not in the catalog the
-    /// store was built from.
+    /// [`CoreError::UnknownPartition`] if `p` is not homed on this node.
     pub fn apply_chunk(
-        &self,
+        &mut self,
         p: PartitionId,
         mode: AccessMode,
         start_unit: u64,
         units: u64,
     ) -> Result<u64, CoreError> {
-        let node = (p.0 % self.num_nodes) as usize;
-        let mut guard = self
-            .nodes
-            .get(node)
-            .ok_or(CoreError::UnknownPartition(p))?
-            .lock()
-            .expect("invariant: store lock is never poisoned (no panics while held)");
-        let store = &mut *guard;
-        let cells = store
+        if p.0 % self.num_nodes != self.node {
+            return Err(CoreError::UnknownPartition(p));
+        }
+        let cells = self
             .partitions
             .get_mut(&p.0)
             .ok_or(CoreError::UnknownPartition(p))?;
@@ -102,9 +101,66 @@ impl ShardedStore {
             }
         }
         if mode == AccessMode::Write {
-            store.write_units += units;
+            self.write_units += units;
         }
         Ok(checksum)
+    }
+
+    /// Sum of every cell on this node.
+    pub fn cell_sum(&self) -> u64 {
+        self.partitions.values().flatten().sum()
+    }
+
+    /// Milli-object cells updated on this node, as tallied at write time.
+    pub fn write_units(&self) -> u64 {
+        self.write_units
+    }
+
+    /// The node id this store was built for.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+}
+
+/// The engine's data layer: one mutex-protected [`NodeStore`] per data node.
+pub struct ShardedStore {
+    nodes: Vec<Mutex<NodeStore>>,
+    num_nodes: u32,
+}
+
+impl ShardedStore {
+    /// Builds zeroed stores for every partition of `catalog`, placed with
+    /// the paper's modulo rule.
+    pub fn new(catalog: &Catalog) -> ShardedStore {
+        let num_nodes = catalog.num_nodes();
+        ShardedStore {
+            nodes: (0..num_nodes)
+                .map(|n| Mutex::new(NodeStore::for_node(catalog, n)))
+                .collect(),
+            num_nodes,
+        }
+    }
+
+    /// Applies one chunk of a bulk step at the owning node; see
+    /// [`NodeStore::apply_chunk`].
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`] if `p` is not in the catalog the
+    /// store was built from.
+    pub fn apply_chunk(
+        &self,
+        p: PartitionId,
+        mode: AccessMode,
+        start_unit: u64,
+        units: u64,
+    ) -> Result<u64, CoreError> {
+        let node = (p.0 % self.num_nodes) as usize;
+        self.nodes
+            .get(node)
+            .ok_or(CoreError::UnknownPartition(p))?
+            .lock()
+            .expect("invariant: store lock is never poisoned (no panics while held)")
+            .apply_chunk(p, mode, start_unit, units)
     }
 
     /// Sum of every cell across every node. Because cells start at zero and
@@ -117,10 +173,7 @@ impl ShardedStore {
             .map(|n| {
                 n.lock()
                     .expect("invariant: store lock is never poisoned (no panics while held)")
-                    .partitions
-                    .values()
-                    .flatten()
-                    .sum::<u64>()
+                    .cell_sum()
             })
             .sum()
     }
@@ -133,7 +186,7 @@ impl ShardedStore {
             .map(|n| {
                 n.lock()
                     .expect("invariant: store lock is never poisoned (no panics while held)")
-                    .write_units
+                    .write_units()
             })
             .sum()
     }
@@ -151,7 +204,7 @@ impl ShardedStore {
             .map(|n| {
                 n.lock()
                     .expect("invariant: store lock is never poisoned (no panics while held)")
-                    .write_units
+                    .write_units()
             })
             .collect()
     }
@@ -196,6 +249,43 @@ mod tests {
             .apply_chunk(PartitionId(9), AccessMode::Read, 0, 1)
             .unwrap_err();
         assert_eq!(err, CoreError::UnknownPartition(PartitionId(9)));
+    }
+
+    #[test]
+    fn node_store_rejects_foreign_partitions() {
+        let catalog = Catalog::uniform(4, 2, 2);
+        let mut n0 = NodeStore::for_node(&catalog, 0);
+        assert_eq!(n0.node(), 0);
+        // Partitions 0 and 2 are homed on node 0; 1 and 3 are not.
+        n0.apply_chunk(PartitionId(0), AccessMode::Write, 0, 5).unwrap();
+        n0.apply_chunk(PartitionId(2), AccessMode::Write, 0, 5).unwrap();
+        assert_eq!(
+            n0.apply_chunk(PartitionId(1), AccessMode::Write, 0, 5),
+            Err(CoreError::UnknownPartition(PartitionId(1))),
+            "node 0 must refuse node 1's partition"
+        );
+        assert_eq!(n0.write_units(), 10);
+        assert_eq!(n0.cell_sum(), 10);
+    }
+
+    #[test]
+    fn node_store_matches_sharded_per_node_tallies() {
+        let catalog = Catalog::uniform(4, 2, 2);
+        let sharded = ShardedStore::new(&catalog);
+        let mut owned: Vec<NodeStore> =
+            (0..2).map(|n| NodeStore::for_node(&catalog, n)).collect();
+        for p in 0..4u32 {
+            sharded.apply_chunk(PartitionId(p), AccessMode::Write, 0, 100).unwrap();
+            owned[(p % 2) as usize]
+                .apply_chunk(PartitionId(p), AccessMode::Write, 0, 100)
+                .unwrap();
+        }
+        let per_node: Vec<u64> = owned.iter().map(NodeStore::write_units).collect();
+        assert_eq!(sharded.node_write_units(), per_node);
+        assert_eq!(
+            sharded.cell_sum(),
+            owned.iter().map(NodeStore::cell_sum).sum::<u64>()
+        );
     }
 
     #[test]
