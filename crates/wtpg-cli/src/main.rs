@@ -85,9 +85,10 @@ fn print_help() {
                          [--hots N] [--seed N] [--queue N] [--k N] [--keeptime MS]\n\
                          [--no-certify] [--grid] [--out FILE] [--trace FILE]\n\
            wtpg net      [--sched S] [--transport inproc|tcp] [--fault none|fault|crash]\n\
-                         [--clients N] [--txns N] [--pattern 1|2|3] [--hots N] [--seed N]\n\
-                         [--chunk N] [--k N] [--keeptime MS] [--no-certify]\n\
-                         [--grid] [--out FILE]\n\
+                         [--clients N] [--txns N] [--pattern 1|2|3|4] [--hots N] [--groups N]\n\
+                         [--seed N] [--chunk N] [--k N] [--keeptime MS] [--shards N]\n\
+                         [--batch-max N] [--batch-window USEC] [--pipeline N]\n\
+                         [--admit-window N] [--no-certify] [--grid] [--out FILE]\n\
            wtpg obs      summary <trace.jsonl> | diff <a.jsonl> <b.jsonl>\n\
                          | chrome <trace.jsonl> [--out FILE]\n\
          \n\

@@ -68,12 +68,18 @@ struct NetArgs {
     txns: usize,
     pattern: u32,
     hots: u32,
+    groups: u32,
     seed: u64,
     transport: String,
     fault: String,
     chunk: u64,
     k: usize,
     keeptime: u64,
+    shards: usize,
+    batch_max: usize,
+    batch_window: u64,
+    pipeline: usize,
+    admit_window: usize,
     certify: bool,
     grid: bool,
     out: Option<String>,
@@ -86,12 +92,18 @@ fn parse(args: &[String]) -> Result<NetArgs, String> {
         txns: 500,
         pattern: 1,
         hots: 8,
+        groups: 4,
         seed: 42,
         transport: "inproc".into(),
         fault: "none".into(),
         chunk: 1000,
         k: 2,
         keeptime: 5000,
+        shards: 1,
+        batch_max: 128,
+        batch_window: 100,
+        pipeline: 16,
+        admit_window: 32,
         certify: true,
         grid: false,
         out: None,
@@ -110,7 +122,19 @@ fn parse(args: &[String]) -> Result<NetArgs, String> {
             "--txns" => a.txns = take(&mut i)?.parse().map_err(|_| "bad --txns")?,
             "--pattern" => a.pattern = take(&mut i)?.parse().map_err(|_| "bad --pattern")?,
             "--hots" => a.hots = take(&mut i)?.parse().map_err(|_| "bad --hots")?,
+            "--groups" => a.groups = take(&mut i)?.parse().map_err(|_| "bad --groups")?,
             "--seed" => a.seed = take(&mut i)?.parse().map_err(|_| "bad --seed")?,
+            "--shards" => a.shards = take(&mut i)?.parse().map_err(|_| "bad --shards")?,
+            "--batch-max" => {
+                a.batch_max = take(&mut i)?.parse().map_err(|_| "bad --batch-max")?
+            }
+            "--batch-window" => {
+                a.batch_window = take(&mut i)?.parse().map_err(|_| "bad --batch-window")?
+            }
+            "--pipeline" => a.pipeline = take(&mut i)?.parse().map_err(|_| "bad --pipeline")?,
+            "--admit-window" => {
+                a.admit_window = take(&mut i)?.parse().map_err(|_| "bad --admit-window")?
+            }
             "--transport" => a.transport = take(&mut i)?,
             "--fault" => a.fault = take(&mut i)?,
             "--chunk" => a.chunk = take(&mut i)?.parse().map_err(|_| "bad --chunk")?,
@@ -126,12 +150,18 @@ fn parse(args: &[String]) -> Result<NetArgs, String> {
     Ok(a)
 }
 
-fn pattern_of(pattern: u32, hots: u32) -> Result<Pattern, String> {
+fn pattern_of(pattern: u32, hots: u32, groups: u32) -> Result<Pattern, String> {
     match pattern {
         1 => Ok(Pattern::One),
         2 => Ok(Pattern::Two { num_hots: hots }),
         3 => Ok(Pattern::Three { num_hots: hots }),
-        other => Err(format!("--pattern must be 1, 2 or 3, got {other}")),
+        // The sharding ablation: `--groups` disjoint conflict components,
+        // each with `--hots` private hot partitions.
+        4 => Ok(Pattern::Clustered {
+            groups,
+            hots_per_group: hots,
+        }),
+        other => Err(format!("--pattern must be 1, 2, 3 or 4, got {other}")),
     }
 }
 
@@ -156,30 +186,47 @@ fn fault_of(name: &str, seed: u64) -> Result<FaultPlan, String> {
     }
 }
 
+/// One grid cell beyond the base sweep's shared knobs: its own client
+/// count, shard request and pattern (the 10× hot cell and the sharded
+/// clustered cells need different ones).
+struct CellShape {
+    clients: usize,
+    shards: usize,
+    pattern: Pattern,
+}
+
 fn run_one(
     a: &NetArgs,
     sched: &str,
     transport: &dyn Transport,
     fault: &FaultPlan,
-    pattern: Pattern,
+    shape: &CellShape,
 ) -> Result<NetReport, String> {
-    let (catalog, specs) = pattern_specs(pattern, a.txns, a.seed);
+    let (catalog, specs) = pattern_specs(shape.pattern, a.txns, a.seed);
     let cfg = NetConfig {
-        clients: a.clients,
+        clients: shape.clients,
         chunk_units: a.chunk,
         certify: a.certify,
-        seed: a.seed,
+        shards: shape.shards,
+        batch_max: a.batch_max,
+        batch_window_us: a.batch_window,
+        pipeline: a.pipeline,
+        admit_window: a.admit_window,
         ..NetConfig::default()
     };
-    let sched = sched_by_name(sched, a.k, a.keeptime)
-        .ok_or_else(|| format!("unknown scheduler {sched:?}"))?;
-    run_cell(&cfg, sched, &catalog, &specs, transport, fault).map_err(|e| e.to_string())
+    if sched_by_name(sched, a.k, a.keeptime).is_none() {
+        return Err(format!("unknown scheduler {sched:?}"));
+    }
+    // Each control shard builds its own scheduler from the same recipe.
+    let factory = || sched_by_name(sched, a.k, a.keeptime).expect("scheduler name checked above");
+    run_cell(&cfg, &factory, &catalog, &specs, transport, fault).map_err(|e| e.to_string())
 }
 
 fn print_report(r: &NetReport, pattern: &str) {
     println!(
-        "{} | {} transport | {} faults | {} clients × {} data nodes | {} | {} txns",
-        r.scheduler, r.transport, r.fault, r.clients, r.data_nodes, pattern, r.submitted
+        "{} | {} transport | {} faults | {} clients × {} data nodes × {} control shards \
+         | {} | {} txns",
+        r.scheduler, r.transport, r.fault, r.clients, r.data_nodes, r.shards, pattern, r.submitted
     );
     println!(
         "  committed  : {}  ({:.1} TPS over {:.0} ms wall)",
@@ -202,6 +249,10 @@ fn print_report(r: &NetReport, pattern: &str) {
         r.msgs.grant,
         r.msgs.access,
         r.msgs.stats_delta
+    );
+    println!(
+        "  batching   : {} batch frames carrying {} coalesced messages",
+        r.msgs.batch, r.batched_inner
     );
     if r.bytes_sent > 0 {
         println!(
@@ -241,11 +292,16 @@ fn print_report(r: &NetReport, pattern: &str) {
 
 pub(crate) fn run(args: &[String]) -> Result<(), String> {
     let a = parse(args)?;
-    let pattern = pattern_of(a.pattern, a.hots)?;
+    let pattern = pattern_of(a.pattern, a.hots, a.groups)?;
     if !a.grid {
         let transport = transport_of(&a.transport)?;
         let fault = fault_of(&a.fault, a.seed)?;
-        let report = run_one(&a, &a.sched, transport, &fault, pattern)?;
+        let shape = CellShape {
+            clients: a.clients,
+            shards: a.shards,
+            pattern,
+        };
+        let report = run_one(&a, &a.sched, transport, &fault, &shape)?;
         print_report(&report, &pattern.label());
         if let Some(path) = &a.out {
             let json = serde_json::to_string_pretty(&report)
@@ -256,27 +312,53 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
+    // Grid provenance: the describe string is baked into the binary at
+    // build time, so a stale or dirty build would stamp misleading numbers
+    // into BENCH_net.json. Warn locally; refuse under CI.
+    let describe = wtpg_obs::meta::git_describe();
+    if describe.ends_with("-dirty") {
+        if std::env::var_os("CI").is_some() {
+            return Err(format!(
+                "refusing to write a grid benchmark from a dirty build ({describe}) under CI; \
+                 commit (or stash) and rebuild first"
+            ));
+        }
+        eprintln!(
+            "warning: benchmarking a dirty build ({describe}); \
+             BENCH_net.json will carry the -dirty stamp"
+        );
+    }
+
     // Grid mode: scheduler × transport × fault, one report per cell.
     let scheds = ["chain", "k2", "c2pl"];
     let transports: [(&str, &dyn Transport); 2] = [("inproc", &InProc), ("tcp", &Tcp)];
     let faults = ["none", "fault", "crash"];
+    let base_shape = CellShape {
+        clients: a.clients,
+        shards: a.shards,
+        pattern,
+    };
+    let print_row = |tname: &str, report: &NetReport| {
+        println!(
+            "{:>6} | {:>6} | {:>11} faults | {:>2} shards | {:>8.1} TPS | p95 {:>8.2} ms \
+             | {:>5.1} msg/commit | {}",
+            report.scheduler,
+            tname,
+            report.fault,
+            report.shards,
+            report.throughput_tps,
+            report.latency.p95_ms,
+            report.msgs_per_commit(),
+            if report.certified { "certified" } else { "UNCERTIFIED" }
+        );
+    };
     let mut cells: Vec<GridCell> = Vec::new();
     for sched in scheds {
         for (tname, transport) in transports {
             for fname in faults {
                 let fault = fault_of(fname, a.seed)?;
-                let report = run_one(&a, sched, transport, &fault, pattern)?;
-                println!(
-                    "{:>6} | {:>6} | {:>11} faults | {:>8.1} TPS | p95 {:>8.2} ms \
-                     | {:>5.1} msg/commit | {}",
-                    report.scheduler,
-                    tname,
-                    report.fault,
-                    report.throughput_tps,
-                    report.latency.p95_ms,
-                    report.msgs_per_commit(),
-                    if report.certified { "certified" } else { "UNCERTIFIED" }
-                );
+                let report = run_one(&a, sched, transport, &fault, &base_shape)?;
+                print_row(tname, &report);
                 cells.push(GridCell {
                     pattern: pattern.label(),
                     report,
@@ -284,10 +366,49 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
             }
         }
     }
+    let base_cells = cells.len();
+
+    // Beyond the base sweep: the high-contention in-proc cell (8 clients
+    // hammering Pattern 2's hot set — the committed-tps headline) and the
+    // sharded clustered cells (disjoint conflict components split across 4
+    // control shards, exercised with and without fault plans on both
+    // transports).
+    let hot = CellShape {
+        clients: 8,
+        shards: 1,
+        pattern: Pattern::Two { num_hots: 4 },
+    };
+    let clustered = |shards| CellShape {
+        clients: 8,
+        shards,
+        pattern: Pattern::Clustered {
+            groups: 4,
+            hots_per_group: 4,
+        },
+    };
+    let extras: [(&str, &dyn Transport, &str, CellShape); 5] = [
+        ("inproc", &InProc, "none", hot),
+        ("inproc", &InProc, "none", clustered(4)),
+        ("inproc", &InProc, "fault", clustered(4)),
+        ("tcp", &Tcp, "none", clustered(4)),
+        ("tcp", &Tcp, "crash", clustered(2)),
+    ];
+    for (tname, transport, fname, shape) in extras {
+        let fault = fault_of(fname, a.seed)?;
+        let report = run_one(&a, "chain", transport, &fault, &shape)?;
+        print_row(tname, &report);
+        cells.push(GridCell {
+            pattern: shape.pattern.label(),
+            report,
+        });
+    }
 
     // Pair each (scheduler, fault) across transports: the TCP run moves
     // the identical workload, so the delta is pure coordination overhead.
-    // The cells vector is laid out sched-major, then transport, then fault.
+    // Only the base sweep pairs up — its cells are laid out sched-major,
+    // then transport, then fault; the extra cells after `base_cells` have
+    // no in-proc/TCP twin.
+    debug_assert_eq!(base_cells, scheds.len() * transports.len() * faults.len());
     let mut overhead = Vec::new();
     for (si, _) in scheds.iter().enumerate() {
         for (fi, fname) in faults.iter().enumerate() {

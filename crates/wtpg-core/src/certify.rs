@@ -313,6 +313,99 @@ pub fn certify_history(
     Ok(report)
 }
 
+/// The transaction an event belongs to.
+fn event_txn(e: &Event) -> TxnId {
+    match *e {
+        Event::Admitted(t) | Event::Rejected(t) | Event::Committed(t) => t,
+        Event::Granted { txn, .. } | Event::Progress { txn, .. } | Event::StepCompleted { txn, .. } => txn,
+    }
+}
+
+/// Merges per-shard histories into one globally ordered history.
+///
+/// Sharded control planes split the WTPG by *conflict component*: a
+/// transaction's every event lives on exactly one shard, and a partition is
+/// only ever granted by the shard owning its component. Under that
+/// disjointness, shards share no constraints — so any interleaving that
+/// preserves each shard's internal order is a valid linearization, and the
+/// merge picks the canonical one: sort by `(recorded tick, shard index)`
+/// (stable, so within-shard order is untouched), then re-tick sequentially.
+///
+/// A single-shard slice returns the history untouched (same ticks), so
+/// unsharded runs certify byte-identically to the unsharded path.
+///
+/// # Errors
+/// A [`CertifyViolation`] (`at == usize::MAX`) if the disjointness premise
+/// is violated: a transaction with events on two shards, or a partition
+/// granted by two shards. A swapped cross-shard grant is caught here — the
+/// merge refuses to manufacture an ordering the shards never agreed on.
+pub fn merge_shard_histories(shards: &[&History]) -> Result<History, CertifyViolation> {
+    if shards.len() == 1 {
+        return Ok(shards[0].clone());
+    }
+    let mut txn_home: BTreeMap<TxnId, usize> = BTreeMap::new();
+    let mut part_home: BTreeMap<crate::partition::PartitionId, usize> = BTreeMap::new();
+    let mut all: Vec<(Tick, usize, Event)> = Vec::new();
+    for (si, h) in shards.iter().enumerate() {
+        for &(t, e) in h.events() {
+            let txn = event_txn(&e);
+            if let Some(&home) = txn_home.get(&txn) {
+                if home != si {
+                    return Err(violation(
+                        usize::MAX,
+                        t,
+                        format!("{txn} has events on shard {home} and shard {si}"),
+                    ));
+                }
+            } else {
+                txn_home.insert(txn, si);
+            }
+            if let Event::Granted { partition, .. } = e {
+                if let Some(&home) = part_home.get(&partition) {
+                    if home != si {
+                        return Err(violation(
+                            usize::MAX,
+                            t,
+                            format!("{partition} granted by shard {home} and shard {si}"),
+                        ));
+                    }
+                } else {
+                    part_home.insert(partition, si);
+                }
+            }
+            all.push((t, si, e));
+        }
+    }
+    all.sort_by_key(|&(t, si, _)| (t, si));
+    let mut merged = History::new();
+    for (i, (_, _, e)) in all.into_iter().enumerate() {
+        merged.push(Tick(i as u64 + 1), e);
+    }
+    Ok(merged)
+}
+
+/// Certifies a sharded run: merges the per-shard histories (checking the
+/// component-disjointness premise), unions the per-shard spec maps, and
+/// replays the merged history under `mode` exactly like
+/// [`certify_history`].
+///
+/// # Errors
+/// The first [`CertifyViolation`] from the merge or the replay.
+pub fn certify_sharded(
+    shards: &[(&History, &BTreeMap<TxnId, TxnSpec>)],
+    mode: CertifyMode,
+) -> Result<CertifyReport, CertifyViolation> {
+    let hists: Vec<&History> = shards.iter().map(|&(h, _)| h).collect();
+    let merged = merge_shard_histories(&hists)?;
+    let mut specs: BTreeMap<TxnId, TxnSpec> = BTreeMap::new();
+    for &(_, shard_specs) in shards {
+        for (id, spec) in shard_specs {
+            specs.insert(*id, spec.clone());
+        }
+    }
+    certify_history(&merged, &specs, mode)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -567,5 +660,157 @@ mod tests {
         );
         let err = certify_history(&h, &specs, CertifyMode::Exempt).unwrap_err();
         assert!(err.what.contains("after commit"), "{err}");
+    }
+
+    /// Drives `ts` through `sched` (round-robin, like the simulator),
+    /// recording the history from `start_tick` — a stand-in for one control
+    /// shard working its conflict component.
+    fn drive_component<S: Scheduler>(
+        mut sched: S,
+        ts: &[TxnSpec],
+        start_tick: u64,
+    ) -> (History, BTreeMap<TxnId, TxnSpec>) {
+        let mut h = History::new();
+        let mut specs = BTreeMap::new();
+        let mut now = Tick(start_tick);
+        for t in ts {
+            specs.insert(t.id, t.clone());
+            match sched.on_arrive(t, now).unwrap().0 {
+                Admission::Admitted => h.push(now, Event::Admitted(t.id)),
+                Admission::Rejected => h.push(now, Event::Rejected(t.id)),
+            }
+        }
+        let mut pending: Vec<(TxnId, usize, usize)> =
+            ts.iter().map(|t| (t.id, 0, t.len())).collect();
+        while !pending.is_empty() {
+            now += 1;
+            let mut next = Vec::new();
+            for (id, step, len) in pending {
+                match sched.on_request(id, step, now).unwrap().0 {
+                    LockOutcome::Granted => {
+                        let s = specs[&id].steps()[step];
+                        h.push(
+                            now,
+                            Event::Granted {
+                                txn: id,
+                                step,
+                                partition: s.partition,
+                                mode: s.mode,
+                            },
+                        );
+                        sched.on_progress(id, s.cost).unwrap();
+                        h.push(
+                            now,
+                            Event::Progress {
+                                txn: id,
+                                amount: s.cost,
+                            },
+                        );
+                        sched.on_step_complete(id, step).unwrap();
+                        h.push(now, Event::StepCompleted { txn: id, step });
+                        if step + 1 == len {
+                            sched.on_commit(id, now).unwrap();
+                            h.push(now, Event::Committed(id));
+                        } else {
+                            next.push((id, step + 1, len));
+                        }
+                    }
+                    _ => next.push((id, step, len)),
+                }
+            }
+            pending = next;
+        }
+        (h, specs)
+    }
+
+    /// `count` transactions confined to partitions `[base, base + 3)` —
+    /// one conflict component per `base`.
+    fn component_specs(base: u32, first_id: u64, count: u64) -> Vec<TxnSpec> {
+        (0..count)
+            .map(|i| {
+                // Vary the shapes so the shard histories interleave
+                // nontrivially when merged.
+                let steps = match i % 3 {
+                    0 => vec![StepSpec::write(base, 2.0), StepSpec::read(base + 1, 1.0)],
+                    1 => vec![StepSpec::read(base + 1, 1.0), StepSpec::write(base + 2, 1.0)],
+                    _ => vec![StepSpec::write(base + 2, 1.0)],
+                };
+                TxnSpec::new(TxnId(first_id + i), steps)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn disjoint_shard_histories_certify_clean() {
+        // Three shards, each a chain run over its own partition range and
+        // its own (deliberately overlapping) tick range.
+        for shards in 2..=3usize {
+            let parts: Vec<(History, BTreeMap<TxnId, TxnSpec>)> = (0..shards)
+                .map(|s| {
+                    drive_component(
+                        crate::sched::ChainScheduler::new(5000),
+                        &component_specs(10 * s as u32, 100 * s as u64 + 1, 4),
+                        s as u64, // skewed starts → interleaved merge order
+                    )
+                })
+                .collect();
+            let refs: Vec<(&History, &BTreeMap<TxnId, TxnSpec>)> =
+                parts.iter().map(|(h, s)| (h, s)).collect();
+            let report =
+                certify_sharded(&refs, CertifyMode::Chain).expect("disjoint shards certify");
+            assert_eq!(report.commits, 4 * shards);
+            let merged = merge_shard_histories(
+                &parts.iter().map(|(h, _)| h).collect::<Vec<_>>(),
+            )
+            .unwrap();
+            assert_eq!(
+                merged.len(),
+                parts.iter().map(|(h, _)| h.len()).sum::<usize>()
+            );
+            // Re-ticked sequentially: strictly increasing from 1.
+            for (i, &(t, _)) in merged.events().iter().enumerate() {
+                assert_eq!(t, Tick(i as u64 + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_cross_shard_grants_are_rejected() {
+        // Both "shards" claim a grant on partition 0 — the disjointness
+        // premise of sharded certification, so the merge must refuse.
+        let (h1, s1) = drive_component(
+            crate::sched::ChainScheduler::new(5000),
+            &component_specs(0, 1, 2),
+            0,
+        );
+        let (h2, s2) = drive_component(
+            crate::sched::ChainScheduler::new(5000),
+            &component_specs(0, 100, 2),
+            0,
+        );
+        let err = certify_sharded(&[(&h1, &s1), (&h2, &s2)], CertifyMode::Chain).unwrap_err();
+        assert_eq!(err.at, usize::MAX);
+        assert!(err.what.contains("granted by shard"), "{err}");
+
+        // A transaction with events on two shards is just as illegal.
+        let mut h2b = History::new();
+        h2b.push(Tick(0), Event::Admitted(TxnId(1))); // txn 1 lives in h1
+        let err =
+            merge_shard_histories(&[&h1, &h2b]).expect_err("split txn must be rejected");
+        assert!(err.what.contains("events on shard"), "{err}");
+    }
+
+    #[test]
+    fn single_shard_merge_is_byte_identical() {
+        let (h, specs) = drive_component(
+            crate::sched::ChainScheduler::new(5000),
+            &component_specs(0, 1, 3),
+            7,
+        );
+        let merged = merge_shard_histories(&[&h]).unwrap();
+        assert_eq!(merged.events(), h.events(), "ticks and order untouched");
+        let direct = certify_history(&h, &specs, CertifyMode::Chain).unwrap();
+        let sharded = certify_sharded(&[(&h, &specs)], CertifyMode::Chain).unwrap();
+        assert_eq!(direct, sharded);
     }
 }

@@ -115,11 +115,22 @@ impl History {
     pub fn check_conflict_serializable(&self) -> Result<(), String> {
         let committed: BTreeMap<TxnId, ()> =
             self.committed().into_iter().map(|t| (t, ())).collect();
-        // Per partition: every grant event in sequence order. An S→X upgrade
-        // is two separate events — its write conflicts are ordered by the
+        // Per partition, grants in sequence order induce the conflict
+        // edges. The full pairwise relation is quadratic in the grants on a
+        // hot partition, so only its transitive reduction is materialised:
+        // the last committed writer plus every reader since it. Each grant
+        // then adds edges from exactly that frontier (writer → next access,
+        // reader → next writer), and the frontier's transitive closure —
+        // hence its cycles — equals the full relation's. An S→X upgrade is
+        // two separate events — its write conflicts are ordered by the
         // *upgrade* time, not the first (shared) grant.
-        let mut access: BTreeMap<PartitionId, Vec<(usize, TxnId, AccessMode)>> = BTreeMap::new();
-        for (seq, &(_, e)) in self.events.iter().enumerate() {
+        struct Frontier {
+            writer: Option<TxnId>,
+            readers: Vec<TxnId>,
+        }
+        let mut frontiers: BTreeMap<PartitionId, Frontier> = BTreeMap::new();
+        let mut edges: BTreeMap<(TxnId, TxnId), ()> = BTreeMap::new();
+        for &(_, e) in &self.events {
             if let Event::Granted {
                 txn,
                 partition,
@@ -127,8 +138,30 @@ impl History {
                 ..
             } = e
             {
-                if committed.contains_key(&txn) {
-                    access.entry(partition).or_default().push((seq, txn, mode));
+                if !committed.contains_key(&txn) {
+                    continue;
+                }
+                let f = frontiers.entry(partition).or_insert(Frontier {
+                    writer: None,
+                    readers: Vec::new(),
+                });
+                if let Some(w) = f.writer {
+                    if w != txn {
+                        // Grants are in sequence order: w accessed first.
+                        edges.insert((w, txn), ());
+                    }
+                }
+                match mode {
+                    AccessMode::Write => {
+                        for &r in &f.readers {
+                            if r != txn {
+                                edges.insert((r, txn), ());
+                            }
+                        }
+                        f.writer = Some(txn);
+                        f.readers.clear();
+                    }
+                    AccessMode::Read => f.readers.push(txn),
                 }
             }
         }
@@ -137,17 +170,8 @@ impl History {
         for &t in committed.keys() {
             nodes.insert(t, graph.add_node(t));
         }
-        for (_, grants) in access {
-            for (i, &(_, t1, m1)) in grants.iter().enumerate() {
-                for &(_, t2, m2) in &grants[i + 1..] {
-                    if t1 != t2 && m1.conflicts_with(m2) {
-                        // Grants are in sequence order: t1 accessed first.
-                        if graph.find_edge(nodes[&t1], nodes[&t2]).is_none() {
-                            graph.add_edge(nodes[&t1], nodes[&t2], ());
-                        }
-                    }
-                }
-            }
+        for &(t1, t2) in edges.keys() {
+            graph.add_edge(nodes[&t1], nodes[&t2], ());
         }
         if is_cyclic(&graph) {
             Err("serialization graph has a cycle".to_string())

@@ -687,15 +687,23 @@ pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
 /// - `wtpg-net` splits on determinism: the pure protocol layer (`msg.rs`,
 ///   `codec.rs`, `fault.rs` decisions, `report.rs`) must be deterministic —
 ///   the wire format and fault schedules are replayable by seed — while the
-///   actor loops (`control.rs`, `client.rs`, `data.rs`, `runtime.rs`) and
-///   the socket transport (`tcp.rs`) run on wall clocks and OS threads by
-///   design, certified by replay like the engine.
+///   actor loops (`control.rs`, `client.rs`, `data.rs`, `runtime.rs`), the
+///   flush-window coalescer (`batch.rs`) and the socket transport
+///   (`tcp.rs`) run on wall clocks and OS threads by design, certified by
+///   replay like the engine.
 pub fn rules_for(path: &Path) -> RuleSet {
     let s = path.to_string_lossy().replace('\\', "/");
     let in_crate = |name: &str| s.contains(&format!("crates/{name}/src/"));
-    let net_wall_clock = ["/tcp.rs", "/control.rs", "/client.rs", "/data.rs", "/runtime.rs"]
-        .iter()
-        .any(|f| s.ends_with(f));
+    let net_wall_clock = [
+        "/tcp.rs",
+        "/control.rs",
+        "/client.rs",
+        "/data.rs",
+        "/runtime.rs",
+        "/batch.rs",
+    ]
+    .iter()
+    .any(|f| s.ends_with(f));
     let determinism = ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph"]
         .iter()
         .any(|c| in_crate(c))

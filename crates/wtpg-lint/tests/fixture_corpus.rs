@@ -151,6 +151,7 @@ fn workspace_policy_scopes_wtpg_net() {
         "crates/wtpg-net/src/client.rs",
         "crates/wtpg-net/src/data.rs",
         "crates/wtpg-net/src/runtime.rs",
+        "crates/wtpg-net/src/batch.rs",
         "crates/wtpg-net/src/tcp.rs",
     ] {
         let r = rules_for(Path::new(file));

@@ -1,24 +1,26 @@
-//! A client actor: drives its transactions through the message protocol.
+//! A client actor: submits transactions and awaits commit acks.
 //!
-//! Plays the role of the engine's worker thread, but across the wire: one
-//! transaction in flight at a time, each driven admission → steps → commit
-//! strictly in lock-step with the control node (every `Submit` gets exactly
-//! one reply, and a granted step is finished by the forwarded
-//! `AccessDone`). Rejected admissions and delayed lock requests are retried
-//! under the same capped-exponential [`Backoff`] as the engine, and the
-//! same starvation bound applies: an exhausted backoff loop surfaces as
-//! [`NetError::BackoffExhausted`] instead of spinning forever.
+//! Plays the role of the engine's worker thread, but across the wire and
+//! under the *pipelined* protocol: up to `pipeline` transactions in flight
+//! at a time, each costing exactly two client messages — one `Submit`
+//! carrying the full declaration, one `Commit` ack when the control plane
+//! has driven every step and committed. Admission rejections, lock delays,
+//! and bulk accesses never touch the client; the control actor parks and
+//! retries internally, so the client has no backoff loop and no sleeps at
+//! all. Acks may return in any order (the control plane commits whatever
+//! unblocks first), so the client keys its in-flight window by transaction
+//! id rather than position.
 //!
-//! The client also keeps the run's latency books: submit-to-commit-ack per
-//! transaction, control-node round trips per request, and grant-to-done
-//! round trips per bulk step (the data-plane RTT).
+//! The client keeps the run's latency books: submit-to-commit-ack per
+//! transaction (which under this protocol *is* the control round trip —
+//! one sample feeds both series).
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use wtpg_core::txn::TxnSpec;
+use wtpg_core::txn::{TxnId, TxnSpec};
 use wtpg_obs::MsgCounts;
-use wtpg_rt::backoff::{Backoff, XorShift};
 use wtpg_rt::queue::PopResult;
 
 use crate::error::NetError;
@@ -30,16 +32,10 @@ use crate::transport::{Inbox, MsgTx};
 pub struct ClientOutcome {
     /// Submit-to-commit-ack latency per transaction, microseconds.
     pub latencies_us: Vec<u64>,
-    /// Control-node round trip per request (`Submit`/`Commit` → reply).
+    /// Control-node round trip per request. Under the pipelined protocol
+    /// the only request is `Submit` and the only reply is the commit ack,
+    /// so this mirrors `latencies_us` (kept separate for report shape).
     pub ctrl_rtts_us: Vec<u64>,
-    /// Data-plane round trip per granted step (grant → `AccessDone`).
-    pub data_rtts_us: Vec<u64>,
-    /// Admission rejections observed (each one is a backoff-and-resubmit).
-    pub rejections: u64,
-    /// Step requests the control node answered with `Delay`.
-    pub delays: u64,
-    /// Longest reject/delay retry streak any single transaction saw.
-    pub max_retry_streak: u32,
     /// Messages dequeued and handled, by type.
     pub rx: MsgCounts,
     /// Messages sent, by type.
@@ -50,9 +46,7 @@ struct ClientActor<'a> {
     client: u32,
     inbox: &'a Inbox,
     to_control: &'a Arc<dyn MsgTx>,
-    backoff: Backoff,
     watchdog: Duration,
-    rng: XorShift,
     out: ClientOutcome,
 }
 
@@ -88,117 +82,19 @@ impl ClientActor<'_> {
         }
     }
 
-    fn unexpected(&self, want: &str, got: &Msg) -> NetError {
-        NetError::Protocol(format!(
-            "client {}: expected {want}, got {got:?}",
-            self.client
-        ))
-    }
-
-    fn run_txn(&mut self, spec: &TxnSpec) -> Result<(), NetError> {
-        let started = Instant::now();
-        let txn = spec.id;
-        // Admission, resubmitted with backoff until admitted.
-        let mut streak = 0u32;
-        loop {
-            self.send(&Msg::Submit {
-                client: self.client,
-                txn,
-                step: None,
-                spec: Some(spec.clone()),
-            })?;
-            let asked = Instant::now();
-            let reply = self.recv()?;
-            self.out.ctrl_rtts_us.push(elapsed_us(asked));
-            match reply {
-                Msg::Grant { txn: t, step: None } if t == txn => break,
-                Msg::Reject { txn: t } if t == txn => {
-                    self.out.rejections += 1;
-                    self.backoff.sleep(streak, &mut self.rng).map_err(|e| {
-                        NetError::BackoffExhausted {
-                            txn,
-                            attempts: e.attempts,
-                        }
-                    })?;
-                    streak = streak.saturating_add(1);
-                }
-                other => return Err(self.unexpected("admission Grant/Reject", &other)),
-            }
-        }
-        self.out.max_retry_streak = self.out.max_retry_streak.max(streak);
-        // Steps, each requested with backoff until granted, then awaited.
-        for step in 0..spec.len() as u32 {
-            let mut streak = 0u32;
-            loop {
-                self.send(&Msg::Submit {
-                    client: self.client,
-                    txn,
-                    step: Some(step),
-                    spec: None,
-                })?;
-                let asked = Instant::now();
-                let reply = self.recv()?;
-                self.out.ctrl_rtts_us.push(elapsed_us(asked));
-                match reply {
-                    Msg::Grant {
-                        txn: t,
-                        step: Some(s),
-                    } if t == txn && s == step => {
-                        let granted = Instant::now();
-                        match self.recv()? {
-                            Msg::AccessDone {
-                                txn: t, step: s, ..
-                            } if t == txn && s == step => {
-                                self.out.data_rtts_us.push(elapsed_us(granted));
-                            }
-                            other => return Err(self.unexpected("AccessDone", &other)),
-                        }
-                        break;
-                    }
-                    Msg::Delay {
-                        txn: t,
-                        step: s,
-                    } if t == txn && s == step => {
-                        self.out.delays += 1;
-                        self.backoff.sleep(streak, &mut self.rng).map_err(|e| {
-                            NetError::BackoffExhausted {
-                                txn,
-                                attempts: e.attempts,
-                            }
-                        })?;
-                        streak = streak.saturating_add(1);
-                    }
-                    other => return Err(self.unexpected("step Grant/Delay", &other)),
-                }
-            }
-            self.out.max_retry_streak = self.out.max_retry_streak.max(streak);
-        }
-        // Commit and await the ack.
-        self.send(&Msg::Commit {
-            client: self.client,
-            txn,
-        })?;
-        let asked = Instant::now();
-        match self.recv()? {
-            Msg::Commit { txn: t, .. } if t == txn => {
-                self.out.ctrl_rtts_us.push(elapsed_us(asked));
-            }
-            other => return Err(self.unexpected("Commit ack", &other)),
-        }
-        self.out.latencies_us.push(elapsed_us(started));
-        Ok(())
-    }
 }
 
 fn elapsed_us(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
-/// Drives `specs` to commit, one at a time, as client `client`.
+/// Drives `specs` to commit as client `client`, keeping up to `pipeline`
+/// transactions in flight (`pipeline` is clamped to ≥ 1; 1 recovers the
+/// strict one-at-a-time stream whose history is tick-identical to the
+/// engine's).
 ///
 /// # Errors
-/// [`NetError::BackoffExhausted`] if the scheduler starved a transaction,
-/// [`NetError::RecvTimeout`] if an awaited reply never arrived within the
+/// [`NetError::RecvTimeout`] if a commit ack never arrived within the
 /// watchdog, [`NetError::Protocol`] on an out-of-protocol reply or a run
 /// shut down from the control side.
 pub fn run_client(
@@ -206,21 +102,48 @@ pub fn run_client(
     specs: &[TxnSpec],
     inbox: &Inbox,
     to_control: &Arc<dyn MsgTx>,
-    backoff: Backoff,
-    seed: u64,
     watchdog: Duration,
+    pipeline: usize,
 ) -> Result<ClientOutcome, NetError> {
     let mut actor = ClientActor {
         client,
         inbox,
         to_control,
-        backoff,
         watchdog,
-        rng: XorShift::new(seed ^ u64::from(client).wrapping_mul(0x9e37)),
         out: ClientOutcome::default(),
     };
-    for spec in specs {
-        actor.run_txn(spec)?;
+    let depth = pipeline.max(1);
+    let mut inflight: BTreeMap<TxnId, Instant> = BTreeMap::new();
+    let mut next = 0usize;
+    while next < specs.len() || !inflight.is_empty() {
+        while next < specs.len() && inflight.len() < depth {
+            let spec = &specs[next];
+            actor.send(&Msg::Submit {
+                client,
+                txn: spec.id,
+                step: None,
+                spec: Some(spec.clone()),
+            })?;
+            inflight.insert(spec.id, Instant::now());
+            next += 1;
+        }
+        match actor.recv()? {
+            Msg::Commit { txn, .. } => {
+                // An ack for a transaction not in flight is a duplicate
+                // delivery (flaky links re-send); it is tallied in `rx`
+                // and otherwise ignored.
+                if let Some(started) = inflight.remove(&txn) {
+                    let us = elapsed_us(started);
+                    actor.out.latencies_us.push(us);
+                    actor.out.ctrl_rtts_us.push(us);
+                }
+            }
+            other => {
+                return Err(NetError::Protocol(format!(
+                    "client {client}: expected a Commit ack, got {other:?}"
+                )))
+            }
+        }
     }
     Ok(actor.out)
 }

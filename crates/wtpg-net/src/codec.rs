@@ -28,6 +28,10 @@ pub const MAX_FRAME: usize = 1 << 20;
 /// length field cannot provoke a huge allocation.
 pub const MAX_STEPS: u32 = 4096;
 
+/// Ceiling on the number of messages coalesced into one [`Msg::Batch`],
+/// so a malformed count field cannot provoke a huge allocation.
+pub const MAX_BATCH: u32 = 4096;
+
 /// A malformed frame or payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CodecError {
@@ -47,8 +51,15 @@ pub enum CodecError {
     /// A shipped transaction spec declared zero steps.
     EmptyTxn,
     /// The frame's declared length exceeds [`MAX_FRAME`] (or a spec's step
-    /// count exceeds [`MAX_STEPS`]).
+    /// count exceeds [`MAX_STEPS`], or a batch's count exceeds
+    /// [`MAX_BATCH`]).
     Oversize(usize),
+    /// A [`Msg::Batch`] coalesced zero messages — senders never emit one.
+    EmptyBatch,
+    /// A [`Msg::Batch`] nested inside another batch. Batches are flat by
+    /// contract, so fault injection can duplicate or delay a batch as a
+    /// unit without ambiguity.
+    NestedBatch,
 }
 
 impl std::fmt::Display for CodecError {
@@ -63,6 +74,8 @@ impl std::fmt::Display for CodecError {
             CodecError::BadFlag(b) => write!(f, "bad option-flag byte {b}"),
             CodecError::EmptyTxn => write!(f, "shipped spec declares zero steps"),
             CodecError::Oversize(n) => write!(f, "declared size {n} exceeds limit"),
+            CodecError::EmptyBatch => write!(f, "batch frame coalesces zero messages"),
+            CodecError::NestedBatch => write!(f, "batch frame nested inside a batch"),
         }
     }
 }
@@ -142,6 +155,18 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
             put_u64(&mut b, *units);
         }
         Msg::Shutdown => {}
+        Msg::Batch(inner) => {
+            debug_assert!(
+                inner.iter().all(|m| !matches!(m, Msg::Batch(_))),
+                "batches are flat: senders never nest them"
+            );
+            put_u32(&mut b, inner.len() as u32);
+            for m in inner {
+                let sub = encode_payload(m);
+                put_u32(&mut b, sub.len() as u32);
+                b.extend_from_slice(&sub);
+            }
+        }
     }
     b
 }
@@ -159,7 +184,7 @@ pub fn encode_frame(msg: &Msg) -> Vec<u8> {
 /// bytes are [`CodecError::TrailingGarbage`].
 pub fn decode_payload(buf: &[u8]) -> Result<Msg, CodecError> {
     let mut c = Cur { buf, pos: 0 };
-    let msg = read_msg(&mut c)?;
+    let msg = read_msg(&mut c, true)?;
     let extra = buf.len().saturating_sub(c.pos);
     if extra > 0 {
         return Err(CodecError::TrailingGarbage { extra });
@@ -238,6 +263,15 @@ impl Cur<'_> {
         Ok(v)
     }
 
+    fn bytes(&mut self, n: usize) -> Result<&'_ [u8], CodecError> {
+        let s = self
+            .buf
+            .get(self.pos..self.pos + n)
+            .ok_or(CodecError::Truncated)?;
+        self.pos += n;
+        Ok(s)
+    }
+
     fn u32(&mut self) -> Result<u32, CodecError> {
         let bytes: [u8; 4] = self
             .buf
@@ -308,7 +342,7 @@ impl Cur<'_> {
     }
 }
 
-fn read_msg(c: &mut Cur<'_>) -> Result<Msg, CodecError> {
+fn read_msg(c: &mut Cur<'_>, allow_batch: bool) -> Result<Msg, CodecError> {
     match c.u8()? {
         0 => {
             let client = c.u32()?;
@@ -362,6 +396,34 @@ fn read_msg(c: &mut Cur<'_>) -> Result<Msg, CodecError> {
             units: c.u64()?,
         }),
         9 => Ok(Msg::Shutdown),
+        10 => {
+            if !allow_batch {
+                return Err(CodecError::NestedBatch);
+            }
+            let count = c.u32()?;
+            if count == 0 {
+                return Err(CodecError::EmptyBatch);
+            }
+            if count > MAX_BATCH {
+                return Err(CodecError::Oversize(count as usize));
+            }
+            let mut inner = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let len = c.u32()? as usize;
+                if len > MAX_FRAME {
+                    return Err(CodecError::Oversize(len));
+                }
+                let sub = c.bytes(len)?;
+                let mut sc = Cur { buf: sub, pos: 0 };
+                let m = read_msg(&mut sc, false)?;
+                let extra = sub.len().saturating_sub(sc.pos);
+                if extra > 0 {
+                    return Err(CodecError::TrailingGarbage { extra });
+                }
+                inner.push(m);
+            }
+            Ok(Msg::Batch(inner))
+        }
         t => Err(CodecError::BadTag(t)),
     }
 }
@@ -433,6 +495,24 @@ mod tests {
                 units: 500,
             },
             Msg::Shutdown,
+            Msg::Batch(vec![
+                Msg::StatsDelta {
+                    txn: TxnId(7),
+                    step: 1,
+                    chunk: 0,
+                    units: 1000,
+                },
+                Msg::AccessDone {
+                    txn: TxnId(7),
+                    step: 1,
+                    checksum: 0xfeed,
+                    units: 1000,
+                },
+                Msg::Commit {
+                    client: 2,
+                    txn: TxnId(7),
+                },
+            ]),
         ]
     }
 
@@ -482,6 +562,52 @@ mod tests {
             ]
         );
         assert_eq!(encode_payload(&Msg::Shutdown), vec![9]);
+        // A batch is [tag=10][count u32][per-inner: len u32 + payload].
+        let batch = Msg::Batch(vec![Msg::Shutdown, Msg::Reject { txn: TxnId(1) }]);
+        assert_eq!(
+            encode_payload(&batch),
+            vec![
+                10, // tag: Batch
+                2, 0, 0, 0, // two inner messages
+                1, 0, 0, 0, // inner 0: 1 byte
+                9, // Shutdown
+                9, 0, 0, 0, // inner 1: 9 bytes
+                2, // tag: Reject
+                1, 0, 0, 0, 0, 0, 0, 0, // txn u64 LE
+            ]
+        );
+    }
+
+    #[test]
+    fn batches_are_flat_empty_and_nested_are_rejected() {
+        // Zero inner messages.
+        let mut b = vec![10u8];
+        b.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(decode_payload(&b), Err(CodecError::EmptyBatch));
+        // Oversized count.
+        let mut b = vec![10u8];
+        b.extend_from_slice(&(MAX_BATCH + 1).to_le_bytes());
+        assert_eq!(
+            decode_payload(&b),
+            Err(CodecError::Oversize(MAX_BATCH as usize + 1))
+        );
+        // A batch nested inside a batch.
+        let inner = encode_payload(&Msg::Batch(vec![Msg::Shutdown]));
+        let mut b = vec![10u8];
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.extend_from_slice(&(inner.len() as u32).to_le_bytes());
+        b.extend_from_slice(&inner);
+        assert_eq!(decode_payload(&b), Err(CodecError::NestedBatch));
+        // Trailing garbage inside an inner sub-payload.
+        let mut b = vec![10u8];
+        b.extend_from_slice(&1u32.to_le_bytes());
+        b.extend_from_slice(&2u32.to_le_bytes()); // inner len 2
+        b.push(9); // Shutdown
+        b.push(0xAA); // garbage inside the sub-payload
+        assert_eq!(
+            decode_payload(&b),
+            Err(CodecError::TrailingGarbage { extra: 1 })
+        );
     }
 
     #[test]

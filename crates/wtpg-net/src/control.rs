@@ -1,11 +1,28 @@
-//! The control actor: the machine's single admission/lock-grant authority,
-//! driven entirely by messages.
+//! The control actor: an admission/lock-grant authority driven entirely by
+//! messages, pipelined so no client round-trips per step.
 //!
 //! Wraps the engine's [`ControlNode`] — the same scheduler-plus-history-
 //! plus-logical-clock bundle the threaded engine shares behind a mutex —
 //! but here it is owned by one actor thread and never contended: every
 //! protocol decision is a message handled in arrival order, so the recorded
 //! history is a linearization by construction.
+//!
+//! **Pipelined protocol.** A client sends one `Submit` carrying the full
+//! declaration and then waits for the commit ack — two client messages per
+//! transaction. The control actor drives the whole lifecycle internally:
+//! admission, one `Access` order per granted step (issued the moment the
+//! previous step's `AccessDone` arrives), and the commit after the last
+//! step. Rejected admissions and blocked/delayed step requests are *parked*
+//! and retried whenever a commit or step completion changes the scheduler's
+//! state (plus a periodic poll), replacing the old client-side backoff
+//! sleeps with event-driven retries.
+//!
+//! **Batched sends.** Orders to each data node flow through a
+//! [`Coalescer`], so bursts of `Access` orders for one node leave as a
+//! single [`Msg::Batch`] frame. Coalescers are flushed before the actor
+//! blocks on its inbox (deadlock avoidance) and when the flush window
+//! expires. Commit acks to clients are sent directly — a client has one
+//! transaction in flight, so there is never anything to coalesce with.
 //!
 //! Reliability duties beyond the engine's:
 //!
@@ -14,15 +31,15 @@
 //!   arrive before a [`Backoff`]-scheduled deadline, the order is re-sent
 //!   (the data node's applied-marks make redelivery idempotent). A node
 //!   that never answers surfaces as [`NetError::RetriesExhausted`].
-//! * **Duplicate absorption** — `StatsDelta` chunks are applied to the
-//!   scheduler only in sequence (links are FIFO, so a duplicate's chunk
-//!   index is always behind the expected one), and a second `AccessDone`
-//!   for a completed step is dropped. Without this, a duplicated delivery
-//!   would double-count bulk progress and break certification.
-//! * **Idempotent commit acks** — a repeated `Commit` request for an
-//!   already-committed transaction is re-acked, not re-applied.
+//! * **Duplicate absorption** — `StatsDelta` chunks for a step that already
+//!   completed are dropped (the fault layer duplicates whole batches, so a
+//!   duplicated `[StatsDelta…, AccessDone]` frame can trail the original's
+//!   completion), in-flight duplicates are filtered by the chunk cursor,
+//!   and a second `AccessDone` for a completed step is dropped. Without
+//!   this, a duplicated delivery would double-count bulk progress and break
+//!   certification.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,29 +48,46 @@ use wtpg_core::partition::Catalog;
 use wtpg_core::sched::{Admission, LockOutcome, Scheduler};
 use wtpg_core::txn::{TxnId, TxnSpec};
 use wtpg_core::work::Work;
-use wtpg_obs::MsgCounts;
+use wtpg_obs::{Histogram, MsgCounts};
 use wtpg_rt::backoff::Backoff;
 use wtpg_rt::control::{ControlAudit, ControlNode};
 use wtpg_rt::queue::PopResult;
 
+use crate::batch::Coalescer;
 use crate::error::NetError;
 use crate::msg::Msg;
 use crate::transport::{Inbox, MsgTx};
 
-/// How often the control loop wakes to scan redelivery deadlines when its
-/// inbox is idle.
+/// How often the control loop wakes to scan redelivery deadlines and retry
+/// parked transactions when its inbox is idle.
 const POLL: Duration = Duration::from_millis(2);
+
+/// Handled messages between redelivery/flush-window scans on a busy inbox.
+const SCAN_EVERY: u32 = 64;
+
+/// Starvation bound: a transaction parked and retried this often without
+/// ever being admitted (or granted its next step) aborts the run.
+const MAX_PARK_ATTEMPTS: u32 = 1_000_000;
 
 /// Tuning for one control-actor run.
 pub struct ControlParams {
     /// The wrapped admission/lock scheduler.
     pub sched: Box<dyn Scheduler + Send>,
-    /// Commits to wait for before broadcasting `Shutdown` and exiting.
+    /// Commits to wait for before exiting.
     pub expected_commits: u64,
     /// Redelivery schedule for unanswered `Access` orders.
     pub retry: Backoff,
     /// Give up after this long without any inbound message.
     pub watchdog: Duration,
+    /// Coalescer buffer bound for data-node links.
+    pub batch_max: usize,
+    /// Flush window: the longest a buffered message waits for company.
+    pub batch_window: Duration,
+    /// Concurrently admitted transactions this shard allows; submissions
+    /// beyond it queue in a FIFO backlog without touching the scheduler.
+    pub admit_window: usize,
+    /// Shard index, for error labels (0 in unsharded runs).
+    pub shard: usize,
 }
 
 /// Everything the control actor recorded.
@@ -64,12 +98,21 @@ pub struct ControlOutcome {
     pub audit: ControlAudit,
     /// The certification mode the scheduler claimed.
     pub mode: CertifyMode,
-    /// Messages dequeued and handled, by type.
+    /// Messages dequeued and handled, by type (inner messages of a received
+    /// batch are tallied under their own types, plus one `batch`).
     pub rx: MsgCounts,
-    /// Messages sent, by type.
+    /// Messages sent, by type (a sent batch counts once).
     pub tx: MsgCounts,
     /// `Access` orders re-sent by the redelivery watchdog.
     pub access_retries: u64,
+    /// Order-to-`AccessDone` round trip per bulk step, microseconds.
+    pub data_rtts_us: Vec<u64>,
+    /// Longest park-and-retry streak any single transaction saw.
+    pub max_retry_streak: u32,
+    /// Messages that travelled inside sent `Batch` frames.
+    pub batched_inner: u64,
+    /// Distribution of coalescer flush sizes.
+    pub batch_sizes: Histogram,
 }
 
 /// One unanswered `Access` order awaiting its `AccessDone`.
@@ -77,142 +120,290 @@ struct Outstanding {
     node: usize,
     attempts: u32,
     deadline: Instant,
+    /// When the order was first issued (data-plane RTT origin).
+    sent_at: Instant,
     msg: Msg,
+}
+
+/// One transaction's drive-state: where the control actor will pick it up
+/// the next time it is drivable.
+struct TxnState {
+    client: u32,
+    spec: TxnSpec,
+    /// Next step to request once admitted (== len ⇒ ready to commit).
+    next_step: usize,
+    admitted: bool,
+    /// Consecutive failed drive attempts (admission rejections or
+    /// blocked/delayed step requests) since the last success.
+    attempts: u32,
 }
 
 struct ControlActor<'a> {
     control: ControlNode,
     catalog: &'a Catalog,
     retry: Backoff,
-    to_data: &'a [Arc<dyn MsgTx>],
+    to_data: Vec<Coalescer>,
     to_clients: &'a [Arc<dyn MsgTx>],
-    /// Every spec ever submitted, for building `Access` orders.
-    specs: BTreeMap<TxnId, TxnSpec>,
-    /// Which client owns each transaction.
-    owners: BTreeMap<TxnId, u32>,
+    batch_window: Duration,
+    shard: usize,
+    txns: BTreeMap<TxnId, TxnState>,
+    /// Transactions waiting for the scheduler's state to change.
+    parked: BTreeSet<TxnId>,
+    /// Admission flow control: submissions beyond `admit_window`
+    /// concurrently-admitted transactions queue here (FIFO) without ever
+    /// touching the scheduler, so pipelined clients cannot flood the WTPG
+    /// with hopeless admission attempts.
+    backlog: VecDeque<TxnId>,
+    /// Transactions currently admitted and not yet committed or aborted.
+    active: usize,
+    admit_window: usize,
     outstanding: BTreeMap<(TxnId, u32), Outstanding>,
     /// Next expected chunk index per in-flight step (StatsDelta dedup).
     chunk_cursor: BTreeMap<(TxnId, u32), u64>,
-    /// Steps already reported complete (AccessDone dedup).
+    /// Steps already reported complete (AccessDone + StatsDelta dedup).
     completed: BTreeSet<(TxnId, u32)>,
     committed: BTreeSet<TxnId>,
     rx: MsgCounts,
     tx: MsgCounts,
     access_retries: u64,
+    data_rtts_us: Vec<u64>,
+    max_retry_streak: u32,
     /// Milli-objects per progress chunk, stamped on every `Access` order.
     chunk_units: u64,
 }
 
 impl ControlActor<'_> {
-    fn send(&mut self, tx: &Arc<dyn MsgTx>, m: &Msg, peer: &str) -> Result<(), NetError> {
+    fn send_client(&mut self, txn: TxnId, m: &Msg) -> Result<(), NetError> {
+        let client = self
+            .txns
+            .get(&txn)
+            .map(|t| t.client)
+            .ok_or_else(|| NetError::Protocol(format!("no owner recorded for txn {}", txn.0)))?;
+        let tx = self
+            .to_clients
+            .get(client as usize)
+            .ok_or_else(|| NetError::Protocol(format!("client {client} out of range")))?;
         if !tx.send(m) {
             return Err(NetError::Protocol(format!(
-                "control: {peer} vanished while sending {m:?}"
+                "control shard {}: client {client} vanished while sending {m:?}",
+                self.shard
             )));
         }
         m.count(&mut self.tx);
         Ok(())
     }
 
-    fn send_client(&mut self, txn: TxnId, m: &Msg) -> Result<(), NetError> {
-        let client = *self
-            .owners
-            .get(&txn)
-            .ok_or_else(|| NetError::Protocol(format!("no owner recorded for txn {}", txn.0)))?;
-        let tx = self
-            .to_clients
-            .get(client as usize)
-            .cloned()
-            .ok_or_else(|| NetError::Protocol(format!("client {client} out of range")))?;
-        self.send(&tx, m, "client")
+    /// Queues `order` on `node`'s coalescer, optionally forcing the frame
+    /// out immediately (redelivery path).
+    fn send_data(&mut self, node: usize, order: Msg, flush: bool) -> Result<(), NetError> {
+        let c = self
+            .to_data
+            .get_mut(node)
+            .ok_or_else(|| NetError::Protocol(format!("data node {node} out of range")))?;
+        let ok = if flush { c.push(order) && c.flush() } else { c.push(order) };
+        if !ok {
+            return Err(NetError::Protocol(format!(
+                "control shard {}: data node {node} vanished",
+                self.shard
+            )));
+        }
+        Ok(())
     }
 
-    fn handle_submit(
-        &mut self,
-        client: u32,
-        txn: TxnId,
-        step: Option<u32>,
-        spec: Option<TxnSpec>,
-    ) -> Result<(), NetError> {
-        match (step, spec) {
-            // Admission request: the spec rides along (re-submissions after
-            // a rejection carry it again, so control needs no client state).
-            (None, Some(spec)) => {
-                self.owners.insert(txn, client);
-                self.specs.entry(txn).or_insert_with(|| spec.clone());
-                let reply = match self.control.arrive(&spec)? {
-                    Admission::Admitted => Msg::Grant { txn, step: None },
-                    Admission::Rejected => Msg::Reject { txn },
-                };
-                self.send_client(txn, &reply)
+    /// Advances `txn` as far as the scheduler allows right now: admission,
+    /// then its next step request, then the commit once every step is done.
+    /// A turned-away decision parks the transaction for event-driven retry.
+    fn drive(&mut self, txn: TxnId) -> Result<(), NetError> {
+        let state = self
+            .txns
+            .get(&txn)
+            .ok_or_else(|| NetError::Protocol(format!("driving unknown txn {}", txn.0)))?;
+        if !state.admitted {
+            if self.active >= self.admit_window {
+                // Flow control, not a scheduler verdict: hold the
+                // submission back until a commit frees a slot. No attempt
+                // is charged — the scheduler never saw it.
+                self.backlog.push_back(txn);
+                return Ok(());
             }
-            // Step lock request.
-            (Some(step), None) => match self.control.request(txn, step as usize)? {
-                LockOutcome::Granted => {
-                    let declared = self
-                        .specs
-                        .get(&txn)
-                        .and_then(|s| s.steps().get(step as usize))
-                        .copied()
-                        .ok_or_else(|| {
-                            NetError::Protocol(format!(
-                                "granted step {step} of txn {} has no declaration",
-                                txn.0
-                            ))
-                        })?;
-                    self.send_client(txn, &Msg::Grant {
-                        txn,
-                        step: Some(step),
-                    })?;
-                    let node = self.catalog.node_of(declared.partition) as usize;
-                    let order = Msg::Access {
-                        txn,
-                        step,
-                        partition: declared.partition,
-                        mode: declared.mode,
-                        units: declared.actual_cost.units(),
-                        chunk_units: self.chunk_units,
-                    };
-                    let tx = self.to_data.get(node).cloned().ok_or_else(|| {
-                        NetError::Protocol(format!("data node {node} out of range"))
-                    })?;
-                    self.send(&tx, &order, "data node")?;
-                    self.chunk_cursor.insert((txn, step), 0);
-                    self.outstanding.insert((txn, step), Outstanding {
-                        node,
-                        attempts: 0,
-                        deadline: Instant::now()
-                            + Duration::from_micros(self.retry.delay_us(0)),
-                        msg: order,
-                    });
-                    Ok(())
+            let spec = state.spec.clone();
+            match self.control.arrive(&spec)? {
+                Admission::Admitted => {
+                    self.active += 1;
+                    let t = self
+                        .txns
+                        .get_mut(&txn)
+                        .expect("invariant: drive() is only called for tracked txns");
+                    t.admitted = true;
+                    t.attempts = 0;
+                    // Fall through to the first step request.
                 }
-                LockOutcome::Blocked | LockOutcome::Delayed => {
-                    self.send_client(txn, &Msg::Delay { txn, step })
+                Admission::Rejected => {
+                    // A chain-form/K-conflict rejection depends on who is
+                    // active right now, which mostly changes at commits —
+                    // so the transaction returns to the HEAD of the
+                    // admission queue (it keeps its turn) instead of the
+                    // hot parked set, and is re-attempted once per freed
+                    // slot rather than on every step completion.
+                    self.charge_attempt(txn)?;
+                    self.backlog.push_front(txn);
+                    return Ok(());
                 }
-            },
-            _ => Err(NetError::Protocol(format!(
-                "malformed Submit for txn {}: step and spec must be mutually exclusive",
-                txn.0
-            ))),
+            }
         }
+        let state = self
+            .txns
+            .get(&txn)
+            .expect("invariant: drive() is only called for tracked txns");
+        if state.next_step == state.spec.len() {
+            let client = state.client;
+            self.control.commit(txn)?;
+            self.committed.insert(txn);
+            self.active = self.active.saturating_sub(1);
+            return self.send_client(txn, &Msg::Commit { client, txn });
+        }
+        let step = state.next_step;
+        match self.control.request(txn, step)? {
+            LockOutcome::Granted => {
+                let declared = self
+                    .txns
+                    .get(&txn)
+                    .and_then(|t| t.spec.steps().get(step))
+                    .copied()
+                    .ok_or_else(|| {
+                        NetError::Protocol(format!(
+                            "granted step {step} of txn {} has no declaration",
+                            txn.0
+                        ))
+                    })?;
+                self.txns
+                    .get_mut(&txn)
+                    .expect("invariant: drive() is only called for tracked txns")
+                    .attempts = 0;
+                let step = step as u32;
+                let node = self.catalog.node_of(declared.partition) as usize;
+                let order = Msg::Access {
+                    txn,
+                    step,
+                    partition: declared.partition,
+                    mode: declared.mode,
+                    units: declared.actual_cost.units(),
+                    chunk_units: self.chunk_units,
+                };
+                self.send_data(node, order.clone(), false)?;
+                self.chunk_cursor.insert((txn, step), 0);
+                let now = Instant::now();
+                self.outstanding.insert((txn, step), Outstanding {
+                    node,
+                    attempts: 0,
+                    deadline: now + Duration::from_micros(self.retry.delay_us(0)),
+                    sent_at: now,
+                    msg: order,
+                });
+                Ok(())
+            }
+            LockOutcome::Blocked | LockOutcome::Delayed => self.park(txn),
+        }
+    }
+
+    /// Charges one failed attempt against `txn`'s starvation bound.
+    fn charge_attempt(&mut self, txn: TxnId) -> Result<(), NetError> {
+        let t = self
+            .txns
+            .get_mut(&txn)
+            .expect("invariant: attempts are only charged to tracked txns");
+        t.attempts = t.attempts.saturating_add(1);
+        self.max_retry_streak = self.max_retry_streak.max(t.attempts);
+        if t.attempts >= MAX_PARK_ATTEMPTS {
+            return Err(NetError::BackoffExhausted {
+                txn,
+                attempts: t.attempts,
+            });
+        }
+        Ok(())
+    }
+
+    fn park(&mut self, txn: TxnId) -> Result<(), NetError> {
+        self.charge_attempt(txn)?;
+        self.parked.insert(txn);
+        Ok(())
+    }
+
+    /// Re-drives every parked transaction once. Called after commits and
+    /// step completions (the only events that change what the scheduler
+    /// will answer) and on the idle poll.
+    fn retry_parked(&mut self) -> Result<(), NetError> {
+        if self.parked.is_empty() {
+            return Ok(());
+        }
+        let waiting: Vec<TxnId> = std::mem::take(&mut self.parked).into_iter().collect();
+        for txn in waiting {
+            self.drive(txn)?;
+        }
+        Ok(())
+    }
+
+    /// Admits queued submissions into freed admission-window slots, FIFO.
+    /// Stops as soon as the queue head bounces (scheduler rejection puts
+    /// it straight back), so one drain costs at most one futile `arrive`.
+    fn drain_backlog(&mut self) -> Result<(), NetError> {
+        while self.active < self.admit_window {
+            let Some(txn) = self.backlog.pop_front() else {
+                return Ok(());
+            };
+            self.drive(txn)?;
+            if self.backlog.front() == Some(&txn) {
+                return Ok(());
+            }
+        }
+        Ok(())
     }
 
     fn handle(&mut self, m: Msg) -> Result<(), NetError> {
         m.count(&mut self.rx);
         match m {
+            Msg::Batch(inner) => {
+                for sub in inner {
+                    debug_assert!(!matches!(sub, Msg::Batch(_)), "codec rejects nesting");
+                    self.handle(sub)?;
+                }
+                Ok(())
+            }
             Msg::Submit {
                 client,
                 txn,
-                step,
-                spec,
-            } => self.handle_submit(client, txn, step, spec),
+                step: None,
+                spec: Some(spec),
+            } => {
+                if self.txns.contains_key(&txn) {
+                    // Duplicate delivery of a submission already being
+                    // driven (or already committed): ignore, or the txn
+                    // would enter the backlog twice.
+                    return Ok(());
+                }
+                self.txns.insert(
+                    txn,
+                    TxnState {
+                        client,
+                        spec,
+                        next_step: 0,
+                        admitted: false,
+                        attempts: 0,
+                    },
+                );
+                self.drive(txn)
+            }
             Msg::StatsDelta {
                 txn,
                 step,
                 chunk,
                 units,
             } => {
+                if self.completed.contains(&(txn, step)) {
+                    // A duplicated batch can trail the step's completion;
+                    // its progress was already applied.
+                    return Ok(());
+                }
                 let cursor = self.chunk_cursor.entry((txn, step)).or_insert(0);
                 if chunk == *cursor {
                     *cursor += 1;
@@ -227,32 +418,36 @@ impl ControlActor<'_> {
                     )))
                 }
             }
-            Msg::AccessDone {
-                txn,
-                step,
-                checksum,
-                units,
-            } => {
+            Msg::AccessDone { txn, step, .. } => {
                 if !self.completed.insert((txn, step)) {
                     return Ok(()); // duplicate (redelivery or dup fault)
                 }
                 self.control.step_complete(txn, step as usize)?;
-                self.outstanding.remove(&(txn, step));
-                self.chunk_cursor.remove(&(txn, step));
-                self.send_client(txn, &Msg::AccessDone {
-                    txn,
-                    step,
-                    checksum,
-                    units,
-                })
-            }
-            Msg::Commit { client, txn } => {
-                if self.committed.insert(txn) {
-                    self.control.commit(txn)?;
+                if let Some(o) = self.outstanding.remove(&(txn, step)) {
+                    self.data_rtts_us.push(elapsed_us(o.sent_at));
                 }
-                self.send_client(txn, &Msg::Commit { client, txn })
+                self.chunk_cursor.remove(&(txn, step));
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.next_step = step as usize + 1;
+                }
+                // Pipeline: request the next step (or commit) immediately,
+                // then re-drive whatever the released state unblocks. A
+                // step completion can free a *lock* (chained schedulers
+                // release as later steps acquire), so parked requests retry
+                // here — but an admission verdict only changes at commit or
+                // abort, so the backlog is drained only when this round of
+                // driving actually freed an admission slot.
+                let active_before = self.active;
+                self.drive(txn)?;
+                self.retry_parked()?;
+                if self.active < active_before {
+                    self.drain_backlog()?;
+                }
+                Ok(())
             }
             Msg::Abort { client, txn } => {
+                // Defensive: our clients never abort, but the protocol
+                // carries it and the scheduler supports it.
                 self.control.abort(txn)?;
                 let steps: Vec<(TxnId, u32)> = self
                     .outstanding
@@ -264,16 +459,24 @@ impl ControlActor<'_> {
                     self.outstanding.remove(&key);
                     self.chunk_cursor.remove(&key);
                 }
+                self.parked.remove(&txn);
+                self.backlog.retain(|&t| t != txn);
+                if self.txns.get(&txn).is_some_and(|t| t.admitted) {
+                    self.active = self.active.saturating_sub(1);
+                }
                 self.send_client(txn, &Msg::Abort { client, txn })
             }
             other => Err(NetError::Protocol(format!(
-                "control received {other:?}, which only the control node sends"
+                "control received {other:?}, which the pipelined protocol never routes here"
             ))),
         }
     }
 
     /// Re-sends every outstanding `Access` whose deadline has passed.
     fn redeliver_expired(&mut self) -> Result<(), NetError> {
+        if self.outstanding.is_empty() {
+            return Ok(());
+        }
         let now = Instant::now();
         let expired: Vec<(TxnId, u32)> = self
             .outstanding
@@ -297,29 +500,55 @@ impl ControlActor<'_> {
                 }
                 None => continue,
             };
-            let tx = self
-                .to_data
-                .get(node)
-                .cloned()
-                .ok_or_else(|| NetError::Protocol(format!("data node {node} out of range")))?;
-            self.send(&tx, &msg, "data node")?;
+            self.send_data(node, msg, true)?;
             self.access_retries += 1;
+        }
+        Ok(())
+    }
+
+    /// Flushes every coalescer (before blocking on the inbox).
+    fn flush_all(&mut self) -> Result<(), NetError> {
+        for (node, c) in self.to_data.iter_mut().enumerate() {
+            if !c.flush() {
+                return Err(NetError::Protocol(format!(
+                    "control shard {}: data node {node} vanished at flush",
+                    self.shard
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Flushes only coalescers whose oldest buffered message has waited
+    /// past the window (mid-burst latency bound).
+    fn flush_overdue(&mut self) -> Result<(), NetError> {
+        for (node, c) in self.to_data.iter_mut().enumerate() {
+            if c.overdue(self.batch_window) && !c.flush() {
+                return Err(NetError::Protocol(format!(
+                    "control shard {}: data node {node} vanished at flush",
+                    self.shard
+                )));
+            }
         }
         Ok(())
     }
 }
 
+fn elapsed_us(since: Instant) -> u64 {
+    u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
 /// Runs the control actor until `expected_commits` transactions have
-/// committed, then broadcasts `Shutdown` to every data node and returns the
-/// audit. On any internal error, `Shutdown` is broadcast to *all* peers
-/// (clients included) so the run unwinds instead of hanging on watchdogs.
+/// committed, then returns the audit. Teardown (`Shutdown` broadcasts) is
+/// the runtime's job — in sharded runs only the runtime knows when *every*
+/// shard is done.
 ///
 /// # Errors
 /// [`NetError::Core`] if a message drove the scheduler protocol into an
 /// error, [`NetError::Protocol`] on a message the protocol does not allow,
 /// [`NetError::RetriesExhausted`] if a data node never answered an `Access`
-/// order, [`NetError::RecvTimeout`] if the inbox stays silent past the
-/// watchdog.
+/// order, [`NetError::BackoffExhausted`] if a parked transaction starved,
+/// [`NetError::RecvTimeout`] if the inbox stays silent past the watchdog.
 pub fn run_control(
     params: ControlParams,
     catalog: &Catalog,
@@ -335,10 +564,18 @@ pub fn run_control(
         control,
         catalog,
         retry: params.retry,
-        to_data,
+        to_data: to_data
+            .iter()
+            .map(|tx| Coalescer::new(Arc::clone(tx), params.batch_max))
+            .collect(),
         to_clients,
-        specs: BTreeMap::new(),
-        owners: BTreeMap::new(),
+        batch_window: params.batch_window,
+        shard: params.shard,
+        txns: BTreeMap::new(),
+        parked: BTreeSet::new(),
+        backlog: VecDeque::new(),
+        active: 0,
+        admit_window: params.admit_window.max(1),
         outstanding: BTreeMap::new(),
         chunk_cursor: BTreeMap::new(),
         completed: BTreeSet::new(),
@@ -346,22 +583,30 @@ pub fn run_control(
         rx: MsgCounts::default(),
         tx: MsgCounts::default(),
         access_retries: 0,
+        data_rtts_us: Vec::new(),
+        max_retry_streak: 0,
         chunk_units,
     };
 
     let result = (|| -> Result<(), NetError> {
         let mut last_activity = Instant::now();
+        let mut since_scan = 0u32;
         while (actor.committed.len() as u64) < params.expected_commits {
-            match inbox.pop_timeout(POLL) {
-                PopResult::Item(m) => {
-                    last_activity = Instant::now();
-                    actor.handle(m)?;
-                }
+            // Drain bursts without blocking; coalescers fill up meanwhile.
+            let next = match inbox.try_pop() {
+                PopResult::Item(m) => Some(m),
                 PopResult::Empty => {
-                    if last_activity.elapsed() > params.watchdog {
-                        return Err(NetError::RecvTimeout {
-                            actor: "control".to_string(),
-                        });
+                    // Idle: everything buffered must go out before we
+                    // block, or the peers we are starving never answer.
+                    actor.flush_all()?;
+                    match inbox.pop_timeout(POLL) {
+                        PopResult::Item(m) => Some(m),
+                        PopResult::Empty => None,
+                        PopResult::Closed => {
+                            return Err(NetError::Protocol(
+                                "control inbox closed mid-run".to_string(),
+                            ));
+                        }
                     }
                 }
                 PopResult::Closed => {
@@ -369,32 +614,52 @@ pub fn run_control(
                         "control inbox closed mid-run".to_string(),
                     ));
                 }
+            };
+            match next {
+                Some(m) => {
+                    last_activity = Instant::now();
+                    actor.handle(m)?;
+                    since_scan += 1;
+                    if since_scan >= SCAN_EVERY {
+                        since_scan = 0;
+                        actor.redeliver_expired()?;
+                        actor.flush_overdue()?;
+                    }
+                }
+                None => {
+                    if last_activity.elapsed() > params.watchdog {
+                        return Err(NetError::RecvTimeout {
+                            actor: format!("control shard {}", params.shard),
+                        });
+                    }
+                    actor.redeliver_expired()?;
+                    actor.retry_parked()?;
+                    actor.drain_backlog()?;
+                }
             }
-            actor.redeliver_expired()?;
         }
-        Ok(())
+        actor.flush_all()
     })();
-
-    // Orderly teardown on success; emergency broadcast on failure (clients
-    // included, so their watchdogs don't have to expire one by one).
-    for tx in to_data {
-        if tx.send(&Msg::Shutdown) {
-            Msg::Shutdown.count(&mut actor.tx);
-        }
-    }
-    if result.is_err() {
-        for tx in to_clients {
-            let _ = tx.send(&Msg::Shutdown);
-        }
-    }
     result?;
 
+    let mut tx = actor.tx;
+    let mut batched_inner = 0u64;
+    let mut batch_sizes = Histogram::new();
+    for c in &actor.to_data {
+        tx.merge(&c.tx);
+        batched_inner += c.batched_inner;
+        batch_sizes.merge(&c.sizes);
+    }
     Ok(ControlOutcome {
         name,
         mode,
         audit: actor.control.into_audit(),
         rx: actor.rx,
-        tx: actor.tx,
+        tx,
         access_retries: actor.access_retries,
+        data_rtts_us: actor.data_rtts_us,
+        max_retry_streak: actor.max_retry_streak,
+        batched_inner,
+        batch_sizes,
     })
 }

@@ -7,6 +7,15 @@
 //! to the control node (the paper's per-object weight-adjustment message)
 //! and finishing with an `AccessDone` carrying the step's checksum.
 //!
+//! **Batched replies.** All replies flow through a [`Coalescer`], so a bulk
+//! step's `StatsDelta` stream and its `AccessDone` leave as one (or a few)
+//! `Batch` frames instead of one frame per chunk, and replies for
+//! back-to-back orders coalesce across steps. The coalescer is flushed
+//! before the actor blocks on an empty inbox, so the control node is never
+//! starved of a reply the actor is sitting on. Inbound `Batch` frames (the
+//! control side coalesces orders the same way) are unpacked and the inner
+//! orders applied in sequence.
+//!
 //! **Idempotent redelivery.** Every applied step leaves a mark (its
 //! checksum and unit count). A redelivered or duplicated `Access` for a
 //! marked step re-sends only the `AccessDone` — the store is not touched
@@ -14,20 +23,22 @@
 //! accounting stays exact no matter how often the order is delivered.
 //!
 //! **Crash simulation.** A [`CrashPlan`] makes the actor discard everything
-//! it receives for a window — including the order that triggered it —
-//! modelling a node that is down while its durable state (store and
-//! applied-marks) survives. Recovery needs no protocol: the control node's
-//! redelivery watchdog re-sends unanswered orders until the node is back.
+//! it receives for a window — including the wire message that triggered it,
+//! batches dropped whole — modelling a node that is down while its durable
+//! state (store and applied-marks) survives. Recovery needs no protocol:
+//! the control node's redelivery watchdog re-sends unanswered orders until
+//! the node is back.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wtpg_core::partition::Catalog;
 use wtpg_core::txn::{AccessMode, TxnId};
-use wtpg_obs::MsgCounts;
+use wtpg_obs::{Histogram, MsgCounts};
 use wtpg_rt::queue::PopResult;
 use wtpg_rt::store::NodeStore;
 
+use crate::batch::Coalescer;
 use crate::error::NetError;
 use crate::fault::CrashPlan;
 use crate::msg::Msg;
@@ -43,17 +54,112 @@ pub struct DataOutcome {
     pub write_units: u64,
     /// Checksum folded over every bulk read this node served.
     pub read_checksum: u64,
-    /// Messages dequeued and handled, by type.
+    /// Messages dequeued and handled, by type (inner messages of a received
+    /// batch are tallied under their own types, plus one `batch`).
     pub rx: MsgCounts,
-    /// Messages sent, by type.
+    /// Messages sent, by type (a sent batch counts once).
     pub tx: MsgCounts,
     /// Messages discarded while simulated-crashed.
     pub crash_drops: u64,
+    /// Messages that travelled inside sent `Batch` frames.
+    pub batched_inner: u64,
+    /// Distribution of reply-coalescer flush sizes.
+    pub batch_sizes: Histogram,
+}
+
+/// What one handled message asks of the main loop.
+enum Flow {
+    Continue,
+    /// `Shutdown` arrived or the control link is gone.
+    Stop,
+}
+
+struct DataActor<'a> {
+    node: u32,
+    store: NodeStore,
+    marks: BTreeMap<(TxnId, u32), (u64, u64)>,
+    replies: Coalescer,
+    rx: MsgCounts,
+    read_checksum: u64,
+    catalog: &'a Catalog,
+}
+
+impl DataActor<'_> {
+    fn handle(&mut self, m: Msg) -> Result<Flow, NetError> {
+        m.count(&mut self.rx);
+        match m {
+            Msg::Batch(inner) => {
+                for sub in inner {
+                    debug_assert!(!matches!(sub, Msg::Batch(_)), "codec rejects nesting");
+                    if let Flow::Stop = self.handle(sub)? {
+                        return Ok(Flow::Stop);
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Msg::Shutdown => Ok(Flow::Stop),
+            Msg::Access {
+                txn,
+                step,
+                partition,
+                mode,
+                units,
+                chunk_units,
+            } => {
+                debug_assert_eq!(self.catalog.node_of(partition), self.node);
+                if let Some(&(checksum, done_units)) = self.marks.get(&(txn, step)) {
+                    // Redelivery of an applied step: answer, don't re-apply.
+                    let ok = self.replies.push(Msg::AccessDone {
+                        txn,
+                        step,
+                        checksum,
+                        units: done_units,
+                    });
+                    return Ok(if ok { Flow::Continue } else { Flow::Stop });
+                }
+                let chunk_size = chunk_units.max(1);
+                let mut offset = 0u64;
+                let mut chunk_idx = 0u64;
+                let mut checksum = 0u64;
+                while offset < units {
+                    let chunk = chunk_size.min(units - offset);
+                    let sum = self.store.apply_chunk(partition, mode, offset, chunk)?;
+                    checksum = checksum.wrapping_add(sum);
+                    if !self.replies.push(Msg::StatsDelta {
+                        txn,
+                        step,
+                        chunk: chunk_idx,
+                        units: chunk,
+                    }) {
+                        return Ok(Flow::Stop);
+                    }
+                    offset += chunk;
+                    chunk_idx += 1;
+                }
+                if mode == AccessMode::Read {
+                    self.read_checksum = self.read_checksum.wrapping_add(checksum);
+                }
+                self.marks.insert((txn, step), (checksum, units));
+                let ok = self.replies.push(Msg::AccessDone {
+                    txn,
+                    step,
+                    checksum,
+                    units,
+                });
+                Ok(if ok { Flow::Continue } else { Flow::Stop })
+            }
+            other => Err(NetError::Protocol(format!(
+                "data node {} received {other:?}, which it never handles",
+                self.node
+            ))),
+        }
+    }
 }
 
 /// Runs data node `node` until it receives `Shutdown` (or its inbox closes
 /// under transport teardown), applying `Access` orders against an owned,
-/// freshly zeroed [`NodeStore`].
+/// freshly zeroed [`NodeStore`]. Replies coalesce into `Batch` frames of at
+/// most `batch_max` messages.
 ///
 /// # Errors
 /// [`NetError::Core`] if an order addresses a partition this node does not
@@ -65,30 +171,43 @@ pub fn run_data_node(
     inbox: &Inbox,
     to_control: &Arc<dyn MsgTx>,
     crash: Option<CrashPlan>,
+    batch_max: usize,
 ) -> Result<DataOutcome, NetError> {
-    let mut store = NodeStore::for_node(catalog, node);
-    // Durable across the simulated crash, like the store itself.
-    let mut marks: BTreeMap<(TxnId, u32), (u64, u64)> = BTreeMap::new();
-    let mut rx = MsgCounts::default();
-    let mut tx = MsgCounts::default();
-    let mut read_checksum = 0u64;
+    let mut actor = DataActor {
+        node,
+        store: NodeStore::for_node(catalog, node),
+        // Durable across the simulated crash, like the store itself.
+        marks: BTreeMap::new(),
+        replies: Coalescer::new(Arc::clone(to_control), batch_max),
+        rx: MsgCounts::default(),
+        read_checksum: 0,
+        catalog,
+    };
     let mut crash_drops = 0u64;
     let mut processed = 0u64;
     let mut crash = crash.filter(|c| c.node as u32 == node);
 
-    let send = |m: &Msg, tx: &mut MsgCounts| -> bool {
-        let ok = to_control.send(m);
-        if ok {
-            m.count(tx);
-        }
-        ok
-    };
-
-    'main: while let Some(m) = inbox.pop() {
+    'main: loop {
+        // Drain bursts without blocking so consecutive orders' replies
+        // coalesce; flush buffered replies before going idle.
+        let m = match inbox.try_pop() {
+            PopResult::Item(m) => m,
+            PopResult::Empty => {
+                if !actor.replies.flush() {
+                    break 'main;
+                }
+                match inbox.pop() {
+                    Some(m) => m,
+                    None => break 'main,
+                }
+            }
+            PopResult::Closed => break 'main,
+        };
         if let Some(plan) = crash {
             if processed == plan.after_msgs {
-                // Down: this message and everything else in the window is
-                // lost. The durable store and marks survive the restart.
+                // Down: this wire message and everything else in the window
+                // is lost (a batch is lost whole). The durable store and
+                // marks survive the restart; buffered replies do not.
                 crash = None;
                 crash_drops += 1;
                 let deadline = Instant::now() + Duration::from_millis(plan.down_ms);
@@ -106,84 +225,22 @@ pub fn run_data_node(
             }
         }
         processed += 1;
-        m.count(&mut rx);
-        match m {
-            Msg::Shutdown => break,
-            Msg::Access {
-                txn,
-                step,
-                partition,
-                mode,
-                units,
-                chunk_units,
-            } => {
-                if let Some(&(checksum, done_units)) = marks.get(&(txn, step)) {
-                    // Redelivery of an applied step: answer, don't re-apply.
-                    if !send(
-                        &Msg::AccessDone {
-                            txn,
-                            step,
-                            checksum,
-                            units: done_units,
-                        },
-                        &mut tx,
-                    ) {
-                        break;
-                    }
-                    continue;
-                }
-                let chunk_size = chunk_units.max(1);
-                let mut offset = 0u64;
-                let mut chunk_idx = 0u64;
-                let mut checksum = 0u64;
-                while offset < units {
-                    let chunk = chunk_size.min(units - offset);
-                    let sum = store.apply_chunk(partition, mode, offset, chunk)?;
-                    checksum = checksum.wrapping_add(sum);
-                    if !send(
-                        &Msg::StatsDelta {
-                            txn,
-                            step,
-                            chunk: chunk_idx,
-                            units: chunk,
-                        },
-                        &mut tx,
-                    ) {
-                        break 'main;
-                    }
-                    offset += chunk;
-                    chunk_idx += 1;
-                }
-                if mode == AccessMode::Read {
-                    read_checksum = read_checksum.wrapping_add(checksum);
-                }
-                marks.insert((txn, step), (checksum, units));
-                if !send(
-                    &Msg::AccessDone {
-                        txn,
-                        step,
-                        checksum,
-                        units,
-                    },
-                    &mut tx,
-                ) {
-                    break;
-                }
-            }
-            other => {
-                return Err(NetError::Protocol(format!(
-                    "data node {node} received {other:?}, which it never handles"
-                )))
-            }
+        if let Flow::Stop = actor.handle(m)? {
+            break;
         }
     }
+    // Best-effort final flush: on orderly shutdown nothing is buffered, on
+    // link loss this is a no-op anyway.
+    actor.replies.flush();
 
     Ok(DataOutcome {
-        cell_sum: store.cell_sum(),
-        write_units: store.write_units(),
-        read_checksum,
-        rx,
-        tx,
+        cell_sum: actor.store.cell_sum(),
+        write_units: actor.store.write_units(),
+        read_checksum: actor.read_checksum,
+        rx: actor.rx,
+        tx: actor.replies.tx,
         crash_drops,
+        batched_inner: actor.replies.batched_inner,
+        batch_sizes: actor.replies.sizes,
     })
 }

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod client;
 pub mod codec;
 pub mod control;
@@ -39,6 +40,7 @@ pub mod runtime;
 pub mod tcp;
 pub mod transport;
 
+pub use batch::Coalescer;
 pub use error::NetError;
 pub use fault::{CrashPlan, FaultPlan, LinkFaults};
 pub use msg::Msg;

@@ -4,18 +4,22 @@
 //! shared mutable state to fall back on:
 //!
 //! ```text
-//!   client ──Submit/Commit/Abort──► control ──Access──► data node
-//!   client ◄─Grant/Reject/Delay────  control ◄─StatsDelta/AccessDone──
-//!   client ◄─AccessDone/Commit ack─  control ──Shutdown──► data node
+//!   client ──Submit(spec)──► control ──Access──────────► data node
+//!   client ◄─Commit ack────   control ◄─StatsDelta/AccessDone─
+//!                             control | runtime ──Shutdown──► data node
 //! ```
 //!
-//! Clients never talk to data nodes: the control node both grants the lock
-//! and *routes* the bulk-access order to the owning partition, forwarding
-//! the data node's completion back to the client. That routing is what
-//! makes the protocol sound without distributed synchronization — a
-//! client's next `Submit` can only arrive at the control node *after* the
-//! control node has already processed the previous step's `AccessDone`, so
-//! the recorded history keeps the engine's per-transaction call shape.
+//! The protocol is *pipelined*: a client sends one `Submit` carrying the
+//! full declaration and hears back exactly once, on commit. The control
+//! node drives the whole lifecycle — admission, per-step lock grants,
+//! routing the bulk-access order to the owning partition, retrying parked
+//! (rejected or delayed) transactions when a completion frees capacity —
+//! without any per-step client round trip. Bursty links coalesce messages
+//! into flat [`Msg::Batch`] frames. `Grant`/`Reject`/`Delay` survive as
+//! wire types for observability and replay tooling, but the steady-state
+//! cost is two client messages per transaction, and the recorded history
+//! keeps the engine's per-transaction call shape because only the control
+//! node ever talks to the scheduler.
 
 use wtpg_core::partition::PartitionId;
 use wtpg_core::txn::{AccessMode, TxnId, TxnSpec};
@@ -125,6 +129,14 @@ pub enum Msg {
     /// Orderly teardown. Control → data nodes after the last commit;
     /// control → clients only on a failed run (fast failure).
     Shutdown,
+    /// A vectored frame: several messages bound for the same peer coalesced
+    /// into one wire frame by a sender-side [`crate::batch::Coalescer`].
+    /// Counts as *one* wire message in transmit accounting; receivers unpack
+    /// and handle the inner messages in order. Nesting is illegal — the
+    /// codec rejects a `Batch` inside a `Batch` — so fault-injected
+    /// duplicate delivery duplicates the whole batch and per-message
+    /// idempotency still holds.
+    Batch(Vec<Msg>),
 }
 
 impl Msg {
@@ -142,6 +154,7 @@ impl Msg {
             Msg::Abort { .. } => 7,
             Msg::StatsDelta { .. } => 8,
             Msg::Shutdown => 9,
+            Msg::Batch(_) => 10,
         }
     }
 
@@ -158,6 +171,16 @@ impl Msg {
             Msg::Abort { .. } => counts.abort += 1,
             Msg::StatsDelta { .. } => counts.stats_delta += 1,
             Msg::Shutdown => counts.shutdown += 1,
+            Msg::Batch(_) => counts.batch += 1,
+        }
+    }
+
+    /// How many inner messages this message carries: `len()` for a
+    /// [`Msg::Batch`], 1 for everything else.
+    pub fn inner_len(&self) -> usize {
+        match self {
+            Msg::Batch(inner) => inner.len(),
+            _ => 1,
         }
     }
 }
@@ -213,6 +236,7 @@ mod tests {
                 units: 1,
             },
             Msg::Shutdown,
+            Msg::Batch(vec![Msg::Shutdown]),
         ];
         let mut counts = MsgCounts::default();
         for (i, m) in msgs.iter().enumerate() {
@@ -221,6 +245,14 @@ mod tests {
             let (_, v) = counts.fields()[i];
             assert_eq!(v, 1, "tag {i} must bump field {i}");
         }
-        assert_eq!(counts.total(), 10);
+        assert_eq!(counts.total(), 11);
+    }
+
+    #[test]
+    fn inner_len_counts_batched_messages() {
+        assert_eq!(Msg::Shutdown.inner_len(), 1);
+        assert_eq!(Msg::Batch(vec![]).inner_len(), 0);
+        let b = Msg::Batch(vec![Msg::Shutdown, Msg::Reject { txn: TxnId(1) }]);
+        assert_eq!(b.inner_len(), 2);
     }
 }

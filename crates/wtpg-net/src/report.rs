@@ -29,6 +29,9 @@ pub struct MsgBreakdown {
     pub stats_delta: u64,
     /// Teardown broadcasts.
     pub shutdown: u64,
+    /// Vectored frames (each counts once; its payload is in the inner
+    /// types' counters only on the receive side).
+    pub batch: u64,
 }
 
 impl From<MsgCounts> for MsgBreakdown {
@@ -44,6 +47,7 @@ impl From<MsgCounts> for MsgBreakdown {
             abort: c.abort,
             stats_delta: c.stats_delta,
             shutdown: c.shutdown,
+            batch: c.batch,
         }
     }
 }
@@ -62,6 +66,9 @@ pub struct NetReport {
     pub clients: usize,
     /// Data-node actors (one per catalog node).
     pub data_nodes: usize,
+    /// Effective control shards (1 unless the workload's conflict graph
+    /// has independent components and sharding was requested).
+    pub shards: usize,
     /// Transactions submitted.
     pub submitted: usize,
     /// Transactions committed (equals `submitted` when no one starves).
@@ -87,8 +94,11 @@ pub struct NetReport {
     /// Logical ticks consumed by the control node.
     pub logical_ticks: u64,
     /// Protocol messages sent, total (duplicates injected by the fault
-    /// layer are *not* counted — they are deliveries, not sends).
+    /// layer are *not* counted — they are deliveries, not sends; a `Batch`
+    /// frame counts once).
     pub messages_sent: u64,
+    /// Messages that travelled inside sent `Batch` frames.
+    pub batched_inner: u64,
     /// Protocol messages sent, by type.
     pub msgs: MsgBreakdown,
     /// Frame-level wire bytes written (zero on in-process transports).

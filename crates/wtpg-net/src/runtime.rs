@@ -3,18 +3,27 @@
 //! [`run_cell`] is the crate's entry point — one (scheduler, transport,
 //! fault plan) cell executed end to end:
 //!
-//! 1. the [`Transport`] wires one control actor, one data-node actor per
+//! 1. the [`Transport`] wires the control plane, one data-node actor per
 //!    catalog node, and `clients` client actors into a star fabric;
 //! 2. if the [`FaultPlan`] is active, every control ↔ data link is wrapped
 //!    in a [`FaultLink`] (seeded delay + duplicate delivery) and the doomed
-//!    data node gets its [`CrashPlan`];
-//! 3. all actors run to completion on scoped threads — clients drive their
-//!    transaction slices, the control actor exits after the last commit and
-//!    broadcasts `Shutdown` to the data nodes;
-//! 4. the recorded history is replay-certified and the data nodes' store
-//!    tallies are checked against the workload's declared write units — the
-//!    same two proofs the threaded engine demands, now under real message
-//!    passing and injected faults.
+//!    data node gets its [`CrashPlan`](crate::fault::CrashPlan);
+//! 3. the control plane is **sharded by conflict component**
+//!    ([`ShardMap`]): with one effective shard the control actor reads the
+//!    fabric inbox directly (trajectories identical to the unsharded
+//!    engine); with `S > 1` a router thread deals inbound messages to `S`
+//!    independent control actors, each running its own scheduler over a
+//!    disjoint slice of the WTPG;
+//! 4. all actors run to completion on scoped threads — clients submit their
+//!    transaction slices and wait for commit acks, each control shard exits
+//!    after its last commit, and the *runtime* broadcasts `Shutdown` to the
+//!    data nodes once every shard is done;
+//! 5. the per-shard audits are merged ([`merge_audits`] — the canonical
+//!    cross-shard history merge, which refuses non-disjoint shards), the
+//!    merged history is replay-certified, and the data nodes' store tallies
+//!    are checked against the workload's declared write units — the same
+//!    proofs the threaded engine demands, now under real message passing,
+//!    batched frames, and injected faults.
 
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -22,19 +31,22 @@ use std::time::{Duration, Instant};
 
 use wtpg_core::certify::certify_history;
 use wtpg_core::partition::Catalog;
-use wtpg_core::txn::{AccessMode, TxnSpec};
-use wtpg_obs::{Histogram, NetStats, ObsEvent, Observer};
+use wtpg_core::txn::{AccessMode, TxnId, TxnSpec};
+use wtpg_obs::{Histogram, MsgCounts, NetStats, ObsEvent, Observer};
 use wtpg_rt::backoff::Backoff;
 use wtpg_rt::engine::SendScheduler;
 use wtpg_rt::metrics::LatencySummary;
+use wtpg_rt::queue::BoundedQueue;
+use wtpg_rt::shard::{merge_audits, ShardMap};
 
 use crate::client::{run_client, ClientOutcome};
 use crate::control::{run_control, ControlOutcome, ControlParams};
 use crate::data::{run_data_node, DataOutcome};
 use crate::error::NetError;
 use crate::fault::{FaultCounters, FaultLink, FaultPlan};
+use crate::msg::Msg;
 use crate::report::NetReport;
-use crate::transport::{MsgTx, Transport};
+use crate::transport::{control_inbox_capacity, Inbox, MsgTx, Transport};
 
 /// Tuning knobs for one shared-nothing run.
 #[derive(Clone, Copy, Debug)]
@@ -45,19 +57,33 @@ pub struct NetConfig {
     /// Milli-objects per progress chunk (default: one object, the paper's
     /// per-object weight-adjustment granularity).
     pub chunk_units: u64,
-    /// Client retry backoff for rejected admissions and delayed requests.
-    pub backoff: Backoff,
     /// Control-side redelivery schedule for unanswered `Access` orders.
     /// The base must comfortably exceed a step's normal round trip, or
     /// healthy steps get redelivered; the span `base × 2^attempts` must
     /// cover a crash window, or a crashed node is reported dead.
     pub retry: Backoff,
-    /// Replay-certify the recorded history after the run.
+    /// Replay-certify the recorded (merged) history after the run.
     pub certify: bool,
-    /// Seed for client backoff jitter (fault decisions use the plan's own).
-    pub seed: u64,
     /// Per-actor silence tolerance before a run is declared wedged, ms.
     pub watchdog_ms: u64,
+    /// Control shards requested. The effective count never exceeds the
+    /// workload's conflict-component count (1 for every paper pattern, so
+    /// the default changes nothing there).
+    pub shards: usize,
+    /// Coalescer buffer bound: at most this many messages per `Batch`.
+    pub batch_max: usize,
+    /// Flush window, µs: the longest a buffered message waits for company
+    /// mid-burst before its coalescer is flushed anyway.
+    pub batch_window_us: u64,
+    /// Transactions each client keeps in flight at once. `1` recovers the
+    /// strict one-at-a-time submission stream (tick-identical to the
+    /// engine for a single client); higher depths decouple committed
+    /// throughput from per-transaction latency.
+    pub pipeline: usize,
+    /// Concurrently admitted transactions each control shard allows;
+    /// submissions beyond it queue in the shard's FIFO backlog without
+    /// touching the scheduler (admission flow control for deep pipelines).
+    pub admit_window: usize,
 }
 
 impl Default for NetConfig {
@@ -65,15 +91,18 @@ impl Default for NetConfig {
         NetConfig {
             clients: 4,
             chunk_units: 1000,
-            backoff: Backoff::DEFAULT,
             retry: Backoff {
                 base_us: 20_000,
                 cap_us: 200_000,
                 max_attempts: 500,
             },
             certify: true,
-            seed: 42,
             watchdog_ms: 30_000,
+            shards: 1,
+            batch_max: 128,
+            batch_window_us: 100,
+            pipeline: 16,
+            admit_window: 32,
         }
     }
 }
@@ -105,16 +134,62 @@ fn wrap_links(
         .collect()
 }
 
+/// The transaction a control-bound message belongs to (shard routing key).
+fn msg_txn(m: &Msg) -> Option<TxnId> {
+    match *m {
+        Msg::Submit { txn, .. }
+        | Msg::Commit { txn, .. }
+        | Msg::Abort { txn, .. }
+        | Msg::AccessDone { txn, .. }
+        | Msg::StatsDelta { txn, .. } => Some(txn),
+        _ => None,
+    }
+}
+
+/// Deals messages from the shared control inbox to the per-shard actor
+/// inboxes, unpacking `Batch` frames (a reply batch from a data node can
+/// carry several transactions, so inner messages route independently).
+/// Exits when the shared inbox closes. Returns its message tallies — only
+/// the `Batch` frames it consumed; inner messages are tallied by the shard
+/// that handles them.
+fn run_router(inbox: &Inbox, map: &ShardMap, shard_inboxes: &[Inbox]) -> MsgCounts {
+    let mut rx = MsgCounts::default();
+    let route = |m: Msg, rx: &mut MsgCounts| {
+        if let Some(txn) = msg_txn(&m) {
+            // A shard that already exited leaves its inbox open, so late
+            // duplicates land harmlessly.
+            let _ = shard_inboxes[map.shard_of(txn)].push(m);
+        } else {
+            m.count(rx); // stray Shutdown etc.: tally, drop
+        }
+    };
+    while let Some(m) = inbox.pop() {
+        match m {
+            Msg::Batch(inner) => {
+                rx.batch += 1;
+                for sub in inner {
+                    route(sub, &mut rx);
+                }
+            }
+            m => route(m, &mut rx),
+        }
+    }
+    rx
+}
+
 /// Runs one (scheduler, transport, fault plan) cell over `specs` and
-/// certifies the outcome. See the module docs for the phases.
+/// certifies the outcome. `sched` is a *factory* — a sharded control plane
+/// needs one scheduler instance per shard. See the module docs for the
+/// phases.
 ///
 /// # Errors
 /// Any [`NetError`]: an actor protocol violation, a transport failure, a
 /// starved transaction, an unanswerable data node, a history that fails
-/// certification, or a store that lost committed units.
+/// certification (or shard histories that are not component-disjoint), or
+/// a store that lost committed units.
 pub fn run_cell(
     cfg: &NetConfig,
-    sched: SendScheduler,
+    sched: &(dyn Fn() -> SendScheduler + Sync),
     catalog: &Catalog,
     specs: &[TxnSpec],
     transport: &dyn Transport,
@@ -124,15 +199,16 @@ pub fn run_cell(
 }
 
 /// [`run_cell`] with an optional trace sink: after the run, cumulative
-/// network-plane counters ([`NetStats`]) and the control/data RTT
-/// histograms are emitted on track 0. Passing `None` changes nothing.
+/// network-plane counters ([`NetStats`]), per-shard admission/commit
+/// counters, and the RTT / batch-size histograms are emitted on track 0.
+/// Passing `None` changes nothing.
 ///
 /// # Errors
 /// As [`run_cell`].
 #[allow(clippy::too_many_arguments)]
 pub fn run_cell_obs(
     cfg: &NetConfig,
-    sched: SendScheduler,
+    sched: &(dyn Fn() -> SendScheduler + Sync),
     catalog: &Catalog,
     specs: &[TxnSpec],
     transport: &dyn Transport,
@@ -142,6 +218,10 @@ pub fn run_cell_obs(
     let data_nodes = catalog.num_nodes() as usize;
     let clients = cfg.clients.clamp(1, specs.len().max(1));
     let watchdog = Duration::from_millis(cfg.watchdog_ms.max(1));
+
+    // Conflict components decide how many control shards actually run.
+    let map = ShardMap::build(specs, cfg.shards.max(1));
+    let shards = map.shards();
 
     let fabric = transport.build(data_nodes, clients)?;
     let fault_counters = Arc::new(FaultCounters::default());
@@ -160,79 +240,122 @@ pub fn run_cell_obs(
     let data_inboxes = fabric.data_inboxes;
     let client_inboxes = fabric.client_inboxes;
 
+    // One shard reads the fabric inbox directly (no router, identical
+    // trajectories to the unsharded engine); S > 1 gets routed inboxes.
+    let shard_inboxes: Vec<Inbox> = if shards == 1 {
+        vec![Arc::clone(&control_inbox)]
+    } else {
+        (0..shards)
+            .map(|_| -> Inbox {
+                Arc::new(BoundedQueue::new(control_inbox_capacity(
+                    data_nodes, clients,
+                )))
+            })
+            .collect()
+    };
+
     // Round-robin workload split: client c drives specs[c], specs[c+N], …
     let slices: Vec<Vec<TxnSpec>> = (0..clients)
-        .map(|c| {
-            specs
-                .iter()
-                .skip(c)
-                .step_by(clients)
-                .cloned()
-                .collect()
-        })
+        .map(|c| specs.iter().skip(c).step_by(clients).cloned().collect())
         .collect();
-
-    let params = ControlParams {
-        sched,
-        expected_commits: specs.len() as u64,
-        retry: cfg.retry,
-        watchdog,
-    };
 
     let started = Instant::now();
     type Joined = (
-        Result<ControlOutcome, NetError>,
+        Vec<Result<ControlOutcome, NetError>>,
+        MsgCounts,
+        MsgCounts,
         Vec<Result<DataOutcome, NetError>>,
         Vec<Result<ClientOutcome, NetError>>,
     );
-    let (control_res, data_res, client_res): Joined = std::thread::scope(|s| {
-        let control = s.spawn(|| {
-            run_control(
-                params,
-                catalog,
-                cfg.chunk_units,
-                &control_inbox,
-                &to_data,
-                &to_clients,
+    let (control_res, router_rx, runtime_tx, data_res, client_res): Joined =
+        std::thread::scope(|s| {
+            let router = (shards > 1)
+                .then(|| s.spawn(|| run_router(&control_inbox, &map, &shard_inboxes)));
+            let controls: Vec<_> = (0..shards)
+                .map(|si| {
+                    let inbox = &shard_inboxes[si];
+                    let to_data = &to_data;
+                    let to_clients = &to_clients;
+                    let expected_commits = map.assigned(si);
+                    s.spawn(move || {
+                        let params = ControlParams {
+                            sched: sched(),
+                            expected_commits,
+                            retry: cfg.retry,
+                            watchdog,
+                            batch_max: cfg.batch_max,
+                            batch_window: Duration::from_micros(cfg.batch_window_us),
+                            admit_window: cfg.admit_window,
+                            shard: si,
+                        };
+                        run_control(
+                            params,
+                            catalog,
+                            cfg.chunk_units,
+                            inbox,
+                            to_data,
+                            to_clients,
+                        )
+                    })
+                })
+                .collect();
+            let data: Vec<_> = data_inboxes
+                .iter()
+                .zip(&data_to_control)
+                .enumerate()
+                .map(|(n, (inbox, tx))| {
+                    s.spawn(move || {
+                        run_data_node(catalog, n as u32, inbox, tx, fault.crash, cfg.batch_max)
+                    })
+                })
+                .collect();
+            let clis: Vec<_> = client_inboxes
+                .iter()
+                .zip(&client_to_control)
+                .zip(&slices)
+                .enumerate()
+                .map(|(c, ((inbox, tx), slice))| {
+                    s.spawn(move || {
+                        run_client(c as u32, slice.as_slice(), inbox, tx, watchdog, cfg.pipeline)
+                    })
+                })
+                .collect();
+            fn join<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
+                h.join()
+                    .expect("invariant: actors return errors instead of panicking")
+            }
+            let control_res: Vec<_> = controls.into_iter().map(join).collect();
+            // Every shard is done (or failed): stop the router, then tear
+            // the run down — the runtime owns the Shutdown broadcast.
+            let router_rx = router
+                .map(|h| {
+                    control_inbox.close();
+                    join(h)
+                })
+                .unwrap_or_default();
+            let mut runtime_tx = MsgCounts::default();
+            for tx in &to_data {
+                if tx.send(&Msg::Shutdown) {
+                    runtime_tx.shutdown += 1;
+                }
+            }
+            if control_res.iter().any(|r| r.is_err()) {
+                // Fast failure: clients blocked on a commit ack that will
+                // never come get released instead of riding the watchdog.
+                for tx in &to_clients {
+                    if tx.send(&Msg::Shutdown) {
+                        runtime_tx.shutdown += 1;
+                    }
+                }
+            }
+            (
+                control_res,
+                router_rx,
+                runtime_tx,
+                data.into_iter().map(join).collect(),
+                clis.into_iter().map(join).collect(),
             )
         });
-        let data: Vec<_> = data_inboxes
-            .iter()
-            .zip(&data_to_control)
-            .enumerate()
-            .map(|(n, (inbox, tx))| {
-                s.spawn(move || run_data_node(catalog, n as u32, inbox, tx, fault.crash))
-            })
-            .collect();
-        let clis: Vec<_> = client_inboxes
-            .iter()
-            .zip(&client_to_control)
-            .zip(&slices)
-            .enumerate()
-            .map(|(c, ((inbox, tx), slice))| {
-                s.spawn(move || {
-                    run_client(
-                        c as u32,
-                        slice.as_slice(),
-                        inbox,
-                        tx,
-                        cfg.backoff,
-                        cfg.seed,
-                        watchdog,
-                    )
-                })
-            })
-            .collect();
-        fn join<T>(h: std::thread::ScopedJoinHandle<'_, T>) -> T {
-            h.join()
-                .expect("invariant: actors return errors instead of panicking")
-        }
-        (
-            join(control),
-            data.into_iter().map(join).collect(),
-            clis.into_iter().map(join).collect(),
-        )
-    });
     let wall = started.elapsed();
 
     // Teardown: dropping our sender handles closes the fault queues (their
@@ -252,9 +375,12 @@ pub fn run_cell_obs(
             .expect("invariant: transport readers exit on EOF");
     }
 
-    // Error priority: the control actor's verdict names the root cause
+    // Error priority: a control shard's verdict names the root cause
     // (client/data failures usually cascade from it or into it).
-    let control = control_res?;
+    let mut controls: Vec<ControlOutcome> = Vec::with_capacity(shards);
+    for r in control_res {
+        controls.push(r?);
+    }
     let mut clients_out: Vec<ClientOutcome> = Vec::with_capacity(clients);
     for r in client_res {
         clients_out.push(r?);
@@ -265,17 +391,39 @@ pub fn run_cell_obs(
     }
 
     // Aggregate the books.
-    let mut sent = control.tx;
+    let name = controls[0].name.clone();
+    let mode = controls[0].mode;
+    let mut sent = runtime_tx;
+    let mut processed = router_rx;
+    let mut data_rtts = Vec::new();
+    let mut access_retries = 0u64;
+    let mut max_retry_streak = 0u32;
+    let mut batched_inner = 0u64;
+    let mut batch_sizes = Histogram::new();
+    let mut per_shard: Vec<(u64, u64)> = Vec::with_capacity(shards); // (admissions, commits)
+    let mut audits = Vec::with_capacity(shards);
+    for c in controls {
+        sent.merge(&c.tx);
+        processed.merge(&c.rx);
+        data_rtts.extend_from_slice(&c.data_rtts_us);
+        access_retries += c.access_retries;
+        max_retry_streak = max_retry_streak.max(c.max_retry_streak);
+        batched_inner += c.batched_inner;
+        batch_sizes.merge(&c.batch_sizes);
+        per_shard.push((c.audit.counters.admissions, c.audit.counters.commits));
+        audits.push(c.audit);
+    }
+    // Merge the per-shard audits (single-shard: returned untouched). The
+    // merge re-checks the sharding premise — component disjointness — and
+    // refuses histories a sharded scheduler could never have produced.
+    let audit = merge_audits(audits).map_err(NetError::Certify)?;
     let mut latencies = Vec::with_capacity(specs.len());
     let mut ctrl_rtts = Vec::new();
-    let mut data_rtts = Vec::new();
-    let mut max_retry_streak = 0u32;
     for c in &clients_out {
         sent.merge(&c.tx);
+        processed.merge(&c.rx);
         latencies.extend_from_slice(&c.latencies_us);
         ctrl_rtts.extend_from_slice(&c.ctrl_rtts_us);
-        data_rtts.extend_from_slice(&c.data_rtts_us);
-        max_retry_streak = max_retry_streak.max(c.max_retry_streak);
     }
     let mut crash_drops = 0u64;
     let mut read_checksum = 0u64;
@@ -283,27 +431,23 @@ pub fn run_cell_obs(
     let mut store_write_units = 0u64;
     for d in &data_out {
         sent.merge(&d.tx);
+        processed.merge(&d.rx);
         crash_drops += d.crash_drops;
         read_checksum = read_checksum.wrapping_add(d.read_checksum);
         cell_sum += d.cell_sum;
         store_write_units += d.write_units;
-    }
-    let mut processed = control.rx;
-    for c in &clients_out {
-        processed.merge(&c.rx);
-    }
-    for d in &data_out {
-        processed.merge(&d.rx);
+        batched_inner += d.batched_inner;
+        batch_sizes.merge(&d.batch_sizes);
     }
 
-    let audit = control.audit;
     let counters = audit.counters;
     let mut report = NetReport {
-        scheduler: control.name,
+        scheduler: name,
         transport: transport.name().to_string(),
         fault: fault.label().to_string(),
         clients,
         data_nodes,
+        shards,
         submitted: specs.len(),
         committed: counters.commits,
         rejected_admissions: counters.rejections,
@@ -321,6 +465,7 @@ pub fn run_cell_obs(
         history_events: audit.history.len(),
         logical_ticks: audit.final_tick.millis(),
         messages_sent: sent.total(),
+        batched_inner,
         msgs: sent.into(),
         bytes_sent: bytes.bytes_sent,
         bytes_received: bytes.bytes_received,
@@ -328,7 +473,7 @@ pub fn run_cell_obs(
         frames_received: bytes.frames_received,
         dup_deliveries: fault_counters.duplicated(),
         delayed_deliveries: fault_counters.delayed(),
-        access_retries: control.access_retries,
+        access_retries,
         crash_drops,
         certified: false,
         certify_grants: 0,
@@ -361,7 +506,9 @@ pub fn run_cell_obs(
     }
 
     if cfg.certify {
-        let cert = certify_history(&audit.history, &audit.specs, control.mode)
+        // Single shard: the untouched history, replayed exactly as the
+        // unsharded engine's. Sharded: the canonical merge built above.
+        let cert = certify_history(&audit.history, &audit.specs, mode)
             .map_err(NetError::Certify)?;
         report.certified = true;
         report.certify_grants = cert.grants;
@@ -377,8 +524,25 @@ pub fn run_cell_obs(
             delayed_deliveries: report.delayed_deliveries,
             access_retries: report.access_retries,
             crash_drops,
+            batched_inner,
         };
         stats.emit(o.as_ref(), 0, 0);
+        o.record(ObsEvent::counter(0, 0, "net_commits", counters.commits));
+        for (si, &(admissions, commits)) in per_shard.iter().enumerate() {
+            o.record(ObsEvent::counter(
+                0,
+                0,
+                format!("net_shard{si}_admissions"),
+                admissions,
+            ));
+            o.record(ObsEvent::counter(
+                0,
+                0,
+                format!("net_shard{si}_commits"),
+                commits,
+            ));
+        }
+        o.record(ObsEvent::hist(0, 0, "net_batch_size", batch_sizes));
         let mut ctrl_hist = Histogram::new();
         for us in ctrl_rtts {
             ctrl_hist.record(us);
@@ -401,12 +565,18 @@ mod tests {
     use wtpg_rt::workload::pattern_specs;
     use wtpg_workload::Pattern;
 
-    fn run(sched: &str, txns: usize, fault: &FaultPlan) -> NetReport {
+    fn run(sched: &'static str, txns: usize, fault: &FaultPlan) -> NetReport {
         let (catalog, specs) = pattern_specs(Pattern::One, txns, 7);
         let cfg = NetConfig::default();
-        let sched = sched_by_name(sched, 2, 2000).expect("known scheduler");
-        run_cell(&cfg, sched, &catalog, &specs, &InProc, fault)
-            .expect("cell run completes cleanly")
+        run_cell(
+            &cfg,
+            &|| sched_by_name(sched, 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            fault,
+        )
+        .expect("cell run completes cleanly")
     }
 
     #[test]
@@ -417,12 +587,16 @@ mod tests {
         assert!(r.store_consistent, "{r:?}");
         assert_eq!(r.transport, "inproc");
         assert_eq!(r.fault, "none");
+        assert_eq!(r.shards, 1, "Pattern 1 is one conflict component");
         assert_eq!(r.msgs.shutdown as usize, r.data_nodes);
-        // Every granted step is one Access order; clients and control each
-        // send Commit once per transaction.
+        // Pipelined protocol: one Submit and one Commit ack per txn, no
+        // Grants/Rejects/Delays on the wire at all.
+        assert_eq!(r.msgs.submit, 40);
+        assert_eq!(r.msgs.commit, 40, "only the control-side ack remains");
+        assert_eq!(r.msgs.grant + r.msgs.reject + r.msgs.delay, 0);
         assert!(r.msgs.access >= r.msgs.access_done / 2);
-        assert_eq!(r.msgs.commit, 2 * 40);
-        assert!(r.msgs.stats_delta > 0, "progress chunks must flow");
+        assert!(r.msgs.batch > 0, "data-node replies must coalesce");
+        assert!(r.batched_inner > r.msgs.batch, "batches carry > 1 message");
         assert_eq!(r.bytes_sent, 0, "inproc moves messages, no wire bytes");
     }
 
@@ -445,13 +619,60 @@ mod tests {
     }
 
     #[test]
+    fn clustered_run_shards_the_control_plane() {
+        let (catalog, specs) =
+            pattern_specs(Pattern::Clustered { groups: 4, hots_per_group: 4 }, 80, 11);
+        let cfg = NetConfig {
+            shards: 4,
+            ..NetConfig::default()
+        };
+        let r = run_cell(
+            &cfg,
+            &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::none(),
+        )
+        .expect("sharded run completes cleanly");
+        assert_eq!(r.shards, 4, "four clustered groups → four shards");
+        assert_eq!(r.committed, 80);
+        assert!(r.certified, "merged history must replay-certify");
+        assert!(r.store_consistent, "{r:?}");
+    }
+
+    #[test]
+    fn sharded_fault_run_still_certifies() {
+        let (catalog, specs) =
+            pattern_specs(Pattern::Clustered { groups: 2, hots_per_group: 4 }, 60, 13);
+        let cfg = NetConfig {
+            shards: 2,
+            ..NetConfig::default()
+        };
+        let r = run_cell(
+            &cfg,
+            &|| sched_by_name("k2", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::flaky_with_crash(21, 0),
+        )
+        .expect("sharded fault run completes cleanly");
+        assert_eq!(r.shards, 2);
+        assert_eq!(r.committed, 60);
+        assert!(r.certified);
+        assert!(r.store_consistent, "{r:?}");
+        assert!(r.dup_deliveries > 0, "fault layer must fire: {r:?}");
+    }
+
+    #[test]
     fn observer_sees_net_counters() {
         use wtpg_obs::MemorySink;
         let (catalog, specs) = pattern_specs(Pattern::One, 20, 7);
         let sink = Arc::new(MemorySink::new());
         let r = run_cell_obs(
             &NetConfig::default(),
-            sched_by_name("c2pl", 2, 2000).expect("known scheduler"),
+            &|| sched_by_name("c2pl", 2, 2000).expect("known scheduler"),
             &catalog,
             &specs,
             &InProc,
@@ -461,11 +682,12 @@ mod tests {
         .expect("traced run");
         assert_eq!(r.committed, 20);
         let evs = sink.snapshot();
-        let has = |name: &str| {
-            evs.iter().any(|e| format!("{e:?}").contains(name))
-        };
+        let has = |name: &str| evs.iter().any(|e| format!("{e:?}").contains(name));
         assert!(has("net_rx_submit"), "missing rx counters: {} events", evs.len());
-        assert!(has("net_tx_grant"), "missing tx counters");
+        assert!(has("net_tx_commit"), "missing tx counters");
+        assert!(has("net_commits"), "missing commit counter");
+        assert!(has("net_shard0_commits"), "missing per-shard counters");
+        assert!(has("net_batch_size"), "missing batch-size histogram");
         assert!(has("net_ctrl_rtt_us") && has("net_data_rtt_us"), "missing RTT histograms");
     }
 }

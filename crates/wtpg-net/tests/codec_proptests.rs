@@ -6,7 +6,9 @@ use proptest::prelude::*;
 
 use wtpg_core::txn::{AccessMode, StepSpec, TxnId, TxnSpec};
 use wtpg_core::work::Work;
-use wtpg_net::codec::{decode_frame, decode_payload, encode_frame, encode_payload, CodecError};
+use wtpg_net::codec::{
+    decode_frame, decode_payload, encode_frame, encode_payload, CodecError, MAX_BATCH, MAX_FRAME,
+};
 use wtpg_net::Msg;
 
 /// Strategy: one declared step (partition, mode, declared cost, actual).
@@ -88,6 +90,113 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         }),
         Just(Msg::Shutdown),
     ]
+}
+
+/// Strategy: a flat coalesced batch of 1–8 inner messages. `arb_msg` never
+/// yields `Msg::Batch`, so nesting (which senders must not produce) cannot
+/// occur by construction here.
+fn arb_batch() -> impl Strategy<Value = Msg> {
+    proptest::collection::vec(arb_msg(), 1..=8).prop_map(Msg::Batch)
+}
+
+proptest! {
+    #[test]
+    fn batch_payload_round_trips_byte_stably(b in arb_batch()) {
+        let bytes = encode_payload(&b);
+        let back = decode_payload(&bytes).expect("own batch encoding must decode");
+        prop_assert_eq!(&back, &b);
+        prop_assert_eq!(encode_payload(&back), bytes);
+    }
+
+    #[test]
+    fn batch_frame_round_trips_and_consumes_exactly(b in arb_batch()) {
+        let frame = encode_frame(&b);
+        let (back, used) = decode_frame(&frame).expect("own batch framing must decode");
+        prop_assert_eq!(back, b);
+        prop_assert_eq!(used, frame.len());
+    }
+
+    #[test]
+    fn every_batch_truncation_is_rejected(b in arb_batch()) {
+        // The batch header pins the inner count, and every inner frame pins
+        // its length, so no prefix may decode as a shorter valid batch.
+        let payload = encode_payload(&b);
+        for cut in 0..payload.len() {
+            prop_assert!(
+                decode_payload(&payload[..cut]).is_err(),
+                "batch truncation at {cut}/{} must be rejected",
+                payload.len()
+            );
+        }
+        let frame = encode_frame(&b);
+        for cut in 0..frame.len() {
+            prop_assert!(
+                decode_frame(&frame[..cut]).is_err(),
+                "batch frame truncation at {cut}/{} must be rejected",
+                frame.len()
+            );
+        }
+    }
+
+    #[test]
+    fn batch_trailing_garbage_is_rejected(b in arb_batch(), junk in 1usize..8) {
+        let mut payload = encode_payload(&b);
+        payload.extend(std::iter::repeat_n(0xAB, junk));
+        match decode_payload(&payload) {
+            Err(CodecError::TrailingGarbage { extra }) => prop_assert_eq!(extra, junk),
+            other => prop_assert!(false, "expected TrailingGarbage, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_with_flipped_tag_never_panics(b in arb_batch(), tag in 0u8..=255) {
+        let mut payload = encode_payload(&b);
+        payload[0] = tag;
+        if let Ok(back) = decode_payload(&payload) {
+            prop_assert_eq!(back.tag(), tag, "decoded message must match its tag");
+        }
+    }
+
+    #[test]
+    fn nested_batches_are_rejected(inner in arb_batch(), tail in proptest::collection::vec(arb_msg(), 0..3)) {
+        // Hand-assemble what a buggy coalescer would send: a batch whose
+        // first inner frame is itself a batch. The decoder must call it out
+        // as nesting, regardless of what follows.
+        let mut payload = vec![10u8];
+        payload.extend(((1 + tail.len()) as u32).to_le_bytes());
+        let first = encode_payload(&inner);
+        payload.extend((first.len() as u32).to_le_bytes());
+        payload.extend(first);
+        for m in &tail {
+            let bytes = encode_payload(m);
+            payload.extend((bytes.len() as u32).to_le_bytes());
+            payload.extend(bytes);
+        }
+        prop_assert_eq!(decode_payload(&payload), Err(CodecError::NestedBatch));
+    }
+
+    #[test]
+    fn oversize_batch_counts_are_rejected(count in (MAX_BATCH + 1)..=u32::MAX) {
+        let mut payload = vec![10u8];
+        payload.extend(count.to_le_bytes());
+        prop_assert_eq!(
+            decode_payload(&payload),
+            Err(CodecError::Oversize(count as usize))
+        );
+    }
+
+    #[test]
+    fn oversize_inner_frames_are_rejected(len in (MAX_FRAME as u32 + 1)..=u32::MAX) {
+        // A coalesced inner frame claiming more than MAX_FRAME bytes is
+        // rejected from its header alone — no allocation, no read-ahead.
+        let mut payload = vec![10u8];
+        payload.extend(1u32.to_le_bytes());
+        payload.extend(len.to_le_bytes());
+        prop_assert_eq!(
+            decode_payload(&payload),
+            Err(CodecError::Oversize(len as usize))
+        );
+    }
 }
 
 proptest! {

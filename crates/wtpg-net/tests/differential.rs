@@ -31,9 +31,12 @@ fn single_stream_chain_runs_are_tick_identical() {
         &NetConfig {
             clients: 1,
             chunk_units: 1000,
+            // Strict one-at-a-time submission: the identity below only
+            // holds when the client never races its own transactions.
+            pipeline: 1,
             ..NetConfig::default()
         },
-        sched_by_name("chain", 2, 2000).expect("known scheduler"),
+        &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
         &catalog,
         &specs,
         &InProc,
@@ -75,7 +78,7 @@ fn concurrent_runs_agree_on_every_interleaving_free_quantity() {
         .expect("engine run");
         let net = run_cell(
             &NetConfig::default(),
-            sched_by_name(sched, 2, 2000).expect("known scheduler"),
+            &|| sched_by_name(sched, 2, 2000).expect("known scheduler"),
             &catalog,
             &specs,
             &InProc,

@@ -24,6 +24,12 @@ fn main() {
     let sha = git(&["rev-parse", "HEAD"]).unwrap_or_else(|| "unknown".to_string());
     println!("cargo:rustc-env=WTPG_GIT_DESCRIBE={describe}");
     println!("cargo:rustc-env=WTPG_GIT_SHA={sha}");
-    // Re-stamp when HEAD moves; harmless if the path does not exist.
+    // Re-stamp when HEAD moves. HEAD itself only changes on checkout; a
+    // commit moves the branch ref it points at, so track that file too.
     println!("cargo:rerun-if-changed=../../.git/HEAD");
+    if let Ok(head) = std::fs::read_to_string("../../.git/HEAD") {
+        if let Some(r) = head.trim().strip_prefix("ref: ") {
+            println!("cargo:rerun-if-changed=../../.git/{r}");
+        }
+    }
 }

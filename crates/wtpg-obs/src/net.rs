@@ -35,11 +35,15 @@ pub struct MsgCounts {
     pub stats_delta: u64,
     /// `Shutdown` — orderly teardown.
     pub shutdown: u64,
+    /// `Batch` — a vectored frame coalescing several messages for one peer.
+    /// Counts as one wire message; its inner messages are tallied under
+    /// their own types only by the *receiving* actor's processed counts.
+    pub batch: u64,
 }
 
 impl MsgCounts {
     /// The counters as `(name, value)` pairs, in wire-tag order.
-    pub fn fields(&self) -> [(&'static str, u64); 10] {
+    pub fn fields(&self) -> [(&'static str, u64); 11] {
         [
             ("submit", self.submit),
             ("grant", self.grant),
@@ -51,6 +55,7 @@ impl MsgCounts {
             ("abort", self.abort),
             ("stats_delta", self.stats_delta),
             ("shutdown", self.shutdown),
+            ("batch", self.batch),
         ]
     }
 
@@ -71,6 +76,7 @@ impl MsgCounts {
         self.abort += other.abort;
         self.stats_delta += other.stats_delta;
         self.shutdown += other.shutdown;
+        self.batch += other.batch;
     }
 }
 
@@ -125,6 +131,9 @@ pub struct NetStats {
     pub access_retries: u64,
     /// Messages discarded by a crashed data node.
     pub crash_drops: u64,
+    /// Messages that travelled *inside* sent `Batch` frames (each batch of
+    /// n messages adds n here but only 1 to `sent.batch`).
+    pub batched_inner: u64,
 }
 
 impl NetStats {
@@ -137,6 +146,7 @@ impl NetStats {
         self.delayed_deliveries += other.delayed_deliveries;
         self.access_retries += other.access_retries;
         self.crash_drops += other.crash_drops;
+        self.batched_inner += other.batched_inner;
     }
 
     /// Emits one cumulative counter event per nonzero statistic, stamped
@@ -163,6 +173,7 @@ impl NetStats {
             ("net_delayed_deliveries", self.delayed_deliveries),
             ("net_access_retries", self.access_retries),
             ("net_crash_drops", self.crash_drops),
+            ("net_batched_inner", self.batched_inner),
         ] {
             if v != 0 {
                 obs.record(ObsEvent::counter(at, track, name, v));
@@ -250,6 +261,7 @@ mod tests {
             delayed_deliveries: 2,
             access_retries: 3,
             crash_drops: 4,
+            batched_inner: 5,
             ..NetStats::default()
         };
         a.merge(&a.clone());
@@ -257,5 +269,30 @@ mod tests {
         assert_eq!(a.delayed_deliveries, 4);
         assert_eq!(a.access_retries, 6);
         assert_eq!(a.crash_drops, 8);
+        assert_eq!(a.batched_inner, 10);
+    }
+
+    #[test]
+    fn batch_counts_merge_and_emit() {
+        let mut a = MsgCounts {
+            batch: 2,
+            ..MsgCounts::default()
+        };
+        a.merge(&MsgCounts {
+            batch: 3,
+            ..MsgCounts::default()
+        });
+        assert_eq!(a.batch, 5);
+        assert_eq!(a.total(), 5);
+        let sink = MemorySink::new();
+        let stats = NetStats {
+            sent: a,
+            batched_inner: 9,
+            ..NetStats::default()
+        };
+        stats.emit(&sink, 1, 0);
+        let evs = sink.take();
+        assert!(evs.contains(&ObsEvent::counter(1, 0, "net_tx_batch", 5)));
+        assert!(evs.contains(&ObsEvent::counter(1, 0, "net_batched_inner", 9)));
     }
 }

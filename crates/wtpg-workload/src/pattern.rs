@@ -29,6 +29,20 @@ pub enum Pattern {
         /// Number of hot partitions (8 in the paper).
         num_hots: u32,
     },
+    /// Sharding ablation — Pattern 2's step shape (`r(B:5) → w(F1:1) →
+    /// w(F2:1)`) confined to one of `groups` disjoint partition clusters:
+    /// each group owns a private read partition and a private hot set, and
+    /// a transaction draws its group first, then both hots from *that
+    /// group*. The paper's patterns route everything through one shared
+    /// partition pool, so their conflict graphs collapse to a single
+    /// component; clustered groups are independent components by
+    /// construction, which is what a sharded control plane can exploit.
+    Clustered {
+        /// Number of independent groups (conflict components).
+        groups: u32,
+        /// Hot partitions per group (≥ 2, a pair is drawn within-group).
+        hots_per_group: u32,
+    },
 }
 
 impl Pattern {
@@ -43,6 +57,19 @@ impl Pattern {
                 sizes.extend(vec![Work::from_objects(1); num_hots as usize]);
                 Catalog::new(sizes, 8)
             }
+            Pattern::Clustered {
+                groups,
+                hots_per_group,
+            } => {
+                // Group g owns partition g*(1+hots) (its read partition,
+                // size 5) followed by its `hots_per_group` size-1 hots.
+                let mut sizes = Vec::new();
+                for _ in 0..groups {
+                    sizes.push(Work::from_objects(5));
+                    sizes.extend(vec![Work::from_objects(1); hots_per_group as usize]);
+                }
+                Catalog::new(sizes, 8)
+            }
         }
     }
 
@@ -52,6 +79,10 @@ impl Pattern {
             Pattern::One => "Pattern1".into(),
             Pattern::Two { num_hots } => format!("Pattern2(hots={num_hots})"),
             Pattern::Three { num_hots } => format!("Pattern3(hots={num_hots})"),
+            Pattern::Clustered {
+                groups,
+                hots_per_group,
+            } => format!("Clustered(g={groups},hots={hots_per_group})"),
         }
     }
 
@@ -83,6 +114,20 @@ impl Pattern {
                     StepSpec::read(b, 4.0),
                     StepSpec::write(f1, 1.0),
                     StepSpec::write(f2, 2.0),
+                ]
+            }
+            Pattern::Clustered {
+                groups,
+                hots_per_group,
+            } => {
+                assert!(groups >= 1, "need at least one group");
+                let g = rng.gen_range(0..groups);
+                let base = g * (1 + hots_per_group);
+                let (f1, f2) = distinct_pair(rng, base + 1, hots_per_group);
+                vec![
+                    StepSpec::read(base, 5.0),
+                    StepSpec::write(f1, 1.0),
+                    StepSpec::write(f2, 1.0),
                 ]
             }
         };
@@ -203,6 +248,38 @@ mod tests {
         assert_eq!(promoted[0].mode, AccessMode::Write); // read of written P0
         assert_eq!(promoted[1].mode, AccessMode::Read); // P1 never written
         assert_eq!(promoted[0].cost, Work::from_objects(1)); // cost untouched
+    }
+
+    #[test]
+    fn clustered_draws_stay_inside_one_group() {
+        let p = Pattern::Clustered {
+            groups: 4,
+            hots_per_group: 4,
+        };
+        let c = p.catalog();
+        assert_eq!(c.num_parts(), 4 * 5);
+        assert_eq!(c.num_nodes(), 8);
+        assert_eq!(c.size(PartitionId(0)), Work::from_objects(5));
+        assert_eq!(c.size(PartitionId(1)), Work::from_objects(1));
+        assert_eq!(c.size(PartitionId(5)), Work::from_objects(5));
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut groups_seen = std::collections::HashSet::new();
+        for _ in 0..300 {
+            let steps = p.draw(&mut rng);
+            assert_eq!(steps.len(), 3);
+            let g = steps[0].partition.0 / 5;
+            groups_seen.insert(g);
+            assert_eq!(steps[0].partition.0 % 5, 0, "read partition leads its group");
+            assert_eq!(steps[0].mode, AccessMode::Read);
+            for s in &steps[1..] {
+                assert_eq!(s.partition.0 / 5, g, "hots come from the same group");
+                assert_ne!(s.partition.0 % 5, 0);
+                assert_eq!(s.mode, AccessMode::Write);
+            }
+            assert_ne!(steps[1].partition, steps[2].partition);
+        }
+        assert_eq!(groups_seen.len(), 4, "uniform group choice hits all groups");
+        assert_eq!(p.label(), "Clustered(g=4,hots=4)");
     }
 
     #[test]
