@@ -1,0 +1,101 @@
+//! An approximate intra-crate call graph over the outline.
+//!
+//! Resolution is by simple name: a call site `drive(…)`, `self.drive(…)`
+//! or `Path::drive(…)` is wired to *every* function named `drive` in the
+//! same crate. That over-approximates (two unrelated `new`s get merged)
+//! but never misses an intra-crate edge for the three resolvable call
+//! forms, which is the right bias for taint propagation and lock-order
+//! checking. General method calls (`x.drive(…)`) are deliberately *not*
+//! edges — see [`crate::outline::calls_in`].
+
+use std::collections::BTreeMap;
+
+use crate::lex::Tok;
+use crate::outline::{calls_in, Outline};
+
+/// One function node of the crate-wide graph.
+pub struct FnNode {
+    /// Index of the owning file in the crate's file list.
+    pub file: usize,
+    /// Index of the fn in that file's outline.
+    pub fn_idx: usize,
+    /// Qualified name (`Type::name` or `name`).
+    pub qual: String,
+    /// Callees, as indices into [`CallGraph::nodes`].
+    pub callees: Vec<usize>,
+}
+
+/// The per-crate call graph.
+pub struct CallGraph {
+    /// All functions of the crate, in (file, fn) order.
+    pub nodes: Vec<FnNode>,
+    /// Simple name → node indices bearing that name.
+    pub by_name: BTreeMap<String, Vec<usize>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for one crate's files (`(tokens, outline)` pairs,
+    /// in the crate's file order).
+    pub fn build(files: &[(&[Tok], &Outline)]) -> CallGraph {
+        let mut nodes = Vec::new();
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (fi, (_, outline)) in files.iter().enumerate() {
+            for (gi, f) in outline.fns.iter().enumerate() {
+                by_name.entry(f.name.clone()).or_default().push(nodes.len());
+                nodes.push(FnNode {
+                    file: fi,
+                    fn_idx: gi,
+                    qual: f.qual.clone(),
+                    callees: Vec::new(),
+                });
+            }
+        }
+        let mut idx_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+        for (ni, n) in nodes.iter().enumerate() {
+            idx_of.insert((n.file, n.fn_idx), ni);
+        }
+        for (fi, (toks, outline)) in files.iter().enumerate() {
+            for (gi, f) in outline.fns.iter().enumerate() {
+                let Some(&ni) = idx_of.get(&(fi, gi)) else {
+                    continue;
+                };
+                let mut callees = Vec::new();
+                for call in calls_in(toks, f.body) {
+                    if let Some(targets) = by_name.get(&call.name) {
+                        for &t in targets {
+                            if t != ni && !callees.contains(&t) {
+                                callees.push(t);
+                            }
+                        }
+                    }
+                }
+                nodes[ni].callees = callees;
+            }
+        }
+        CallGraph { nodes, by_name }
+    }
+
+    /// Every node reachable from `start` (excluding `start` itself unless
+    /// it sits on a cycle).
+    pub fn reachable(&self, start: usize) -> Vec<usize> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = self.nodes[start].callees.clone();
+        let mut out = Vec::new();
+        while let Some(n) = stack.pop() {
+            if seen[n] {
+                continue;
+            }
+            seen[n] = true;
+            out.push(n);
+            stack.extend(self.nodes[n].callees.iter().copied());
+        }
+        out
+    }
+
+    /// Node index of the fn at (file, fn_idx), if present.
+    pub fn node_at(&self, file: usize, fn_idx: usize) -> Option<usize> {
+        self.nodes
+            .iter()
+            .position(|n| n.file == file && n.fn_idx == fn_idx)
+    }
+}

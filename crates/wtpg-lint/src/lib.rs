@@ -1,28 +1,46 @@
 //! Repo-specific static analysis for the WTPG workspace.
 //!
-//! Three rules, each scoped to the crates where its guarantee is load-bearing
-//! (see DESIGN.md §10):
+//! v2 is built around a dependency-free token stream ([`lex`]) and item
+//! outline ([`outline`]) — functions, enums, consts, match arms and call
+//! sites, no full AST — feeding an approximate intra-crate call graph
+//! ([`callgraph`]). On top of that sit three per-line rules and four
+//! workspace passes:
+//!
+//! Per-line rules (scoped per crate by [`rules_for`], see DESIGN.md §10/§15):
 //!
 //! - `determinism` — no `HashMap`/`HashSet` (iteration order is
-//!   platform-dependent), no `SystemTime`/`Instant` (wall-clock reads), no
-//!   ambient `thread_rng` in `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
-//!   `wtpg-graph`, `wtpg-obs` (minus `wall.rs`, the engine-only clock), and
-//!   `wtpg-net`'s protocol layer (codec, message types, fault plans,
-//!   reports — the wire format and fault schedules replay by seed).
-//!   Every experiment depends on bit-identical trajectories, and traces of
-//!   deterministic runs must themselves be byte-deterministic.
-//!   `wtpg-rt` is *exempt*: a real-time engine reads wall clocks and lets
-//!   thread interleavings vary by design — its determinism story is replay
-//!   certification of the recorded history, not bit-identical trajectories.
-//!   `wtpg-net`'s actor loops and TCP transport are exempt the same way.
+//!   platform-dependent), no `SystemTime`/`std::time::Instant`
+//!   (wall-clock reads), no ambient `thread_rng`. Applied to `wtpg-core`,
+//!   `wtpg-sim`, `wtpg-workload`, `wtpg-graph`, `wtpg-lint`, `wtpg-obs`
+//!   (minus `wall.rs`, the engine-only clock) and `wtpg-net`'s protocol
+//!   layer. An `Instant` token qualified by a non-`time` path — such as the
+//!   observer's `EventKind::Instant` trace phase — is recognized as not
+//!   being the clock type and does not fire.
 //! - `panic-safety` — no `unwrap()`, undocumented `expect()`, panic-family
-//!   macros, or possibly-panicking slice indexing in the scheduler hot path
-//!   (`wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`) or anywhere in
-//!   `wtpg-rt/src` (a worker panic while holding the control mutex poisons
-//!   the whole engine). The accepted documented form is
-//!   `expect("invariant: ...")`.
-//! - `api-docs` — every `pub fn` in `wtpg-core/src` and `wtpg-rt/src`
-//!   carries a doc comment.
+//!   macros, or possibly-panicking slice indexing on the scheduler hot
+//!   path (`wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`) or anywhere
+//!   in `wtpg-rt`/`wtpg-obs`/`wtpg-net` (a worker panic while holding the
+//!   control mutex poisons the whole engine). The accepted documented form
+//!   is `expect("invariant: ...")`.
+//! - `api-docs` — every `pub fn` carries a doc comment.
+//!
+//! Workspace passes (run by [`lint_workspace`], each with its own module):
+//!
+//! - [`locks`] — lock-order analysis against the checked-in
+//!   `lint-locks.toml` hierarchy (control mutex → submission queue → node
+//!   store), propagated through the call graph; undeclared `.lock()` sites
+//!   are findings (fail-closed).
+//! - [`protocol`] — `Msg` exhaustiveness, `Batch`-recursion guards and
+//!   dedup-before-side-effect checks for the `wtpg-net` actor loops.
+//! - [`taint`] — call-graph determinism taint replacing the old per-file
+//!   deny list: seeds (`SystemTime`, clock `Instant`, `thread_rng`,
+//!   hash-ordered collections) propagate along intra-crate calls, and a
+//!   determinism-protected function calling into a tainted exempt-file
+//!   function is a finding even though its own file is clean.
+//! - [`schema`] — wire-schema stability: `msg.rs`/`codec.rs` are parsed
+//!   and diffed against the checked-in `wire-schema.lock` (tags, field
+//!   order, `MAX_FRAME`/`MAX_STEPS`/`MAX_BATCH`); drift is a finding until
+//!   the lock is regenerated deliberately (`--write-schema-lock`).
 //!
 //! Findings are suppressed with an inline waiver comment carrying a reason:
 //!
@@ -33,18 +51,28 @@
 //! A waiver on its own line covers the *next* item: if that item opens a
 //! brace block (for example an `fn`), the waiver covers the whole block, so
 //! one waiver can cover an index-heavy function with a locally provable
-//! bound. Waivers that suppress nothing are themselves findings — stale
-//! waivers must not accumulate.
-//!
-//! The scanner is intentionally a line-oriented lexer, not a parser: it
-//! strips string literals and comments (tracking nested block comments and
-//! raw strings), skips `#[cfg(test)]` blocks, and pattern-matches tokens.
-//! That is exactly enough for these rules and keeps the tool dependency-free.
+//! bound. A waiver may scope itself to specific findings with a detail
+//! list — `lint:allow(protocol: Grant, Reject) reason` waives only those
+//! `Msg` variants. Waivers that suppress nothing are themselves findings —
+//! stale waivers must not accumulate. `schema` findings are deliberately
+//! not waivable: drift is fixed by regenerating the lock, never waived.
 
+pub mod callgraph;
+pub mod lex;
+pub mod locks;
+pub mod outline;
+pub mod protocol;
+pub mod schema;
+pub mod taint;
+
+use std::collections::BTreeMap;
 use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+use lex::{LineInfo, Tok};
+use outline::Outline;
 
 /// The rule a finding belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -55,6 +83,13 @@ pub enum Rule {
     PanicSafety,
     /// Every `pub fn` documented.
     ApiDocs,
+    /// Lock acquisitions out of the declared `lint-locks.toml` order.
+    LockOrder,
+    /// Actor-loop protocol checks: `Msg` exhaustiveness, `Batch` recursion
+    /// guards, dedup-before-side-effect for redeliverable messages.
+    Protocol,
+    /// Wire-schema drift against `wire-schema.lock`. Not waivable.
+    Schema,
     /// Problems with the waiver mechanism itself (unknown rule, missing
     /// reason, waiver that suppresses nothing).
     Waiver,
@@ -67,16 +102,22 @@ impl Rule {
             Rule::Determinism => "determinism",
             Rule::PanicSafety => "panic-safety",
             Rule::ApiDocs => "api-docs",
+            Rule::LockOrder => "lock-order",
+            Rule::Protocol => "protocol",
+            Rule::Schema => "schema",
             Rule::Waiver => "waiver",
         }
     }
 
-    /// Parses a waiver rule name. `waiver` itself is not waivable.
+    /// Parses a waiver rule name. `waiver` itself is not waivable, and
+    /// neither is `schema` (drift is fixed by regenerating the lock).
     pub fn parse(name: &str) -> Option<Rule> {
         match name {
             "determinism" => Some(Rule::Determinism),
             "panic-safety" => Some(Rule::PanicSafety),
             "api-docs" => Some(Rule::ApiDocs),
+            "lock-order" => Some(Rule::LockOrder),
+            "protocol" => Some(Rule::Protocol),
             _ => None,
         }
     }
@@ -108,7 +149,49 @@ impl fmt::Display for Finding {
     }
 }
 
-/// Which rules to apply to a file.
+/// Renders findings as a machine-readable JSON array for CI artifacts
+/// (`wtpg-lint --format json`). Dependency-free: the four fields are
+/// escaped by hand.
+pub fn findings_to_json(findings: &[Finding]) -> String {
+    let mut s = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        s.push_str("\n  {\"file\":\"");
+        s.push_str(&json_escape(&f.file.to_string_lossy().replace('\\', "/")));
+        s.push_str("\",\"line\":");
+        s.push_str(&f.line.to_string());
+        s.push_str(",\"rule\":\"");
+        s.push_str(f.rule.name());
+        s.push_str("\",\"message\":\"");
+        s.push_str(&json_escape(&f.message));
+        s.push_str("\"}");
+    }
+    if !findings.is_empty() {
+        s.push('\n');
+    }
+    s.push(']');
+    s
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Which per-line rules to apply to a file.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct RuleSet {
     /// Apply the `determinism` rule.
@@ -126,234 +209,15 @@ impl RuleSet {
         panic_safety: true,
         api_docs: true,
     };
-
-    fn enabled(self, rule: Rule) -> bool {
-        match rule {
-            Rule::Determinism => self.determinism,
-            Rule::PanicSafety => self.panic_safety,
-            Rule::ApiDocs => self.api_docs,
-            Rule::Waiver => true,
-        }
-    }
-
-    fn any(self) -> bool {
-        self.determinism || self.panic_safety || self.api_docs
-    }
-}
-
-/// One source line after lexing: executable code with strings/comments
-/// removed, the comment text (for waiver parsing), and the raw line.
-#[derive(Debug)]
-struct LineInfo {
-    code: String,
-    comment: String,
-    raw: String,
-    in_test: bool,
-}
-
-/// Lexer state carried across lines.
-enum LexState {
-    Normal,
-    BlockComment { depth: usize },
-    RawString { hashes: usize },
-}
-
-/// Strips string literals and comments, producing per-line code/comment
-/// views. Block comments may nest (Rust allows it); raw strings may span
-/// lines. Char literals and lifetimes are disambiguated heuristically.
-fn lex(source: &str) -> Vec<LineInfo> {
-    let mut out = Vec::new();
-    let mut state = LexState::Normal;
-    for raw in source.lines() {
-        let mut code = String::new();
-        let mut comment = String::new();
-        let chars: Vec<char> = raw.chars().collect();
-        let mut i = 0;
-        while i < chars.len() {
-            match state {
-                LexState::BlockComment { ref mut depth } => {
-                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
-                        *depth -= 1;
-                        i += 2;
-                        if *depth == 0 {
-                            state = LexState::Normal;
-                        }
-                    } else if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
-                        *depth += 1;
-                        i += 2;
-                    } else {
-                        comment.push(chars[i]);
-                        i += 1;
-                    }
-                }
-                LexState::RawString { hashes } => {
-                    if chars[i] == '"' {
-                        let mut ok = true;
-                        for k in 0..hashes {
-                            if chars.get(i + 1 + k) != Some(&'#') {
-                                ok = false;
-                                break;
-                            }
-                        }
-                        if ok {
-                            code.push('"');
-                            i += 1 + hashes;
-                            state = LexState::Normal;
-                            continue;
-                        }
-                    }
-                    i += 1;
-                }
-                LexState::Normal => {
-                    let c = chars[i];
-                    if c == '/' && chars.get(i + 1) == Some(&'/') {
-                        comment.push_str(&raw[byte_offset(raw, i)..]);
-                        break;
-                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
-                        state = LexState::BlockComment { depth: 1 };
-                        i += 2;
-                    } else if c == 'r' && !prev_is_ident(&chars, i) {
-                        if let Some(hashes) = raw_string_hashes(&chars, i + 1) {
-                            code.push('"');
-                            i += 2 + hashes;
-                            state = LexState::RawString { hashes };
-                        } else {
-                            code.push(c);
-                            i += 1;
-                        }
-                    } else if c == '"' {
-                        // Ordinary string literal: skip to the closing quote,
-                        // honouring escapes. Unterminated ⇒ rest of line.
-                        code.push('"');
-                        i += 1;
-                        while i < chars.len() {
-                            if chars[i] == '\\' {
-                                i += 2;
-                            } else if chars[i] == '"' {
-                                code.push('"');
-                                i += 1;
-                                break;
-                            } else {
-                                i += 1;
-                            }
-                        }
-                    } else if c == '\'' {
-                        // Char literal vs lifetime: a char literal closes
-                        // with ' after one (possibly escaped) character.
-                        if chars.get(i + 1) == Some(&'\\') {
-                            // Escaped char literal: skip to closing quote.
-                            i += 2;
-                            while i < chars.len() && chars[i] != '\'' {
-                                i += 1;
-                            }
-                            i += 1;
-                            code.push_str("' '");
-                        } else if chars.get(i + 2) == Some(&'\'') {
-                            code.push_str("' '");
-                            i += 3;
-                        } else {
-                            // Lifetime: keep the tick, it is inert.
-                            code.push('\'');
-                            i += 1;
-                        }
-                    } else {
-                        code.push(c);
-                        i += 1;
-                    }
-                }
-            }
-        }
-        out.push(LineInfo {
-            code,
-            comment,
-            raw: raw.to_string(),
-            in_test: false,
-        });
-    }
-    out
-}
-
-fn byte_offset(s: &str, char_idx: usize) -> usize {
-    s.char_indices()
-        .nth(char_idx)
-        .map(|(b, _)| b)
-        .unwrap_or(s.len())
-}
-
-fn prev_is_ident(chars: &[char], i: usize) -> bool {
-    i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_')
-}
-
-/// If `chars[from..]` begins `#*"` (a raw-string opener after `r`), returns
-/// the hash count.
-fn raw_string_hashes(chars: &[char], from: usize) -> Option<usize> {
-    let mut hashes = 0;
-    let mut i = from;
-    while chars.get(i) == Some(&'#') {
-        hashes += 1;
-        i += 1;
-    }
-    if chars.get(i) == Some(&'"') {
-        Some(hashes)
-    } else {
-        None
-    }
-}
-
-/// Marks lines inside `#[cfg(test)]` items: from the attribute through the
-/// matching close brace (or trailing `;` for brace-less items).
-fn mark_test_regions(lines: &mut [LineInfo]) {
-    let mut depth: i64 = 0;
-    let mut test_until_depth: Option<i64> = None;
-    let mut pending = false;
-    for line in lines.iter_mut() {
-        let mut this_in_test = test_until_depth.is_some();
-        if line.code.contains("#[cfg(test)]") && test_until_depth.is_none() {
-            pending = true;
-        }
-        if pending {
-            this_in_test = true;
-        }
-        let mut end_after = false;
-        let mut pending_done_by_semi = false;
-        for c in line.code.chars() {
-            match c {
-                '{' => {
-                    depth += 1;
-                    if pending && test_until_depth.is_none() {
-                        test_until_depth = Some(depth - 1);
-                        pending = false;
-                    }
-                }
-                '}' => {
-                    depth -= 1;
-                    if let Some(d) = test_until_depth {
-                        if depth <= d {
-                            end_after = true;
-                        }
-                    }
-                }
-                // `#[cfg(test)] use ...;` — brace-less item ends here.
-                ';' if pending && test_until_depth.is_none() => {
-                    pending_done_by_semi = true;
-                }
-                _ => {}
-            }
-        }
-        line.in_test = this_in_test;
-        if end_after {
-            test_until_depth = None;
-        }
-        if pending_done_by_semi {
-            pending = false;
-        }
-    }
 }
 
 /// A parsed `lint:allow(...)` waiver.
 struct Waiver {
     line: usize,
     rule: Option<Rule>,
+    /// Optional finding keys (`lint:allow(protocol: Grant, Reject)`): when
+    /// non-empty, the waiver only suppresses findings with a matching key.
+    details: Vec<String>,
     reason: String,
     /// Line range (inclusive) this waiver covers.
     covers: (usize, usize),
@@ -366,6 +230,12 @@ fn parse_waivers(lines: &[LineInfo]) -> (Vec<Waiver>, Vec<(usize, String)>) {
     let mut waivers = Vec::new();
     let mut errors = Vec::new();
     for (i, line) in lines.iter().enumerate() {
+        // Doc comments are documentation, not directives: a rustdoc line
+        // quoting the waiver syntax must not register as a waiver.
+        let c = line.comment.trim_start();
+        if c.starts_with("///") || c.starts_with("//!") {
+            continue;
+        }
         let Some(tag) = line.comment.find(WAIVER_TAG) else {
             continue;
         };
@@ -374,7 +244,17 @@ fn parse_waivers(lines: &[LineInfo]) -> (Vec<Waiver>, Vec<(usize, String)>) {
             errors.push((i, "malformed waiver: missing ')'".to_string()));
             continue;
         };
-        let rule_name = rest[..close].trim();
+        let inner = rest[..close].trim();
+        let (rule_name, details): (&str, Vec<String>) = match inner.split_once(':') {
+            Some((r, d)) => (
+                r.trim(),
+                d.split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect(),
+            ),
+            None => (inner, Vec::new()),
+        };
         let reason = rest[close + 1..].trim().to_string();
         let rule = Rule::parse(rule_name);
         if rule.is_none() {
@@ -391,6 +271,7 @@ fn parse_waivers(lines: &[LineInfo]) -> (Vec<Waiver>, Vec<(usize, String)>) {
         waivers.push(Waiver {
             line: i,
             rule,
+            details,
             reason,
             covers,
             used: false,
@@ -438,31 +319,114 @@ fn standalone_coverage(lines: &[LineInfo], waiver_line: usize) -> (usize, usize)
     (start, lines.len().saturating_sub(1))
 }
 
-/// Tokens banned by the determinism rule. Word-boundary matched.
-const DETERMINISM_TOKENS: &[&str] = &["HashMap", "HashSet", "SystemTime", "Instant", "thread_rng"];
+/// One fully lexed + outlined source file, with its waivers. Every pass
+/// emits findings through [`SourceFile::emit`] so waivers apply uniformly,
+/// and records the rules it ran with [`SourceFile::mark_ran`] so unused
+/// waivers are only reported for rules that actually ran here.
+pub struct SourceFile {
+    /// Path findings are reported against.
+    pub path: PathBuf,
+    /// Lexed lines (code/comment split, `#[cfg(test)]` regions marked).
+    pub lines: Vec<LineInfo>,
+    /// Token stream of the non-test code.
+    pub tokens: Vec<Tok>,
+    /// Item outline parsed from the tokens.
+    pub outline: Outline,
+    waivers: Vec<Waiver>,
+    waiver_errors: Vec<(usize, String)>,
+    ran: Vec<Rule>,
+}
+
+impl SourceFile {
+    /// Lexes, outlines and waiver-parses `source`.
+    pub fn parse(path: &Path, source: &str) -> SourceFile {
+        let mut lines = lex::lex(source);
+        lex::mark_test_regions(&mut lines);
+        let tokens = lex::tokenize(&lines);
+        let outline = Outline::parse(&tokens);
+        let (waivers, waiver_errors) = parse_waivers(&lines);
+        SourceFile {
+            path: path.to_path_buf(),
+            lines,
+            tokens,
+            outline,
+            waivers,
+            waiver_errors,
+            ran: Vec::new(),
+        }
+    }
+
+    /// Reads and parses one file from disk.
+    pub fn read(path: &Path) -> io::Result<SourceFile> {
+        let source = fs::read_to_string(path)?;
+        Ok(SourceFile::parse(path, &source))
+    }
+
+    /// Records that `rule` ran on this file (so its unused waivers are
+    /// reported by [`SourceFile::finish`]).
+    pub fn mark_ran(&mut self, rule: Rule) {
+        if !self.ran.contains(&rule) {
+            self.ran.push(rule);
+        }
+    }
+
+    /// Emits one finding at 0-based `line0` unless a waiver covers it. A
+    /// waiver matches when its rule matches, `line0` is in its coverage,
+    /// and its detail list is empty or contains `key` (the pass-specific
+    /// finding key: the banned token, lock class, or `Msg` variant).
+    pub fn emit(&mut self, out: &mut Vec<Finding>, line0: usize, rule: Rule, key: &str, message: String) {
+        for w in self.waivers.iter_mut() {
+            if w.rule == Some(rule)
+                && line0 >= w.covers.0
+                && line0 <= w.covers.1
+                && (w.details.is_empty() || w.details.iter().any(|d| d == key))
+            {
+                w.used = true;
+                return;
+            }
+        }
+        out.push(Finding {
+            file: self.path.clone(),
+            line: line0 + 1,
+            rule,
+            message,
+        });
+    }
+
+    /// Reports waiver-mechanism findings: malformed waivers, and waivers
+    /// for a rule that ran here but suppressed nothing. Call once, after
+    /// every pass has run.
+    pub fn finish(&mut self, out: &mut Vec<Finding>) {
+        for (line, msg) in self.waiver_errors.drain(..) {
+            out.push(Finding {
+                file: self.path.clone(),
+                line: line + 1,
+                rule: Rule::Waiver,
+                message: msg,
+            });
+        }
+        for w in &self.waivers {
+            // A waiver for a rule that did not run on this file is not
+            // "unused" — only report waivers whose rule ran here and
+            // suppressed nothing.
+            let applicable = w.rule.is_some_and(|r| self.ran.contains(&r));
+            if applicable && !w.used && !w.reason.is_empty() {
+                out.push(Finding {
+                    file: self.path.clone(),
+                    line: w.line + 1,
+                    rule: Rule::Waiver,
+                    message: format!(
+                        "unused waiver for `{}` — nothing to suppress",
+                        w.rule.map(Rule::name).unwrap_or("?")
+                    ),
+                });
+            }
+        }
+    }
+}
 
 /// Panic-family macros banned by the panic-safety rule.
 const PANIC_MACROS: &[&str] = &["panic!(", "unreachable!(", "todo!(", "unimplemented!("];
-
-/// True if `hay` contains `token` delimited by non-identifier characters.
-fn contains_word(hay: &str, token: &str) -> bool {
-    let mut from = 0;
-    while let Some(pos) = hay[from..].find(token) {
-        let at = from + pos;
-        let before_ok = at == 0
-            || !hay[..at]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let after = hay[at + token.len()..].chars().next();
-        let after_ok = !after.is_some_and(|c| c.is_alphanumeric() || c == '_');
-        if before_ok && after_ok {
-            return true;
-        }
-        from = at + token.len();
-    }
-    false
-}
 
 /// True if `code` contains `ident[` — a possibly-panicking index expression.
 /// Array/slice *types* and attributes are not preceded by an identifier
@@ -518,131 +482,102 @@ fn has_doc_above(lines: &[LineInfo], at: usize) -> bool {
     false
 }
 
-/// Lints `source`, reporting findings against `path`. Test code
-/// (`#[cfg(test)]` regions) is exempt from every rule.
-pub fn lint_source(path: &Path, source: &str, rules: RuleSet) -> Vec<Finding> {
-    let mut lines = lex(source);
-    mark_test_regions(&mut lines);
-    let (mut waivers, waiver_errors) = parse_waivers(&lines);
-    let mut findings = Vec::new();
-
-    let emit = |findings: &mut Vec<Finding>,
-                    waivers: &mut Vec<Waiver>,
-                    line: usize,
-                    rule: Rule,
-                    message: String| {
-        for w in waivers.iter_mut() {
-            if w.rule == Some(rule) && line >= w.covers.0 && line <= w.covers.1 {
-                w.used = true;
-                return;
+/// Runs the three per-line rules on one parsed file. The determinism rule
+/// is token-based (shared with the taint pass's seed classifier), so a
+/// qualified non-clock `Instant` — `EventKind::Instant` — does not fire.
+fn run_line_rules(sf: &mut SourceFile, rules: RuleSet, out: &mut Vec<Finding>) {
+    let mut seeds: BTreeMap<usize, Vec<String>> = BTreeMap::new();
+    if rules.determinism {
+        sf.mark_ran(Rule::Determinism);
+        for (line, tok) in taint::direct_seeds(&sf.tokens, &sf.outline) {
+            let v = seeds.entry(line).or_default();
+            if !v.contains(&tok) {
+                v.push(tok);
             }
         }
-        findings.push(Finding {
-            file: path.to_path_buf(),
-            line: line + 1,
-            rule,
-            message,
-        });
-    };
-
-    for (i, line) in lines.iter().enumerate() {
+    }
+    if rules.panic_safety {
+        sf.mark_ran(Rule::PanicSafety);
+    }
+    if rules.api_docs {
+        sf.mark_ran(Rule::ApiDocs);
+    }
+    let mut cands: Vec<(usize, Rule, String, String)> = Vec::new();
+    for (i, line) in sf.lines.iter().enumerate() {
         if line.in_test {
             continue;
         }
-        if rules.determinism {
-            for token in DETERMINISM_TOKENS {
-                if contains_word(&line.code, token) {
-                    emit(
-                        &mut findings,
-                        &mut waivers,
-                        i,
-                        Rule::Determinism,
-                        format!("nondeterministic construct `{token}`"),
-                    );
-                }
+        if let Some(toks) = seeds.get(&i) {
+            for t in toks {
+                cands.push((
+                    i,
+                    Rule::Determinism,
+                    t.clone(),
+                    format!("nondeterministic construct `{t}`"),
+                ));
             }
         }
         if rules.panic_safety {
             if line.code.contains(".unwrap()") {
-                emit(
-                    &mut findings,
-                    &mut waivers,
+                cands.push((
                     i,
                     Rule::PanicSafety,
+                    String::new(),
                     "call to unwrap() on the hot path".to_string(),
-                );
+                ));
             }
             if line.code.contains(".expect(") && !line.raw.contains(".expect(\"invariant:") {
-                emit(
-                    &mut findings,
-                    &mut waivers,
+                cands.push((
                     i,
                     Rule::PanicSafety,
+                    String::new(),
                     "expect() without an `invariant:` justification".to_string(),
-                );
+                ));
             }
             for mac in PANIC_MACROS {
                 if line.code.contains(mac) {
-                    emit(
-                        &mut findings,
-                        &mut waivers,
+                    cands.push((
                         i,
                         Rule::PanicSafety,
+                        String::new(),
                         format!("panic-family macro `{}...`", mac),
-                    );
+                    ));
                 }
             }
             if has_index_expr(&line.code) {
-                emit(
-                    &mut findings,
-                    &mut waivers,
+                cands.push((
                     i,
                     Rule::PanicSafety,
+                    String::new(),
                     "possibly-panicking slice index".to_string(),
-                );
+                ));
             }
         }
-        if rules.api_docs && is_pub_fn(&line.code) && !has_doc_above(&lines, i) {
-            emit(
-                &mut findings,
-                &mut waivers,
+        if rules.api_docs && is_pub_fn(&line.code) && !has_doc_above(&sf.lines, i) {
+            cands.push((
                 i,
                 Rule::ApiDocs,
+                String::new(),
                 "pub fn without a doc comment".to_string(),
-            );
+            ));
         }
     }
+    for (line, rule, key, msg) in cands {
+        sf.emit(out, line, rule, &key, msg);
+    }
+}
 
-    for (line, msg) in waiver_errors {
-        findings.push(Finding {
-            file: path.to_path_buf(),
-            line: line + 1,
-            rule: Rule::Waiver,
-            message: msg,
-        });
-    }
-    if rules.any() {
-        for w in &waivers {
-            // A waiver for a rule not applied to this file is not "unused" —
-            // only report waivers whose rule ran here and suppressed nothing.
-            let applicable = w.rule.is_some_and(|r| rules.enabled(r));
-            if applicable && !w.used && !w.reason.is_empty() {
-                findings.push(Finding {
-                    file: path.to_path_buf(),
-                    line: w.line + 1,
-                    rule: Rule::Waiver,
-                    message: format!(
-                        "unused waiver for `{}` — nothing to suppress",
-                        w.rule.map(Rule::name).unwrap_or("?")
-                    ),
-                });
-            }
-        }
-    }
+/// Lints `source` with the per-line rules, reporting findings against
+/// `path`. Test code (`#[cfg(test)]` regions) is exempt from every rule.
+pub fn lint_source(path: &Path, source: &str, rules: RuleSet) -> Vec<Finding> {
+    let mut sf = SourceFile::parse(path, source);
+    let mut findings = Vec::new();
+    run_line_rules(&mut sf, rules, &mut findings);
+    sf.finish(&mut findings);
     findings
 }
 
-/// Lints one file from disk.
+/// Lints one file from disk with the per-line rules.
 pub fn lint_file(path: &Path, rules: RuleSet) -> io::Result<Vec<Finding>> {
     let source = fs::read_to_string(path)?;
     Ok(lint_source(path, &source, rules))
@@ -669,10 +604,23 @@ pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// The workspace policy: which rules apply to which file.
+/// The crate a `crates/<name>/src/...` path belongs to, if any.
+fn crate_of(path_slash: &str) -> Option<&str> {
+    let i = path_slash.find("crates/")?;
+    let rest = &path_slash[i + "crates/".len()..];
+    let (name, tail) = rest.split_once('/')?;
+    tail.starts_with("src/").then_some(name)
+}
+
+/// The workspace policy: which per-line rules apply to which file.
+///
+/// Known crates carry an explicit policy; **unknown** crates under
+/// `crates/` get [`RuleSet::ALL`] (fail-closed — a new crate is fully
+/// linted until a policy is written for it, never silently skipped):
 ///
 /// - `determinism`: all of `wtpg-core`, `wtpg-sim`, `wtpg-workload`,
-///   `wtpg-graph` sources — but **not** `wtpg-rt`, whose wall clocks and
+///   `wtpg-graph` and `wtpg-lint` (the lint's own output must be
+///   platform-stable) — but **not** `wtpg-rt`, whose wall clocks and
 ///   free-running threads are the point (its runs are checked by replay
 ///   certification instead). `wtpg-obs` event/histogram/sink code is also
 ///   held to determinism (traces of deterministic runs must be
@@ -682,65 +630,191 @@ pub fn rust_files(dir: &Path) -> io::Result<Vec<PathBuf>> {
 ///   all of `wtpg-rt/src` (a panic on an engine thread poisons shared locks),
 ///   `wtpg-obs/src` (observers are called from those same threads) and
 ///   `wtpg-net/src` (a panicking actor deadlocks every peer waiting on it).
-/// - `api-docs`: all of `wtpg-core/src`, `wtpg-rt/src`, `wtpg-obs/src` and
-///   `wtpg-net/src`.
+/// - `api-docs`: all of `wtpg-core/src`, `wtpg-rt/src`, `wtpg-obs/src`,
+///   `wtpg-net/src` and `wtpg-lint/src`.
 /// - `wtpg-net` splits on determinism: the pure protocol layer (`msg.rs`,
 ///   `codec.rs`, `fault.rs` decisions, `report.rs`) must be deterministic —
 ///   the wire format and fault schedules are replayable by seed — while the
 ///   actor loops (`control.rs`, `client.rs`, `data.rs`, `runtime.rs`), the
 ///   flush-window coalescer (`batch.rs`) and the socket transport
 ///   (`tcp.rs`) run on wall clocks and OS threads by design, certified by
-///   replay like the engine.
+///   replay like the engine. The taint pass still reaches into the exempt
+///   files: a protocol-layer function calling a tainted actor-side helper
+///   is a finding.
+/// - `wtpg-bench` and `wtpg-cli` are measurement/driver tooling: they read
+///   wall clocks to time real runs and report through the CLI, so no
+///   per-line rule applies (their correctness is covered by tier-1 tests).
 pub fn rules_for(path: &Path) -> RuleSet {
     let s = path.to_string_lossy().replace('\\', "/");
-    let in_crate = |name: &str| s.contains(&format!("crates/{name}/src/"));
-    let net_wall_clock = [
-        "/tcp.rs",
-        "/control.rs",
-        "/client.rs",
-        "/data.rs",
-        "/runtime.rs",
-        "/batch.rs",
-    ]
-    .iter()
-    .any(|f| s.ends_with(f));
-    let determinism = ["wtpg-core", "wtpg-sim", "wtpg-workload", "wtpg-graph"]
-        .iter()
-        .any(|c| in_crate(c))
-        || (in_crate("wtpg-obs") && !s.ends_with("/wall.rs"))
-        || (in_crate("wtpg-net") && !net_wall_clock);
-    let api_docs = in_crate("wtpg-core")
-        || in_crate("wtpg-rt")
-        || in_crate("wtpg-obs")
-        || in_crate("wtpg-net");
-    let panic_safety = in_crate("wtpg-rt")
-        || in_crate("wtpg-obs")
-        || in_crate("wtpg-net")
-        || (in_crate("wtpg-core")
-            && (s.ends_with("/wtpg.rs") || s.ends_with("/estimate.rs") || s.contains("/sched/")));
-    RuleSet {
-        determinism,
-        panic_safety,
-        api_docs,
+    let Some(krate) = crate_of(&s) else {
+        return RuleSet::default();
+    };
+    match krate {
+        "wtpg-core" => RuleSet {
+            determinism: true,
+            panic_safety: s.ends_with("/wtpg.rs") || s.ends_with("/estimate.rs") || s.contains("/sched/"),
+            api_docs: true,
+        },
+        "wtpg-sim" | "wtpg-workload" | "wtpg-graph" => RuleSet {
+            determinism: true,
+            panic_safety: false,
+            api_docs: false,
+        },
+        "wtpg-rt" => RuleSet {
+            determinism: false,
+            panic_safety: true,
+            api_docs: true,
+        },
+        "wtpg-obs" => RuleSet {
+            determinism: !s.ends_with("/wall.rs"),
+            panic_safety: true,
+            api_docs: true,
+        },
+        "wtpg-net" => {
+            let wall_clock = [
+                "/tcp.rs",
+                "/control.rs",
+                "/client.rs",
+                "/data.rs",
+                "/runtime.rs",
+                "/batch.rs",
+            ]
+            .iter()
+            .any(|f| s.ends_with(f));
+            RuleSet {
+                determinism: !wall_clock,
+                panic_safety: true,
+                api_docs: true,
+            }
+        }
+        "wtpg-lint" => RuleSet {
+            determinism: true,
+            panic_safety: false,
+            api_docs: true,
+        },
+        "wtpg-bench" | "wtpg-cli" => RuleSet::default(),
+        // Fail closed: a crate without an explicit policy is fully linted.
+        _ => RuleSet::ALL,
     }
 }
 
-/// Lints the whole workspace rooted at `root` under the scoping policy.
+/// Reads the workspace member list from `<root>/Cargo.toml`, expanding
+/// `<dir>/*` globs against the directory, so the lint's coverage derives
+/// from the same source of truth cargo uses: adding a crate to the
+/// workspace adds it to the lint, with [`RuleSet::ALL`] until a policy
+/// exists for it.
+pub fn workspace_members(root: &Path) -> io::Result<Vec<String>> {
+    let text = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut entries: Vec<String> = Vec::new();
+    let mut in_members = false;
+    for raw in text.lines() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if !in_members {
+            if let Some(rest) = line.strip_prefix("members") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    collect_quoted(rest, &mut entries);
+                    if rest.contains(']') {
+                        break;
+                    }
+                    in_members = true;
+                }
+            }
+            continue;
+        }
+        collect_quoted(line, &mut entries);
+        if line.contains(']') {
+            break;
+        }
+    }
+    let mut out = Vec::new();
+    for m in entries {
+        if let Some(prefix) = m.strip_suffix("/*") {
+            let dir = root.join(prefix);
+            let mut names: Vec<String> = fs::read_dir(&dir)?
+                .filter_map(|e| e.ok())
+                .filter(|e| e.path().is_dir())
+                .filter_map(|e| e.file_name().into_string().ok())
+                .collect();
+            names.sort();
+            out.extend(names.into_iter().map(|n| format!("{prefix}/{n}")));
+        } else {
+            out.push(m);
+        }
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+/// Pulls every double-quoted string out of `s`.
+fn collect_quoted(s: &str, out: &mut Vec<String>) {
+    let mut rest = s;
+    while let Some(a) = rest.find('"') {
+        let tail = &rest[a + 1..];
+        let Some(b) = tail.find('"') else { break };
+        out.push(tail[..b].to_string());
+        rest = &tail[b + 1..];
+    }
+}
+
+/// Lints the whole workspace rooted at `root`: per-line rules under the
+/// [`rules_for`] policy, plus the four workspace passes — determinism
+/// taint (which owns the determinism rule here, adding call-graph
+/// propagation to the direct token scan), lock-order against
+/// `lint-locks.toml`, and the `wtpg-net` protocol and wire-schema passes.
 pub fn lint_workspace(root: &Path) -> io::Result<Vec<Finding>> {
     let mut findings = Vec::new();
-    for krate in [
-        "wtpg-core",
-        "wtpg-sim",
-        "wtpg-workload",
-        "wtpg-graph",
-        "wtpg-rt",
-        "wtpg-obs",
-        "wtpg-net",
-    ] {
-        let src = root.join("crates").join(krate).join("src");
+    let manifest_path = root.join("lint-locks.toml");
+    let manifest = match fs::read_to_string(&manifest_path) {
+        Ok(text) => match locks::LockManifest::parse(&text) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                findings.push(Finding {
+                    file: manifest_path.clone(),
+                    line: 1,
+                    rule: Rule::LockOrder,
+                    message: format!("bad lock manifest: {e}"),
+                });
+                None
+            }
+        },
+        Err(_) => {
+            findings.push(Finding {
+                file: manifest_path.clone(),
+                line: 1,
+                rule: Rule::LockOrder,
+                message: "missing lint-locks.toml (the declared lock hierarchy)".to_string(),
+            });
+            None
+        }
+    };
+    for member in workspace_members(root)? {
+        let src = root.join(&member).join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        let mut sfs = Vec::new();
         for file in rust_files(&src)? {
-            let rules = rules_for(&file);
-            findings.extend(lint_file(&file, rules)?);
+            sfs.push(SourceFile::read(&file)?);
+        }
+        for sf in &mut sfs {
+            let mut rules = rules_for(&sf.path);
+            // The taint pass owns determinism in workspace runs: it emits
+            // the same direct-seed findings plus call-graph propagation.
+            rules.determinism = false;
+            run_line_rules(sf, rules, &mut findings);
+        }
+        taint::check(&mut sfs, &|p| rules_for(p).determinism, &mut findings);
+        if let Some(m) = &manifest {
+            locks::check(&mut sfs, m, &mut findings);
+        }
+        if member.ends_with("wtpg-net") {
+            protocol::check_net(&mut sfs, &mut findings);
+            schema::check_against_lock(&sfs, &root.join("wire-schema.lock"), &mut findings);
+        }
+        for sf in &mut sfs {
+            sf.finish(&mut findings);
         }
     }
     Ok(findings)
@@ -770,6 +844,18 @@ mod tests {
     #[test]
     fn determinism_word_boundary() {
         assert!(lint("struct HashMapLike;\n").is_empty());
+    }
+
+    #[test]
+    fn clock_instant_fires_but_trace_phase_instant_does_not() {
+        // Bare `Instant` and `std::time::Instant` are the clock type.
+        assert_eq!(lint("fn f() { let t = Instant::now(); }\n").len(), 1);
+        assert_eq!(lint("use std::time::Instant;\n").len(), 1);
+        // `EventKind::Instant` (qualified by a non-`time` path) is the
+        // observer's trace-phase marker, not a clock.
+        assert!(lint("fn f(k: EventKind) { if let EventKind::Instant { .. } = k {} }\n").is_empty());
+        // A variant *named* Instant declared in this file is not a clock.
+        assert!(lint("enum EventKind { Span, Instant { name: u32 } }\n").is_empty());
     }
 
     #[test]
@@ -808,10 +894,32 @@ mod tests {
     }
 
     #[test]
+    fn waiver_details_scope_to_finding_keys() {
+        // A detailed determinism waiver only covers the named token.
+        let src = "// lint:allow(determinism: HashSet) interned upstream\n\
+                   fn f() {\n    let s = HashSet::new();\n    let m = HashMap::new();\n}\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("HashMap"), "{f:?}");
+    }
+
+    #[test]
     fn unused_waiver_is_reported() {
         let f = lint("// lint:allow(panic-safety) nothing here\nfn f() {}\n");
         assert_eq!(f.len(), 1);
         assert_eq!(f[0].rule, Rule::Waiver);
+    }
+
+    #[test]
+    fn doc_comments_quoting_waiver_syntax_are_not_waivers() {
+        // A rustdoc line quoting the waiver idiom must neither waive
+        // anything nor count as a malformed/unused waiver.
+        let src = "/// Suppress with `lint:allow(panic-safety)` inline.\n\
+                   //! Or even `lint:allow(bogus-rule)`.\n\
+                   fn f() { v.unwrap(); }\n";
+        let f = lint(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, Rule::PanicSafety);
     }
 
     #[test]
@@ -843,5 +951,37 @@ mod tests {
     #[test]
     fn raw_strings_are_stripped() {
         assert!(lint("const S: &str = r#\"HashMap .unwrap()\"#;\n").is_empty());
+    }
+
+    #[test]
+    fn json_output_escapes_and_round_trips_shape() {
+        let f = vec![Finding {
+            file: PathBuf::from("a\\b.rs"),
+            line: 3,
+            rule: Rule::Schema,
+            message: "tag \"x\" drifted".to_string(),
+        }];
+        let j = findings_to_json(&f);
+        assert!(j.starts_with('[') && j.ends_with(']'), "{j}");
+        assert!(j.contains("\"rule\":\"schema\""), "{j}");
+        assert!(j.contains("tag \\\"x\\\" drifted"), "{j}");
+        assert_eq!(findings_to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn unknown_crates_fail_closed() {
+        assert_eq!(
+            rules_for(Path::new("crates/wtpg-future/src/lib.rs")),
+            RuleSet::ALL
+        );
+        assert_eq!(
+            rules_for(Path::new("crates/wtpg-bench/src/lib.rs")),
+            RuleSet::default()
+        );
+        // Non-src paths (tests, fixtures) carry no per-line rules.
+        assert_eq!(
+            rules_for(Path::new("crates/wtpg-rt/tests/lock_order.rs")),
+            RuleSet::default()
+        );
     }
 }

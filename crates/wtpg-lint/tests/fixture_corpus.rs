@@ -177,6 +177,83 @@ fn workspace_policy_scopes_wtpg_net() {
     }
 }
 
+/// Runs the installed binary with `args`, returning (success, stdout).
+fn run_bin(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_wtpg-lint"))
+        .args(args)
+        .output()
+        .expect("lint binary runs");
+    (out.status.success(), String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+fn fx(name: &str) -> String {
+    fixture(name).to_string_lossy().into_owned()
+}
+
+#[test]
+fn lock_order_fixture_fires_and_ordered_twin_is_clean() {
+    let manifest = fx("locks/lint-locks.toml");
+    let (ok, out) = run_bin(&["--pass", "locks", "--manifest", &manifest, &fx("locks/actor.rs")]);
+    assert!(!ok, "lock-cycle fixture must fail the lint:\n{out}");
+    assert!(out.contains("out of declared order"), "{out}");
+    assert!(out.contains("call to `touch_ctl`"), "transitive inversion missing:\n{out}");
+    assert!(out.contains("undeclared lock acquisition"), "{out}");
+    let (ok, out) = run_bin(&["--pass", "locks", "--manifest", &manifest, &fx("locks/ordered.rs")]);
+    assert!(ok, "rank-respecting fixture must pass:\n{out}");
+}
+
+#[test]
+fn protocol_fixtures_fire_missing_arm_batch_recursion_and_idempotency() {
+    let msg = fx("proto/msg.rs");
+    let (ok, out) = run_bin(&["--pass", "protocol", "--msg", &msg, &fx("proto/control.rs")]);
+    assert!(!ok, "control fixture must fail the lint:\n{out}");
+    assert!(out.contains("`Msg::Pong`"), "missing-arm finding absent:\n{out}");
+    assert!(out.contains("nested batches"), "batch-recursion finding absent:\n{out}");
+    let (ok, out) = run_bin(&["--pass", "protocol", "--msg", &msg, &fx("proto/data.rs")]);
+    assert!(!ok, "data fixture must fail the lint:\n{out}");
+    assert!(out.contains("dedup structure"), "idempotency finding absent:\n{out}");
+}
+
+#[test]
+fn taint_fixture_fires_across_the_call_graph() {
+    let (core, wall) = (fx("taint/core.rs"), fx("taint/wall.rs"));
+    let (ok, out) = run_bin(&["--pass", "taint", "--protected", "core.rs", &core, &wall]);
+    assert!(!ok, "taint leak must fail the lint:\n{out}");
+    assert!(out.contains("reaches nondeterministic"), "{out}");
+    assert!(out.contains("now_us"), "{out}");
+    // With nothing protected, the same pair is clean: the wall-clock read
+    // is sanctioned where it lives.
+    let (ok, out) = run_bin(&["--pass", "taint", "--protected", "no-such-file", &core, &wall]);
+    assert!(ok, "unprotected pair must pass:\n{out}");
+}
+
+#[test]
+fn schema_fixture_detects_drift_and_accepts_matching_lock() {
+    let (msg, codec) = (fx("schema/msg.rs"), fx("schema/codec.rs"));
+    let good = fx("schema/good.lock");
+    let (ok, out) = run_bin(&["--pass", "schema", "--msg", &msg, "--codec", &codec, "--lock", &good]);
+    assert!(ok, "matching lock must pass:\n{out}");
+    let drift = fx("schema/drift.lock");
+    let (ok, out) = run_bin(&["--pass", "schema", "--msg", &msg, "--codec", &codec, "--lock", &drift]);
+    assert!(!ok, "drifted lock must fail the lint:\n{out}");
+    assert!(out.contains("wire tag for `Msg::Pong`"), "{out}");
+    assert!(out.contains("`MAX_FRAME`"), "{out}");
+}
+
+#[test]
+fn json_output_is_wellformed_and_carries_rule_names() {
+    let (ok, out) = run_bin(&["--format", "json", &fx("bad_determinism.rs")]);
+    assert!(!ok);
+    let t = out.trim();
+    assert!(t.starts_with('[') && t.ends_with(']'), "{out}");
+    assert!(t.contains("\"rule\":\"determinism\""), "{out}");
+    assert!(t.contains("\"line\":"), "{out}");
+    // Clean input yields an empty array, still exit 0.
+    let (ok, out) = run_bin(&["--format", "json", &fx("waived_clean.rs")]);
+    assert!(ok, "{out}");
+    assert_eq!(out.trim(), "[]");
+}
+
 #[test]
 fn binary_exits_nonzero_on_bad_corpus_and_zero_on_waived() {
     let bin = env!("CARGO_BIN_EXE_wtpg-lint");

@@ -1,0 +1,44 @@
+//! Lock-order fixture: one in-order nesting (clean), one inversion, one
+//! transitive inversion through a helper, and one undeclared mutex. The
+//! manifest next to this file declares `self.ctl` rank 0 and `self.store`
+//! rank 1.
+
+use std::sync::Mutex;
+
+pub struct Actor {
+    ctl: Mutex<u64>,
+    store: Mutex<u64>,
+    rogue: Mutex<u64>,
+}
+
+impl Actor {
+    /// Legal nesting: ctl (rank 0) then store (rank 1).
+    pub fn in_order(&self) -> u64 {
+        let c = self.ctl.lock().expect("poisoned");
+        let s = self.store.lock().expect("poisoned");
+        *c + *s
+    }
+
+    /// Inverted nesting: store (rank 1) held while acquiring ctl (rank 0).
+    pub fn inverted(&self) -> u64 {
+        let s = self.store.lock().expect("poisoned");
+        let c = self.ctl.lock().expect("poisoned");
+        *s + *c
+    }
+
+    /// Holds store and calls a helper that acquires ctl: the same inversion,
+    /// visible only through the call graph.
+    pub fn indirect(&self) -> u64 {
+        let s = self.store.lock().expect("poisoned");
+        *s + self.touch_ctl()
+    }
+
+    fn touch_ctl(&self) -> u64 {
+        *self.ctl.lock().expect("poisoned")
+    }
+
+    /// Acquires a mutex the manifest does not declare (fail-closed).
+    pub fn undeclared(&self) -> u64 {
+        *self.rogue.lock().expect("poisoned")
+    }
+}

@@ -1,0 +1,27 @@
+//! Lock-order fixture twin of `actor.rs` with only rank-respecting
+//! acquisitions: the pass must exit clean on this file.
+
+use std::sync::Mutex;
+
+pub struct Actor {
+    ctl: Mutex<u64>,
+    store: Mutex<u64>,
+}
+
+impl Actor {
+    /// Legal nesting: ctl (rank 0) then store (rank 1).
+    pub fn in_order(&self) -> u64 {
+        let c = self.ctl.lock().expect("poisoned");
+        let s = self.store.lock().expect("poisoned");
+        *c + *s
+    }
+
+    /// Sequential (non-nested) acquisitions: store released before ctl.
+    pub fn sequential(&self) -> u64 {
+        let s = self.store.lock().expect("poisoned");
+        let total = *s;
+        drop(s);
+        let c = self.ctl.lock().expect("poisoned");
+        total + *c
+    }
+}

@@ -2,17 +2,17 @@
 //! held to full determinism — ordered maps only, no clock reads — because
 //! traces of deterministic runs must be byte-deterministic. The event model
 //! reuses Chrome's `Instant` phase name, which collides with the banned
-//! clock type; the sanctioned idiom is an inline waiver naming the
-//! collision. (If the token stopped firing, the waivers below would be
-//! reported as unused, so this fixture being clean proves both the rule and
-//! the suppression.) Wall-clock reads are confined to `wall.rs`, which
-//! `rules_for` exempts from determinism — asserted in fixture_corpus.rs.
+//! clock type; the v2 classifier recognizes an enum variant named `Instant`
+//! and any `Path::Instant` not qualified by `time` as *not* the clock, so
+//! no waiver is needed (v1 required one per occurrence). This fixture being
+//! clean with zero waivers proves the classification. Wall-clock reads are
+//! confined to `wall.rs`, which `rules_for` exempts from determinism —
+//! asserted in fixture_corpus.rs.
 
 use std::collections::BTreeMap;
 
 /// A miniature event kind mirroring the trace model's phase names.
 pub enum Kind {
-    // lint:allow(determinism) Chrome trace phase name, not std::time::Instant
     /// A point event.
     Instant,
     /// A cumulative counter sample.
@@ -24,7 +24,7 @@ pub fn fold(kinds: &[Kind]) -> BTreeMap<&'static str, u64> {
     let mut out = BTreeMap::new();
     for k in kinds {
         let key = match k {
-            Kind::Instant => "instant", // lint:allow(determinism) trace phase, not std::time::Instant
+            Kind::Instant => "instant",
             Kind::Counter => "counter",
         };
         *out.entry(key).or_insert(0) += 1;

@@ -1,0 +1,18 @@
+//! Protocol fixture actor, deliberately bad twice over: the loop never
+//! names `Msg::Pong` (the wildcard arm swallows it), and the `Batch` arm
+//! re-dispatches through `handle` without guarding against nested batches.
+
+impl Control {
+    fn handle(&mut self, m: Msg) {
+        match m {
+            Msg::Ping => self.reply(),
+            Msg::Access => self.apply(),
+            Msg::Batch(inner) => {
+                for sub in inner {
+                    self.handle(sub);
+                }
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,17 @@
+//! Protocol fixture actor violating idempotency: the redeliverable
+//! `Access` handler applies the chunk before consulting the `marks`
+//! dedup set, so a duplicate delivery applies the chunk twice.
+
+impl Data {
+    fn handle(&mut self, m: Msg) {
+        match m {
+            Msg::Ping => {}
+            Msg::Pong => {}
+            Msg::Batch(_) => {}
+            Msg::Access => {
+                self.store.apply_chunk(1);
+                self.marks.insert(1);
+            }
+        }
+    }
+}

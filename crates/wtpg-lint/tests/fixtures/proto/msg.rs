@@ -1,0 +1,14 @@
+//! Protocol fixture message set: a four-variant protocol mirroring the
+//! real `Msg` shape (a redeliverable access, a batch wrapper).
+
+/// Fixture protocol messages.
+pub enum Msg {
+    /// Liveness probe.
+    Ping,
+    /// Probe reply.
+    Pong,
+    /// A bulk access chunk (redeliverable).
+    Access,
+    /// A batched frame of sub-messages.
+    Batch(Vec<Msg>),
+}

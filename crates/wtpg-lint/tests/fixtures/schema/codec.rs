@@ -1,0 +1,8 @@
+//! Schema fixture codec ceilings.
+
+/// Maximum frame bytes.
+pub const MAX_FRAME: usize = 1 << 16;
+/// Maximum steps per transaction.
+pub const MAX_STEPS: u32 = 128;
+/// Maximum messages per batch.
+pub const MAX_BATCH: u32 = 64;

@@ -1,0 +1,19 @@
+//! Schema fixture: a two-variant protocol with explicit wire tags.
+
+/// Fixture protocol messages.
+pub enum Msg {
+    /// Probe carrying a sequence number.
+    Ping { seq: u64 },
+    /// Probe reply.
+    Pong { seq: u64, ack: bool },
+}
+
+impl Msg {
+    /// Wire tag byte.
+    pub fn tag(&self) -> u8 {
+        match self {
+            Msg::Ping { .. } => 0,
+            Msg::Pong { .. } => 1,
+        }
+    }
+}

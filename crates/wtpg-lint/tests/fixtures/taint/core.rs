@@ -1,0 +1,8 @@
+//! Taint fixture: a protected file with no direct clock read. The leak is
+//! the call into `wall.rs`'s `now_us`, which the taint pass propagates
+//! along the call graph — a file-scoped deny list would miss it.
+
+/// Stamps a record with a wall-clock timestamp via the shim.
+pub fn stamp() -> u64 {
+    now_us() + 1
+}

@@ -1,0 +1,13 @@
+//! Taint fixture: the sanctioned clock shim. This file is *outside* the
+//! protected set, so its direct `SystemTime` read is legal — but any
+//! protected-side caller inherits the taint.
+
+use std::time::SystemTime;
+
+/// Microseconds since the epoch.
+pub fn now_us() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_micros() as u64)
+        .unwrap_or(0)
+}

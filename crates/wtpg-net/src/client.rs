@@ -62,6 +62,7 @@ impl ClientActor<'_> {
         Ok(())
     }
 
+    // lint:allow(protocol: Submit, Grant, Reject, Delay, Access, AccessDone, Abort, StatsDelta, Batch) a client receives only Commit acks and Shutdown; the rest is control/data-plane traffic it never sees
     fn recv(&mut self) -> Result<Msg, NetError> {
         match self.inbox.pop_timeout(self.watchdog) {
             PopResult::Item(Msg::Shutdown) => Err(NetError::Protocol(format!(
@@ -116,8 +117,8 @@ pub fn run_client(
     let mut inflight: BTreeMap<TxnId, Instant> = BTreeMap::new();
     let mut next = 0usize;
     while next < specs.len() || !inflight.is_empty() {
-        while next < specs.len() && inflight.len() < depth {
-            let spec = &specs[next];
+        while inflight.len() < depth {
+            let Some(spec) = specs.get(next) else { break };
             actor.send(&Msg::Submit {
                 client,
                 txn: spec.id,

@@ -359,6 +359,7 @@ impl ControlActor<'_> {
         Ok(())
     }
 
+    // lint:allow(protocol: Grant, Reject, Delay, Access, Commit, Shutdown) send-only for the control actor: it emits the verdicts and accesses, and drives Shutdown teardown itself
     fn handle(&mut self, m: Msg) -> Result<(), NetError> {
         m.count(&mut self.rx);
         match m {

@@ -85,6 +85,7 @@ struct DataActor<'a> {
 }
 
 impl DataActor<'_> {
+    // lint:allow(protocol: Submit, Grant, Reject, Delay, AccessDone, Commit, Abort, StatsDelta) a data node only receives Access/Batch/Shutdown; the rest is control<->client traffic
     fn handle(&mut self, m: Msg) -> Result<Flow, NetError> {
         m.count(&mut self.rx);
         match m {

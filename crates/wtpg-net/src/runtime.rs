@@ -158,7 +158,9 @@ fn run_router(inbox: &Inbox, map: &ShardMap, shard_inboxes: &[Inbox]) -> MsgCoun
         if let Some(txn) = msg_txn(&m) {
             // A shard that already exited leaves its inbox open, so late
             // duplicates land harmlessly.
-            let _ = shard_inboxes[map.shard_of(txn)].push(m);
+            if let Some(inbox) = shard_inboxes.get(map.shard_of(txn)) {
+                let _ = inbox.push(m);
+            }
         } else {
             m.count(rx); // stray Shutdown etc.: tally, drop
         }
@@ -271,9 +273,10 @@ pub fn run_cell_obs(
         std::thread::scope(|s| {
             let router = (shards > 1)
                 .then(|| s.spawn(|| run_router(&control_inbox, &map, &shard_inboxes)));
-            let controls: Vec<_> = (0..shards)
-                .map(|si| {
-                    let inbox = &shard_inboxes[si];
+            let controls: Vec<_> = shard_inboxes
+                .iter()
+                .enumerate()
+                .map(|(si, inbox)| {
                     let to_data = &to_data;
                     let to_clients = &to_clients;
                     let expected_commits = map.assigned(si);
@@ -391,8 +394,11 @@ pub fn run_cell_obs(
     }
 
     // Aggregate the books.
-    let name = controls[0].name.clone();
-    let mode = controls[0].mode;
+    let head = controls
+        .first()
+        .expect("invariant: shards >= 1, so at least one control outcome");
+    let name = head.name.clone();
+    let mode = head.mode;
     let mut sent = runtime_tx;
     let mut processed = router_rx;
     let mut data_rtts = Vec::new();

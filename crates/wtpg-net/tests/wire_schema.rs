@@ -1,0 +1,118 @@
+//! Golden wire-schema test: pins every `Msg` variant's tag byte and the
+//! codec ceilings against the checked-in `wire-schema.lock` — the same
+//! file `wtpg-lint`'s schema pass diffs against the source, so a protocol
+//! change that skips the deliberate `--write-schema-lock` bump fails both
+//! the lint (at the source side) and this test (at the runtime side).
+
+use wtpg_core::partition::PartitionId;
+use wtpg_core::txn::{AccessMode, TxnId};
+use wtpg_lint::schema::parse_lock;
+use wtpg_net::codec::{MAX_BATCH, MAX_FRAME, MAX_STEPS};
+use wtpg_net::Msg;
+
+const LOCK: &str = include_str!("../../../wire-schema.lock");
+
+/// One constructed value per variant, in declaration order.
+fn exemplars() -> Vec<(&'static str, Msg)> {
+    vec![
+        (
+            "Submit",
+            Msg::Submit {
+                client: 0,
+                txn: TxnId(1),
+                step: None,
+                spec: None,
+            },
+        ),
+        (
+            "Grant",
+            Msg::Grant {
+                txn: TxnId(1),
+                step: None,
+            },
+        ),
+        ("Reject", Msg::Reject { txn: TxnId(1) }),
+        (
+            "Delay",
+            Msg::Delay {
+                txn: TxnId(1),
+                step: 0,
+            },
+        ),
+        (
+            "Access",
+            Msg::Access {
+                txn: TxnId(1),
+                step: 0,
+                partition: PartitionId(0),
+                mode: AccessMode::Read,
+                units: 1,
+                chunk_units: 1,
+            },
+        ),
+        (
+            "AccessDone",
+            Msg::AccessDone {
+                txn: TxnId(1),
+                step: 0,
+                checksum: 0,
+                units: 1,
+            },
+        ),
+        (
+            "Commit",
+            Msg::Commit {
+                client: 0,
+                txn: TxnId(1),
+            },
+        ),
+        (
+            "Abort",
+            Msg::Abort {
+                client: 0,
+                txn: TxnId(1),
+            },
+        ),
+        (
+            "StatsDelta",
+            Msg::StatsDelta {
+                txn: TxnId(1),
+                step: 0,
+                chunk: 0,
+                units: 1,
+            },
+        ),
+        ("Shutdown", Msg::Shutdown),
+        ("Batch", Msg::Batch(vec![Msg::Shutdown])),
+    ]
+}
+
+#[test]
+fn every_variant_tag_matches_the_lock() {
+    let lock = parse_lock(LOCK).expect("wire-schema.lock parses");
+    let ex = exemplars();
+    assert_eq!(
+        lock.msgs.len(),
+        ex.len(),
+        "lock must pin exactly the current variant set"
+    );
+    for (pinned, (name, msg)) in lock.msgs.iter().zip(&ex) {
+        assert_eq!(
+            &pinned.name, name,
+            "variant order drifted from the lock (regenerate deliberately)"
+        );
+        assert_eq!(
+            u64::from(msg.tag()),
+            pinned.tag,
+            "wire tag of Msg::{name} drifted from the lock"
+        );
+    }
+}
+
+#[test]
+fn codec_ceilings_match_the_lock() {
+    let lock = parse_lock(LOCK).expect("wire-schema.lock parses");
+    assert_eq!(MAX_FRAME as u64, lock.max_frame, "MAX_FRAME drifted");
+    assert_eq!(MAX_STEPS as u64, lock.max_steps, "MAX_STEPS drifted");
+    assert_eq!(MAX_BATCH as u64, lock.max_batch, "MAX_BATCH drifted");
+}

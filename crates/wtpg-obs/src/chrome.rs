@@ -42,7 +42,6 @@ fn record(ev: &ObsEvent, us_per_unit: u64) -> String {
         EventKind::SpanEnd { name, id } => {
             format!("{},\"args\":{{\"id\":{id}}}}}", head(name, "E"))
         }
-        // lint:allow(determinism) trace phase, not std::time::Instant
         EventKind::Instant { name, id } => {
             format!("{},\"s\":\"t\",\"args\":{{\"id\":{id}}}}}", head(name, "i"))
         }

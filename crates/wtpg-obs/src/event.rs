@@ -50,7 +50,6 @@ pub enum EventKind {
         id: u64,
     },
     /// A point event (admission, abort, commit, …).
-    // lint:allow(determinism) Chrome trace phase name, not std::time::Instant
     Instant {
         /// Event name.
         name: Name,
@@ -91,7 +90,6 @@ impl EventKind {
         match self {
             EventKind::SpanBegin { name, .. }
             | EventKind::SpanEnd { name, .. }
-            // lint:allow(determinism) trace phase, not std::time::Instant
             | EventKind::Instant { name, .. }
             | EventKind::Counter { name, .. }
             | EventKind::Duration { name, .. }
@@ -130,7 +128,6 @@ impl ObsEvent {
         ObsEvent {
             at,
             track,
-            // lint:allow(determinism) trace phase, not std::time::Instant
             kind: EventKind::Instant {
                 name: name.into(),
                 id,

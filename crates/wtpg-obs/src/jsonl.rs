@@ -65,7 +65,6 @@ pub fn encode_event(ev: &ObsEvent) -> String {
             push_str_field(&mut out, "name", name);
             push_u64_field(&mut out, "id", *id);
         }
-        // lint:allow(determinism) trace phase, not std::time::Instant
         EventKind::Instant { name, id } => {
             push_str_field(&mut out, "kind", "instant");
             push_str_field(&mut out, "name", name);
@@ -231,7 +230,6 @@ fn decode_line(line: &str) -> Result<ObsEvent, String> {
             name: name()?,
             id: f.num("id")?,
         },
-        // lint:allow(determinism) trace phase, not std::time::Instant
         "instant" => EventKind::Instant {
             name: name()?,
             id: f.num("id")?,

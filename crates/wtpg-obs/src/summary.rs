@@ -50,7 +50,6 @@ impl TraceSummary {
                             .record(ev.at.saturating_sub(begin));
                     }
                 }
-                // lint:allow(determinism) trace phase, not std::time::Instant
                 EventKind::Instant { name, .. } => {
                     *s.instants.entry(name.to_string()).or_insert(0) += 1;
                 }

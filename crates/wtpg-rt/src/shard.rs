@@ -60,9 +60,9 @@ impl ShardMap {
         }
         for spec in specs {
             let parts = spec.partitions();
-            if let Some(&first) = parts.first() {
+            if let Some((&first, rest)) = parts.split_first() {
                 let a = find(&mut parent, first);
-                for &p in &parts[1..] {
+                for &p in rest {
                     let b = find(&mut parent, p);
                     parent.insert(b, a);
                     // Keep `a` canonical for this spec's chain of unions.
@@ -115,7 +115,9 @@ impl ShardMap {
                 .min_by_key(|&(i, &l)| (l, i))
                 .map(|(i, _)| i)
                 .unwrap_or(0);
-            loads[target] += n as u64;
+            if let Some(load) = loads.get_mut(target) {
+                *load += n as u64;
+            }
             comp_shard.insert(root, target);
         }
         let assign = txn_comp

