@@ -18,7 +18,9 @@
 //!               [--trace FILE]          record a structured trace
 //! wtpg net      [--sched NAME]          execute a batch on the shared-
 //!               [--transport inproc|tcp]  nothing message-passing runtime
-//!               [--fault none|fault|crash] with injected link faults
+//!               [--fault none|fault|crash|kill] with injected link faults
+//!               [--durability none|buffered|sync] or a mid-run node kill
+//!               [--wal-dir DIR]         restarted from its write-ahead log
 //!               [--clients N] [--txns N] [--pattern 1|2|3] [--hots N]
 //!               [--seed N] [--chunk N] [--k N] [--keeptime MS]
 //!               [--no-certify]
@@ -84,7 +86,8 @@ fn print_help() {
            wtpg engine   [--sched S] [--threads N] [--txns N] [--pattern 1|2|3]\n\
                          [--hots N] [--seed N] [--queue N] [--k N] [--keeptime MS]\n\
                          [--no-certify] [--grid] [--out FILE] [--trace FILE]\n\
-           wtpg net      [--sched S] [--transport inproc|tcp] [--fault none|fault|crash]\n\
+           wtpg net      [--sched S] [--transport inproc|tcp] [--fault none|fault|crash|kill]\n\
+                         [--durability none|buffered|sync] [--wal-dir DIR]\n\
                          [--clients N] [--txns N] [--pattern 1|2|3|4] [--hots N] [--groups N]\n\
                          [--seed N] [--chunk N] [--k N] [--keeptime MS] [--shards N]\n\
                          [--batch-max N] [--batch-window USEC] [--pipeline N]\n\

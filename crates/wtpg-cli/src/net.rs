@@ -6,18 +6,26 @@
 //!
 //! ```text
 //! wtpg net --sched chain --clients 4 --transport tcp --fault crash
+//! wtpg net --fault kill --durability sync --wal-dir /tmp/wtpg-wal
 //! ```
 //!
-//! Grid mode sweeps scheduler × transport × fault plan and writes one JSON
-//! report per cell to `BENCH_net.json`, plus a per-(scheduler, fault)
-//! in-proc vs TCP coordination-overhead comparison:
+//! `--fault kill` tears a data node down mid-run and restarts it from its
+//! write-ahead log, so it needs a durability level that keeps one
+//! (`buffered` or `sync`); when the flags are omitted a kill cell defaults
+//! to `sync` with a fresh per-run temp directory.
+//!
+//! Grid mode sweeps scheduler × transport × fault plan (including kill)
+//! and writes one JSON report per cell to `BENCH_net.json`, plus a
+//! per-(scheduler, fault) in-proc vs TCP coordination-overhead comparison:
 //!
 //! ```text
 //! wtpg net --grid --out BENCH_net.json
 //! ```
 
+use std::path::{Path, PathBuf};
+
 use serde::Serialize;
-use wtpg_net::{run_cell, FaultPlan, InProc, NetConfig, NetReport, Tcp, Transport};
+use wtpg_net::{run_cell, Durability, FaultPlan, InProc, NetConfig, NetReport, Tcp, Transport};
 use wtpg_rt::workload::pattern_specs;
 use wtpg_rt::sched_by_name;
 use wtpg_workload::Pattern;
@@ -81,6 +89,8 @@ struct NetArgs {
     pipeline: usize,
     admit_window: usize,
     certify: bool,
+    durability: Option<String>,
+    wal_dir: Option<String>,
     grid: bool,
     out: Option<String>,
 }
@@ -105,6 +115,8 @@ fn parse(args: &[String]) -> Result<NetArgs, String> {
         pipeline: 16,
         admit_window: 32,
         certify: true,
+        durability: None,
+        wal_dir: None,
         grid: false,
         out: None,
     };
@@ -141,6 +153,8 @@ fn parse(args: &[String]) -> Result<NetArgs, String> {
             "--k" => a.k = take(&mut i)?.parse().map_err(|_| "bad --k")?,
             "--keeptime" => a.keeptime = take(&mut i)?.parse().map_err(|_| "bad --keeptime")?,
             "--no-certify" => a.certify = false,
+            "--durability" => a.durability = Some(take(&mut i)?),
+            "--wal-dir" => a.wal_dir = Some(take(&mut i)?),
             "--grid" => a.grid = true,
             "--out" => a.out = Some(take(&mut i)?),
             other => return Err(format!("unknown option {other:?}")),
@@ -175,15 +189,50 @@ fn transport_of(name: &str) -> Result<&'static dyn Transport, String> {
 
 /// Fault plans always target data node 0's control link; the plan seed is
 /// derived from the run seed so `--seed` reproduces the fault schedule too.
+/// `kill` tears node 0 down mid-run (in-memory state destroyed) and
+/// restarts it from its write-ahead log, so it requires a durability level
+/// that keeps one.
 fn fault_of(name: &str, seed: u64) -> Result<FaultPlan, String> {
     match name {
         "none" => Ok(FaultPlan::none()),
         "fault" => Ok(FaultPlan::flaky_links(seed ^ 0x5bd1_e995)),
         "crash" => Ok(FaultPlan::flaky_with_crash(seed ^ 0x5bd1_e995, 0)),
+        "kill" => Ok(FaultPlan::kill_node(0)),
         other => Err(format!(
-            "--fault must be none, fault or crash, got {other:?}"
+            "--fault must be none, fault, crash or kill, got {other:?}"
         )),
     }
+}
+
+/// Resolves the durability level and WAL directory for one run. A kill
+/// fault defaults to `sync` when `--durability` is absent (it cannot heal
+/// without a log); a log-keeping level without `--wal-dir` gets a fresh
+/// per-run temp directory. Returns `(level, dir, created)` — when
+/// `created` is true the caller owns cleanup of the temp directory.
+fn durability_setup(
+    durability: Option<&str>,
+    wal_dir: Option<&str>,
+    fault: &str,
+    tag: &str,
+) -> Result<(Durability, Option<PathBuf>, bool), String> {
+    let dur = match durability {
+        Some(s) => Durability::parse(s)
+            .ok_or_else(|| format!("--durability must be none, buffered or sync, got {s:?}"))?,
+        None if fault == "kill" => Durability::Sync,
+        None => Durability::None,
+    };
+    if fault == "kill" && !dur.requires_log() {
+        return Err("--fault kill needs --durability buffered or sync (a log to restart from)".into());
+    }
+    if let Some(d) = wal_dir {
+        return Ok((dur, Some(PathBuf::from(d)), false));
+    }
+    if !dur.requires_log() {
+        return Ok((dur, None, false));
+    }
+    let dir = std::env::temp_dir().join(format!("wtpg-net-wal-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok((dur, Some(dir), true))
 }
 
 /// One grid cell beyond the base sweep's shared knobs: its own client
@@ -201,6 +250,8 @@ fn run_one(
     transport: &dyn Transport,
     fault: &FaultPlan,
     shape: &CellShape,
+    durability: Durability,
+    wal_dir: Option<&Path>,
 ) -> Result<NetReport, String> {
     let (catalog, specs) = pattern_specs(shape.pattern, a.txns, a.seed);
     let cfg = NetConfig {
@@ -212,6 +263,8 @@ fn run_one(
         batch_window_us: a.batch_window,
         pipeline: a.pipeline,
         admit_window: a.admit_window,
+        durability,
+        wal_dir: wal_dir.map(Path::to_path_buf),
         ..NetConfig::default()
     };
     if sched_by_name(sched, a.k, a.keeptime).is_none() {
@@ -288,6 +341,19 @@ fn print_report(r: &NetReport, pattern: &str) {
         r.expected_write_units,
         if r.store_consistent { "consistent" } else { "INCONSISTENT" }
     );
+    if r.durability != "none" {
+        println!(
+            "  durability : {} — {} wal records ({} flushes, {} fsyncs), \
+             {} recoveries replaying {} chunks, {} orders parked unavailable",
+            r.durability,
+            r.wal_records,
+            r.wal_flushes,
+            r.wal_fsyncs,
+            r.recoveries,
+            r.wal_replayed_chunks,
+            r.node_unavailable
+        );
+    }
 }
 
 pub(crate) fn run(args: &[String]) -> Result<(), String> {
@@ -296,12 +362,20 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     if !a.grid {
         let transport = transport_of(&a.transport)?;
         let fault = fault_of(&a.fault, a.seed)?;
+        let (dur, wal_dir, created) =
+            durability_setup(a.durability.as_deref(), a.wal_dir.as_deref(), &a.fault, "cell")?;
         let shape = CellShape {
             clients: a.clients,
             shards: a.shards,
             pattern,
         };
-        let report = run_one(&a, &a.sched, transport, &fault, &shape)?;
+        let report = run_one(&a, &a.sched, transport, &fault, &shape, dur, wal_dir.as_deref());
+        if created {
+            if let Some(d) = &wal_dir {
+                let _ = std::fs::remove_dir_all(d);
+            }
+        }
+        let report = report?;
         print_report(&report, &pattern.label());
         if let Some(path) = &a.out {
             let json = serde_json::to_string_pretty(&report)
@@ -329,10 +403,13 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
         );
     }
 
-    // Grid mode: scheduler × transport × fault, one report per cell.
+    // Grid mode: scheduler × transport × fault, one report per cell. Kill
+    // cells run under sync durability with a WAL in a fresh temp directory
+    // (removed after the cell); the other fault plans keep durability off
+    // so the base sweep's numbers stay comparable with earlier grids.
     let scheds = ["chain", "k2", "c2pl"];
     let transports: [(&str, &dyn Transport); 2] = [("inproc", &InProc), ("tcp", &Tcp)];
-    let faults = ["none", "fault", "crash"];
+    let faults = ["none", "fault", "crash", "kill"];
     let base_shape = CellShape {
         clients: a.clients,
         shards: a.shards,
@@ -357,7 +434,16 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
         for (tname, transport) in transports {
             for fname in faults {
                 let fault = fault_of(fname, a.seed)?;
-                let report = run_one(&a, sched, transport, &fault, &base_shape)?;
+                let tag = format!("{sched}-{tname}-{fname}");
+                let (dur, wal_dir, created) = durability_setup(None, None, fname, &tag)?;
+                let report =
+                    run_one(&a, sched, transport, &fault, &base_shape, dur, wal_dir.as_deref());
+                if created {
+                    if let Some(d) = &wal_dir {
+                        let _ = std::fs::remove_dir_all(d);
+                    }
+                }
+                let report = report?;
                 print_row(tname, &report);
                 cells.push(GridCell {
                     pattern: pattern.label(),
@@ -395,7 +481,7 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     ];
     for (tname, transport, fname, shape) in extras {
         let fault = fault_of(fname, a.seed)?;
-        let report = run_one(&a, "chain", transport, &fault, &shape)?;
+        let report = run_one(&a, "chain", transport, &fault, &shape, Durability::None, None)?;
         print_row(tname, &report);
         cells.push(GridCell {
             pattern: shape.pattern.label(),

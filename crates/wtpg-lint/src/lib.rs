@@ -687,6 +687,13 @@ pub fn rules_for(path: &Path) -> RuleSet {
                 api_docs: true,
             }
         }
+        "wtpg-dur" => RuleSet {
+            // The durability layer does real file I/O and wall-clock-free
+            // recovery; its replay workers are OS threads by design.
+            determinism: false,
+            panic_safety: true,
+            api_docs: true,
+        },
         "wtpg-lint" => RuleSet {
             determinism: true,
             panic_safety: false,

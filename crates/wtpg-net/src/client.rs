@@ -62,7 +62,7 @@ impl ClientActor<'_> {
         Ok(())
     }
 
-    // lint:allow(protocol: Submit, Grant, Reject, Delay, Access, AccessDone, Abort, StatsDelta, Batch) a client receives only Commit acks and Shutdown; the rest is control/data-plane traffic it never sees
+    // lint:allow(protocol: Submit, Grant, Reject, Delay, Access, AccessDone, Abort, StatsDelta, Batch, Recover, RecoverAck) a client receives only Commit acks and Shutdown; the rest is control/data-plane and recovery traffic it never sees
     fn recv(&mut self) -> Result<Msg, NetError> {
         match self.inbox.pop_timeout(self.watchdog) {
             PopResult::Item(Msg::Shutdown) => Err(NetError::Protocol(format!(

@@ -167,6 +167,19 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
                 b.extend_from_slice(&sub);
             }
         }
+        Msg::Recover {
+            node,
+            last_lsn,
+            replayed_chunks,
+        } => {
+            put_u32(&mut b, *node);
+            put_u64(&mut b, *last_lsn);
+            put_u64(&mut b, *replayed_chunks);
+        }
+        Msg::RecoverAck { node, outstanding } => {
+            put_u32(&mut b, *node);
+            put_u32(&mut b, *outstanding);
+        }
     }
     b
 }
@@ -424,6 +437,15 @@ fn read_msg(c: &mut Cur<'_>, allow_batch: bool) -> Result<Msg, CodecError> {
             }
             Ok(Msg::Batch(inner))
         }
+        11 => Ok(Msg::Recover {
+            node: c.u32()?,
+            last_lsn: c.u64()?,
+            replayed_chunks: c.u64()?,
+        }),
+        12 => Ok(Msg::RecoverAck {
+            node: c.u32()?,
+            outstanding: c.u32()?,
+        }),
         t => Err(CodecError::BadTag(t)),
     }
 }
@@ -513,6 +535,15 @@ mod tests {
                     txn: TxnId(7),
                 },
             ]),
+            Msg::Recover {
+                node: 1,
+                last_lsn: 0x0102_0304_0506,
+                replayed_chunks: 42,
+            },
+            Msg::RecoverAck {
+                node: 1,
+                outstanding: 3,
+            },
         ]
     }
 
@@ -562,6 +593,32 @@ mod tests {
             ]
         );
         assert_eq!(encode_payload(&Msg::Shutdown), vec![9]);
+        let recover = Msg::Recover {
+            node: 2,
+            last_lsn: 0x0102,
+            replayed_chunks: 7,
+        };
+        assert_eq!(
+            encode_payload(&recover),
+            vec![
+                11, // tag: Recover
+                2, 0, 0, 0, // node u32 LE
+                2, 1, 0, 0, 0, 0, 0, 0, // last_lsn u64 LE
+                7, 0, 0, 0, 0, 0, 0, 0, // replayed_chunks u64 LE
+            ]
+        );
+        let ack = Msg::RecoverAck {
+            node: 2,
+            outstanding: 5,
+        };
+        assert_eq!(
+            encode_payload(&ack),
+            vec![
+                12, // tag: RecoverAck
+                2, 0, 0, 0, // node u32 LE
+                5, 0, 0, 0, // outstanding u32 LE
+            ]
+        );
         // A batch is [tag=10][count u32][per-inner: len u32 + payload].
         let batch = Msg::Batch(vec![Msg::Shutdown, Msg::Reject { txn: TxnId(1) }]);
         assert_eq!(

@@ -16,11 +16,22 @@
 //! control side coalesces orders the same way) are unpacked and the inner
 //! orders applied in sequence.
 //!
+//! **Durability.** Under [`Durability::Buffered`]/[`Durability::Sync`] the
+//! actor owns a [`WalWriter`]: every applied chunk is logged (with its
+//! partition dependency edge) *before* its `StatsDelta` is pushed, and a
+//! log barrier precedes every reply flush — so nothing control hears about
+//! is absent from the durable log (group commit: one flush, and under
+//! `Sync` one fsync, per reply batch rather than per chunk). A node
+//! snapshot checkpoint is written every [`SNAPSHOT_EVERY`] records to bound
+//! replay to a log suffix.
+//!
 //! **Idempotent redelivery.** Every applied step leaves a mark (its
 //! checksum and unit count). A redelivered or duplicated `Access` for a
-//! marked step re-sends only the `AccessDone` — the store is not touched
-//! again and no `StatsDelta` is repeated, so the control node's progress
-//! accounting stays exact no matter how often the order is delivered.
+//! marked step replays the reply stream — the `StatsDelta`s and the
+//! `AccessDone` — without touching the store; the control node's chunk
+//! cursor and completed-set absorb whatever it already credited. The full
+//! replay matters after a kill, which can destroy buffered replies the
+//! control node never saw.
 //!
 //! **Crash simulation.** A [`CrashPlan`] makes the actor discard everything
 //! it receives for a window — including the wire message that triggered it,
@@ -28,23 +39,48 @@
 //! state (store and applied-marks) survives. Recovery needs no protocol:
 //! the control node's redelivery watchdog re-sends unanswered orders until
 //! the node is back.
+//!
+//! **Kill and restart.** A [`KillPlan`] goes further: the actor itself is
+//! torn down — store, marks, mid-step progress, buffered replies, and the
+//! log writer's userspace buffer all destroyed — and rebuilt from disk by
+//! [`wtpg_dur::recover`], which replays the log's partition dependency
+//! chains in parallel. The restarted node announces [`Msg::Recover`] so the
+//! control plane re-sends its outstanding orders immediately; applied-marks
+//! and partial progress recovered from the log make those re-sends exactly
+//! as idempotent as ordinary redelivery.
 
+use std::collections::BTreeMap;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wtpg_core::partition::Catalog;
 use wtpg_core::txn::{AccessMode, TxnId};
-use wtpg_obs::{Histogram, MsgCounts};
+use wtpg_dur::checkpoint::{files, snapshot_from_state, write_node_snapshot};
+use wtpg_dur::wal::{ChunkRecord, WalWriter};
+use wtpg_dur::{recover, Durability, Partial};
+use wtpg_obs::{Histogram, MsgCounts, WalStats};
 use wtpg_rt::queue::PopResult;
 use wtpg_rt::store::NodeStore;
 
 use crate::batch::Coalescer;
 use crate::error::NetError;
-use crate::fault::CrashPlan;
+use crate::fault::{CrashPlan, KillPlan};
 use crate::msg::Msg;
 use crate::transport::{Inbox, MsgTx};
 
-use std::collections::BTreeMap;
+/// Log records between node snapshot checkpoints. Snapshots serialize the
+/// node's whole store, so a tight interval dominates the durability cost
+/// (at 256 a buffered run spent more time checkpointing than logging);
+/// 4096 keeps replay bounded while the per-record cost stays the WAL's.
+pub const SNAPSHOT_EVERY: u64 = 4096;
+
+/// Replay worker-thread cap for kill-restart recoveries.
+const REPLAY_WORKERS: usize = 8;
+
+/// Group-commit age window: buffered records older than this are written
+/// at the next pre-block flush (see [`DataActor::wal_flush_idle`]).
+const WAL_AGE_WINDOW: Duration = Duration::from_millis(2);
 
 /// Everything one data-node actor tallied.
 pub struct DataOutcome {
@@ -59,12 +95,39 @@ pub struct DataOutcome {
     pub rx: MsgCounts,
     /// Messages sent, by type (a sent batch counts once).
     pub tx: MsgCounts,
-    /// Messages discarded while simulated-crashed.
+    /// Messages discarded while simulated-crashed or killed.
     pub crash_drops: u64,
     /// Messages that travelled inside sent `Batch` frames.
     pub batched_inner: u64,
     /// Distribution of reply-coalescer flush sizes.
     pub batch_sizes: Histogram,
+    /// Kill-and-restart recoveries this node performed.
+    pub recoveries: u64,
+    /// Write-ahead-log activity across all incarnations.
+    pub wal: WalStats,
+    /// Distribution of dependency-chain lengths replayed during recovery
+    /// (the replay-parallelism profile).
+    pub replay_chains: Histogram,
+}
+
+/// Everything [`run_data_node`] needs to run one node, bundled so the call
+/// site stays readable as knobs accumulate.
+pub struct DataNodeParams<'a> {
+    /// The partition layout (decides which partitions this node owns).
+    pub catalog: &'a Catalog,
+    /// This node's id.
+    pub node: u32,
+    /// Optional message-drop crash window.
+    pub crash: Option<CrashPlan>,
+    /// Optional kill-and-restart-from-log plan.
+    pub kill: Option<KillPlan>,
+    /// Reply-coalescer buffer bound.
+    pub batch_max: usize,
+    /// Whether (and how hard) applied chunks are made durable.
+    pub durability: Durability,
+    /// Directory holding this node's log and snapshot (required whenever
+    /// `durability` keeps a log).
+    pub wal_dir: Option<&'a Path>,
 }
 
 /// What one handled message asks of the main loop.
@@ -78,14 +141,126 @@ struct DataActor<'a> {
     node: u32,
     store: NodeStore,
     marks: BTreeMap<(TxnId, u32), (u64, u64)>,
+    /// Mid-step progress recovered from the log: the next redelivered
+    /// `Access` for the key resumes from `next_chunk` instead of chunk 0.
+    partials: BTreeMap<(TxnId, u32), Partial>,
+    wal: Option<WalWriter>,
     replies: Coalescer,
+    batch_max: usize,
     rx: MsgCounts,
     read_checksum: u64,
     catalog: &'a Catalog,
+    /// Write a node snapshot once the log reaches this LSN.
+    snapshot_due: u64,
+    wal_dir: Option<&'a Path>,
+    checkpoints: u64,
 }
 
-impl DataActor<'_> {
-    // lint:allow(protocol: Submit, Grant, Reject, Delay, AccessDone, Commit, Abort, StatsDelta) a data node only receives Access/Batch/Shutdown; the rest is control<->client traffic
+impl<'a> DataActor<'a> {
+    /// Reply barrier: nothing escaping the node may outrun the log. At
+    /// every level this writes the buffered records to the file — a kill
+    /// destroys only the process's userspace, so the `write` is what makes
+    /// a record survive it; committed work missing from the log would be
+    /// unhealable (control redelivers only unacked steps). `sync`
+    /// additionally `fdatasync`s, extending the promise to machine
+    /// crashes.
+    fn wal_barrier(&mut self) -> Result<(), NetError> {
+        if let Some(w) = self.wal.as_mut() {
+            w.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Pure-idle flush, for ticks where no replies are pending: nothing is
+    /// about to escape, so only records past the group-commit age window
+    /// are written — the age half of group commit, without paying a file
+    /// write for every brief gap between bursts.
+    fn wal_flush_aged(&mut self) -> Result<(), NetError> {
+        if let Some(w) = self.wal.as_mut() {
+            w.flush_aged(WAL_AGE_WINDOW)?;
+        }
+        Ok(())
+    }
+
+    /// Pushes a reply, placing a log barrier first whenever this push will
+    /// flush the reply batch — the invariant that nothing escaping the node
+    /// outruns the log. Returns `Ok(false)` once the peer is gone.
+    fn push_reply(&mut self, m: Msg) -> Result<bool, NetError> {
+        if self.replies.pending() + 1 >= self.batch_max {
+            self.wal_barrier()?;
+        }
+        Ok(self.replies.push(m))
+    }
+
+    /// Writes a snapshot checkpoint when the log has grown past the due
+    /// mark, bounding any future replay to the records that follow.
+    fn maybe_snapshot(&mut self) -> Result<(), NetError> {
+        let due = self.wal.as_ref().is_some_and(|w| w.next_lsn() >= self.snapshot_due);
+        let Some(dir) = self.wal_dir else {
+            return Ok(());
+        };
+        if !due {
+            return Ok(());
+        }
+        let next_lsn = match self.wal.as_mut() {
+            Some(w) => {
+                // The snapshot claims everything below next_lsn; barrier so
+                // the claim never outruns the file.
+                w.sync()?;
+                w.next_lsn()
+            }
+            None => return Ok(()),
+        };
+        let snap = snapshot_from_state(
+            next_lsn,
+            self.store.snapshot_parts(),
+            self.store.write_units(),
+            self.read_checksum,
+            &self.marks,
+            &self.partials,
+        );
+        write_node_snapshot(&files::node_snapshot(dir, self.node), &snap)?;
+        self.checkpoints += 1;
+        self.snapshot_due = next_lsn + SNAPSHOT_EVERY;
+        Ok(())
+    }
+
+    /// Replays the full reply stream of an already-applied step: every
+    /// `StatsDelta` plus the `AccessDone`. Control's chunk cursor drops the
+    /// ones it already credited and applies the ones a kill destroyed.
+    fn replay_marked(
+        &mut self,
+        txn: TxnId,
+        step: u32,
+        checksum: u64,
+        done_units: u64,
+        chunk_size: u64,
+    ) -> Result<Flow, NetError> {
+        let mut offset = 0u64;
+        let mut chunk_idx = 0u64;
+        while offset < done_units {
+            let chunk = chunk_size.min(done_units - offset);
+            if !self.push_reply(Msg::StatsDelta {
+                txn,
+                step,
+                chunk: chunk_idx,
+                units: chunk,
+            })? {
+                return Ok(Flow::Stop);
+            }
+            offset += chunk;
+            chunk_idx += 1;
+        }
+        let ok = self.push_reply(Msg::AccessDone {
+            txn,
+            step,
+            checksum,
+            units: done_units,
+        })?;
+        Ok(if ok { Flow::Continue } else { Flow::Stop })
+    }
+
+    // lint:allow(protocol: Submit, Grant, Reject, Delay, AccessDone, Commit, Abort, StatsDelta, Recover) a data node only receives Access/Batch/Shutdown/RecoverAck; the rest is control<->client traffic, and Recover is what it *sends* after a restart
     fn handle(&mut self, m: Msg) -> Result<Flow, NetError> {
         m.count(&mut self.rx);
         match m {
@@ -99,6 +274,12 @@ impl DataActor<'_> {
                 Ok(Flow::Continue)
             }
             Msg::Shutdown => Ok(Flow::Stop),
+            Msg::RecoverAck { node, .. } => {
+                debug_assert_eq!(node, self.node);
+                // Informational: outstanding orders are already being
+                // re-sent; the marks/partials make them idempotent.
+                Ok(Flow::Continue)
+            }
             Msg::Access {
                 txn,
                 step,
@@ -108,30 +289,61 @@ impl DataActor<'_> {
                 chunk_units,
             } => {
                 debug_assert_eq!(self.catalog.node_of(partition), self.node);
+                let chunk_size = chunk_units.max(1);
                 if let Some(&(checksum, done_units)) = self.marks.get(&(txn, step)) {
                     // Redelivery of an applied step: answer, don't re-apply.
-                    let ok = self.replies.push(Msg::AccessDone {
+                    return self.replay_marked(txn, step, checksum, done_units, chunk_size);
+                }
+                // Resume point: chunks below `next_chunk` were applied and
+                // logged before a kill; their deltas re-send (control
+                // de-duplicates or heals) and application continues from
+                // the durable progress mark.
+                let resumed = self.partials.remove(&(txn, step)).unwrap_or_default();
+                for i in 0..resumed.next_chunk {
+                    let prior = chunk_size.min(units.saturating_sub(i * chunk_size));
+                    if prior == 0 {
+                        break;
+                    }
+                    if !self.push_reply(Msg::StatsDelta {
                         txn,
                         step,
-                        checksum,
-                        units: done_units,
-                    });
-                    return Ok(if ok { Flow::Continue } else { Flow::Stop });
+                        chunk: i,
+                        units: prior,
+                    })? {
+                        return Ok(Flow::Stop);
+                    }
                 }
-                let chunk_size = chunk_units.max(1);
-                let mut offset = 0u64;
-                let mut chunk_idx = 0u64;
-                let mut checksum = 0u64;
+                let mut offset = resumed.units_done;
+                let mut chunk_idx = resumed.next_chunk;
+                let mut checksum = resumed.checksum;
                 while offset < units {
                     let chunk = chunk_size.min(units - offset);
                     let sum = self.store.apply_chunk(partition, mode, offset, chunk)?;
                     checksum = checksum.wrapping_add(sum);
-                    if !self.replies.push(Msg::StatsDelta {
+                    if let Some(w) = self.wal.as_mut() {
+                        // Log before the delta can leave: the record is in
+                        // the writer (and on any flush path, in the file)
+                        // before control can ever learn of the chunk.
+                        w.append(ChunkRecord {
+                            lsn: 0,
+                            prev_lsn: 0,
+                            txn,
+                            step,
+                            chunk: chunk_idx,
+                            partition,
+                            mode,
+                            start_unit: offset,
+                            units: chunk,
+                            checksum: sum,
+                            complete: offset + chunk >= units,
+                        })?;
+                    }
+                    if !self.push_reply(Msg::StatsDelta {
                         txn,
                         step,
                         chunk: chunk_idx,
                         units: chunk,
-                    }) {
+                    })? {
                         return Ok(Flow::Stop);
                     }
                     offset += chunk;
@@ -141,12 +353,12 @@ impl DataActor<'_> {
                     self.read_checksum = self.read_checksum.wrapping_add(checksum);
                 }
                 self.marks.insert((txn, step), (checksum, units));
-                let ok = self.replies.push(Msg::AccessDone {
+                let ok = self.push_reply(Msg::AccessDone {
                     txn,
                     step,
                     checksum,
                     units,
-                });
+                })?;
                 Ok(if ok { Flow::Continue } else { Flow::Stop })
             }
             other => Err(NetError::Protocol(format!(
@@ -157,43 +369,131 @@ impl DataActor<'_> {
     }
 }
 
-/// Runs data node `node` until it receives `Shutdown` (or its inbox closes
-/// under transport teardown), applying `Access` orders against an owned,
-/// freshly zeroed [`NodeStore`]. Replies coalesce into `Batch` frames of at
+/// Whether a lost message (or any message inside a lost batch) was the
+/// run's `Shutdown` — a killed node that swallowed it must exit instead of
+/// rejoining, because control will never speak to it again.
+fn contains_shutdown(m: &Msg) -> bool {
+    match m {
+        Msg::Shutdown => true,
+        Msg::Batch(inner) => inner.iter().any(|im| matches!(im, Msg::Shutdown)),
+        _ => false,
+    }
+}
+
+/// Observability that must survive an actor's death: the run-level books a
+/// killed incarnation banks into before it is dropped.
+#[derive(Default)]
+struct Banked {
+    rx: MsgCounts,
+    tx: MsgCounts,
+    batched_inner: u64,
+    batch_sizes: Histogram,
+    wal: WalStats,
+}
+
+impl Banked {
+    fn bank(&mut self, actor: DataActor<'_>) {
+        self.rx.merge(&actor.rx);
+        self.tx.merge(&actor.replies.tx);
+        self.batched_inner += actor.replies.batched_inner;
+        self.batch_sizes.merge(&actor.replies.sizes);
+        if let Some(w) = &actor.wal {
+            self.wal.records += w.stats.records;
+            self.wal.flushes += w.stats.flushes;
+            self.wal.fsyncs += w.stats.fsyncs;
+            self.wal.bytes += w.stats.bytes;
+        }
+        self.wal.checkpoints += actor.checkpoints;
+        // `actor` drops here. On the kill path that drop IS the process
+        // death: store, marks, buffered replies, and the log writer's
+        // userspace buffer are destroyed together.
+    }
+}
+
+/// Runs data node `params.node` until it receives `Shutdown` (or its inbox
+/// closes under transport teardown), applying `Access` orders against an
+/// owned [`NodeStore`] — freshly zeroed, or rebuilt from the write-ahead
+/// log after each planned kill. Replies coalesce into `Batch` frames of at
 /// most `batch_max` messages.
 ///
 /// # Errors
 /// [`NetError::Core`] if an order addresses a partition this node does not
 /// own, [`NetError::Protocol`] on a message type only other actors may
-/// receive.
+/// receive, [`NetError::Dur`] on a log/checkpoint failure or a kill plan
+/// without the log it needs to restart from.
 pub fn run_data_node(
-    catalog: &Catalog,
-    node: u32,
+    params: DataNodeParams<'_>,
     inbox: &Inbox,
     to_control: &Arc<dyn MsgTx>,
-    crash: Option<CrashPlan>,
-    batch_max: usize,
 ) -> Result<DataOutcome, NetError> {
-    let mut actor = DataActor {
+    let DataNodeParams {
+        catalog,
+        node,
+        crash,
+        kill,
+        batch_max,
+        durability,
+        wal_dir,
+    } = params;
+    let mut crash = crash.filter(|c| c.node as u32 == node);
+    let mut kill = kill.filter(|k| k.node.is_none() || k.node == Some(node as usize));
+    if kill.is_some() && (!durability.requires_log() || wal_dir.is_none()) {
+        return Err(NetError::Dur(format!(
+            "data node {node}: a kill plan needs durability ('{}' given) and a wal dir",
+            durability.label()
+        )));
+    }
+    let open_writer = |next_lsn: u64,
+                       tails: BTreeMap<u32, u64>|
+     -> Result<Option<WalWriter>, NetError> {
+        match (durability.requires_log(), wal_dir) {
+            (true, Some(dir)) => Ok(Some(WalWriter::open(
+                &files::node_wal(dir, node),
+                durability,
+                next_lsn,
+                tails,
+            )?)),
+            (true, None) => Err(NetError::Dur(format!(
+                "data node {node}: durability '{}' needs a wal dir",
+                durability.label()
+            ))),
+            (false, _) => Ok(None),
+        }
+    };
+    let fresh_actor = |wal: Option<WalWriter>| DataActor {
         node,
         store: NodeStore::for_node(catalog, node),
-        // Durable across the simulated crash, like the store itself.
         marks: BTreeMap::new(),
+        partials: BTreeMap::new(),
+        wal,
         replies: Coalescer::new(Arc::clone(to_control), batch_max),
+        batch_max,
         rx: MsgCounts::default(),
         read_checksum: 0,
         catalog,
+        snapshot_due: SNAPSHOT_EVERY,
+        wal_dir,
+        checkpoints: 0,
     };
+
+    let mut acc = Banked::default();
     let mut crash_drops = 0u64;
+    let mut recoveries = 0u64;
+    let mut replay_chains = Histogram::new();
     let mut processed = 0u64;
-    let mut crash = crash.filter(|c| c.node as u32 == node);
+    let mut actor = fresh_actor(open_writer(0, BTreeMap::new())?);
 
     'main: loop {
         // Drain bursts without blocking so consecutive orders' replies
-        // coalesce; flush buffered replies before going idle.
+        // coalesce; barrier the log and flush buffered replies before idle.
         let m = match inbox.try_pop() {
             PopResult::Item(m) => m,
             PopResult::Empty => {
+                if actor.replies.pending() > 0 {
+                    actor.wal_barrier()?;
+                } else {
+                    actor.wal_flush_aged()?;
+                }
                 if !actor.replies.flush() {
                     break 'main;
                 }
@@ -204,8 +504,89 @@ pub fn run_data_node(
             }
             PopResult::Closed => break 'main,
         };
+        // Fault triggers count protocol messages, not wire frames: a Batch
+        // weighs its payload, so a kill or crash scheduled "after N
+        // messages" fires however the coalescers grouped them.
+        let weight = match &m {
+            Msg::Batch(inner) => inner.len().max(1) as u64,
+            _ => 1,
+        };
+        if let Some(plan) = kill {
+            if processed >= plan.after_msgs {
+                // Process death: the triggering message is lost, the whole
+                // in-memory incarnation is destroyed (only what the log and
+                // snapshot files hold survives), and the node is dark for
+                // the down window.
+                kill = None;
+                crash_drops += 1;
+                acc.bank(actor);
+                let mut saw_shutdown = contains_shutdown(&m);
+                let mut closed = false;
+                let deadline = Instant::now() + Duration::from_millis(plan.down_ms);
+                loop {
+                    let left = deadline.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        break;
+                    }
+                    match inbox.pop_timeout(left) {
+                        PopResult::Item(dropped) => {
+                            crash_drops += 1;
+                            saw_shutdown |= contains_shutdown(&dropped);
+                        }
+                        PopResult::Empty => break,
+                        PopResult::Closed => {
+                            closed = true;
+                            break;
+                        }
+                    }
+                }
+                // Restart: replay the log's dependency chains in parallel
+                // and rejoin with a Recover announcement.
+                let dir = wal_dir.ok_or_else(|| {
+                    NetError::Dur(format!("data node {node}: kill fired without a wal dir"))
+                })?;
+                let workers = std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(1)
+                    .min(REPLAY_WORKERS);
+                let rec = recover(catalog, node, dir, workers)?;
+                recoveries += 1;
+                acc.wal.recoveries += 1;
+                acc.wal.replayed_chunks += rec.replayed_chunks;
+                acc.wal.replayed_chains += rec.chains;
+                acc.wal.torn_tails += u64::from(rec.torn_tail);
+                for &len in &rec.chain_sizes {
+                    replay_chains.record(len);
+                }
+                let wal = open_writer(rec.next_lsn, rec.tails)?;
+                actor = fresh_actor(wal);
+                actor.store = rec.store;
+                actor.marks = rec.marks;
+                actor.partials = rec.partials;
+                actor.read_checksum = rec.read_checksum;
+                actor.snapshot_due = rec.next_lsn + SNAPSHOT_EVERY;
+                if closed || saw_shutdown {
+                    // Transport teardown hit mid-window, or the run's
+                    // Shutdown was among the lost messages — control has
+                    // already moved past this node, so a Recover would
+                    // never be answered and blocking for new orders would
+                    // hang the join. The recovered state still feeds the
+                    // outcome; exit orderly instead.
+                    break 'main;
+                }
+                let announced = actor.replies.push(Msg::Recover {
+                    node,
+                    last_lsn: rec.next_lsn,
+                    replayed_chunks: rec.replayed_chunks,
+                }) && actor.replies.flush();
+                if !announced {
+                    break 'main;
+                }
+                continue 'main;
+            }
+        }
         if let Some(plan) = crash {
-            if processed == plan.after_msgs {
+            if processed >= plan.after_msgs {
                 // Down: this wire message and everything else in the window
                 // is lost (a batch is lost whole). The durable store and
                 // marks survive the restart; buffered replies do not.
@@ -225,23 +606,33 @@ pub fn run_data_node(
                 }
             }
         }
-        processed += 1;
+        processed += weight;
         if let Flow::Stop = actor.handle(m)? {
             break;
         }
+        actor.maybe_snapshot()?;
     }
-    // Best-effort final flush: on orderly shutdown nothing is buffered, on
-    // link loss this is a no-op anyway.
+    // Best-effort final flush: the teardown barrier drains the group-commit
+    // buffer at every level, so an orderly exit leaves a complete log on
+    // disk; on link loss the reply flush is a no-op anyway.
+    actor.wal_barrier()?;
     actor.replies.flush();
 
+    let cell_sum = actor.store.cell_sum();
+    let write_units = actor.store.write_units();
+    let read_checksum = actor.read_checksum;
+    acc.bank(actor);
     Ok(DataOutcome {
-        cell_sum: actor.store.cell_sum(),
-        write_units: actor.store.write_units(),
-        read_checksum: actor.read_checksum,
-        rx: actor.rx,
-        tx: actor.replies.tx,
+        cell_sum,
+        write_units,
+        read_checksum,
+        rx: acc.rx,
+        tx: acc.tx,
         crash_drops,
-        batched_inner: actor.replies.batched_inner,
-        batch_sizes: actor.replies.sizes,
+        batched_inner: acc.batched_inner,
+        batch_sizes: acc.batch_sizes,
+        recoveries,
+        wal: acc.wal,
+        replay_chains,
     })
 }

@@ -55,6 +55,10 @@ pub enum NetError {
         /// Which actor timed out ("client 3", "control").
         actor: String,
     },
+    /// The durability layer failed: a write-ahead-log or checkpoint I/O
+    /// error, corrupt durable state, or a kill plan configured without the
+    /// log it needs to restart from.
+    Dur(String),
 }
 
 impl std::fmt::Display for NetError {
@@ -91,6 +95,7 @@ impl std::fmt::Display for NetError {
             NetError::RecvTimeout { actor } => {
                 write!(f, "{actor} timed out waiting for a message")
             }
+            NetError::Dur(e) => write!(f, "durability failure: {e}"),
         }
     }
 }
@@ -112,5 +117,11 @@ impl From<CodecError> for NetError {
 impl From<std::io::Error> for NetError {
     fn from(e: std::io::Error) -> NetError {
         NetError::Io(e.to_string())
+    }
+}
+
+impl From<wtpg_dur::DurError> for NetError {
+    fn from(e: wtpg_dur::DurError) -> NetError {
+        NetError::Dur(e.to_string())
     }
 }

@@ -74,6 +74,23 @@ pub struct CrashPlan {
     pub down_ms: u64,
 }
 
+/// A real process-death simulation: unlike [`CrashPlan`] (which merely
+/// drops messages while durable state survives in memory), a kill tears
+/// the data-node *actor* down — its in-memory store, applied-marks, and
+/// buffered replies are destroyed — and restarts it from its on-disk
+/// write-ahead log. Requires `Durability::{Buffered,Sync}` plus a log dir.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KillPlan {
+    /// Which data node dies; `None` kills *every* node (full-cluster kill —
+    /// each node dies at its own `after_msgs` mark).
+    pub node: Option<usize>,
+    /// The kill fires when the node is about to process its
+    /// `after_msgs`-th message (that message is lost too).
+    pub after_msgs: u64,
+    /// How long the node stays down before replaying its log, ms.
+    pub down_ms: u64,
+}
+
 /// The run's complete fault schedule.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -83,6 +100,8 @@ pub struct FaultPlan {
     pub link: LinkFaults,
     /// At most one data-node crash/restart.
     pub crash: Option<CrashPlan>,
+    /// Kill-and-restart-from-log: one node or the whole cluster.
+    pub kill: Option<KillPlan>,
 }
 
 impl FaultPlan {
@@ -92,6 +111,7 @@ impl FaultPlan {
             seed: 0,
             link: LinkFaults::NONE,
             crash: None,
+            kill: None,
         }
     }
 
@@ -106,6 +126,7 @@ impl FaultPlan {
                 dup_prob_pct: 10,
             },
             crash: None,
+            kill: None,
         }
     }
 
@@ -122,13 +143,55 @@ impl FaultPlan {
         }
     }
 
+    /// A kill-and-restart of data node `node` after its 20th message, down
+    /// 30 ms, with no link faults (isolates the durability path).
+    pub fn kill_node(node: usize) -> FaultPlan {
+        FaultPlan {
+            kill: Some(KillPlan {
+                node: Some(node),
+                after_msgs: 20,
+                down_ms: 30,
+            }),
+            ..FaultPlan::none()
+        }
+    }
+
+    /// [`FaultPlan::flaky_links`] plus a kill of data node `node`.
+    pub fn flaky_with_kill(seed: u64, node: usize) -> FaultPlan {
+        FaultPlan {
+            kill: Some(KillPlan {
+                node: Some(node),
+                after_msgs: 20,
+                down_ms: 30,
+            }),
+            ..FaultPlan::flaky_links(seed)
+        }
+    }
+
+    /// Kills *every* data node once (each after its 15th message, down 20
+    /// ms), no link faults: the full-cluster kill-and-restart drill.
+    pub fn kill_cluster() -> FaultPlan {
+        FaultPlan {
+            kill: Some(KillPlan {
+                node: None,
+                after_msgs: 15,
+                down_ms: 20,
+            }),
+            ..FaultPlan::none()
+        }
+    }
+
     /// The plan's report label.
     pub fn label(&self) -> &'static str {
-        match (self.link.active(), self.crash.is_some()) {
-            (false, false) => "none",
-            (true, false) => "fault",
-            (false, true) => "crash",
-            (true, true) => "fault+crash",
+        match (self.link.active(), self.crash.is_some(), self.kill.is_some()) {
+            (false, false, false) => "none",
+            (true, false, false) => "fault",
+            (false, true, false) => "crash",
+            (true, true, false) => "fault+crash",
+            (false, false, true) => "kill",
+            (true, false, true) => "fault+kill",
+            (false, true, true) => "crash+kill",
+            (true, true, true) => "fault+crash+kill",
         }
     }
 }
@@ -230,6 +293,9 @@ mod tests {
         assert_eq!(FaultPlan::none().label(), "none");
         assert_eq!(FaultPlan::flaky_links(1).label(), "fault");
         assert_eq!(FaultPlan::flaky_with_crash(1, 0).label(), "fault+crash");
+        assert_eq!(FaultPlan::kill_node(0).label(), "kill");
+        assert_eq!(FaultPlan::kill_cluster().label(), "kill");
+        assert_eq!(FaultPlan::flaky_with_kill(1, 0).label(), "fault+kill");
     }
 
     #[test]

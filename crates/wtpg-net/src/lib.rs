@@ -42,7 +42,10 @@ pub mod transport;
 
 pub use batch::Coalescer;
 pub use error::NetError;
-pub use fault::{CrashPlan, FaultPlan, LinkFaults};
+// Re-exported so callers configuring `NetConfig::durability` need no
+// direct wtpg-dur dependency.
+pub use wtpg_dur::Durability;
+pub use fault::{CrashPlan, FaultPlan, KillPlan, LinkFaults};
 pub use msg::Msg;
 pub use report::{MsgBreakdown, NetReport};
 pub use runtime::{run_cell, run_cell_obs, NetConfig};

@@ -137,6 +137,28 @@ pub enum Msg {
     /// duplicate delivery duplicates the whole batch and per-message
     /// idempotency still holds.
     Batch(Vec<Msg>),
+    /// Data node → control: a killed-and-restarted node finished replaying
+    /// its write-ahead log and is rejoining the run. Control re-sends the
+    /// node's outstanding `Access` orders immediately (instead of waiting
+    /// out their redelivery deadlines) and answers [`Msg::RecoverAck`].
+    Recover {
+        /// The recovered data node.
+        node: u32,
+        /// The node's next log sequence number after replay (durable log
+        /// length in records, checkpoint-adjusted).
+        last_lsn: u64,
+        /// Chunk records the node re-applied from its log.
+        replayed_chunks: u64,
+    },
+    /// Control → data node: recovery acknowledged; `outstanding` orders
+    /// were re-sent ahead of this ack (the node's applied-marks absorb any
+    /// the replay already covered).
+    RecoverAck {
+        /// The recovered data node.
+        node: u32,
+        /// `Access` orders control re-sent on the rejoin path.
+        outstanding: u32,
+    },
 }
 
 impl Msg {
@@ -155,6 +177,8 @@ impl Msg {
             Msg::StatsDelta { .. } => 8,
             Msg::Shutdown => 9,
             Msg::Batch(_) => 10,
+            Msg::Recover { .. } => 11,
+            Msg::RecoverAck { .. } => 12,
         }
     }
 
@@ -172,6 +196,8 @@ impl Msg {
             Msg::StatsDelta { .. } => counts.stats_delta += 1,
             Msg::Shutdown => counts.shutdown += 1,
             Msg::Batch(_) => counts.batch += 1,
+            Msg::Recover { .. } => counts.recover += 1,
+            Msg::RecoverAck { .. } => counts.recover_ack += 1,
         }
     }
 
@@ -237,6 +263,15 @@ mod tests {
             },
             Msg::Shutdown,
             Msg::Batch(vec![Msg::Shutdown]),
+            Msg::Recover {
+                node: 0,
+                last_lsn: 1,
+                replayed_chunks: 1,
+            },
+            Msg::RecoverAck {
+                node: 0,
+                outstanding: 1,
+            },
         ];
         let mut counts = MsgCounts::default();
         for (i, m) in msgs.iter().enumerate() {
@@ -245,7 +280,7 @@ mod tests {
             let (_, v) = counts.fields()[i];
             assert_eq!(v, 1, "tag {i} must bump field {i}");
         }
-        assert_eq!(counts.total(), 11);
+        assert_eq!(counts.total(), 13);
     }
 
     #[test]

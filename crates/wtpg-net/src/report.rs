@@ -32,6 +32,10 @@ pub struct MsgBreakdown {
     /// Vectored frames (each counts once; its payload is in the inner
     /// types' counters only on the receive side).
     pub batch: u64,
+    /// Recovery announcements from killed-and-restarted data nodes.
+    pub recover: u64,
+    /// Recovery acknowledgements from the control plane.
+    pub recover_ack: u64,
 }
 
 impl From<MsgCounts> for MsgBreakdown {
@@ -48,6 +52,8 @@ impl From<MsgCounts> for MsgBreakdown {
             stats_delta: c.stats_delta,
             shutdown: c.shutdown,
             batch: c.batch,
+            recover: c.recover,
+            recover_ack: c.recover_ack,
         }
     }
 }
@@ -60,8 +66,11 @@ pub struct NetReport {
     pub scheduler: String,
     /// Transport label ("inproc", "tcp").
     pub transport: String,
-    /// Fault-plan label ("none", "fault", "crash", "fault+crash").
+    /// Fault-plan label ("none", "fault", "crash", "fault+crash", "kill",
+    /// "fault+kill", …).
     pub fault: String,
+    /// Durability level label ("none", "buffered", "sync").
+    pub durability: String,
     /// Client actors driving transactions.
     pub clients: usize,
     /// Data-node actors (one per catalog node).
@@ -117,6 +126,25 @@ pub struct NetReport {
     pub access_retries: u64,
     /// Messages discarded by the simulated data-node crash.
     pub crash_drops: u64,
+    /// Kill-and-restart recoveries performed by data nodes (each one is a
+    /// full log replay back into a fresh store).
+    pub recoveries: u64,
+    /// `(txn, step)` orders whose node blew past the redelivery budget and
+    /// were parked as node-unavailable instead of failing the run; they
+    /// re-send at the capped interval until the node rejoins.
+    pub node_unavailable: u64,
+    /// Chunk records appended to data-node write-ahead logs.
+    pub wal_records: u64,
+    /// Group-commit buffer flushes to log files.
+    pub wal_flushes: u64,
+    /// `fdatasync` barriers issued (`sync` durability only).
+    pub wal_fsyncs: u64,
+    /// Log bytes written.
+    pub wal_bytes: u64,
+    /// Chunk records re-applied by recovery replays.
+    pub wal_replayed_chunks: u64,
+    /// Node snapshots plus control checkpoints written.
+    pub wal_checkpoints: u64,
     /// True when the recorded history was replay-certified.
     pub certified: bool,
     /// Grants checked by the certifier (0 when certification was off).

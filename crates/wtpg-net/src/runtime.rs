@@ -25,6 +25,7 @@
 //!    proofs the threaded engine demands, now under real message passing,
 //!    batched frames, and injected faults.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -32,7 +33,9 @@ use std::time::{Duration, Instant};
 use wtpg_core::certify::certify_history;
 use wtpg_core::partition::Catalog;
 use wtpg_core::txn::{AccessMode, TxnId, TxnSpec};
-use wtpg_obs::{Histogram, MsgCounts, NetStats, ObsEvent, Observer};
+use wtpg_dur::checkpoint::files as dur_files;
+use wtpg_dur::Durability;
+use wtpg_obs::{Histogram, MsgCounts, NetStats, ObsEvent, Observer, WalStats};
 use wtpg_rt::backoff::Backoff;
 use wtpg_rt::engine::SendScheduler;
 use wtpg_rt::metrics::LatencySummary;
@@ -41,7 +44,7 @@ use wtpg_rt::shard::{merge_audits, ShardMap};
 
 use crate::client::{run_client, ClientOutcome};
 use crate::control::{run_control, ControlOutcome, ControlParams};
-use crate::data::{run_data_node, DataOutcome};
+use crate::data::{run_data_node, DataNodeParams, DataOutcome};
 use crate::error::NetError;
 use crate::fault::{FaultCounters, FaultLink, FaultPlan};
 use crate::msg::Msg;
@@ -49,7 +52,7 @@ use crate::report::NetReport;
 use crate::transport::{control_inbox_capacity, Inbox, MsgTx, Transport};
 
 /// Tuning knobs for one shared-nothing run.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct NetConfig {
     /// Client actors (each drives a slice of the workload, one transaction
     /// in flight at a time).
@@ -84,6 +87,14 @@ pub struct NetConfig {
     /// submissions beyond it queue in the shard's FIFO backlog without
     /// touching the scheduler (admission flow control for deep pipelines).
     pub admit_window: usize,
+    /// Whether (and how hard) data nodes log applied chunks before their
+    /// replies can escape. `None` keeps the pre-durability behavior;
+    /// `Buffered`/`Sync` require `wal_dir` and enable kill-restart faults.
+    pub durability: Durability,
+    /// Directory for data-node logs, node snapshots, and control
+    /// checkpoints. Required whenever `durability` keeps a log; created if
+    /// missing, never cleaned up (the artifacts are the point).
+    pub wal_dir: Option<PathBuf>,
 }
 
 impl Default for NetConfig {
@@ -103,6 +114,8 @@ impl Default for NetConfig {
             batch_window_us: 100,
             pipeline: 16,
             admit_window: 32,
+            durability: Durability::None,
+            wal_dir: None,
         }
     }
 }
@@ -155,7 +168,14 @@ fn msg_txn(m: &Msg) -> Option<TxnId> {
 fn run_router(inbox: &Inbox, map: &ShardMap, shard_inboxes: &[Inbox]) -> MsgCounts {
     let mut rx = MsgCounts::default();
     let route = |m: Msg, rx: &mut MsgCounts| {
-        if let Some(txn) = msg_txn(&m) {
+        if matches!(m, Msg::Recover { .. }) {
+            // A recovery announcement has no transaction: every shard
+            // tracks its own outstanding orders on the rejoined node, so
+            // it is broadcast rather than dealt.
+            for inbox in shard_inboxes {
+                let _ = inbox.push(m.clone());
+            }
+        } else if let Some(txn) = msg_txn(&m) {
             // A shard that already exited leaves its inbox open, so late
             // duplicates land harmlessly.
             if let Some(inbox) = shard_inboxes.get(map.shard_of(txn)) {
@@ -221,6 +241,24 @@ pub fn run_cell_obs(
     let clients = cfg.clients.clamp(1, specs.len().max(1));
     let watchdog = Duration::from_millis(cfg.watchdog_ms.max(1));
 
+    // Durability plumbing: a kill fault restarts nodes *from disk*, so it
+    // is meaningless without a log to replay.
+    if fault.kill.is_some() && (!cfg.durability.requires_log() || cfg.wal_dir.is_none()) {
+        return Err(NetError::Dur(
+            "a kill fault plan needs --durability buffered|sync and a wal dir to restart from"
+                .to_string(),
+        ));
+    }
+    if cfg.durability.requires_log() {
+        let Some(dir) = cfg.wal_dir.as_deref() else {
+            return Err(NetError::Dur(format!(
+                "durability '{}' needs a wal dir",
+                cfg.durability.label()
+            )));
+        };
+        std::fs::create_dir_all(dir)?;
+    }
+
     // Conflict components decide how many control shards actually run.
     let map = ShardMap::build(specs, cfg.shards.max(1));
     let shards = map.shards();
@@ -280,6 +318,17 @@ pub fn run_cell_obs(
                     let to_data = &to_data;
                     let to_clients = &to_clients;
                     let expected_commits = map.assigned(si);
+                    let ckpt = cfg
+                        .wal_dir
+                        .as_ref()
+                        .filter(|_| cfg.durability.requires_log())
+                        .map(|d| {
+                            if si == 0 {
+                                dur_files::control_ckpt(d)
+                            } else {
+                                d.join(format!("control{si}.ckpt"))
+                            }
+                        });
                     s.spawn(move || {
                         let params = ControlParams {
                             sched: sched(),
@@ -290,6 +339,7 @@ pub fn run_cell_obs(
                             batch_window: Duration::from_micros(cfg.batch_window_us),
                             admit_window: cfg.admit_window,
                             shard: si,
+                            ckpt,
                         };
                         run_control(
                             params,
@@ -307,8 +357,21 @@ pub fn run_cell_obs(
                 .zip(&data_to_control)
                 .enumerate()
                 .map(|(n, (inbox, tx))| {
+                    let wal_dir = cfg.wal_dir.as_deref();
                     s.spawn(move || {
-                        run_data_node(catalog, n as u32, inbox, tx, fault.crash, cfg.batch_max)
+                        run_data_node(
+                            DataNodeParams {
+                                catalog,
+                                node: n as u32,
+                                crash: fault.crash,
+                                kill: fault.kill,
+                                batch_max: cfg.batch_max,
+                                durability: cfg.durability,
+                                wal_dir,
+                            },
+                            inbox,
+                            tx,
+                        )
                     })
                 })
                 .collect();
@@ -408,6 +471,8 @@ pub fn run_cell_obs(
     let mut batch_sizes = Histogram::new();
     let mut per_shard: Vec<(u64, u64)> = Vec::with_capacity(shards); // (admissions, commits)
     let mut audits = Vec::with_capacity(shards);
+    let mut node_unavailable = 0u64;
+    let mut wal = WalStats::default();
     for c in controls {
         sent.merge(&c.tx);
         processed.merge(&c.rx);
@@ -416,6 +481,8 @@ pub fn run_cell_obs(
         max_retry_streak = max_retry_streak.max(c.max_retry_streak);
         batched_inner += c.batched_inner;
         batch_sizes.merge(&c.batch_sizes);
+        node_unavailable += c.node_unavailable;
+        wal.checkpoints += c.ckpt_writes;
         per_shard.push((c.audit.counters.admissions, c.audit.counters.commits));
         audits.push(c.audit);
     }
@@ -435,6 +502,8 @@ pub fn run_cell_obs(
     let mut read_checksum = 0u64;
     let mut cell_sum = 0u64;
     let mut store_write_units = 0u64;
+    let mut recoveries = 0u64;
+    let mut replay_chains = Histogram::new();
     for d in &data_out {
         sent.merge(&d.tx);
         processed.merge(&d.rx);
@@ -444,6 +513,9 @@ pub fn run_cell_obs(
         store_write_units += d.write_units;
         batched_inner += d.batched_inner;
         batch_sizes.merge(&d.batch_sizes);
+        recoveries += d.recoveries;
+        wal.merge(&d.wal);
+        replay_chains.merge(&d.replay_chains);
     }
 
     let counters = audit.counters;
@@ -451,6 +523,7 @@ pub fn run_cell_obs(
         scheduler: name,
         transport: transport.name().to_string(),
         fault: fault.label().to_string(),
+        durability: cfg.durability.label().to_string(),
         clients,
         data_nodes,
         shards,
@@ -481,6 +554,14 @@ pub fn run_cell_obs(
         delayed_deliveries: fault_counters.delayed(),
         access_retries,
         crash_drops,
+        recoveries,
+        node_unavailable,
+        wal_records: wal.records,
+        wal_flushes: wal.flushes,
+        wal_fsyncs: wal.fsyncs,
+        wal_bytes: wal.bytes,
+        wal_replayed_chunks: wal.replayed_chunks,
+        wal_checkpoints: wal.checkpoints,
         certified: false,
         certify_grants: 0,
         certify_eq_checks: 0,
@@ -533,6 +614,10 @@ pub fn run_cell_obs(
             batched_inner,
         };
         stats.emit(o.as_ref(), 0, 0);
+        wal.emit(o.as_ref(), 0, 0);
+        if recoveries > 0 {
+            o.record(ObsEvent::hist(0, 0, "net_wal_replay_chain", replay_chains));
+        }
         o.record(ObsEvent::counter(0, 0, "net_commits", counters.commits));
         for (si, &(admissions, commits)) in per_shard.iter().enumerate() {
             o.record(ObsEvent::counter(

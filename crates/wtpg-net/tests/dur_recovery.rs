@@ -1,0 +1,214 @@
+//! Kill-and-restart durability tests: a data node (or the whole cluster)
+//! is torn down mid-run — in-memory store, applied-marks, and buffered
+//! replies destroyed — restarted from its write-ahead log, and the run
+//! must still commit everything, certify, and conserve every write unit.
+//! After the run, the on-disk log must replay to the same state the live
+//! node ended with, byte for byte, whether replayed serially or across
+//! parallel dependency chains.
+
+use std::path::{Path, PathBuf};
+
+use wtpg_dur::checkpoint::{files, read_control_checkpoint};
+use wtpg_dur::{recover, Durability};
+use wtpg_net::fault::{FaultPlan, KillPlan, LinkFaults};
+use wtpg_net::runtime::{run_cell, NetConfig};
+use wtpg_net::transport::InProc;
+use wtpg_net::NetError;
+use wtpg_rt::backoff::Backoff;
+use wtpg_rt::sched_by_name;
+use wtpg_rt::workload::pattern_specs;
+use wtpg_workload::Pattern;
+
+fn wal_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("wtpg-dur-net-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn dur_cfg(durability: Durability, dir: &Path) -> NetConfig {
+    NetConfig {
+        durability,
+        wal_dir: Some(dir.to_path_buf()),
+        ..NetConfig::default()
+    }
+}
+
+#[test]
+fn single_node_kill_recovers_and_certifies_under_sync() {
+    let (catalog, specs) = pattern_specs(Pattern::One, 60, 7);
+    let dir = wal_dir("sync-kill");
+    let r = run_cell(
+        &dur_cfg(Durability::Sync, &dir),
+        &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+        &catalog,
+        &specs,
+        &InProc,
+        &FaultPlan::kill_node(0),
+    )
+    .expect("killed run completes cleanly");
+    assert_eq!(r.committed, 60);
+    assert!(r.certified);
+    assert!(r.store_consistent, "{r:?}");
+    assert_eq!(r.fault, "kill");
+    assert_eq!(r.durability, "sync");
+    assert!(r.recoveries >= 1, "the kill must actually fire: {r:?}");
+    assert!(r.msgs.recover >= 1, "restart must announce itself");
+    assert!(r.msgs.recover_ack >= 1, "control must ack the rejoin");
+    assert!(r.wal_records > 0, "chunks must be logged");
+    assert!(r.wal_fsyncs > 0, "sync durability must fsync");
+    assert!(r.crash_drops > 0, "the down window must drop messages");
+    // The control plane checkpointed its cursor; the final write covers
+    // the full run.
+    let ckpt = read_control_checkpoint(&files::control_ckpt(&dir))
+        .expect("checkpoint reads")
+        .expect("checkpoint written");
+    assert_eq!(ckpt.committed, 60);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn single_node_kill_recovers_under_buffered() {
+    let (catalog, specs) = pattern_specs(Pattern::One, 60, 11);
+    let dir = wal_dir("buf-kill");
+    let r = run_cell(
+        &dur_cfg(Durability::Buffered, &dir),
+        &|| sched_by_name("k2", 2, 2000).expect("known scheduler"),
+        &catalog,
+        &specs,
+        &InProc,
+        &FaultPlan::kill_node(0),
+    )
+    .expect("killed run completes cleanly");
+    assert_eq!(r.committed, 60);
+    assert!(r.certified);
+    assert!(r.store_consistent, "{r:?}");
+    assert_eq!(r.durability, "buffered");
+    assert!(r.recoveries >= 1);
+    assert_eq!(r.wal_fsyncs, 0, "buffered durability never fsyncs");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn full_cluster_kill_replays_every_node_byte_identically() {
+    let (catalog, specs) = pattern_specs(Pattern::One, 80, 13);
+    let dir = wal_dir("cluster-kill");
+    let r = run_cell(
+        &dur_cfg(Durability::Sync, &dir),
+        &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+        &catalog,
+        &specs,
+        &InProc,
+        &FaultPlan::kill_cluster(),
+    )
+    .expect("cluster-killed run completes cleanly");
+    assert_eq!(r.committed, 80);
+    assert!(r.certified);
+    assert!(r.store_consistent, "{r:?}");
+    assert_eq!(
+        r.recoveries, r.data_nodes as u64,
+        "every node must die and restart exactly once: {r:?}"
+    );
+    assert!(r.wal_replayed_chunks > 0, "replays must re-apply chunks");
+
+    // Offline replay: the durable state each node left behind must
+    // rebuild the exact store the live run ended with — and the parallel
+    // dependency-chain replay must be byte-identical to the serial one.
+    let mut cells = 0u64;
+    let mut units = 0u64;
+    for node in 0..r.data_nodes as u32 {
+        let serial = recover(&catalog, node, &dir, 1).expect("serial recovery");
+        let parallel = recover(&catalog, node, &dir, 4).expect("parallel recovery");
+        assert_eq!(
+            serial.store.snapshot_parts(),
+            parallel.store.snapshot_parts(),
+            "node {node}: parallel replay diverged from serial"
+        );
+        assert_eq!(serial.store.write_units(), parallel.store.write_units());
+        cells += serial.store.cell_sum();
+        units += serial.store.write_units();
+    }
+    assert_eq!(cells, r.store_cell_sum, "offline replay lost cells");
+    assert_eq!(units, r.store_write_units, "offline replay lost units");
+    assert_eq!(units, r.expected_write_units, "conservation must hold");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn node_down_past_budget_parks_as_unavailable_instead_of_erroring() {
+    let (catalog, specs) = pattern_specs(Pattern::One, 40, 17);
+    let dir = wal_dir("park");
+    // A redelivery budget far too small for the down window: before the
+    // durability layer this errored with RetriesExhausted; now the orders
+    // park as node-unavailable and heal when the node rejoins.
+    let cfg = NetConfig {
+        retry: Backoff {
+            base_us: 2_000,
+            cap_us: 8_000,
+            max_attempts: 3,
+        },
+        ..dur_cfg(Durability::Sync, &dir)
+    };
+    let fault = FaultPlan {
+        seed: 0,
+        link: LinkFaults::NONE,
+        crash: None,
+        kill: Some(KillPlan {
+            node: Some(0),
+            after_msgs: 10,
+            down_ms: 150,
+        }),
+    };
+    let r = run_cell(
+        &cfg,
+        &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+        &catalog,
+        &specs,
+        &InProc,
+        &fault,
+    )
+    .expect("parked run still completes");
+    assert_eq!(r.committed, 40);
+    assert!(r.certified);
+    assert!(r.store_consistent, "{r:?}");
+    assert!(
+        r.node_unavailable > 0,
+        "budget blowout must surface as node_unavailable: {r:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn kill_without_durability_is_rejected() {
+    let (catalog, specs) = pattern_specs(Pattern::One, 10, 7);
+    let err = run_cell(
+        &NetConfig::default(),
+        &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+        &catalog,
+        &specs,
+        &InProc,
+        &FaultPlan::kill_node(0),
+    )
+    .expect_err("a kill without a log to restart from must be refused");
+    assert!(matches!(err, NetError::Dur(_)), "{err:?}");
+}
+
+#[test]
+fn flaky_links_with_kill_still_certify() {
+    let (catalog, specs) = pattern_specs(Pattern::One, 60, 19);
+    let dir = wal_dir("flaky-kill");
+    let r = run_cell(
+        &dur_cfg(Durability::Buffered, &dir),
+        &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+        &catalog,
+        &specs,
+        &InProc,
+        &FaultPlan::flaky_with_kill(23, 0),
+    )
+    .expect("flaky killed run completes cleanly");
+    assert_eq!(r.committed, 60);
+    assert!(r.certified);
+    assert!(r.store_consistent, "{r:?}");
+    assert_eq!(r.fault, "fault+kill");
+    assert!(r.recoveries >= 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -84,6 +84,21 @@ fn exemplars() -> Vec<(&'static str, Msg)> {
         ),
         ("Shutdown", Msg::Shutdown),
         ("Batch", Msg::Batch(vec![Msg::Shutdown])),
+        (
+            "Recover",
+            Msg::Recover {
+                node: 0,
+                last_lsn: 0,
+                replayed_chunks: 0,
+            },
+        ),
+        (
+            "RecoverAck",
+            Msg::RecoverAck {
+                node: 0,
+                outstanding: 0,
+            },
+        ),
     ]
 }
 

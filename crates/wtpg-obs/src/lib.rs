@@ -34,7 +34,7 @@ pub mod wall;
 
 pub use event::{EventKind, Name, ObsEvent};
 pub use hist::Histogram;
-pub use net::{ByteCounts, MsgCounts, NetStats};
+pub use net::{ByteCounts, MsgCounts, NetStats, WalStats};
 pub use observer::{MemorySink, NullObserver, Observer};
 pub use stats::{emit_deltas, ControlStats};
 pub use summary::TraceSummary;

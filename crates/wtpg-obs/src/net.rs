@@ -39,11 +39,16 @@ pub struct MsgCounts {
     /// Counts as one wire message; its inner messages are tallied under
     /// their own types only by the *receiving* actor's processed counts.
     pub batch: u64,
+    /// `Recover` — a restarted data node announces its replayed state.
+    pub recover: u64,
+    /// `RecoverAck` — control acknowledges a recovery and re-sends the
+    /// node's outstanding orders.
+    pub recover_ack: u64,
 }
 
 impl MsgCounts {
     /// The counters as `(name, value)` pairs, in wire-tag order.
-    pub fn fields(&self) -> [(&'static str, u64); 11] {
+    pub fn fields(&self) -> [(&'static str, u64); 13] {
         [
             ("submit", self.submit),
             ("grant", self.grant),
@@ -56,6 +61,8 @@ impl MsgCounts {
             ("stats_delta", self.stats_delta),
             ("shutdown", self.shutdown),
             ("batch", self.batch),
+            ("recover", self.recover),
+            ("recover_ack", self.recover_ack),
         ]
     }
 
@@ -77,6 +84,73 @@ impl MsgCounts {
         self.stats_delta += other.stats_delta;
         self.shutdown += other.shutdown;
         self.batch += other.batch;
+        self.recover += other.recover;
+        self.recover_ack += other.recover_ack;
+    }
+}
+
+/// Cumulative write-ahead-log statistics for one data node (or one run,
+/// after merging): append/flush/fsync activity on the hot path and replay
+/// work performed by kill-restart recoveries.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Chunk records appended to the log.
+    pub records: u64,
+    /// Userspace-buffer flushes to the log file (group commits).
+    pub flushes: u64,
+    /// `fdatasync` barriers issued (`Durability::Sync` only).
+    pub fsyncs: u64,
+    /// Log bytes written (frame headers included).
+    pub bytes: u64,
+    /// Chunk records re-applied by recovery replays.
+    pub replayed_chunks: u64,
+    /// Independent per-partition dependency chains replayed.
+    pub replayed_chains: u64,
+    /// Kill-and-restart recoveries performed.
+    pub recoveries: u64,
+    /// Recoveries that found (and healed past) a torn log tail.
+    pub torn_tails: u64,
+    /// Node snapshots written (replay-bounding checkpoints).
+    pub checkpoints: u64,
+}
+
+impl WalStats {
+    /// The counters as `(name, value)` pairs, in a fixed order.
+    pub fn fields(&self) -> [(&'static str, u64); 9] {
+        [
+            ("records", self.records),
+            ("flushes", self.flushes),
+            ("fsyncs", self.fsyncs),
+            ("bytes", self.bytes),
+            ("replayed_chunks", self.replayed_chunks),
+            ("replayed_chains", self.replayed_chains),
+            ("recoveries", self.recoveries),
+            ("torn_tails", self.torn_tails),
+            ("checkpoints", self.checkpoints),
+        ]
+    }
+
+    /// Adds every counter of `other` into `self` (merge after a join).
+    pub fn merge(&mut self, other: &WalStats) {
+        self.records += other.records;
+        self.flushes += other.flushes;
+        self.fsyncs += other.fsyncs;
+        self.bytes += other.bytes;
+        self.replayed_chunks += other.replayed_chunks;
+        self.replayed_chains += other.replayed_chains;
+        self.recoveries += other.recoveries;
+        self.torn_tails += other.torn_tails;
+        self.checkpoints += other.checkpoints;
+    }
+
+    /// Emits one cumulative counter event per nonzero statistic, stamped
+    /// `at` on `track`, with names prefixed `net_wal_`.
+    pub fn emit(&self, obs: &dyn Observer, at: u64, track: u32) {
+        for (name, v) in self.fields() {
+            if v != 0 {
+                obs.record(ObsEvent::counter(at, track, format!("net_wal_{name}"), v));
+            }
+        }
     }
 }
 
@@ -270,6 +344,52 @@ mod tests {
         assert_eq!(a.access_retries, 6);
         assert_eq!(a.crash_drops, 8);
         assert_eq!(a.batched_inner, 10);
+    }
+
+    #[test]
+    fn wal_stats_merge_and_emit_skip_zeros() {
+        let mut a = WalStats {
+            records: 10,
+            flushes: 2,
+            bytes: 750,
+            recoveries: 1,
+            ..WalStats::default()
+        };
+        a.merge(&WalStats {
+            records: 5,
+            fsyncs: 3,
+            replayed_chunks: 7,
+            replayed_chains: 2,
+            torn_tails: 1,
+            checkpoints: 4,
+            ..WalStats::default()
+        });
+        assert_eq!(a.records, 15);
+        assert_eq!(a.fsyncs, 3);
+        assert_eq!(a.checkpoints, 4);
+        let sink = MemorySink::new();
+        a.emit(&sink, 2, 0);
+        let evs = sink.take();
+        assert_eq!(evs.len(), 9, "one event per nonzero counter: {evs:?}");
+        assert!(evs.contains(&ObsEvent::counter(2, 0, "net_wal_records", 15)));
+        assert!(evs.contains(&ObsEvent::counter(2, 0, "net_wal_replayed_chains", 2)));
+        assert!(evs.contains(&ObsEvent::counter(2, 0, "net_wal_torn_tails", 1)));
+    }
+
+    #[test]
+    fn recover_counts_merge_into_totals() {
+        let mut a = MsgCounts {
+            recover: 1,
+            ..MsgCounts::default()
+        };
+        a.merge(&MsgCounts {
+            recover: 2,
+            recover_ack: 3,
+            ..MsgCounts::default()
+        });
+        assert_eq!(a.recover, 3);
+        assert_eq!(a.recover_ack, 3);
+        assert_eq!(a.total(), 6);
     }
 
     #[test]

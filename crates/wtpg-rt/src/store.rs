@@ -97,7 +97,27 @@ impl NodeStore {
             .partitions
             .get_mut(&p.0)
             .ok_or(CoreError::UnknownPartition(p))?;
-        let rows = cells.len() as u64;
+        if mode == AccessMode::Write {
+            self.write_units += units;
+        }
+        Ok(NodeStore::chunk_into_cells(cells, mode, start_unit, units))
+    }
+
+    /// The cyclic-touch kernel of [`Self::apply_chunk`], operating on a bare
+    /// cell slice: touches `units` cells starting at logical offset
+    /// `start_unit` (cycling past the end) and returns the chunk checksum.
+    /// Write chunks increment each touched cell by one. Exposed so log
+    /// replay (`wtpg-dur`) can rebuild per-partition cell vectors on worker
+    /// threads without constructing a store per worker; the caller is
+    /// responsible for the write-unit tally and placement checks that
+    /// [`Self::apply_chunk`] layers on top.
+    pub fn chunk_into_cells(
+        cells: &mut [u64],
+        mode: AccessMode,
+        start_unit: u64,
+        units: u64,
+    ) -> u64 {
+        let rows = (cells.len() as u64).max(1);
         let start = (start_unit % rows) as usize;
         let full = units / rows;
         let part = (units % rows) as usize;
@@ -117,7 +137,6 @@ impl NodeStore {
             for cell in cells.get_mut(..wrapped).unwrap_or(&mut []) {
                 *cell = cell.wrapping_add(1);
             }
-            self.write_units += units;
         }
         let mut checksum = 0u64;
         if full > 0 {
@@ -130,7 +149,62 @@ impl NodeStore {
         for &cell in cells.get(..wrapped).unwrap_or(&[]) {
             checksum = checksum.wrapping_add(cell);
         }
-        Ok(checksum.rotate_left((units % 63) as u32 + 1))
+        checksum.rotate_left((units % 63) as u32 + 1)
+    }
+
+    /// Clones the cells of every partition homed here, keyed by partition
+    /// id — the snapshot half of the durability hooks (checkpoint writing
+    /// and replay verification read store state through this).
+    pub fn snapshot_parts(&self) -> Vec<(u32, Vec<u64>)> {
+        self.partitions
+            .iter()
+            .map(|(&p, cells)| (p, cells.clone()))
+            .collect()
+    }
+
+    /// Rebuilds a store for node `node` of `catalog` from recovered
+    /// partition cells — the restore half of the durability hooks. Every
+    /// partition the catalog homes on `node` must appear exactly once in
+    /// `parts` with its catalog cell count; `write_units` is the recovered
+    /// write-unit tally.
+    ///
+    /// # Errors
+    /// [`CoreError::UnknownPartition`] if `parts` names a partition not
+    /// homed on `node`; [`CoreError::Invariant`] if a homed partition is
+    /// missing, duplicated, or sized differently from the catalog.
+    pub fn from_parts(
+        catalog: &Catalog,
+        node: u32,
+        parts: Vec<(u32, Vec<u64>)>,
+        write_units: u64,
+    ) -> Result<NodeStore, CoreError> {
+        let mut store = NodeStore::for_node(catalog, node);
+        let expected = store.partitions.len();
+        let mut seen = std::collections::BTreeSet::new();
+        for (p, cells) in parts {
+            if !seen.insert(p) {
+                return Err(CoreError::Invariant(
+                    "recovered parts name the same partition twice",
+                ));
+            }
+            let slot = store
+                .partitions
+                .get_mut(&p)
+                .ok_or(CoreError::UnknownPartition(PartitionId(p)))?;
+            if slot.len() != cells.len() {
+                return Err(CoreError::Invariant(
+                    "recovered partition cell count differs from the catalog",
+                ));
+            }
+            *slot = cells;
+        }
+        if seen.len() != expected {
+            return Err(CoreError::Invariant(
+                "recovered parts do not cover every partition homed on the node",
+            ));
+        }
+        store.write_units = write_units;
+        Ok(store)
     }
 
     /// Sum of every cell on this node.
@@ -313,6 +387,41 @@ mod tests {
             sharded.cell_sum(),
             owned.iter().map(NodeStore::cell_sum).sum::<u64>()
         );
+    }
+
+    #[test]
+    fn snapshot_and_restore_round_trip_the_store() {
+        let catalog = Catalog::uniform(4, 2, 2);
+        let mut n0 = NodeStore::for_node(&catalog, 0);
+        n0.apply_chunk(PartitionId(0), AccessMode::Write, 3, 1500).unwrap();
+        n0.apply_chunk(PartitionId(2), AccessMode::Write, 7, 42).unwrap();
+        let parts = n0.snapshot_parts();
+        let restored = NodeStore::from_parts(&catalog, 0, parts.clone(), n0.write_units()).unwrap();
+        assert_eq!(restored.snapshot_parts(), parts);
+        assert_eq!(restored.cell_sum(), n0.cell_sum());
+        assert_eq!(restored.write_units(), n0.write_units());
+        // Restore validation: foreign partition, missing partition, size drift.
+        assert!(NodeStore::from_parts(&catalog, 1, parts.clone(), 0).is_err());
+        assert!(NodeStore::from_parts(&catalog, 0, parts[..1].to_vec(), 0).is_err());
+        let mut short = parts.clone();
+        short[0].1.pop();
+        assert!(NodeStore::from_parts(&catalog, 0, short, 0).is_err());
+        let mut dup = parts.clone();
+        dup.push(parts[0].clone());
+        assert!(NodeStore::from_parts(&catalog, 0, dup, 0).is_err());
+    }
+
+    #[test]
+    fn chunk_kernel_matches_apply_chunk() {
+        let catalog = Catalog::uniform(2, 2, 1);
+        let mut store = NodeStore::for_node(&catalog, 0);
+        let mut cells = vec![0u64; 2000];
+        for (i, &(start, units)) in [(0u64, 1500u64), (1500, 1000), (2500, 7)].iter().enumerate() {
+            let a = store.apply_chunk(PartitionId(0), AccessMode::Write, start, units).unwrap();
+            let b = NodeStore::chunk_into_cells(&mut cells, AccessMode::Write, start, units);
+            assert_eq!(a, b, "chunk {i} checksum");
+        }
+        assert_eq!(store.snapshot_parts()[0].1, cells);
     }
 
     #[test]
