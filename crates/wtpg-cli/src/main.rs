@@ -25,6 +25,11 @@
 //!               [--seed N] [--chunk N] [--k N] [--keeptime MS]
 //!               [--no-certify]
 //!               [--grid] [--out FILE]   sweeps sched × transport × fault
+//! wtpg load     [--lambda TPS] [--secs F] open-loop Poisson load with
+//!               [--slo SPEC] [--jsonl F]  windowed SLO verdicts; --grid
+//!               [--grid] [--out FILE]     bisects max sustainable tps and
+//!                                         writes BENCH_load.json
+//! wtpg top      <trace.jsonl> [--once]    live windowed-telemetry view
 //! wtpg obs      summary <trace.jsonl>   percentiles, abort causes, cache
 //!               diff <a.jsonl> <b.jsonl>  hit ratios; counter/span deltas
 //!               chrome <trace.jsonl>    convert to Chrome trace_event JSON
@@ -40,10 +45,12 @@
 use std::io::Read as _;
 
 mod engine;
+mod load;
 mod net;
 mod obs;
 mod plan;
 mod simulate;
+mod top;
 mod trace;
 
 fn main() {
@@ -55,6 +62,8 @@ fn main() {
         Some("simulate") => simulate::run(&args[1..]),
         Some("engine") => engine::run(&args[1..]),
         Some("net") => net::run(&args[1..]),
+        Some("load") => load::run(&args[1..]),
+        Some("top") => top::run(&args[1..]),
         Some("obs") => obs::run(&args[1..]),
         Some("--help") | Some("-h") | None => {
             print_help();
@@ -92,6 +101,14 @@ fn print_help() {
                          [--seed N] [--chunk N] [--k N] [--keeptime MS] [--shards N]\n\
                          [--batch-max N] [--batch-window USEC] [--pipeline N]\n\
                          [--admit-window N] [--no-certify] [--grid] [--out FILE]\n\
+           wtpg load     [--sched S] [--lambda TPS] [--secs F] [--transport inproc|tcp]\n\
+                         [--clients N] [--inflight N] [--slo SPEC] [--window MS]\n\
+                         [--durability none|buffered|sync] [--jsonl FILE]\n\
+                         [--grid] [--probe-secs F] [--bisect-iters N]\n\
+                         [--endurance-txns N] [--out FILE]   open-loop Poisson load,\n\
+                         windowed SLO verdicts; --grid bisects max sustainable tps\n\
+           wtpg top      <trace.jsonl> [--once] [--interval MS] [--rows N]\n\
+                         live view of a run's windowed telemetry\n\
            wtpg obs      summary <trace.jsonl> | diff <a.jsonl> <b.jsonl>\n\
                          | chrome <trace.jsonl> [--out FILE]\n\
          \n\

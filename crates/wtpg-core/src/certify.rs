@@ -35,14 +35,19 @@
 //! exactly). ASL grants all locks at admission but its histories still
 //! replay cleanly step by step: replayed holds are always a subset of
 //! ASL's actual holds, and ASL admits only conflict-free lock sets.
+//!
+//! Since the windowed-telemetry work, every check here is *incremental*:
+//! [`certify_history`] is a thin driver over
+//! [`StreamingCertifier`](crate::stream_certify::StreamingCertifier),
+//! which also certifies live runs event-by-event with prefix retirement
+//! (bounded memory on million-transaction open-loop cells). Strictness,
+//! lock exclusion and conflict serializability are folded into the
+//! per-event replay; the old end-of-run whole-history sweep is gone.
 
 use std::collections::BTreeMap;
 
-use crate::chain::form::chain_components;
-use crate::error::CoreError;
-use crate::estimate::eq_estimate_naive;
 use crate::history::{Event, History};
-use crate::sched::SchedCore;
+use crate::stream_certify::StreamingCertifier;
 use crate::time::Tick;
 use crate::txn::{TxnId, TxnSpec};
 
@@ -110,14 +115,18 @@ fn violation(at: usize, tick: Tick, what: impl Into<String>) -> CertifyViolation
     }
 }
 
-fn core_err(at: usize, tick: Tick, ctx: &str, e: CoreError) -> CertifyViolation {
-    violation(at, tick, format!("{ctx}: {e}"))
-}
-
-/// Replays `history` against a fresh [`SchedCore`] and checks the
-/// guarantees claimed by `mode`. `specs` must hold the declaration of every
-/// transaction the history admits (keyed by id; re-admissions after
-/// rejection reuse the same spec, mirroring the simulator's retry loop).
+/// Replays `history` against a fresh [`SchedCore`](crate::sched::SchedCore)
+/// and checks the guarantees claimed by `mode`. `specs` must hold the
+/// declaration of every transaction the history admits (keyed by id;
+/// re-admissions after rejection reuse the same spec, mirroring the
+/// simulator's retry loop).
+///
+/// This is a thin driver over [`StreamingCertifier`]: declare every spec,
+/// feed every event, finish. All checks — protocol shape, exclusion,
+/// deadlock freedom, strictness, incremental conflict-serializability —
+/// run per event, so violations always carry the index of the offending
+/// event (never the `usize::MAX` whole-history marker, which only the
+/// shard merge still uses).
 ///
 /// # Errors
 /// The first [`CertifyViolation`] encountered.
@@ -126,191 +135,14 @@ pub fn certify_history(
     specs: &BTreeMap<TxnId, TxnSpec>,
     mode: CertifyMode,
 ) -> Result<CertifyReport, CertifyViolation> {
-    let mut report = CertifyReport {
-        events: history.len(),
-        ..CertifyReport::default()
-    };
-    if mode == CertifyMode::Exempt {
-        // NODC: no lock table to replay against; protocol strictness is the
-        // only guarantee it claims.
-        for &(_, e) in history.events() {
-            match e {
-                Event::Granted { .. } => report.grants += 1,
-                Event::Committed(_) => report.commits += 1,
-                _ => {}
-            }
-        }
-        history
-            .check_strictness()
-            .map_err(|e| violation(usize::MAX, Tick::ZERO, e))?;
-        return Ok(report);
+    let mut sc = StreamingCertifier::new(mode);
+    for spec in specs.values() {
+        sc.declare(spec.clone());
     }
-
-    let mut core = SchedCore::new();
-    let mut last_version = 0u64;
-    for (at, &(tick, event)) in history.events().iter().enumerate() {
-        // Progress events dominate the log (one per object) but only move
-        // `T0` weights; the full arena walk is reserved for events that
-        // change the graph's structure.
-        let structural = !matches!(event, Event::Progress { .. });
-        match event {
-            Event::Admitted(txn) => {
-                let spec = specs.get(&txn).ok_or_else(|| {
-                    violation(at, tick, format!("{txn} admitted without a spec"))
-                })?;
-                core.arrive(spec)
-                    .map_err(|e| core_err(at, tick, "replaying admission", e))?;
-                match mode {
-                    CertifyMode::Chain if chain_components(core.wtpg()).is_err() => {
-                        return Err(violation(
-                            at,
-                            tick,
-                            format!("{txn} admitted into a non-chain WTPG"),
-                        ));
-                    }
-                    CertifyMode::KConflict(k) if !core.locks.k_constraint_ok(spec, k) => {
-                        return Err(violation(
-                            at,
-                            tick,
-                            format!("{txn} admitted past the K = {k} conflict bound"),
-                        ));
-                    }
-                    _ => {}
-                }
-            }
-            Event::Rejected(_) => {
-                // A rejected arrival was rolled back by the scheduler and
-                // left no state behind; nothing to replay.
-            }
-            Event::Granted {
-                txn,
-                step,
-                partition,
-                mode: access,
-            } => {
-                report.grants += 1;
-                let spec_step = core
-                    .request_step(txn, step)
-                    .map_err(|e| core_err(at, tick, "replaying request", e))?;
-                if spec_step.partition != partition || spec_step.mode != access {
-                    return Err(violation(
-                        at,
-                        tick,
-                        format!(
-                            "{txn} step {step} granted {access:?} on {partition} but declared \
-                             {:?} on {}",
-                            spec_step.mode, spec_step.partition
-                        ),
-                    ));
-                }
-                if core.locks.is_blocked(txn, partition, access) {
-                    return Err(violation(
-                        at,
-                        tick,
-                        format!("{txn} granted {access:?} on {partition} while blocked"),
-                    ));
-                }
-                let implied = core.implied_resolutions(txn, partition, access);
-                if core.grant_would_deadlock(txn, &implied) {
-                    return Err(violation(
-                        at,
-                        tick,
-                        format!("grant of {txn} step {step} closes a precedence cycle"),
-                    ));
-                }
-                if let CertifyMode::KConflict(_) = mode {
-                    report.eq_checks += 1;
-                    let my_eq = eq_estimate_naive(core.wtpg(), txn, &implied);
-                    if my_eq.is_infinite() {
-                        // Infinite E is purely structural (a cycle), so it
-                        // cannot be a stale-weight artifact: hard violation.
-                        return Err(violation(
-                            at,
-                            tick,
-                            format!("{txn} step {step} granted with E(q) = ∞"),
-                        ));
-                    }
-                    // Minimality spot check against every conflicting
-                    // declaration, exactly as CC2 Step 3 compares them.
-                    let lost = core
-                        .locks
-                        .conflicting_declarations(txn, partition, access)
-                        .into_iter()
-                        .any(|d| {
-                            let their_implied =
-                                core.implied_resolutions(d.txn, partition, d.mode);
-                            eq_estimate_naive(core.wtpg(), d.txn, &their_implied) < my_eq
-                        });
-                    if lost {
-                        report.eq_losses += 1;
-                    }
-                }
-                core.grant(txn, step, spec_step, &implied)
-                    .map_err(|e| core_err(at, tick, "replaying grant", e))?;
-                if core.wtpg().has_cycle() {
-                    return Err(violation(
-                        at,
-                        tick,
-                        format!("WTPG cyclic after granting {txn} step {step}"),
-                    ));
-                }
-            }
-            Event::Progress { txn, amount } => {
-                core.progress(txn, amount)
-                    .map_err(|e| core_err(at, tick, "replaying progress", e))?;
-            }
-            Event::StepCompleted { txn, step } => {
-                core.step_complete(txn, step)
-                    .map_err(|e| core_err(at, tick, "replaying step completion", e))?;
-            }
-            Event::Committed(txn) => {
-                report.commits += 1;
-                let a = core
-                    .txns
-                    .get(&txn)
-                    .ok_or_else(|| violation(at, tick, format!("{txn} committed while inactive")))?;
-                if a.next_step != a.spec.len() {
-                    return Err(violation(
-                        at,
-                        tick,
-                        format!(
-                            "{txn} committed after {} of {} steps",
-                            a.next_step,
-                            a.spec.len()
-                        ),
-                    ));
-                }
-                core.commit(txn)
-                    .map_err(|e| core_err(at, tick, "replaying commit", e))?;
-            }
-        }
-        let version = core.wtpg().version();
-        if version < last_version {
-            return Err(violation(
-                at,
-                tick,
-                format!("WTPG version moved backwards: {last_version} → {version}"),
-            ));
-        }
-        last_version = version;
-        if structural {
-            if let Err(what) = core.wtpg().check_invariants() {
-                return Err(violation(at, tick, format!("WTPG invariant: {what}")));
-            }
-        }
+    for &(tick, event) in history.events() {
+        sc.feed(tick, event)?;
     }
-
-    // Whole-history checks over the completed log.
-    history
-        .check_strictness()
-        .map_err(|e| violation(usize::MAX, Tick::ZERO, e))?;
-    history
-        .check_lock_exclusion()
-        .map_err(|e| violation(usize::MAX, Tick::ZERO, e))?;
-    history
-        .check_conflict_serializable()
-        .map_err(|e| violation(usize::MAX, Tick::ZERO, e))?;
-    Ok(report)
+    sc.finish()
 }
 
 /// The transaction an event belongs to.

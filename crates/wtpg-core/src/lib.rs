@@ -49,12 +49,14 @@ pub mod lock;
 pub mod partition;
 pub mod planner;
 pub mod sched;
+pub mod stream_certify;
 pub mod time;
 pub mod txn;
 pub mod work;
 pub mod wtpg;
 
 pub use certify::{certify_history, CertifyMode, CertifyReport, CertifyViolation};
+pub use stream_certify::StreamingCertifier;
 pub use error::CoreError;
 pub use lock::{LockMode, LockTable};
 pub use partition::{Catalog, PartitionId, Placement};

@@ -624,8 +624,11 @@ fn crate_of(path_slash: &str) -> Option<&str> {
 ///   free-running threads are the point (its runs are checked by replay
 ///   certification instead). `wtpg-obs` event/histogram/sink code is also
 ///   held to determinism (traces of deterministic runs must be
-///   byte-deterministic); its single sanctioned clock lives in `wall.rs`,
-///   which is exempt like the engine it serves.
+///   byte-deterministic); its sanctioned clock sources are `wall.rs` (the
+///   µs epoch the engine stamps events with) and `wclock.rs` (the window
+///   flusher sleeping on that same epoch) — both exempt like the engine
+///   they serve, and both only *producing* timestamps: the snapshot and
+///   merge code they feed stays under the determinism rule.
 /// - `panic-safety`: `wtpg-core/src/wtpg.rs`, `estimate.rs`, `sched/*`, and
 ///   all of `wtpg-rt/src` (a panic on an engine thread poisons shared locks),
 ///   `wtpg-obs/src` (observers are called from those same threads) and
@@ -666,7 +669,7 @@ pub fn rules_for(path: &Path) -> RuleSet {
             api_docs: true,
         },
         "wtpg-obs" => RuleSet {
-            determinism: !s.ends_with("/wall.rs"),
+            determinism: !(s.ends_with("/wall.rs") || s.ends_with("/wclock.rs")),
             panic_safety: true,
             api_docs: true,
         },

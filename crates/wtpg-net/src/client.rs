@@ -14,13 +14,32 @@
 //! The client keeps the run's latency books: submit-to-commit-ack per
 //! transaction (which under this protocol *is* the control round trip —
 //! one sample feeds both series).
+//!
+//! **Open loop.** [`run_client_open_loop`] replaces the closed-loop
+//! submission policy (submit whenever a slot frees) with a fixed arrival
+//! schedule: transaction `i` of the client's slice *arrives* at a
+//! precomputed offset, and an arrival that finds the in-flight bound full
+//! is **shed** — counted, never submitted, its id reported so the runtime
+//! excludes its writes from conservation. Offered load therefore does not
+//! bend to the system's latency, which is what makes the measured
+//! sustainable-throughput-under-SLO meaningful. When its schedule is
+//! exhausted and its window drained, the client sends one `Shutdown` to
+//! the control plane as an end-of-stream marker (the drain-exit protocol;
+//! closed-loop runs never send it).
+//!
+//! Both drivers feed the shared windowed-metric [`Registry`] when one is
+//! attached: offered/shed/submitted/commit counters, the in-flight gauge,
+//! and the commit-latency histogram, under the canonical
+//! [`metric`](wtpg_obs::window::metric) names.
 
 use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use wtpg_core::txn::{TxnId, TxnSpec};
-use wtpg_obs::MsgCounts;
+use wtpg_obs::wall::WallClock;
+use wtpg_obs::window::metric;
+use wtpg_obs::{Counter, Gauge, HistHandle, MsgCounts, Registry};
 use wtpg_rt::queue::PopResult;
 
 use crate::error::NetError;
@@ -36,10 +55,42 @@ pub struct ClientOutcome {
     /// the only request is `Submit` and the only reply is the commit ack,
     /// so this mirrors `latencies_us` (kept separate for report shape).
     pub ctrl_rtts_us: Vec<u64>,
+    /// Arrivals offered (open loop: the schedule; closed loop: the slice).
+    pub offered: u64,
+    /// Open-loop arrivals shed because the in-flight bound was full.
+    pub shed: u64,
+    /// Ids of shed transactions — never submitted, so the runtime drops
+    /// their declared writes from conservation accounting.
+    pub shed_ids: Vec<TxnId>,
     /// Messages dequeued and handled, by type.
     pub rx: MsgCounts,
     /// Messages sent, by type.
     pub tx: MsgCounts,
+}
+
+/// Pre-resolved windowed-metric handles for one client.
+struct ClientTel {
+    offered: Counter,
+    shed: Counter,
+    submitted: Counter,
+    commits: Counter,
+    inflight: Gauge,
+    commit_lat: HistHandle,
+    ctrl_rtt: HistHandle,
+}
+
+impl ClientTel {
+    fn new(reg: &Registry) -> ClientTel {
+        ClientTel {
+            offered: reg.counter(metric::OFFERED),
+            shed: reg.counter(metric::SHED),
+            submitted: reg.counter(metric::SUBMITTED),
+            commits: reg.counter(metric::COMMITS),
+            inflight: reg.gauge(metric::INFLIGHT),
+            commit_lat: reg.hist(metric::COMMIT_LAT_US),
+            ctrl_rtt: reg.hist(metric::CTRL_RTT_US),
+        }
+    }
 }
 
 struct ClientActor<'a> {
@@ -47,6 +98,7 @@ struct ClientActor<'a> {
     inbox: &'a Inbox,
     to_control: &'a Arc<dyn MsgTx>,
     watchdog: Duration,
+    tel: Option<ClientTel>,
     out: ClientOutcome,
 }
 
@@ -83,16 +135,85 @@ impl ClientActor<'_> {
         }
     }
 
+    fn submit(&mut self, spec: &TxnSpec) -> Result<(), NetError> {
+        self.send(&Msg::Submit {
+            client: self.client,
+            txn: spec.id,
+            step: None,
+            spec: Some(spec.clone()),
+        })?;
+        self.out.offered += 1;
+        if let Some(t) = &self.tel {
+            t.offered.inc();
+            t.submitted.inc();
+            t.inflight.add(1);
+        }
+        Ok(())
+    }
+
+    /// Books one commit ack: latency series, windowed counters, gauge.
+    fn book_commit(&mut self, started: Instant) {
+        let us = elapsed_us(started);
+        self.out.latencies_us.push(us);
+        self.out.ctrl_rtts_us.push(us);
+        if let Some(t) = &self.tel {
+            t.commits.inc();
+            t.inflight.sub(1);
+            t.commit_lat.record(us);
+            t.ctrl_rtt.record(us);
+        }
+    }
+
+    fn shed(&mut self, txn: TxnId) {
+        self.out.offered += 1;
+        self.out.shed += 1;
+        self.out.shed_ids.push(txn);
+        if let Some(t) = &self.tel {
+            t.offered.inc();
+            t.shed.inc();
+        }
+    }
 }
 
 fn elapsed_us(since: Instant) -> u64 {
     u64::try_from(since.elapsed().as_micros()).unwrap_or(u64::MAX)
 }
 
+/// Books one open-loop inbox item: a Commit ack retires its in-flight
+/// entry; anything else (including a control-side `Shutdown`) is a
+/// protocol error for a client mid-stream.
+fn absorb_reply(
+    actor: &mut ClientActor<'_>,
+    inflight: &mut BTreeMap<TxnId, Instant>,
+    m: Msg,
+    last_ack: &mut Instant,
+) -> Result<(), NetError> {
+    if matches!(m, Msg::Shutdown) {
+        return Err(NetError::Protocol(format!(
+            "client {}: control node shut the run down mid-stream",
+            actor.client
+        )));
+    }
+    m.count(&mut actor.out.rx);
+    match m {
+        Msg::Commit { txn, .. } => {
+            if let Some(started) = inflight.remove(&txn) {
+                actor.book_commit(started);
+            }
+            *last_ack = Instant::now();
+            Ok(())
+        }
+        other => Err(NetError::Protocol(format!(
+            "client {}: expected a Commit ack, got {other:?}",
+            actor.client
+        ))),
+    }
+}
+
 /// Drives `specs` to commit as client `client`, keeping up to `pipeline`
 /// transactions in flight (`pipeline` is clamped to ≥ 1; 1 recovers the
 /// strict one-at-a-time stream whose history is tick-identical to the
-/// engine's).
+/// engine's). `reg`, when present, receives windowed load metrics.
 ///
 /// # Errors
 /// [`NetError::RecvTimeout`] if a commit ack never arrived within the
@@ -105,12 +226,14 @@ pub fn run_client(
     to_control: &Arc<dyn MsgTx>,
     watchdog: Duration,
     pipeline: usize,
+    reg: Option<&Registry>,
 ) -> Result<ClientOutcome, NetError> {
     let mut actor = ClientActor {
         client,
         inbox,
         to_control,
         watchdog,
+        tel: reg.map(ClientTel::new),
         out: ClientOutcome::default(),
     };
     let depth = pipeline.max(1);
@@ -119,12 +242,7 @@ pub fn run_client(
     while next < specs.len() || !inflight.is_empty() {
         while inflight.len() < depth {
             let Some(spec) = specs.get(next) else { break };
-            actor.send(&Msg::Submit {
-                client,
-                txn: spec.id,
-                step: None,
-                spec: Some(spec.clone()),
-            })?;
+            actor.submit(spec)?;
             inflight.insert(spec.id, Instant::now());
             next += 1;
         }
@@ -134,9 +252,7 @@ pub fn run_client(
                 // delivery (flaky links re-send); it is tallied in `rx`
                 // and otherwise ignored.
                 if let Some(started) = inflight.remove(&txn) {
-                    let us = elapsed_us(started);
-                    actor.out.latencies_us.push(us);
-                    actor.out.ctrl_rtts_us.push(us);
+                    actor.book_commit(started);
                 }
             }
             other => {
@@ -146,5 +262,121 @@ pub fn run_client(
             }
         }
     }
+    Ok(actor.out)
+}
+
+/// The open-loop driver's per-client schedule (see the module docs).
+pub struct OpenLoopPlan<'a> {
+    /// Arrival offsets in µs on `wall`, one per spec of the client's
+    /// slice, nondecreasing (the runtime deals a shared Poisson schedule
+    /// round-robin, which preserves order).
+    pub arrivals_us: &'a [u64],
+    /// In-flight bound; an arrival that finds it full is shed.
+    pub inflight: usize,
+    /// The shared run clock arrivals are measured against.
+    pub wall: WallClock,
+}
+
+/// How long the open-loop driver blocks on its inbox per wait: short
+/// enough to fire the next arrival on time, long enough not to spin.
+const OPEN_LOOP_NAP: Duration = Duration::from_micros(500);
+
+/// Drives `specs` under a fixed arrival schedule (open loop): arrival `i`
+/// submits `specs[i]` if the in-flight window has room and sheds it
+/// otherwise. After the last arrival the window is drained, then one
+/// `Shutdown` is sent to the control plane as the end-of-stream marker
+/// for its drain exit.
+///
+/// # Errors
+/// [`NetError::RecvTimeout`] if, with transactions in flight, no ack
+/// arrived within the watchdog; [`NetError::Protocol`] on out-of-protocol
+/// replies or a control-initiated shutdown.
+pub fn run_client_open_loop(
+    client: u32,
+    specs: &[TxnSpec],
+    plan: &OpenLoopPlan<'_>,
+    inbox: &Inbox,
+    to_control: &Arc<dyn MsgTx>,
+    watchdog: Duration,
+    reg: Option<&Registry>,
+) -> Result<ClientOutcome, NetError> {
+    let mut actor = ClientActor {
+        client,
+        inbox,
+        to_control,
+        watchdog,
+        tel: reg.map(ClientTel::new),
+        out: ClientOutcome::default(),
+    };
+    let depth = plan.inflight.max(1);
+    let n = specs.len().min(plan.arrivals_us.len());
+    let mut inflight: BTreeMap<TxnId, Instant> = BTreeMap::new();
+    let mut next = 0usize;
+    let mut last_ack = Instant::now();
+    while next < n || !inflight.is_empty() {
+        // Absorb whatever acks are already waiting, so an arrival is only
+        // shed when the window is genuinely still full.
+        loop {
+            match inbox.try_pop() {
+                PopResult::Item(m) => absorb_reply(&mut actor, &mut inflight, m, &mut last_ack)?,
+                PopResult::Empty => break,
+                PopResult::Closed => {
+                    return Err(NetError::Protocol(format!(
+                        "client {client}: link closed mid-run"
+                    )));
+                }
+            }
+        }
+        // Fire every arrival already due. Shedding is decided *now*, at
+        // the arrival instant — open loop means the schedule never waits
+        // for the system.
+        let now_us = plan.wall.now_us();
+        while next < n {
+            let (Some(&due), Some(spec)) = (plan.arrivals_us.get(next), specs.get(next)) else {
+                break;
+            };
+            if due > now_us {
+                break;
+            }
+            if inflight.len() < depth {
+                actor.submit(spec)?;
+                inflight.insert(spec.id, Instant::now());
+            } else {
+                actor.shed(spec.id);
+            }
+            next += 1;
+        }
+        if next >= n && inflight.is_empty() {
+            break;
+        }
+        // Sleep on the inbox until the next arrival is due (or an ack
+        // lands first); in the drain phase just wait for acks.
+        let nap = match plan.arrivals_us.get(next) {
+            Some(&due) if next < n => {
+                Duration::from_micros(due.saturating_sub(plan.wall.now_us())).min(OPEN_LOOP_NAP)
+            }
+            _ => OPEN_LOOP_NAP,
+        };
+        if !nap.is_zero() {
+            match inbox.pop_timeout(nap) {
+                PopResult::Item(m) => absorb_reply(&mut actor, &mut inflight, m, &mut last_ack)?,
+                PopResult::Empty => {}
+                PopResult::Closed => {
+                    return Err(NetError::Protocol(format!(
+                        "client {client}: link closed mid-run"
+                    )));
+                }
+            }
+        }
+        // Starvation guard only while something is actually owed to us.
+        if !inflight.is_empty() && last_ack.elapsed() > watchdog {
+            return Err(NetError::RecvTimeout {
+                actor: format!("client {client}"),
+            });
+        }
+    }
+    // End-of-stream marker: the control plane's drain exit counts one
+    // Shutdown per client.
+    actor.send(&Msg::Shutdown)?;
     Ok(actor.out)
 }

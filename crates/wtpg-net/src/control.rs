@@ -51,6 +51,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::PathBuf;
+use std::sync::mpsc::SyncSender;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -60,9 +61,11 @@ use wtpg_core::sched::{Admission, LockOutcome, Scheduler};
 use wtpg_core::txn::{TxnId, TxnSpec};
 use wtpg_core::work::Work;
 use wtpg_dur::checkpoint::{write_control_checkpoint, ControlCheckpoint};
-use wtpg_obs::{Histogram, MsgCounts};
+use wtpg_obs::wall::WallClock;
+use wtpg_obs::window::metric;
+use wtpg_obs::{Counter, Gauge, Histogram, MsgCounts, Registry};
 use wtpg_rt::backoff::Backoff;
-use wtpg_rt::control::{ControlAudit, ControlNode};
+use wtpg_rt::control::{ControlAudit, ControlNode, StreamItem};
 use wtpg_rt::queue::PopResult;
 
 use crate::batch::Coalescer;
@@ -110,6 +113,20 @@ pub struct ControlParams {
     pub shard: usize,
     /// Where to persist periodic control checkpoints (`None` disables).
     pub ckpt: Option<PathBuf>,
+    /// Live certification stream: with a sender attached, the wrapped
+    /// [`ControlNode`] records no in-memory history — every event goes to
+    /// a per-shard [`StreamingCertifier`](wtpg_core::StreamingCertifier)
+    /// thread, and the actor prunes per-transaction state at commit so
+    /// its footprint is bounded by the live population.
+    pub stream: Option<SyncSender<StreamItem>>,
+    /// Shared windowed-metric registry (`None` disables telemetry).
+    pub reg: Option<Arc<Registry>>,
+    /// Drain exit for open-loop runs: `Some(n)` makes the actor exit once
+    /// `n` clients signalled end-of-stream (one `Shutdown` each — shed
+    /// arrivals never reach control, so a commit target is unknowable
+    /// up front) *and* every submission it did receive has committed.
+    /// `None` keeps the `expected_commits` exit.
+    pub drain_clients: Option<usize>,
 }
 
 /// Everything the control actor recorded.
@@ -150,6 +167,25 @@ struct Outstanding {
     /// When the order was first issued (data-plane RTT origin).
     sent_at: Instant,
     msg: Msg,
+}
+
+/// Pre-resolved per-shard windowed-metric handles.
+struct CtrlTel {
+    backlog: Gauge,
+    parked: Gauge,
+    commits: Counter,
+    admissions: Counter,
+}
+
+impl CtrlTel {
+    fn new(reg: &Registry, shard: usize) -> CtrlTel {
+        CtrlTel {
+            backlog: reg.gauge(&metric::shard_backlog(shard)),
+            parked: reg.gauge(&metric::shard_parked(shard)),
+            commits: reg.counter(&metric::shard_commits(shard)),
+            admissions: reg.counter(&metric::shard_admissions(shard)),
+        }
+    }
 }
 
 /// One transaction's drive-state: where the control actor will pick it up
@@ -207,6 +243,18 @@ struct ControlActor<'a> {
     max_retry_streak: u32,
     /// Milli-objects per progress chunk, stamped on every `Access` order.
     chunk_units: u64,
+    /// Per-shard windowed gauges and counters (`None` disables).
+    tel: Option<CtrlTel>,
+    /// Prune per-transaction state at commit (streaming/drain runs, which
+    /// must stay memory-bounded over millions of transactions; duplicate
+    /// deliveries after the prune are absorbed by the `committed` set).
+    prune: bool,
+    /// Drain exit (see [`ControlParams::drain_clients`]).
+    drain: Option<usize>,
+    /// End-of-stream markers received (one `Shutdown` per finished client).
+    done_clients: usize,
+    /// Distinct submissions received (drain-exit commit target).
+    submits_seen: u64,
 }
 
 impl ControlActor<'_> {
@@ -267,6 +315,9 @@ impl ControlActor<'_> {
             match self.control.arrive(&spec)? {
                 Admission::Admitted => {
                     self.active += 1;
+                    if let Some(t) = &self.tel {
+                        t.admissions.inc();
+                    }
                     let t = self
                         .txns
                         .get_mut(&txn)
@@ -294,11 +345,26 @@ impl ControlActor<'_> {
             .expect("invariant: drive() is only called for tracked txns");
         if state.next_step == state.spec.len() {
             let client = state.client;
+            let steps = state.spec.len() as u32;
             self.control.commit(txn)?;
             self.committed.insert(txn);
             self.active = self.active.saturating_sub(1);
+            if let Some(t) = &self.tel {
+                t.commits.inc();
+            }
             self.maybe_checkpoint()?;
-            return self.send_client(txn, &Msg::Commit { client, txn });
+            self.send_client(txn, &Msg::Commit { client, txn })?;
+            if self.prune {
+                // Bounded-memory mode: the transaction is over; drop its
+                // drive-state and step books. Late duplicates are absorbed
+                // by the `committed` set (Submit) and by the outstanding /
+                // cursor maps being empty (data-plane replies).
+                self.txns.remove(&txn);
+                for step in 0..steps {
+                    self.completed.remove(&(txn, step));
+                }
+            }
+            return Ok(());
         }
         let step = state.next_step;
         match self.control.request(txn, step)? {
@@ -397,7 +463,7 @@ impl ControlActor<'_> {
         Ok(())
     }
 
-    // lint:allow(protocol: Grant, Reject, Delay, Access, Commit, Shutdown, RecoverAck) send-only for the control actor: it emits the verdicts, accesses, and recovery acks, and drives Shutdown teardown itself
+    // lint:allow(protocol: Grant, Reject, Delay, Access, Commit, RecoverAck) send-only for the control actor: it emits the verdicts, accesses, and recovery acks
     fn handle(&mut self, m: Msg) -> Result<(), NetError> {
         m.count(&mut self.rx);
         match m {
@@ -414,12 +480,13 @@ impl ControlActor<'_> {
                 step: None,
                 spec: Some(spec),
             } => {
-                if self.txns.contains_key(&txn) {
+                if self.txns.contains_key(&txn) || self.committed.contains(&txn) {
                     // Duplicate delivery of a submission already being
                     // driven (or already committed): ignore, or the txn
                     // would enter the backlog twice.
                     return Ok(());
                 }
+                self.submits_seen += 1;
                 self.txns.insert(
                     txn,
                     TxnState {
@@ -438,8 +505,9 @@ impl ControlActor<'_> {
                 chunk,
                 units,
             } => {
-                if self.completed.contains(&(txn, step)) {
-                    // A duplicated batch can trail the step's completion;
+                if self.completed.contains(&(txn, step)) || self.committed.contains(&txn) {
+                    // A duplicated batch can trail the step's completion
+                    // (or, once per-step books are pruned, the commit);
                     // its progress was already applied.
                     return Ok(());
                 }
@@ -467,6 +535,9 @@ impl ControlActor<'_> {
                 }
             }
             Msg::AccessDone { txn, step, .. } => {
+                if self.committed.contains(&txn) {
+                    return Ok(()); // late duplicate after the commit prune
+                }
                 if !self.completed.insert((txn, step)) {
                     return Ok(()); // duplicate (redelivery or dup fault)
                 }
@@ -568,6 +639,21 @@ impl ControlActor<'_> {
                     true,
                 )
             }
+            Msg::Shutdown => {
+                // In drain mode each open-loop client sends one `Shutdown`
+                // as its end-of-stream marker (shed arrivals never reach
+                // control, so this is the only way to learn the submission
+                // stream is over). Outside drain mode control *sends*
+                // Shutdown at teardown and must never receive it.
+                if self.drain.is_some() {
+                    self.done_clients += 1;
+                    Ok(())
+                } else {
+                    Err(NetError::Protocol(
+                        "control received Shutdown outside a drain-mode run".to_string(),
+                    ))
+                }
+            }
             other => Err(NetError::Protocol(format!(
                 "control received {other:?}, which the pipelined protocol never routes here"
             ))),
@@ -638,6 +724,17 @@ impl ControlActor<'_> {
         Ok(())
     }
 
+    /// Publishes queue-depth gauges to the windowed registry (no-op
+    /// without one). Called at the periodic-scan cadence, not per message:
+    /// a window flush samples levels, so sub-scan churn is invisible
+    /// anyway.
+    fn update_gauges(&self) {
+        if let Some(t) = &self.tel {
+            t.backlog.set(self.backlog.len() as u64);
+            t.parked.set(self.parked.len() as u64);
+        }
+    }
+
     /// Flushes every coalescer (before blocking on the inbox).
     fn flush_all(&mut self) -> Result<(), NetError> {
         for (node, c) in self.to_data.iter_mut().enumerate() {
@@ -690,7 +787,14 @@ pub fn run_control(
     to_data: &[Arc<dyn MsgTx>],
     to_clients: &[Arc<dyn MsgTx>],
 ) -> Result<ControlOutcome, NetError> {
-    let control = ControlNode::new(params.sched);
+    let streaming = params.stream.is_some();
+    let control = ControlNode::with_telemetry(
+        params.sched,
+        None,
+        WallClock::start(),
+        params.reg.as_deref(),
+        params.stream,
+    );
     let name = control.sched_name();
     let mode = control.certify_mode();
     let mut actor = ControlActor {
@@ -724,12 +828,24 @@ pub fn run_control(
         data_rtts_us: Vec::new(),
         max_retry_streak: 0,
         chunk_units,
+        tel: params.reg.as_deref().map(|r| CtrlTel::new(r, params.shard)),
+        prune: streaming || params.drain_clients.is_some(),
+        drain: params.drain_clients,
+        done_clients: 0,
+        submits_seen: 0,
     };
 
     let result = (|| -> Result<(), NetError> {
         let mut last_activity = Instant::now();
         let mut since_scan = 0u32;
-        while (actor.committed.len() as u64) < params.expected_commits {
+        // Drain mode exits once every client said goodbye AND everything
+        // they submitted has committed; otherwise the commit target is
+        // known up front.
+        let done = |a: &ControlActor| match a.drain {
+            Some(n) => a.done_clients >= n && (a.committed.len() as u64) >= a.submits_seen,
+            None => (a.committed.len() as u64) >= params.expected_commits,
+        };
+        while !done(&actor) {
             // Drain bursts without blocking; coalescers fill up meanwhile.
             let next = match inbox.try_pop() {
                 PopResult::Item(m) => Some(m),
@@ -762,6 +878,7 @@ pub fn run_control(
                         since_scan = 0;
                         actor.redeliver_expired()?;
                         actor.flush_overdue()?;
+                        actor.update_gauges();
                     }
                 }
                 None => {
@@ -773,6 +890,7 @@ pub fn run_control(
                     actor.redeliver_expired()?;
                     actor.retry_parked()?;
                     actor.drain_backlog()?;
+                    actor.update_gauges();
                 }
             }
         }

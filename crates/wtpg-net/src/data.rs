@@ -59,7 +59,8 @@ use wtpg_core::txn::{AccessMode, TxnId};
 use wtpg_dur::checkpoint::{files, snapshot_from_state, write_node_snapshot};
 use wtpg_dur::wal::{ChunkRecord, WalWriter};
 use wtpg_dur::{recover, Durability, Partial};
-use wtpg_obs::{Histogram, MsgCounts, WalStats};
+use wtpg_obs::window::metric;
+use wtpg_obs::{Counter, Gauge, Histogram, MsgCounts, Registry, WalStats};
 use wtpg_rt::queue::PopResult;
 use wtpg_rt::store::NodeStore;
 
@@ -128,6 +129,29 @@ pub struct DataNodeParams<'a> {
     /// Directory holding this node's log and snapshot (required whenever
     /// `durability` keeps a log).
     pub wal_dir: Option<&'a Path>,
+    /// Shared windowed-metric registry (`None` disables telemetry).
+    pub reg: Option<&'a Registry>,
+}
+
+/// Pre-resolved data-plane windowed-metric handles. Cloned into each
+/// incarnation of the actor (a kill-restart must keep the same series).
+#[derive(Clone)]
+struct DataTel {
+    units: Counter,
+    wal_records: Counter,
+    wal_flushes: Counter,
+    wal_lag: Gauge,
+}
+
+impl DataTel {
+    fn new(reg: &Registry) -> DataTel {
+        DataTel {
+            units: reg.counter(metric::DATA_UNITS),
+            wal_records: reg.counter(metric::WAL_RECORDS),
+            wal_flushes: reg.counter(metric::WAL_FLUSHES),
+            wal_lag: reg.gauge(metric::WAL_LAG),
+        }
+    }
 }
 
 /// What one handled message asks of the main loop.
@@ -154,6 +178,11 @@ struct DataActor<'a> {
     snapshot_due: u64,
     wal_dir: Option<&'a Path>,
     checkpoints: u64,
+    /// Windowed data-plane metrics (`None` disables).
+    tel: Option<DataTel>,
+    /// WAL flushes already credited to the windowed counter (delta base —
+    /// the writer's own stats are cumulative per incarnation).
+    flushes_seen: u64,
 }
 
 impl<'a> DataActor<'a> {
@@ -168,7 +197,21 @@ impl<'a> DataActor<'a> {
         if let Some(w) = self.wal.as_mut() {
             w.sync()?;
         }
+        self.sync_wal_tel();
         Ok(())
+    }
+
+    /// Publishes WAL flush/lag deltas to the windowed registry (no-op
+    /// without one). The lag gauge is the writer's userspace buffer in
+    /// bytes — what a kill would destroy right now.
+    fn sync_wal_tel(&mut self) {
+        let (Some(t), Some(w)) = (&self.tel, &self.wal) else {
+            return;
+        };
+        let flushes = w.stats.flushes;
+        t.wal_flushes.add(flushes.saturating_sub(self.flushes_seen));
+        t.wal_lag.set(w.buffered_bytes() as u64);
+        self.flushes_seen = flushes;
     }
 
     /// Pure-idle flush, for ticks where no replies are pending: nothing is
@@ -179,6 +222,7 @@ impl<'a> DataActor<'a> {
         if let Some(w) = self.wal.as_mut() {
             w.flush_aged(WAL_AGE_WINDOW)?;
         }
+        self.sync_wal_tel();
         Ok(())
     }
 
@@ -320,6 +364,12 @@ impl<'a> DataActor<'a> {
                     let chunk = chunk_size.min(units - offset);
                     let sum = self.store.apply_chunk(partition, mode, offset, chunk)?;
                     checksum = checksum.wrapping_add(sum);
+                    if let Some(t) = &self.tel {
+                        t.units.add(chunk);
+                        if self.wal.is_some() {
+                            t.wal_records.inc();
+                        }
+                    }
                     if let Some(w) = self.wal.as_mut() {
                         // Log before the delta can leave: the record is in
                         // the writer (and on any flush path, in the file)
@@ -434,7 +484,9 @@ pub fn run_data_node(
         batch_max,
         durability,
         wal_dir,
+        reg,
     } = params;
+    let tel = reg.map(DataTel::new);
     let mut crash = crash.filter(|c| c.node as u32 == node);
     let mut kill = kill.filter(|k| k.node.is_none() || k.node == Some(node as usize));
     if kill.is_some() && (!durability.requires_log() || wal_dir.is_none()) {
@@ -474,6 +526,8 @@ pub fn run_data_node(
         snapshot_due: SNAPSHOT_EVERY,
         wal_dir,
         checkpoints: 0,
+        tel: tel.clone(),
+        flushes_seen: 0,
     };
 
     let mut acc = Banked::default();

@@ -80,6 +80,12 @@ pub struct NetReport {
     pub shards: usize,
     /// Transactions submitted.
     pub submitted: usize,
+    /// Transactions the workload *offered* (arrivals). Closed loop: equals
+    /// `submitted`. Open loop: `submitted + shed`.
+    pub offered: u64,
+    /// Open-loop arrivals shed at a full in-flight window (never
+    /// submitted; their declared writes are excluded from conservation).
+    pub shed: u64,
     /// Transactions committed (equals `submitted` when no one starves).
     pub committed: u64,
     /// Rejected admissions — each one is a backoff-and-resubmit cycle.
@@ -171,6 +177,16 @@ impl NetReport {
             0.0
         } else {
             self.bytes_sent as f64 / self.committed as f64
+        }
+    }
+
+    /// Fraction of offered arrivals that were shed (0 when nothing was
+    /// offered — only open-loop runs shed at all).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
         }
     }
 

@@ -25,24 +25,30 @@
 //!    proofs the threaded engine demands, now under real message passing,
 //!    batched frames, and injected faults.
 
+use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use wtpg_core::certify::certify_history;
+use wtpg_core::certify::{certify_history, CertifyReport, CertifyViolation};
 use wtpg_core::partition::Catalog;
 use wtpg_core::txn::{AccessMode, TxnId, TxnSpec};
+use wtpg_core::StreamingCertifier;
 use wtpg_dur::checkpoint::files as dur_files;
 use wtpg_dur::Durability;
-use wtpg_obs::{Histogram, MsgCounts, NetStats, ObsEvent, Observer, WalStats};
+use wtpg_obs::wall::WallClock;
+use wtpg_obs::{Histogram, MsgCounts, NetStats, ObsEvent, Observer, Registry, WalStats};
 use wtpg_rt::backoff::Backoff;
 use wtpg_rt::engine::SendScheduler;
 use wtpg_rt::metrics::LatencySummary;
 use wtpg_rt::queue::BoundedQueue;
 use wtpg_rt::shard::{merge_audits, ShardMap};
+use wtpg_rt::StreamItem;
+use wtpg_workload::poisson_arrivals_us;
 
-use crate::client::{run_client, ClientOutcome};
+use crate::client::{run_client, run_client_open_loop, ClientOutcome, OpenLoopPlan};
 use crate::control::{run_control, ControlOutcome, ControlParams};
 use crate::data::{run_data_node, DataNodeParams, DataOutcome};
 use crate::error::NetError;
@@ -95,6 +101,29 @@ pub struct NetConfig {
     /// checkpoints. Required whenever `durability` keeps a log; created if
     /// missing, never cleaned up (the artifacts are the point).
     pub wal_dir: Option<PathBuf>,
+    /// Open-loop arrival schedule: `Some` replaces the closed-loop clients
+    /// with Poisson arrivals at a fixed rate, sheds arrivals that find the
+    /// in-flight bound full, and switches the control plane to its
+    /// drain-exit protocol. `None` keeps the closed loop.
+    pub open_loop: Option<OpenLoop>,
+    /// Certify on live per-shard event streams instead of replaying a
+    /// recorded history after the run: the control plane records nothing
+    /// in memory, every linearized event feeds a per-shard
+    /// [`StreamingCertifier`] thread as it happens, and certified prefixes
+    /// retire incrementally — the only way a multi-million-transaction
+    /// cell stays memory-bounded *and* certified.
+    pub stream_certify: bool,
+}
+
+/// Open-loop driver knobs (see [`NetConfig::open_loop`]).
+#[derive(Clone, Copy, Debug)]
+pub struct OpenLoop {
+    /// Target arrival rate, transactions per second, across all clients.
+    pub lambda_tps: f64,
+    /// Seed for the Poisson schedule (the run's only randomness source).
+    pub seed: u64,
+    /// Per-client in-flight bound; an arrival that finds it full is shed.
+    pub inflight: usize,
 }
 
 impl Default for NetConfig {
@@ -116,8 +145,49 @@ impl Default for NetConfig {
             admit_window: 32,
             durability: Durability::None,
             wal_dir: None,
+            open_loop: None,
+            stream_certify: false,
         }
     }
+}
+
+/// Bound on each shard's certifier channel: deep enough that the certifier
+/// thread never stalls a healthy control actor, bounded so a lagging
+/// certifier throttles the control plane instead of buffering the whole
+/// run in memory.
+const STREAM_DEPTH: usize = 1 << 16;
+
+/// Events between prefix-retirement sweeps on a streaming certifier.
+const RETIRE_EVERY: usize = 4096;
+
+/// One shard's certifier thread: declarations and linearized events in,
+/// a final [`CertifyReport`] (plus the events-fed tally) out. The committed
+/// prefix retires every [`RETIRE_EVERY`] events, so the live graph tracks
+/// the in-flight population rather than the run length.
+fn certify_stream(
+    mode: wtpg_core::certify::CertifyMode,
+    rx: &Receiver<StreamItem>,
+) -> Result<(CertifyReport, usize), CertifyViolation> {
+    let mut cert = StreamingCertifier::new(mode);
+    let mut since_retire = 0usize;
+    while let Ok(item) = rx.recv() {
+        match item {
+            StreamItem::Spec(spec) => cert.declare(spec),
+            StreamItem::Event(tick, ev) => {
+                // A violation drops `rx` on return, which makes the control
+                // side's sends fail fast (ignored there — the verdict
+                // surfaces when the runtime joins this thread).
+                cert.feed(tick, ev)?;
+                since_retire += 1;
+                if since_retire >= RETIRE_EVERY {
+                    since_retire = 0;
+                    cert.retire_prefix();
+                }
+            }
+        }
+    }
+    let fed = cert.events_fed();
+    Ok((cert.finish()?, fed))
 }
 
 /// Wraps each link in `links` with the plan's fault layer, collecting the
@@ -168,10 +238,12 @@ fn msg_txn(m: &Msg) -> Option<TxnId> {
 fn run_router(inbox: &Inbox, map: &ShardMap, shard_inboxes: &[Inbox]) -> MsgCounts {
     let mut rx = MsgCounts::default();
     let route = |m: Msg, rx: &mut MsgCounts| {
-        if matches!(m, Msg::Recover { .. }) {
+        if matches!(m, Msg::Recover { .. } | Msg::Shutdown) {
             // A recovery announcement has no transaction: every shard
             // tracks its own outstanding orders on the rejoined node, so
-            // it is broadcast rather than dealt.
+            // it is broadcast rather than dealt. Likewise an open-loop
+            // client's end-of-stream `Shutdown` — every shard counts its
+            // own drain exit.
             for inbox in shard_inboxes {
                 let _ = inbox.push(m.clone());
             }
@@ -182,7 +254,7 @@ fn run_router(inbox: &Inbox, map: &ShardMap, shard_inboxes: &[Inbox]) -> MsgCoun
                 let _ = inbox.push(m);
             }
         } else {
-            m.count(rx); // stray Shutdown etc.: tally, drop
+            m.count(rx); // stray unroutable message: tally, drop
         }
     };
     while let Some(m) = inbox.pop() {
@@ -236,6 +308,32 @@ pub fn run_cell_obs(
     transport: &dyn Transport,
     fault: &FaultPlan,
     obs: Option<Arc<dyn Observer>>,
+) -> Result<NetReport, NetError> {
+    run_cell_load(cfg, sched, catalog, specs, transport, fault, obs, None)
+}
+
+/// [`run_cell_obs`] plus an optional shared windowed-metric [`Registry`]:
+/// with one attached, every actor (clients, control shards, the wrapped
+/// scheduler, data nodes) publishes its load, latency, queue-depth, and
+/// WAL counters into it live, under the canonical
+/// [`metric`](wtpg_obs::window::metric) names. The *caller* owns the flush
+/// cadence (a `WindowFlusher` snapshotting on its own clock) — the runtime
+/// never flushes, so a `None` registry costs nothing and an attached one
+/// costs only atomic bumps on the hot paths.
+///
+/// # Errors
+/// As [`run_cell`], plus [`NetError::Certify`] when a streaming certifier
+/// rejects the live event stream (`cfg.stream_certify`).
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell_load(
+    cfg: &NetConfig,
+    sched: &(dyn Fn() -> SendScheduler + Sync),
+    catalog: &Catalog,
+    specs: &[TxnSpec],
+    transport: &dyn Transport,
+    fault: &FaultPlan,
+    obs: Option<Arc<dyn Observer>>,
+    reg: Option<Arc<Registry>>,
 ) -> Result<NetReport, NetError> {
     let data_nodes = catalog.num_nodes() as usize;
     let clients = cfg.clients.clamp(1, specs.len().max(1));
@@ -298,6 +396,34 @@ pub fn run_cell_obs(
     let slices: Vec<Vec<TxnSpec>> = (0..clients)
         .map(|c| specs.iter().skip(c).step_by(clients).cloned().collect())
         .collect();
+    // Open loop: one shared Poisson schedule, dealt round-robin exactly
+    // like the specs so arrival i still drives spec i.
+    let arrival_slices: Option<Vec<Vec<u64>>> = cfg.open_loop.map(|ol| {
+        let all = poisson_arrivals_us(specs.len(), ol.lambda_tps, ol.seed);
+        (0..clients)
+            .map(|c| all.iter().skip(c).step_by(clients).copied().collect())
+            .collect()
+    });
+    let run_wall = WallClock::start();
+
+    // Streaming certification: one certifier thread per shard, fed the
+    // shard's linearized events live over a bounded channel (the control
+    // node records nothing in memory). The senders travel into the control
+    // actors and drop when they exit, which is the certifiers' EOF.
+    let mut certifiers: Vec<JoinHandle<Result<(CertifyReport, usize), CertifyViolation>>> =
+        Vec::new();
+    let stream_txs: Vec<Option<SyncSender<StreamItem>>> = if cfg.stream_certify {
+        let mode = sched().certify_mode();
+        (0..shards)
+            .map(|_| {
+                let (tx, rx) = mpsc::sync_channel::<StreamItem>(STREAM_DEPTH);
+                certifiers.push(std::thread::spawn(move || certify_stream(mode, &rx)));
+                Some(tx)
+            })
+            .collect()
+    } else {
+        (0..shards).map(|_| None).collect()
+    };
 
     let started = Instant::now();
     type Joined = (
@@ -313,11 +439,13 @@ pub fn run_cell_obs(
                 .then(|| s.spawn(|| run_router(&control_inbox, &map, &shard_inboxes)));
             let controls: Vec<_> = shard_inboxes
                 .iter()
+                .zip(stream_txs)
                 .enumerate()
-                .map(|(si, inbox)| {
+                .map(|(si, (inbox, stream))| {
                     let to_data = &to_data;
                     let to_clients = &to_clients;
                     let expected_commits = map.assigned(si);
+                    let shard_reg = reg.clone();
                     let ckpt = cfg
                         .wal_dir
                         .as_ref()
@@ -340,6 +468,9 @@ pub fn run_cell_obs(
                             admit_window: cfg.admit_window,
                             shard: si,
                             ckpt,
+                            stream,
+                            reg: shard_reg,
+                            drain_clients: cfg.open_loop.map(|_| clients),
                         };
                         run_control(
                             params,
@@ -358,6 +489,7 @@ pub fn run_cell_obs(
                 .enumerate()
                 .map(|(n, (inbox, tx))| {
                     let wal_dir = cfg.wal_dir.as_deref();
+                    let node_reg = reg.clone();
                     s.spawn(move || {
                         run_data_node(
                             DataNodeParams {
@@ -368,6 +500,7 @@ pub fn run_cell_obs(
                                 batch_max: cfg.batch_max,
                                 durability: cfg.durability,
                                 wal_dir,
+                                reg: node_reg.as_deref(),
                             },
                             inbox,
                             tx,
@@ -381,8 +514,37 @@ pub fn run_cell_obs(
                 .zip(&slices)
                 .enumerate()
                 .map(|(c, ((inbox, tx), slice))| {
-                    s.spawn(move || {
-                        run_client(c as u32, slice.as_slice(), inbox, tx, watchdog, cfg.pipeline)
+                    let client_reg = reg.clone();
+                    let arrivals = arrival_slices
+                        .as_ref()
+                        .and_then(|a| a.get(c))
+                        .map(Vec::as_slice);
+                    s.spawn(move || match (arrivals, cfg.open_loop) {
+                        (Some(arrivals_us), Some(ol)) => {
+                            let plan = OpenLoopPlan {
+                                arrivals_us,
+                                inflight: ol.inflight,
+                                wall: run_wall,
+                            };
+                            run_client_open_loop(
+                                c as u32,
+                                slice.as_slice(),
+                                &plan,
+                                inbox,
+                                tx,
+                                watchdog,
+                                client_reg.as_deref(),
+                            )
+                        }
+                        _ => run_client(
+                            c as u32,
+                            slice.as_slice(),
+                            inbox,
+                            tx,
+                            watchdog,
+                            cfg.pipeline,
+                            client_reg.as_deref(),
+                        ),
                     })
                 })
                 .collect();
@@ -440,6 +602,16 @@ pub fn run_cell_obs(
         svc.join()
             .expect("invariant: transport readers exit on EOF");
     }
+    // Every stream sender travelled into a control actor and dropped when
+    // it returned (success or failure), so the certifiers have hit EOF and
+    // these joins cannot block.
+    let stream_certs: Vec<Result<(CertifyReport, usize), CertifyViolation>> = certifiers
+        .into_iter()
+        .map(|h| {
+            h.join()
+                .expect("invariant: certifier threads return errors instead of panicking")
+        })
+        .collect();
 
     // Error priority: a control shard's verdict names the root cause
     // (client/data failures usually cascade from it or into it).
@@ -492,12 +664,20 @@ pub fn run_cell_obs(
     let audit = merge_audits(audits).map_err(NetError::Certify)?;
     let mut latencies = Vec::with_capacity(specs.len());
     let mut ctrl_rtts = Vec::new();
+    let mut offered = 0u64;
+    let mut shed = 0u64;
+    let mut shed_ids: BTreeSet<TxnId> = BTreeSet::new();
     for c in &clients_out {
         sent.merge(&c.tx);
         processed.merge(&c.rx);
         latencies.extend_from_slice(&c.latencies_us);
         ctrl_rtts.extend_from_slice(&c.ctrl_rtts_us);
+        offered += c.offered;
+        shed += c.shed;
+        shed_ids.extend(c.shed_ids.iter().copied());
     }
+    // What actually entered the system — the open-loop commit target.
+    let accepted = offered - shed;
     let mut crash_drops = 0u64;
     let mut read_checksum = 0u64;
     let mut cell_sum = 0u64;
@@ -518,6 +698,19 @@ pub fn run_cell_obs(
         replay_chains.merge(&d.replay_chains);
     }
 
+    // Streaming certification verdicts (empty when `stream_certify` is
+    // off). A violation outranks everything but an actor error: the run
+    // "completed" but its history was not admissible.
+    let mut stream_grants = 0usize;
+    let mut stream_eq_checks = 0usize;
+    let mut stream_events = 0usize;
+    for r in stream_certs {
+        let (rep, fed) = r.map_err(NetError::Certify)?;
+        stream_grants += rep.grants;
+        stream_eq_checks += rep.eq_checks;
+        stream_events += fed;
+    }
+
     let counters = audit.counters;
     let mut report = NetReport {
         scheduler: name,
@@ -527,7 +720,9 @@ pub fn run_cell_obs(
         clients,
         data_nodes,
         shards,
-        submitted: specs.len(),
+        submitted: accepted as usize,
+        offered,
+        shed,
         committed: counters.commits,
         rejected_admissions: counters.rejections,
         delayed_retries: counters.blocks + counters.delays,
@@ -541,7 +736,11 @@ pub fn run_cell_obs(
         latency: LatencySummary::from_us(latencies),
         ctrl_rtt: LatencySummary::from_us(ctrl_rtts.clone()),
         data_rtt: LatencySummary::from_us(data_rtts.clone()),
-        history_events: audit.history.len(),
+        history_events: if cfg.stream_certify {
+            stream_events
+        } else {
+            audit.history.len()
+        },
         logical_ticks: audit.final_tick.millis(),
         messages_sent: sent.total(),
         batched_inner,
@@ -573,18 +772,19 @@ pub fn run_cell_obs(
     };
 
     // Conservation: every committed write step's declared units must be
-    // visible as cell increments across the data nodes.
+    // visible as cell increments across the data nodes. Shed arrivals
+    // never entered the system, so their declared writes don't count.
     let expected: u64 = specs
         .iter()
+        .filter(|t| !shed_ids.contains(&t.id))
         .flat_map(|t| t.steps().iter())
         .filter(|st| st.mode == AccessMode::Write)
         .map(|st| st.actual_cost.units())
         .sum();
     report.expected_write_units = expected;
-    report.store_consistent = report.committed as usize == specs.len()
-        && store_write_units == expected
-        && cell_sum == expected;
-    if report.committed as usize == specs.len() && !report.store_consistent {
+    report.store_consistent =
+        report.committed == accepted && store_write_units == expected && cell_sum == expected;
+    if report.committed == accepted && !report.store_consistent {
         return Err(NetError::StoreDiverged {
             expected,
             cells: cell_sum,
@@ -592,7 +792,13 @@ pub fn run_cell_obs(
         });
     }
 
-    if cfg.certify {
+    if cfg.stream_certify {
+        // Certified live, prefix by prefix, while the run was still going;
+        // the replay below would see an (intentionally) empty history.
+        report.certified = true;
+        report.certify_grants = stream_grants;
+        report.certify_eq_checks = stream_eq_checks;
+    } else if cfg.certify {
         // Single shard: the untouched history, replayed exactly as the
         // unsharded engine's. Sharded: the canonical merge built above.
         let cert = certify_history(&audit.history, &audit.specs, mode)
@@ -757,6 +963,131 @@ mod tests {
     }
 
     #[test]
+    fn closed_loop_streaming_certifier_matches_replay() {
+        let (catalog, specs) = pattern_specs(Pattern::One, 60, 7);
+        let replayed = run("chain", 60, &FaultPlan::none());
+        let cfg = NetConfig {
+            stream_certify: true,
+            ..NetConfig::default()
+        };
+        let r = run_cell(
+            &cfg,
+            &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::none(),
+        )
+        .expect("streaming-certified run completes cleanly");
+        assert_eq!(r.committed, 60);
+        assert!(r.certified, "stream certifier must sign off");
+        assert!(r.store_consistent, "{r:?}");
+        assert!(r.certify_grants > 0, "grants must be checked live");
+        assert!(
+            r.history_events > 0,
+            "events fed to the stream must be reported"
+        );
+        // Same protocol, same books — streaming changes *where* the
+        // history goes, not what the run does.
+        assert_eq!(replayed.committed, r.committed);
+        assert_eq!(r.offered, 60);
+        assert_eq!(r.shed, 0, "closed loop never sheds");
+    }
+
+    #[test]
+    fn open_loop_cell_sheds_and_stream_certifies() {
+        let (catalog, specs) = pattern_specs(Pattern::One, 240, 9);
+        // λ far beyond what one core serves: the in-flight windows fill and
+        // the surplus arrivals must be shed, not queued.
+        let cfg = NetConfig {
+            open_loop: Some(OpenLoop {
+                lambda_tps: 1_000_000.0,
+                seed: 5,
+                inflight: 4,
+            }),
+            stream_certify: true,
+            ..NetConfig::default()
+        };
+        let r = run_cell(
+            &cfg,
+            &|| sched_by_name("k2", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::none(),
+        )
+        .expect("open-loop run completes cleanly");
+        assert_eq!(r.offered, 240, "every arrival is offered exactly once");
+        assert!(r.shed > 0, "an impossible λ must shed: {r:?}");
+        assert_eq!(r.offered - r.shed, r.submitted as u64);
+        assert_eq!(r.committed, r.submitted as u64, "drain exit commits all accepted");
+        assert!(r.certified && r.store_consistent, "{r:?}");
+        // One end-of-stream Shutdown per client, plus the runtime's
+        // teardown broadcast to each data node.
+        assert_eq!(r.msgs.shutdown as usize, r.clients + r.data_nodes);
+    }
+
+    #[test]
+    fn open_loop_sharded_drain_exit_completes() {
+        let (catalog, specs) =
+            pattern_specs(Pattern::Clustered { groups: 2, hots_per_group: 4 }, 120, 13);
+        let cfg = NetConfig {
+            shards: 2,
+            open_loop: Some(OpenLoop {
+                lambda_tps: 500_000.0,
+                seed: 3,
+                inflight: 4,
+            }),
+            stream_certify: true,
+            ..NetConfig::default()
+        };
+        let r = run_cell(
+            &cfg,
+            &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::none(),
+        )
+        .expect("sharded open-loop run completes cleanly");
+        assert_eq!(r.shards, 2, "two clustered groups → two shards");
+        assert_eq!(r.offered, 120);
+        assert_eq!(r.committed, r.submitted as u64);
+        assert!(r.certified && r.store_consistent, "{r:?}");
+    }
+
+    #[test]
+    fn registry_sees_every_plane() {
+        use wtpg_obs::Registry;
+        let (catalog, specs) = pattern_specs(Pattern::One, 40, 7);
+        let reg = Arc::new(Registry::new());
+        let r = run_cell_load(
+            &NetConfig::default(),
+            &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::none(),
+            None,
+            Some(Arc::clone(&reg)),
+        )
+        .expect("instrumented run completes cleanly");
+        assert_eq!(r.committed, 40);
+        use wtpg_obs::window::metric;
+        let snap = reg.flush_snapshot(250_000);
+        assert_eq!(snap.counter(metric::COMMITS), 40, "{:?}", snap.counters);
+        assert_eq!(snap.counter(metric::SUBMITTED), 40);
+        assert_eq!(snap.counter(metric::OFFERED), 40);
+        assert!(snap.counter(metric::SCHED_GRANTS) > 0, "{:?}", snap.counters);
+        assert_eq!(snap.counter(&metric::shard_commits(0)), 40);
+        assert!(snap.counter(metric::DATA_UNITS) > 0);
+        let lat = snap
+            .hist(metric::COMMIT_LAT_US)
+            .expect("commit-latency histogram registered");
+        assert_eq!(lat.count(), 40, "one latency sample per commit");
+    }
+
+    #[test]
     fn observer_sees_net_counters() {
         use wtpg_obs::MemorySink;
         let (catalog, specs) = pattern_specs(Pattern::One, 20, 7);
@@ -780,5 +1111,66 @@ mod tests {
         assert!(has("net_shard0_commits"), "missing per-shard counters");
         assert!(has("net_batch_size"), "missing batch-size histogram");
         assert!(has("net_ctrl_rtt_us") && has("net_data_rtt_us"), "missing RTT histograms");
+    }
+
+    /// What the run *computes* (commits, store contents, conservation,
+    /// certification) must be identical whether telemetry is absent, a
+    /// null sink, or a live windowed registry with a flusher snapshotting
+    /// concurrently — the observability plane reads, it never steers.
+    #[test]
+    fn windowed_telemetry_does_not_change_the_trajectory() {
+        use wtpg_obs::wclock::WindowFlusher;
+        use wtpg_obs::{MemorySink, NullObserver, Registry};
+        let project = |r: &NetReport| {
+            (
+                r.committed,
+                r.submitted,
+                r.offered,
+                r.shed,
+                r.expected_write_units,
+                r.store_write_units,
+                r.store_cell_sum,
+                r.store_consistent,
+                r.certified,
+                r.certify_grants,
+            )
+        };
+        let run = |obs: Option<Arc<dyn Observer>>, reg: Option<Arc<Registry>>| {
+            let (catalog, specs) = pattern_specs(Pattern::Two { num_hots: 4 }, 60, 11);
+            let cfg = NetConfig {
+                stream_certify: true,
+                certify: false,
+                ..NetConfig::default()
+            };
+            run_cell_load(
+                &cfg,
+                &|| sched_by_name("k2", 2, 2000).expect("known scheduler"),
+                &catalog,
+                &specs,
+                &InProc,
+                &FaultPlan::none(),
+                obs,
+                reg,
+            )
+            .expect("run completes cleanly")
+        };
+        let bare = project(&run(None, None));
+        let nulled = project(&run(Some(Arc::new(NullObserver)), None));
+        assert_eq!(bare, nulled, "null observer changed the outcome");
+        let reg = Arc::new(Registry::new());
+        let sink = Arc::new(MemorySink::new());
+        let flusher = WindowFlusher::spawn(
+            Arc::clone(&reg),
+            Arc::clone(&sink) as Arc<dyn Observer>,
+            WallClock::start(),
+            1, // 1 ms windows: maximum flush pressure during the run
+            9,
+        );
+        let windowed = project(&run(
+            Some(Arc::clone(&sink) as Arc<dyn Observer>),
+            Some(Arc::clone(&reg)),
+        ));
+        flusher.stop();
+        assert_eq!(bare, windowed, "windowed telemetry changed the outcome");
     }
 }

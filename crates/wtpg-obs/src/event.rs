@@ -14,6 +14,7 @@
 use std::borrow::Cow;
 
 use crate::hist::Histogram;
+use crate::window::WindowSnapshot;
 
 /// An event name — borrowed from a static literal on the record path,
 /// owned after JSONL decode.
@@ -82,6 +83,10 @@ pub enum EventKind {
         /// The bucket counts, boxed so routine events stay small.
         hist: Box<Histogram>,
     },
+    /// One windowed-telemetry flush: counter deltas, gauge levels and
+    /// per-window histogram snapshots for the window ending at `at`.
+    /// Boxed so routine events stay small.
+    Window(Box<WindowSnapshot>),
 }
 
 impl EventKind {
@@ -94,6 +99,7 @@ impl EventKind {
             | EventKind::Counter { name, .. }
             | EventKind::Duration { name, .. }
             | EventKind::Hist { name, .. } => name,
+            EventKind::Window(_) => "window",
         }
     }
 }
@@ -169,6 +175,15 @@ impl ObsEvent {
                 name: name.into(),
                 hist: Box::new(hist),
             },
+        }
+    }
+
+    /// A windowed-telemetry flush for the window ending at `at`.
+    pub fn window(at: u64, track: u32, snap: WindowSnapshot) -> ObsEvent {
+        ObsEvent {
+            at,
+            track,
+            kind: EventKind::Window(Box::new(snap)),
         }
     }
 }

@@ -8,10 +8,15 @@
 //! deterministic core/sim paths and cheap enough for per-event use in the
 //! engine.
 //!
-//! Percentile queries return the *upper bound* of the bucket containing the
-//! requested rank, so a reported percentile is always within one bucket
-//! (one binary order of magnitude) of the exact order statistic; the
-//! property tests in this crate pin that contract.
+//! Percentile queries locate the bucket containing the requested rank and
+//! *interpolate* within it, assuming samples spread uniformly across the
+//! bucket's range: rank `r` of `c` in-bucket samples reports
+//! `lo + (hi - lo) * (2r - 1) / (2c)` (the midpoint of the r-th of `c`
+//! equal sub-ranges). The reported value therefore always lies inside the
+//! winning bucket — within one binary order of magnitude of the exact
+//! order statistic, and much closer in practice (the old upper-bound
+//! readout overstated p99 by up to the full bucket width at log-scale
+//! tails). The golden and property tests in this crate pin that contract.
 
 /// Number of buckets: one for zero plus one per binary magnitude of `u64`.
 pub const BUCKETS: usize = 65;
@@ -45,12 +50,22 @@ impl Histogram {
         }
     }
 
-    /// The largest value representable by bucket `b` — what percentile
-    /// queries report for ranks landing in that bucket.
+    /// The largest value representable by bucket `b` — the ceiling of the
+    /// interpolation range percentile queries use for that bucket.
     pub fn bucket_upper_bound(b: usize) -> u64 {
         match b {
             0 => 0,
             1..=63 => (1u64 << b) - 1,
+            _ => u64::MAX,
+        }
+    }
+
+    /// The smallest value that falls into bucket `b` — the floor of the
+    /// interpolation range percentile queries use for that bucket.
+    pub fn bucket_lower_bound(b: usize) -> u64 {
+        match b {
+            0 => 0,
+            1..=64 => 1u64 << (b - 1),
             _ => u64::MAX,
         }
     }
@@ -79,8 +94,11 @@ impl Histogram {
         }
     }
 
-    /// The `q`-quantile (`q` in `[0, 1]`), reported as the upper bound of
-    /// the bucket holding that rank. Returns 0 for an empty histogram.
+    /// The `q`-quantile (`q` in `[0, 1]`), interpolated within the bucket
+    /// holding that rank under a uniform-within-bucket assumption: the
+    /// `r`-th of `c` in-bucket samples reports the midpoint of the `r`-th
+    /// of `c` equal sub-ranges of `[lo, hi]`. Always lies inside the
+    /// winning bucket. Returns 0 for an empty histogram.
     pub fn percentile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -89,10 +107,18 @@ impl Histogram {
         let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).clamp(1, total);
         let mut cum = 0u64;
         for (b, c) in self.counts.iter().enumerate() {
-            cum += c;
-            if cum >= rank {
-                return Self::bucket_upper_bound(b);
+            if *c == 0 {
+                continue;
             }
+            if cum + c >= rank {
+                let lo = Self::bucket_lower_bound(b);
+                let hi = Self::bucket_upper_bound(b);
+                let r = rank - cum; // 1-based rank within the bucket
+                let width = (hi - lo) as u128;
+                let offset = width * (2 * r as u128 - 1) / (2 * *c as u128);
+                return lo + offset as u64;
+            }
+            cum += c;
         }
         Self::bucket_upper_bound(BUCKETS - 1)
     }
@@ -163,11 +189,56 @@ mod tests {
         for v in 1..=1000u64 {
             h.record(v);
         }
-        // p50 rank = 500 → value 500 → bucket 9 → bound 511.
-        assert_eq!(h.percentile(0.5), 511);
-        assert_eq!(h.percentile(1.0), 1023);
+        // p50 rank = 500 → bucket 9 ([256, 511], 256 samples, in-bucket
+        // rank 245) → interpolated 256 + 255*489/512 = 499; exact is 500.
+        assert_eq!(h.percentile(0.5), 499);
+        assert_eq!(h.percentile(1.0), 1022);
         assert_eq!(h.max_bound(), 1023);
         assert_eq!(h.count(), 1000);
+    }
+
+    /// Golden test pinning the interpolated readout against exact order
+    /// statistics of a known distribution: uniform 1..=1000. The old
+    /// upper-bound readout reported 511/1023/1023 for p50/p99/p100
+    /// (errors of +11/+33/+23); interpolation must land within ~4.5% of
+    /// exact at every probed quantile and always inside the winning bucket.
+    #[test]
+    fn golden_interpolated_quantiles_vs_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        // (q, exact order statistic, interpolated expectation)
+        let golden = [
+            (0.01, 10u64, 10u64),
+            (0.25, 250, 249),
+            (0.50, 500, 499),
+            (0.90, 900, 917),
+            (0.99, 990, 1012),
+            (0.999, 999, 1021),
+            (1.0, 1000, 1022),
+        ];
+        for (q, exact, want) in golden {
+            let got = h.percentile(q);
+            assert_eq!(got, want, "q={q}");
+            // Within the winning bucket ⇒ within one binary magnitude.
+            let b = Histogram::bucket_of(exact);
+            assert!(
+                got >= Histogram::bucket_lower_bound(b.saturating_sub(1))
+                    && got <= Histogram::bucket_upper_bound(b + 1),
+                "q={q}: {got} not near exact {exact}"
+            );
+            let err = got.abs_diff(exact) as f64 / exact as f64;
+            assert!(err < 0.045, "q={q}: relative error {err:.3}");
+        }
+        // A lone sample reports the midpoint of its bucket, not the top.
+        let mut one = Histogram::new();
+        one.record(9);
+        assert_eq!(one.percentile(0.5), 11); // bucket [8,15], mid ≈ 11
+        // Zero stays exact.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.percentile(0.99), 0);
     }
 
     #[test]

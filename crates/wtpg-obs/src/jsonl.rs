@@ -7,6 +7,7 @@ use std::fmt;
 
 use crate::event::{EventKind, Name, ObsEvent};
 use crate::hist::Histogram;
+use crate::window::WindowSnapshot;
 
 /// A decode failure, with the 1-based line it occurred on.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,9 +87,47 @@ pub fn encode_event(ev: &ObsEvent) -> String {
             push_str_field(&mut out, "name", name);
             push_str_field(&mut out, "buckets", &hist.encode());
         }
+        EventKind::Window(w) => {
+            push_str_field(&mut out, "kind", "window");
+            push_u64_field(&mut out, "seq", w.seq);
+            push_u64_field(&mut out, "len", w.len);
+            push_str_field(&mut out, "counters", &pack_pairs(&w.counters));
+            push_str_field(&mut out, "gauges", &pack_pairs(&w.gauges));
+            let hists: Vec<String> = w
+                .hists
+                .iter()
+                .map(|(n, h)| format!("{n}={}", h.encode()))
+                .collect();
+            push_str_field(&mut out, "hists", &hists.join(","));
+        }
     }
     out.push('}');
     out
+}
+
+/// Packs name/value pairs as `"name=value;name=value"` — the flat-object
+/// codec only carries strings and unsigned integers, so window metric
+/// lists travel as one string field each. Metric names never contain
+/// `=`, `;` or `,` (see [`crate::window::metric`]).
+fn pack_pairs(pairs: &[(Name, u64)]) -> String {
+    let items: Vec<String> = pairs.iter().map(|(n, v)| format!("{n}={v}")).collect();
+    items.join(";")
+}
+
+/// Parses the [`pack_pairs`] format.
+fn unpack_pairs(s: &str) -> Result<Vec<(Name, u64)>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut out = Vec::new();
+    for item in s.split(';') {
+        let (n, v) = item
+            .split_once('=')
+            .ok_or_else(|| format!("bad metric pair {item:?}"))?;
+        let v: u64 = v.parse().map_err(|_| format!("bad metric value {item:?}"))?;
+        out.push((Name::Owned(n.to_string()), v));
+    }
+    Ok(out)
 }
 
 /// Encodes a full trace: one line per event, trailing newline.
@@ -250,6 +289,27 @@ fn decode_line(line: &str) -> Result<ObsEvent, String> {
                     .ok_or_else(|| "malformed histogram buckets".to_string())?,
             ),
         },
+        "window" => {
+            let mut hists = Vec::new();
+            let packed = f.str("hists")?;
+            if !packed.is_empty() {
+                for item in packed.split(',') {
+                    let (n, enc) = item
+                        .split_once('=')
+                        .ok_or_else(|| format!("bad window histogram {item:?}"))?;
+                    let h = Histogram::decode(enc)
+                        .ok_or_else(|| format!("malformed window histogram {n:?}"))?;
+                    hists.push((Name::Owned(n.to_string()), h));
+                }
+            }
+            EventKind::Window(Box::new(WindowSnapshot {
+                seq: f.num("seq")?,
+                len: f.num("len")?,
+                counters: unpack_pairs(f.str("counters")?)?,
+                gauges: unpack_pairs(f.str("gauges")?)?,
+                hists,
+            }))
+        }
         other => return Err(format!("unknown event kind {other:?}")),
     };
     Ok(ObsEvent { at, track, kind })
@@ -294,6 +354,28 @@ mod tests {
         let evs = sample_events();
         let text = encode(&evs);
         assert_eq!(decode(&text).expect("decodes"), evs);
+    }
+
+    #[test]
+    fn window_events_round_trip() {
+        let reg = crate::window::Registry::new();
+        reg.counter("load/offered").add(12);
+        reg.counter("load/shed").add(2);
+        reg.gauge("ctrl/s0/backlog").set(5);
+        let h = reg.hist("lat/commit_us");
+        h.record(900);
+        h.record(17);
+        let evs = vec![
+            ObsEvent::window(250_000, 0, reg.flush_snapshot(250_000)),
+            // An idle window (no counters, no hists) still round-trips.
+            ObsEvent::window(500_000, 0, reg.flush_snapshot(250_000)),
+        ];
+        let text = encode(&evs);
+        assert_eq!(decode(&text).expect("decodes"), evs);
+        // The encoding is flat: one line per event, string-packed metrics.
+        let first = text.lines().next().unwrap_or("");
+        assert!(first.contains("\"kind\":\"window\""), "{first}");
+        assert!(first.contains("load/offered=12;load/shed=2"), "{first}");
     }
 
     #[test]

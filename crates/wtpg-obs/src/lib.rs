@@ -10,13 +10,19 @@
 //! Perfetto. [`TraceSummary`] implements the `wtpg obs summary` / `wtpg
 //! obs diff` tooling.
 //!
+//! The windowed-telemetry plane lives in [`window`] (a [`Registry`] of
+//! counters/gauges/streaming histograms, flushed snapshot-and-reset into
+//! [`EventKind::Window`] records), [`slo`] (declarative [`SloSpec`]
+//! thresholds evaluated per window into verdict streams) and [`wclock`]
+//! (the wall-driven flusher thread).
+//!
 //! # Determinism contract
 //!
 //! Events never read clocks; producers supply every timestamp. In
 //! `wtpg-core` and `wtpg-sim` timestamps are logical `Tick`s, so an
 //! instrumented run is byte-reproducible and the whole crate (minus the
-//! [`wall`] module, which only `wtpg-rt` may use) passes wtpg-lint's
-//! determinism rule.
+//! [`wall`] module, which only `wtpg-rt` may use, and [`wclock`], the
+//! window-flush clock boundary) passes wtpg-lint's determinism rule.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,13 +34,18 @@ pub mod jsonl;
 pub mod meta;
 pub mod net;
 pub mod observer;
+pub mod slo;
 pub mod stats;
 pub mod summary;
 pub mod wall;
+pub mod wclock;
+pub mod window;
 
 pub use event::{EventKind, Name, ObsEvent};
 pub use hist::Histogram;
 pub use net::{ByteCounts, MsgCounts, NetStats, WalStats};
 pub use observer::{MemorySink, NullObserver, Observer};
+pub use slo::{SloOutcome, SloSpec, WindowStats, WindowVerdict};
 pub use stats::{emit_deltas, ControlStats};
 pub use summary::TraceSummary;
+pub use window::{Counter, Gauge, HistHandle, Registry, WindowSnapshot};

@@ -6,6 +6,13 @@
 //! span name (pairing `SpanBegin`/`SpanEnd` by `(name, id)`, folding in
 //! complete [`EventKind::Duration`] events, and merging end-of-run
 //! [`EventKind::Hist`] snapshots under `<name>` as recorded).
+//!
+//! Windowed traces fold the same way: each [`EventKind::Window`] record
+//! accumulates its counter deltas into the summary's counters, overwrites
+//! gauge levels (last window wins, like cumulative counters), and merges
+//! its per-window histograms into the span map — so `wtpg obs summary`
+//! and `diff` treat a windowed trace exactly like the equivalent
+//! whole-run trace, and the fold stays byte-deterministic.
 
 use std::collections::BTreeMap;
 
@@ -27,6 +34,8 @@ pub struct TraceSummary {
     /// Span begin events that never closed (diagnostic; non-zero is legal
     /// for truncated traces).
     pub unclosed_spans: usize,
+    /// Windowed-telemetry flush records folded into this summary.
+    pub windows: usize,
 }
 
 impl TraceSummary {
@@ -61,6 +70,18 @@ impl TraceSummary {
                 }
                 EventKind::Hist { name, hist } => {
                     s.spans.entry(name.to_string()).or_default().merge(hist);
+                }
+                EventKind::Window(w) => {
+                    s.windows += 1;
+                    for (name, delta) in &w.counters {
+                        *s.counters.entry(name.to_string()).or_insert(0) += delta;
+                    }
+                    for (name, level) in &w.gauges {
+                        s.counters.insert(name.to_string(), *level);
+                    }
+                    for (name, hist) in &w.hists {
+                        s.spans.entry(name.to_string()).or_default().merge(hist);
+                    }
                 }
             }
         }
@@ -138,6 +159,9 @@ impl TraceSummary {
     /// Renders the human-readable summary `wtpg obs summary` prints.
     pub fn render(&self) -> String {
         let mut out = format!("events: {}\n", self.events);
+        if self.windows > 0 {
+            out.push_str(&format!("windows: {}\n", self.windows));
+        }
         let stats = self.control_stats();
         out.push_str(&format!(
             "cache: hits={} misses={} hit_ratio={:.3} (W reuse {}, E(q) {}, deadlock-pred {})\n",
@@ -180,7 +204,7 @@ impl TraceSummary {
             out.push_str("spans (duration in trace time units):\n");
             for (name, h) in &self.spans {
                 out.push_str(&format!(
-                    "  {name:<24} count={} p50<={} p95<={} max<={}\n",
+                    "  {name:<24} count={} p50~{} p95~{} max<={}\n",
                     h.count(),
                     h.percentile(0.5),
                     h.percentile(0.95),
@@ -271,7 +295,8 @@ mod tests {
         assert_eq!(s.instants.get("abort"), Some(&1));
         let txn = s.span("txn").expect("txn span present");
         assert_eq!(txn.count(), 1);
-        assert_eq!(txn.percentile(1.0), Histogram::bucket_upper_bound(4));
+        // Span lasted 10 units → bucket [8, 15], one sample → midpoint 11.
+        assert_eq!(txn.percentile(1.0), 11);
         assert_eq!(s.span("lock_wait").map(Histogram::count), Some(1));
         assert_eq!(s.unclosed_spans, 1);
         assert_eq!(s.control_stats().eq_cache_hits, 3);
@@ -309,6 +334,80 @@ mod tests {
         let quiet = TraceSummary::from_events(&trace());
         assert!(quiet.net_msgs_per_commit().is_none());
         assert!(!quiet.render().contains("net:"), "{}", quiet.render());
+    }
+
+    #[test]
+    fn window_records_fold_like_the_equivalent_whole_run() {
+        use crate::window::Registry;
+        // Windowed trace: three windows of activity.
+        let reg = Registry::new();
+        let commits = reg.counter("load/commits");
+        let lat = reg.hist("lat/commit_us");
+        let backlog = reg.gauge("ctrl/s0/backlog");
+        let mut windowed = Vec::new();
+        for w in 0..3u64 {
+            commits.add(10 + w);
+            lat.record(100 * (w + 1));
+            backlog.set(w);
+            windowed.push(ObsEvent::window(
+                (w + 1) * 250,
+                0,
+                reg.flush_snapshot(250),
+            ));
+        }
+        let s = TraceSummary::from_events(&windowed);
+        assert_eq!(s.windows, 3);
+        // Counter deltas accumulate back to the cumulative total.
+        assert_eq!(s.counters.get("load/commits"), Some(&(10 + 11 + 12)));
+        // The last gauge level wins.
+        assert_eq!(s.counters.get("ctrl/s0/backlog"), Some(&2));
+        // Per-window histograms merge to the whole-run histogram.
+        let mut whole = Histogram::new();
+        for w in 0..3u64 {
+            whole.record(100 * (w + 1));
+        }
+        assert_eq!(s.span("lat/commit_us"), Some(&whole));
+        let text = s.render();
+        assert!(text.contains("windows: 3"), "{text}");
+        // Diff of a windowed trace against itself is quiet.
+        assert!(
+            s.diff(&s).contains("no counter or span differences"),
+            "{}",
+            s.diff(&s)
+        );
+    }
+
+    #[test]
+    fn windowed_summary_render_is_byte_deterministic() {
+        use crate::window::Registry;
+        // The summary of a windowed trace must render the same bytes on
+        // every fold, and survive a JSONL round trip unchanged — `wtpg obs
+        // summary`/`diff` on a windowed trace regress here, not in prose.
+        let build = || {
+            let reg = Registry::new();
+            let commits = reg.counter("load/commits");
+            let lat = reg.hist("lat/commit_us");
+            let mut events = Vec::new();
+            for w in 0..5u64 {
+                commits.add(7 + w);
+                for i in 0..20u64 {
+                    lat.record(w * 500 + i * 13);
+                }
+                reg.gauge("ctrl/s0/backlog").set(w * 2);
+                events.push(ObsEvent::window((w + 1) * 250, 0, reg.flush_snapshot(250)));
+            }
+            events
+        };
+        let events = build();
+        let direct = TraceSummary::from_events(&events).render();
+        let refold = TraceSummary::from_events(&events).render();
+        assert_eq!(direct, refold);
+        let rebuilt = TraceSummary::from_events(&build()).render();
+        assert_eq!(direct, rebuilt);
+        let text = crate::jsonl::encode(&events);
+        let decoded = crate::jsonl::decode(&text).expect("round trip");
+        let via_jsonl = TraceSummary::from_events(&decoded).render();
+        assert_eq!(direct, via_jsonl);
     }
 
     #[test]

@@ -1,0 +1,183 @@
+//! The window-flush clock: a wall-driven thread that periodically flushes
+//! a [`Registry`] into [`EventKind::Window`](crate::EventKind::Window)
+//! records.
+//!
+//! This module is — alongside [`wall`](crate::wall) — one of the two
+//! sanctioned clock boundaries in the workspace (wtpg-lint's determinism
+//! rule exempts exactly these two files). Everything downstream of the
+//! flusher stays deterministic-by-construction: the snapshot it emits
+//! carries producer-supplied timestamps and the flusher itself never
+//! leaks `Instant`s into event payloads. Logical-time producers
+//! (`wtpg-sim`) do not use this module at all; they call
+//! [`Registry::flush`] themselves on tick boundaries.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crate::observer::Observer;
+use crate::wall::WallClock;
+use crate::window::Registry;
+
+/// Default flush window, ms — matches the logical-time default used by
+/// tick-driven producers.
+pub const DEFAULT_WINDOW_MS: u64 = 250;
+
+/// A background thread that flushes `reg` into the observer every
+/// `window_ms` of wall time. Stop it with [`WindowFlusher::stop`] to get
+/// the final partial window flushed before the handle joins; dropping it
+/// without `stop` also shuts the thread down (without the final flush
+/// being ordered after the producer's last write — prefer `stop`).
+pub struct WindowFlusher {
+    stop: Arc<AtomicBool>,
+    // Wakes the sleeper early on stop so shutdown is prompt even with
+    // long windows.
+    wake_tx: mpsc::Sender<()>,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+impl WindowFlusher {
+    /// Spawns the flusher thread. `track` is the observer track window
+    /// records are emitted on; `wall` supplies the µs timestamps (share
+    /// the producer's clock so window `at`s interleave correctly with
+    /// the rest of the trace).
+    pub fn spawn(
+        reg: Arc<Registry>,
+        obs: Arc<dyn Observer>,
+        wall: WallClock,
+        window_ms: u64,
+        track: u32,
+    ) -> WindowFlusher {
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let (wake_tx, wake_rx) = mpsc::channel::<()>();
+        let window_us = window_ms.max(1).saturating_mul(1000);
+        let handle = thread::spawn(move || {
+            let mut last = wall.now_us();
+            loop {
+                if stop2.load(Ordering::Acquire) {
+                    break;
+                }
+                let now = wall.now_us();
+                let elapsed = now.saturating_sub(last);
+                if elapsed >= window_us {
+                    obs.record(reg.flush(now, track, elapsed));
+                    last = now;
+                }
+                // Sleep a fraction of the window so flush timing stays
+                // close to the boundary without busy-waiting; the wake
+                // channel cuts the sleep short on stop.
+                let nap = (window_us / 8).clamp(1_000, 25_000);
+                let _ = wake_rx.recv_timeout(Duration::from_micros(nap));
+            }
+            // Final partial window: everything recorded since the last
+            // boundary, so short runs and drain tails are not lost.
+            let now = wall.now_us();
+            let elapsed = now.saturating_sub(last);
+            let snap = reg.flush(now, track, elapsed.max(1));
+            obs.record(snap);
+        });
+        WindowFlusher {
+            stop,
+            wake_tx,
+            handle: Some(handle),
+        }
+    }
+
+    /// Stops the thread, flushing the final partial window, and joins.
+    pub fn stop(mut self) {
+        self.shutdown();
+    }
+
+    fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        let _ = self.wake_tx.send(());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for WindowFlusher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::observer::MemorySink;
+    use crate::window::metric;
+
+    #[test]
+    fn flusher_emits_windows_and_a_final_partial() {
+        let reg = Arc::new(Registry::new());
+        let sink = Arc::new(MemorySink::new());
+        let wall = WallClock::start();
+        let flusher = WindowFlusher::spawn(
+            Arc::clone(&reg),
+            sink.clone() as Arc<dyn Observer>,
+            wall,
+            5,
+            7,
+        );
+        let commits = reg.counter(metric::COMMITS);
+        for _ in 0..10 {
+            commits.inc();
+            thread::sleep(Duration::from_millis(2));
+        }
+        flusher.stop();
+        let events = sink.take();
+        assert!(!events.is_empty(), "at least the final flush lands");
+        let mut total = 0u64;
+        for ev in &events {
+            assert_eq!(ev.track, 7);
+            match &ev.kind {
+                EventKind::Window(w) => total += w.counter(metric::COMMITS),
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        assert_eq!(total, 10, "window deltas account for every commit");
+        // Window seqs are monotone from the shared registry.
+        let seqs: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Window(w) => Some(w.seq),
+                _ => None,
+            })
+            .collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_eq!(seqs, sorted);
+    }
+
+    #[test]
+    fn drop_without_stop_still_joins() {
+        let reg = Arc::new(Registry::new());
+        let sink = Arc::new(MemorySink::new());
+        let wall = WallClock::start();
+        {
+            let _f = WindowFlusher::spawn(
+                Arc::clone(&reg),
+                sink.clone() as Arc<dyn Observer>,
+                wall,
+                1000,
+                0,
+            );
+            reg.counter(metric::OFFERED).add(3);
+        }
+        let events = sink.take();
+        let offered: u64 = events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Window(w) => Some(w.counter(metric::OFFERED)),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(offered, 3);
+    }
+}

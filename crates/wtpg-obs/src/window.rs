@@ -1,0 +1,482 @@
+//! Windowed telemetry: a [`Registry`] of named counters, gauges and
+//! streaming histograms that every layer updates on its hot path, plus the
+//! snapshot-and-reset flush that turns one window of activity into a
+//! single [`EventKind::Window`](crate::event::EventKind) record.
+//!
+//! The registry hands out cheap handles — [`Counter`] and [`Gauge`] are
+//! atomics, [`HistHandle`] a per-metric mutex — so producers pay one
+//! atomic add (or one uncontended lock) per observation and never touch
+//! the registry map again after setup. Flushing is the only consumer:
+//! [`Registry::flush`] snapshots every metric, resets the histograms,
+//! computes counter deltas against the previous flush, and returns a
+//! [`WindowSnapshot`] whose metric lists are name-sorted (the registry
+//! maps are `BTreeMap`s), keeping windowed traces byte-deterministic for
+//! a deterministic producer.
+//!
+//! This module is pure bookkeeping and carries the crate's determinism
+//! contract: nothing here reads a clock. Producers that flush on wall
+//! time use the [`crate::wclock::WindowFlusher`] thread, the crate's
+//! second sanctioned clock boundary next to `wall.rs`; logical-time
+//! producers call [`Registry::flush`] at their own window boundaries.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::event::{Name, ObsEvent};
+use crate::hist::Histogram;
+
+/// A cumulative counter handle. Cloning shares the underlying cell.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `d` to the counter.
+    pub fn add(&self, d: u64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// The cumulative value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A level gauge handle (queue depth, backlog, lag). Cloning shares the
+/// underlying cell.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Raises the level by `d`.
+    pub fn add(&self, d: u64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Lowers the level by `d`, saturating at zero.
+    pub fn sub(&self, d: u64) {
+        // fetch_update never fails with a Some-returning closure.
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(d))
+            });
+    }
+
+    /// The current level.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A streaming histogram handle. Recording takes a per-metric mutex that
+/// only the flusher ever contends with.
+#[derive(Clone, Debug)]
+pub struct HistHandle(Arc<Mutex<Histogram>>);
+
+impl HistHandle {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        lock_unpoisoned(&self.0).record(v);
+    }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock (observability
+/// must never take the engine down with it).
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// Everything one window of activity produced: counter *deltas* since the
+/// previous flush, gauge levels at flush time, and the per-window
+/// histogram snapshots (reset at each flush). Lists are name-sorted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    /// Flush sequence number, 0-based.
+    pub seq: u64,
+    /// Window length in the producer's timestamp unit (the carrying
+    /// event's `at` is the window *end*).
+    pub len: u64,
+    /// `(name, delta)` per counter that moved this window.
+    pub counters: Vec<(Name, u64)>,
+    /// `(name, level)` per registered gauge.
+    pub gauges: Vec<(Name, u64)>,
+    /// `(name, histogram)` per histogram that recorded this window.
+    pub hists: Vec<(Name, Histogram)>,
+}
+
+impl WindowSnapshot {
+    /// The delta of counter `name` this window (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// The level of gauge `name` (None when absent).
+    pub fn gauge(&self, name: &str) -> Option<u64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// The histogram recorded under `name` this window, if any.
+    pub fn hist(&self, name: &str) -> Option<&Histogram> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Sum of gauge levels whose names start with `prefix` and end with
+    /// `suffix` — e.g. per-shard `ctrl/s<i>/backlog` totals.
+    pub fn gauge_sum(&self, prefix: &str, suffix: &str) -> u64 {
+        self.gauges
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix) && n.ends_with(suffix))
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Counter deltas whose names start with `prefix` and end with
+    /// `suffix`, in name order — e.g. per-shard commit balance.
+    pub fn counter_matches(&self, prefix: &str, suffix: &str) -> Vec<(String, u64)> {
+        self.counters
+            .iter()
+            .filter(|(n, _)| n.starts_with(prefix) && n.ends_with(suffix))
+            .map(|(n, v)| (n.to_string(), *v))
+            .collect()
+    }
+}
+
+/// Canonical metric names shared by producers (clients, control shards,
+/// data nodes, the WAL writer) and consumers (the SLO engine, `wtpg top`,
+/// trace summaries). Names never contain `=`, `;`, `,` or `"` — the
+/// window JSONL codec packs them into flat string fields.
+pub mod metric {
+    /// Open-loop arrivals offered by the load driver (counter).
+    pub const OFFERED: &str = "load/offered";
+    /// Arrivals shed because the in-flight bound was full (counter) —
+    /// the backpressure signal.
+    pub const SHED: &str = "load/shed";
+    /// Transactions actually submitted to the control plane (counter).
+    pub const SUBMITTED: &str = "load/submitted";
+    /// Commit acks received by clients (counter).
+    pub const COMMITS: &str = "load/commits";
+    /// Admission rejections observed by clients (counter).
+    pub const REJECTS: &str = "load/rejects";
+    /// Step delays observed by clients (counter).
+    pub const DELAYS: &str = "load/delays";
+    /// Submit-to-commit-ack latency, µs (histogram).
+    pub const COMMIT_LAT_US: &str = "lat/commit_us";
+    /// Control-plane round trip, µs (histogram).
+    pub const CTRL_RTT_US: &str = "lat/ctrl_rtt_us";
+    /// Clients' in-flight transactions (gauge, summed over clients).
+    pub const INFLIGHT: &str = "load/inflight";
+    /// Per-shard admission backlog depth (gauge): `ctrl/s<i>/backlog`.
+    pub fn shard_backlog(shard: usize) -> String {
+        format!("ctrl/s{shard}/backlog")
+    }
+    /// Per-shard parked-set size (gauge): `ctrl/s<i>/parked`.
+    pub fn shard_parked(shard: usize) -> String {
+        format!("ctrl/s{shard}/parked")
+    }
+    /// Per-shard commits (counter): `ctrl/s<i>/commits`.
+    pub fn shard_commits(shard: usize) -> String {
+        format!("ctrl/s{shard}/commits")
+    }
+    /// Per-shard admissions (counter): `ctrl/s<i>/admissions`.
+    pub fn shard_admissions(shard: usize) -> String {
+        format!("ctrl/s{shard}/admissions")
+    }
+    /// Scheduler lock grants, control-side (counter).
+    pub const SCHED_GRANTS: &str = "sched/grants";
+    /// Scheduler aborts (admission rejections), control-side (counter).
+    pub const SCHED_ABORTS: &str = "sched/aborts";
+    /// Scheduler delays, control-side (counter).
+    pub const SCHED_DELAYS: &str = "sched/delays";
+    /// Scheduler control-saving cache hits (counter).
+    pub const SCHED_CACHE_HITS: &str = "sched/cache_hits";
+    /// Bulk units applied across data nodes (counter).
+    pub const DATA_UNITS: &str = "data/units";
+    /// WAL records appended (counter).
+    pub const WAL_RECORDS: &str = "wal/records";
+    /// WAL group-commit flushes (counter).
+    pub const WAL_FLUSHES: &str = "wal/flushes";
+    /// WAL bytes buffered in the writer but not yet flushed to the file —
+    /// flush lag, what a kill would destroy right now (gauge).
+    pub const WAL_LAG: &str = "wal/lag";
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: BTreeMap<String, Arc<AtomicU64>>,
+    gauges: BTreeMap<String, Arc<AtomicU64>>,
+    hists: BTreeMap<String, Arc<Mutex<Histogram>>>,
+    prev: BTreeMap<String, u64>,
+    seq: u64,
+}
+
+/// A registry of named windowed metrics. One per run, shared by every
+/// actor; see the module docs for the handle/flush split.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<Inner>,
+}
+
+/// True when `name` survives the window codec's flat packing.
+fn name_ok(name: &str) -> bool {
+    !name.is_empty() && !name.contains(['=', ';', ',', '"', '\\'])
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The counter named `name`, created at zero on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        debug_assert!(name_ok(name), "bad metric name {name:?}");
+        let mut inner = lock_unpoisoned(&self.inner);
+        Counter(Arc::clone(
+            inner.counters.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// The gauge named `name`, created at zero on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        debug_assert!(name_ok(name), "bad metric name {name:?}");
+        let mut inner = lock_unpoisoned(&self.inner);
+        Gauge(Arc::clone(inner.gauges.entry(name.to_string()).or_default()))
+    }
+
+    /// The histogram named `name`, created empty on first use.
+    pub fn hist(&self, name: &str) -> HistHandle {
+        debug_assert!(name_ok(name), "bad metric name {name:?}");
+        let mut inner = lock_unpoisoned(&self.inner);
+        HistHandle(Arc::clone(
+            inner.hists.entry(name.to_string()).or_default(),
+        ))
+    }
+
+    /// Snapshots one window and resets the streaming state: counters
+    /// report their delta since the previous flush (unchanged ones are
+    /// omitted), gauges report their level, histograms are swapped out
+    /// and reset (empty ones are omitted). `len` is the window length in
+    /// the producer's timestamp unit.
+    // `mem::replace`, not `mem::take`: the lock-order pass resolves bare
+    // callee names, and `take` is also the sink-draining method that
+    // acquires the `obs-events` lock class.
+    #[allow(clippy::mem_replace_with_default)]
+    pub fn flush_snapshot(&self, len: u64) -> WindowSnapshot {
+        let mut inner = lock_unpoisoned(&self.inner);
+        let seq = inner.seq;
+        inner.seq += 1;
+        let mut counters = Vec::new();
+        let mut prev_updates = Vec::new();
+        for (name, cell) in &inner.counters {
+            let now = cell.load(Ordering::Relaxed);
+            let before = inner.prev.get(name).copied().unwrap_or(0);
+            if now != before {
+                counters.push((Name::Owned(name.clone()), now - before));
+                prev_updates.push((name.clone(), now));
+            }
+        }
+        for (name, now) in prev_updates {
+            inner.prev.insert(name, now);
+        }
+        let gauges = inner
+            .gauges
+            .iter()
+            .map(|(name, cell)| (Name::Owned(name.clone()), cell.load(Ordering::Relaxed)))
+            .collect();
+        // Swap histograms out cell by cell *after* releasing the registry
+        // lock — the cells are the innermost lock class, never nested
+        // under anything (recorders on the hot path take only their own
+        // cell, and so does the flusher here).
+        let hist_cells: Vec<(String, Arc<Mutex<Histogram>>)> = inner
+            .hists
+            .iter()
+            .map(|(name, cell)| (name.clone(), Arc::clone(cell)))
+            .collect();
+        drop(inner);
+        let mut hists = Vec::new();
+        for (name, cell) in hist_cells {
+            let mut h = lock_unpoisoned(&cell);
+            if !h.is_empty() {
+                let snap = std::mem::replace(&mut *h, Histogram::new());
+                hists.push((Name::Owned(name), snap));
+            }
+        }
+        WindowSnapshot {
+            seq,
+            len,
+            counters,
+            gauges,
+            hists,
+        }
+    }
+
+    /// Flushes one window as a ready-to-record event ending at `at` on
+    /// `track`.
+    pub fn flush(&self, at: u64, track: u32, len: u64) -> ObsEvent {
+        ObsEvent::window(at, track, self.flush_snapshot(len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_report_deltas_and_reset_between_windows() {
+        let reg = Registry::new();
+        let c = reg.counter("load/offered");
+        c.add(5);
+        let w0 = reg.flush_snapshot(250);
+        assert_eq!(w0.seq, 0);
+        assert_eq!(w0.counter("load/offered"), 5);
+        c.add(2);
+        let w1 = reg.flush_snapshot(250);
+        assert_eq!(w1.seq, 1);
+        assert_eq!(w1.counter("load/offered"), 2);
+        // An idle window omits the unchanged counter entirely.
+        let w2 = reg.flush_snapshot(250);
+        assert!(w2.counters.is_empty(), "{:?}", w2.counters);
+        assert_eq!(w2.counter("load/offered"), 0);
+    }
+
+    #[test]
+    fn gauges_report_levels_and_hists_snapshot_and_reset() {
+        let reg = Registry::new();
+        let g = reg.gauge("ctrl/s0/backlog");
+        g.add(7);
+        g.sub(3);
+        let h = reg.hist("lat/commit_us");
+        h.record(100);
+        h.record(200);
+        let w0 = reg.flush_snapshot(250);
+        assert_eq!(w0.gauge("ctrl/s0/backlog"), Some(4));
+        assert_eq!(w0.hist("lat/commit_us").map(Histogram::count), Some(2));
+        // The histogram was reset; the gauge holds its level.
+        let w1 = reg.flush_snapshot(250);
+        assert!(w1.hist("lat/commit_us").is_none());
+        assert_eq!(w1.gauge("ctrl/s0/backlog"), Some(4));
+        g.sub(100); // saturates at zero
+        assert_eq!(reg.flush_snapshot(250).gauge("ctrl/s0/backlog"), Some(0));
+    }
+
+    #[test]
+    fn handles_share_cells_and_snapshot_order_is_name_sorted() {
+        let reg = Registry::new();
+        let a = reg.counter("b/two");
+        let b = reg.counter("b/two");
+        a.inc();
+        b.inc();
+        reg.counter("a/one").inc();
+        reg.gauge("z/g").set(9);
+        let w = reg.flush_snapshot(1);
+        assert_eq!(w.counter("b/two"), 2);
+        let names: Vec<&str> = w.counters.iter().map(|(n, _)| n.as_ref()).collect();
+        assert_eq!(names, vec!["a/one", "b/two"]);
+        assert_eq!(w.gauge_sum("z/", "g"), 9);
+        assert_eq!(
+            w.counter_matches("b/", "two"),
+            vec![("b/two".to_string(), 2)]
+        );
+    }
+
+    #[test]
+    fn merging_window_hists_reconstructs_the_whole_run() {
+        let reg = Registry::new();
+        let h = reg.hist("lat/commit_us");
+        let mut whole = Histogram::new();
+        let mut merged = Histogram::new();
+        for window in 0..4u64 {
+            for i in 0..50u64 {
+                let v = window * 1000 + i * 7;
+                h.record(v);
+                whole.record(v);
+            }
+            let w = reg.flush_snapshot(250);
+            if let Some(wh) = w.hist("lat/commit_us") {
+                merged.merge(wh);
+            }
+        }
+        assert_eq!(merged, whole);
+        assert_eq!(merged.encode(), whole.encode());
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            assert_eq!(merged.percentile(q), whole.percentile(q));
+        }
+    }
+
+    #[test]
+    fn threaded_merge_is_byte_identical_to_serial() {
+        // REPLAY-style merge: each worker records its slice of the sample
+        // stream concurrently through a shared handle, and separately into
+        // a private histogram. Bucket increments are commutative, so the
+        // registry's combined histogram, a serial fold of the same
+        // samples, and any merge order of the private parts must all
+        // encode to identical bytes.
+        let reg = Registry::new();
+        let samples: Vec<u64> = (0..4000u64).map(|i| (i * 2654435761) % 1_000_000).collect();
+        let workers = 4;
+        std::thread::scope(|s| {
+            for w in 0..workers {
+                let h = reg.hist("lat/commit_us");
+                let slice: Vec<u64> = samples
+                    .iter()
+                    .copied()
+                    .skip(w)
+                    .step_by(workers)
+                    .collect();
+                s.spawn(move || {
+                    for v in slice {
+                        h.record(v);
+                    }
+                });
+            }
+        });
+        let concurrent = reg
+            .flush_snapshot(1)
+            .hist("lat/commit_us")
+            .expect("recorded")
+            .clone();
+
+        let mut serial = Histogram::new();
+        for &v in &samples {
+            serial.record(v);
+        }
+        let parts: Vec<Histogram> = (0..workers)
+            .map(|w| {
+                let mut h = Histogram::new();
+                for &v in samples.iter().skip(w).step_by(workers) {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+        let mut forward = Histogram::new();
+        for p in &parts {
+            forward.merge(p);
+        }
+        let mut reverse = Histogram::new();
+        for p in parts.iter().rev() {
+            reverse.merge(p);
+        }
+        assert_eq!(concurrent.encode(), serial.encode());
+        assert_eq!(forward.encode(), serial.encode());
+        assert_eq!(reverse.encode(), serial.encode());
+    }
+}

@@ -9,12 +9,31 @@
 //! order the scheduler saw it, which is what makes post-run replay
 //! certification ([`wtpg_core::certify::certify_history`]) sound for real
 //! multi-threaded executions.
+//!
+//! **Streaming mode.** With a [`StreamItem`] channel attached
+//! ([`ControlNode::with_telemetry`]), the node records *nothing*: every
+//! event is sent down the channel in linearization order (each spec once,
+//! before its first admission event) so a
+//! [`StreamingCertifier`](wtpg_core::StreamingCertifier) thread can replay
+//! and prefix-retire the history live. [`into_audit`](ControlNode::into_audit)
+//! then returns an empty history — the control node's memory footprint no
+//! longer grows with run length, which is what makes million-transaction
+//! open-loop cells feasible. Committed specs are pruned for the same
+//! reason.
+//!
+//! **Windowed telemetry.** With a [`Registry`] attached, scheduler-level
+//! decisions bump the canonical `sched/*` counters
+//! ([`wtpg_obs::window::metric`]) so a window flusher can report grant,
+//! reject and delay rates live. Counter bumps are atomic adds on the hot
+//! path and never alter scheduling decisions or recorded histories.
 
 use std::collections::BTreeMap;
+use std::sync::mpsc::SyncSender;
 use std::sync::{Arc, Mutex};
 
 use wtpg_obs::wall::WallClock;
-use wtpg_obs::{emit_deltas, ControlStats, Observer};
+use wtpg_obs::window::metric;
+use wtpg_obs::{emit_deltas, ControlStats, Counter, Observer, Registry};
 
 use wtpg_core::error::CoreError;
 use wtpg_core::history::{Event, History};
@@ -44,6 +63,35 @@ pub struct ControlCounters {
     pub ops: ControlOps,
 }
 
+/// One item of the control node's live certification stream, in
+/// linearization order. Consumed by a
+/// [`StreamingCertifier`](wtpg_core::StreamingCertifier) thread.
+#[derive(Clone, Debug)]
+pub enum StreamItem {
+    /// A transaction's declaration, sent once — before the first
+    /// `Admitted`/`Rejected` event that references it.
+    Spec(TxnSpec),
+    /// One linearized history event.
+    Event(Tick, Event),
+}
+
+/// Pre-resolved windowed-metric handles (one atomic add per decision).
+struct SchedTelemetry {
+    grants: Counter,
+    rejects: Counter,
+    delays: Counter,
+}
+
+impl SchedTelemetry {
+    fn new(reg: &Registry) -> SchedTelemetry {
+        SchedTelemetry {
+            grants: reg.counter(metric::SCHED_GRANTS),
+            rejects: reg.counter(metric::SCHED_ABORTS),
+            delays: reg.counter(metric::SCHED_DELAYS),
+        }
+    }
+}
+
 struct ControlState {
     sched: Box<dyn Scheduler + Send>,
     history: History,
@@ -61,6 +109,13 @@ pub struct ControlNode {
     /// stamped with wall-clock µs since run start.
     obs: Option<Arc<dyn Observer>>,
     wall: WallClock,
+    /// Streaming mode: events go down this channel instead of into the
+    /// in-memory history. A send failure means the certifier already died
+    /// on a violation; the node keeps running and the runtime surfaces the
+    /// verdict when it joins the certifier.
+    stream: Option<SyncSender<StreamItem>>,
+    /// Windowed scheduler counters (None disables).
+    tel: Option<SchedTelemetry>,
 }
 
 /// Everything the control node recorded, released after the workers stop.
@@ -91,6 +146,20 @@ impl ControlNode {
         obs: Option<Arc<dyn Observer>>,
         wall: WallClock,
     ) -> ControlNode {
+        ControlNode::with_telemetry(sched, obs, wall, None, None)
+    }
+
+    /// The fully-plumbed constructor: optional trace sink, optional
+    /// windowed-metric registry (scheduler decision counters), and an
+    /// optional live certification stream (see the module docs on
+    /// streaming mode).
+    pub fn with_telemetry(
+        sched: Box<dyn Scheduler + Send>,
+        obs: Option<Arc<dyn Observer>>,
+        wall: WallClock,
+        reg: Option<&Registry>,
+        stream: Option<SyncSender<StreamItem>>,
+    ) -> ControlNode {
         ControlNode {
             state: Mutex::new(ControlState {
                 sched,
@@ -102,6 +171,20 @@ impl ControlNode {
             clock: LogicalClock::new(),
             obs,
             wall,
+            stream,
+            tel: reg.map(SchedTelemetry::new),
+        }
+    }
+
+    /// Routes one linearized event: down the stream in streaming mode,
+    /// into the in-memory history otherwise. Called with the lock held so
+    /// channel order matches linearization order.
+    fn record(&self, s: &mut ControlState, now: Tick, ev: Event) {
+        match &self.stream {
+            Some(tx) => {
+                let _ = tx.send(StreamItem::Event(now, ev));
+            }
+            None => s.history.push(now, ev),
         }
     }
 
@@ -131,18 +214,25 @@ impl ControlNode {
         let (admission, ops) = s.sched.on_arrive(spec, now)?;
         s.counters.ops = s.counters.ops.merge(ops);
         self.emit_stats(&mut s);
+        // First sight of this id: the certifier needs the declaration
+        // before either admission verdict (re-admission reuses the id).
+        if let std::collections::btree_map::Entry::Vacant(e) = s.specs.entry(spec.id) {
+            if let Some(tx) = &self.stream {
+                let _ = tx.send(StreamItem::Spec(spec.clone()));
+            }
+            e.insert(spec.clone());
+        }
         match admission {
             Admission::Admitted => {
                 s.counters.admissions += 1;
-                s.specs.entry(spec.id).or_insert_with(|| spec.clone());
-                s.history.push(now, Event::Admitted(spec.id));
+                self.record(&mut s, now, Event::Admitted(spec.id));
             }
             Admission::Rejected => {
                 s.counters.rejections += 1;
-                // Only admitted ids need specs for replay, but a rejected
-                // spec is recorded too: re-admission reuses the same id.
-                s.specs.entry(spec.id).or_insert_with(|| spec.clone());
-                s.history.push(now, Event::Rejected(spec.id));
+                if let Some(t) = &self.tel {
+                    t.rejects.inc();
+                }
+                self.record(&mut s, now, Event::Rejected(spec.id));
             }
         }
         Ok(admission)
@@ -160,13 +250,17 @@ impl ControlNode {
         match outcome {
             LockOutcome::Granted => {
                 s.counters.grants += 1;
+                if let Some(t) = &self.tel {
+                    t.grants.inc();
+                }
                 let declared = s
                     .specs
                     .get(&txn)
                     .and_then(|spec| spec.steps().get(step))
                     .copied()
                     .ok_or(CoreError::BadStep { txn, step })?;
-                s.history.push(
+                self.record(
+                    &mut s,
                     now,
                     Event::Granted {
                         txn,
@@ -176,8 +270,18 @@ impl ControlNode {
                     },
                 );
             }
-            LockOutcome::Blocked => s.counters.blocks += 1,
-            LockOutcome::Delayed => s.counters.delays += 1,
+            LockOutcome::Blocked => {
+                s.counters.blocks += 1;
+                if let Some(t) = &self.tel {
+                    t.delays.inc();
+                }
+            }
+            LockOutcome::Delayed => {
+                s.counters.delays += 1;
+                if let Some(t) = &self.tel {
+                    t.delays.inc();
+                }
+            }
         }
         Ok(outcome)
     }
@@ -188,7 +292,7 @@ impl ControlNode {
         let mut s = self.locked();
         let now = self.clock.next();
         s.sched.on_progress(txn, amount)?;
-        s.history.push(now, Event::Progress { txn, amount });
+        self.record(&mut s, now, Event::Progress { txn, amount });
         Ok(())
     }
 
@@ -197,7 +301,7 @@ impl ControlNode {
         let mut s = self.locked();
         let now = self.clock.next();
         s.sched.on_step_complete(txn, step)?;
-        s.history.push(now, Event::StepCompleted { txn, step });
+        self.record(&mut s, now, Event::StepCompleted { txn, step });
         Ok(())
     }
 
@@ -208,7 +312,13 @@ impl ControlNode {
         s.sched.on_commit(txn, now)?;
         s.counters.commits += 1;
         self.emit_stats(&mut s);
-        s.history.push(now, Event::Committed(txn));
+        self.record(&mut s, now, Event::Committed(txn));
+        if self.stream.is_some() {
+            // Streaming mode keeps the spec map bounded by the *live*
+            // population: the certifier owns its copy until retirement,
+            // and a committed id never returns (ids are unique per run).
+            s.specs.remove(&txn);
+        }
         Ok(())
     }
 
@@ -292,6 +402,52 @@ mod tests {
         let report = certify_history(&audit.history, &audit.specs, CertifyMode::General)
             .expect("lifecycle certifies");
         assert_eq!(report.commits, 1);
+    }
+
+    #[test]
+    fn streaming_mode_streams_the_linearization_and_records_nothing() {
+        use std::sync::mpsc;
+        use wtpg_core::StreamingCertifier;
+
+        let (tx, rx) = mpsc::sync_channel(1024);
+        let reg = Registry::new();
+        let cn = ControlNode::with_telemetry(
+            Box::new(C2plScheduler::new()),
+            None,
+            WallClock::start(),
+            Some(&reg),
+            Some(tx),
+        );
+        for id in 1..=3u64 {
+            let t = spec(id, vec![StepSpec::write(id as u32, 1.0)]);
+            assert_eq!(cn.arrive(&t).unwrap(), Admission::Admitted);
+            assert_eq!(cn.request(TxnId(id), 0).unwrap(), LockOutcome::Granted);
+            cn.progress(TxnId(id), Work::from_objects(1)).unwrap();
+            cn.step_complete(TxnId(id), 0).unwrap();
+            cn.commit(TxnId(id)).unwrap();
+        }
+        let audit = cn.into_audit(); // drops the stream sender
+        assert_eq!(audit.history.len(), 0, "streaming mode records nothing");
+        assert!(audit.specs.is_empty(), "committed specs are pruned");
+        assert_eq!(audit.counters.commits, 3);
+
+        // The channel carries the full linearization: replaying it through
+        // the streaming certifier proves the run exactly as the in-memory
+        // history would have.
+        let mut sc = StreamingCertifier::new(CertifyMode::General);
+        for item in rx {
+            match item {
+                StreamItem::Spec(s) => sc.declare(s),
+                StreamItem::Event(t, e) => sc.feed(t, e).expect("clean run certifies"),
+            }
+        }
+        let report = sc.finish().expect("clean run certifies");
+        assert_eq!(report.commits, 3);
+        assert_eq!(report.grants, 3);
+
+        // Scheduler decision counters landed in the registry.
+        let w = reg.flush_snapshot(1);
+        assert_eq!(w.counter(wtpg_obs::window::metric::SCHED_GRANTS), 3);
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod shard;
 pub mod store;
 pub mod workload;
 
+pub use control::StreamItem;
 pub use engine::{run_engine, run_engine_obs, EngineConfig, EngineError, SendScheduler};
 pub use metrics::EngineReport;
 pub use shard::{merge_audits, ShardMap};

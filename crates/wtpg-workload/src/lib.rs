@@ -12,7 +12,10 @@
 //!   producing an endless stream of pattern transactions;
 //! * [`experiments`] — the canonical configuration of every experiment
 //!   (catalog, pattern, λ grid), used by the `repro` harness and the
-//!   integration tests.
+//!   integration tests;
+//! * [`arrivals`] — seeded Poisson arrival schedules for the open-loop
+//!   sustained-load harness (`wtpg load`), where offered load is fixed
+//!   and overload surfaces as shed arrivals instead of hidden latency.
 //!
 //! ## Lock-mode promotion
 //!
@@ -26,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrivals;
 pub mod error_model;
 pub mod experiments;
 pub mod generator;
@@ -33,6 +37,7 @@ pub mod mixed;
 pub mod notation;
 pub mod pattern;
 
+pub use arrivals::poisson_arrivals_us;
 pub use error_model::ErrorModel;
 pub use experiments::{Experiment, ExperimentId};
 pub use generator::PatternWorkload;
