@@ -35,7 +35,7 @@ use wtpg_obs::wall::WallClock;
 use wtpg_obs::{EventKind, ObsEvent, Observer, Registry};
 use wtpg_rt::sched_by_name;
 use wtpg_rt::workload::pattern_specs;
-use wtpg_workload::Pattern;
+use wtpg_workload::{Pattern, ReadMix};
 
 /// Observer track the load harness emits window records on. Distinct from
 /// track 0 (the runtime's end-of-run cumulative records) so a trace holds
@@ -127,6 +127,9 @@ struct LoadArgs {
     slo: String,
     durability: Option<String>,
     wal_dir: Option<String>,
+    read_mix: f64,
+    read_theta: f64,
+    mvcc: bool,
     jsonl: Option<String>,
     telemetry: bool,
     grid: bool,
@@ -157,6 +160,9 @@ fn parse(args: &[String]) -> Result<LoadArgs, String> {
         slo: "p99<50ms,abort<5%,sustain=4".into(),
         durability: None,
         wal_dir: None,
+        read_mix: 0.0,
+        read_theta: 0.0,
+        mvcc: false,
         jsonl: None,
         telemetry: true,
         grid: false,
@@ -193,6 +199,11 @@ fn parse(args: &[String]) -> Result<LoadArgs, String> {
             "--slo" => a.slo = take(&mut i)?,
             "--durability" => a.durability = Some(take(&mut i)?),
             "--wal-dir" => a.wal_dir = Some(take(&mut i)?),
+            "--read-mix" => a.read_mix = take(&mut i)?.parse().map_err(|_| "bad --read-mix")?,
+            "--read-theta" => {
+                a.read_theta = take(&mut i)?.parse().map_err(|_| "bad --read-theta")?
+            }
+            "--mvcc" => a.mvcc = true,
             "--jsonl" => a.jsonl = Some(take(&mut i)?),
             // Telemetry off: no registry, no flusher — the baseline side
             // of the window-flush overhead experiment (EXPERIMENTS.md).
@@ -215,6 +226,12 @@ fn parse(args: &[String]) -> Result<LoadArgs, String> {
     }
     if a.lambda <= 0.0 {
         return Err("--lambda must be positive".into());
+    }
+    if !(0.0..=1.0).contains(&a.read_mix) {
+        return Err("--read-mix must be within 0..=1".into());
+    }
+    if a.read_theta < 0.0 {
+        return Err("--read-theta must be non-negative".into());
     }
     Ok(a)
 }
@@ -270,7 +287,9 @@ fn run_cell(
     jsonl: Option<&str>,
 ) -> Result<CellRun, String> {
     let transport = transport_of(&plan.transport)?;
-    let (catalog, specs) = pattern_specs(plan.pattern, plan.txns, a.seed);
+    let (catalog, mut specs) = pattern_specs(plan.pattern, plan.txns, a.seed);
+    // `fraction == 0` is a guaranteed no-op, so plain cells stay untouched.
+    ReadMix::skewed(a.read_mix, a.read_theta).apply(&catalog, &mut specs, a.seed);
 
     // A log-keeping durability level gets a fresh per-run temp directory
     // unless the user pinned one.
@@ -302,6 +321,7 @@ fn run_cell(
         }),
         durability: plan.durability,
         wal_dir: wal_dir.clone(),
+        mvcc: a.mvcc,
         ..NetConfig::default()
     };
     if sched_by_name(&plan.sched, a.k, a.keeptime).is_none() {
@@ -522,6 +542,23 @@ fn print_run(run: &CellRun, plan: &CellPlan, spec: &SloSpec) {
         r.store_write_units,
         r.expected_write_units
     );
+    if r.reader_commits > 0 {
+        println!(
+            "  readers    : {} committed via {} snapshot reads ({}) — \
+             reader p99 {:.2} ms vs writer p99 {:.2} ms",
+            r.reader_commits,
+            r.snapshot_reads,
+            if r.snapshot_certified { "certified" } else { "UNCERTIFIED" },
+            r.reader_latency.p99_ms,
+            r.writer_latency.p99_ms
+        );
+    } else if r.reader_latency.max_ms > 0.0 {
+        println!(
+            "  readers    : lock-path (S mode) — reader p99 {:.2} ms vs \
+             writer p99 {:.2} ms",
+            r.reader_latency.p99_ms, r.writer_latency.p99_ms
+        );
+    }
     print_verdicts(run, spec);
 }
 

@@ -28,7 +28,7 @@ use serde::Serialize;
 use wtpg_net::{run_cell, Durability, FaultPlan, InProc, NetConfig, NetReport, Tcp, Transport};
 use wtpg_rt::workload::pattern_specs;
 use wtpg_rt::sched_by_name;
-use wtpg_workload::Pattern;
+use wtpg_workload::{Pattern, ReadMix};
 
 /// One grid cell of `BENCH_net.json`.
 #[derive(Serialize)]
@@ -91,6 +91,9 @@ struct NetArgs {
     certify: bool,
     durability: Option<String>,
     wal_dir: Option<String>,
+    read_mix: f64,
+    read_theta: f64,
+    mvcc: bool,
     grid: bool,
     out: Option<String>,
 }
@@ -117,6 +120,9 @@ fn parse(args: &[String]) -> Result<NetArgs, String> {
         certify: true,
         durability: None,
         wal_dir: None,
+        read_mix: 0.0,
+        read_theta: 0.0,
+        mvcc: false,
         grid: false,
         out: None,
     };
@@ -155,11 +161,22 @@ fn parse(args: &[String]) -> Result<NetArgs, String> {
             "--no-certify" => a.certify = false,
             "--durability" => a.durability = Some(take(&mut i)?),
             "--wal-dir" => a.wal_dir = Some(take(&mut i)?),
+            "--read-mix" => a.read_mix = take(&mut i)?.parse().map_err(|_| "bad --read-mix")?,
+            "--read-theta" => {
+                a.read_theta = take(&mut i)?.parse().map_err(|_| "bad --read-theta")?
+            }
+            "--mvcc" => a.mvcc = true,
             "--grid" => a.grid = true,
             "--out" => a.out = Some(take(&mut i)?),
             other => return Err(format!("unknown option {other:?}")),
         }
         i += 1;
+    }
+    if !(0.0..=1.0).contains(&a.read_mix) {
+        return Err("--read-mix must be within 0..=1".into());
+    }
+    if a.read_theta < 0.0 {
+        return Err("--read-theta must be non-negative".into());
     }
     Ok(a)
 }
@@ -242,6 +259,12 @@ struct CellShape {
     clients: usize,
     shards: usize,
     pattern: Pattern,
+    /// Fraction of the batch rewritten into read-only BATs.
+    read_mix: f64,
+    /// MVCC snapshot plane on: read-only BATs bypass the scheduler. Off,
+    /// the same readers take S-locks — the baseline the reader-latency
+    /// comparison runs against.
+    mvcc: bool,
 }
 
 fn run_one(
@@ -253,7 +276,9 @@ fn run_one(
     durability: Durability,
     wal_dir: Option<&Path>,
 ) -> Result<NetReport, String> {
-    let (catalog, specs) = pattern_specs(shape.pattern, a.txns, a.seed);
+    let (catalog, mut specs) = pattern_specs(shape.pattern, a.txns, a.seed);
+    // `fraction == 0` is a guaranteed no-op, so plain cells stay untouched.
+    ReadMix::skewed(shape.read_mix, a.read_theta).apply(&catalog, &mut specs, a.seed);
     let cfg = NetConfig {
         clients: shape.clients,
         chunk_units: a.chunk,
@@ -265,6 +290,7 @@ fn run_one(
         admit_window: a.admit_window,
         durability,
         wal_dir: wal_dir.map(Path::to_path_buf),
+        mvcc: shape.mvcc,
         ..NetConfig::default()
     };
     if sched_by_name(sched, a.k, a.keeptime).is_none() {
@@ -341,6 +367,29 @@ fn print_report(r: &NetReport, pattern: &str) {
         r.expected_write_units,
         if r.store_consistent { "consistent" } else { "INCONSISTENT" }
     );
+    if r.reader_commits > 0 {
+        println!(
+            "  readers    : {} committed via {} snapshot reads — \
+             reader p99 {:.2} ms vs writer p99 {:.2} ms",
+            r.reader_commits,
+            r.snapshot_reads,
+            r.reader_latency.p99_ms,
+            r.writer_latency.p99_ms
+        );
+        println!(
+            "  chains     : {} versions appended, {} pruned, peak {} live — snapshots {}",
+            r.chain_appended,
+            r.chain_pruned,
+            r.chain_live_peak,
+            if r.snapshot_certified { "certified" } else { "UNCERTIFIED" }
+        );
+    } else if r.reader_latency.max_ms > 0.0 {
+        println!(
+            "  readers    : lock-path (S mode) — reader p99 {:.2} ms vs \
+             writer p99 {:.2} ms",
+            r.reader_latency.p99_ms, r.writer_latency.p99_ms
+        );
+    }
     if r.durability != "none" {
         println!(
             "  durability : {} — {} wal records ({} flushes, {} fsyncs), \
@@ -364,10 +413,19 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
         let fault = fault_of(&a.fault, a.seed)?;
         let (dur, wal_dir, created) =
             durability_setup(a.durability.as_deref(), a.wal_dir.as_deref(), &a.fault, "cell")?;
+        if a.mvcc && a.fault == "kill" {
+            return Err(
+                "--mvcc is incompatible with --fault kill: version chains are in-memory \
+                 and do not survive a restart-from-log"
+                    .into(),
+            );
+        }
         let shape = CellShape {
             clients: a.clients,
             shards: a.shards,
             pattern,
+            read_mix: a.read_mix,
+            mvcc: a.mvcc,
         };
         let report = run_one(&a, &a.sched, transport, &fault, &shape, dur, wal_dir.as_deref());
         if created {
@@ -410,10 +468,17 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
     let scheds = ["chain", "k2", "c2pl"];
     let transports: [(&str, &dyn Transport); 2] = [("inproc", &InProc), ("tcp", &Tcp)];
     let faults = ["none", "fault", "crash", "kill"];
+    // The base sweep includes kill cells, which the snapshot plane refuses;
+    // the grid carries its own mvcc-vs-baseline reader pair below instead.
+    if a.mvcc {
+        return Err("--grid sweeps its own mvcc cells; use --mvcc on single cells only".into());
+    }
     let base_shape = CellShape {
         clients: a.clients,
         shards: a.shards,
         pattern,
+        read_mix: a.read_mix,
+        mvcc: false,
     };
     let print_row = |tname: &str, report: &NetReport| {
         println!(
@@ -463,6 +528,8 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
         clients: 8,
         shards: 1,
         pattern: Pattern::Two { num_hots: 4 },
+        read_mix: a.read_mix,
+        mvcc: false,
     };
     let clustered = |shards| CellShape {
         clients: 8,
@@ -471,13 +538,29 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
             groups: 4,
             hots_per_group: 4,
         },
+        read_mix: a.read_mix,
+        mvcc: false,
     };
-    let extras: [(&str, &dyn Transport, &str, CellShape); 5] = [
+    // The reader pair: the same high-contention hot-set cell with half the
+    // batch rewritten into read-only BATs, run once over the S-lock path
+    // (baseline) and once on the snapshot plane — the reader/writer
+    // latency tails land side by side in BENCH_net.json.
+    let readers = |mvcc| CellShape {
+        clients: 8,
+        shards: 1,
+        pattern: Pattern::Two { num_hots: 4 },
+        read_mix: 0.5,
+        mvcc,
+    };
+    let extras: [(&str, &dyn Transport, &str, CellShape); 8] = [
         ("inproc", &InProc, "none", hot),
         ("inproc", &InProc, "none", clustered(4)),
         ("inproc", &InProc, "fault", clustered(4)),
         ("tcp", &Tcp, "none", clustered(4)),
         ("tcp", &Tcp, "crash", clustered(2)),
+        ("inproc", &InProc, "none", readers(false)),
+        ("inproc", &InProc, "none", readers(true)),
+        ("tcp", &Tcp, "none", readers(true)),
     ];
     for (tname, transport, fname, shape) in extras {
         let fault = fault_of(fname, a.seed)?;
@@ -518,11 +601,16 @@ pub(crate) fn run(args: &[String]) -> Result<(), String> {
 
     let certified = cells.iter().filter(|c| c.report.certified).count();
     let consistent = cells.iter().filter(|c| c.report.store_consistent).count();
+    let snapshotted = cells
+        .iter()
+        .filter(|c| c.report.snapshot_certified)
+        .count();
     let n_cells = cells.len();
     println!(
-        "{certified}/{n_cells} cells certified, {consistent}/{n_cells} stores consistent"
+        "{certified}/{n_cells} cells certified, {consistent}/{n_cells} stores consistent, \
+         {snapshotted}/{n_cells} snapshot-certified"
     );
-    if certified < n_cells || consistent < n_cells {
+    if certified < n_cells || consistent < n_cells || snapshotted < n_cells {
         return Err("grid run left uncertified or inconsistent cells".into());
     }
 

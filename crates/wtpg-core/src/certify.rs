@@ -372,6 +372,62 @@ mod tests {
         assert!(err.what.contains("while blocked"), "{err}");
     }
 
+    /// Concurrent S grants on one partition are legal — the replay
+    /// certifier must accept overlapping shared holders and only balk when
+    /// an X grant lands while any of them is still live.
+    #[test]
+    fn concurrent_shared_grants_certify_and_block_writers() {
+        let mut h = History::new();
+        let mut specs = BTreeMap::new();
+        let r1 = spec(1, vec![StepSpec::read(0, 1.0)]);
+        let r2 = spec(2, vec![StepSpec::read(0, 1.0)]);
+        let w = spec(3, vec![StepSpec::write(0, 1.0)]);
+        for t in [&r1, &r2, &w] {
+            specs.insert(t.id, t.clone());
+            h.push(Tick(0), Event::Admitted(t.id));
+        }
+        let grant = |txn: u64, mode| Event::Granted {
+            txn: TxnId(txn),
+            step: 0,
+            partition: crate::partition::PartitionId(0),
+            mode,
+        };
+        let finish = |h: &mut History, txn: u64, tick: u64| {
+            h.push(
+                Tick(tick),
+                Event::Progress {
+                    txn: TxnId(txn),
+                    amount: Work::from_objects(1),
+                },
+            );
+            h.push(Tick(tick), Event::StepCompleted { txn: TxnId(txn), step: 0 });
+            h.push(Tick(tick), Event::Committed(TxnId(txn)));
+        };
+        // Both readers hold S on P0 at once; the writer grants only after
+        // both commits released it.
+        h.push(Tick(1), grant(1, crate::txn::AccessMode::Read));
+        h.push(Tick(1), grant(2, crate::txn::AccessMode::Read));
+        finish(&mut h, 1, 2);
+        finish(&mut h, 2, 2);
+        h.push(Tick(3), grant(3, crate::txn::AccessMode::Write));
+        finish(&mut h, 3, 4);
+        let report =
+            certify_history(&h, &specs, CertifyMode::General).expect("S/S co-grant is legal");
+        assert_eq!(report.commits, 3);
+
+        // Same prefix, but the writer jumps in while the readers still
+        // hold S: rejected.
+        let mut bad = History::new();
+        for t in [&r1, &r2, &w] {
+            bad.push(Tick(0), Event::Admitted(t.id));
+        }
+        bad.push(Tick(1), grant(1, crate::txn::AccessMode::Read));
+        bad.push(Tick(1), grant(2, crate::txn::AccessMode::Read));
+        bad.push(Tick(2), grant(3, crate::txn::AccessMode::Write));
+        let err = certify_history(&bad, &specs, CertifyMode::General).unwrap_err();
+        assert!(err.what.contains("while blocked"), "{err}");
+    }
+
     #[test]
     fn dropped_commit_is_rejected() {
         // T1's commit is missing, so its conflicting grant of P0 by T2 must

@@ -550,4 +550,85 @@ mod tests {
             }
         );
     }
+
+    /// Any number of readers co-hold S on the same granule; a writer is
+    /// blocked by every one of them, and the granule reports them all.
+    #[test]
+    fn shared_readers_co_hold_without_blocking_each_other() {
+        let mut lt = LockTable::new();
+        let readers: Vec<TxnSpec> = (1..=3)
+            .map(|id| spec(id, vec![StepSpec::read(0, 2.0)]))
+            .collect();
+        for r in &readers {
+            lt.declare(r);
+        }
+        for r in &readers {
+            assert!(
+                !lt.is_blocked(r.id, PartitionId(0), AccessMode::Read),
+                "{:?} must not be blocked by fellow readers",
+                r.id
+            );
+            lt.grant(r.id, 0, PartitionId(0), AccessMode::Read).unwrap();
+        }
+        let holders = lt.holders(PartitionId(0));
+        assert_eq!(holders.len(), 3);
+        assert!(holders.iter().all(|&(_, m)| m == LockMode::Shared));
+        // An arriving writer is blocked until the *last* reader releases.
+        let w = spec(9, vec![StepSpec::write(0, 1.0)]);
+        lt.declare(&w);
+        assert!(lt.is_blocked(w.id, PartitionId(0), AccessMode::Write));
+        lt.release_all(TxnId(1));
+        lt.release_all(TxnId(2));
+        assert!(lt.is_blocked(w.id, PartitionId(0), AccessMode::Write));
+        lt.release_all(TxnId(3));
+        assert!(!lt.is_blocked(w.id, PartitionId(0), AccessMode::Write));
+    }
+
+    /// Only W-W and W-R pairs produce WTPG edge material: a reader arriving
+    /// over declared/held readers sees *no* conflicts at all, while the
+    /// same arrival over a writer sees them.
+    #[test]
+    fn read_read_pairs_never_produce_edge_material() {
+        let mut lt = LockTable::new();
+        let r1 = spec(1, vec![StepSpec::read(0, 2.0)]);
+        let r2 = spec(2, vec![StepSpec::read(0, 2.0)]);
+        lt.declare(&r1);
+        lt.grant(TxnId(1), 0, PartitionId(0), AccessMode::Read).unwrap();
+        lt.declare(&r2);
+        assert!(
+            lt.arrival_conflicts(&r2).is_empty(),
+            "S over held S and declared S is conflict-free"
+        );
+        assert!(lt
+            .conflicting_declarations(TxnId(2), PartitionId(0), AccessMode::Read)
+            .is_empty());
+        // Swap in a writer on the same granule: both kinds appear.
+        let w = spec(3, vec![StepSpec::write(0, 1.0)]);
+        lt.declare(&w);
+        let confs = lt.arrival_conflicts(&w);
+        assert!(confs
+            .iter()
+            .any(|c| matches!(c, ArrivalConflict::Held { other: TxnId(1), .. })));
+        assert!(confs
+            .iter()
+            .any(|c| matches!(c, ArrivalConflict::Declared { other: TxnId(2), .. })));
+        // And the readers now see the writer's declaration as a conflict.
+        assert_eq!(
+            lt.conflicting_declarations(TxnId(2), PartitionId(0), AccessMode::Read)
+                .len(),
+            1
+        );
+    }
+
+    /// The S/X compatibility matrix, spelled out.
+    #[test]
+    fn compatibility_matrix() {
+        use LockMode::*;
+        assert!(Shared.compatible_with(Shared));
+        assert!(!Shared.compatible_with(Exclusive));
+        assert!(!Exclusive.compatible_with(Shared));
+        assert!(!Exclusive.compatible_with(Exclusive));
+        assert_eq!(LockMode::for_access(AccessMode::Read), Shared);
+        assert_eq!(LockMode::for_access(AccessMode::Write), Exclusive);
+    }
 }

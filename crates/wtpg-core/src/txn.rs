@@ -180,6 +180,12 @@ impl TxnSpec {
         found
     }
 
+    /// True when every step is a read — the shape MVCC admits as a
+    /// snapshot-reading BAT that bypasses the WTPG entirely.
+    pub fn is_read_only(&self) -> bool {
+        self.steps.iter().all(|s| s.mode == AccessMode::Read)
+    }
+
     /// Distinct partitions accessed, in first-touch order.
     pub fn partitions(&self) -> Vec<PartitionId> {
         let mut seen = Vec::new();
@@ -280,6 +286,16 @@ mod tests {
         assert_eq!(t.mode_on(PartitionId(0)), Some(AccessMode::Write)); // r then w → X
         assert_eq!(t.mode_on(PartitionId(1)), Some(AccessMode::Read));
         assert_eq!(t.mode_on(PartitionId(7)), None);
+    }
+
+    #[test]
+    fn read_only_means_no_write_step() {
+        assert!(!t1().is_read_only());
+        let r = TxnSpec::new(
+            TxnId(2),
+            vec![StepSpec::read(0, 1.0), StepSpec::read(1, 2.0)],
+        );
+        assert!(r.is_read_only());
     }
 
     #[test]

@@ -11,9 +11,9 @@
 //! - `determinism` — no `HashMap`/`HashSet` (iteration order is
 //!   platform-dependent), no `SystemTime`/`std::time::Instant`
 //!   (wall-clock reads), no ambient `thread_rng`. Applied to `wtpg-core`,
-//!   `wtpg-sim`, `wtpg-workload`, `wtpg-graph`, `wtpg-lint`, `wtpg-obs`
-//!   (minus `wall.rs`, the engine-only clock) and `wtpg-net`'s protocol
-//!   layer. An `Instant` token qualified by a non-`time` path — such as the
+//!   `wtpg-sim`, `wtpg-workload`, `wtpg-graph`, `wtpg-lint`, `wtpg-mvcc`,
+//!   `wtpg-obs` (minus `wall.rs`, the engine-only clock) and `wtpg-net`'s
+//!   protocol layer. An `Instant` token qualified by a non-`time` path — such as the
 //!   observer's `EventKind::Instant` trace phase — is recognized as not
 //!   being the clock type and does not fire.
 //! - `panic-safety` — no `unwrap()`, undocumented `expect()`, panic-family
@@ -690,6 +690,14 @@ pub fn rules_for(path: &Path) -> RuleSet {
                 api_docs: true,
             }
         }
+        "wtpg-mvcc" => RuleSet {
+            // Version chains, snapshot certification, and the shared GC
+            // cells are pure bookkeeping over seal sequences — no clocks,
+            // no ambient randomness, everything replayable.
+            determinism: true,
+            panic_safety: true,
+            api_docs: true,
+        },
         "wtpg-dur" => RuleSet {
             // The durability layer does real file I/O and wall-clock-free
             // recovery; its replay workers are OS threads by design.

@@ -47,6 +47,8 @@ pub struct WireSchema {
     pub max_steps: u64,
     /// `codec::MAX_BATCH`.
     pub max_batch: u64,
+    /// `codec::MAX_EXCLUDE`.
+    pub max_exclude: u64,
     /// Variants in declaration order.
     pub msgs: Vec<MsgSchema>,
 }
@@ -58,6 +60,7 @@ struct SchemaLines {
     frame_line: usize,
     steps_line: usize,
     batch_line: usize,
+    exclude_line: usize,
 }
 
 /// Evaluates a const value expression: a plain integer or `a << b`.
@@ -138,11 +141,13 @@ fn extract(msg: &SourceFile, codec: &SourceFile) -> Result<(WireSchema, SchemaLi
     let (max_frame, frame_line) = const_of(codec, "MAX_FRAME")?;
     let (max_steps, steps_line) = const_of(codec, "MAX_STEPS")?;
     let (max_batch, batch_line) = const_of(codec, "MAX_BATCH")?;
+    let (max_exclude, exclude_line) = const_of(codec, "MAX_EXCLUDE")?;
     Ok((
         WireSchema {
             max_frame,
             max_steps,
             max_batch,
+            max_exclude,
             msgs,
         },
         SchemaLines {
@@ -151,6 +156,7 @@ fn extract(msg: &SourceFile, codec: &SourceFile) -> Result<(WireSchema, SchemaLi
             frame_line,
             steps_line,
             batch_line,
+            exclude_line,
         },
     ))
 }
@@ -166,6 +172,7 @@ pub fn render(ws: &WireSchema) -> String {
     s.push_str(&format!("max_frame = {}\n", ws.max_frame));
     s.push_str(&format!("max_steps = {}\n", ws.max_steps));
     s.push_str(&format!("max_batch = {}\n", ws.max_batch));
+    s.push_str(&format!("max_exclude = {}\n", ws.max_exclude));
     for m in &ws.msgs {
         s.push_str(&format!("msg {} = {} [{}]\n", m.name, m.tag, m.fields.join(", ")));
     }
@@ -178,6 +185,7 @@ pub fn parse_lock(text: &str) -> Result<WireSchema, String> {
     let mut max_frame = None;
     let mut max_steps = None;
     let mut max_batch = None;
+    let mut max_exclude = None;
     let mut msgs = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let lno = i + 1;
@@ -223,6 +231,7 @@ pub fn parse_lock(text: &str) -> Result<WireSchema, String> {
             "max_frame" => max_frame = Some(v),
             "max_steps" => max_steps = Some(v),
             "max_batch" => max_batch = Some(v),
+            "max_exclude" => max_exclude = Some(v),
             other => return Err(format!("line {lno}: unknown key `{other}`")),
         }
     }
@@ -230,6 +239,7 @@ pub fn parse_lock(text: &str) -> Result<WireSchema, String> {
         max_frame: max_frame.ok_or("lock has no max_frame")?,
         max_steps: max_steps.ok_or("lock has no max_steps")?,
         max_batch: max_batch.ok_or("lock has no max_batch")?,
+        max_exclude: max_exclude.ok_or("lock has no max_exclude")?,
         msgs,
     })
 }
@@ -258,6 +268,12 @@ fn diff(
         ("MAX_FRAME", cur.max_frame, locked.max_frame, lines.frame_line),
         ("MAX_STEPS", cur.max_steps, locked.max_steps, lines.steps_line),
         ("MAX_BATCH", cur.max_batch, locked.max_batch, lines.batch_line),
+        (
+            "MAX_EXCLUDE",
+            cur.max_exclude,
+            locked.max_exclude,
+            lines.exclude_line,
+        ),
     ] {
         if cur_v != lock_v {
             out.push(finding(
@@ -385,7 +401,7 @@ mod tests {
     use super::*;
 
     const MSG: &str = "pub enum Msg {\n    Ping { a: u32, b: u32 },\n    Pong,\n    Batch(Vec<Msg>),\n}\nimpl Msg {\n    pub fn tag(&self) -> u8 {\n        match self {\n            Msg::Ping { .. } => 0,\n            Msg::Pong => 1,\n            Msg::Batch(_) => 2,\n        }\n    }\n}\n";
-    const CODEC: &str = "pub const MAX_FRAME: usize = 1 << 20;\npub const MAX_STEPS: u32 = 4096;\npub const MAX_BATCH: u32 = 4096;\n";
+    const CODEC: &str = "pub const MAX_FRAME: usize = 1 << 20;\npub const MAX_STEPS: u32 = 4096;\npub const MAX_BATCH: u32 = 4096;\npub const MAX_EXCLUDE: u32 = 65536;\n";
 
     fn current() -> (WireSchema, SchemaLines) {
         let msg = SourceFile::parse(Path::new("x/msg.rs"), MSG);

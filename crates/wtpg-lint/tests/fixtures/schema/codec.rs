@@ -6,3 +6,5 @@ pub const MAX_FRAME: usize = 1 << 16;
 pub const MAX_STEPS: u32 = 128;
 /// Maximum messages per batch.
 pub const MAX_BATCH: u32 = 64;
+/// Maximum snapshot-exclusion entries per read order.
+pub const MAX_EXCLUDE: u32 = 256;

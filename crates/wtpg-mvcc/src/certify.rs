@@ -1,0 +1,319 @@
+//! The snapshot-consistency check.
+//!
+//! Rule: **every read of a read-only BAT observed exactly the
+//! committed-prefix state of its partition at the BAT's snapshot tick** —
+//! the cells produced by folding, from zero, the write effects of precisely
+//! those sealed write steps whose transactions committed at a tick `<= S`.
+//!
+//! The check replays nothing and trusts no node: it rebuilds the reference
+//! cells of each partition from the control node's [`CommitLog`] (seal
+//! order, unit counts, commit ticks) and compares the
+//! [`read_checksum`](crate::chain::read_checksum) the data node actually
+//! returned for each read against the checksum of the reference state. Reads
+//! are verified in one sweep per partition: observations sorted by snapshot
+//! tick, committed writes folded in commit-tick order as the sweep passes
+//! them.
+
+use std::collections::BTreeMap;
+
+use wtpg_core::time::Tick;
+use wtpg_core::txn::TxnId;
+
+use crate::chain::{apply_write_effect, read_checksum};
+use crate::watermark::CommitLog;
+
+/// One snapshot read as the client-visible protocol saw it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReadObservation {
+    /// The reader's step index.
+    pub step: u32,
+    /// Partition read.
+    pub partition: u32,
+    /// Milli-object cells scanned.
+    pub units: u64,
+    /// Checksum the data node returned.
+    pub checksum: u64,
+}
+
+/// One read-only BAT's certification record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReaderRecord {
+    /// The reader.
+    pub txn: TxnId,
+    /// Its snapshot tick.
+    pub snapshot: Tick,
+    /// Every read it performed, with the replies it got.
+    pub reads: Vec<ReadObservation>,
+}
+
+/// What the snapshot certifier verified.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapshotReport {
+    /// Read-only BATs checked.
+    pub readers: u64,
+    /// Individual reads checked.
+    pub reads: u64,
+    /// Committed write effects folded into reference states.
+    pub writes_folded: u64,
+}
+
+/// A snapshot-consistency violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// A read's checksum does not match the committed-prefix state at its
+    /// snapshot tick.
+    Mismatch {
+        /// The reader.
+        txn: TxnId,
+        /// Its step index.
+        step: u32,
+        /// Partition read.
+        partition: u32,
+        /// The reader's snapshot tick.
+        snapshot: Tick,
+        /// Checksum of the reference committed-prefix state.
+        expected: u64,
+        /// Checksum the node returned.
+        got: u64,
+    },
+    /// A read names a partition the catalog has no cell count for.
+    UnknownPartition(u32),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            SnapshotError::Mismatch {
+                txn,
+                step,
+                partition,
+                snapshot,
+                expected,
+                got,
+            } => write!(
+                f,
+                "snapshot violation: {txn} step {step} on partition {partition} \
+                 at snapshot {snapshot:?} read {got:#x}, committed prefix is {expected:#x}"
+            ),
+            SnapshotError::UnknownPartition(p) => {
+                write!(f, "snapshot read names unknown partition {p}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Certifies every reader against the snapshot-consistency rule.
+///
+/// `rows` maps each partition to its cell count (the catalog size the data
+/// nodes were built with).
+///
+/// # Errors
+/// The first [`SnapshotError`] found, scanning partitions in id order and
+/// reads in snapshot-tick order.
+pub fn certify_snapshots(
+    log: &CommitLog,
+    readers: &[ReaderRecord],
+    rows: &BTreeMap<u32, u64>,
+) -> Result<SnapshotReport, SnapshotError> {
+    // Regroup: per partition, every (snapshot, reader, observation).
+    let mut by_part: BTreeMap<u32, Vec<(Tick, TxnId, ReadObservation)>> = BTreeMap::new();
+    for r in readers {
+        for obs in &r.reads {
+            by_part
+                .entry(obs.partition)
+                .or_default()
+                .push((r.snapshot, r.txn, *obs));
+        }
+    }
+    let mut report = SnapshotReport {
+        readers: readers.len() as u64,
+        ..SnapshotReport::default()
+    };
+    for (p, mut obs) in by_part {
+        let rows_p = *rows.get(&p).ok_or(SnapshotError::UnknownPartition(p))?;
+        // Committed writes on p in commit-tick order (ticks are unique per
+        // transaction; one transaction's steps share a tick and fold
+        // together, which is exactly the atomicity the snapshot promises).
+        let mut writes: Vec<(Tick, u64)> = log
+            .seal_order(p)
+            .iter()
+            .filter_map(|e| log.commit_tick(e.txn).map(|t| (t, e.units)))
+            .collect();
+        writes.sort_unstable();
+        obs.sort_by_key(|&(s, txn, o)| (s, txn, o.step));
+        let mut cells = vec![0u64; rows_p.max(1) as usize];
+        let mut next = 0usize;
+        for (snapshot, txn, o) in obs {
+            while let Some(&(tick, units)) = writes.get(next) {
+                if tick > snapshot {
+                    break;
+                }
+                apply_write_effect(&mut cells, units);
+                report.writes_folded += 1;
+                next += 1;
+            }
+            let expected = read_checksum(&cells, o.units);
+            if expected != o.checksum {
+                return Err(SnapshotError::Mismatch {
+                    txn,
+                    step: o.step,
+                    partition: p,
+                    snapshot,
+                    expected,
+                    got: o.checksum,
+                });
+            }
+            report.reads += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::VersionChain;
+
+    fn obs(step: u32, partition: u32, units: u64, checksum: u64) -> ReadObservation {
+        ReadObservation {
+            step,
+            partition,
+            units,
+            checksum,
+        }
+    }
+
+    /// End-to-end agreement: a node-side chain reconstruction and the
+    /// certifier's committed-prefix fold must accept each other.
+    #[test]
+    fn node_reconstruction_certifies() {
+        let rows = 10u64;
+        let mut log = CommitLog::new();
+        let mut chain = VersionChain::new();
+        let mut current = vec![0u64; rows as usize];
+
+        // Writer 1 seals and commits at tick 10; writer 2 seals but is
+        // still uncommitted when the snapshot is taken; writer 3 seals
+        // after the snapshot and commits at tick 30.
+        for (txn, units) in [(1u64, 17u64), (2, 23)] {
+            let seq = log.seal(0, TxnId(txn), units);
+            chain.record(seq, TxnId(txn), units);
+            crate::chain::apply_write_effect(&mut current, units);
+        }
+        log.note_commit(TxnId(1), Tick(10));
+
+        // Snapshot at tick 15: horizon 2, exclusion {1}.
+        let snapshot = Tick(15);
+        let horizon = log.horizon(0);
+        let exclude = log.exclusions(0);
+        assert_eq!(exclude, vec![1]);
+
+        // Writer 3 arrives and commits after the snapshot was taken.
+        let seq = log.seal(0, TxnId(3), 40);
+        chain.record(seq, TxnId(3), 40);
+        crate::chain::apply_write_effect(&mut current, 40);
+        log.note_commit(TxnId(3), Tick(30));
+        // Writer 2 also eventually commits, after the snapshot.
+        log.note_commit(TxnId(2), Tick(31));
+
+        // The node answers the read from its chain.
+        let snap_cells = chain.snapshot_cells(&current, horizon, &exclude);
+        let checksum = read_checksum(&snap_cells, 25);
+
+        let readers = vec![ReaderRecord {
+            txn: TxnId(9),
+            snapshot,
+            reads: vec![obs(0, 0, 25, checksum)],
+        }];
+        let rows_map = BTreeMap::from([(0u32, rows)]);
+        let report = certify_snapshots(&log, &readers, &rows_map).expect("consistent");
+        assert_eq!(report.readers, 1);
+        assert_eq!(report.reads, 1);
+        assert_eq!(report.writes_folded, 1, "only writer 1 is in the prefix");
+    }
+
+    #[test]
+    fn a_dirty_read_is_a_violation() {
+        let rows = BTreeMap::from([(0u32, 8u64)]);
+        let mut log = CommitLog::new();
+        log.seal(0, TxnId(1), 12);
+        // Txn 1 never commits, yet the reader's checksum includes its
+        // effect (it read the raw current cells — a dirty read).
+        let mut dirty = vec![0u64; 8];
+        apply_write_effect(&mut dirty, 12);
+        let readers = vec![ReaderRecord {
+            txn: TxnId(5),
+            snapshot: Tick(4),
+            reads: vec![obs(0, 0, 12, read_checksum(&dirty, 12))],
+        }];
+        let err = certify_snapshots(&log, &readers, &rows).unwrap_err();
+        assert!(matches!(
+            err,
+            SnapshotError::Mismatch {
+                txn: TxnId(5),
+                step: 0,
+                partition: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn readers_at_different_ticks_see_different_prefixes() {
+        let rows = BTreeMap::from([(0u32, 8u64)]);
+        let mut log = CommitLog::new();
+        log.seal(0, TxnId(1), 10);
+        log.seal(0, TxnId(2), 20);
+        log.note_commit(TxnId(1), Tick(5));
+        log.note_commit(TxnId(2), Tick(9));
+        let mut after1 = vec![0u64; 8];
+        apply_write_effect(&mut after1, 10);
+        let mut after2 = after1.clone();
+        apply_write_effect(&mut after2, 20);
+        let readers = vec![
+            ReaderRecord {
+                txn: TxnId(7),
+                snapshot: Tick(6),
+                reads: vec![obs(0, 0, 5, read_checksum(&after1, 5))],
+            },
+            ReaderRecord {
+                txn: TxnId(8),
+                snapshot: Tick(9),
+                reads: vec![obs(0, 0, 5, read_checksum(&after2, 5))],
+            },
+        ];
+        let report = certify_snapshots(&log, &readers, &rows).expect("both consistent");
+        assert_eq!(report.reads, 2);
+        assert_eq!(report.writes_folded, 2);
+        // Swapping the two checksums breaks both.
+        let swapped = vec![
+            ReaderRecord {
+                snapshot: Tick(6),
+                ..readers[1].clone()
+            },
+        ];
+        assert!(certify_snapshots(&log, &swapped, &rows).is_err());
+    }
+
+    #[test]
+    fn unknown_partition_is_an_error() {
+        let log = CommitLog::new();
+        let readers = vec![ReaderRecord {
+            txn: TxnId(1),
+            snapshot: Tick(1),
+            reads: vec![obs(0, 42, 1, 0)],
+        }];
+        assert_eq!(
+            certify_snapshots(&log, &readers, &BTreeMap::new()).unwrap_err(),
+            SnapshotError::UnknownPartition(42)
+        );
+    }
+
+    #[test]
+    fn empty_run_certifies_trivially() {
+        let report = certify_snapshots(&CommitLog::new(), &[], &BTreeMap::new()).unwrap();
+        assert_eq!(report, SnapshotReport::default());
+    }
+}

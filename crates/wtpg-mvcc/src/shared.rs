@@ -1,0 +1,143 @@
+//! The MVCC layer's two cross-actor cells.
+//!
+//! Everything else in this crate is single-owner state (a control actor's
+//! log, a data actor's chains). These two are shared and mutex-protected,
+//! and both are declared leaves in the workspace lock hierarchy
+//! (`lint-locks.toml`: `mvcc-chain` rank 8, `mvcc-watermark` rank 9) —
+//! neither is ever held across another acquisition.
+//!
+//! * [`GcWatermark`] — the control plane's published per-partition GC
+//!   floors. Snapshot reads piggyback the floor on the wire, but a
+//!   partition no reader ever visits would otherwise keep its chain
+//!   forever; data actors poll this cell when they seal new writes.
+//! * [`ChainStats`] — run-level version-chain telemetry, added by each data
+//!   actor at teardown and read once by the harness for the report.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Published per-partition GC floors (monotonic).
+#[derive(Debug, Default)]
+pub struct GcWatermark {
+    floors: Mutex<BTreeMap<u32, u64>>,
+}
+
+impl GcWatermark {
+    /// All floors at zero.
+    pub fn new() -> GcWatermark {
+        GcWatermark::default()
+    }
+
+    /// Raises `partition`'s published floor to `floor` (stale smaller
+    /// values are ignored — floors only advance).
+    pub fn publish(&self, partition: u32, floor: u64) {
+        let mut floors = self
+            .floors
+            .lock()
+            .expect("invariant: watermark lock is never poisoned (no panics while held)");
+        let slot = floors.entry(partition).or_insert(0);
+        *slot = (*slot).max(floor);
+    }
+
+    /// The published floor of `partition` (zero if never published).
+    pub fn floor(&self, partition: u32) -> u64 {
+        self.floors
+            .lock()
+            .expect("invariant: watermark lock is never poisoned (no panics while held)")
+            .get(&partition)
+            .copied()
+            .unwrap_or(0)
+    }
+}
+
+/// Run-level version-chain totals.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChainTotals {
+    /// Chain entries recorded across all partitions.
+    pub appended: u64,
+    /// Chain entries pruned by the GC floor.
+    pub pruned: u64,
+    /// Largest per-partition live chain length observed.
+    pub live_peak: u64,
+    /// Snapshot reads served from chains.
+    pub snapshot_reads: u64,
+}
+
+impl ChainTotals {
+    /// Adds `other` into `self` (`live_peak` takes the max).
+    pub fn merge(&mut self, other: ChainTotals) {
+        self.appended += other.appended;
+        self.pruned += other.pruned;
+        self.live_peak = self.live_peak.max(other.live_peak);
+        self.snapshot_reads += other.snapshot_reads;
+    }
+}
+
+/// Shared collector of [`ChainTotals`] across data actors.
+#[derive(Debug, Default)]
+pub struct ChainStats {
+    inner: Mutex<ChainTotals>,
+}
+
+impl ChainStats {
+    /// An empty collector.
+    pub fn new() -> ChainStats {
+        ChainStats::default()
+    }
+
+    /// Merges one actor's totals into the run's.
+    pub fn add(&self, totals: ChainTotals) {
+        self.inner
+            .lock()
+            .expect("invariant: chain-stats lock is never poisoned (no panics while held)")
+            .merge(totals);
+    }
+
+    /// The run's totals so far.
+    pub fn totals(&self) -> ChainTotals {
+        *self
+            .inner
+            .lock()
+            .expect("invariant: chain-stats lock is never poisoned (no panics while held)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watermark_floors_are_monotonic() {
+        let w = GcWatermark::new();
+        assert_eq!(w.floor(3), 0);
+        w.publish(3, 5);
+        w.publish(3, 2);
+        assert_eq!(w.floor(3), 5, "stale publishes are ignored");
+        w.publish(3, 9);
+        assert_eq!(w.floor(3), 9);
+        assert_eq!(w.floor(4), 0);
+    }
+
+    #[test]
+    fn chain_stats_merge_across_actors() {
+        let stats = ChainStats::new();
+        std::thread::scope(|s| {
+            for i in 1..=4u64 {
+                let stats = &stats;
+                s.spawn(move || {
+                    stats.add(ChainTotals {
+                        appended: i,
+                        pruned: 1,
+                        live_peak: i,
+                        snapshot_reads: 2,
+                    });
+                });
+            }
+        });
+        let t = stats.totals();
+        assert_eq!(t.appended, 10);
+        assert_eq!(t.pruned, 4);
+        assert_eq!(t.live_peak, 4);
+        assert_eq!(t.snapshot_reads, 8);
+    }
+}

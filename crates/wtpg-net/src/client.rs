@@ -51,6 +51,13 @@ use crate::transport::{Inbox, MsgTx};
 pub struct ClientOutcome {
     /// Submit-to-commit-ack latency per transaction, microseconds.
     pub latencies_us: Vec<u64>,
+    /// The read-only subset of `latencies_us`, booked whether those specs
+    /// rode the snapshot plane or the S-lock path — the split is what the
+    /// MVCC-vs-baseline comparison reads.
+    pub reader_latencies_us: Vec<u64>,
+    /// The complement: latencies of transactions with at least one write
+    /// step.
+    pub writer_latencies_us: Vec<u64>,
     /// Control-node round trip per request. Under the pipelined protocol
     /// the only request is `Submit` and the only reply is the commit ack,
     /// so this mirrors `latencies_us` (kept separate for report shape).
@@ -74,8 +81,10 @@ struct ClientTel {
     shed: Counter,
     submitted: Counter,
     commits: Counter,
+    reader_commits: Counter,
     inflight: Gauge,
     commit_lat: HistHandle,
+    reader_lat: HistHandle,
     ctrl_rtt: HistHandle,
 }
 
@@ -86,8 +95,10 @@ impl ClientTel {
             shed: reg.counter(metric::SHED),
             submitted: reg.counter(metric::SUBMITTED),
             commits: reg.counter(metric::COMMITS),
+            reader_commits: reg.counter(metric::READER_COMMITS),
             inflight: reg.gauge(metric::INFLIGHT),
             commit_lat: reg.hist(metric::COMMIT_LAT_US),
+            reader_lat: reg.hist(metric::READER_LAT_US),
             ctrl_rtt: reg.hist(metric::CTRL_RTT_US),
         }
     }
@@ -114,7 +125,7 @@ impl ClientActor<'_> {
         Ok(())
     }
 
-    // lint:allow(protocol: Submit, Grant, Reject, Delay, Access, AccessDone, Abort, StatsDelta, Batch, Recover, RecoverAck) a client receives only Commit acks and Shutdown; the rest is control/data-plane and recovery traffic it never sees
+    // lint:allow(protocol: Submit, Grant, Reject, Delay, Access, AccessDone, Abort, StatsDelta, Batch, Recover, RecoverAck, SnapshotRead, SnapshotReply) a client receives only Commit acks and Shutdown; the rest is control/data-plane, recovery, and snapshot traffic it never sees
     fn recv(&mut self) -> Result<Msg, NetError> {
         match self.inbox.pop_timeout(self.watchdog) {
             PopResult::Item(Msg::Shutdown) => Err(NetError::Protocol(format!(
@@ -151,16 +162,26 @@ impl ClientActor<'_> {
         Ok(())
     }
 
-    /// Books one commit ack: latency series, windowed counters, gauge.
-    fn book_commit(&mut self, started: Instant) {
+    /// Books one commit ack: latency series (split reader/writer by the
+    /// spec's declared steps), windowed counters, gauge.
+    fn book_commit(&mut self, started: Instant, reader: bool) {
         let us = elapsed_us(started);
         self.out.latencies_us.push(us);
+        if reader {
+            self.out.reader_latencies_us.push(us);
+        } else {
+            self.out.writer_latencies_us.push(us);
+        }
         self.out.ctrl_rtts_us.push(us);
         if let Some(t) = &self.tel {
             t.commits.inc();
             t.inflight.sub(1);
             t.commit_lat.record(us);
             t.ctrl_rtt.record(us);
+            if reader {
+                t.reader_commits.inc();
+                t.reader_lat.record(us);
+            }
         }
     }
 
@@ -184,7 +205,7 @@ fn elapsed_us(since: Instant) -> u64 {
 /// protocol error for a client mid-stream.
 fn absorb_reply(
     actor: &mut ClientActor<'_>,
-    inflight: &mut BTreeMap<TxnId, Instant>,
+    inflight: &mut BTreeMap<TxnId, (Instant, bool)>,
     m: Msg,
     last_ack: &mut Instant,
 ) -> Result<(), NetError> {
@@ -197,8 +218,8 @@ fn absorb_reply(
     m.count(&mut actor.out.rx);
     match m {
         Msg::Commit { txn, .. } => {
-            if let Some(started) = inflight.remove(&txn) {
-                actor.book_commit(started);
+            if let Some((started, reader)) = inflight.remove(&txn) {
+                actor.book_commit(started, reader);
             }
             *last_ack = Instant::now();
             Ok(())
@@ -214,6 +235,9 @@ fn absorb_reply(
 /// transactions in flight (`pipeline` is clamped to ≥ 1; 1 recovers the
 /// strict one-at-a-time stream whose history is tick-identical to the
 /// engine's). `reg`, when present, receives windowed load metrics.
+/// Read-only specs are booked on the reader latency ledger regardless of
+/// the plane they rode — with MVCC off they take the S-lock path, and the
+/// baseline reader tail is exactly what the snapshot plane is compared to.
 ///
 /// # Errors
 /// [`NetError::RecvTimeout`] if a commit ack never arrived within the
@@ -237,13 +261,13 @@ pub fn run_client(
         out: ClientOutcome::default(),
     };
     let depth = pipeline.max(1);
-    let mut inflight: BTreeMap<TxnId, Instant> = BTreeMap::new();
+    let mut inflight: BTreeMap<TxnId, (Instant, bool)> = BTreeMap::new();
     let mut next = 0usize;
     while next < specs.len() || !inflight.is_empty() {
         while inflight.len() < depth {
             let Some(spec) = specs.get(next) else { break };
             actor.submit(spec)?;
-            inflight.insert(spec.id, Instant::now());
+            inflight.insert(spec.id, (Instant::now(), spec.is_read_only()));
             next += 1;
         }
         match actor.recv()? {
@@ -251,8 +275,8 @@ pub fn run_client(
                 // An ack for a transaction not in flight is a duplicate
                 // delivery (flaky links re-send); it is tallied in `rx`
                 // and otherwise ignored.
-                if let Some(started) = inflight.remove(&txn) {
-                    actor.book_commit(started);
+                if let Some((started, reader)) = inflight.remove(&txn) {
+                    actor.book_commit(started, reader);
                 }
             }
             other => {
@@ -310,7 +334,7 @@ pub fn run_client_open_loop(
     };
     let depth = plan.inflight.max(1);
     let n = specs.len().min(plan.arrivals_us.len());
-    let mut inflight: BTreeMap<TxnId, Instant> = BTreeMap::new();
+    let mut inflight: BTreeMap<TxnId, (Instant, bool)> = BTreeMap::new();
     let mut next = 0usize;
     let mut last_ack = Instant::now();
     while next < n || !inflight.is_empty() {
@@ -340,7 +364,7 @@ pub fn run_client_open_loop(
             }
             if inflight.len() < depth {
                 actor.submit(spec)?;
-                inflight.insert(spec.id, Instant::now());
+                inflight.insert(spec.id, (Instant::now(), spec.is_read_only()));
             } else {
                 actor.shed(spec.id);
             }

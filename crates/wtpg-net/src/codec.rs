@@ -32,6 +32,12 @@ pub const MAX_STEPS: u32 = 4096;
 /// so a malformed count field cannot provoke a huge allocation.
 pub const MAX_BATCH: u32 = 4096;
 
+/// Ceiling on a [`Msg::SnapshotRead`] exclusion set, so a malformed count
+/// field cannot provoke a huge allocation. Generous: the exclusion set is
+/// bounded by the live (uncommitted) writer population on one partition,
+/// which admission flow control keeps far below this.
+pub const MAX_EXCLUDE: u32 = 65536;
+
 /// A malformed frame or payload.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CodecError {
@@ -120,6 +126,7 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
             mode,
             units,
             chunk_units,
+            seal,
         } => {
             put_u64(&mut b, txn.0);
             put_u32(&mut b, *step);
@@ -127,6 +134,7 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
             b.push(mode_byte(*mode));
             put_u64(&mut b, *units);
             put_u64(&mut b, *chunk_units);
+            put_u64(&mut b, *seal);
         }
         Msg::AccessDone {
             txn,
@@ -179,6 +187,37 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
         Msg::RecoverAck { node, outstanding } => {
             put_u32(&mut b, *node);
             put_u32(&mut b, *outstanding);
+        }
+        Msg::SnapshotRead {
+            txn,
+            step,
+            partition,
+            units,
+            horizon,
+            exclude,
+            floor,
+        } => {
+            put_u64(&mut b, txn.0);
+            put_u32(&mut b, *step);
+            put_u32(&mut b, partition.0);
+            put_u64(&mut b, *units);
+            put_u64(&mut b, *horizon);
+            put_u32(&mut b, exclude.len() as u32);
+            for &seq in exclude {
+                put_u64(&mut b, seq);
+            }
+            put_u64(&mut b, *floor);
+        }
+        Msg::SnapshotReply {
+            txn,
+            step,
+            checksum,
+            units,
+        } => {
+            put_u64(&mut b, txn.0);
+            put_u32(&mut b, *step);
+            put_u64(&mut b, *checksum);
+            put_u64(&mut b, *units);
         }
     }
     b
@@ -387,6 +426,7 @@ fn read_msg(c: &mut Cur<'_>, allow_batch: bool) -> Result<Msg, CodecError> {
             mode: c.mode()?,
             units: c.u64()?,
             chunk_units: c.u64()?,
+            seal: c.u64()?,
         }),
         5 => Ok(Msg::AccessDone {
             txn: TxnId(c.u64()?),
@@ -446,6 +486,37 @@ fn read_msg(c: &mut Cur<'_>, allow_batch: bool) -> Result<Msg, CodecError> {
             node: c.u32()?,
             outstanding: c.u32()?,
         }),
+        13 => {
+            let txn = TxnId(c.u64()?);
+            let step = c.u32()?;
+            let partition = PartitionId(c.u32()?);
+            let units = c.u64()?;
+            let horizon = c.u64()?;
+            let count = c.u32()?;
+            if count > MAX_EXCLUDE {
+                return Err(CodecError::Oversize(count as usize));
+            }
+            let mut exclude = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                exclude.push(c.u64()?);
+            }
+            let floor = c.u64()?;
+            Ok(Msg::SnapshotRead {
+                txn,
+                step,
+                partition,
+                units,
+                horizon,
+                exclude,
+                floor,
+            })
+        }
+        14 => Ok(Msg::SnapshotReply {
+            txn: TxnId(c.u64()?),
+            step: c.u32()?,
+            checksum: c.u64()?,
+            units: c.u64()?,
+        }),
         t => Err(CodecError::BadTag(t)),
     }
 }
@@ -495,6 +566,7 @@ mod tests {
                 mode: AccessMode::Write,
                 units: 2500,
                 chunk_units: 1000,
+                seal: 12,
             },
             Msg::AccessDone {
                 txn: TxnId(7),
@@ -543,6 +615,30 @@ mod tests {
             Msg::RecoverAck {
                 node: 1,
                 outstanding: 3,
+            },
+            Msg::SnapshotRead {
+                txn: TxnId(8),
+                step: 0,
+                partition: PartitionId(5),
+                units: 1200,
+                horizon: 9,
+                exclude: vec![3, 7],
+                floor: 2,
+            },
+            Msg::SnapshotRead {
+                txn: TxnId(9),
+                step: 1,
+                partition: PartitionId(0),
+                units: 1,
+                horizon: 0,
+                exclude: vec![],
+                floor: 0,
+            },
+            Msg::SnapshotReply {
+                txn: TxnId(8),
+                step: 0,
+                checksum: 0xabad_cafe,
+                units: 1200,
             },
         ]
     }
@@ -617,6 +713,45 @@ mod tests {
                 12, // tag: RecoverAck
                 2, 0, 0, 0, // node u32 LE
                 5, 0, 0, 0, // outstanding u32 LE
+            ]
+        );
+        let snap = Msg::SnapshotRead {
+            txn: TxnId(3),
+            step: 1,
+            partition: PartitionId(4),
+            units: 1000,
+            horizon: 6,
+            exclude: vec![5],
+            floor: 2,
+        };
+        assert_eq!(
+            encode_payload(&snap),
+            vec![
+                13, // tag: SnapshotRead
+                3, 0, 0, 0, 0, 0, 0, 0, // txn u64 LE
+                1, 0, 0, 0, // step u32 LE
+                4, 0, 0, 0, // partition u32 LE
+                232, 3, 0, 0, 0, 0, 0, 0, // units = 1000
+                6, 0, 0, 0, 0, 0, 0, 0, // horizon u64 LE
+                1, 0, 0, 0, // one excluded sequence
+                5, 0, 0, 0, 0, 0, 0, 0, // exclude[0] u64 LE
+                2, 0, 0, 0, 0, 0, 0, 0, // floor u64 LE
+            ]
+        );
+        let reply = Msg::SnapshotReply {
+            txn: TxnId(3),
+            step: 1,
+            checksum: 0xfeed,
+            units: 1000,
+        };
+        assert_eq!(
+            encode_payload(&reply),
+            vec![
+                14, // tag: SnapshotReply
+                3, 0, 0, 0, 0, 0, 0, 0, // txn u64 LE
+                1, 0, 0, 0, // step u32 LE
+                237, 254, 0, 0, 0, 0, 0, 0, // checksum = 0xfeed
+                232, 3, 0, 0, 0, 0, 0, 0, // units = 1000
             ]
         );
         // A batch is [tag=10][count u32][per-inner: len u32 + payload].
@@ -754,6 +889,18 @@ mod tests {
         assert_eq!(
             decode_payload(&b),
             Err(CodecError::Oversize(MAX_STEPS as usize + 1))
+        );
+        // Oversized snapshot-read exclusion set.
+        let mut b = vec![13u8];
+        b.extend_from_slice(&7u64.to_le_bytes()); // txn
+        b.extend_from_slice(&0u32.to_le_bytes()); // step
+        b.extend_from_slice(&0u32.to_le_bytes()); // partition
+        b.extend_from_slice(&1u64.to_le_bytes()); // units
+        b.extend_from_slice(&1u64.to_le_bytes()); // horizon
+        b.extend_from_slice(&(MAX_EXCLUDE + 1).to_le_bytes());
+        assert_eq!(
+            decode_payload(&b),
+            Err(CodecError::Oversize(MAX_EXCLUDE as usize + 1))
         );
     }
 

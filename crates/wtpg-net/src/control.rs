@@ -58,9 +58,11 @@ use std::time::{Duration, Instant};
 use wtpg_core::certify::CertifyMode;
 use wtpg_core::partition::Catalog;
 use wtpg_core::sched::{Admission, LockOutcome, Scheduler};
-use wtpg_core::txn::{TxnId, TxnSpec};
+use wtpg_core::time::Tick;
+use wtpg_core::txn::{AccessMode, TxnId, TxnSpec};
 use wtpg_core::work::Work;
 use wtpg_dur::checkpoint::{write_control_checkpoint, ControlCheckpoint};
+use wtpg_mvcc::{gc_floor, ActiveSnapshots, CommitLog, GcWatermark, ReadObservation, ReaderRecord};
 use wtpg_obs::wall::WallClock;
 use wtpg_obs::window::metric;
 use wtpg_obs::{Counter, Gauge, Histogram, MsgCounts, Registry};
@@ -127,6 +129,13 @@ pub struct ControlParams {
     /// up front) *and* every submission it did receive has committed.
     /// `None` keeps the `expected_commits` exit.
     pub drain_clients: Option<usize>,
+    /// MVCC snapshot plane. With the shared watermark attached, write
+    /// steps are sealed into a [`CommitLog`], read-only submissions bypass
+    /// the scheduler entirely (snapshot at admission, one `SnapshotRead`
+    /// per step, no locks), and GC floors are published. `None` keeps the
+    /// plane fully off: every submission takes the scheduler path and the
+    /// run is message-for-message identical to one without this field.
+    pub mvcc: Option<Arc<GcWatermark>>,
 }
 
 /// Everything the control actor recorded.
@@ -157,6 +166,17 @@ pub struct ControlOutcome {
     pub node_unavailable: u64,
     /// Control checkpoints written.
     pub ckpt_writes: u64,
+    /// MVCC audit (None when the snapshot plane was off).
+    pub mvcc: Option<MvccAudit>,
+}
+
+/// What the snapshot plane recorded: everything
+/// [`certify_snapshots`](wtpg_mvcc::certify_snapshots) needs.
+pub struct MvccAudit {
+    /// Seal orders and commit ticks of this shard's partitions.
+    pub log: CommitLog,
+    /// One record per retired read-only BAT.
+    pub readers: Vec<ReaderRecord>,
 }
 
 /// One unanswered `Access` order awaiting its `AccessDone`.
@@ -186,6 +206,48 @@ impl CtrlTel {
             admissions: reg.counter(&metric::shard_admissions(shard)),
         }
     }
+}
+
+/// The control actor's MVCC state: seal/commit bookkeeping plus every
+/// in-flight read-only BAT.
+struct MvccPlane {
+    /// Seal order and commit ticks (the snapshot certifier's input).
+    log: CommitLog,
+    /// Snapshots currently being read (GC floor input).
+    active: ActiveSnapshots,
+    /// In-flight read-only BATs by id.
+    readers: BTreeMap<TxnId, ReaderState>,
+    /// Retired read-only BATs (duplicate-submission absorption + exit
+    /// accounting).
+    reader_done: BTreeSet<TxnId>,
+    /// Certification records of retired readers.
+    records: Vec<ReaderRecord>,
+    /// Published per-partition GC floors (data actors poll this for
+    /// partitions no snapshot read ever visits).
+    watermark: Arc<GcWatermark>,
+}
+
+impl MvccPlane {
+    /// Recomputes and publishes `partition`'s GC floor.
+    fn publish_floor(&mut self, partition: u32) -> u64 {
+        let floor = gc_floor(&mut self.log, &self.active, partition);
+        self.watermark.publish(partition, floor);
+        floor
+    }
+}
+
+/// One in-flight read-only BAT: its snapshot and the replies collected so
+/// far. Readers never touch the scheduler, the lock table, or the WTPG —
+/// their whole lifecycle is this struct plus the outstanding-order table.
+struct ReaderState {
+    client: u32,
+    snapshot: Tick,
+    /// Partition of each step (fills observations from replies).
+    parts: Vec<u32>,
+    /// Per-step observation, filled as `SnapshotReply`s land (any order).
+    obs: Vec<Option<ReadObservation>>,
+    /// Steps still awaiting their first reply.
+    pending: usize,
 }
 
 /// One transaction's drive-state: where the control actor will pick it up
@@ -255,6 +317,9 @@ struct ControlActor<'a> {
     done_clients: usize,
     /// Distinct submissions received (drain-exit commit target).
     submits_seen: u64,
+    /// MVCC snapshot plane (`None` ⇒ fully off; see
+    /// [`ControlParams::mvcc`]).
+    mvcc: Option<MvccPlane>,
 }
 
 impl ControlActor<'_> {
@@ -264,6 +329,12 @@ impl ControlActor<'_> {
             .get(&txn)
             .map(|t| t.client)
             .ok_or_else(|| NetError::Protocol(format!("no owner recorded for txn {}", txn.0)))?;
+        self.send_to_client(client, m)
+    }
+
+    /// Sends directly to a known client index (readers have no `TxnState`
+    /// to resolve an owner from).
+    fn send_to_client(&mut self, client: u32, m: &Msg) -> Result<(), NetError> {
         let tx = self
             .to_clients
             .get(client as usize)
@@ -346,7 +417,24 @@ impl ControlActor<'_> {
         if state.next_step == state.spec.len() {
             let client = state.client;
             let steps = state.spec.len() as u32;
-            self.control.commit(txn)?;
+            let parts: Vec<u32> = if self.mvcc.is_some() {
+                state.spec.steps().iter().map(|s| s.partition.0).collect()
+            } else {
+                Vec::new()
+            };
+            let tick = self.control.commit(txn)?;
+            if let Some(plane) = self.mvcc.as_mut() {
+                // Stamp the commit tick on this writer's sealed entries
+                // and raise GC floors: committed-prefix writes below every
+                // active snapshot's horizon no longer need inversion data.
+                plane.log.note_commit(txn, tick);
+                let mut seen = BTreeSet::new();
+                for p in parts {
+                    if seen.insert(p) {
+                        plane.publish_floor(p);
+                    }
+                }
+            }
             self.committed.insert(txn);
             self.active = self.active.saturating_sub(1);
             if let Some(t) = &self.tel {
@@ -386,6 +474,19 @@ impl ControlActor<'_> {
                     .attempts = 0;
                 let step = step as u32;
                 let node = self.catalog.node_of(declared.partition) as usize;
+                // Seal write steps into the partition's version order at
+                // grant time — the grant is issued exactly once per step
+                // (next_step only advances on AccessDone, duplicate
+                // submissions are filtered), so seal sequences are unique
+                // even under redelivery.
+                let seal = match (self.mvcc.as_mut(), declared.mode) {
+                    (Some(plane), AccessMode::Write) => {
+                        plane
+                            .log
+                            .seal(declared.partition.0, txn, declared.actual_cost.units())
+                    }
+                    _ => 0,
+                };
                 let order = Msg::Access {
                     txn,
                     step,
@@ -393,6 +494,7 @@ impl ControlActor<'_> {
                     mode: declared.mode,
                     units: declared.actual_cost.units(),
                     chunk_units: self.chunk_units,
+                    seal,
                 };
                 self.send_data(node, order.clone(), false)?;
                 self.chunk_cursor.insert((txn, step), 0);
@@ -408,6 +510,76 @@ impl ControlActor<'_> {
             }
             LockOutcome::Blocked | LockOutcome::Delayed => self.park(txn),
         }
+    }
+
+    /// Admits a read-only BAT onto the snapshot plane: stamp the snapshot
+    /// tick, register it with the GC-floor bookkeeping, and issue one
+    /// `SnapshotRead` per step. No scheduler, no locks, no WTPG node —
+    /// the reader cannot block a writer or another reader, and nothing
+    /// blocks it. Orders land in the same outstanding table as `Access`,
+    /// so redelivery, `Recover` re-sends, and data-RTT accounting are
+    /// uniform across both planes.
+    fn admit_reader(&mut self, client: u32, txn: TxnId, spec: &TxnSpec) -> Result<(), NetError> {
+        let snapshot = self.control.now();
+        let mut orders: Vec<(usize, u32, Msg)> = Vec::with_capacity(spec.len());
+        {
+            let plane = self
+                .mvcc
+                .as_mut()
+                .expect("invariant: admit_reader is only reached with the snapshot plane on");
+            plane.active.begin(txn, snapshot);
+            let mut parts = Vec::with_capacity(spec.len());
+            for (i, s) in spec.steps().iter().enumerate() {
+                let p = s.partition;
+                // The horizon pins the snapshot in seal-sequence space:
+                // entries sealed at or above it commit after `snapshot`
+                // (the clock only moves at commits), so the data node
+                // inverts them out. Sealed-but-uncommitted entries *below*
+                // the horizon ride along as an explicit exclusion list.
+                let horizon = plane.log.horizon(p.0);
+                let exclude = plane.log.exclusions(p.0);
+                // Register before recomputing the floor so our own
+                // horizon caps it — GC must not prune what we still read.
+                plane.active.observe(txn, p.0, horizon);
+                let floor = plane.publish_floor(p.0);
+                parts.push(p.0);
+                orders.push((
+                    self.catalog.node_of(p) as usize,
+                    i as u32,
+                    Msg::SnapshotRead {
+                        txn,
+                        step: i as u32,
+                        partition: p,
+                        units: s.actual_cost.units(),
+                        horizon,
+                        exclude,
+                        floor,
+                    },
+                ));
+            }
+            plane.readers.insert(
+                txn,
+                ReaderState {
+                    client,
+                    snapshot,
+                    parts,
+                    obs: vec![None; spec.len()],
+                    pending: spec.len(),
+                },
+            );
+        }
+        for (node, step, order) in orders {
+            self.send_data(node, order.clone(), false)?;
+            let now = Instant::now();
+            self.outstanding.insert((txn, step), Outstanding {
+                node,
+                attempts: 0,
+                deadline: now + Duration::from_micros(self.retry.delay_us(0)),
+                sent_at: now,
+                msg: order,
+            });
+        }
+        Ok(())
     }
 
     /// Charges one failed attempt against `txn`'s starvation bound.
@@ -463,7 +635,7 @@ impl ControlActor<'_> {
         Ok(())
     }
 
-    // lint:allow(protocol: Grant, Reject, Delay, Access, Commit, RecoverAck) send-only for the control actor: it emits the verdicts, accesses, and recovery acks
+    // lint:allow(protocol: Grant, Reject, Delay, Access, SnapshotRead, Commit, RecoverAck) send-only for the control actor: it emits the verdicts, accesses, snapshot-read orders, and recovery acks
     fn handle(&mut self, m: Msg) -> Result<(), NetError> {
         m.count(&mut self.rx);
         match m {
@@ -486,7 +658,15 @@ impl ControlActor<'_> {
                     // would enter the backlog twice.
                     return Ok(());
                 }
+                if let Some(plane) = &self.mvcc {
+                    if plane.readers.contains_key(&txn) || plane.reader_done.contains(&txn) {
+                        return Ok(()); // duplicate reader submission
+                    }
+                }
                 self.submits_seen += 1;
+                if self.mvcc.is_some() && spec.is_read_only() {
+                    return self.admit_reader(client, txn, &spec);
+                }
                 self.txns.insert(
                     txn,
                     TxnState {
@@ -564,6 +744,84 @@ impl ControlActor<'_> {
                     self.drain_backlog()?;
                 }
                 Ok(())
+            }
+            Msg::SnapshotReply {
+                txn,
+                step,
+                checksum,
+                units,
+            } => {
+                if let Some(o) = self.outstanding.remove(&(txn, step)) {
+                    self.data_rtts_us.push(elapsed_us(o.sent_at));
+                }
+                self.unavailable.remove(&(txn, step));
+                let Some(plane) = self.mvcc.as_mut() else {
+                    return Err(NetError::Protocol(format!(
+                        "SnapshotReply for txn {} with the snapshot plane off",
+                        txn.0
+                    )));
+                };
+                if plane.reader_done.contains(&txn) {
+                    return Ok(()); // late duplicate after the reader retired
+                }
+                let Some(r) = plane.readers.get_mut(&txn) else {
+                    return Err(NetError::Protocol(format!(
+                        "SnapshotReply for unknown reader {}",
+                        txn.0
+                    )));
+                };
+                // `obs` and `parts` are built with one slot per step, so
+                // one range check covers both.
+                let Some((slot, &partition)) = r
+                    .obs
+                    .get_mut(step as usize)
+                    .zip(r.parts.get(step as usize))
+                else {
+                    return Err(NetError::Protocol(format!(
+                        "SnapshotReply step {step} out of range for reader {}",
+                        txn.0
+                    )));
+                };
+                if slot.is_some() {
+                    return Ok(()); // duplicate delivery (redelivery or dup fault)
+                }
+                *slot = Some(ReadObservation {
+                    step,
+                    partition,
+                    units,
+                    checksum,
+                });
+                r.pending -= 1;
+                if r.pending > 0 {
+                    return Ok(());
+                }
+                // Every step answered: retire the reader. Record it for
+                // certification, release its snapshot (raising GC floors
+                // it was holding down), and ack the client.
+                let r = plane
+                    .readers
+                    .remove(&txn)
+                    .expect("invariant: reader was just borrowed from this map");
+                plane.reader_done.insert(txn);
+                plane.active.end(txn);
+                plane.records.push(ReaderRecord {
+                    txn,
+                    snapshot: r.snapshot,
+                    reads: r.obs.into_iter().flatten().collect(),
+                });
+                let mut seen = BTreeSet::new();
+                for p in r.parts {
+                    if seen.insert(p) {
+                        plane.publish_floor(p);
+                    }
+                }
+                if let Some(t) = &self.tel {
+                    t.commits.inc();
+                }
+                self.send_to_client(r.client, &Msg::Commit {
+                    client: r.client,
+                    txn,
+                })
             }
             Msg::Abort { client, txn } => {
                 // Defensive: our clients never abort, but the protocol
@@ -833,6 +1091,14 @@ pub fn run_control(
         drain: params.drain_clients,
         done_clients: 0,
         submits_seen: 0,
+        mvcc: params.mvcc.map(|watermark| MvccPlane {
+            log: CommitLog::new(),
+            active: ActiveSnapshots::new(),
+            readers: BTreeMap::new(),
+            reader_done: BTreeSet::new(),
+            records: Vec::new(),
+            watermark,
+        }),
     };
 
     let result = (|| -> Result<(), NetError> {
@@ -841,9 +1107,16 @@ pub fn run_control(
         // Drain mode exits once every client said goodbye AND everything
         // they submitted has committed; otherwise the commit target is
         // known up front.
-        let done = |a: &ControlActor| match a.drain {
-            Some(n) => a.done_clients >= n && (a.committed.len() as u64) >= a.submits_seen,
-            None => (a.committed.len() as u64) >= params.expected_commits,
+        let done = |a: &ControlActor| {
+            // Retired readers count toward the finish line alongside
+            // committed writers — a read-only BAT's commit is its last
+            // SnapshotReply, never a scheduler commit.
+            let finished = a.committed.len() as u64
+                + a.mvcc.as_ref().map_or(0, |p| p.reader_done.len() as u64);
+            match a.drain {
+                Some(n) => a.done_clients >= n && finished >= a.submits_seen,
+                None => finished >= params.expected_commits,
+            }
         };
         while !done(&actor) {
             // Drain bursts without blocking; coalescers fill up meanwhile.
@@ -921,5 +1194,9 @@ pub fn run_control(
         batch_sizes,
         node_unavailable: actor.node_unavailable,
         ckpt_writes: actor.ckpt_writes,
+        mvcc: actor.mvcc.map(|p| MvccAudit {
+            log: p.log,
+            readers: p.records,
+        }),
     })
 }

@@ -59,6 +59,7 @@ use wtpg_core::txn::{AccessMode, TxnId};
 use wtpg_dur::checkpoint::{files, snapshot_from_state, write_node_snapshot};
 use wtpg_dur::wal::{ChunkRecord, WalWriter};
 use wtpg_dur::{recover, Durability, Partial};
+use wtpg_mvcc::{read_checksum, ChainTotals, GcWatermark, VersionChain};
 use wtpg_obs::window::metric;
 use wtpg_obs::{Counter, Gauge, Histogram, MsgCounts, Registry, WalStats};
 use wtpg_rt::queue::PopResult;
@@ -109,6 +110,8 @@ pub struct DataOutcome {
     /// Distribution of dependency-chain lengths replayed during recovery
     /// (the replay-parallelism profile).
     pub replay_chains: Histogram,
+    /// Version-chain totals (all zero when the snapshot plane was off).
+    pub chains: ChainTotals,
 }
 
 /// Everything [`run_data_node`] needs to run one node, bundled so the call
@@ -131,6 +134,12 @@ pub struct DataNodeParams<'a> {
     pub wal_dir: Option<&'a Path>,
     /// Shared windowed-metric registry (`None` disables telemetry).
     pub reg: Option<&'a Registry>,
+    /// Control-published GC floors. `Some` turns the MVCC layer on: write
+    /// steps carry seal sequences into per-partition version chains, and
+    /// `SnapshotRead` orders are served from them. Chains are in-memory
+    /// only, so kill plans are incompatible with the snapshot plane (the
+    /// runtime rejects that combination up front).
+    pub mvcc: Option<Arc<GcWatermark>>,
 }
 
 /// Pre-resolved data-plane windowed-metric handles. Cloned into each
@@ -183,6 +192,18 @@ struct DataActor<'a> {
     /// WAL flushes already credited to the windowed counter (delta base —
     /// the writer's own stats are cumulative per incarnation).
     flushes_seen: u64,
+    /// Per-partition version chains (empty while the snapshot plane is
+    /// off: nothing inserts without a sealed write or a snapshot read).
+    chains: BTreeMap<u32, VersionChain>,
+    /// Served snapshot reads: `(txn, step) → (checksum, units)`. A
+    /// redelivered `SnapshotRead` answers from here — the chain may have
+    /// pruned past the original horizon by then, so recomputing could
+    /// diverge; the memo keeps redelivery byte-identical.
+    snap_marks: BTreeMap<(TxnId, u32), (u64, u64)>,
+    /// Snapshot reads served (telemetry).
+    snapshot_reads: u64,
+    /// Control-published GC floors (`None` ⇒ snapshot plane off).
+    mvcc: Option<Arc<GcWatermark>>,
 }
 
 impl<'a> DataActor<'a> {
@@ -304,7 +325,19 @@ impl<'a> DataActor<'a> {
         Ok(if ok { Flow::Continue } else { Flow::Stop })
     }
 
-    // lint:allow(protocol: Submit, Grant, Reject, Delay, AccessDone, Commit, Abort, StatsDelta, Recover) a data node only receives Access/Batch/Shutdown/RecoverAck; the rest is control<->client traffic, and Recover is what it *sends* after a restart
+    /// Prunes every chain to the control-published GC floor. Snapshot
+    /// reads carry floors on the wire, but a partition only writers touch
+    /// would keep its chain forever without this idle-time poll.
+    fn gc_poll(&mut self) {
+        let Some(w) = &self.mvcc else {
+            return;
+        };
+        for (p, chain) in self.chains.iter_mut() {
+            chain.prune_below(w.floor(*p));
+        }
+    }
+
+    // lint:allow(protocol: Submit, Grant, Reject, Delay, AccessDone, Commit, Abort, StatsDelta, Recover, SnapshotReply) a data node only receives Access/SnapshotRead/Batch/Shutdown/RecoverAck; the rest is control<->client traffic, and Recover/SnapshotReply are what it *sends*
     fn handle(&mut self, m: Msg) -> Result<Flow, NetError> {
         m.count(&mut self.rx);
         match m {
@@ -331,12 +364,24 @@ impl<'a> DataActor<'a> {
                 mode,
                 units,
                 chunk_units,
+                seal,
             } => {
                 debug_assert_eq!(self.catalog.node_of(partition), self.node);
                 let chunk_size = chunk_units.max(1);
                 if let Some(&(checksum, done_units)) = self.marks.get(&(txn, step)) {
                     // Redelivery of an applied step: answer, don't re-apply.
                     return self.replay_marked(txn, step, checksum, done_units, chunk_size);
+                }
+                if self.mvcc.is_some() && mode == AccessMode::Write {
+                    // Record the write in the partition's version chain
+                    // under its control-assigned seal sequence. The whole
+                    // step applies within this handle() call, so between
+                    // messages a chain entry ⟺ a fully applied write —
+                    // exactly the invariant snapshot reconstruction needs.
+                    self.chains
+                        .entry(partition.0)
+                        .or_default()
+                        .record(seal, txn, units);
                 }
                 // Resume point: chunks below `next_chunk` were applied and
                 // logged before a kill; their deltas re-send (control
@@ -411,6 +456,54 @@ impl<'a> DataActor<'a> {
                 })?;
                 Ok(if ok { Flow::Continue } else { Flow::Stop })
             }
+            Msg::SnapshotRead {
+                txn,
+                step,
+                partition,
+                units,
+                horizon,
+                exclude,
+                floor,
+            } => {
+                debug_assert_eq!(self.catalog.node_of(partition), self.node);
+                if self.mvcc.is_none() {
+                    return Err(NetError::Protocol(format!(
+                        "data node {} received SnapshotRead with the snapshot plane off",
+                        self.node
+                    )));
+                }
+                if let Some(&(checksum, marked_units)) = self.snap_marks.get(&(txn, step)) {
+                    // Redelivery: answer from the memo (see `snap_marks`).
+                    let ok = self.push_reply(Msg::SnapshotReply {
+                        txn,
+                        step,
+                        checksum,
+                        units: marked_units,
+                    })?;
+                    return Ok(if ok { Flow::Continue } else { Flow::Stop });
+                }
+                let chain = self.chains.entry(partition.0).or_default();
+                // The piggybacked floor lets the chain shed entries no
+                // active snapshot can need, before reconstructing this one.
+                chain.prune_below(floor);
+                let current = self.store.cells(partition).ok_or_else(|| {
+                    NetError::Protocol(format!(
+                        "data node {} owns no cells for partition {}",
+                        self.node, partition.0
+                    ))
+                })?;
+                let cells = chain.snapshot_cells(current, horizon, &exclude);
+                let checksum = read_checksum(&cells, units);
+                self.snap_marks.insert((txn, step), (checksum, units));
+                self.snapshot_reads += 1;
+                let ok = self.push_reply(Msg::SnapshotReply {
+                    txn,
+                    step,
+                    checksum,
+                    units,
+                })?;
+                Ok(if ok { Flow::Continue } else { Flow::Stop })
+            }
             other => Err(NetError::Protocol(format!(
                 "data node {} received {other:?}, which it never handles",
                 self.node
@@ -439,6 +532,7 @@ struct Banked {
     batched_inner: u64,
     batch_sizes: Histogram,
     wal: WalStats,
+    chains: ChainTotals,
 }
 
 impl Banked {
@@ -447,6 +541,18 @@ impl Banked {
         self.tx.merge(&actor.replies.tx);
         self.batched_inner += actor.replies.batched_inner;
         self.batch_sizes.merge(&actor.replies.sizes);
+        let mut totals = ChainTotals::default();
+        for c in actor.chains.values() {
+            let (appended, pruned, live_peak) = c.totals();
+            totals.merge(ChainTotals {
+                appended,
+                pruned,
+                live_peak,
+                snapshot_reads: 0,
+            });
+        }
+        totals.snapshot_reads = actor.snapshot_reads;
+        self.chains.merge(totals);
         if let Some(w) = &actor.wal {
             self.wal.records += w.stats.records;
             self.wal.flushes += w.stats.flushes;
@@ -485,6 +591,7 @@ pub fn run_data_node(
         durability,
         wal_dir,
         reg,
+        mvcc,
     } = params;
     let tel = reg.map(DataTel::new);
     let mut crash = crash.filter(|c| c.node as u32 == node);
@@ -528,6 +635,10 @@ pub fn run_data_node(
         checkpoints: 0,
         tel: tel.clone(),
         flushes_seen: 0,
+        chains: BTreeMap::new(),
+        snap_marks: BTreeMap::new(),
+        snapshot_reads: 0,
+        mvcc: mvcc.clone(),
     };
 
     let mut acc = Banked::default();
@@ -548,6 +659,7 @@ pub fn run_data_node(
                 } else {
                     actor.wal_flush_aged()?;
                 }
+                actor.gc_poll();
                 if !actor.replies.flush() {
                     break 'main;
                 }
@@ -688,5 +800,6 @@ pub fn run_data_node(
         recoveries,
         wal: acc.wal,
         replay_chains,
+        chains: acc.chains,
     })
 }

@@ -3,6 +3,7 @@
 use wtpg_core::certify::CertifyViolation;
 use wtpg_core::error::CoreError;
 use wtpg_core::txn::TxnId;
+use wtpg_mvcc::SnapshotError;
 
 use crate::codec::CodecError;
 
@@ -14,6 +15,10 @@ pub enum NetError {
     /// The recorded history failed replay certification — a scheduler or
     /// runtime bug observed under real message passing.
     Certify(CertifyViolation),
+    /// A snapshot read observed something other than the committed-prefix
+    /// state at its snapshot tick — an MVCC-layer bug observed under real
+    /// message passing.
+    Snapshot(SnapshotError),
     /// A malformed frame arrived on a transport.
     Codec(CodecError),
     /// A socket operation failed (TCP transport only).
@@ -66,6 +71,7 @@ impl std::fmt::Display for NetError {
         match self {
             NetError::Core(e) => write!(f, "scheduler protocol error: {e}"),
             NetError::Certify(v) => write!(f, "history failed certification: {v}"),
+            NetError::Snapshot(v) => write!(f, "{v}"),
             NetError::Codec(e) => write!(f, "malformed frame: {e}"),
             NetError::Io(e) => write!(f, "transport I/O error: {e}"),
             NetError::Protocol(e) => write!(f, "protocol violation: {e}"),
@@ -105,6 +111,12 @@ impl std::error::Error for NetError {}
 impl From<CoreError> for NetError {
     fn from(e: CoreError) -> NetError {
         NetError::Core(e)
+    }
+}
+
+impl From<SnapshotError> for NetError {
+    fn from(e: SnapshotError) -> NetError {
+        NetError::Snapshot(e)
     }
 }
 

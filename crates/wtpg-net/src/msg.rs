@@ -82,6 +82,12 @@ pub enum Msg {
         units: u64,
         /// Progress-report granularity in milli-object cells.
         chunk_units: u64,
+        /// For write steps: the control-assigned per-partition seal
+        /// sequence, under which the data node files the step in its
+        /// version chain (the MVCC layer's total order per partition —
+        /// agreed by both ends even when the fault layer reorders
+        /// deliveries). Zero for read steps.
+        seal: u64,
     },
     /// Data node → control (forwarded to the client): the bulk step
     /// finished all its units.
@@ -159,6 +165,43 @@ pub enum Msg {
         /// `Access` orders control re-sent on the rejoin path.
         outstanding: u32,
     },
+    /// Control → data node: serve one step of a read-only BAT against the
+    /// snapshot its exclusion set describes, without taking any lock. The
+    /// node reconstructs the snapshot cells from its version chain
+    /// (current cells minus writes sealed at or above `horizon` minus the
+    /// applied `exclude` entries), folds the read checksum, and answers
+    /// [`Msg::SnapshotReply`]. Redelivered verbatim by the retry watchdog;
+    /// the node's snapshot-marks replay the original reply.
+    SnapshotRead {
+        /// The read-only transaction.
+        txn: TxnId,
+        /// The step index within the transaction.
+        step: u32,
+        /// The partition to scan.
+        partition: PartitionId,
+        /// Milli-object cells to scan.
+        units: u64,
+        /// The partition's seal horizon at the snapshot: writes sealed at
+        /// or above this sequence are after the snapshot.
+        horizon: u64,
+        /// Sealed-but-uncommitted sequences below the horizon (dirty at
+        /// the snapshot; subtracted if applied, skipped if not yet).
+        exclude: Vec<u64>,
+        /// Piggybacked GC floor: the node prunes chain entries below it.
+        floor: u64,
+    },
+    /// Data node → control: the snapshot read finished its scan.
+    SnapshotReply {
+        /// The read-only transaction.
+        txn: TxnId,
+        /// The finished step.
+        step: u32,
+        /// Checksum folded over the reconstructed snapshot cells — the
+        /// value the snapshot-consistency certifier checks.
+        checksum: u64,
+        /// Units scanned, echoing the order.
+        units: u64,
+    },
 }
 
 impl Msg {
@@ -179,6 +222,8 @@ impl Msg {
             Msg::Batch(_) => 10,
             Msg::Recover { .. } => 11,
             Msg::RecoverAck { .. } => 12,
+            Msg::SnapshotRead { .. } => 13,
+            Msg::SnapshotReply { .. } => 14,
         }
     }
 
@@ -198,6 +243,8 @@ impl Msg {
             Msg::Batch(_) => counts.batch += 1,
             Msg::Recover { .. } => counts.recover += 1,
             Msg::RecoverAck { .. } => counts.recover_ack += 1,
+            Msg::SnapshotRead { .. } => counts.snapshot_read += 1,
+            Msg::SnapshotReply { .. } => counts.snapshot_reply += 1,
         }
     }
 
@@ -240,6 +287,7 @@ mod tests {
                 mode: AccessMode::Read,
                 units: 1,
                 chunk_units: 1,
+                seal: 0,
             },
             Msg::AccessDone {
                 txn: TxnId(1),
@@ -272,6 +320,21 @@ mod tests {
                 node: 0,
                 outstanding: 1,
             },
+            Msg::SnapshotRead {
+                txn: TxnId(1),
+                step: 0,
+                partition: PartitionId(0),
+                units: 1,
+                horizon: 1,
+                exclude: vec![0],
+                floor: 0,
+            },
+            Msg::SnapshotReply {
+                txn: TxnId(1),
+                step: 0,
+                checksum: 0,
+                units: 1,
+            },
         ];
         let mut counts = MsgCounts::default();
         for (i, m) in msgs.iter().enumerate() {
@@ -280,7 +343,7 @@ mod tests {
             let (_, v) = counts.fields()[i];
             assert_eq!(v, 1, "tag {i} must bump field {i}");
         }
-        assert_eq!(counts.total(), 13);
+        assert_eq!(counts.total(), 15);
     }
 
     #[test]

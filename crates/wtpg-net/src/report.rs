@@ -36,6 +36,10 @@ pub struct MsgBreakdown {
     pub recover: u64,
     /// Recovery acknowledgements from the control plane.
     pub recover_ack: u64,
+    /// Lock-free snapshot-read orders to data nodes (read-only BATs).
+    pub snapshot_read: u64,
+    /// Completed snapshot reads (data node → control → client).
+    pub snapshot_reply: u64,
 }
 
 impl From<MsgCounts> for MsgBreakdown {
@@ -54,6 +58,8 @@ impl From<MsgCounts> for MsgBreakdown {
             batch: c.batch,
             recover: c.recover,
             recover_ack: c.recover_ack,
+            snapshot_read: c.snapshot_read,
+            snapshot_reply: c.snapshot_reply,
         }
     }
 }
@@ -167,6 +173,28 @@ pub struct NetReport {
     pub store_consistent: bool,
     /// Checksum folded over every bulk read (interleaving-dependent).
     pub read_checksum: u64,
+    /// Read-only BATs committed on the MVCC snapshot plane (included in
+    /// `committed`; 0 with the plane off, where read-only specs take the
+    /// lock path and count as writers).
+    pub reader_commits: u64,
+    /// Submit-to-commit-ack latency of read-only transactions — on the
+    /// snapshot plane when it is up, on the S-lock path otherwise (the
+    /// baseline the plane is compared against).
+    pub reader_latency: LatencySummary,
+    /// Submit-to-commit-ack latency of transactions with at least one
+    /// write step.
+    pub writer_latency: LatencySummary,
+    /// Snapshot reads served from data-node version chains.
+    pub snapshot_reads: u64,
+    /// Version-chain entries recorded across all partitions.
+    pub chain_appended: u64,
+    /// Version-chain entries pruned by the GC watermark.
+    pub chain_pruned: u64,
+    /// Largest live per-partition chain length any node observed.
+    pub chain_live_peak: u64,
+    /// True when every snapshot read was certified against the
+    /// committed-prefix reference (vacuously true with the plane off).
+    pub snapshot_certified: bool,
 }
 
 impl NetReport {

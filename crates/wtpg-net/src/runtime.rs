@@ -25,7 +25,7 @@
 //!    proofs the threaded engine demands, now under real message passing,
 //!    batched frames, and injected faults.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::PathBuf;
 use std::sync::mpsc::{self, Receiver, SyncSender};
 use std::sync::Arc;
@@ -38,6 +38,7 @@ use wtpg_core::txn::{AccessMode, TxnId, TxnSpec};
 use wtpg_core::StreamingCertifier;
 use wtpg_dur::checkpoint::files as dur_files;
 use wtpg_dur::Durability;
+use wtpg_mvcc::{certify_snapshots, CommitLog, GcWatermark, ReaderRecord};
 use wtpg_obs::wall::WallClock;
 use wtpg_obs::{Histogram, MsgCounts, NetStats, ObsEvent, Observer, Registry, WalStats};
 use wtpg_rt::backoff::Backoff;
@@ -113,6 +114,14 @@ pub struct NetConfig {
     /// retire incrementally — the only way a multi-million-transaction
     /// cell stays memory-bounded *and* certified.
     pub stream_certify: bool,
+    /// MVCC snapshot plane: read-only transactions bypass the scheduler
+    /// (snapshot at admission, lock-free `SnapshotRead`s against
+    /// data-node version chains), certified post-run against the
+    /// committed-prefix rule. `false` keeps every code path — wire
+    /// traffic, histories, counters — identical to a build without the
+    /// plane. Incompatible with kill faults: version chains are in-memory
+    /// only, so a restarted node could not answer snapshot reads.
+    pub mvcc: bool,
 }
 
 /// Open-loop driver knobs (see [`NetConfig::open_loop`]).
@@ -147,6 +156,7 @@ impl Default for NetConfig {
             wal_dir: None,
             open_loop: None,
             stream_certify: false,
+            mvcc: false,
         }
     }
 }
@@ -224,7 +234,8 @@ fn msg_txn(m: &Msg) -> Option<TxnId> {
         | Msg::Commit { txn, .. }
         | Msg::Abort { txn, .. }
         | Msg::AccessDone { txn, .. }
-        | Msg::StatsDelta { txn, .. } => Some(txn),
+        | Msg::StatsDelta { txn, .. }
+        | Msg::SnapshotReply { txn, .. } => Some(txn),
         _ => None,
     }
 }
@@ -339,6 +350,16 @@ pub fn run_cell_load(
     let clients = cfg.clients.clamp(1, specs.len().max(1));
     let watchdog = Duration::from_millis(cfg.watchdog_ms.max(1));
 
+    // Version chains are in-memory only: a killed-and-restarted node would
+    // come back with empty chains and serve wrong snapshots. (A *crash* is
+    // fine — the actor's memory survives a message-drop window.)
+    if cfg.mvcc && fault.kill.is_some() {
+        return Err(NetError::Protocol(
+            "the MVCC snapshot plane is incompatible with kill faults: \
+             version chains do not survive a restart-from-log"
+                .to_string(),
+        ));
+    }
     // Durability plumbing: a kill fault restarts nodes *from disk*, so it
     // is meaningless without a log to replay.
     if fault.kill.is_some() && (!cfg.durability.requires_log() || cfg.wal_dir.is_none()) {
@@ -360,6 +381,10 @@ pub fn run_cell_load(
     // Conflict components decide how many control shards actually run.
     let map = ShardMap::build(specs, cfg.shards.max(1));
     let shards = map.shards();
+
+    // One shared GC watermark per run: control shards publish floors into
+    // it, data nodes poll it. `None` keeps the plane off everywhere.
+    let watermark: Option<Arc<GcWatermark>> = cfg.mvcc.then(|| Arc::new(GcWatermark::new()));
 
     let fabric = transport.build(data_nodes, clients)?;
     let fault_counters = Arc::new(FaultCounters::default());
@@ -457,6 +482,7 @@ pub fn run_cell_load(
                                 d.join(format!("control{si}.ckpt"))
                             }
                         });
+                    let mvcc = watermark.clone();
                     s.spawn(move || {
                         let params = ControlParams {
                             sched: sched(),
@@ -471,6 +497,7 @@ pub fn run_cell_load(
                             stream,
                             reg: shard_reg,
                             drain_clients: cfg.open_loop.map(|_| clients),
+                            mvcc,
                         };
                         run_control(
                             params,
@@ -490,6 +517,7 @@ pub fn run_cell_load(
                 .map(|(n, (inbox, tx))| {
                     let wal_dir = cfg.wal_dir.as_deref();
                     let node_reg = reg.clone();
+                    let mvcc = watermark.clone();
                     s.spawn(move || {
                         run_data_node(
                             DataNodeParams {
@@ -501,6 +529,7 @@ pub fn run_cell_load(
                                 durability: cfg.durability,
                                 wal_dir,
                                 reg: node_reg.as_deref(),
+                                mvcc,
                             },
                             inbox,
                             tx,
@@ -645,6 +674,10 @@ pub fn run_cell_load(
     let mut audits = Vec::with_capacity(shards);
     let mut node_unavailable = 0u64;
     let mut wal = WalStats::default();
+    // The run's merged snapshot books: shard-disjoint transactions seal
+    // into shard-owned logs, so a plain merge is the whole-run seal order.
+    let mut mvcc_log: Option<CommitLog> = None;
+    let mut readers: Vec<ReaderRecord> = Vec::new();
     for c in controls {
         sent.merge(&c.tx);
         processed.merge(&c.rx);
@@ -657,12 +690,19 @@ pub fn run_cell_load(
         wal.checkpoints += c.ckpt_writes;
         per_shard.push((c.audit.counters.admissions, c.audit.counters.commits));
         audits.push(c.audit);
+        if let Some(audit) = c.mvcc {
+            mvcc_log.get_or_insert_with(CommitLog::new).merge(audit.log);
+            readers.extend(audit.readers);
+        }
     }
+    let reader_commits = readers.len() as u64;
     // Merge the per-shard audits (single-shard: returned untouched). The
     // merge re-checks the sharding premise — component disjointness — and
     // refuses histories a sharded scheduler could never have produced.
     let audit = merge_audits(audits).map_err(NetError::Certify)?;
     let mut latencies = Vec::with_capacity(specs.len());
+    let mut reader_lats = Vec::new();
+    let mut writer_lats = Vec::new();
     let mut ctrl_rtts = Vec::new();
     let mut offered = 0u64;
     let mut shed = 0u64;
@@ -671,6 +711,8 @@ pub fn run_cell_load(
         sent.merge(&c.tx);
         processed.merge(&c.rx);
         latencies.extend_from_slice(&c.latencies_us);
+        reader_lats.extend_from_slice(&c.reader_latencies_us);
+        writer_lats.extend_from_slice(&c.writer_latencies_us);
         ctrl_rtts.extend_from_slice(&c.ctrl_rtts_us);
         offered += c.offered;
         shed += c.shed;
@@ -684,6 +726,7 @@ pub fn run_cell_load(
     let mut store_write_units = 0u64;
     let mut recoveries = 0u64;
     let mut replay_chains = Histogram::new();
+    let mut chain_totals = wtpg_mvcc::ChainTotals::default();
     for d in &data_out {
         sent.merge(&d.tx);
         processed.merge(&d.rx);
@@ -696,6 +739,7 @@ pub fn run_cell_load(
         recoveries += d.recoveries;
         wal.merge(&d.wal);
         replay_chains.merge(&d.replay_chains);
+        chain_totals.merge(d.chains);
     }
 
     // Streaming certification verdicts (empty when `stream_certify` is
@@ -723,13 +767,15 @@ pub fn run_cell_load(
         submitted: accepted as usize,
         offered,
         shed,
-        committed: counters.commits,
+        // Readers commit on the snapshot plane, outside the scheduler's
+        // counters; both kinds are commits to the workload.
+        committed: counters.commits + reader_commits,
         rejected_admissions: counters.rejections,
         delayed_retries: counters.blocks + counters.delays,
         max_retry_streak,
         wall_ms: wall.as_secs_f64() * 1e3,
         throughput_tps: if wall.as_secs_f64() > 0.0 {
-            counters.commits as f64 / wall.as_secs_f64()
+            (counters.commits + reader_commits) as f64 / wall.as_secs_f64()
         } else {
             0.0
         },
@@ -769,6 +815,14 @@ pub fn run_cell_load(
         store_cell_sum: cell_sum,
         store_consistent: false,
         read_checksum,
+        reader_commits,
+        reader_latency: LatencySummary::from_us(reader_lats),
+        writer_latency: LatencySummary::from_us(writer_lats),
+        snapshot_reads: chain_totals.snapshot_reads,
+        chain_appended: chain_totals.appended,
+        chain_pruned: chain_totals.pruned,
+        chain_live_peak: chain_totals.live_peak,
+        snapshot_certified: false,
     };
 
     // Conservation: every committed write step's declared units must be
@@ -806,6 +860,22 @@ pub fn run_cell_load(
         report.certified = true;
         report.certify_grants = cert.grants;
         report.certify_eq_checks = cert.eq_checks;
+    }
+
+    // Snapshot-consistency certification: every snapshot read must have
+    // observed exactly the committed-prefix state of its partition at its
+    // snapshot tick. Rebuilt from the control plane's seal/commit books
+    // alone — the data nodes' answers are what is being checked.
+    if cfg.mvcc {
+        let log = mvcc_log.unwrap_or_default();
+        let rows: BTreeMap<u32, u64> = catalog
+            .partitions()
+            .map(|p| (p.0, catalog.size(p).units().max(1)))
+            .collect();
+        certify_snapshots(&log, &readers, &rows)?;
+        report.snapshot_certified = true;
+    } else {
+        report.snapshot_certified = true; // vacuous: no snapshot plane
     }
 
     if let Some(o) = obs {
@@ -1172,5 +1242,157 @@ mod tests {
         ));
         flusher.stop();
         assert_eq!(bare, windowed, "windowed telemetry changed the outcome");
+    }
+
+    #[test]
+    fn mvcc_readers_commit_lock_free_and_certify() {
+        use wtpg_workload::ReadMix;
+        let (catalog, mut specs) = pattern_specs(Pattern::Two { num_hots: 4 }, 80, 7);
+        ReadMix::skewed(0.5, 0.9).apply(&catalog, &mut specs, 7);
+        let readers = specs.iter().filter(|s| s.is_read_only()).count() as u64;
+        assert!(readers > 10, "the mix must actually produce readers");
+        let cfg = NetConfig {
+            mvcc: true,
+            ..NetConfig::default()
+        };
+        let r = run_cell(
+            &cfg,
+            &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::none(),
+        )
+        .expect("mvcc run completes cleanly");
+        assert_eq!(r.committed, 80, "writers and readers all commit");
+        assert_eq!(r.reader_commits, readers);
+        assert!(r.snapshot_certified, "every snapshot read checked out");
+        assert!(r.certified, "the writer history still replay-certifies");
+        assert!(r.store_consistent, "{r:?}");
+        // Each reader scans 1–2 partitions, one SnapshotRead order each
+        // (the per-type msg counters undercount coalesced sends, so assert
+        // on the data nodes' served-read tally instead).
+        assert!(
+            r.snapshot_reads >= readers && r.snapshot_reads <= 2 * readers,
+            "{r:?}"
+        );
+        // Readers never touch the lock table: Submit + orders + Commit ack
+        // only. Chain entries were recorded for concurrent writer commits.
+        assert!(r.chain_appended > 0, "writer commits must seal versions");
+        assert!(r.reader_latency.p50_ms > 0.0, "reader tail is tracked");
+        assert!(r.writer_latency.p50_ms > 0.0, "writer tail is tracked");
+    }
+
+    #[test]
+    fn mvcc_survives_faulty_links_and_a_crash() {
+        use wtpg_workload::ReadMix;
+        let (catalog, mut specs) = pattern_specs(Pattern::Two { num_hots: 4 }, 60, 17);
+        ReadMix::new(0.4).apply(&catalog, &mut specs, 17);
+        let readers = specs.iter().filter(|s| s.is_read_only()).count() as u64;
+        assert!(readers > 5);
+        let cfg = NetConfig {
+            mvcc: true,
+            ..NetConfig::default()
+        };
+        let r = run_cell(
+            &cfg,
+            &|| sched_by_name("k2", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::flaky_with_crash(23, 0),
+        )
+        .expect("mvcc fault run completes cleanly");
+        assert_eq!(r.committed, 60);
+        assert_eq!(r.reader_commits, readers);
+        assert!(r.snapshot_certified && r.certified && r.store_consistent, "{r:?}");
+        assert!(
+            r.dup_deliveries > 0 && r.delayed_deliveries > 0,
+            "fault layer must actually fire: {r:?}"
+        );
+    }
+
+    #[test]
+    fn mvcc_rejects_kill_faults() {
+        let (catalog, specs) = pattern_specs(Pattern::One, 10, 7);
+        let cfg = NetConfig {
+            mvcc: true,
+            ..NetConfig::default()
+        };
+        let err = run_cell(
+            &cfg,
+            &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+            &catalog,
+            &specs,
+            &InProc,
+            &FaultPlan::kill_node(0),
+        )
+        .expect_err("kill + mvcc must be rejected up front");
+        assert!(
+            matches!(err, NetError::Protocol(ref m) if m.contains("kill")),
+            "{err:?}"
+        );
+    }
+
+    /// The keystone differential: with the snapshot plane *on* but zero
+    /// read-only transactions in the batch, the run must be outcome-for-
+    /// outcome identical to a plane-off run — same commits, same store
+    /// bytes, same conservation books, same certification, and every
+    /// MVCC-side counter pinned to zero. The plane may exist; it must not
+    /// steer.
+    #[test]
+    fn zero_read_mix_under_the_snapshot_plane_is_invisible() {
+        use wtpg_workload::ReadMix;
+        let project = |r: &NetReport| {
+            (
+                r.committed,
+                r.submitted,
+                r.offered,
+                r.shed,
+                r.expected_write_units,
+                r.store_write_units,
+                r.store_cell_sum,
+                r.store_consistent,
+                r.certified,
+                r.certify_grants,
+                (r.msgs.submit, r.msgs.commit),
+                (r.msgs.snapshot_read, r.msgs.snapshot_reply),
+            )
+        };
+        let run = |mvcc: bool| {
+            let (catalog, mut specs) = pattern_specs(Pattern::Two { num_hots: 4 }, 60, 11);
+            if mvcc {
+                // --read-mix 0: the gate RNG is never even constructed.
+                ReadMix::new(0.0).apply(&catalog, &mut specs, 11);
+            }
+            let cfg = NetConfig {
+                mvcc,
+                ..NetConfig::default()
+            };
+            run_cell(
+                &cfg,
+                &|| sched_by_name("chain", 2, 2000).expect("known scheduler"),
+                &catalog,
+                &specs,
+                &InProc,
+                &FaultPlan::none(),
+            )
+            .expect("run completes cleanly")
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(
+            project(&off),
+            project(&on),
+            "an idle snapshot plane changed the trajectory"
+        );
+        // No readers ⇒ the whole MVCC side stays dark (chains still record
+        // writer seals — that is bookkeeping, not behaviour — but nothing
+        // is ever read, pruned, or certified against them).
+        assert_eq!(on.reader_commits, 0);
+        assert_eq!(on.snapshot_reads, 0);
+        assert_eq!(off.reader_commits, 0);
+        assert!(on.snapshot_certified && off.snapshot_certified);
+        assert_eq!(off.chain_appended, 0, "plane off: no chains at all");
     }
 }

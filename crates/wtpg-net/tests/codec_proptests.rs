@@ -56,20 +56,25 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
         }),
         txn().prop_map(|txn| Msg::Reject { txn }),
         (txn(), 0u32..8).prop_map(|(txn, step)| Msg::Delay { txn, step }),
-        (txn(), 0u32..8, 0u32..64, proptest::bool::ANY, 0u64..100_000, 1u64..5_000).prop_map(
-            |(txn, step, p, write, units, chunk_units)| Msg::Access {
-                txn,
-                step,
-                partition: wtpg_core::partition::PartitionId(p),
-                mode: if write {
-                    AccessMode::Write
-                } else {
-                    AccessMode::Read
-                },
-                units,
-                chunk_units,
-            }
-        ),
+        (
+            (txn(), 0u32..8, 0u32..64, proptest::bool::ANY),
+            (0u64..100_000, 1u64..5_000, 0u64..1_000),
+        )
+            .prop_map(
+                |((txn, step, p, write), (units, chunk_units, seal))| Msg::Access {
+                    txn,
+                    step,
+                    partition: wtpg_core::partition::PartitionId(p),
+                    mode: if write {
+                        AccessMode::Write
+                    } else {
+                        AccessMode::Read
+                    },
+                    units,
+                    chunk_units,
+                    seal,
+                }
+            ),
         (txn(), 0u32..8, 0u64..u64::MAX, 0u64..100_000).prop_map(
             |(txn, step, checksum, units)| Msg::AccessDone {
                 txn,
@@ -88,6 +93,33 @@ fn arb_msg() -> impl Strategy<Value = Msg> {
                 units,
             }
         }),
+        (
+            (txn(), 0u32..8, 0u32..64, 0u64..100_000),
+            (
+                0u64..1_000,
+                proptest::collection::vec(0u64..1_000, 0..4),
+                0u64..1_000,
+            ),
+        )
+            .prop_map(
+                |((txn, step, p, units), (horizon, exclude, floor))| Msg::SnapshotRead {
+                    txn,
+                    step,
+                    partition: wtpg_core::partition::PartitionId(p),
+                    units,
+                    horizon,
+                    exclude,
+                    floor,
+                }
+            ),
+        (txn(), 0u32..8, 0u64..u64::MAX, 0u64..100_000).prop_map(
+            |(txn, step, checksum, units)| Msg::SnapshotReply {
+                txn,
+                step,
+                checksum,
+                units,
+            }
+        ),
         Just(Msg::Shutdown),
     ]
 }

@@ -7,7 +7,7 @@
 use wtpg_core::partition::PartitionId;
 use wtpg_core::txn::{AccessMode, TxnId};
 use wtpg_lint::schema::parse_lock;
-use wtpg_net::codec::{MAX_BATCH, MAX_FRAME, MAX_STEPS};
+use wtpg_net::codec::{MAX_BATCH, MAX_EXCLUDE, MAX_FRAME, MAX_STEPS};
 use wtpg_net::Msg;
 
 const LOCK: &str = include_str!("../../../wire-schema.lock");
@@ -48,6 +48,7 @@ fn exemplars() -> Vec<(&'static str, Msg)> {
                 mode: AccessMode::Read,
                 units: 1,
                 chunk_units: 1,
+                seal: 0,
             },
         ),
         (
@@ -99,6 +100,27 @@ fn exemplars() -> Vec<(&'static str, Msg)> {
                 outstanding: 0,
             },
         ),
+        (
+            "SnapshotRead",
+            Msg::SnapshotRead {
+                txn: TxnId(1),
+                step: 0,
+                partition: PartitionId(0),
+                units: 1,
+                horizon: 0,
+                exclude: vec![],
+                floor: 0,
+            },
+        ),
+        (
+            "SnapshotReply",
+            Msg::SnapshotReply {
+                txn: TxnId(1),
+                step: 0,
+                checksum: 0,
+                units: 1,
+            },
+        ),
     ]
 }
 
@@ -130,4 +152,5 @@ fn codec_ceilings_match_the_lock() {
     assert_eq!(MAX_FRAME as u64, lock.max_frame, "MAX_FRAME drifted");
     assert_eq!(MAX_STEPS as u64, lock.max_steps, "MAX_STEPS drifted");
     assert_eq!(MAX_BATCH as u64, lock.max_batch, "MAX_BATCH drifted");
+    assert_eq!(MAX_EXCLUDE as u64, lock.max_exclude, "MAX_EXCLUDE drifted");
 }

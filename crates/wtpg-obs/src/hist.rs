@@ -123,6 +123,18 @@ impl Histogram {
         Self::bucket_upper_bound(BUCKETS - 1)
     }
 
+    /// The `q`-quantile, or `None` for an empty histogram — so a window
+    /// with no samples (a reader-only window's write-latency series, say)
+    /// reports "no data" instead of a fake zero that would silently pass
+    /// or fail an SLO threshold.
+    pub fn try_percentile(&self, q: f64) -> Option<u64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.percentile(q))
+        }
+    }
+
     /// Upper bound of the highest non-empty bucket (0 when empty).
     pub fn max_bound(&self) -> u64 {
         self.counts

@@ -44,11 +44,17 @@ pub struct MsgCounts {
     /// `RecoverAck` — control acknowledges a recovery and re-sends the
     /// node's outstanding orders.
     pub recover_ack: u64,
+    /// `SnapshotRead` — control orders a lock-free snapshot scan at a data
+    /// node (read-only BATs under the MVCC layer).
+    pub snapshot_read: u64,
+    /// `SnapshotReply` — data node answers a snapshot scan with its
+    /// checksum.
+    pub snapshot_reply: u64,
 }
 
 impl MsgCounts {
     /// The counters as `(name, value)` pairs, in wire-tag order.
-    pub fn fields(&self) -> [(&'static str, u64); 13] {
+    pub fn fields(&self) -> [(&'static str, u64); 15] {
         [
             ("submit", self.submit),
             ("grant", self.grant),
@@ -63,6 +69,8 @@ impl MsgCounts {
             ("batch", self.batch),
             ("recover", self.recover),
             ("recover_ack", self.recover_ack),
+            ("snapshot_read", self.snapshot_read),
+            ("snapshot_reply", self.snapshot_reply),
         ]
     }
 
@@ -86,6 +94,8 @@ impl MsgCounts {
         self.batch += other.batch;
         self.recover += other.recover;
         self.recover_ack += other.recover_ack;
+        self.snapshot_read += other.snapshot_read;
+        self.snapshot_reply += other.snapshot_reply;
     }
 }
 

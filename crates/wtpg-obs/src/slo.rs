@@ -36,6 +36,10 @@ pub struct WindowStats {
     pub committed: u64,
     /// Admission rejections observed this window.
     pub rejected: u64,
+    /// Commit-latency samples behind the percentiles below. Zero means the
+    /// window's histogram was empty (or absent) — the percentiles are
+    /// placeholders, not measurements, and must not be judged.
+    pub lat_samples: u64,
     /// Commit latency median, µs (0 when no commits landed).
     pub p50_us: u64,
     /// Commit latency 99th percentile, µs.
@@ -48,7 +52,7 @@ impl WindowStats {
     /// Extracts the judged measurements from one window record.
     pub fn from_snapshot(w: &WindowSnapshot) -> WindowStats {
         let lat = w.hist(metric::COMMIT_LAT_US);
-        let pct = |q: f64| lat.map(|h| h.percentile(q)).unwrap_or(0);
+        let pct = |q: f64| lat.and_then(|h| h.try_percentile(q)).unwrap_or(0);
         WindowStats {
             seq: w.seq,
             dur_us: w.len,
@@ -56,6 +60,7 @@ impl WindowStats {
             shed: w.counter(metric::SHED),
             committed: w.counter(metric::COMMITS),
             rejected: w.counter(metric::REJECTS),
+            lat_samples: lat.map_or(0, |h| h.count()),
             p50_us: pct(0.50),
             p99_us: pct(0.99),
             p999_us: pct(0.999),
@@ -214,19 +219,26 @@ impl SloSpec {
     /// compliant).
     pub fn breaches(&self, w: &WindowStats) -> Vec<String> {
         let mut out = Vec::new();
-        if let Some(max) = self.p50_max_us {
-            if w.p50_us >= max {
-                out.push(format!("p50 {}us >= {}us", w.p50_us, max));
+        // Latency thresholds are judged only against real samples: an empty
+        // window histogram reports zeroed percentiles, and judging those
+        // would silently *pass* any `p99<X` bound in a window where no
+        // commit ever landed (the failure mode the `lat_samples` field
+        // exists to block). Stalls are still caught by `tps>`/`abort<`.
+        if w.lat_samples > 0 {
+            if let Some(max) = self.p50_max_us {
+                if w.p50_us >= max {
+                    out.push(format!("p50 {}us >= {}us", w.p50_us, max));
+                }
             }
-        }
-        if let Some(max) = self.p99_max_us {
-            if w.p99_us >= max {
-                out.push(format!("p99 {}us >= {}us", w.p99_us, max));
+            if let Some(max) = self.p99_max_us {
+                if w.p99_us >= max {
+                    out.push(format!("p99 {}us >= {}us", w.p99_us, max));
+                }
             }
-        }
-        if let Some(max) = self.p999_max_us {
-            if w.p999_us >= max {
-                out.push(format!("p999 {}us >= {}us", w.p999_us, max));
+            if let Some(max) = self.p999_max_us {
+                if w.p999_us >= max {
+                    out.push(format!("p999 {}us >= {}us", w.p999_us, max));
+                }
             }
         }
         if let Some(max) = self.abort_rate_max {
@@ -362,6 +374,7 @@ mod tests {
             shed: 0,
             committed,
             rejected,
+            lat_samples: committed,
             p50_us: p99_us / 2,
             p99_us,
             p999_us: p99_us * 2,
@@ -420,6 +433,37 @@ mod tests {
         // Too few loaded windows cannot pass.
         let (_, outcome) = evaluate(&spec, &run[1..3]);
         assert!(!outcome.pass);
+    }
+
+    #[test]
+    fn empty_latency_window_is_not_judged_on_latency() {
+        let spec = SloSpec {
+            p50_max_us: Some(1),
+            p99_max_us: Some(1),
+            p999_max_us: Some(1),
+            abort_rate_max: None,
+            min_tps: None,
+            sustain: 1,
+        };
+        // No samples: the zeroed percentiles must neither pass nor breach
+        // the (impossible) `<1us` bounds — latency is simply not judged.
+        let empty = WindowStats {
+            offered: 10,
+            ..w(0, 10, 0, 0, 0)
+        };
+        assert_eq!(empty.lat_samples, 0);
+        assert!(spec.breaches(&empty).is_empty());
+        // One real sample at 5us breaches all three bounds.
+        let mut loaded = w(1, 10, 1, 0, 5);
+        loaded.p50_us = 5;
+        loaded.p999_us = 5;
+        assert_eq!(spec.breaches(&loaded).len(), 3);
+        // A stalled window is still caught by the throughput bound.
+        let stall = SloSpec {
+            min_tps: Some(1.0),
+            ..spec
+        };
+        assert_eq!(stall.breaches(&empty), vec!["tps 0.0 <= 1.0".to_string()]);
     }
 
     #[test]

@@ -179,6 +179,13 @@ pub mod metric {
     pub const DELAYS: &str = "load/delays";
     /// Submit-to-commit-ack latency, µs (histogram).
     pub const COMMIT_LAT_US: &str = "lat/commit_us";
+    /// Submit-to-commit-ack latency of read-only (snapshot) BATs, µs
+    /// (histogram). A subset of [`COMMIT_LAT_US`]'s samples; empty — and
+    /// therefore omitted from every window — when the run has no readers.
+    pub const READER_LAT_US: &str = "lat/reader_us";
+    /// Read-only (snapshot) BAT commits acked by clients (counter). A
+    /// subset of [`COMMITS`]; never bumped when the run has no readers.
+    pub const READER_COMMITS: &str = "load/reader_commits";
     /// Control-plane round trip, µs (histogram).
     pub const CTRL_RTT_US: &str = "lat/ctrl_rtt_us";
     /// Clients' in-flight transactions (gauge, summed over clients).

@@ -305,8 +305,9 @@ impl ControlNode {
         Ok(())
     }
 
-    /// Commits `txn`, releasing its locks.
-    pub fn commit(&self, txn: TxnId) -> Result<(), CoreError> {
+    /// Commits `txn`, releasing its locks. Returns the commit tick — the
+    /// logical timestamp MVCC snapshot certification orders commits by.
+    pub fn commit(&self, txn: TxnId) -> Result<Tick, CoreError> {
         let mut s = self.locked();
         let now = self.clock.next();
         s.sched.on_commit(txn, now)?;
@@ -319,7 +320,15 @@ impl ControlNode {
             // and a committed id never returns (ids are unique per run).
             s.specs.remove(&txn);
         }
-        Ok(())
+        Ok(now)
+    }
+
+    /// The logical clock's current reading, without advancing it. A
+    /// read-only BAT's snapshot timestamp: every transaction committed so
+    /// far has a commit tick at or below this value, and every commit still
+    /// to come will tick strictly above it.
+    pub fn now(&self) -> Tick {
+        self.clock.now()
     }
 
     /// Aborts `txn` mid-flight: the scheduler releases everything it holds

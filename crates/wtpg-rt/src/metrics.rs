@@ -13,6 +13,8 @@ pub struct LatencySummary {
     pub p50_ms: f64,
     /// 95th percentile.
     pub p95_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
     /// Worst observed.
     pub max_ms: f64,
 }
@@ -34,6 +36,7 @@ impl LatencySummary {
             mean_ms: ms(samples.iter().sum::<u64>() / n as u64),
             p50_ms: ms(at(0.50)),
             p95_ms: ms(at(0.95)),
+            p99_ms: ms(at(0.99)),
             max_ms: ms(samples.last().copied().unwrap_or(0)),
         }
     }

@@ -103,6 +103,13 @@ impl NodeStore {
         Ok(NodeStore::chunk_into_cells(cells, mode, start_unit, units))
     }
 
+    /// The current cells of partition `p`, or `None` if `p` is not homed on
+    /// this node. Snapshot reads reconstruct past states from these cells
+    /// plus the node's version chain (`wtpg-mvcc`).
+    pub fn cells(&self, p: PartitionId) -> Option<&[u64]> {
+        self.partitions.get(&p.0).map(Vec::as_slice)
+    }
+
     /// The cyclic-touch kernel of [`Self::apply_chunk`], operating on a bare
     /// cell slice: touches `units` cells starting at logical offset
     /// `start_unit` (cycling past the end) and returns the chunk checksum.

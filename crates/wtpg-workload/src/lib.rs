@@ -36,6 +36,7 @@ pub mod generator;
 pub mod mixed;
 pub mod notation;
 pub mod pattern;
+pub mod read_mix;
 
 pub use arrivals::poisson_arrivals_us;
 pub use error_model::ErrorModel;
@@ -43,3 +44,4 @@ pub use experiments::{Experiment, ExperimentId};
 pub use generator::PatternWorkload;
 pub use mixed::MixedWorkload;
 pub use pattern::Pattern;
+pub use read_mix::ReadMix;

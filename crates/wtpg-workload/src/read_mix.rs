@@ -1,0 +1,249 @@
+//! Read-only BAT injection — the reader side of the MVCC snapshot plane.
+//!
+//! A *read mix* rewrites a seeded fraction of a batch's transactions into
+//! read-only BATs: two full-partition scans with no write step anywhere.
+//! With the snapshot plane on (`wtpg-mvcc`), those transactions bypass the
+//! WTPG scheduler entirely and execute against versioned cells; with the
+//! plane off they take S-locks on the ordinary lock path, which is the
+//! baseline the reader-latency comparison runs against.
+//!
+//! Two properties matter more than the shape of the readers themselves:
+//!
+//! * **`fraction == 0.0` is a guaranteed no-op.** The gate RNG is never
+//!   constructed and the spec batch is returned untouched, so a `--read-mix
+//!   0` run is byte-identical to one that never heard of read mixes — the
+//!   differential test in `wtpg-net` leans on this.
+//! * **The split is seeded and salted.** The gate draws from its own RNG
+//!   (salted off the workload seed), so the same `(seed, fraction)` always
+//!   converts the same transaction ids, independent of pattern internals.
+//!
+//! Reader *targets* are drawn Zipfian over the catalog's partitions
+//! (`theta = 0` is uniform): skewed reads against the same hot partitions
+//! the writers pound is exactly the interference the snapshot plane is
+//! supposed to dissolve.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wtpg_core::partition::Catalog;
+use wtpg_core::txn::{StepSpec, TxnSpec};
+
+/// Salt folded into the workload seed for the gate/target RNG, so the read
+/// mix never perturbs (or is perturbed by) the pattern's own draws.
+const READ_MIX_SALT: u64 = 0x5eed_bea7_0000_4ead;
+
+/// A seeded read-only rewrite of a transaction batch.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ReadMix {
+    /// Probability that a transaction becomes a read-only BAT.
+    pub fraction: f64,
+    /// Zipfian skew of reader targets over the catalog's partitions
+    /// (0 = uniform; the paper-style hot-set stress uses ≥ 0.8).
+    pub theta: f64,
+}
+
+impl ReadMix {
+    /// A uniform-target read mix.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ fraction ≤ 1.0`.
+    pub fn new(fraction: f64) -> ReadMix {
+        ReadMix::skewed(fraction, 0.0)
+    }
+
+    /// A Zipfian-target read mix.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 ≤ fraction ≤ 1.0` and `theta ≥ 0`.
+    pub fn skewed(fraction: f64, theta: f64) -> ReadMix {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "read-mix fraction must be a probability"
+        );
+        assert!(theta >= 0.0, "zipf theta must be non-negative");
+        ReadMix { fraction, theta }
+    }
+
+    /// Rewrites a seeded fraction of `specs` into read-only BATs in place.
+    ///
+    /// Ids, batch length and submission order are preserved; only the step
+    /// lists of the gated transactions change. `fraction == 0.0` returns
+    /// without touching anything — not even an RNG construction — so the
+    /// zero mix is indistinguishable from no mix at all.
+    pub fn apply(&self, catalog: &Catalog, specs: &mut [TxnSpec], seed: u64) {
+        if self.fraction == 0.0 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ READ_MIX_SALT);
+        let zipf = ZipfTable::new(catalog, self.theta);
+        for spec in specs.iter_mut() {
+            if rng.gen_bool(self.fraction) {
+                *spec = TxnSpec::new(spec.id, reader_steps(catalog, &zipf, &mut rng));
+            }
+        }
+    }
+
+    /// Expected number of readers in a batch of `txns` (for sizing checks).
+    pub fn expected_readers(&self, txns: usize) -> f64 {
+        self.fraction * txns as f64
+    }
+}
+
+/// A read-only BAT: full scans of two distinct Zipf-drawn partitions.
+fn reader_steps<R: Rng>(catalog: &Catalog, zipf: &ZipfTable, rng: &mut R) -> Vec<StepSpec> {
+    let p1 = zipf.draw(rng);
+    let mut p2 = p1;
+    // A one-partition catalog degenerates to a single-step reader.
+    if catalog.num_parts() > 1 {
+        while p2 == p1 {
+            p2 = zipf.draw(rng);
+        }
+    }
+    let scan = |p: u32| StepSpec::read(p, catalog.size(wtpg_core::partition::PartitionId(p)).objects());
+    let mut steps = vec![scan(p1)];
+    if p2 != p1 {
+        steps.push(scan(p2));
+    }
+    steps
+}
+
+/// Cumulative Zipf weights over partition ids, sampled by binary search.
+struct ZipfTable {
+    /// Partition id per rank (rank = id order; the catalog is the universe).
+    ids: Vec<u32>,
+    /// Cumulative weight through each rank.
+    cum: Vec<f64>,
+}
+
+impl ZipfTable {
+    fn new(catalog: &Catalog, theta: f64) -> ZipfTable {
+        let ids: Vec<u32> = catalog.partitions().map(|p| p.0).collect();
+        assert!(!ids.is_empty(), "catalog has no partitions to read");
+        let mut cum = Vec::with_capacity(ids.len());
+        let mut total = 0.0;
+        for rank in 0..ids.len() {
+            total += 1.0 / ((rank + 1) as f64).powf(theta);
+            cum.push(total);
+        }
+        ZipfTable { ids, cum }
+    }
+
+    fn draw<R: Rng>(&self, rng: &mut R) -> u32 {
+        let total = *self.cum.last().expect("non-empty table");
+        let u = rng.gen_range(0.0..total);
+        let rank = self.cum.partition_point(|&c| c <= u);
+        self.ids[rank.min(self.ids.len() - 1)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::Pattern;
+    use wtpg_core::txn::TxnId;
+
+    fn batch(txns: usize, seed: u64) -> (Catalog, Vec<TxnSpec>) {
+        let pattern = Pattern::Two { num_hots: 8 };
+        let catalog = pattern.catalog();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let specs = (1..=txns as u64)
+            .map(|id| TxnSpec::new(TxnId(id), pattern.draw(&mut rng)))
+            .collect();
+        (catalog, specs)
+    }
+
+    #[test]
+    fn zero_fraction_is_a_byte_level_no_op() {
+        let (catalog, baseline) = batch(60, 7);
+        let mut mixed = baseline.clone();
+        ReadMix::new(0.0).apply(&catalog, &mut mixed, 7);
+        assert_eq!(mixed, baseline, "fraction 0 must not touch the batch");
+    }
+
+    #[test]
+    fn same_seed_same_rewrite() {
+        let (catalog, mut a) = batch(100, 11);
+        let (_, mut b) = batch(100, 11);
+        let mix = ReadMix::skewed(0.4, 0.9);
+        mix.apply(&catalog, &mut a, 11);
+        mix.apply(&catalog, &mut b, 11);
+        assert_eq!(a, b, "the rewrite must be a pure function of the seed");
+    }
+
+    #[test]
+    fn gate_is_independent_of_the_pattern_stream() {
+        // Same seed, different patterns: the *set of converted ids* must
+        // match, because the gate RNG is salted off the seed alone.
+        let (c2, mut a) = batch(200, 3);
+        let p1 = Pattern::One;
+        let c1 = p1.catalog();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b: Vec<TxnSpec> = (1..=200u64)
+            .map(|id| TxnSpec::new(TxnId(id), p1.draw(&mut rng)))
+            .collect();
+        let mix = ReadMix::new(0.5);
+        mix.apply(&c2, &mut a, 3);
+        mix.apply(&c1, &mut b, 3);
+        let readers = |v: &[TxnSpec]| {
+            v.iter()
+                .filter(|s| s.is_read_only())
+                .map(|s| s.id.0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(readers(&a), readers(&b));
+    }
+
+    #[test]
+    fn readers_scan_full_partitions() {
+        let (catalog, mut specs) = batch(150, 5);
+        ReadMix::new(0.5).apply(&catalog, &mut specs, 5);
+        let readers: Vec<&TxnSpec> = specs.iter().filter(|s| s.is_read_only()).collect();
+        let expected = ReadMix::new(0.5).expected_readers(150);
+        assert!(
+            (readers.len() as f64 - expected).abs() < 30.0,
+            "got {} readers, expected ≈{expected}",
+            readers.len()
+        );
+        for r in readers {
+            assert!(!r.steps().is_empty() && r.steps().len() <= 2);
+            for s in r.steps() {
+                assert_eq!(
+                    s.cost,
+                    catalog.size(s.partition),
+                    "a reader step is a full scan of its partition"
+                );
+                assert_eq!(s.cost, s.actual_cost);
+            }
+            if r.steps().len() == 2 {
+                assert_ne!(r.steps()[0].partition, r.steps()[1].partition);
+            }
+        }
+    }
+
+    #[test]
+    fn zipf_skews_reader_targets() {
+        let (catalog, mut uniform) = batch(400, 13);
+        let (_, mut skewed) = batch(400, 13);
+        ReadMix::new(1.0).apply(&catalog, &mut uniform, 13);
+        ReadMix::skewed(1.0, 1.2).apply(&catalog, &mut skewed, 13);
+        let first_hits = |v: &[TxnSpec]| {
+            v.iter()
+                .flat_map(|s| s.steps())
+                .filter(|s| s.partition.0 == 0)
+                .count()
+        };
+        assert!(
+            first_hits(&skewed) > first_hits(&uniform),
+            "theta > 0 must concentrate reads on the lowest-ranked partition: \
+             {} vs {}",
+            first_hits(&skewed),
+            first_hits(&uniform)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bad_fraction_rejected() {
+        let _ = ReadMix::new(1.5);
+    }
+}
