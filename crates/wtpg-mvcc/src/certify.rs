@@ -234,6 +234,70 @@ mod tests {
         assert_eq!(report.writes_folded, 1, "only writer 1 is in the prefix");
     }
 
+    /// The in-flight-commit GC race: a snapshot excludes a
+    /// sealed-but-uncommitted writer, and that writer commits while the
+    /// `SnapshotRead` is still undelivered. The reader's hold (smallest
+    /// excluded sequence) keeps the floor below the entry, so the late
+    /// read still reconstructs the committed-prefix state at its tick —
+    /// whereas pruning at the raw committed prefix (the horizon-only hold
+    /// this test guards against regressing to) yields exactly the dirty
+    /// read the certifier flags.
+    #[test]
+    fn excluded_writer_committing_in_flight_still_certifies() {
+        use crate::watermark::{gc_floor, ActiveSnapshots};
+        let rows = 8u64;
+        let mut log = CommitLog::new();
+        let mut chain = VersionChain::new();
+        let mut current = vec![0u64; rows as usize];
+
+        // Writer 1 seals and its write is applied at the node.
+        let seq = log.seal(0, TxnId(1), 12);
+        chain.record(seq, TxnId(1), 12);
+        apply_write_effect(&mut current, 12);
+
+        // Snapshot at tick 4: horizon 1, exclusion {0}, hold 0.
+        let snapshot = Tick(4);
+        let horizon = log.horizon(0);
+        let exclude = log.exclusions(0);
+        assert_eq!(exclude, vec![0]);
+        let mut active = ActiveSnapshots::new();
+        active.begin(TxnId(5), snapshot);
+        active.observe(TxnId(5), 0, exclude.first().copied().unwrap_or(horizon));
+
+        // The writer commits while the read is still undelivered, and the
+        // recomputed floor reaches the node out-of-band...
+        log.note_commit(TxnId(1), Tick(9));
+        let floor = gc_floor(&mut log, &active, 0);
+        assert_eq!(floor, 0, "the reader's hold caps the floor");
+        chain.prune_below(floor);
+
+        // ...then the read is finally served, and certifies.
+        let cells = chain.snapshot_cells(&current, horizon, &exclude);
+        let readers = vec![ReaderRecord {
+            txn: TxnId(5),
+            snapshot,
+            reads: vec![obs(0, 0, 12, read_checksum(&cells, 12))],
+        }];
+        let rows_map = BTreeMap::from([(0u32, rows)]);
+        certify_snapshots(&log, &readers, &rows_map).expect("no dirty read");
+
+        // Pruning at the committed prefix instead drops the excluded
+        // entry; the reconstruction includes the in-flight commit and the
+        // certifier rejects it.
+        let mut horizon_only = chain.clone();
+        horizon_only.prune_below(log.committed_prefix(0));
+        let dirty = horizon_only.snapshot_cells(&current, horizon, &exclude);
+        let dirty_readers = vec![ReaderRecord {
+            txn: TxnId(5),
+            snapshot,
+            reads: vec![obs(0, 0, 12, read_checksum(&dirty, 12))],
+        }];
+        assert!(
+            certify_snapshots(&log, &dirty_readers, &rows_map).is_err(),
+            "the horizon-only hold admits a dirty read"
+        );
+    }
+
     #[test]
     fn a_dirty_read_is_a_violation() {
         let rows = BTreeMap::from([(0u32, 8u64)]);

@@ -17,11 +17,14 @@
 //!   horizon; they may already be applied at the node but are not part of
 //!   the committed prefix.
 //!
-//! GC: a chain entry is dead once it is committed *and* no active snapshot's
-//! horizon is at or below its sequence (such a snapshot might still need to
-//! subtract entries above its horizon). The per-partition floor —
-//! `min(committed prefix, oldest active horizon)` — is what
-//! [`VersionChain::prune_below`](crate::chain::VersionChain::prune_below)
+//! GC: a chain entry is dead once it is committed *and* no active snapshot
+//! can still need to subtract it. A snapshot subtracts entries at or above
+//! its horizon **and** its excluded entries below the horizon — and an
+//! excluded writer may commit (advancing the committed prefix past its
+//! sequence) while the read is still in flight. So a reader's *hold* on a
+//! partition is `min(horizon, smallest excluded sequence)`, and the
+//! per-partition floor — `min(committed prefix, oldest active hold)` — is
+//! what [`VersionChain::prune_below`](crate::chain::VersionChain::prune_below)
 //! receives, piggybacked on snapshot reads and published through
 //! [`GcWatermark`](crate::shared::GcWatermark) for partitions no reader
 //! visits.
@@ -148,7 +151,7 @@ impl CommitLog {
 }
 
 /// The registry of snapshots currently being read: snapshot tick and
-/// per-partition horizons of every admitted, unfinished read-only BAT.
+/// per-partition holds of every admitted, unfinished read-only BAT.
 #[derive(Clone, Debug, Default)]
 pub struct ActiveSnapshots {
     readers: BTreeMap<TxnId, Reader>,
@@ -157,7 +160,7 @@ pub struct ActiveSnapshots {
 #[derive(Clone, Debug)]
 struct Reader {
     snapshot: Tick,
-    horizons: BTreeMap<u32, u64>,
+    holds: BTreeMap<u32, u64>,
 }
 
 impl ActiveSnapshots {
@@ -172,15 +175,20 @@ impl ActiveSnapshots {
             txn,
             Reader {
                 snapshot,
-                horizons: BTreeMap::new(),
+                holds: BTreeMap::new(),
             },
         );
     }
 
-    /// Records that `txn`'s snapshot covers `partition` up to `horizon`.
-    pub fn observe(&mut self, txn: TxnId, partition: u32, horizon: u64) {
+    /// Records `txn`'s hold on `partition`: the smallest seal sequence its
+    /// snapshot may still need to subtract — `min(horizon, smallest
+    /// excluded sequence)`. The horizon alone is not enough: an excluded
+    /// (sealed-but-uncommitted) entry below the horizon is only protected
+    /// from GC while its writer stays uncommitted, and the writer can
+    /// commit while this read is still in flight.
+    pub fn observe(&mut self, txn: TxnId, partition: u32, hold: u64) {
         if let Some(r) = self.readers.get_mut(&txn) {
-            r.horizons.insert(partition, horizon);
+            r.holds.insert(partition, hold);
         }
     }
 
@@ -196,12 +204,12 @@ impl ActiveSnapshots {
         self.readers.values().map(|r| r.snapshot).min()
     }
 
-    /// The smallest horizon any active reader holds on `partition` — no
-    /// chain entry at or above it may be pruned while that reader lives.
-    pub fn min_horizon(&self, partition: u32) -> Option<u64> {
+    /// The smallest hold any active reader has on `partition` — no chain
+    /// entry at or above it may be pruned while that reader lives.
+    pub fn min_hold(&self, partition: u32) -> Option<u64> {
         self.readers
             .values()
-            .filter_map(|r| r.horizons.get(&partition).copied())
+            .filter_map(|r| r.holds.get(&partition).copied())
             .min()
     }
 
@@ -217,11 +225,13 @@ impl ActiveSnapshots {
 }
 
 /// The GC floor of `partition`: the committed prefix, capped by the oldest
-/// active reader horizon on that partition. Every chain entry below the
-/// floor is committed and invisible to all current and future snapshots.
+/// active reader hold on that partition. Every chain entry below the floor
+/// is committed and no current or future snapshot can need to subtract it
+/// — committed entries the prefix has passed are only prunable once no
+/// live reader excludes them.
 pub fn gc_floor(log: &mut CommitLog, active: &ActiveSnapshots, partition: u32) -> u64 {
     let prefix = log.committed_prefix(partition);
-    match active.min_horizon(partition) {
+    match active.min_hold(partition) {
         Some(h) => prefix.min(h),
         None => prefix,
     }
@@ -262,7 +272,7 @@ mod tests {
     }
 
     #[test]
-    fn gc_floor_is_capped_by_the_oldest_reader_horizon() {
+    fn gc_floor_is_capped_by_the_oldest_reader_hold() {
         let mut log = CommitLog::new();
         let mut active = ActiveSnapshots::new();
         for id in 1..=3u64 {
@@ -279,6 +289,39 @@ mod tests {
         assert!(!active.end(TxnId(9)));
         assert!(active.is_empty());
         assert_eq!(gc_floor(&mut log, &active, 0), 3);
+    }
+
+    /// The race the hold rule exists for: a reader excludes a
+    /// sealed-but-uncommitted writer below its horizon, and that writer
+    /// commits while the read is still in flight. The committed prefix
+    /// passes the excluded sequence, but the reader's hold (the smallest
+    /// excluded sequence, not the horizon) must keep the floor below it
+    /// until the reader retires — otherwise the chain entry is pruned and
+    /// the reconstructed snapshot silently includes a write that was
+    /// uncommitted at the snapshot tick.
+    #[test]
+    fn an_excluded_writer_committing_in_flight_cannot_raise_the_floor() {
+        let mut log = CommitLog::new();
+        let mut active = ActiveSnapshots::new();
+        log.seal(0, TxnId(1), 10); // seq 0: still uncommitted at snapshot
+        log.seal(0, TxnId(2), 20); // seq 1: also uncommitted
+        let horizon = log.horizon(0);
+        let exclude = log.exclusions(0);
+        assert_eq!(exclude, vec![0, 1]);
+        active.begin(TxnId(9), Tick(5));
+        let hold = exclude.first().copied().unwrap_or(horizon);
+        active.observe(TxnId(9), 0, hold);
+        // Both excluded writers commit while the read is undelivered.
+        log.note_commit(TxnId(1), Tick(6));
+        log.note_commit(TxnId(2), Tick(7));
+        assert_eq!(log.committed_prefix(0), 2);
+        assert_eq!(
+            gc_floor(&mut log, &active, 0),
+            0,
+            "the hold pins the floor below the excluded entries"
+        );
+        assert!(active.end(TxnId(9)));
+        assert_eq!(gc_floor(&mut log, &active, 0), 2, "retirement releases it");
     }
 
     #[test]

@@ -202,6 +202,12 @@ pub fn encode_payload(msg: &Msg) -> Vec<u8> {
             put_u32(&mut b, partition.0);
             put_u64(&mut b, *units);
             put_u64(&mut b, *horizon);
+            debug_assert!(
+                exclude.len() <= MAX_EXCLUDE as usize,
+                "exclusion set of {} violates the wire bound the decoder enforces \
+                 (the control actor rejects oversize sets before encoding)",
+                exclude.len()
+            );
             put_u32(&mut b, exclude.len() as u32);
             for &seq in exclude {
                 put_u64(&mut b, seq);

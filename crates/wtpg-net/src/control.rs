@@ -71,6 +71,7 @@ use wtpg_rt::control::{ControlAudit, ControlNode, StreamItem};
 use wtpg_rt::queue::PopResult;
 
 use crate::batch::Coalescer;
+use crate::codec::MAX_EXCLUDE;
 use crate::error::NetError;
 use crate::msg::Msg;
 use crate::transport::{Inbox, MsgTx};
@@ -210,6 +211,14 @@ impl CtrlTel {
 
 /// The control actor's MVCC state: seal/commit bookkeeping plus every
 /// in-flight read-only BAT.
+///
+/// Memory note: `log`, `reader_done`, and `records` grow with run length —
+/// they are the post-run snapshot certifier's input, which (unlike the
+/// writer history under `stream_certify`) is not yet certified as a stream.
+/// Endurance cells that must stay memory-bounded should run the snapshot
+/// plane off (`--read-mix 0` keeps every byte identical to a plane-less
+/// run); the data-plane side stays bounded regardless (served-read memos
+/// are evicted once the GC floor proves their reader retired).
 struct MvccPlane {
     /// Seal order and commit ticks (the snapshot certifier's input).
     log: CommitLog,
@@ -538,9 +547,25 @@ impl ControlActor<'_> {
                 // the horizon ride along as an explicit exclusion list.
                 let horizon = plane.log.horizon(p.0);
                 let exclude = plane.log.exclusions(p.0);
-                // Register before recomputing the floor so our own
-                // horizon caps it — GC must not prune what we still read.
-                plane.active.observe(txn, p.0, horizon);
+                // The wire bound is enforced here, where the set is built,
+                // so a pathological uncommitted-writer backlog fails on
+                // the sender instead of as a decode error on the node.
+                if exclude.len() > MAX_EXCLUDE as usize {
+                    return Err(NetError::Protocol(format!(
+                        "reader {} on partition {}: {} uncommitted writers exceed \
+                         the exclusion-set wire bound {MAX_EXCLUDE}",
+                        txn.0,
+                        p.0,
+                        exclude.len()
+                    )));
+                }
+                // Register before recomputing the floor so our own hold
+                // caps it — GC must not prune what we still read. The hold
+                // is the smallest sequence this snapshot may subtract:
+                // every excluded entry, not just the horizon, stays unprunable
+                // even if its writer commits while the read is in flight.
+                let hold = exclude.first().copied().unwrap_or(horizon);
+                plane.active.observe(txn, p.0, hold);
                 let floor = plane.publish_floor(p.0);
                 parts.push(p.0);
                 orders.push((
@@ -753,6 +778,23 @@ impl ControlActor<'_> {
             } => {
                 if let Some(o) = self.outstanding.remove(&(txn, step)) {
                     self.data_rtts_us.push(elapsed_us(o.sent_at));
+                    // The certifier's expected checksum is computed with the
+                    // unit count the *reply* echoes, so a node that scanned
+                    // the wrong number of cells would self-consistently
+                    // certify. Pin the echo to the original order here —
+                    // the one place the order is still in hand.
+                    if let Msg::SnapshotRead {
+                        units: ordered, ..
+                    } = o.msg
+                    {
+                        if ordered != units {
+                            return Err(NetError::Protocol(format!(
+                                "reader {} step {step}: SnapshotReply echoes {units} units, \
+                                 the order carried {ordered}",
+                                txn.0
+                            )));
+                        }
+                    }
                 }
                 self.unavailable.remove(&(txn, step));
                 let Some(plane) = self.mvcc.as_mut() else {

@@ -49,7 +49,7 @@
 //! and partial progress recovered from the log make those re-sends exactly
 //! as idempotent as ordinary redelivery.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -200,6 +200,14 @@ struct DataActor<'a> {
     /// pruned past the original horizon by then, so recomputing could
     /// diverge; the memo keeps redelivery byte-identical.
     snap_marks: BTreeMap<(TxnId, u32), (u64, u64)>,
+    /// Eviction index over `snap_marks`: per partition, `(hold, txn, step)`
+    /// ordered by the read's hold (`min(horizon, smallest excluded seq)` —
+    /// the same value capping the control-side GC floor). The floor rising
+    /// *strictly above* a hold proves the reader is no longer active — the
+    /// floor is capped at or below every active hold — so control absorbed
+    /// all its replies and can never redeliver; `gc_poll` drops such memos,
+    /// keeping a sustained read mix from growing this map without bound.
+    snap_mark_holds: BTreeMap<u32, BTreeSet<(u64, TxnId, u32)>>,
     /// Snapshot reads served (telemetry).
     snapshot_reads: u64,
     /// Control-published GC floors (`None` ⇒ snapshot plane off).
@@ -325,15 +333,27 @@ impl<'a> DataActor<'a> {
         Ok(if ok { Flow::Continue } else { Flow::Stop })
     }
 
-    /// Prunes every chain to the control-published GC floor. Snapshot
-    /// reads carry floors on the wire, but a partition only writers touch
-    /// would keep its chain forever without this idle-time poll.
+    /// Prunes every chain to the control-published GC floor, and drops
+    /// snapshot-read memos whose readers that floor proves retired (see
+    /// `snap_mark_holds`). Snapshot reads carry floors on the wire, but a
+    /// partition only writers touch would keep its chain forever without
+    /// this idle-time poll.
     fn gc_poll(&mut self) {
         let Some(w) = &self.mvcc else {
             return;
         };
         for (p, chain) in self.chains.iter_mut() {
-            chain.prune_below(w.floor(*p));
+            let floor = w.floor(*p);
+            chain.prune_below(floor);
+            if let Some(idx) = self.snap_mark_holds.get_mut(p) {
+                // Strictly below the floor: `hold < floor` is what proves
+                // retirement — an active reader caps the floor at its hold.
+                let keep = idx.split_off(&(floor, TxnId(0), 0));
+                for &(_, txn, step) in idx.iter() {
+                    self.snap_marks.remove(&(txn, step));
+                }
+                *idx = keep;
+            }
         }
     }
 
@@ -495,6 +515,14 @@ impl<'a> DataActor<'a> {
                 let cells = chain.snapshot_cells(current, horizon, &exclude);
                 let checksum = read_checksum(&cells, units);
                 self.snap_marks.insert((txn, step), (checksum, units));
+                // Same hold the control side registered for this read (the
+                // exclusion list arrives sorted ascending): the memo is
+                // evictable once the floor passes it.
+                let hold = exclude.first().copied().unwrap_or(horizon);
+                self.snap_mark_holds
+                    .entry(partition.0)
+                    .or_default()
+                    .insert((hold, txn, step));
                 self.snapshot_reads += 1;
                 let ok = self.push_reply(Msg::SnapshotReply {
                     txn,
@@ -637,6 +665,7 @@ pub fn run_data_node(
         flushes_seen: 0,
         chains: BTreeMap::new(),
         snap_marks: BTreeMap::new(),
+        snap_mark_holds: BTreeMap::new(),
         snapshot_reads: 0,
         mvcc: mvcc.clone(),
     };
